@@ -1,0 +1,126 @@
+//! Engine microbenchmarks: the discrete-event core and the queue
+//! disciplines the paper's switch behavior is built on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use aeolus_sim::event::{Event, EventQueue};
+use aeolus_sim::{
+    DropTailQueue, FlowId, NodeId, Packet, Poll, PriorityBank, QueueDisc, RangeSet, Rate,
+    RedEcnQueue, TrafficClass, TrimmingQueue, XPassQueue, CREDIT_BYTES,
+};
+
+fn pkt(seq: u64, class: TrafficClass) -> Packet {
+    Packet::data(FlowId(seq % 64), NodeId(0), NodeId(1), seq, 1460, class, 1 << 20)
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                // Pseudo-random interleaved timestamps.
+                let t = (i * 2_654_435_761) % 1_000_000;
+                q.schedule_at(t, Event::Timer { node: NodeId(0), token: i });
+            }
+            let mut n = 0u64;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("rangeset_insert_1k_shuffled", |b| {
+        b.iter(|| {
+            let mut rs = RangeSet::new();
+            for i in 0..1_000u64 {
+                let start = ((i * 7919) % 1000) * 1460;
+                rs.insert(start, start + 1460);
+            }
+            black_box(rs.covered())
+        })
+    });
+    g.finish();
+}
+
+fn drain<Q: QueueDisc + ?Sized>(q: &mut Q) -> u64 {
+    let mut n = 0;
+    while let Poll::Ready(_) = q.poll(0) {
+        n += 1;
+    }
+    n
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queues");
+    g.bench_function("droptail_1k", |b| {
+        b.iter(|| {
+            let mut q = DropTailQueue::new(1 << 30);
+            for i in 0..1000 {
+                let _ = q.enqueue(pkt(i, TrafficClass::Scheduled), 0);
+            }
+            black_box(drain(&mut q))
+        })
+    });
+    g.bench_function("red_selective_1k_mixed", |b| {
+        b.iter(|| {
+            let mut q = RedEcnQueue::new(6_000, 200_000);
+            for i in 0..1000 {
+                let class = if i % 2 == 0 {
+                    TrafficClass::Unscheduled
+                } else {
+                    TrafficClass::Scheduled
+                };
+                let _ = q.enqueue(pkt(i, class), 0);
+            }
+            black_box(drain(&mut q))
+        })
+    });
+    g.bench_function("priority_bank_1k", |b| {
+        b.iter(|| {
+            let mut q = PriorityBank::new(8, 1 << 30);
+            for i in 0..1000u64 {
+                let mut p = pkt(i, TrafficClass::Scheduled);
+                p.priority = (i % 8) as u8;
+                let _ = q.enqueue(p, 0);
+            }
+            black_box(drain(&mut q))
+        })
+    });
+    g.bench_function("trimming_1k", |b| {
+        b.iter(|| {
+            let mut q = TrimmingQueue::new(8, 1 << 30);
+            for i in 0..1000 {
+                let _ = q.enqueue(pkt(i, TrafficClass::Unscheduled), 0);
+            }
+            black_box(drain(&mut q))
+        })
+    });
+    g.bench_function("xpass_credit_shaper_1k", |b| {
+        b.iter(|| {
+            let mut q = XPassQueue::new(
+                Box::new(DropTailQueue::new(1 << 30)),
+                Rate::gbps(100),
+                1500,
+                CREDIT_BYTES,
+                8,
+            );
+            for i in 0..1000 {
+                let _ = q.enqueue(pkt(i, TrafficClass::Scheduled), 0);
+            }
+            black_box(drain(&mut q))
+        })
+    });
+    g.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default().sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_event_queue, bench_queues
+}
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! One Criterion group per paper *figure*: each benchmarks a miniature,
+//! fixed-seed configuration of the same kernel the corresponding
+//! `aeolus-experiments` runner uses, so regressions in any figure's code
+//! path show up as a bench regression. (Figures 6 and 7 are architecture
+//! diagrams — no experiment, no bench.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use aeolus_bench::{bench_fabric, bench_incast, bench_many_to_one, bench_workload};
+use aeolus_experiments::fig15::queue_stats;
+use aeolus_experiments::fig16::first_rtt_utilization;
+use aeolus_experiments::fig18::goodput;
+use aeolus_experiments::{fig02, fig05, Scale};
+use aeolus_sim::units::{ms, us};
+use aeolus_transport::Scheme;
+use aeolus_workloads::Workload;
+
+fn motivation_figures(c: &mut Criterion) {
+    // Fig 1/3: ExpressPass vs its oracle on a workload.
+    c.bench_function("fig01_fig03_ep_vs_oracle", |b| {
+        b.iter(|| {
+            let a = bench_workload(Scheme::ExpressPass, bench_fabric(), Workload::CacheFollower, 30);
+            let o = bench_workload(
+                Scheme::ExpressPassOracle,
+                bench_fabric(),
+                Workload::CacheFollower,
+                30,
+            );
+            black_box(a + o)
+        })
+    });
+    // Fig 2 is closed-form.
+    c.bench_function("fig02_first_rtt_fractions", |b| {
+        b.iter(|| black_box(fig02::run(Scale::Smoke).sections.len()))
+    });
+    // Fig 4 / Table 1: Homa vs its oracle.
+    c.bench_function("fig04_homa_vs_oracle", |b| {
+        b.iter(|| {
+            let a = bench_workload(Scheme::Homa { rto: ms(10) }, bench_fabric(), Workload::WebServer, 30);
+            let o = bench_workload(Scheme::HomaOracle, bench_fabric(), Workload::WebServer, 30);
+            black_box(a + o)
+        })
+    });
+    // Fig 5: the cascade micro-experiment.
+    c.bench_function("fig05_cascade", |b| {
+        b.iter(|| black_box(fig05::run(Scale::Smoke).sections.len()))
+    });
+}
+
+fn testbed_figures(c: &mut Criterion) {
+    // Fig 8: EP incast MCT.
+    c.bench_function("fig08_ep_incast", |b| {
+        b.iter(|| black_box(bench_incast(Scheme::ExpressPassAeolus, 30_000, 3)))
+    });
+    // Fig 11: Homa incast MCT.
+    c.bench_function("fig11_homa_incast", |b| {
+        b.iter(|| black_box(bench_incast(Scheme::HomaAeolus, 30_000, 3)))
+    });
+}
+
+fn workload_figures(c: &mut Criterion) {
+    // Fig 9/10: EP+Aeolus under a production workload.
+    c.bench_function("fig09_fig10_ep_aeolus_workload", |b| {
+        b.iter(|| black_box(bench_workload(Scheme::ExpressPassAeolus, bench_fabric(), Workload::WebServer, 30)))
+    });
+    // Fig 12/13: Homa+Aeolus under a production workload.
+    c.bench_function("fig12_fig13_homa_aeolus_workload", |b| {
+        b.iter(|| black_box(bench_workload(Scheme::HomaAeolus, bench_fabric(), Workload::WebServer, 30)))
+    });
+    // Fig 14: NDP+Aeolus under a production workload.
+    c.bench_function("fig14_ndp_aeolus_workload", |b| {
+        b.iter(|| black_box(bench_workload(Scheme::NdpAeolus, bench_fabric(), Workload::WebServer, 30)))
+    });
+}
+
+fn parameter_figures(c: &mut Criterion) {
+    // Fig 15: queue length vs threshold.
+    c.bench_function("fig15_queue_vs_threshold", |b| {
+        b.iter(|| black_box(queue_stats(6_000, 4)))
+    });
+    // Fig 16: first-RTT utilization.
+    c.bench_function("fig16_first_rtt_utilization", |b| {
+        b.iter(|| black_box(first_rtt_utilization(6_000, 4)))
+    });
+    // Fig 17: heavy incast slowdown.
+    c.bench_function("fig17_heavy_incast", |b| {
+        b.iter(|| black_box(bench_many_to_one(Scheme::HomaAeolus, 16, 64_000)))
+    });
+    // Fig 18: goodput under mixed load.
+    c.bench_function("fig18_goodput_mix", |b| {
+        b.iter(|| black_box(goodput(Scheme::NdpAeolus, Scale::Smoke, 0.5)))
+    });
+    let _ = us(1);
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = motivation_figures, testbed_figures, workload_figures, parameter_figures
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Bench-sized scenario builders shared by the Criterion benchmarks.
+//!
+//! Each paper table/figure gets a miniature, fixed-seed configuration of its
+//! experiment kernel — small enough for Criterion's repeated sampling, large
+//! enough to exercise the same code paths as the full runner in
+//! `aeolus-experiments`.
+
+use aeolus_sim::topology::LinkParams;
+use aeolus_sim::units::{ms, us, Rate};
+use aeolus_sim::{FlowDesc, FlowId};
+use aeolus_transport::{Harness, Scheme, SchemeParams, TopoSpec};
+use aeolus_workloads::{incast_rounds, poisson_flows, PoissonConfig, Workload};
+
+/// The bench testbed: 8 hosts on one 10 G switch.
+pub fn bench_testbed() -> TopoSpec {
+    TopoSpec::SingleSwitch { hosts: 8, link: LinkParams::uniform(Rate::gbps(10), us(3)) }
+}
+
+/// A small two-tier fabric.
+pub fn bench_fabric() -> TopoSpec {
+    TopoSpec::LeafSpine {
+        spines: 2,
+        leaves: 2,
+        hosts_per_leaf: 4,
+        link: LinkParams::uniform(Rate::gbps(100), us(1)),
+    }
+}
+
+/// Run `n_flows` Poisson flows of `workload` under `scheme`; returns the
+/// completed-flow count (a black-box-able result).
+pub fn bench_workload(scheme: Scheme, spec: TopoSpec, workload: Workload, n_flows: usize) -> usize {
+    let mut h = Harness::new(scheme, SchemeParams::new(0), spec);
+    let hosts = h.hosts().to_vec();
+    let flows = poisson_flows(
+        &PoissonConfig {
+            load: 0.4,
+            host_rate: h.topo.host_rate,
+            flows: n_flows,
+            seed: 42,
+            first_id: 1,
+            start: 0,
+        },
+        &hosts,
+        &workload.dist(),
+    );
+    h.schedule(&flows);
+    h.run(flows.last().unwrap().start + ms(400));
+    h.metrics().completed_count()
+}
+
+/// Run a 7:1 incast of `rounds` rounds; returns the completed count.
+pub fn bench_incast(scheme: Scheme, msg: u64, rounds: usize) -> usize {
+    let mut h = Harness::new(scheme, SchemeParams::new(0), bench_testbed());
+    let hosts = h.hosts().to_vec();
+    let flows = incast_rounds(&hosts[1..], hosts[0], msg, rounds, ms(2), 0, 1);
+    h.schedule(&flows);
+    h.run(ms(1000));
+    h.metrics().completed_count()
+}
+
+/// Run an N:1 single-shot incast on a 100 G switch; returns completed count.
+pub fn bench_many_to_one(scheme: Scheme, n: usize, msg: u64) -> usize {
+    let spec =
+        TopoSpec::SingleSwitch { hosts: n + 1, link: LinkParams::uniform(Rate::gbps(100), us(1)) };
+    let mut params = SchemeParams::new(0);
+    params.port_buffer = 500_000;
+    let mut h = Harness::new(scheme, params, spec);
+    let hosts = h.hosts().to_vec();
+    let flows: Vec<FlowDesc> = (0..n)
+        .map(|i| FlowDesc {
+            id: FlowId(i as u64 + 1),
+            src: hosts[i + 1],
+            dst: hosts[0],
+            size: msg,
+            start: 0,
+        })
+        .collect();
+    h.schedule(&flows);
+    h.run(ms(1000));
+    h.metrics().completed_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_kernels_complete() {
+        assert_eq!(bench_incast(Scheme::ExpressPassAeolus, 30_000, 2), 14);
+        assert_eq!(bench_many_to_one(Scheme::HomaAeolus, 4, 64_000), 4);
+        assert!(bench_workload(Scheme::NdpAeolus, bench_fabric(), Workload::WebServer, 20) >= 19);
+    }
+}

@@ -1,0 +1,90 @@
+//! Aeolus configuration.
+
+use aeolus_sim::units::{Rate, Time};
+use aeolus_sim::{bdp_bytes, MIN_PACKET_BYTES};
+
+/// How first-RTT losses are detected and recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// Aeolus: per-packet ACKs + probe, retransmit once as scheduled.
+    ProbeBased,
+    /// Strawman used by the §5.5 priority-queueing comparison: a
+    /// retransmission timeout of the given duration.
+    Rto(Time),
+}
+
+/// Configuration of the Aeolus building block.
+#[derive(Debug, Clone, Copy)]
+pub struct AeolusConfig {
+    /// Selective-dropping threshold at switches, bytes (paper default 6 KB).
+    pub drop_threshold: u64,
+    /// Per-port physical buffer, bytes (paper default 200 KB).
+    pub port_buffer: u64,
+    /// MTU payload bytes (paper: 1.5 KB wire MTU).
+    pub mtu_payload: u32,
+    /// Probe packet wire size (minimum Ethernet frame).
+    pub probe_size: u32,
+    /// Loss detection / recovery mode.
+    pub recovery: RecoveryMode,
+    /// Whether new flows burst unscheduled packets in the first RTT at all
+    /// (disabled to model plain ExpressPass-style "wait for credit").
+    pub precredit_burst: bool,
+    /// §6 resilience extension: if the sender has heard *nothing* back (no
+    /// credit/grant/pull, no ACK, no probe ACK) for this many base RTTs, it
+    /// retransmits its request and probe — covering the extreme case where
+    /// even the probe was dropped. 0 disables the retry.
+    pub probe_retry_rtts: u32,
+    /// Ablation knob: pre-credit burst budget as a fraction of the BDP
+    /// (1.0 = the paper's one-BDP burst).
+    pub burst_budget_frac: f64,
+}
+
+impl Default for AeolusConfig {
+    fn default() -> Self {
+        AeolusConfig {
+            drop_threshold: 6_000,
+            port_buffer: 200_000,
+            mtu_payload: 1_460,
+            probe_size: MIN_PACKET_BYTES,
+            recovery: RecoveryMode::ProbeBased,
+            precredit_burst: true,
+            probe_retry_rtts: 20,
+            burst_budget_frac: 1.0,
+        }
+    }
+}
+
+impl AeolusConfig {
+    /// Bytes a new flow may burst pre-credit: one bandwidth-delay product of
+    /// the host link (§3.1 "a BDP worth of unscheduled packets at line-rate").
+    pub fn burst_budget(&self, line_rate: Rate, base_rtt: Time) -> u64 {
+        let bdp = bdp_bytes(line_rate, base_rtt) as f64 * self.burst_budget_frac;
+        (bdp as u64).max(self.mtu_payload as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeolus_sim::units::us;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = AeolusConfig::default();
+        assert_eq!(c.drop_threshold, 6_000, "6 KB = 4 packets");
+        assert_eq!(c.port_buffer, 200_000);
+        assert_eq!(c.probe_size, 64);
+        assert_eq!(c.recovery, RecoveryMode::ProbeBased);
+        assert!(c.precredit_burst);
+        assert_eq!(c.probe_retry_rtts, 20);
+    }
+
+    #[test]
+    fn burst_budget_is_bdp() {
+        let c = AeolusConfig::default();
+        // 100 Gbps x 4.5 us = 56.25 KB.
+        assert_eq!(c.burst_budget(Rate::gbps(100), us(4) + 500_000), 56_250);
+        // Never below one MTU, so tiny-RTT topologies still burst something.
+        assert_eq!(c.burst_budget(Rate::mbps(1), us(1)), 1_460);
+    }
+}

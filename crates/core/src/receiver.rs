@@ -1,0 +1,166 @@
+//! Receiver-side Aeolus state for one flow: duplicate suppression, per-packet
+//! ACK policy for unscheduled packets, and probe handling.
+
+use aeolus_sim::RangeSet;
+
+/// What the transport should do after handing a data packet to the receiver
+/// state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataVerdict {
+    /// Payload bytes not seen before (0 for duplicates).
+    pub new_bytes: u64,
+    /// Whether the whole message is now complete.
+    pub completed: bool,
+    /// Whether a per-packet ACK should be sent (Aeolus ACKs unscheduled
+    /// packets individually; scheduled packets are acked per the base
+    /// protocol's own rules).
+    pub send_ack: bool,
+}
+
+/// Per-flow receiver state for the Aeolus building block.
+#[derive(Debug)]
+pub struct PreCreditReceiver {
+    /// Message size, learned from the first packet/probe header that
+    /// arrives (Data/Request/Probe all carry `flow_size`).
+    size: Option<u64>,
+    received: RangeSet,
+    completed: bool,
+    probe_seen: bool,
+}
+
+impl Default for PreCreditReceiver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PreCreditReceiver {
+    /// Fresh state; size is learned from headers.
+    pub fn new() -> PreCreditReceiver {
+        PreCreditReceiver { size: None, received: RangeSet::new(), completed: false, probe_seen: false }
+    }
+
+    /// Note the flow size from any header that carries it.
+    pub fn learn_size(&mut self, size: u64) {
+        if size > 0 {
+            match self.size {
+                None => self.size = Some(size),
+                Some(s) => debug_assert_eq!(s, size, "inconsistent flow size"),
+            }
+        }
+    }
+
+    /// Process data bytes `[seq, seq+len)`; `unscheduled` selects the ACK
+    /// policy.
+    pub fn on_data(&mut self, seq: u64, len: u32, unscheduled: bool, flow_size: u64) -> DataVerdict {
+        self.learn_size(flow_size);
+        let new_bytes = self.received.insert(seq, seq + len as u64);
+        let completed = !self.completed && self.is_complete();
+        if completed {
+            self.completed = true;
+        }
+        DataVerdict { new_bytes, completed, send_ack: unscheduled }
+    }
+
+    /// Process an Aeolus probe carrying `probe_seq`; returns true if a probe
+    /// ACK should be sent (always — probes are themselves protected).
+    pub fn on_probe(&mut self, probe_seq: u64, flow_size: u64) -> bool {
+        self.learn_size(flow_size);
+        self.probe_seen = true;
+        let _ = probe_seq;
+        true
+    }
+
+    /// Whether the full message has arrived.
+    pub fn is_complete(&self) -> bool {
+        match self.size {
+            Some(s) => self.received.covered() >= s,
+            None => false,
+        }
+    }
+
+    /// Unique bytes received so far.
+    pub fn received_bytes(&self) -> u64 {
+        self.received.covered()
+    }
+
+    /// Message size if known.
+    pub fn size(&self) -> Option<u64> {
+        self.size
+    }
+
+    /// Bytes still missing (None until the size is known).
+    pub fn remaining(&self) -> Option<u64> {
+        self.size.map(|s| s.saturating_sub(self.received.covered()))
+    }
+
+    /// Whether a probe has been seen for this flow.
+    pub fn probe_seen(&self) -> bool {
+        self.probe_seen
+    }
+
+    /// Missing ranges below `upto` (for Homa RESEND requests).
+    pub fn missing_below(&self, upto: u64) -> Vec<(u64, u64)> {
+        self.received.gaps(upto)
+    }
+
+    /// Bytes received within `[0, upto)` — used with a probe's sequence
+    /// number to compute exactly how many burst bytes were dropped.
+    pub fn received_below(&self, upto: u64) -> u64 {
+        self.received.covered_in(0, upto)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unscheduled_data_gets_per_packet_ack() {
+        let mut r = PreCreditReceiver::new();
+        let v = r.on_data(0, 1000, true, 3000);
+        assert_eq!(v, DataVerdict { new_bytes: 1000, completed: false, send_ack: true });
+        let v = r.on_data(1000, 1000, false, 3000);
+        assert!(!v.send_ack, "scheduled data follows the base protocol's ACK rules");
+    }
+
+    #[test]
+    fn duplicates_add_no_bytes_but_still_ack() {
+        let mut r = PreCreditReceiver::new();
+        r.on_data(0, 1000, true, 3000);
+        let v = r.on_data(0, 1000, true, 3000);
+        assert_eq!(v.new_bytes, 0);
+        assert!(v.send_ack, "duplicate unscheduled packets are re-ACKed");
+        assert_eq!(r.received_bytes(), 1000);
+    }
+
+    #[test]
+    fn completion_fires_exactly_once() {
+        let mut r = PreCreditReceiver::new();
+        r.on_data(0, 1000, true, 2000);
+        let v = r.on_data(1000, 1000, false, 2000);
+        assert!(v.completed);
+        let v = r.on_data(1000, 1000, false, 2000);
+        assert!(!v.completed, "completion must not re-fire on duplicates");
+        assert!(r.is_complete());
+    }
+
+    #[test]
+    fn size_learned_from_probe_when_all_data_dropped() {
+        let mut r = PreCreditReceiver::new();
+        assert!(!r.is_complete());
+        assert_eq!(r.remaining(), None);
+        assert!(r.on_probe(5000, 5000));
+        assert_eq!(r.size(), Some(5000));
+        assert_eq!(r.remaining(), Some(5000));
+        assert!(r.probe_seen());
+    }
+
+    #[test]
+    fn missing_ranges_reported_for_resend() {
+        let mut r = PreCreditReceiver::new();
+        r.on_data(0, 1000, true, 5000);
+        r.on_data(2000, 1000, true, 5000);
+        assert_eq!(r.missing_below(4000), vec![(1000, 2000), (3000, 4000)]);
+    }
+}

@@ -1,0 +1,540 @@
+//! Sender-side Aeolus state for one flow: pre-credit burst, SACK/probe loss
+//! detection, and the paper's retransmission priority order (§3.3):
+//! loss-detected unscheduled first, then unsent scheduled, then
+//! sent-but-unacknowledged unscheduled.
+
+use std::collections::VecDeque;
+
+use aeolus_sim::RangeSet;
+
+/// A chunk the transport should send next in the credit-induced phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// First byte offset.
+    pub seq: u64,
+    /// Payload length.
+    pub len: u32,
+    /// True when these bytes were sent before (a recovery transmission).
+    pub retransmit: bool,
+}
+
+/// Per-flow sender state for the Aeolus building block.
+#[derive(Debug)]
+pub struct PreCreditSender {
+    size: u64,
+    /// End of the region eligible for the unscheduled burst.
+    burst_budget_end: u64,
+    /// Next unscheduled byte to burst.
+    burst_next: u64,
+    /// How far the burst actually got before it ended.
+    burst_sent_end: u64,
+    /// Whether the pre-credit phase is over (credit arrived / budget spent).
+    burst_ended: bool,
+    /// Sequence carried by the probe (byte after last unscheduled), if sent.
+    probe_seq: Option<u64>,
+    probe_acked: bool,
+    /// Bytes acknowledged by the receiver.
+    acked: RangeSet,
+    /// Ranges declared lost, awaiting retransmission (popped in order).
+    /// The flag forces retransmission even of ranges already covered by a
+    /// guaranteed scheduled copy (set by explicit receiver resend requests,
+    /// which mean that copy did not arrive).
+    lost_pending: VecDeque<(u64, u64, bool)>,
+    /// Everything ever declared lost (to avoid double declarations).
+    lost_declared: RangeSet,
+    /// First never-sent byte (the scheduled frontier).
+    next_unsent: u64,
+    /// Unacked burst bytes already retransmitted as a last resort.
+    resent_last_resort: RangeSet,
+    /// Whether category 3 (last-resort retransmission of unacked burst
+    /// bytes) is enabled. Protocols with an explicit per-loss signal (NDP's
+    /// NACKs) disable it: retransmitting in-flight-ACK bytes there only
+    /// feeds duplicate loops.
+    last_resort_enabled: bool,
+}
+
+impl PreCreditSender {
+    /// State for a flow of `size` bytes allowed to burst `burst_budget`
+    /// unscheduled bytes (one BDP). With a zero budget the flow behaves like
+    /// plain proactive transport (waits for credits).
+    pub fn new(size: u64, burst_budget: u64) -> PreCreditSender {
+        let burst_budget_end = burst_budget.min(size);
+        PreCreditSender {
+            size,
+            burst_budget_end,
+            burst_next: 0,
+            burst_sent_end: 0,
+            burst_ended: burst_budget_end == 0,
+            probe_seq: None,
+            probe_acked: false,
+            acked: RangeSet::new(),
+            lost_pending: VecDeque::new(),
+            lost_declared: RangeSet::new(),
+            next_unsent: burst_budget_end,
+            resent_last_resort: RangeSet::new(),
+            last_resort_enabled: true,
+        }
+    }
+
+    /// Disable category-3 (last-resort) retransmissions.
+    pub fn disable_last_resort(&mut self) {
+        self.last_resort_enabled = false;
+    }
+
+    /// Flow size in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Next unscheduled chunk to burst in the pre-credit phase, or `None`
+    /// when the budget is spent (which also ends the burst).
+    pub fn next_burst_chunk(&mut self, mtu: u32) -> Option<Chunk> {
+        if self.burst_ended || self.burst_next >= self.burst_budget_end {
+            return None;
+        }
+        let seq = self.burst_next;
+        let len = (mtu as u64).min(self.burst_budget_end - seq) as u32;
+        self.burst_next += len as u64;
+        self.burst_sent_end = self.burst_next;
+        Some(Chunk { seq, len, retransmit: false })
+    }
+
+    /// Whether the pre-credit burst phase is over.
+    pub fn burst_ended(&self) -> bool {
+        self.burst_ended
+    }
+
+    /// End the pre-credit phase (credit arrived, or the burst completed).
+    /// Returns the probe sequence to transmit, the first time the burst ends
+    /// after having sent at least one unscheduled byte.
+    pub fn end_burst(&mut self) -> Option<u64> {
+        if self.burst_ended {
+            return None;
+        }
+        self.burst_ended = true;
+        // Anything not burst yet becomes plain unsent scheduled data.
+        self.next_unsent = self.burst_sent_end;
+        if self.burst_sent_end > 0 {
+            let seq = self.burst_sent_end;
+            self.probe_seq = Some(seq);
+            Some(seq)
+        } else {
+            None
+        }
+    }
+
+    /// Handle a per-packet ACK of `[start, end)`.
+    ///
+    /// Because Aeolus keeps one FIFO queue per port, data and ACKs stay in
+    /// order; a selective ACK for `start` therefore implies every unacked
+    /// unscheduled byte before `start` was dropped (§3.3 "selective ACK …
+    /// for loss detection in the middle").
+    pub fn on_ack(&mut self, start: u64, end: u64) {
+        self.acked.insert(start, end);
+        self.declare_lost_within(0, start.min(self.burst_sent_end));
+    }
+
+    /// Record an ACK *without* SACK gap inference. Used when the network may
+    /// reorder packets across priority queues (the §3.2 ambiguity), where a
+    /// gap does not imply a loss; recovery then falls back to timeouts.
+    pub fn on_ack_no_infer(&mut self, start: u64, end: u64) {
+        self.acked.insert(start, end);
+    }
+
+    /// Handle the probe ACK: every unacked unscheduled byte is now known
+    /// lost (§3.3 tail-loss detection).
+    pub fn on_probe_ack(&mut self) {
+        if self.probe_acked {
+            return;
+        }
+        self.probe_acked = true;
+        self.declare_lost_within(0, self.burst_sent_end);
+    }
+
+    fn declare_lost_within(&mut self, lo: u64, hi: u64) {
+        let mut cursor = lo;
+        while let Some((s, e)) = self.acked.first_uncovered_in(cursor, hi) {
+            // Skip parts already declared.
+            let mut c = s;
+            while c < e {
+                match self.lost_declared.first_uncovered_in(c, e) {
+                    Some((ls, le)) => {
+                        self.lost_declared.insert(ls, le);
+                        self.lost_pending.push_back((ls, le, false));
+                        c = le;
+                    }
+                    None => break,
+                }
+            }
+            cursor = e;
+        }
+    }
+
+    /// The next chunk to send with a credit/grant/pull, following the
+    /// paper's priority: lost unscheduled > unsent > unacked unscheduled.
+    pub fn next_scheduled_chunk(&mut self, mtu: u32) -> Option<Chunk> {
+        // 1. Loss-detected unscheduled bytes. Skip anything acked meanwhile.
+        // When scheduled delivery is guaranteed (`last_resort_enabled`, the
+        // Aeolus regime), also skip anything already retransmitted as a
+        // scheduled packet — that copy will arrive, so sending it again only
+        // burns credits/grants. Signal-driven protocols (NDP NACKs) keep
+        // re-sending on every explicit loss signal instead.
+        while let Some((s, e, force)) = self.lost_pending.pop_front() {
+            let mut cursor = s;
+            let mut found: Option<(u64, u64)> = None;
+            while cursor < e {
+                match self.acked.first_uncovered_in(cursor, e) {
+                    Some((us, ue)) => {
+                        if force || !self.last_resort_enabled {
+                            found = Some((us, ue));
+                            break;
+                        }
+                        match self.resent_last_resort.first_uncovered_in(us, ue) {
+                            Some((rs, re)) => {
+                                found = Some((rs, re));
+                                break;
+                            }
+                            None => cursor = ue,
+                        }
+                    }
+                    None => break,
+                }
+            }
+            if let Some((us, ue)) = found {
+                let len = (mtu as u64).min(ue - us) as u32;
+                let rest = us + len as u64;
+                if rest < e {
+                    self.lost_pending.push_front((rest, e, force));
+                }
+                if self.last_resort_enabled {
+                    // Record the guaranteed copy so it is never re-sent
+                    // without an explicit resend request.
+                    self.resent_last_resort.insert(us, us + len as u64);
+                }
+                return Some(Chunk { seq: us, len, retransmit: true });
+            }
+            // Entire range acked or already retransmitted: drop it.
+        }
+        // 2. Unsent scheduled bytes.
+        if self.next_unsent < self.size {
+            let seq = self.next_unsent;
+            let len = (mtu as u64).min(self.size - seq) as u32;
+            self.next_unsent += len as u64;
+            return Some(Chunk { seq, len, retransmit: false });
+        }
+        // 3. Sent-but-unacknowledged unscheduled bytes (last resort; each
+        // range retransmitted at most once this way, and ranges already
+        // declared lost are category 1's business).
+        if !self.last_resort_enabled {
+            return None;
+        }
+        let mut cursor = 0;
+        while let Some((s, e)) = self.acked.first_uncovered_in(cursor, self.burst_sent_end) {
+            let mut sub = s;
+            while sub < e {
+                match self.lost_declared.first_uncovered_in(sub, e) {
+                    Some((ds, de)) => match self.resent_last_resort.first_uncovered_in(ds, de) {
+                        Some((us, ue)) => {
+                            let len = (mtu as u64).min(ue - us) as u32;
+                            self.resent_last_resort.insert(us, us + len as u64);
+                            return Some(Chunk { seq: us, len, retransmit: true });
+                        }
+                        None => sub = de,
+                    },
+                    None => break,
+                }
+            }
+            cursor = e;
+        }
+        None
+    }
+
+    /// Whether every byte of the flow has been acknowledged.
+    pub fn fully_acked(&self) -> bool {
+        self.acked.covered() >= self.size
+    }
+
+    /// Bytes acknowledged so far.
+    pub fn acked_bytes(&self) -> u64 {
+        self.acked.covered()
+    }
+
+    /// Whether the sender still has anything to offer (new, lost, or
+    /// last-resort bytes).
+    pub fn has_work(&self) -> bool {
+        if !self.lost_pending.is_empty() || self.next_unsent < self.size {
+            return true;
+        }
+        if !self.last_resort_enabled {
+            return false;
+        }
+        let mut cursor = 0;
+        while let Some((s, e)) = self.acked.first_uncovered_in(cursor, self.burst_sent_end) {
+            let mut sub = s;
+            while sub < e {
+                match self.lost_declared.first_uncovered_in(sub, e) {
+                    Some((ds, de)) => {
+                        if self.resent_last_resort.first_uncovered_in(ds, de).is_some() {
+                            return true;
+                        }
+                        sub = de;
+                    }
+                    None => break,
+                }
+            }
+            cursor = e;
+        }
+        false
+    }
+
+    /// Unacked ranges within everything sent so far — used by the RTO-based
+    /// recovery strawman (§5.5) instead of probe detection.
+    pub fn unacked_ranges(&self) -> Vec<(u64, u64)> {
+        let sent_end = self.next_unsent.max(self.burst_sent_end);
+        self.acked.gaps(sent_end)
+    }
+
+    /// Queue a range for retransmission regardless of earlier declarations.
+    /// For *edge-triggered* loss signals (NDP NACKs) where each signal
+    /// corresponds to one concrete loss event — a range whose retransmission
+    /// is lost again gets NACKed again and must be requeued, which the
+    /// level-triggered [`PreCreditSender::force_mark_lost`] dedupe would
+    /// suppress. Already-acked portions are still filtered at pop time.
+    pub fn requeue_lost(&mut self, start: u64, end: u64) {
+        // Only bytes actually sent can be lost; clamping keeps a spurious
+        // resend request from duplicating bytes category 2 will still send.
+        let end = end.min(self.next_unsent.max(self.burst_sent_end));
+        if start >= end {
+            return;
+        }
+        self.lost_declared.insert(start, end);
+        // Force: the receiver explicitly says these bytes are missing, so
+        // any earlier "guaranteed" scheduled copy evidently died.
+        self.lost_pending.push_back((start, end, true));
+    }
+
+    /// Force ranges into the lost queue (RTO-based recovery path).
+    pub fn force_mark_lost(&mut self, ranges: &[(u64, u64)]) {
+        for &(s, e) in ranges {
+            let mut c = s;
+            while c < e {
+                match self.lost_declared.first_uncovered_in(c, e) {
+                    Some((ls, le)) => {
+                        self.lost_declared.insert(ls, le);
+                        self.lost_pending.push_back((ls, le, true));
+                        c = le;
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MTU: u32 = 1000;
+
+    /// Drain the whole burst, returning chunk seqs.
+    fn burst_all(s: &mut PreCreditSender) -> Vec<(u64, u32)> {
+        std::iter::from_fn(|| s.next_burst_chunk(MTU)).map(|c| (c.seq, c.len)).collect()
+    }
+
+    #[test]
+    fn small_flow_fits_entirely_in_burst() {
+        let mut s = PreCreditSender::new(2500, 10_000);
+        assert_eq!(burst_all(&mut s), vec![(0, 1000), (1000, 1000), (2000, 500)]);
+        assert_eq!(s.end_burst(), Some(2500));
+        // Once everything is ACKed there is nothing left to offer.
+        s.on_ack(0, 2500);
+        assert_eq!(s.next_scheduled_chunk(MTU), None, "nothing lost, nothing unsent");
+        assert!(s.fully_acked());
+        assert!(!s.has_work());
+    }
+
+    #[test]
+    fn burst_respects_budget() {
+        let mut s = PreCreditSender::new(100_000, 3_000);
+        assert_eq!(burst_all(&mut s).len(), 3);
+        assert_eq!(s.end_burst(), Some(3000));
+        // Unsent bytes start right after the budget.
+        let c = s.next_scheduled_chunk(MTU).unwrap();
+        assert_eq!((c.seq, c.retransmit), (3000, false));
+    }
+
+    #[test]
+    fn credit_arrival_mid_burst_truncates_unscheduled_region() {
+        let mut s = PreCreditSender::new(100_000, 10_000);
+        s.next_burst_chunk(MTU);
+        s.next_burst_chunk(MTU);
+        // Credit arrives: stop bursting at 2000.
+        assert_eq!(s.end_burst(), Some(2000));
+        assert_eq!(s.next_burst_chunk(MTU), None);
+        let c = s.next_scheduled_chunk(MTU).unwrap();
+        assert_eq!(c.seq, 2000);
+        assert!(!c.retransmit);
+    }
+
+    #[test]
+    fn zero_budget_never_bursts_nor_probes() {
+        let mut s = PreCreditSender::new(5000, 0);
+        assert_eq!(s.next_burst_chunk(MTU), None);
+        assert_eq!(s.end_burst(), None);
+        assert!(s.burst_ended());
+        let c = s.next_scheduled_chunk(MTU).unwrap();
+        assert_eq!(c.seq, 0);
+    }
+
+    #[test]
+    fn probe_ack_declares_tail_losses() {
+        let mut s = PreCreditSender::new(3000, 3000);
+        burst_all(&mut s);
+        s.end_burst();
+        // Only the first packet was ACKed; probe ack reveals the rest lost.
+        s.on_ack(0, 1000);
+        s.on_probe_ack();
+        let c1 = s.next_scheduled_chunk(MTU).unwrap();
+        assert_eq!((c1.seq, c1.len, c1.retransmit), (1000, 1000, true));
+        let c2 = s.next_scheduled_chunk(MTU).unwrap();
+        assert_eq!((c2.seq, c2.len, c2.retransmit), (2000, 1000, true));
+        assert_eq!(s.next_scheduled_chunk(MTU), None);
+    }
+
+    #[test]
+    fn selective_ack_detects_middle_loss_without_probe() {
+        let mut s = PreCreditSender::new(3000, 3000);
+        burst_all(&mut s);
+        s.end_burst();
+        // ACK for the third packet implies the first two are lost (FIFO).
+        s.on_ack(2000, 3000);
+        let c = s.next_scheduled_chunk(MTU).unwrap();
+        assert_eq!((c.seq, c.retransmit), (0, true));
+        let c = s.next_scheduled_chunk(MTU).unwrap();
+        assert_eq!((c.seq, c.retransmit), (1000, true));
+    }
+
+    #[test]
+    fn retransmission_priority_order() {
+        // 2 KB burst (first packet lost), 2 KB unsent.
+        let mut s = PreCreditSender::new(4000, 2000);
+        burst_all(&mut s);
+        s.end_burst();
+        s.on_ack(1000, 2000); // implies [0,1000) lost
+        // 1. loss-detected unscheduled.
+        let c = s.next_scheduled_chunk(MTU).unwrap();
+        assert_eq!((c.seq, c.retransmit), (0, true));
+        // 2. unsent scheduled.
+        let c = s.next_scheduled_chunk(MTU).unwrap();
+        assert_eq!((c.seq, c.retransmit), (2000, false));
+        let c = s.next_scheduled_chunk(MTU).unwrap();
+        assert_eq!((c.seq, c.retransmit), (3000, false));
+        assert_eq!(s.next_scheduled_chunk(MTU), None, "nothing unacked undeclared");
+    }
+
+    #[test]
+    fn last_resort_retransmits_unacked_burst_once() {
+        let mut s = PreCreditSender::new(2000, 2000);
+        burst_all(&mut s);
+        s.end_burst();
+        // No ACKs, no probe ACK. Categories 1 and 2 are empty; category 3
+        // re-sends the whole burst exactly once.
+        let c = s.next_scheduled_chunk(MTU).unwrap();
+        assert_eq!((c.seq, c.retransmit), (0, true));
+        let c = s.next_scheduled_chunk(MTU).unwrap();
+        assert_eq!((c.seq, c.retransmit), (1000, true));
+        assert_eq!(s.next_scheduled_chunk(MTU), None);
+        assert!(!s.has_work());
+    }
+
+    #[test]
+    fn acked_lost_ranges_are_skipped_at_pop() {
+        let mut s = PreCreditSender::new(2000, 2000);
+        burst_all(&mut s);
+        s.end_burst();
+        s.on_probe_ack(); // both packets declared lost
+        s.on_ack(0, 1000); // late ACK beats retransmission
+        let c = s.next_scheduled_chunk(MTU).unwrap();
+        assert_eq!(c.seq, 1000, "the acked range must be skipped");
+    }
+
+    #[test]
+    fn fully_acked_tracks_completion() {
+        let mut s = PreCreditSender::new(2000, 2000);
+        burst_all(&mut s);
+        s.end_burst();
+        s.on_ack(0, 1000);
+        assert!(!s.fully_acked());
+        s.on_ack(1000, 2000);
+        assert!(s.fully_acked());
+        assert_eq!(s.acked_bytes(), 2000);
+    }
+
+    #[test]
+    fn rto_path_uses_forced_marks() {
+        let mut s = PreCreditSender::new(3000, 3000);
+        burst_all(&mut s);
+        s.end_burst();
+        s.on_ack(0, 1000);
+        let unacked = s.unacked_ranges();
+        assert_eq!(unacked, vec![(1000, 3000)]);
+        s.force_mark_lost(&unacked);
+        let c = s.next_scheduled_chunk(MTU).unwrap();
+        assert_eq!((c.seq, c.retransmit), (1000, true));
+        // Double-marking must not duplicate.
+        s.force_mark_lost(&[(1000, 3000)]);
+        let c = s.next_scheduled_chunk(MTU).unwrap();
+        assert_eq!(c.seq, 2000);
+        assert_eq!(s.next_scheduled_chunk(MTU), None);
+    }
+
+    #[test]
+    fn guaranteed_copies_are_not_resent_without_a_force() {
+        let mut s = PreCreditSender::new(2000, 2000);
+        burst_all(&mut s);
+        s.end_burst();
+        // Nothing acked: category 3 resends both packets once (guaranteed
+        // scheduled copies).
+        assert_eq!(s.next_scheduled_chunk(MTU).unwrap().seq, 0);
+        assert_eq!(s.next_scheduled_chunk(MTU).unwrap().seq, 1000);
+        // A later probe ACK declares them lost — but the guaranteed copies
+        // are already in flight, so category 1 must NOT re-send.
+        s.on_probe_ack();
+        assert_eq!(s.next_scheduled_chunk(MTU), None);
+        // An explicit receiver resend request overrides the guarantee.
+        s.requeue_lost(0, 1000);
+        let c = s.next_scheduled_chunk(MTU).unwrap();
+        assert_eq!((c.seq, c.retransmit), (0, true));
+        assert_eq!(s.next_scheduled_chunk(MTU), None);
+    }
+
+    #[test]
+    fn requeue_can_repeat_after_each_request() {
+        // NDP-style: last resort disabled; every explicit signal re-sends.
+        let mut s = PreCreditSender::new(1000, 1000);
+        s.disable_last_resort();
+        burst_all(&mut s);
+        s.end_burst();
+        for _ in 0..3 {
+            s.requeue_lost(0, 1000);
+            let c = s.next_scheduled_chunk(MTU).unwrap();
+            assert_eq!((c.seq, c.len), (0, 1000));
+        }
+        assert_eq!(s.next_scheduled_chunk(MTU), None);
+    }
+
+    #[test]
+    fn duplicate_acks_are_idempotent() {
+        let mut s = PreCreditSender::new(2000, 2000);
+        burst_all(&mut s);
+        s.end_burst();
+        s.on_ack(0, 1000);
+        s.on_ack(0, 1000);
+        s.on_probe_ack();
+        s.on_probe_ack();
+        let c = s.next_scheduled_chunk(MTU).unwrap();
+        assert_eq!(c.seq, 1000);
+        assert_eq!(s.next_scheduled_chunk(MTU), None);
+    }
+}

@@ -1,0 +1,136 @@
+//! Ablation studies of Aeolus' design choices (beyond the paper's own
+//! parameter sweeps): what each mechanism contributes.
+//!
+//! * **threshold** — end-to-end effect of the selective-dropping threshold
+//!   on small-flow FCT and transfer efficiency (Figs 15/16 show the
+//!   queue-level effect; this shows the protocol-level one).
+//! * **recovery** — loss-detection ablation: full Aeolus (SACK + probe) vs
+//!   probe-only vs the RTO strawmen.
+//! * **burst** — the pre-credit burst budget as a fraction of the BDP
+//!   (0 = plain ExpressPass … 2 = over-bursting).
+
+use aeolus_core::AeolusConfig;
+use aeolus_sim::units::{ms, us};
+use aeolus_sim::{FlowDesc, FlowId};
+use aeolus_stats::{f2, f3, TextTable};
+use aeolus_transport::{Harness, Scheme, SchemeParams};
+use aeolus_workloads::Workload;
+
+use crate::compare::SMALL_FLOW_MAX;
+use crate::report::Report;
+use crate::runner::{run_flows, run_workload, RunConfig};
+use crate::scale::Scale;
+use crate::topos::testbed;
+
+/// Ablation 1: selective-dropping threshold, protocol-level effect.
+pub fn threshold(scale: Scale) -> Report {
+    let mut table =
+        TextTable::new(vec!["threshold", "small-flow mean FCT (us)", "p99 (us)", "efficiency"]);
+    for k in [1_500u64, 3_000, 6_000, 12_000, 48_000] {
+        let mut cfg =
+            RunConfig::new(Scheme::ExpressPassAeolus, testbed(), Workload::WebServer);
+        cfg.params.aeolus = AeolusConfig { drop_threshold: k, ..AeolusConfig::default() };
+        cfg.load = 0.6;
+        cfg.n_flows = scale.flows(40, 400, 2000);
+        cfg.seed = 77;
+        let out = run_workload(&cfg);
+        let small = out.agg.band(0, SMALL_FLOW_MAX);
+        let mut fct = small.fct_us();
+        table.row(vec![
+            format!("{}KB", k as f64 / 1000.0),
+            f2(fct.mean()),
+            f2(fct.percentile(99.0)),
+            f3(out.efficiency),
+        ]);
+    }
+    let mut r = Report::new();
+    r.section("Ablation: selective-dropping threshold (EP+Aeolus, WebServer @0.6)", table);
+    r.note("expected: flat FCT across small thresholds (recovery is cheap), efficiency dips as the threshold grows past the point where drops are replaced by queueing");
+    r
+}
+
+/// Ablation 2: loss-detection mechanisms under a loss-heavy incast.
+pub fn recovery(scale: Scale) -> Report {
+    let senders = scale.count(4, 7, 7);
+    let msg = 60_000u64;
+    let mut table = TextTable::new(vec!["recovery", "mean FCT (us)", "max FCT (us)", "efficiency"]);
+    let arms: Vec<(&str, Scheme, bool)> = vec![
+        ("SACK + probe (Aeolus)", Scheme::ExpressPassAeolus, false),
+        ("probe only", Scheme::ExpressPassAeolus, true),
+        ("RTO 10ms (prio queue)", Scheme::ExpressPassPrioQueue { rto: ms(10) }, false),
+        ("RTO 20us (prio queue)", Scheme::ExpressPassPrioQueue { rto: us(20) }, false),
+    ];
+    for (name, scheme, disable_sack) in arms {
+        let mut params = SchemeParams::new(0);
+        params.disable_sack = disable_sack;
+        params.port_buffer = 60_000; // force the loss regime
+        let mut h = Harness::new(scheme, params, testbed());
+        let hosts = h.hosts().to_vec();
+        let flows: Vec<FlowDesc> = (0..senders)
+            .map(|i| FlowDesc {
+                id: FlowId(i as u64 + 1),
+                src: hosts[i + 1],
+                dst: hosts[0],
+                size: msg,
+                start: 0,
+            })
+            .collect();
+        let out = run_flows(&mut h, &flows, ms(500));
+        let mut fct = out.agg.fct_us();
+        table.row(vec![
+            name.to_string(),
+            f2(fct.mean()),
+            f2(fct.max()),
+            f3(out.efficiency),
+        ]);
+    }
+    let mut r = Report::new();
+    r.section(format!("Ablation: loss recovery under a {senders}:1 loss-heavy incast"), table);
+    r.note("expected: SACK+probe ≈ probe-only (probe covers tails; SACK merely accelerates middles), both far ahead of the RTO strawmen");
+    r
+}
+
+/// Ablation 3: pre-credit burst budget as a fraction of the BDP.
+pub fn burst(scale: Scale) -> Report {
+    let mut table = TextTable::new(vec![
+        "burst budget",
+        "small-flow mean FCT (us)",
+        "p99 (us)",
+        "efficiency",
+    ]);
+    for frac in [0.0f64, 0.25, 0.5, 1.0, 2.0] {
+        let scheme =
+            if frac == 0.0 { Scheme::ExpressPass } else { Scheme::ExpressPassAeolus };
+        let mut cfg = RunConfig::new(scheme, testbed(), Workload::WebServer);
+        cfg.params.aeolus =
+            AeolusConfig { burst_budget_frac: frac.max(0.01), ..AeolusConfig::default() };
+        cfg.load = 0.4;
+        cfg.n_flows = scale.flows(40, 400, 2000);
+        cfg.seed = 78;
+        let out = run_workload(&cfg);
+        let small = out.agg.band(0, SMALL_FLOW_MAX);
+        let mut fct = small.fct_us();
+        table.row(vec![
+            if frac == 0.0 { "0 (plain EP)".to_string() } else { format!("{frac:.2} x BDP") },
+            f2(fct.mean()),
+            f2(fct.percentile(99.0)),
+            f3(out.efficiency),
+        ]);
+    }
+    let mut r = Report::new();
+    r.section("Ablation: pre-credit burst budget (EP/EP+Aeolus, WebServer @0.4)", table);
+    r.note("expected: FCT improves steeply up to ~1 BDP then flattens; over-bursting only adds drops");
+    r
+}
+
+/// All three ablations in one report.
+pub fn run(scale: Scale) -> Report {
+    let mut r = threshold(scale);
+    let r2 = recovery(scale);
+    let r3 = burst(scale);
+    r.sections.extend(r2.sections);
+    r.notes.extend(r2.notes);
+    r.sections.extend(r3.sections);
+    r.notes.extend(r3.notes);
+    r
+}

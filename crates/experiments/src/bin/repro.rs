@@ -1,0 +1,77 @@
+//! `repro` — regenerate any table or figure of the Aeolus paper.
+//!
+//! ```text
+//! repro <experiment>... [--scale smoke|quick|full] [--csv DIR]
+//! repro all [--scale ...]
+//! repro --list
+//! ```
+
+use std::time::Instant;
+
+use aeolus_experiments::{registry, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--csv" => {
+                let v = iter.next().map(String::as_str).unwrap_or("results");
+                csv_dir = Some(std::path::PathBuf::from(v));
+            }
+            "--scale" => {
+                let v = iter.next().map(String::as_str).unwrap_or("");
+                scale = Scale::parse(v).unwrap_or_else(|| {
+                    eprintln!("unknown scale '{v}' (use smoke|quick|full)");
+                    std::process::exit(2);
+                });
+            }
+            "--list" => {
+                for (name, _) in registry() {
+                    println!("{name}");
+                }
+                return;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        eprintln!(
+            "usage: repro <experiment>... [--scale smoke|quick|full] [--csv DIR] | repro all | repro --list"
+        );
+        std::process::exit(2);
+    }
+    let reg = registry();
+    let run_all = wanted.iter().any(|w| w == "all");
+    let selected: Vec<_> = if run_all {
+        reg.iter().collect()
+    } else {
+        let mut sel = Vec::new();
+        for w in &wanted {
+            match reg.iter().find(|(n, _)| n == w) {
+                Some(entry) => sel.push(entry),
+                None => {
+                    eprintln!("unknown experiment '{w}' — try --list");
+                    std::process::exit(2);
+                }
+            }
+        }
+        sel
+    };
+    for (name, f) in selected {
+        let t0 = Instant::now();
+        println!("######## {name} (scale {scale:?}) ########");
+        let report = f(scale);
+        print!("{}", report.render());
+        if let Some(dir) = &csv_dir {
+            match report.write_csv(dir, name) {
+                Ok(paths) => println!("[wrote {} csv file(s) under {}]", paths.len(), dir.display()),
+                Err(e) => eprintln!("[csv write failed: {e}]"),
+            }
+        }
+        println!("[{name} took {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,71 @@
+//! Scheme-comparison helper used by the FCT-CDF figures (3, 4, 9, 12, 14):
+//! run the same workload under several schemes and tabulate the small-flow
+//! (0–100 KB) FCT distribution per workload.
+
+use aeolus_stats::{plot_cdfs, Cdf, TextTable};
+use aeolus_transport::{Scheme, TopoSpec};
+use aeolus_workloads::Workload;
+
+use crate::report::{fct_header, fct_row, Report};
+use crate::runner::{run_workload, RunConfig};
+use crate::scale::Scale;
+
+/// Bytes bounding the paper's "small flow" band.
+pub const SMALL_FLOW_MAX: u64 = 100_000;
+
+/// Configuration of one comparison figure.
+pub struct Comparison<'a> {
+    /// Title prefix ("Figure 9" …).
+    pub title: &'a str,
+    /// Schemes to compare, with display names.
+    pub schemes: &'a [Scheme],
+    /// Topology (same for all runs).
+    pub spec: TopoSpec,
+    /// Workloads (one table section each).
+    pub workloads: &'a [Workload],
+    /// Offered load as a fraction of *host* capacity.
+    pub host_load: f64,
+    /// Flow count per run at each scale: (smoke, quick, full).
+    pub flows: (usize, usize, usize),
+    /// Workload seed.
+    pub seed: u64,
+}
+
+/// Run the comparison and build the report.
+pub fn small_flow_comparison(c: &Comparison<'_>, scale: Scale) -> Report {
+    let mut report = Report::new();
+    let n_flows = scale.flows(c.flows.0, c.flows.1, c.flows.2);
+    for &w in c.workloads {
+        let mut table = TextTable::new(fct_header());
+        let mut cdfs: Vec<(String, Cdf)> = Vec::new();
+        for &scheme in c.schemes {
+            let mut cfg = RunConfig::new(scheme, c.spec, w);
+            cfg.load = c.host_load;
+            cfg.n_flows = n_flows;
+            cfg.seed = c.seed;
+            let out = run_workload(&cfg);
+            let small = out.agg.band(0, SMALL_FLOW_MAX);
+            let mut row = fct_row(&scheme.name(), &small);
+            row[0] = format!(
+                "{} [done {}/{}]",
+                scheme.name(),
+                out.completed,
+                out.scheduled
+            );
+            table.row(row);
+            if !small.is_empty() {
+                cdfs.push((scheme.name(), Cdf::from_samples(&mut small.fct_us())));
+            }
+        }
+        report.section(format!("{}: {} (0-100KB flows)", c.title, w.name()), table);
+        let series: Vec<(String, &Cdf)> =
+            cdfs.iter().map(|(n, c)| (n.clone(), c)).collect();
+        if !series.is_empty() {
+            report.chart(
+                format!("{}: {} small-flow FCT CDF (us)", c.title, w.name()),
+                plot_cdfs(&series, 72, 16),
+            );
+        }
+    }
+    report
+}

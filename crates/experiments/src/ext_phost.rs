@@ -1,0 +1,33 @@
+//! Extension — pHost vs pHost+Aeolus (beyond the paper's three baselines).
+//!
+//! pHost shares Homa's design choice the paper critiques in §2.4: a blind
+//! first-RTT burst at a priority *above* scheduled packets. This experiment
+//! repeats the Figure 12 methodology for pHost to show the building block
+//! generalizes to a fourth proactive transport.
+
+use aeolus_sim::units::ms;
+
+use crate::compare::{small_flow_comparison, Comparison};
+use crate::report::Report;
+use crate::scale::Scale;
+use crate::topos::homa_two_tier;
+use aeolus_transport::Scheme;
+use aeolus_workloads::Workload;
+
+/// Run the pHost extension comparison.
+pub fn run(scale: Scale) -> Report {
+    let mut r = small_flow_comparison(
+        &Comparison {
+            title: "Extension: pHost",
+            schemes: &[Scheme::PHost { rto: ms(10) }, Scheme::PHostAeolus],
+            spec: homa_two_tier(scale),
+            workloads: &[Workload::WebServer, Workload::CacheFollower],
+            host_load: 0.5,
+            flows: (50, 600, 3000),
+            seed: 4242,
+        },
+        scale,
+    );
+    r.note("expected: the same shape as Figure 12 — Aeolus removes the RTO-bound tail of the blind-burst design");
+    r
+}

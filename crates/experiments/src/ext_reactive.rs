@@ -1,0 +1,54 @@
+//! Extension — reactive vs proactive (the introduction's argument,
+//! quantified): DCTCP needs multiple RTTs to find the right rate, so small
+//! flows pay slow-start tax; proactive transports with Aeolus finish them in
+//! roughly one RTT.
+
+use aeolus_sim::units::ms;
+use aeolus_stats::{f2, TextTable};
+use aeolus_transport::Scheme;
+use aeolus_workloads::Workload;
+
+use crate::compare::SMALL_FLOW_MAX;
+use crate::report::Report;
+use crate::runner::{run_workload, RunConfig};
+use crate::scale::Scale;
+use crate::topos::testbed;
+
+/// Run the reactive-vs-proactive comparison on the testbed topology.
+pub fn run(scale: Scale) -> Report {
+    let schemes = [
+        Scheme::Dctcp { rto: ms(10) },
+        Scheme::ExpressPass,
+        Scheme::ExpressPassAeolus,
+        Scheme::HomaAeolus,
+    ];
+    let mut r = Report::new();
+    for w in [Workload::WebServer, Workload::WebSearch] {
+        let mut table = TextTable::new(vec![
+            "scheme",
+            "small mean (us)",
+            "small p99 (us)",
+            "all mean (us)",
+            "completed",
+        ]);
+        for scheme in schemes {
+            let mut cfg = RunConfig::new(scheme, testbed(), w);
+            cfg.load = 0.5;
+            cfg.n_flows = scale.flows(40, 400, 2000);
+            cfg.seed = 99;
+            let out = run_workload(&cfg);
+            let small = out.agg.band(0, SMALL_FLOW_MAX);
+            let mut sf = small.fct_us();
+            table.row(vec![
+                scheme.name(),
+                f2(sf.mean()),
+                f2(sf.percentile(99.0)),
+                f2(out.agg.fct_us().mean()),
+                format!("{}/{}", out.completed, out.scheduled),
+            ]);
+        }
+        r.section(format!("Extension: reactive vs proactive — {}", w.name()), table);
+    }
+    r.note("expected: DCTCP's small-flow FCT carries slow-start tax; EP+Aeolus approaches one-RTT completion");
+    r
+}

@@ -1,0 +1,42 @@
+//! Figure 1 — the gap between existing proactive baselines and the ideal
+//! pre-credit handling: (a) ExpressPass waits for credits, (b) Homa bursts
+//! blindly; both lose badly against the oracle pre-credit scheme.
+
+use aeolus_sim::units::ms;
+use crate::compare::{small_flow_comparison, Comparison};
+use crate::report::Report;
+use crate::scale::Scale;
+use crate::topos::{ep_fat_tree, homa_two_tier, FAT_TREE_OVERSUB};
+use aeolus_transport::Scheme;
+use aeolus_workloads::Workload;
+
+/// Run both halves of Figure 1.
+pub fn run(scale: Scale) -> Report {
+    let mut r = small_flow_comparison(
+        &Comparison {
+            title: "Figure 1(a): waiting for credits vs ideal",
+            schemes: &[Scheme::ExpressPass, Scheme::ExpressPassOracle],
+            spec: ep_fat_tree(scale),
+            workloads: &[Workload::CacheFollower],
+            host_load: 0.4 / FAT_TREE_OVERSUB,
+            flows: (60, 800, 4000),
+            seed: 101,
+        },
+        scale,
+    );
+    let r2 = small_flow_comparison(
+        &Comparison {
+            title: "Figure 1(b): blind burst vs ideal",
+            schemes: &[Scheme::Homa { rto: ms(10) }, Scheme::HomaOracle],
+            spec: homa_two_tier(scale),
+            workloads: &[Workload::CacheFollower],
+            host_load: 0.54,
+            flows: (60, 800, 4000),
+            seed: 102,
+        },
+        scale,
+    );
+    r.sections.extend(r2.sections);
+    r.note("(a): fat-tree at 40% core load; (b): two-tier at 54% load, 10ms RTO");
+    r
+}

@@ -1,0 +1,72 @@
+//! Figure 2 — the pre-credit phase matters: fraction of flows (a) and bytes
+//! (b) that could finish within the first RTT, versus link speed, for the
+//! four production workloads.
+//!
+//! This is the paper's analytic motivation: FCT is approximated as
+//! `size / link_speed` (a), and the byte fraction as `B/A` where `B` is the
+//! bytes one RTT carries and `A` the mean flow size (b). We reproduce the
+//! computation exactly from the Table 2 distributions.
+
+use aeolus_sim::units::{us, Rate};
+use aeolus_stats::{f3, TextTable};
+use aeolus_workloads::Workload;
+
+use crate::report::Report;
+use crate::scale::Scale;
+
+/// RTT assumed by the paper's motivation analysis.
+const BASE_RTT_US: u64 = 20;
+
+/// Link speeds swept (Gbps).
+const SPEEDS: [u64; 5] = [1, 10, 25, 40, 100];
+
+/// Run the analysis (scale-independent: it is closed-form).
+pub fn run(_scale: Scale) -> Report {
+    let mut flows = TextTable::new(
+        std::iter::once("workload".to_string())
+            .chain(SPEEDS.iter().map(|s| format!("{s}G")))
+            .collect::<Vec<_>>(),
+    );
+    let mut bytes = TextTable::new(
+        std::iter::once("workload".to_string())
+            .chain(SPEEDS.iter().map(|s| format!("{s}G")))
+            .collect::<Vec<_>>(),
+    );
+    for w in Workload::ALL {
+        let dist = w.dist();
+        let mut frow = vec![w.name().to_string()];
+        let mut brow = vec![w.name().to_string()];
+        for g in SPEEDS {
+            let rtt_bytes = Rate::gbps(g).bytes_in(us(BASE_RTT_US)) as f64;
+            frow.push(f3(dist.fraction_below(rtt_bytes)));
+            brow.push(f3((rtt_bytes / dist.mean()).min(1.0)));
+        }
+        flows.row(frow);
+        bytes.row(brow);
+    }
+    let mut r = Report::new();
+    r.section("Figure 2(a): fraction of FLOWS finishable in the first RTT", flows);
+    r.section("Figure 2(b): fraction of BYTES transferable in the first RTT", bytes);
+    r.note(format!("base RTT assumed {BASE_RTT_US} us, as in the paper's motivating analysis"));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_grow_with_link_speed() {
+        let r = run(Scale::Smoke);
+        assert_eq!(r.sections.len(), 2);
+        // Spot-check the paper's claim: at 100G, 60-90+% of flows finish in
+        // one RTT for every workload.
+        for w in Workload::ALL {
+            let d = w.dist();
+            let at_100g = d.fraction_below(Rate::gbps(100).bytes_in(us(BASE_RTT_US)) as f64);
+            let at_1g = d.fraction_below(Rate::gbps(1).bytes_in(us(BASE_RTT_US)) as f64);
+            assert!(at_100g > at_1g, "{}: must grow with speed", w.name());
+            assert!(at_100g > 0.55, "{}: {at_100g} at 100G", w.name());
+        }
+    }
+}

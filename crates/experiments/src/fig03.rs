@@ -1,0 +1,28 @@
+//! Figure 3 — FCT of 0–100 KB flows under original ExpressPass vs the
+//! hypothetical ExpressPass with an idealized pre-credit phase
+//! (Cache Follower & Web Server, 100 G fat-tree, 40% core load).
+
+use crate::compare::{small_flow_comparison, Comparison};
+use crate::report::Report;
+use crate::scale::Scale;
+use crate::topos::{ep_fat_tree, FAT_TREE_OVERSUB};
+use aeolus_transport::Scheme;
+use aeolus_workloads::Workload;
+
+/// Run Figure 3.
+pub fn run(scale: Scale) -> Report {
+    let mut r = small_flow_comparison(
+        &Comparison {
+            title: "Figure 3",
+            schemes: &[Scheme::ExpressPass, Scheme::ExpressPassOracle],
+            spec: ep_fat_tree(scale),
+            workloads: &[Workload::CacheFollower, Workload::WebServer],
+            host_load: 0.4 / FAT_TREE_OVERSUB,
+            flows: (60, 1000, 5000),
+            seed: 303,
+        },
+        scale,
+    );
+    r.note("paper: 57-80% of small flows pay one extra RTT under plain ExpressPass (~3x inflation from 0.5 to 1.5 RTT)");
+    r
+}

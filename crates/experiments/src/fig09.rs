@@ -1,0 +1,27 @@
+//! Figure 9 — ExpressPass vs ExpressPass+Aeolus FCT of 0–100 KB flows on the
+//! oversubscribed fat-tree at 40% core load, all four workloads.
+
+use crate::compare::{small_flow_comparison, Comparison};
+use crate::report::Report;
+use crate::scale::Scale;
+use crate::topos::{ep_fat_tree, FAT_TREE_OVERSUB};
+use aeolus_transport::Scheme;
+use aeolus_workloads::Workload;
+
+/// Run Figure 9.
+pub fn run(scale: Scale) -> Report {
+    let mut r = small_flow_comparison(
+        &Comparison {
+            title: "Figure 9",
+            schemes: &[Scheme::ExpressPass, Scheme::ExpressPassAeolus],
+            spec: ep_fat_tree(scale),
+            workloads: &Workload::ALL,
+            host_load: 0.4 / FAT_TREE_OVERSUB,
+            flows: (60, 1000, 5000),
+            seed: 909,
+        },
+        scale,
+    );
+    r.note("paper: with Aeolus ~60/80/28/70% of small flows complete within the first RTT across the four workloads");
+    r
+}

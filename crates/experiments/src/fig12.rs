@@ -1,0 +1,28 @@
+//! Figure 12 — Homa vs Homa+Aeolus FCT of 0–100 KB flows on the two-tier
+//! tree at 54% load (the maximum Homa sustains), all four workloads.
+
+use aeolus_sim::units::ms;
+use crate::compare::{small_flow_comparison, Comparison};
+use crate::report::Report;
+use crate::scale::Scale;
+use crate::topos::homa_two_tier;
+use aeolus_transport::Scheme;
+use aeolus_workloads::Workload;
+
+/// Run Figure 12.
+pub fn run(scale: Scale) -> Report {
+    let mut r = small_flow_comparison(
+        &Comparison {
+            title: "Figure 12",
+            schemes: &[Scheme::Homa { rto: ms(10) }, Scheme::HomaAeolus],
+            spec: homa_two_tier(scale),
+            workloads: &Workload::ALL,
+            host_load: 0.54,
+            flows: (60, 1000, 5000),
+            seed: 1212,
+        },
+        scale,
+    );
+    r.note("paper: Homa+Aeolus completes all small flows within 610us; Homa's p99 is ~150ms (RTO-bound)");
+    r
+}

@@ -1,0 +1,27 @@
+//! Figure 14 — NDP vs NDP+Aeolus FCT of 0–100 KB flows on the two-tier tree
+//! at 40% load: Aeolus matches NDP without switch modifications.
+
+use crate::compare::{small_flow_comparison, Comparison};
+use crate::report::Report;
+use crate::scale::Scale;
+use crate::topos::homa_two_tier;
+use aeolus_transport::Scheme;
+use aeolus_workloads::Workload;
+
+/// Run Figure 14.
+pub fn run(scale: Scale) -> Report {
+    let mut r = small_flow_comparison(
+        &Comparison {
+            title: "Figure 14",
+            schemes: &[Scheme::Ndp, Scheme::NdpAeolus],
+            spec: homa_two_tier(scale),
+            workloads: &Workload::ALL,
+            host_load: 0.4,
+            flows: (60, 1000, 5000),
+            seed: 1414,
+        },
+        scale,
+    );
+    r.note("paper: NDP+Aeolus achieves similar FCT as original NDP in all percentiles");
+    r
+}

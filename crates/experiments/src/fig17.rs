@@ -1,0 +1,80 @@
+//! Figure 17 — heavy incast stress: FCT slowdown (average and p99) versus
+//! incast fan-in N ∈ {32…256} on the 144-server spine-leaf with 400 G core,
+//! for all six schemes. All flows are 64 KB; Homa uses a 40 µs RTO.
+
+use aeolus_sim::units::{ms, us};
+use aeolus_stats::{f2, TextTable};
+use aeolus_sim::{FlowDesc, FlowId};
+use aeolus_transport::{Harness, Scheme, SchemeParams, TopoSpec};
+
+use crate::report::Report;
+use crate::runner::run_flows;
+use crate::scale::Scale;
+use crate::topos::heavy_spine_leaf;
+
+/// The six schemes of the stress test.
+pub fn schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::ExpressPass,
+        Scheme::ExpressPassAeolus,
+        Scheme::Homa { rto: us(40) },
+        Scheme::HomaAeolus,
+        Scheme::Ndp,
+        Scheme::NdpAeolus,
+    ]
+}
+
+/// Incast fan-ins swept.
+pub fn fan_ins(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Smoke => vec![8],
+        Scale::Quick => vec![32, 64, 128],
+        Scale::Full => vec![32, 64, 128, 256],
+    }
+}
+
+/// (avg slowdown, p99 slowdown) for one (scheme, N).
+pub fn incast_slowdown(scheme: Scheme, spec: TopoSpec, n: usize) -> (f64, f64) {
+    let mut params = SchemeParams::new(0);
+    params.port_buffer = 500_000;
+    let mut h = Harness::new(scheme, params, spec);
+    let hosts = h.hosts().to_vec();
+    // Receiver is host 0; senders chosen round-robin over the others (a
+    // host may source several flows when N exceeds the server count).
+    let flows: Vec<FlowDesc> = (0..n)
+        .map(|i| FlowDesc {
+            id: FlowId(i as u64 + 1),
+            src: hosts[1 + (i % (hosts.len() - 1))],
+            dst: hosts[0],
+            size: 64_000,
+            start: 0,
+        })
+        .collect();
+    let out = run_flows(&mut h, &flows, ms(2000));
+    let mut slow = out.agg.slowdowns();
+    (slow.mean(), slow.percentile(99.0))
+}
+
+/// Run Figure 17.
+pub fn run(scale: Scale) -> Report {
+    let ns = fan_ins(scale);
+    let mut header = vec!["scheme".to_string()];
+    for n in &ns {
+        header.push(format!("N={n} avg"));
+        header.push(format!("N={n} p99"));
+    }
+    let mut table = TextTable::new(header);
+    for scheme in schemes() {
+        let mut row = vec![scheme.name()];
+        for &n in &ns {
+            let (avg, p99) = incast_slowdown(scheme, heavy_spine_leaf(scale), n);
+            row.push(f2(avg));
+            row.push(f2(p99));
+        }
+        table.row(row);
+    }
+    let mut r = Report::new();
+    r.section("Figure 17: FCT slowdown under N-to-1 incast", table);
+    r.note("paper: EP+Aeolus ~ EP (first-RTT bytes negligible); Aeolus rescues Homa; NDP+Aeolus ~ NDP");
+    r
+}

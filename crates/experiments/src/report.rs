@@ -1,0 +1,154 @@
+//! Report assembly helpers shared by every experiment module.
+
+use aeolus_stats::{f2, f3, FctAggregator, TextTable};
+
+use crate::runner::RunOutput;
+
+/// One experiment's printable output: a list of titled tables.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// (title, table) pairs in presentation order.
+    pub sections: Vec<(String, TextTable)>,
+    /// Free-form notes printed after the tables (methodology caveats).
+    pub notes: Vec<String>,
+    /// (title, pre-rendered ASCII chart) pairs, printed after the tables.
+    pub charts: Vec<(String, String)>,
+}
+
+impl Report {
+    /// Empty report.
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Add a titled table.
+    pub fn section<S: Into<String>>(&mut self, title: S, table: TextTable) -> &mut Self {
+        self.sections.push((title.into(), table));
+        self
+    }
+
+    /// Add a note.
+    pub fn note<S: Into<String>>(&mut self, note: S) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Add a pre-rendered ASCII chart.
+    pub fn chart<S: Into<String>>(&mut self, title: S, rendered: String) -> &mut Self {
+        self.charts.push((title.into(), rendered));
+        self
+    }
+
+    /// Write each section as `<dir>/<prefix>_<n>.csv`; returns the paths.
+    pub fn write_csv(&self, dir: &std::path::Path, prefix: &str) -> std::io::Result<Vec<std::path::PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let mut out = Vec::new();
+        let slug_of = |title: &str| -> String {
+            let slug: String = title
+                .chars()
+                .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                .collect::<String>()
+                .split('_')
+                .filter(|s| !s.is_empty())
+                .collect::<Vec<_>>()
+                .join("_");
+            slug[..slug.len().min(48)].to_string()
+        };
+        for (i, (title, table)) in self.sections.iter().enumerate() {
+            let path = dir.join(format!("{prefix}_{i:02}_{}.csv", slug_of(title)));
+            std::fs::write(&path, table.to_csv())?;
+            out.push(path);
+        }
+        // Charts are saved as plain text alongside the CSVs.
+        for (i, (title, chart)) in self.charts.iter().enumerate() {
+            let path = dir.join(format!("{prefix}_chart_{i:02}_{}.txt", slug_of(title)));
+            std::fs::write(&path, chart)?;
+            out.push(path);
+        }
+        Ok(out)
+    }
+
+    /// Render the whole report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (title, table) in &self.sections {
+            out.push_str("== ");
+            out.push_str(title);
+            out.push_str(" ==\n");
+            out.push_str(&table.render());
+            out.push('\n');
+        }
+        for (title, chart) in &self.charts {
+            out.push_str("-- ");
+            out.push_str(title);
+            out.push_str(" --\n");
+            out.push_str(chart);
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str("note: ");
+            out.push_str(n);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Standard header for per-scheme FCT distribution rows.
+pub fn fct_header() -> Vec<&'static str> {
+    vec!["scheme", "flows", "mean(us)", "p50(us)", "p99(us)", "p99.9(us)", "max(us)"]
+}
+
+/// Standard FCT distribution row for one scheme.
+pub fn fct_row(name: &str, agg: &FctAggregator) -> Vec<String> {
+    let s = agg.summary();
+    vec![
+        name.to_string(),
+        s.count.to_string(),
+        f2(s.mean_us),
+        f2(s.p50_us),
+        f2(s.p99_us),
+        f2(s.p999_us),
+        f2(s.max_us),
+    ]
+}
+
+/// Row summarizing a whole run (FCT + efficiency + timeouts + completion).
+pub fn run_row(name: &str, out: &RunOutput) -> Vec<String> {
+    let s = out.agg.summary();
+    vec![
+        name.to_string(),
+        format!("{}/{}", out.completed, out.scheduled),
+        f2(s.mean_us),
+        f2(s.p99_us),
+        f3(out.efficiency),
+        out.flows_with_timeouts.to_string(),
+    ]
+}
+
+/// Header matching [`run_row`].
+pub fn run_header() -> Vec<&'static str> {
+    vec!["scheme", "completed", "mean(us)", "p99(us)", "efficiency", "flows w/ timeout"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeolus_stats::FctSample;
+
+    #[test]
+    fn report_renders_sections_and_notes() {
+        let mut agg = FctAggregator::new();
+        agg.push(FctSample { size: 100, fct_ps: 5_000_000, ideal_ps: 1_000_000 });
+        let mut t = TextTable::new(fct_header());
+        t.row(fct_row("Test", &agg));
+        let mut r = Report::new();
+        r.section("Figure X", t);
+        r.note("methodology note");
+        let s = r.render();
+        assert!(s.contains("== Figure X =="));
+        assert!(s.contains("Test"));
+        assert!(s.contains("5.00"));
+        assert!(s.contains("note: methodology note"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Generic experiment runner: scheme × topology × workload → FCT statistics.
+
+use aeolus_sim::units::{ms, Time, PS_PER_SEC};
+use aeolus_sim::FlowDesc;
+use aeolus_stats::{FctAggregator, FctSample};
+use aeolus_transport::{Harness, Scheme, SchemeParams, TopoSpec};
+use aeolus_workloads::{poisson_flows, PoissonConfig, Workload};
+
+/// One simulation run's configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Transport scheme.
+    pub scheme: Scheme,
+    /// Topology.
+    pub spec: TopoSpec,
+    /// Scheme parameters (`SchemeParams::new(0)` lets the harness derive the
+    /// base RTT from the topology).
+    pub params: SchemeParams,
+    /// Workload distribution.
+    pub workload: Workload,
+    /// Offered load as a fraction of aggregate *host* capacity.
+    pub load: f64,
+    /// Number of flows.
+    pub n_flows: usize,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Extra time after the last arrival to let stragglers drain.
+    pub drain: Time,
+}
+
+impl RunConfig {
+    /// Sensible defaults for the given scheme/topology/workload.
+    pub fn new(scheme: Scheme, spec: TopoSpec, workload: Workload) -> RunConfig {
+        RunConfig {
+            scheme,
+            spec,
+            params: SchemeParams::new(0),
+            workload,
+            load: 0.4,
+            n_flows: 2_000,
+            seed: 1,
+            drain: ms(400),
+        }
+    }
+}
+
+/// Outcome of one run.
+pub struct RunOutput {
+    /// FCT samples of completed flows (with per-size ideal FCTs).
+    pub agg: FctAggregator,
+    /// Transfer efficiency (delivered unique / sent payload).
+    pub efficiency: f64,
+    /// Flows that suffered ≥1 timeout.
+    pub flows_with_timeouts: usize,
+    /// Completed / scheduled flows.
+    pub completed: usize,
+    /// Scheduled flows.
+    pub scheduled: usize,
+    /// Normalized goodput: unique delivered bits over (hosts × rate × span).
+    pub goodput: f64,
+    /// Simulated span (first arrival → last event processed).
+    pub span: Time,
+}
+
+impl RunOutput {
+    /// Completion fraction (1.0 = every flow finished before the horizon).
+    pub fn completion(&self) -> f64 {
+        if self.scheduled == 0 {
+            1.0
+        } else {
+            self.completed as f64 / self.scheduled as f64
+        }
+    }
+}
+
+/// Homa computes its unscheduled-priority cutoffs from the observed message
+/// size distribution; derive them from the workload's quantiles (one cutoff
+/// per boundary between the `unsched_levels` priority bands).
+pub fn homa_cutoffs_for(workload: Workload) -> Vec<u64> {
+    let d = workload.dist();
+    vec![d.quantile(0.4), d.quantile(0.7), d.quantile(0.9)]
+}
+
+/// Run a Poisson-workload experiment.
+pub fn run_workload(cfg: &RunConfig) -> RunOutput {
+    let mut params = cfg.params.clone();
+    // Workload-derived Homa cutoffs unless the caller overrode them.
+    if params.homa_cutoffs == SchemeParams::new(0).homa_cutoffs {
+        params.homa_cutoffs = homa_cutoffs_for(cfg.workload);
+    }
+    let mut h = Harness::new(cfg.scheme, params, cfg.spec);
+    let hosts = h.hosts().to_vec();
+    let flows = poisson_flows(
+        &PoissonConfig {
+            load: cfg.load,
+            host_rate: h.topo.host_rate,
+            flows: cfg.n_flows,
+            seed: cfg.seed,
+            first_id: 1,
+            start: 0,
+        },
+        &hosts,
+        &cfg.workload.dist(),
+    );
+    run_flows(&mut h, &flows, cfg.drain)
+}
+
+/// Run an arbitrary flow list on a prepared harness.
+pub fn run_flows(h: &mut Harness, flows: &[FlowDesc], drain: Time) -> RunOutput {
+    h.schedule(flows);
+    let last_arrival = flows.iter().map(|f| f.start).max().unwrap_or(0);
+    let horizon = last_arrival + drain;
+    h.run(horizon);
+    collect(h)
+}
+
+/// Collect statistics from a finished harness.
+pub fn collect(h: &Harness) -> RunOutput {
+    let m = h.metrics();
+    let mut agg = FctAggregator::new();
+    for rec in m.flows() {
+        if let Some(fct) = rec.fct() {
+            agg.push(FctSample {
+                size: rec.desc.size,
+                fct_ps: fct,
+                ideal_ps: h.ideal_fct(rec.desc.size),
+            });
+        }
+    }
+    let span = h.topo.net.now().max(1);
+    let capacity_bits =
+        h.hosts().len() as f64 * h.topo.host_rate.bps() as f64 * span as f64 / PS_PER_SEC as f64;
+    RunOutput {
+        efficiency: m.transfer_efficiency(),
+        flows_with_timeouts: m.flows_with_timeouts(),
+        completed: m.completed_count(),
+        scheduled: m.flow_count(),
+        goodput: m.payload_delivered as f64 * 8.0 / capacity_bits,
+        span,
+        agg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topos::testbed;
+
+    #[test]
+    fn workload_run_produces_samples() {
+        let mut cfg = RunConfig::new(Scheme::ExpressPassAeolus, testbed(), Workload::WebServer);
+        cfg.n_flows = 40;
+        cfg.load = 0.3;
+        let out = run_workload(&cfg);
+        assert!(out.completion() > 0.9, "completion {}", out.completion());
+        assert!(out.agg.len() >= 36);
+        assert!(out.efficiency > 0.5);
+        assert!(out.goodput > 0.0 && out.goodput < 1.0);
+        // Slowdowns must be causal.
+        for s in out.agg.samples() {
+            assert!(s.slowdown() >= 0.99, "slowdown {} for size {}", s.slowdown(), s.size);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Run-scale knob.
+//!
+//! The paper's simulations run hundreds of thousands of flows on 64–192-host
+//! topologies. Every experiment here reproduces the *paper-shaped* topology
+//! at all scales; the knob controls how many flows are simulated (the cost
+//! driver), trading statistical smoothness for wall-clock time.
+
+/// How big to run an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny: seconds; used by unit tests and Criterion benches.
+    Smoke,
+    /// Default: a few minutes for the full suite; the qualitative shapes
+    /// (who wins, crossovers) are stable at this scale.
+    Quick,
+    /// Closest to the paper's flow counts; slow.
+    Full,
+}
+
+impl Scale {
+    /// Parse from a CLI string.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "smoke" => Some(Scale::Smoke),
+            "quick" => Some(Scale::Quick),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// Pick a flow count by scale.
+    pub fn flows(self, smoke: usize, quick: usize, full: usize) -> usize {
+        match self {
+            Scale::Smoke => smoke,
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+
+    /// Pick an arbitrary count (rounds, fan-in sweep points, …) by scale.
+    pub fn count(self, smoke: usize, quick: usize, full: usize) -> usize {
+        self.flows(smoke, quick, full)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn selection_by_scale() {
+        assert_eq!(Scale::Smoke.flows(1, 2, 3), 1);
+        assert_eq!(Scale::Quick.flows(1, 2, 3), 2);
+        assert_eq!(Scale::Full.flows(1, 2, 3), 3);
+    }
+}

@@ -1,0 +1,55 @@
+//! Table 2 — flow size distributions of the four production workloads:
+//! regenerates the paper's bucket fractions and mean flow sizes from our
+//! empirical CDFs (the unit tests in `aeolus-workloads` assert the match;
+//! this runner prints the comparison).
+
+use aeolus_stats::TextTable;
+use aeolus_workloads::Workload;
+
+use crate::report::Report;
+use crate::scale::Scale;
+
+/// Paper values: (≤100 KB %, 100 KB–1 MB %, >1 MB %, mean).
+fn paper_row(w: Workload) -> (f64, f64, f64, &'static str) {
+    match w {
+        Workload::WebServer => (81.0, 19.0, 0.0, "64KB"),
+        Workload::CacheFollower => (53.0, 18.0, 29.0, "701KB"),
+        Workload::WebSearch => (52.0, 18.0, 20.0, "1.6MB"),
+        Workload::DataMining => (83.0, 8.0, 9.0, "7.41MB"),
+    }
+}
+
+/// Run Table 2.
+pub fn run(_scale: Scale) -> Report {
+    let mut table = TextTable::new(vec![
+        "workload",
+        "0-100KB % (paper)",
+        "100KB-1MB % (paper)",
+        ">1MB % (paper)",
+        "mean (paper)",
+    ]);
+    for w in Workload::ALL {
+        let d = w.dist();
+        let b1 = d.fraction_below(100e3) * 100.0;
+        let b2 = (d.fraction_below(1e6) - d.fraction_below(100e3)) * 100.0;
+        let b3 = (1.0 - d.fraction_below(1e6)) * 100.0;
+        let (p1, p2, p3, pm) = paper_row(w);
+        let mean = d.mean();
+        let mean_str = if mean >= 1e6 {
+            format!("{:.2}MB", mean / 1e6)
+        } else {
+            format!("{:.0}KB", mean / 1e3)
+        };
+        table.row(vec![
+            w.name().to_string(),
+            format!("{b1:.1} ({p1:.0})"),
+            format!("{b2:.1} ({p2:.0})"),
+            format!("{b3:.1} ({p3:.0})"),
+            format!("{mean_str} ({pm})"),
+        ]);
+    }
+    let mut r = Report::new();
+    r.section("Table 2: flow size distributions (ours vs paper)", table);
+    r.note("Web Search's paper column sums to 90%; we match the published DCTCP curve instead (see aeolus-workloads docs)");
+    r
+}

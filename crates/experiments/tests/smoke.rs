@@ -1,0 +1,94 @@
+//! Smoke tests for the cheap experiment runners (the expensive ones are
+//! exercised by the `repro` binary and the Criterion benches).
+
+use aeolus_experiments::{ablation, fig02, fig05, fig08, fig11, fig15, fig16, tab05, Scale};
+
+#[test]
+fn fig02_analytic_tables() {
+    let r = fig02::run(Scale::Smoke);
+    assert_eq!(r.sections.len(), 2);
+    for (_, t) in &r.sections {
+        assert_eq!(t.len(), 4, "one row per workload");
+    }
+}
+
+#[test]
+fn fig05_cascade_reports_both_schemes() {
+    let r = fig05::run(Scale::Smoke);
+    assert_eq!(r.sections.len(), 1);
+    assert_eq!(r.sections[0].1.len(), 2);
+}
+
+#[test]
+fn fig08_and_fig11_incast_tables() {
+    let r8 = fig08::run(Scale::Smoke);
+    assert_eq!(r8.sections.len(), 2, "distribution + mean-vs-size");
+    let r11 = fig11::run(Scale::Smoke);
+    assert_eq!(r11.sections.len(), 2);
+}
+
+#[test]
+fn fig15_queue_grows_with_threshold() {
+    let r = fig15::run(Scale::Smoke);
+    let t = &r.sections[0].1;
+    assert_eq!(t.len(), 7, "one row per threshold");
+}
+
+#[test]
+fn fig16_utilization_table() {
+    let r = fig16::run(Scale::Smoke);
+    assert_eq!(r.sections.len(), 1);
+}
+
+#[test]
+fn tab05_has_both_rows() {
+    let r = tab05::run(Scale::Smoke);
+    assert_eq!(r.sections[0].1.len(), 2);
+}
+
+#[test]
+fn ablation_produces_three_studies() {
+    let r = ablation::run(Scale::Smoke);
+    assert_eq!(r.sections.len(), 3);
+}
+
+#[test]
+fn registry_names_are_unique_and_runnable() {
+    let reg = aeolus_experiments::registry();
+    let names: std::collections::HashSet<&str> = reg.iter().map(|(n, _)| *n).collect();
+    assert_eq!(names.len(), reg.len(), "duplicate experiment names");
+    assert!(names.contains("fig9"));
+    assert!(names.contains("table1"));
+    assert!(names.contains("ablation"));
+}
+
+#[test]
+fn csv_export_round_trips() {
+    let r = fig02::run(Scale::Smoke);
+    let dir = std::env::temp_dir().join("aeolus_csv_test");
+    let paths = r.write_csv(&dir, "fig2").unwrap();
+    assert_eq!(paths.len(), 2);
+    let content = std::fs::read_to_string(&paths[0]).unwrap();
+    assert!(content.starts_with("workload,"));
+    assert_eq!(content.lines().count(), 5);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tab02_matches_paper_distributions() {
+    use aeolus_experiments::tab02;
+    let r = tab02::run(Scale::Smoke);
+    let csv = r.sections[0].1.to_csv();
+    assert_eq!(csv.lines().count(), 5, "header + 4 workloads");
+    assert!(csv.contains("Web Server"));
+    assert!(csv.contains("7.41MB (7.41MB)"), "Data Mining mean must match: {csv}");
+}
+
+#[test]
+fn extension_experiments_run() {
+    use aeolus_experiments::{ext_fastpass, ext_reactive};
+    let r = ext_fastpass::run(Scale::Smoke);
+    assert_eq!(r.sections.len(), 4, "one table per message size");
+    let r = ext_reactive::run(Scale::Smoke);
+    assert_eq!(r.sections.len(), 2, "two workloads");
+}

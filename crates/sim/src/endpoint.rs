@@ -1,0 +1,84 @@
+//! Host endpoints: where transport protocols live.
+//!
+//! An [`Endpoint`] is installed on each host and receives flow arrivals,
+//! packets and timer callbacks. Handlers interact with the network only
+//! through the [`Ctx`] passed in — sends and timers are buffered as actions
+//! and applied by the engine after the handler returns, which keeps the
+//! borrow structure simple and the event order deterministic.
+
+use crate::metrics::Metrics;
+use crate::packet::{FlowDesc, NodeId, Packet};
+use crate::units::{Rate, Time};
+
+/// A transport endpoint installed on a host.
+pub trait Endpoint {
+    /// A new flow originates at this host.
+    fn on_flow_arrival(&mut self, flow: FlowDesc, ctx: &mut Ctx<'_>);
+    /// A packet addressed to this host arrived.
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>);
+    /// A timer set through [`Ctx::set_timer_in`] fired.
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>);
+}
+
+/// Buffered actions produced by an endpoint handler.
+#[derive(Default)]
+pub struct Actions {
+    /// Packets to enqueue on this host's NIC, in order.
+    pub sends: Vec<Packet>,
+    /// Timers to arm: (absolute fire time, token).
+    pub timers: Vec<(Time, u64)>,
+}
+
+/// Handler context: simulation time, host identity, and action buffers.
+pub struct Ctx<'a> {
+    /// Current simulated time.
+    pub now: Time,
+    /// The host this endpoint runs on.
+    pub host: NodeId,
+    /// The host NIC line rate.
+    pub line_rate: Rate,
+    /// Run metrics (flow completion, efficiency, timeouts).
+    pub metrics: &'a mut Metrics,
+    pub(crate) actions: &'a mut Actions,
+    pub(crate) next_token: &'a mut u64,
+}
+
+impl<'a> Ctx<'a> {
+    /// Queue `pkt` for transmission on this host's NIC.
+    pub fn send(&mut self, pkt: Packet) {
+        self.actions.sends.push(pkt);
+    }
+
+    /// Arm a timer to fire `delay` from now; returns its token.
+    pub fn set_timer_in(&mut self, delay: Time) -> u64 {
+        let token = *self.next_token;
+        *self.next_token += 1;
+        self.actions.timers.push((self.now + delay, token));
+        token
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_tokens_are_unique_and_absolute() {
+        let mut metrics = Metrics::new();
+        let mut actions = Actions::default();
+        let mut next = 7u64;
+        let mut ctx = Ctx {
+            now: 1000,
+            host: NodeId(0),
+            line_rate: Rate::gbps(100),
+            metrics: &mut metrics,
+            actions: &mut actions,
+            next_token: &mut next,
+        };
+        let a = ctx.set_timer_in(50);
+        let b = ctx.set_timer_in(20);
+        assert_ne!(a, b);
+        assert_eq!(actions.timers, vec![(1050, 7), (1020, 8)]);
+        assert_eq!(next, 9);
+    }
+}

@@ -1,0 +1,211 @@
+//! Discrete-event scheduler.
+//!
+//! A plain binary-heap event queue with a deterministic tie-break: events
+//! scheduled for the same instant fire in the order they were scheduled.
+//! The engine is strictly single-threaded — per the project guides, a
+//! CPU-bound discrete-event simulation gains nothing from an async runtime.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::packet::{FlowDesc, NodeId, Packet, PortId};
+use crate::units::Time;
+
+/// An event to be dispatched by the network.
+#[derive(Debug)]
+pub enum Event {
+    /// The last bit of `pkt` arrived at `node`.
+    Arrival {
+        /// Receiving node.
+        node: NodeId,
+        /// The packet, fully received.
+        pkt: Packet,
+    },
+    /// Egress `port` of `node` finished serializing its current packet.
+    PortFree {
+        /// The transmitting node.
+        node: NodeId,
+        /// The now-idle port.
+        port: PortId,
+    },
+    /// A paced queue on `port` of `node` may have become ready.
+    PortKick {
+        /// The paced node.
+        node: NodeId,
+        /// The paced port.
+        port: PortId,
+    },
+    /// A timer set by the endpoint on `node` fired.
+    Timer {
+        /// The host whose endpoint armed the timer.
+        node: NodeId,
+        /// The token returned by `Ctx::set_timer_in`.
+        token: u64,
+    },
+    /// A new application flow arrives at its source host.
+    FlowArrival {
+        /// The flow description.
+        flow: FlowDesc,
+    },
+}
+
+struct Scheduled {
+    at: Time,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (and, within a
+        // tick, the first-scheduled) event is popped first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Event queue with the current simulated time.
+pub struct EventQueue {
+    now: Time,
+    seq: u64,
+    heap: BinaryHeap<Scheduled>,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventQueue {
+    /// An empty queue at time zero.
+    pub fn new() -> EventQueue {
+        EventQueue { now: 0, seq: 0, heap: BinaryHeap::new() }
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — a causality bug in the caller.
+    pub fn schedule_at(&mut self, at: Time, event: Event) {
+        assert!(at >= self.now, "event scheduled in the past: {} < {}", at, self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedule `event` to fire `delay` after the current time.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: Time, event: Event) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Time, Event)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now);
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    /// Timestamp of the next pending event without popping it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::FlowId;
+
+    fn timer(token: u64) -> Event {
+        Event::Timer { node: NodeId(0), token }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(30, timer(3));
+        q.schedule_at(10, timer(1));
+        q.schedule_at(20, timer(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(q.now(), 30);
+    }
+
+    #[test]
+    fn same_tick_fifo_tie_break() {
+        let mut q = EventQueue::new();
+        for t in 0..100 {
+            q.schedule_at(42, timer(t));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, timer(0));
+        q.pop();
+        q.schedule_in(5, timer(1));
+        assert_eq!(q.peek_time(), Some(105));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, timer(0));
+        q.pop();
+        q.schedule_at(99, timer(1));
+    }
+
+    #[test]
+    fn flow_arrival_events_carry_descriptor() {
+        let mut q = EventQueue::new();
+        let f = FlowDesc { id: FlowId(7), src: NodeId(1), dst: NodeId(2), size: 1000, start: 5 };
+        q.schedule_at(5, Event::FlowArrival { flow: f });
+        match q.pop() {
+            Some((5, Event::FlowArrival { flow })) => assert_eq!(flow, f),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Run-wide metrics: flow completion, drops, efficiency, timeouts.
+
+use std::collections::HashMap;
+
+use crate::packet::{FlowDesc, FlowId, TrafficClass};
+use crate::queues::DropReason;
+use crate::units::Time;
+
+/// Lifecycle record of one flow.
+#[derive(Debug, Clone)]
+pub struct FlowRecord {
+    /// The flow as scheduled.
+    pub desc: FlowDesc,
+    /// When the last byte was delivered to the receiver, if completed.
+    pub completed_at: Option<Time>,
+    /// Unique payload bytes delivered so far.
+    pub delivered: u64,
+    /// Retransmission timeouts suffered by this flow.
+    pub timeouts: u32,
+    /// Payload bytes retransmitted for this flow.
+    pub retransmitted: u64,
+}
+
+impl FlowRecord {
+    /// Flow completion time, if the flow finished.
+    pub fn fct(&self) -> Option<Time> {
+        self.completed_at.map(|t| t - self.desc.start)
+    }
+}
+
+/// Global counters and per-flow records for one simulation run.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    flows: HashMap<FlowId, FlowRecord>,
+    /// Packet drops keyed by (reason, class).
+    pub drops: HashMap<(DropReason, TrafficClass), u64>,
+    /// Data payload bytes handed to NIC queues (first transmissions and
+    /// retransmissions alike) — denominator of transfer efficiency.
+    pub payload_sent: u64,
+    /// Unique payload bytes delivered to receivers — the numerator.
+    pub payload_delivered: u64,
+    /// ECN CE marks applied by switches.
+    pub ce_marks: u64,
+    /// Packets trimmed by NDP-style switches.
+    pub trimmed: u64,
+    /// Completed flow count (cached).
+    completed: usize,
+}
+
+impl Metrics {
+    /// Fresh, empty metrics.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Register a flow when its arrival is scheduled.
+    pub fn flow_scheduled(&mut self, desc: FlowDesc) {
+        let prev = self.flows.insert(
+            desc.id,
+            FlowRecord { desc, completed_at: None, delivered: 0, timeouts: 0, retransmitted: 0 },
+        );
+        assert!(prev.is_none(), "duplicate flow id {:?}", desc.id);
+    }
+
+    /// Record `new_bytes` unique payload bytes delivered for `flow` at `now`;
+    /// marks the flow complete when its full size has arrived. Returns true
+    /// if this call completed the flow.
+    pub fn deliver(&mut self, flow: FlowId, new_bytes: u64, now: Time) -> bool {
+        self.payload_delivered += new_bytes;
+        let rec = self.flows.get_mut(&flow).expect("deliver for unknown flow");
+        rec.delivered += new_bytes;
+        debug_assert!(rec.delivered <= rec.desc.size, "over-delivery on {flow:?}");
+        if rec.completed_at.is_none() && rec.delivered >= rec.desc.size {
+            rec.completed_at = Some(now);
+            self.completed += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Record a retransmission timeout on `flow`.
+    pub fn note_timeout(&mut self, flow: FlowId) {
+        if let Some(rec) = self.flows.get_mut(&flow) {
+            rec.timeouts += 1;
+        }
+    }
+
+    /// Record retransmitted payload bytes for `flow`.
+    pub fn note_retransmit(&mut self, flow: FlowId, bytes: u64) {
+        if let Some(rec) = self.flows.get_mut(&flow) {
+            rec.retransmitted += bytes;
+        }
+    }
+
+    /// Record a drop.
+    pub fn note_drop(&mut self, reason: DropReason, class: TrafficClass) {
+        *self.drops.entry((reason, class)).or_insert(0) += 1;
+    }
+
+    /// Total drops for a reason across classes.
+    pub fn drops_by_reason(&self, reason: DropReason) -> u64 {
+        self.drops.iter().filter(|((r, _), _)| *r == reason).map(|(_, v)| *v).sum()
+    }
+
+    /// Total drops for a traffic class across reasons.
+    pub fn drops_by_class(&self, class: TrafficClass) -> u64 {
+        self.drops.iter().filter(|((_, c), _)| *c == class).map(|(_, v)| *v).sum()
+    }
+
+    /// Look up a flow record.
+    pub fn flow(&self, id: FlowId) -> Option<&FlowRecord> {
+        self.flows.get(&id)
+    }
+
+    /// Iterate all flow records.
+    pub fn flows(&self) -> impl Iterator<Item = &FlowRecord> {
+        self.flows.values()
+    }
+
+    /// Number of flows registered.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Number of completed flows.
+    pub fn completed_count(&self) -> usize {
+        self.completed
+    }
+
+    /// Whether every registered flow has completed.
+    pub fn all_complete(&self) -> bool {
+        self.completed == self.flows.len()
+    }
+
+    /// Transfer efficiency: unique delivered payload over payload sent
+    /// (Table 1 / Table 4 metric). 1.0 when nothing was sent.
+    pub fn transfer_efficiency(&self) -> f64 {
+        if self.payload_sent == 0 {
+            1.0
+        } else {
+            self.payload_delivered as f64 / self.payload_sent as f64
+        }
+    }
+
+    /// Number of flows that suffered at least one timeout (Figure 13 metric).
+    pub fn flows_with_timeouts(&self) -> usize {
+        self.flows.values().filter(|r| r.timeouts > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::NodeId;
+
+    fn desc(id: u64, size: u64) -> FlowDesc {
+        FlowDesc { id: FlowId(id), src: NodeId(0), dst: NodeId(1), size, start: 100 }
+    }
+
+    #[test]
+    fn delivery_completes_flow_and_computes_fct() {
+        let mut m = Metrics::new();
+        m.flow_scheduled(desc(1, 3000));
+        assert!(!m.deliver(FlowId(1), 1500, 200));
+        assert!(m.deliver(FlowId(1), 1500, 400));
+        let rec = m.flow(FlowId(1)).unwrap();
+        assert_eq!(rec.fct(), Some(300));
+        assert!(m.all_complete());
+        assert_eq!(m.completed_count(), 1);
+    }
+
+    #[test]
+    fn transfer_efficiency_counts_unique_over_sent() {
+        let mut m = Metrics::new();
+        m.flow_scheduled(desc(1, 3000));
+        m.payload_sent = 6000; // one full duplicate
+        m.deliver(FlowId(1), 3000, 10);
+        assert!((m.transfer_efficiency() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeout_bookkeeping() {
+        let mut m = Metrics::new();
+        m.flow_scheduled(desc(1, 10));
+        m.flow_scheduled(desc(2, 10));
+        m.note_timeout(FlowId(1));
+        m.note_timeout(FlowId(1));
+        assert_eq!(m.flows_with_timeouts(), 1);
+        assert_eq!(m.flow(FlowId(1)).unwrap().timeouts, 2);
+    }
+
+    #[test]
+    fn drop_counters_sliced_both_ways() {
+        let mut m = Metrics::new();
+        m.note_drop(DropReason::SelectiveDrop, TrafficClass::Unscheduled);
+        m.note_drop(DropReason::SelectiveDrop, TrafficClass::Unscheduled);
+        m.note_drop(DropReason::BufferFull, TrafficClass::Scheduled);
+        assert_eq!(m.drops_by_reason(DropReason::SelectiveDrop), 2);
+        assert_eq!(m.drops_by_class(TrafficClass::Scheduled), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate flow id")]
+    fn duplicate_flow_ids_rejected() {
+        let mut m = Metrics::new();
+        m.flow_scheduled(desc(1, 10));
+        m.flow_scheduled(desc(1, 10));
+    }
+}

@@ -1,0 +1,541 @@
+//! The network engine: nodes, wiring, and the event dispatch loop.
+
+use crate::endpoint::{Actions, Ctx, Endpoint};
+use crate::event::{Event, EventQueue};
+use crate::metrics::Metrics;
+use crate::node::{Node, NodeKind};
+use crate::packet::{FlowDesc, NodeId, Packet, PortId};
+use crate::port::{Link, Port};
+use crate::queues::{EnqueueOutcome, Poll, QueueDisc};
+use crate::routing::{RoutePolicy, RouteTable};
+use crate::units::{Rate, Time};
+
+/// One recorded event of a traced flow's packet life.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: Time,
+    /// Node where it happened.
+    pub node: NodeId,
+    /// What happened.
+    pub what: TraceKind,
+    /// Packet kind (protocol meaning).
+    pub kind: crate::packet::PacketKind,
+    /// Packet class.
+    pub class: crate::packet::TrafficClass,
+    /// Sequence / offset field of the packet.
+    pub seq: u64,
+    /// Switch priority the packet carried.
+    pub priority: u8,
+}
+
+/// What a [`TraceEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Packet arrived at a node (host delivery or switch ingress).
+    Arrive,
+    /// Packet was dropped at an egress queue.
+    Drop(crate::queues::DropReason),
+    /// Packet started serializing out of an egress port.
+    Transmit,
+}
+
+/// A simulated network: topology, endpoints, event queue and metrics.
+pub struct Network {
+    nodes: Vec<Node>,
+    queue: EventQueue,
+    /// Run metrics.
+    pub metrics: Metrics,
+    uid: u64,
+    next_token: u64,
+    events_processed: u64,
+    /// Flows whose packets are being traced (empty = tracing off).
+    traced: std::collections::HashSet<crate::packet::FlowId>,
+    /// Recorded trace events, in order.
+    trace: Vec<TraceEvent>,
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Network {
+    /// An empty network.
+    pub fn new() -> Network {
+        Network {
+            nodes: Vec::new(),
+            queue: EventQueue::new(),
+            metrics: Metrics::new(),
+            uid: 0,
+            next_token: 0,
+            events_processed: 0,
+            traced: std::collections::HashSet::new(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// Record every arrival/transmit/drop of `flow`'s packets (any kind:
+    /// data, credits, ACKs, probes…). Call before running.
+    pub fn trace_flow(&mut self, flow: crate::packet::FlowId) {
+        self.traced.insert(flow);
+    }
+
+    /// The recorded trace, in event order.
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    #[inline]
+    fn record(&mut self, node: NodeId, pkt: &Packet, what: TraceKind) {
+        if !self.traced.is_empty() && self.traced.contains(&pkt.flow) {
+            self.trace.push(TraceEvent {
+                at: self.queue.now(),
+                node,
+                what,
+                kind: pkt.kind,
+                class: pkt.class,
+                seq: pkt.seq,
+                priority: pkt.priority,
+            });
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.queue.now()
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Add a switch with the given routing policy, RNG seed (for spraying)
+    /// and ingress (switching) delay. Ports are added via [`Network::connect`].
+    pub fn add_switch(&mut self, policy: RoutePolicy, seed: u64, ingress_delay: Time) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            id,
+            ports: Vec::new(),
+            ingress_delay,
+            kind: NodeKind::Switch { table: RouteTable::new(0, policy, seed) },
+        });
+        id
+    }
+
+    /// Add a host with the given ingress (stack) delay. Install its endpoint
+    /// with [`Network::set_endpoint`] and wire its NIC with [`Network::connect`].
+    pub fn add_host(&mut self, ingress_delay: Time) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            id,
+            ports: Vec::new(),
+            ingress_delay,
+            kind: NodeKind::Host { endpoint: None },
+        });
+        id
+    }
+
+    /// Install the transport endpoint on `host`.
+    pub fn set_endpoint(&mut self, host: NodeId, ep: Box<dyn Endpoint>) {
+        match &mut self.nodes[host.0 as usize].kind {
+            NodeKind::Host { endpoint } => *endpoint = Some(ep),
+            NodeKind::Switch { .. } => panic!("set_endpoint on a switch"),
+        }
+    }
+
+    /// Add a simplex link from `from` to `to` with the given rate, delay and
+    /// egress queue; returns the new egress port id on `from`.
+    pub fn connect(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        rate: Rate,
+        delay: Time,
+        queue: Box<dyn QueueDisc>,
+    ) -> PortId {
+        assert!((to.0 as usize) < self.nodes.len(), "link to unknown node");
+        let node = &mut self.nodes[from.0 as usize];
+        let pid = PortId(node.ports.len() as u16);
+        node.ports.push(Port::new(Link { rate, delay, to }, queue));
+        pid
+    }
+
+    /// Register `port` on switch `sw` as a next hop towards destination `dst`.
+    pub fn add_route(&mut self, sw: NodeId, dst: NodeId, port: PortId) {
+        match &mut self.nodes[sw.0 as usize].kind {
+            NodeKind::Switch { table } => table.add_route(dst, port),
+            NodeKind::Host { .. } => panic!("add_route on a host"),
+        }
+    }
+
+    /// Schedule an application flow; its arrival fires at `desc.start`.
+    pub fn schedule_flow(&mut self, desc: FlowDesc) {
+        assert!(self.nodes[desc.src.0 as usize].is_host(), "flow src must be a host");
+        assert!(self.nodes[desc.dst.0 as usize].is_host(), "flow dst must be a host");
+        self.metrics.flow_scheduled(desc);
+        self.queue.schedule_at(desc.start, Event::FlowArrival { flow: desc });
+    }
+
+    /// Immutable access to a node (for tests and stats readers).
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Mutable access to a node's port (to read/mutate queue state in tests
+    /// and experiment probes).
+    pub fn port_mut(&mut self, id: NodeId, port: PortId) -> &mut Port {
+        &mut self.nodes[id.0 as usize].ports[port.0 as usize]
+    }
+
+    /// Immutable access to a node's port.
+    pub fn port(&self, id: NodeId, port: PortId) -> &Port {
+        &self.nodes[id.0 as usize].ports[port.0 as usize]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Run until the event queue is exhausted or simulated time exceeds
+    /// `horizon`. Returns true if all scheduled flows completed.
+    pub fn run_to_completion(&mut self, horizon: Time) -> bool {
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon || self.metrics.all_complete() && self.metrics.flow_count() > 0 {
+                break;
+            }
+            let (_, ev) = self.queue.pop().expect("peeked");
+            self.events_processed += 1;
+            self.dispatch(ev);
+        }
+        self.metrics.all_complete()
+    }
+
+    /// Run until simulated time reaches `until` (events at exactly `until`
+    /// are processed).
+    pub fn run_until(&mut self, until: Time) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            let (_, ev) = self.queue.pop().expect("peeked");
+            self.events_processed += 1;
+            self.dispatch(ev);
+        }
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::Arrival { node, pkt } => self.handle_arrival(node, pkt),
+            Event::PortFree { node, port } => {
+                self.nodes[node.0 as usize].ports[port.0 as usize].busy = false;
+                self.try_transmit(node, port);
+            }
+            Event::PortKick { node, port } => {
+                self.nodes[node.0 as usize].ports[port.0 as usize].kick_at = None;
+                self.try_transmit(node, port);
+            }
+            Event::Timer { node, token } => {
+                self.with_endpoint(node, |ep, ctx| ep.on_timer(token, ctx));
+            }
+            Event::FlowArrival { flow } => {
+                self.with_endpoint(flow.src, |ep, ctx| ep.on_flow_arrival(flow, ctx));
+            }
+        }
+    }
+
+    fn handle_arrival(&mut self, node: NodeId, mut pkt: Packet) {
+        self.record(node, &pkt, TraceKind::Arrive);
+        match &mut self.nodes[node.0 as usize].kind {
+            NodeKind::Switch { table } => {
+                let port = table.select(&pkt);
+                pkt.hops += 1;
+                self.enqueue_egress(node, port, pkt);
+            }
+            NodeKind::Host { .. } => {
+                debug_assert_eq!(pkt.dst, node, "packet delivered to wrong host");
+                self.with_endpoint(node, move |ep, ctx| ep.on_packet(pkt, ctx));
+            }
+        }
+    }
+
+    /// Offer `pkt` to the egress queue of (`node`, `port`) and start the
+    /// transmitter if idle.
+    fn enqueue_egress(&mut self, node: NodeId, port: PortId, pkt: Packet) {
+        let now = self.queue.now();
+        let outcome = {
+            let p = &mut self.nodes[node.0 as usize].ports[port.0 as usize];
+            let prev = p.queue.bytes();
+            let outcome = p.queue.enqueue(pkt, now);
+            p.stats.on_qlen_change(prev, now);
+            p.stats.observe_qlen(p.queue.bytes());
+            if matches!(outcome, EnqueueOutcome::Dropped { .. }) {
+                p.stats.drops += 1;
+            }
+            outcome
+        };
+        match outcome {
+            EnqueueOutcome::Queued => {}
+            EnqueueOutcome::QueuedMarked => self.metrics.ce_marks += 1,
+            EnqueueOutcome::QueuedTrimmed => self.metrics.trimmed += 1,
+            EnqueueOutcome::Dropped { reason, pkt } => {
+                self.record(node, &pkt, TraceKind::Drop(reason));
+                self.metrics.note_drop(reason, pkt.class);
+            }
+        }
+        self.try_transmit(node, port);
+    }
+
+    /// If the transmitter of (`node`, `port`) is idle and the queue can
+    /// provide a packet, serialize it onto the link.
+    fn try_transmit(&mut self, node: NodeId, port: PortId) {
+        let now = self.queue.now();
+        enum Next {
+            Send { to: NodeId, at_dst: Time, free_at: Time, pkt: Packet },
+            Kick(Time),
+            Idle,
+        }
+        let next = {
+            let p = &mut self.nodes[node.0 as usize].ports[port.0 as usize];
+            if p.busy {
+                Next::Idle
+            } else {
+                let prev = p.queue.bytes();
+                match p.queue.poll(now) {
+                    Poll::Ready(pkt) => {
+                        p.busy = true;
+                        p.stats.on_qlen_change(prev, now);
+                        p.stats.observe_qlen(p.queue.bytes());
+                        p.stats.bytes_tx += pkt.size as u64;
+                        p.stats.pkts_tx += 1;
+                        p.stats.payload_tx += pkt.payload as u64;
+                        let ser = p.link.rate.serialize(pkt.size as u64);
+                        Next::Send {
+                            to: p.link.to,
+                            at_dst: now + ser + p.link.delay,
+                            free_at: now + ser,
+                            pkt,
+                        }
+                    }
+                    Poll::NotBefore(t) => {
+                        // Dedupe pacing kicks: only schedule if none pending
+                        // at or before `t`.
+                        if p.kick_at.is_none_or(|k| k > t) {
+                            p.kick_at = Some(t.max(now));
+                            Next::Kick(t.max(now))
+                        } else {
+                            Next::Idle
+                        }
+                    }
+                    Poll::Empty => Next::Idle,
+                }
+            }
+        };
+        match next {
+            Next::Send { to, at_dst, free_at, pkt } => {
+                self.record(node, &pkt, TraceKind::Transmit);
+                let ingress = self.nodes[to.0 as usize].ingress_delay;
+                self.queue.schedule_at(free_at, Event::PortFree { node, port });
+                self.queue.schedule_at(at_dst + ingress, Event::Arrival { node: to, pkt });
+            }
+            Next::Kick(t) => {
+                self.queue.schedule_at(t, Event::PortKick { node, port });
+            }
+            Next::Idle => {}
+        }
+    }
+
+    /// Run `f` against the endpoint installed on `host`, then apply the
+    /// actions it buffered (sends through the NIC, timer arming).
+    fn with_endpoint<F>(&mut self, host: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn Endpoint, &mut Ctx<'_>),
+    {
+        let now = self.queue.now();
+        let line_rate = self.nodes[host.0 as usize]
+            .ports
+            .first()
+            .map(|p| p.link.rate)
+            .expect("host has no NIC port");
+        let mut ep = match &mut self.nodes[host.0 as usize].kind {
+            NodeKind::Host { endpoint } => endpoint.take().expect("endpoint not installed"),
+            NodeKind::Switch { .. } => panic!("endpoint dispatch on a switch"),
+        };
+        let mut actions = Actions::default();
+        {
+            let mut ctx = Ctx {
+                now,
+                host,
+                line_rate,
+                metrics: &mut self.metrics,
+                actions: &mut actions,
+                next_token: &mut self.next_token,
+            };
+            f(ep.as_mut(), &mut ctx);
+        }
+        match &mut self.nodes[host.0 as usize].kind {
+            NodeKind::Host { endpoint } => *endpoint = Some(ep),
+            NodeKind::Switch { .. } => unreachable!(),
+        }
+        for (at, token) in actions.timers {
+            self.queue.schedule_at(at, Event::Timer { node: host, token });
+        }
+        for mut pkt in actions.sends {
+            pkt.uid = self.uid;
+            self.uid += 1;
+            pkt.sent_at = now;
+            pkt.src = host;
+            if pkt.is_data() && pkt.payload > 0 {
+                self.metrics.payload_sent += pkt.payload as u64;
+                if pkt.retransmit {
+                    self.metrics.note_retransmit(pkt.flow, pkt.payload as u64);
+                }
+            }
+            self.enqueue_egress(host, PortId(0), pkt);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, PacketKind, TrafficClass, HEADER_BYTES};
+    use crate::queues::DropTailQueue;
+    use crate::units::{us, Rate};
+
+    /// Endpoint that sends its whole flow at line rate on arrival and counts
+    /// delivered bytes on the receive side.
+    struct Blaster {
+        mtu_payload: u32,
+    }
+
+    impl Endpoint for Blaster {
+        fn on_flow_arrival(&mut self, flow: FlowDesc, ctx: &mut Ctx<'_>) {
+            let mut off = 0u64;
+            while off < flow.size {
+                let chunk = self.mtu_payload.min((flow.size - off) as u32);
+                ctx.send(Packet::data(
+                    flow.id,
+                    flow.src,
+                    flow.dst,
+                    off,
+                    chunk,
+                    TrafficClass::Scheduled,
+                    flow.size,
+                ));
+                off += chunk as u64;
+            }
+        }
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+            if pkt.is_data() {
+                ctx.metrics.deliver(pkt.flow, pkt.payload as u64, ctx.now);
+            }
+        }
+        fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+    }
+
+    fn two_hosts_one_switch() -> (Network, NodeId, NodeId) {
+        let mut net = Network::new();
+        let sw = net.add_switch(RoutePolicy::EcmpHash, 1, 0);
+        let h0 = net.add_host(0);
+        let h1 = net.add_host(0);
+        let rate = Rate::gbps(10);
+        let delay = us(1);
+        let q = || Box::new(DropTailQueue::new(1 << 30)) as Box<dyn QueueDisc>;
+        net.connect(h0, sw, rate, delay, q());
+        net.connect(h1, sw, rate, delay, q());
+        let p0 = net.connect(sw, h0, rate, delay, q());
+        let p1 = net.connect(sw, h1, rate, delay, q());
+        net.add_route(sw, h0, p0);
+        net.add_route(sw, h1, p1);
+        net.set_endpoint(h0, Box::new(Blaster { mtu_payload: 1460 }));
+        net.set_endpoint(h1, Box::new(Blaster { mtu_payload: 1460 }));
+        (net, h0, h1)
+    }
+
+    #[test]
+    fn single_packet_fct_matches_hand_computation() {
+        let (mut net, h0, h1) = two_hosts_one_switch();
+        let size = 1000u64;
+        net.schedule_flow(FlowDesc { id: FlowId(1), src: h0, dst: h1, size, start: 0 });
+        assert!(net.run_to_completion(us(1000)));
+        // Wire size = 1040 B. Two serializations (host NIC + switch egress)
+        // at 10 Gbps = 2 * 832 ns, plus 2 us propagation per hop.
+        let ser = Rate::gbps(10).serialize(size + HEADER_BYTES as u64);
+        let expect = 2 * ser + 2 * us(1);
+        let fct = net.metrics.flow(FlowId(1)).unwrap().fct().unwrap();
+        assert_eq!(fct, expect);
+    }
+
+    #[test]
+    fn large_flow_is_paced_by_bottleneck_serialization() {
+        let (mut net, h0, h1) = two_hosts_one_switch();
+        // 100 packets of 1460 B payload.
+        let size = 146_000u64;
+        net.schedule_flow(FlowDesc { id: FlowId(1), src: h0, dst: h1, size, start: 0 });
+        assert!(net.run_to_completion(us(10_000)));
+        let ser = Rate::gbps(10).serialize(1500);
+        // Pipeline: 100 serializations at the NIC, plus one more at the
+        // switch for the last packet, plus propagation.
+        let expect = 100 * ser + ser + 2 * us(1);
+        let fct = net.metrics.flow(FlowId(1)).unwrap().fct().unwrap();
+        assert_eq!(fct, expect);
+    }
+
+    #[test]
+    fn two_flows_share_the_engine_deterministically() {
+        let (mut net, h0, h1) = two_hosts_one_switch();
+        net.schedule_flow(FlowDesc { id: FlowId(1), src: h0, dst: h1, size: 14_600, start: 0 });
+        net.schedule_flow(FlowDesc { id: FlowId(2), src: h1, dst: h0, size: 14_600, start: 0 });
+        assert!(net.run_to_completion(us(1000)));
+        let f1 = net.metrics.flow(FlowId(1)).unwrap().fct().unwrap();
+        let f2 = net.metrics.flow(FlowId(2)).unwrap().fct().unwrap();
+        assert_eq!(f1, f2, "symmetric flows must have identical FCTs");
+    }
+
+    #[test]
+    fn run_until_stops_at_time_boundary() {
+        let (mut net, h0, h1) = two_hosts_one_switch();
+        net.schedule_flow(FlowDesc { id: FlowId(1), src: h0, dst: h1, size: 146_000, start: 0 });
+        net.run_until(us(2));
+        assert!(net.now() <= us(2));
+        assert!(!net.metrics.all_complete());
+        net.run_until(us(10_000));
+        assert!(net.metrics.all_complete());
+    }
+
+    #[test]
+    fn flow_tracing_records_the_packet_journey() {
+        let (mut net, h0, h1) = two_hosts_one_switch();
+        net.trace_flow(FlowId(1));
+        net.schedule_flow(FlowDesc { id: FlowId(1), src: h0, dst: h1, size: 2_920, start: 0 });
+        // An untraced flow leaves no events.
+        net.schedule_flow(FlowDesc { id: FlowId(2), src: h1, dst: h0, size: 1_460, start: 0 });
+        net.run_to_completion(us(1000));
+        let trace = net.trace();
+        assert!(!trace.is_empty());
+        for w in trace.windows(2) {
+            assert!(w[0].at <= w[1].at, "trace must be time-ordered");
+        }
+        // The journey: host tx, switch arrive, switch tx, host arrive — two
+        // packets, so at least 8 events.
+        assert!(trace.len() >= 8, "saw {} events", trace.len());
+        let transmits = trace.iter().filter(|e| e.what == TraceKind::Transmit).count();
+        let arrives = trace.iter().filter(|e| e.what == TraceKind::Arrive).count();
+        assert_eq!(transmits, arrives, "every transmit arrives on a lossless path");
+    }
+
+    #[test]
+    fn payload_sent_counts_data_only() {
+        let (mut net, h0, h1) = two_hosts_one_switch();
+        net.schedule_flow(FlowDesc { id: FlowId(1), src: h0, dst: h1, size: 2_920, start: 0 });
+        net.run_to_completion(us(1000));
+        assert_eq!(net.metrics.payload_sent, 2_920);
+        assert_eq!(net.metrics.payload_delivered, 2_920);
+        assert!((net.metrics.transfer_efficiency() - 1.0).abs() < 1e-12);
+        let _ = PacketKind::Data;
+    }
+}

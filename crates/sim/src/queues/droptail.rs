@@ -1,0 +1,125 @@
+//! Plain drop-tail FIFO, optionally drawing buffer from a shared pool.
+
+use super::{ByteFifo, DropReason, EnqueueOutcome, Poll, PoolHandle, QueueDisc};
+use crate::packet::Packet;
+use crate::units::Time;
+
+/// FIFO queue that tail-drops when its byte cap (or the switch shared buffer
+/// pool) is exhausted.
+pub struct DropTailQueue {
+    fifo: ByteFifo,
+    cap_bytes: u64,
+    pool: Option<PoolHandle>,
+}
+
+impl DropTailQueue {
+    /// A drop-tail queue holding at most `cap_bytes` of packets.
+    pub fn new(cap_bytes: u64) -> DropTailQueue {
+        DropTailQueue { fifo: ByteFifo::new(), cap_bytes, pool: None }
+    }
+
+    /// Attach a switch-wide shared buffer pool; enqueues must also reserve
+    /// from the pool, and dequeues release back to it.
+    pub fn with_pool(mut self, pool: PoolHandle) -> DropTailQueue {
+        self.pool = Some(pool);
+        self
+    }
+}
+
+impl QueueDisc for DropTailQueue {
+    fn enqueue(&mut self, pkt: Packet, _now: Time) -> EnqueueOutcome {
+        let sz = pkt.size as u64;
+        if self.fifo.bytes() + sz > self.cap_bytes {
+            return EnqueueOutcome::Dropped { reason: DropReason::BufferFull, pkt: Box::new(pkt) };
+        }
+        if let Some(pool) = &self.pool {
+            if !pool.borrow_mut().try_alloc(sz) {
+                return EnqueueOutcome::Dropped {
+                    reason: DropReason::SharedBufferFull,
+                    pkt: Box::new(pkt),
+                };
+            }
+        }
+        self.fifo.push(pkt);
+        EnqueueOutcome::Queued
+    }
+
+    fn poll(&mut self, _now: Time) -> Poll {
+        match self.fifo.pop() {
+            Some(pkt) => {
+                if let Some(pool) = &self.pool {
+                    pool.borrow_mut().free(pkt.size as u64);
+                }
+                Poll::Ready(pkt)
+            }
+            None => Poll::Empty,
+        }
+    }
+
+    fn bytes(&self) -> u64 {
+        self.fifo.bytes()
+    }
+
+    fn pkts(&self) -> usize {
+        self.fifo.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::data_pkt;
+    use super::super::SharedPool;
+    use super::*;
+    use crate::packet::TrafficClass;
+
+    #[test]
+    fn accepts_until_cap_then_tail_drops() {
+        let mut q = DropTailQueue::new(3000);
+        for i in 0..2 {
+            assert!(matches!(
+                q.enqueue(data_pkt(TrafficClass::Scheduled, i * 1460), 0),
+                EnqueueOutcome::Queued
+            ));
+        }
+        match q.enqueue(data_pkt(TrafficClass::Scheduled, 2 * 1460), 0) {
+            EnqueueOutcome::Dropped { reason: DropReason::BufferFull, pkt } => {
+                assert_eq!(pkt.seq, 2 * 1460)
+            }
+            other => panic!("expected tail drop, got {other:?}"),
+        }
+        assert_eq!(q.bytes(), 3000);
+        assert_eq!(q.pkts(), 2);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = DropTailQueue::new(1 << 20);
+        for i in 0..10u64 {
+            q.enqueue(data_pkt(TrafficClass::Scheduled, i), 0);
+        }
+        for i in 0..10u64 {
+            match q.poll(0) {
+                Poll::Ready(p) => assert_eq!(p.seq, i),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(matches!(q.poll(0), Poll::Empty));
+    }
+
+    #[test]
+    fn shared_pool_exhaustion_drops_even_below_port_cap() {
+        let pool = SharedPool::new(1500);
+        let mut q1 = DropTailQueue::new(1 << 20).with_pool(pool.clone());
+        let mut q2 = DropTailQueue::new(1 << 20).with_pool(pool.clone());
+        assert!(matches!(q1.enqueue(data_pkt(TrafficClass::Scheduled, 0), 0), EnqueueOutcome::Queued));
+        // q2 has plenty of per-port headroom but the pool is gone.
+        match q2.enqueue(data_pkt(TrafficClass::Scheduled, 1), 0) {
+            EnqueueOutcome::Dropped { reason: DropReason::SharedBufferFull, .. } => {}
+            other => panic!("expected shared-buffer drop, got {other:?}"),
+        }
+        // Draining q1 frees pool space for q2.
+        assert!(matches!(q1.poll(0), Poll::Ready(_)));
+        assert!(matches!(q2.enqueue(data_pkt(TrafficClass::Scheduled, 2), 0), EnqueueOutcome::Queued));
+        assert_eq!(pool.borrow().used(), 1500);
+    }
+}

@@ -1,0 +1,105 @@
+//! Fault injection: a queue wrapper that randomly discards packets.
+//!
+//! Real fabrics lose packets for reasons outside any congestion model —
+//! corrupted FCS, flapping links, buggy firmware. Robustness tests wrap a
+//! port's discipline in [`LossyQueue`] to verify that the recovery
+//! machinery (probes, backstops, RTOs) eventually delivers every flow even
+//! when the network itself misbehaves.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::{DropReason, EnqueueOutcome, Poll, QueueDisc};
+use crate::packet::Packet;
+use crate::units::Time;
+
+/// Wraps a discipline, dropping each arriving packet with probability `p`.
+///
+/// Drops are attributed to [`DropReason::BufferFull`] (the closest
+/// observable cause a real network would report); they apply to *every*
+/// packet class — including control packets, which is exactly the regime
+/// the protocols' backstop timers must survive.
+pub struct LossyQueue {
+    inner: Box<dyn QueueDisc>,
+    loss_prob: f64,
+    rng: StdRng,
+    /// Packets discarded by fault injection.
+    pub injected_drops: u64,
+}
+
+impl LossyQueue {
+    /// Wrap `inner`, dropping packets i.i.d. with probability `loss_prob`.
+    pub fn new(inner: Box<dyn QueueDisc>, loss_prob: f64, seed: u64) -> LossyQueue {
+        assert!((0.0..1.0).contains(&loss_prob), "loss probability out of range");
+        LossyQueue { inner, loss_prob, rng: StdRng::seed_from_u64(seed), injected_drops: 0 }
+    }
+}
+
+impl QueueDisc for LossyQueue {
+    fn enqueue(&mut self, pkt: Packet, now: Time) -> EnqueueOutcome {
+        if self.rng.gen::<f64>() < self.loss_prob {
+            self.injected_drops += 1;
+            return EnqueueOutcome::Dropped { reason: DropReason::BufferFull, pkt: Box::new(pkt) };
+        }
+        self.inner.enqueue(pkt, now)
+    }
+
+    fn poll(&mut self, now: Time) -> Poll {
+        self.inner.poll(now)
+    }
+
+    fn bytes(&self) -> u64 {
+        self.inner.bytes()
+    }
+
+    fn pkts(&self) -> usize {
+        self.inner.pkts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::data_pkt;
+    use super::super::DropTailQueue;
+    use super::*;
+    use crate::packet::TrafficClass;
+
+    #[test]
+    fn drops_roughly_the_requested_fraction() {
+        let mut q = LossyQueue::new(Box::new(DropTailQueue::new(1 << 40)), 0.2, 7);
+        let n = 10_000u64;
+        for i in 0..n {
+            let _ = q.enqueue(data_pkt(TrafficClass::Scheduled, i), 0);
+        }
+        let frac = q.injected_drops as f64 / n as f64;
+        assert!((frac - 0.2).abs() < 0.02, "observed loss {frac}");
+        assert_eq!(q.pkts() as u64 + q.injected_drops, n);
+    }
+
+    #[test]
+    fn zero_probability_is_transparent() {
+        let mut q = LossyQueue::new(Box::new(DropTailQueue::new(1 << 40)), 0.0, 7);
+        for i in 0..100 {
+            assert!(matches!(q.enqueue(data_pkt(TrafficClass::Scheduled, i), 0), EnqueueOutcome::Queued));
+        }
+        assert_eq!(q.injected_drops, 0);
+        let mut n = 0;
+        while let Poll::Ready(_) = q.poll(0) {
+            n += 1;
+        }
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = || {
+            let mut q = LossyQueue::new(Box::new(DropTailQueue::new(1 << 40)), 0.3, 42);
+            (0..1000u64)
+                .map(|i| {
+                    matches!(q.enqueue(data_pkt(TrafficClass::Scheduled, i), 0), EnqueueOutcome::Dropped { .. })
+                })
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

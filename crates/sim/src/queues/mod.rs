@@ -1,0 +1,226 @@
+//! Egress queue disciplines.
+//!
+//! Every switch/NIC port owns one boxed [`QueueDisc`]. The disciplines model
+//! exactly the commodity-switch features the paper relies on:
+//!
+//! * [`DropTailQueue`] — plain FIFO with a byte cap (optionally drawing from
+//!   a switch-wide shared buffer pool, used by the Table 5 experiment).
+//! * [`RedEcnQueue`] — single-threshold RED/ECN. With Aeolus' marking rule
+//!   (unscheduled = Non-ECT, scheduled = ECT) this *is* selective dropping.
+//! * [`WredQueue`] — the §4.1 WRED/color alternative: per-color thresholds
+//!   in one queue, byte-for-byte equivalent drop decisions.
+//! * [`PriorityBank`] — strict-priority bank of 8 FIFOs sharing a per-port
+//!   byte cap (Homa) with an optional selective-dropping threshold.
+//! * [`TrimmingQueue`] — NDP cutting-payload queue: data FIFO capped in
+//!   packets; overflowing data packets are trimmed to headers and queued in
+//!   a strict-priority control queue.
+//! * [`XPassQueue`] — ExpressPass port: data FIFO plus a small credit FIFO
+//!   drained through a token bucket at the credit-rate fraction of capacity.
+
+mod droptail;
+mod lossy;
+mod priority;
+mod red;
+mod trimming;
+mod wred;
+mod xpass;
+
+pub use droptail::DropTailQueue;
+pub use lossy::LossyQueue;
+pub use priority::PriorityBank;
+pub use red::RedEcnQueue;
+pub use trimming::TrimmingQueue;
+pub use wred::{Color, WredProfile, WredQueue};
+pub use xpass::XPassQueue;
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::packet::Packet;
+use crate::units::Time;
+
+/// Why a packet was dropped at a queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// The per-port buffer (or its packet cap) was full.
+    BufferFull,
+    /// The switch-wide shared buffer pool was exhausted.
+    SharedBufferFull,
+    /// Aeolus selective dropping: a droppable (Non-ECT) packet arrived while
+    /// the queue exceeded the selective-dropping threshold.
+    SelectiveDrop,
+    /// ExpressPass credit throttling: the credit queue overflowed.
+    CreditOverflow,
+}
+
+/// Result of offering a packet to a queue.
+#[derive(Debug)]
+pub enum EnqueueOutcome {
+    /// Queued unchanged.
+    Queued,
+    /// Queued with the ECN CE mark applied.
+    QueuedMarked,
+    /// Payload trimmed (NDP cutting payload); the header was queued.
+    QueuedTrimmed,
+    /// Rejected; the packet is returned so the caller can account for it.
+    Dropped {
+        /// Why it was dropped.
+        reason: DropReason,
+        /// The rejected packet.
+        pkt: Box<Packet>,
+    },
+}
+
+/// Result of asking a queue for the next packet to serialize.
+#[derive(Debug)]
+pub enum Poll {
+    /// A packet is ready now.
+    Ready(Packet),
+    /// A packet is queued but pacing forbids sending before this time.
+    NotBefore(Time),
+    /// Nothing queued.
+    Empty,
+}
+
+/// An egress queue discipline.
+pub trait QueueDisc {
+    /// Offer a packet to the queue at time `now`.
+    fn enqueue(&mut self, pkt: Packet, now: Time) -> EnqueueOutcome;
+    /// Ask for the next packet to transmit at time `now`.
+    fn poll(&mut self, now: Time) -> Poll;
+    /// Total bytes currently buffered.
+    fn bytes(&self) -> u64;
+    /// Total packets currently buffered.
+    fn pkts(&self) -> usize;
+}
+
+/// A switch-wide shared buffer pool (dynamic thresholding disabled — plain
+/// complete sharing, as in the Table 5 incast experiment where unscheduled
+/// packets in a low-priority queue starve the high-priority queue of buffer).
+#[derive(Debug)]
+pub struct SharedPool {
+    cap: u64,
+    used: u64,
+}
+
+/// Handle to a [`SharedPool`] shared by the port queues of one switch.
+pub type PoolHandle = Rc<RefCell<SharedPool>>;
+
+impl SharedPool {
+    /// Create a pool with `cap` bytes shared by all ports.
+    pub fn new(cap: u64) -> PoolHandle {
+        Rc::new(RefCell::new(SharedPool { cap, used: 0 }))
+    }
+
+    /// Try to reserve `bytes`; returns false if the pool is exhausted.
+    pub fn try_alloc(&mut self, bytes: u64) -> bool {
+        if self.used + bytes > self.cap {
+            false
+        } else {
+            self.used += bytes;
+            true
+        }
+    }
+
+    /// Release `bytes` back to the pool.
+    pub fn free(&mut self, bytes: u64) {
+        debug_assert!(self.used >= bytes, "freeing more than allocated");
+        self.used = self.used.saturating_sub(bytes);
+    }
+
+    /// Bytes currently in use.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Pool capacity in bytes.
+    pub fn cap(&self) -> u64 {
+        self.cap
+    }
+}
+
+/// FIFO of packets with a running byte count — building block for the
+/// disciplines in this module.
+#[derive(Debug, Default)]
+pub(crate) struct ByteFifo {
+    q: VecDeque<Packet>,
+    bytes: u64,
+}
+
+impl ByteFifo {
+    pub fn new() -> ByteFifo {
+        ByteFifo { q: VecDeque::new(), bytes: 0 }
+    }
+
+    pub fn push(&mut self, pkt: Packet) {
+        self.bytes += pkt.size as u64;
+        self.q.push_back(pkt);
+    }
+
+    pub fn pop(&mut self) -> Option<Packet> {
+        let pkt = self.q.pop_front()?;
+        self.bytes -= pkt.size as u64;
+        Some(pkt)
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::packet::{FlowId, NodeId, Packet, PacketKind, TrafficClass};
+
+    /// A 1500 B data packet of the given class.
+    pub fn data_pkt(class: TrafficClass, seq: u64) -> Packet {
+        Packet::data(FlowId(1), NodeId(0), NodeId(1), seq, 1460, class, 1 << 20)
+    }
+
+    /// A minimum-size control packet.
+    pub fn ctrl_pkt(kind: PacketKind, seq: u64) -> Packet {
+        Packet::control(FlowId(1), NodeId(0), NodeId(1), seq, kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::*;
+    use super::*;
+    use crate::packet::TrafficClass;
+
+    #[test]
+    fn shared_pool_alloc_and_free() {
+        let pool = SharedPool::new(3000);
+        assert!(pool.borrow_mut().try_alloc(1500));
+        assert!(pool.borrow_mut().try_alloc(1500));
+        assert!(!pool.borrow_mut().try_alloc(1));
+        pool.borrow_mut().free(1500);
+        assert!(pool.borrow_mut().try_alloc(1000));
+        assert_eq!(pool.borrow().used(), 2500);
+    }
+
+    #[test]
+    fn byte_fifo_tracks_bytes() {
+        let mut f = ByteFifo::new();
+        f.push(data_pkt(TrafficClass::Scheduled, 0));
+        f.push(data_pkt(TrafficClass::Scheduled, 1460));
+        assert_eq!(f.bytes(), 3000);
+        assert_eq!(f.len(), 2);
+        let p = f.pop().unwrap();
+        assert_eq!(p.seq, 0);
+        assert_eq!(f.bytes(), 1500);
+        f.pop().unwrap();
+        assert!(f.is_empty());
+        assert_eq!(f.bytes(), 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Strict-priority queue bank (commodity switches expose 8 levels).
+//!
+//! Used by Homa (unscheduled packets in high priorities, scheduled below),
+//! by the §5.5 "priority queueing" alternative to Aeolus (unscheduled in the
+//! lowest priority), and — with `selective_threshold` — by Homa+Aeolus where
+//! per-port RED/ECN drops unscheduled arrivals once the *port* occupancy
+//! exceeds the threshold, regardless of which priority queue they target.
+
+use super::{ByteFifo, DropReason, EnqueueOutcome, Poll, PoolHandle, QueueDisc};
+use crate::packet::Packet;
+use crate::units::Time;
+
+/// A bank of strict-priority FIFOs sharing one per-port byte budget.
+pub struct PriorityBank {
+    queues: Vec<ByteFifo>,
+    /// Per-port buffer cap across all priority levels.
+    cap_bytes: u64,
+    /// Aeolus per-port selective dropping: droppable (Non-ECT) arrivals are
+    /// discarded once total port occupancy reaches this threshold.
+    selective_threshold: Option<u64>,
+    /// Optional switch-wide shared buffer pool (Table 5 experiment).
+    pool: Option<PoolHandle>,
+    bytes: u64,
+}
+
+impl PriorityBank {
+    /// A bank with `levels` strict priorities (0 served first) and a shared
+    /// per-port cap of `cap_bytes`.
+    pub fn new(levels: usize, cap_bytes: u64) -> PriorityBank {
+        assert!((1..=64).contains(&levels), "unreasonable priority level count");
+        PriorityBank {
+            queues: (0..levels).map(|_| ByteFifo::new()).collect(),
+            cap_bytes,
+            selective_threshold: None,
+            pool: None,
+            bytes: 0,
+        }
+    }
+
+    /// Enable Aeolus selective dropping at port scope.
+    pub fn with_selective_threshold(mut self, threshold: u64) -> PriorityBank {
+        self.selective_threshold = Some(threshold);
+        self
+    }
+
+    /// Attach a switch-wide shared buffer pool.
+    pub fn with_pool(mut self, pool: PoolHandle) -> PriorityBank {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Number of priority levels.
+    pub fn levels(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Bytes queued at one priority level (for tests / tracing).
+    pub fn bytes_at(&self, level: usize) -> u64 {
+        self.queues[level].bytes()
+    }
+}
+
+impl QueueDisc for PriorityBank {
+    fn enqueue(&mut self, pkt: Packet, _now: Time) -> EnqueueOutcome {
+        let sz = pkt.size as u64;
+        if let Some(k) = self.selective_threshold {
+            if self.bytes >= k && pkt.droppable() {
+                return EnqueueOutcome::Dropped {
+                    reason: DropReason::SelectiveDrop,
+                    pkt: Box::new(pkt),
+                };
+            }
+        }
+        if self.bytes + sz > self.cap_bytes {
+            return EnqueueOutcome::Dropped { reason: DropReason::BufferFull, pkt: Box::new(pkt) };
+        }
+        if let Some(pool) = &self.pool {
+            if !pool.borrow_mut().try_alloc(sz) {
+                return EnqueueOutcome::Dropped {
+                    reason: DropReason::SharedBufferFull,
+                    pkt: Box::new(pkt),
+                };
+            }
+        }
+        let level = (pkt.priority as usize).min(self.queues.len() - 1);
+        self.bytes += sz;
+        self.queues[level].push(pkt);
+        EnqueueOutcome::Queued
+    }
+
+    fn poll(&mut self, _now: Time) -> Poll {
+        for q in self.queues.iter_mut() {
+            if let Some(pkt) = q.pop() {
+                self.bytes -= pkt.size as u64;
+                if let Some(pool) = &self.pool {
+                    pool.borrow_mut().free(pkt.size as u64);
+                }
+                return Poll::Ready(pkt);
+            }
+        }
+        Poll::Empty
+    }
+
+    fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn pkts(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::data_pkt;
+    use super::super::SharedPool;
+    use super::*;
+    use crate::packet::TrafficClass;
+
+    fn pkt_at(prio: u8, seq: u64) -> Packet {
+        let mut p = data_pkt(TrafficClass::Scheduled, seq);
+        p.priority = prio;
+        p
+    }
+
+    #[test]
+    fn strict_priority_order() {
+        let mut q = PriorityBank::new(8, 1 << 20);
+        q.enqueue(pkt_at(5, 50), 0);
+        q.enqueue(pkt_at(0, 0), 0);
+        q.enqueue(pkt_at(3, 30), 0);
+        q.enqueue(pkt_at(0, 1), 0);
+        let order: Vec<u64> = std::iter::from_fn(|| match q.poll(0) {
+            Poll::Ready(p) => Some(p.seq),
+            _ => None,
+        })
+        .collect();
+        assert_eq!(order, vec![0, 1, 30, 50]);
+    }
+
+    #[test]
+    fn port_cap_shared_across_levels() {
+        let mut q = PriorityBank::new(8, 3000);
+        assert!(matches!(q.enqueue(pkt_at(7, 0), 0), EnqueueOutcome::Queued));
+        assert!(matches!(q.enqueue(pkt_at(6, 1), 0), EnqueueOutcome::Queued));
+        // A *high* priority arrival is still tail-dropped when the port
+        // buffer is full of low-priority bytes — the §5.5 failure mode.
+        match q.enqueue(pkt_at(0, 2), 0) {
+            EnqueueOutcome::Dropped { reason: DropReason::BufferFull, .. } => {}
+            other => panic!("expected drop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn selective_threshold_applies_across_the_whole_port() {
+        let mut q = PriorityBank::new(8, 1 << 20).with_selective_threshold(3000);
+        let unsched = |seq| {
+            let mut p = data_pkt(TrafficClass::Unscheduled, seq);
+            p.priority = 7;
+            p
+        };
+        assert!(matches!(q.enqueue(unsched(0), 0), EnqueueOutcome::Queued));
+        assert!(matches!(q.enqueue(pkt_at(2, 1), 0), EnqueueOutcome::Queued));
+        // Port occupancy is now 3000 B: droppable arrivals go, even to an
+        // empty priority level...
+        match q.enqueue(unsched(2), 0) {
+            EnqueueOutcome::Dropped { reason: DropReason::SelectiveDrop, .. } => {}
+            other => panic!("expected selective drop, got {other:?}"),
+        }
+        // ...while scheduled packets are still accepted.
+        assert!(matches!(q.enqueue(pkt_at(1, 3), 0), EnqueueOutcome::Queued));
+    }
+
+    #[test]
+    fn out_of_range_priority_clamps_to_lowest() {
+        let mut q = PriorityBank::new(2, 1 << 20);
+        q.enqueue(pkt_at(9, 42), 0);
+        assert_eq!(q.bytes_at(1), 1500);
+    }
+
+    #[test]
+    fn shared_pool_integrates() {
+        let pool = SharedPool::new(1500);
+        let mut a = PriorityBank::new(2, 1 << 20).with_pool(pool.clone());
+        let mut b = PriorityBank::new(2, 1 << 20).with_pool(pool.clone());
+        assert!(matches!(a.enqueue(pkt_at(0, 0), 0), EnqueueOutcome::Queued));
+        match b.enqueue(pkt_at(0, 1), 0) {
+            EnqueueOutcome::Dropped { reason: DropReason::SharedBufferFull, .. } => {}
+            other => panic!("expected pool drop, got {other:?}"),
+        }
+        assert!(matches!(a.poll(0), Poll::Ready(_)));
+        assert_eq!(pool.borrow().used(), 0);
+    }
+
+    #[test]
+    fn byte_and_packet_counters_consistent() {
+        let mut q = PriorityBank::new(8, 1 << 20);
+        for i in 0..5 {
+            q.enqueue(pkt_at((i % 3) as u8, i), 0);
+        }
+        assert_eq!(q.pkts(), 5);
+        assert_eq!(q.bytes(), 5 * 1500);
+        while let Poll::Ready(_) = q.poll(0) {}
+        assert_eq!(q.pkts(), 0);
+        assert_eq!(q.bytes(), 0);
+    }
+}

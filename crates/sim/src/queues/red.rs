@@ -1,0 +1,161 @@
+//! Single-threshold RED/ECN queue — the commodity-switch feature Aeolus
+//! re-interprets to build selective dropping (§4.1 of the paper).
+//!
+//! The switch is configured with both the low and high RED thresholds set to
+//! the selective-dropping threshold `K`. An arriving packet when the queue
+//! holds ≥ `K` bytes is:
+//!
+//! * **dropped** if it is Non-ECT — which, under Aeolus marking, is exactly
+//!   the unscheduled (pre-credit) packets;
+//! * **CE-marked and queued** if it is ECT — the scheduled packets (whose
+//!   marks Aeolus receivers simply ignore).
+//!
+//! Scheduled packets are still subject to the physical buffer cap, but in a
+//! functioning proactive transport that cap is never approached.
+
+use super::{ByteFifo, DropReason, EnqueueOutcome, Poll, QueueDisc};
+use crate::packet::Packet;
+use crate::units::Time;
+
+/// RED/ECN FIFO with equal low/high thresholds (deterministic marking), the
+/// configuration the paper uses to realize selective dropping.
+pub struct RedEcnQueue {
+    fifo: ByteFifo,
+    /// Selective-dropping / marking threshold in bytes (paper default 6 KB).
+    threshold: u64,
+    /// Physical per-port buffer in bytes (paper default 200 KB).
+    cap_bytes: u64,
+}
+
+impl RedEcnQueue {
+    /// Queue with marking/dropping `threshold` and physical cap `cap_bytes`.
+    pub fn new(threshold: u64, cap_bytes: u64) -> RedEcnQueue {
+        assert!(threshold <= cap_bytes, "threshold must not exceed the buffer");
+        RedEcnQueue { fifo: ByteFifo::new(), threshold, cap_bytes }
+    }
+
+    /// The configured selective-dropping threshold in bytes.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+}
+
+impl QueueDisc for RedEcnQueue {
+    fn enqueue(&mut self, mut pkt: Packet, _now: Time) -> EnqueueOutcome {
+        let sz = pkt.size as u64;
+        if self.fifo.bytes() + sz > self.cap_bytes {
+            return EnqueueOutcome::Dropped { reason: DropReason::BufferFull, pkt: Box::new(pkt) };
+        }
+        if self.fifo.bytes() >= self.threshold {
+            if pkt.droppable() {
+                return EnqueueOutcome::Dropped {
+                    reason: DropReason::SelectiveDrop,
+                    pkt: Box::new(pkt),
+                };
+            }
+            pkt.mark_ce();
+            self.fifo.push(pkt);
+            return EnqueueOutcome::QueuedMarked;
+        }
+        self.fifo.push(pkt);
+        EnqueueOutcome::Queued
+    }
+
+    fn poll(&mut self, _now: Time) -> Poll {
+        match self.fifo.pop() {
+            Some(pkt) => Poll::Ready(pkt),
+            None => Poll::Empty,
+        }
+    }
+
+    fn bytes(&self) -> u64 {
+        self.fifo.bytes()
+    }
+
+    fn pkts(&self) -> usize {
+        self.fifo.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{ctrl_pkt, data_pkt};
+    use super::*;
+    use crate::packet::{Ecn, PacketKind, TrafficClass};
+
+    /// 6 KB threshold = 4 MTU packets, the paper default.
+    fn queue() -> RedEcnQueue {
+        RedEcnQueue::new(6_000, 200_000)
+    }
+
+    #[test]
+    fn below_threshold_everything_is_queued_unmarked() {
+        let mut q = queue();
+        for i in 0..4 {
+            let out = q.enqueue(data_pkt(TrafficClass::Unscheduled, i), 0);
+            assert!(matches!(out, EnqueueOutcome::Queued), "pkt {i}: {out:?}");
+        }
+        assert_eq!(q.pkts(), 4);
+    }
+
+    #[test]
+    fn unscheduled_dropped_above_threshold() {
+        let mut q = queue();
+        for i in 0..4 {
+            q.enqueue(data_pkt(TrafficClass::Unscheduled, i), 0);
+        }
+        // Queue now holds 6000 B >= threshold: next unscheduled must go.
+        match q.enqueue(data_pkt(TrafficClass::Unscheduled, 4), 0) {
+            EnqueueOutcome::Dropped { reason: DropReason::SelectiveDrop, .. } => {}
+            other => panic!("expected selective drop, got {other:?}"),
+        }
+        assert_eq!(q.pkts(), 4, "queue never grows with unscheduled packets");
+    }
+
+    #[test]
+    fn scheduled_marked_not_dropped_above_threshold() {
+        let mut q = queue();
+        for i in 0..4 {
+            q.enqueue(data_pkt(TrafficClass::Unscheduled, i), 0);
+        }
+        match q.enqueue(data_pkt(TrafficClass::Scheduled, 4), 0) {
+            EnqueueOutcome::QueuedMarked => {}
+            other => panic!("expected marked enqueue, got {other:?}"),
+        }
+        assert_eq!(q.pkts(), 5);
+        // The marked packet comes out with CE set.
+        let mut last = None;
+        while let Poll::Ready(p) = q.poll(0) {
+            last = Some(p);
+        }
+        assert_eq!(last.unwrap().ecn, Ecn::Ce);
+    }
+
+    #[test]
+    fn control_packets_survive_congestion() {
+        let mut q = queue();
+        for i in 0..10 {
+            q.enqueue(data_pkt(TrafficClass::Scheduled, i), 0);
+        }
+        let out = q.enqueue(ctrl_pkt(PacketKind::Probe, 99), 0);
+        assert!(matches!(out, EnqueueOutcome::QueuedMarked | EnqueueOutcome::Queued));
+    }
+
+    #[test]
+    fn physical_cap_still_binds_scheduled() {
+        let mut q = RedEcnQueue::new(6_000, 7_500);
+        for i in 0..5 {
+            q.enqueue(data_pkt(TrafficClass::Scheduled, i), 0);
+        }
+        match q.enqueue(data_pkt(TrafficClass::Scheduled, 5), 0) {
+            EnqueueOutcome::Dropped { reason: DropReason::BufferFull, .. } => {}
+            other => panic!("expected buffer-full drop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must not exceed")]
+    fn threshold_above_cap_is_a_config_bug() {
+        RedEcnQueue::new(10_000, 5_000);
+    }
+}

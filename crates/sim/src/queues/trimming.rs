@@ -1,0 +1,164 @@
+//! NDP cutting-payload (CP) queue.
+//!
+//! NDP switches keep a very short data queue (default 8 full packets). When
+//! a data packet arrives to a full data queue its payload is *trimmed* and
+//! the remaining header is placed in a strict-priority control queue together
+//! with ACKs/NACKs/pulls, so the receiver learns of the loss within one RTT.
+//! This requires switch hardware modifications (the paper's point: Aeolus
+//! reproduces the effect with commodity RED/ECN instead).
+
+use super::{ByteFifo, DropReason, EnqueueOutcome, Poll, QueueDisc};
+use crate::packet::Packet;
+use crate::units::Time;
+
+/// Two-queue NDP port: priority control queue + packet-capped data queue
+/// with payload trimming on overflow.
+pub struct TrimmingQueue {
+    control: ByteFifo,
+    data: ByteFifo,
+    /// Maximum number of full data packets queued before trimming (paper: 8).
+    data_cap_pkts: usize,
+    /// Cap on the control queue in bytes; beyond it even headers drop (rare).
+    control_cap_bytes: u64,
+    /// Count of packets trimmed at this port (exposed for stats).
+    pub trimmed_count: u64,
+}
+
+impl TrimmingQueue {
+    /// A trimming queue holding at most `data_cap_pkts` untrimmed packets.
+    pub fn new(data_cap_pkts: usize, control_cap_bytes: u64) -> TrimmingQueue {
+        TrimmingQueue {
+            control: ByteFifo::new(),
+            data: ByteFifo::new(),
+            data_cap_pkts,
+            control_cap_bytes,
+            trimmed_count: 0,
+        }
+    }
+}
+
+impl QueueDisc for TrimmingQueue {
+    fn enqueue(&mut self, mut pkt: Packet, _now: Time) -> EnqueueOutcome {
+        let is_payload = pkt.is_data();
+        if !is_payload {
+            // Control / already-trimmed packets ride the priority queue.
+            if self.control.bytes() + pkt.size as u64 > self.control_cap_bytes {
+                return EnqueueOutcome::Dropped {
+                    reason: DropReason::BufferFull,
+                    pkt: Box::new(pkt),
+                };
+            }
+            self.control.push(pkt);
+            return EnqueueOutcome::Queued;
+        }
+        if self.data.len() >= self.data_cap_pkts {
+            // Cutting payload: keep the header, lose the bytes.
+            pkt.trim();
+            self.trimmed_count += 1;
+            if self.control.bytes() + pkt.size as u64 > self.control_cap_bytes {
+                return EnqueueOutcome::Dropped {
+                    reason: DropReason::BufferFull,
+                    pkt: Box::new(pkt),
+                };
+            }
+            self.control.push(pkt);
+            return EnqueueOutcome::QueuedTrimmed;
+        }
+        self.data.push(pkt);
+        EnqueueOutcome::Queued
+    }
+
+    fn poll(&mut self, _now: Time) -> Poll {
+        if let Some(pkt) = self.control.pop() {
+            return Poll::Ready(pkt);
+        }
+        match self.data.pop() {
+            Some(pkt) => Poll::Ready(pkt),
+            None => Poll::Empty,
+        }
+    }
+
+    fn bytes(&self) -> u64 {
+        self.control.bytes() + self.data.bytes()
+    }
+
+    fn pkts(&self) -> usize {
+        self.control.len() + self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{ctrl_pkt, data_pkt};
+    use super::*;
+    use crate::packet::{PacketKind, TrafficClass, MIN_PACKET_BYTES};
+
+    fn queue() -> TrimmingQueue {
+        TrimmingQueue::new(8, 1 << 20)
+    }
+
+    #[test]
+    fn data_queued_until_cap_then_trimmed() {
+        let mut q = queue();
+        for i in 0..8 {
+            assert!(matches!(
+                q.enqueue(data_pkt(TrafficClass::Unscheduled, i), 0),
+                EnqueueOutcome::Queued
+            ));
+        }
+        match q.enqueue(data_pkt(TrafficClass::Unscheduled, 8), 0) {
+            EnqueueOutcome::QueuedTrimmed => {}
+            other => panic!("expected trim, got {other:?}"),
+        }
+        assert_eq!(q.trimmed_count, 1);
+        assert_eq!(q.pkts(), 9, "trimmed header stays queued");
+    }
+
+    #[test]
+    fn trimmed_headers_overtake_data() {
+        let mut q = queue();
+        for i in 0..8 {
+            q.enqueue(data_pkt(TrafficClass::Unscheduled, i), 0);
+        }
+        q.enqueue(data_pkt(TrafficClass::Unscheduled, 100), 0);
+        // The trimmed header (seq 100) must come out first.
+        match q.poll(0) {
+            Poll::Ready(p) => {
+                assert_eq!(p.seq, 100);
+                assert!(p.trimmed);
+                assert_eq!(p.size, MIN_PACKET_BYTES);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Then the full data packets in order.
+        match q.poll(0) {
+            Poll::Ready(p) => {
+                assert_eq!(p.seq, 0);
+                assert!(!p.trimmed);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_packets_ride_priority_queue() {
+        let mut q = queue();
+        q.enqueue(data_pkt(TrafficClass::Scheduled, 0), 0);
+        q.enqueue(ctrl_pkt(PacketKind::Pull, 1), 0);
+        match q.poll(0) {
+            Poll::Ready(p) => assert_eq!(p.kind, PacketKind::Pull),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_cap_eventually_drops() {
+        let mut q = TrimmingQueue::new(8, 128);
+        assert!(matches!(q.enqueue(ctrl_pkt(PacketKind::Pull, 0), 0), EnqueueOutcome::Queued));
+        assert!(matches!(q.enqueue(ctrl_pkt(PacketKind::Pull, 1), 0), EnqueueOutcome::Queued));
+        assert!(matches!(
+            q.enqueue(ctrl_pkt(PacketKind::Pull, 2), 0),
+            EnqueueOutcome::Dropped { reason: DropReason::BufferFull, .. }
+        ));
+    }
+}

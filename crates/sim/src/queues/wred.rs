@@ -1,0 +1,206 @@
+//! WRED (weighted RED) with packet colors — the paper's *first* switch
+//! implementation option for selective dropping (§4.1).
+//!
+//! Commodity chips (Broadcom Trident/Tomahawk) support three packet colors
+//! with independent drop thresholds in one queue. Aeolus marks scheduled and
+//! unscheduled packets with different DSCP values; an ACL maps DSCP to
+//! color; the *red* color (unscheduled) gets the tiny selective-dropping
+//! threshold while *green* (scheduled) gets the full buffer.
+//!
+//! This module models that pipeline: a color classifier (here: the packet's
+//! [`TrafficClass`], standing in for the DSCP→color ACL) plus per-color
+//! thresholds. With the paper's configuration it makes byte-for-byte the
+//! same drop decisions as the RED/ECN re-interpretation
+//! ([`super::RedEcnQueue`]) — a unit test asserts the equivalence.
+
+use super::{ByteFifo, DropReason, EnqueueOutcome, Poll, QueueDisc};
+use crate::packet::{Packet, TrafficClass};
+use crate::units::Time;
+
+/// Packet colors in the switch pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Color {
+    /// Committed traffic — highest drop threshold.
+    Green,
+    /// Excess but tolerated traffic.
+    Yellow,
+    /// Drop-first traffic.
+    Red,
+}
+
+/// Per-color WRED drop thresholds (min = max, as Aeolus configures).
+#[derive(Debug, Clone, Copy)]
+pub struct WredProfile {
+    /// Drop threshold for green packets (bytes).
+    pub green: u64,
+    /// Drop threshold for yellow packets (bytes).
+    pub yellow: u64,
+    /// Drop threshold for red packets (bytes).
+    pub red: u64,
+}
+
+impl WredProfile {
+    /// The Aeolus §4.1 configuration: red (unscheduled) at the selective
+    /// threshold, green (scheduled) at the full buffer, yellow unused in
+    /// between.
+    pub fn aeolus(selective_threshold: u64, buffer: u64) -> WredProfile {
+        WredProfile { green: buffer, yellow: buffer, red: selective_threshold }
+    }
+}
+
+/// Single FIFO with per-color drop thresholds.
+pub struct WredQueue {
+    fifo: ByteFifo,
+    profile: WredProfile,
+    /// Physical buffer cap.
+    cap_bytes: u64,
+    /// DSCP→color classifier (the ACL stage). Default: unscheduled = red,
+    /// everything else = green.
+    classify: fn(&Packet) -> Color,
+}
+
+/// Default ACL: the Aeolus marking rule.
+fn aeolus_acl(pkt: &Packet) -> Color {
+    match pkt.class {
+        TrafficClass::Unscheduled => Color::Red,
+        TrafficClass::Scheduled | TrafficClass::Control => Color::Green,
+    }
+}
+
+impl WredQueue {
+    /// A WRED queue with the given profile and physical cap, using the
+    /// Aeolus DSCP→color mapping.
+    pub fn new(profile: WredProfile, cap_bytes: u64) -> WredQueue {
+        WredQueue { fifo: ByteFifo::new(), profile, cap_bytes, classify: aeolus_acl }
+    }
+
+    /// Override the classifier (for tests / other marking schemes).
+    pub fn with_classifier(mut self, classify: fn(&Packet) -> Color) -> WredQueue {
+        self.classify = classify;
+        self
+    }
+
+    fn threshold_for(&self, color: Color) -> u64 {
+        match color {
+            Color::Green => self.profile.green,
+            Color::Yellow => self.profile.yellow,
+            Color::Red => self.profile.red,
+        }
+    }
+}
+
+impl QueueDisc for WredQueue {
+    fn enqueue(&mut self, pkt: Packet, _now: Time) -> EnqueueOutcome {
+        let sz = pkt.size as u64;
+        if self.fifo.bytes() + sz > self.cap_bytes {
+            return EnqueueOutcome::Dropped { reason: DropReason::BufferFull, pkt: Box::new(pkt) };
+        }
+        let color = (self.classify)(&pkt);
+        if self.fifo.bytes() >= self.threshold_for(color) {
+            return EnqueueOutcome::Dropped {
+                reason: DropReason::SelectiveDrop,
+                pkt: Box::new(pkt),
+            };
+        }
+        self.fifo.push(pkt);
+        EnqueueOutcome::Queued
+    }
+
+    fn poll(&mut self, _now: Time) -> Poll {
+        match self.fifo.pop() {
+            Some(pkt) => Poll::Ready(pkt),
+            None => Poll::Empty,
+        }
+    }
+
+    fn bytes(&self) -> u64 {
+        self.fifo.bytes()
+    }
+
+    fn pkts(&self) -> usize {
+        self.fifo.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{ctrl_pkt, data_pkt};
+    use super::super::RedEcnQueue;
+    use super::*;
+    use crate::packet::PacketKind;
+
+    fn queue() -> WredQueue {
+        WredQueue::new(WredProfile::aeolus(6_000, 200_000), 200_000)
+    }
+
+    #[test]
+    fn red_color_dropped_above_selective_threshold() {
+        let mut q = queue();
+        for i in 0..4 {
+            assert!(matches!(
+                q.enqueue(data_pkt(TrafficClass::Unscheduled, i), 0),
+                EnqueueOutcome::Queued
+            ));
+        }
+        assert!(matches!(
+            q.enqueue(data_pkt(TrafficClass::Unscheduled, 4), 0),
+            EnqueueOutcome::Dropped { reason: DropReason::SelectiveDrop, .. }
+        ));
+        // Green packets still pass.
+        assert!(matches!(q.enqueue(data_pkt(TrafficClass::Scheduled, 5), 0), EnqueueOutcome::Queued));
+        assert!(matches!(q.enqueue(ctrl_pkt(PacketKind::Probe, 6), 0), EnqueueOutcome::Queued));
+    }
+
+    #[test]
+    fn wred_and_red_ecn_make_identical_drop_decisions() {
+        // The paper's two §4.1 implementations must agree packet-for-packet
+        // under the same arrival sequence.
+        let mut wred = queue();
+        let mut red = RedEcnQueue::new(6_000, 200_000);
+        // A deterministic pseudo-random mix of classes and dequeues.
+        let mut x = 12345u64;
+        for i in 0..2_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let class = if x.is_multiple_of(3) { TrafficClass::Scheduled } else { TrafficClass::Unscheduled };
+            let wred_drop =
+                matches!(wred.enqueue(data_pkt(class, i), 0), EnqueueOutcome::Dropped { .. });
+            let red_drop =
+                matches!(red.enqueue(data_pkt(class, i), 0), EnqueueOutcome::Dropped { .. });
+            assert_eq!(wred_drop, red_drop, "divergence at packet {i} ({class:?})");
+            if x % 5 < 2 {
+                let a = matches!(wred.poll(0), Poll::Ready(_));
+                let b = matches!(red.poll(0), Poll::Ready(_));
+                assert_eq!(a, b);
+            }
+            assert_eq!(wred.bytes(), red.bytes(), "occupancy divergence at {i}");
+        }
+    }
+
+    #[test]
+    fn custom_classifier_is_honored() {
+        fn everything_red(_: &Packet) -> Color {
+            Color::Red
+        }
+        let mut q = WredQueue::new(WredProfile::aeolus(3_000, 200_000), 200_000)
+            .with_classifier(everything_red);
+        q.enqueue(data_pkt(TrafficClass::Scheduled, 0), 0);
+        q.enqueue(data_pkt(TrafficClass::Scheduled, 1), 0);
+        // 3000 B queued >= red threshold: even "scheduled" drops now.
+        assert!(matches!(
+            q.enqueue(data_pkt(TrafficClass::Scheduled, 2), 0),
+            EnqueueOutcome::Dropped { .. }
+        ));
+    }
+
+    #[test]
+    fn physical_cap_binds_green_too() {
+        let mut q = WredQueue::new(WredProfile::aeolus(6_000, 7_500), 7_500);
+        for i in 0..5 {
+            q.enqueue(data_pkt(TrafficClass::Scheduled, i), 0);
+        }
+        assert!(matches!(
+            q.enqueue(data_pkt(TrafficClass::Scheduled, 5), 0),
+            EnqueueOutcome::Dropped { reason: DropReason::BufferFull, .. }
+        ));
+    }
+}

@@ -1,0 +1,218 @@
+//! ExpressPass port queue: an inner data discipline plus a rate-limited
+//! credit queue.
+//!
+//! ExpressPass switches throttle *credit* packets on every egress port so
+//! that the data packets the credits will induce on the reverse path exactly
+//! fill that path: at most one credit per serialization time of one data MTU
+//! plus one credit (84 B / (84 B + 1538 B) ≈ 5.5 % of capacity). Credits
+//! arriving to a full credit queue are dropped — that loss is the signal the
+//! ExpressPass feedback loop uses to tune per-flow credit rates.
+//!
+//! The data path is delegated to an inner [`QueueDisc`], so the same port
+//! can run plain drop-tail (original ExpressPass), RED/ECN selective
+//! dropping (ExpressPass+Aeolus) or a priority bank (the §5.5 strawman).
+
+use super::{ByteFifo, DropReason, EnqueueOutcome, Poll, QueueDisc};
+use crate::packet::{Packet, PacketKind};
+use crate::units::{Rate, Time};
+
+/// ExpressPass egress discipline: paced credit queue + inner data queue.
+pub struct XPassQueue {
+    data: Box<dyn QueueDisc>,
+    credits: ByteFifo,
+    /// Credit queue cap in packets (ExpressPass default: 8).
+    credit_cap_pkts: usize,
+    /// Minimum spacing between two credits leaving this port.
+    credit_interval: Time,
+    /// Earliest time the next credit may leave.
+    next_credit_at: Time,
+    /// Credits dropped at this port (feedback-loop signal, exposed to stats).
+    pub credits_dropped: u64,
+}
+
+impl XPassQueue {
+    /// Build for a port of rate `link`, pacing credits so induced data fills
+    /// the forward path. `data_mtu_wire` is the wire size of a full data
+    /// packet (payload + headers), `credit_size` of a credit packet. Data
+    /// packets are handled by `data`.
+    pub fn new(
+        data: Box<dyn QueueDisc>,
+        link: Rate,
+        data_mtu_wire: u32,
+        credit_size: u32,
+        credit_cap_pkts: usize,
+    ) -> XPassQueue {
+        XPassQueue {
+            data,
+            credits: ByteFifo::new(),
+            credit_cap_pkts,
+            credit_interval: link.serialize((data_mtu_wire + credit_size) as u64),
+            next_credit_at: 0,
+            credits_dropped: 0,
+        }
+    }
+
+    /// The enforced credit spacing (for tests).
+    pub fn credit_interval(&self) -> Time {
+        self.credit_interval
+    }
+}
+
+impl QueueDisc for XPassQueue {
+    fn enqueue(&mut self, pkt: Packet, now: Time) -> EnqueueOutcome {
+        if pkt.kind == PacketKind::Credit {
+            if self.credits.len() >= self.credit_cap_pkts {
+                self.credits_dropped += 1;
+                return EnqueueOutcome::Dropped {
+                    reason: DropReason::CreditOverflow,
+                    pkt: Box::new(pkt),
+                };
+            }
+            self.credits.push(pkt);
+            return EnqueueOutcome::Queued;
+        }
+        self.data.enqueue(pkt, now)
+    }
+
+    fn poll(&mut self, now: Time) -> Poll {
+        if !self.credits.is_empty() && now >= self.next_credit_at {
+            let pkt = self.credits.pop().expect("non-empty credit queue");
+            self.next_credit_at = now + self.credit_interval;
+            return Poll::Ready(pkt);
+        }
+        match self.data.poll(now) {
+            Poll::Ready(pkt) => Poll::Ready(pkt),
+            Poll::NotBefore(t) => {
+                if self.credits.is_empty() {
+                    Poll::NotBefore(t)
+                } else {
+                    Poll::NotBefore(t.min(self.next_credit_at))
+                }
+            }
+            Poll::Empty => {
+                if self.credits.is_empty() {
+                    Poll::Empty
+                } else {
+                    Poll::NotBefore(self.next_credit_at)
+                }
+            }
+        }
+    }
+
+    fn bytes(&self) -> u64 {
+        self.data.bytes() + self.credits.bytes()
+    }
+
+    fn pkts(&self) -> usize {
+        self.data.pkts() + self.credits.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::data_pkt;
+    use super::super::{DropTailQueue, RedEcnQueue};
+    use super::*;
+    use crate::packet::{FlowId, NodeId, TrafficClass, CREDIT_BYTES};
+
+    fn credit(seq: u64) -> Packet {
+        let mut p = Packet::control(FlowId(1), NodeId(0), NodeId(1), seq, PacketKind::Credit);
+        p.size = CREDIT_BYTES;
+        p
+    }
+
+    fn queue() -> XPassQueue {
+        XPassQueue::new(
+            Box::new(DropTailQueue::new(200_000)),
+            Rate::gbps(100),
+            1540,
+            CREDIT_BYTES,
+            8,
+        )
+    }
+
+    #[test]
+    fn credit_interval_matches_mtu_plus_credit() {
+        let q = queue();
+        // (1540 + 84) * 8 bits at 10 ps/bit = 129.92 ns.
+        assert_eq!(q.credit_interval(), Rate::gbps(100).serialize(1624));
+    }
+
+    #[test]
+    fn credits_paced_one_per_interval() {
+        let mut q = queue();
+        q.enqueue(credit(0), 0);
+        q.enqueue(credit(1), 0);
+        match q.poll(0) {
+            Poll::Ready(p) => assert_eq!(p.seq, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Second credit gated until the interval elapses.
+        let gate = match q.poll(0) {
+            Poll::NotBefore(t) => t,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(gate, q.credit_interval());
+        assert!(matches!(q.poll(gate), Poll::Ready(_)));
+    }
+
+    #[test]
+    fn data_fills_gaps_between_credits() {
+        let mut q = queue();
+        q.enqueue(credit(0), 0);
+        q.enqueue(credit(1), 0);
+        q.enqueue(data_pkt(TrafficClass::Scheduled, 0), 0);
+        assert!(matches!(q.poll(0), Poll::Ready(p) if p.kind == PacketKind::Credit));
+        // Credit gated, so data goes out.
+        assert!(matches!(q.poll(0), Poll::Ready(p) if p.kind == PacketKind::Data));
+        assert!(matches!(q.poll(0), Poll::NotBefore(_)));
+    }
+
+    #[test]
+    fn credit_overflow_drops_and_counts() {
+        let mut q = queue();
+        for i in 0..8 {
+            assert!(matches!(q.enqueue(credit(i), 0), EnqueueOutcome::Queued));
+        }
+        match q.enqueue(credit(8), 0) {
+            EnqueueOutcome::Dropped { reason: DropReason::CreditOverflow, pkt } => {
+                assert_eq!(pkt.seq, 8)
+            }
+            other => panic!("expected credit drop, got {other:?}"),
+        }
+        assert_eq!(q.credits_dropped, 1);
+    }
+
+    #[test]
+    fn inner_discipline_decides_data_fate() {
+        // RED/ECN inner queue: unscheduled dropped above 6 KB — the
+        // ExpressPass+Aeolus port in one object.
+        let mut q = XPassQueue::new(
+            Box::new(RedEcnQueue::new(6_000, 200_000)),
+            Rate::gbps(100),
+            1540,
+            CREDIT_BYTES,
+            8,
+        );
+        for i in 0..4 {
+            assert!(matches!(
+                q.enqueue(data_pkt(TrafficClass::Unscheduled, i), 0),
+                EnqueueOutcome::Queued
+            ));
+        }
+        assert!(matches!(
+            q.enqueue(data_pkt(TrafficClass::Unscheduled, 4), 0),
+            EnqueueOutcome::Dropped { reason: DropReason::SelectiveDrop, .. }
+        ));
+        assert!(matches!(
+            q.enqueue(data_pkt(TrafficClass::Scheduled, 5), 0),
+            EnqueueOutcome::QueuedMarked
+        ));
+    }
+
+    #[test]
+    fn empty_queue_reports_empty() {
+        let mut q = queue();
+        assert!(matches!(q.poll(0), Poll::Empty));
+    }
+}

@@ -1,0 +1,252 @@
+//! A set of disjoint byte ranges.
+//!
+//! Receivers use this to track which bytes of a message have arrived (and so
+//! which arriving bytes are new vs. duplicates), and senders use it to track
+//! acknowledged data. Ranges are half-open `[start, end)`.
+
+use std::collections::BTreeMap;
+
+/// Set of disjoint, coalesced half-open byte ranges.
+#[derive(Debug, Clone, Default)]
+pub struct RangeSet {
+    // start -> end, ranges disjoint and non-adjacent.
+    ranges: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl RangeSet {
+    /// An empty set.
+    pub fn new() -> RangeSet {
+        RangeSet::default()
+    }
+
+    /// Insert `[start, end)`, returning the number of bytes newly covered
+    /// (0 when the range was already fully present — i.e. a duplicate).
+    pub fn insert(&mut self, start: u64, end: u64) -> u64 {
+        if start >= end {
+            return 0;
+        }
+        let mut new_start = start;
+        let mut new_end = end;
+        let mut absorbed: u64 = 0;
+        let mut to_remove = Vec::new();
+        // Candidate overlapping/adjacent ranges begin at or before `end`;
+        // the one starting before `start` can still overlap, so walk back one.
+        let mut iter_start = start;
+        if let Some((&s, &e)) = self.ranges.range(..=start).next_back() {
+            if e >= start {
+                iter_start = s;
+            }
+        }
+        for (&s, &e) in self.ranges.range(iter_start..=end) {
+            if s > new_end {
+                break;
+            }
+            // Overlapping or adjacent: merge.
+            to_remove.push(s);
+            absorbed += e - s;
+            new_start = new_start.min(s);
+            new_end = new_end.max(e);
+        }
+        for s in to_remove {
+            self.ranges.remove(&s);
+        }
+        self.ranges.insert(new_start, new_end);
+        let added = (new_end - new_start) - absorbed;
+        self.total += added;
+        added
+    }
+
+    /// Whether `[start, end)` is fully covered.
+    pub fn contains(&self, start: u64, end: u64) -> bool {
+        if start >= end {
+            return true;
+        }
+        match self.ranges.range(..=start).next_back() {
+            Some((_, &e)) => e >= end,
+            None => false,
+        }
+    }
+
+    /// Total bytes covered.
+    pub fn covered(&self) -> u64 {
+        self.total
+    }
+
+    /// Gaps (missing sub-ranges) within `[0, upto)`, in order.
+    pub fn gaps(&self, upto: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cursor = 0u64;
+        for (&s, &e) in &self.ranges {
+            if s >= upto {
+                break;
+            }
+            if s > cursor {
+                out.push((cursor, s.min(upto)));
+            }
+            cursor = cursor.max(e);
+        }
+        if cursor < upto {
+            out.push((cursor, upto));
+        }
+        out
+    }
+
+    /// Number of covered bytes within `[start, end)`.
+    pub fn covered_in(&self, start: u64, end: u64) -> u64 {
+        if start >= end {
+            return 0;
+        }
+        let mut total = 0;
+        if let Some((_, &e)) = self.ranges.range(..=start).next_back() {
+            if e > start {
+                total += e.min(end) - start;
+            }
+        }
+        for (&s, &e) in self.ranges.range((start + 1)..end) {
+            total += e.min(end) - s;
+        }
+        total
+    }
+
+    /// First uncovered sub-range within `[start, end)`, if any.
+    pub fn first_uncovered_in(&self, start: u64, end: u64) -> Option<(u64, u64)> {
+        if start >= end {
+            return None;
+        }
+        let mut cursor = start;
+        // The covering range that begins at or before `start` may extend past it.
+        if let Some((_, &e)) = self.ranges.range(..=start).next_back() {
+            if e > cursor {
+                cursor = e;
+            }
+        }
+        if cursor >= end {
+            return None;
+        }
+        match self.ranges.range(cursor..end).next() {
+            Some((&s, _)) if s > cursor => Some((cursor, s.min(end))),
+            Some((&s, &e)) => {
+                debug_assert_eq!(s, cursor);
+                let _ = e;
+                // Shouldn't happen (coalesced ranges would have covered
+                // cursor), but recurse defensively.
+                self.first_uncovered_in(e, end)
+            }
+            None => Some((cursor, end)),
+        }
+    }
+
+    /// Length of the prefix `[0, n)` fully covered (the cumulative ACK point).
+    pub fn contiguous_prefix(&self) -> u64 {
+        match self.ranges.get(&0) {
+            Some(&e) => e,
+            None => 0,
+        }
+    }
+
+    /// Number of stored disjoint ranges (for tests).
+    pub fn fragments(&self) -> usize {
+        self.ranges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserts_count_new_bytes_once() {
+        let mut rs = RangeSet::new();
+        assert_eq!(rs.insert(0, 10), 10);
+        assert_eq!(rs.insert(0, 10), 0, "duplicate adds nothing");
+        assert_eq!(rs.insert(5, 15), 5, "overlap counts only the new part");
+        assert_eq!(rs.covered(), 15);
+        assert_eq!(rs.fragments(), 1);
+    }
+
+    #[test]
+    fn adjacent_ranges_coalesce() {
+        let mut rs = RangeSet::new();
+        rs.insert(0, 10);
+        rs.insert(10, 20);
+        assert_eq!(rs.fragments(), 1);
+        assert!(rs.contains(0, 20));
+    }
+
+    #[test]
+    fn disjoint_ranges_and_gaps() {
+        let mut rs = RangeSet::new();
+        rs.insert(10, 20);
+        rs.insert(30, 40);
+        assert_eq!(rs.gaps(50), vec![(0, 10), (20, 30), (40, 50)]);
+        assert_eq!(rs.contiguous_prefix(), 0);
+        rs.insert(0, 10);
+        assert_eq!(rs.contiguous_prefix(), 20);
+    }
+
+    #[test]
+    fn insert_bridging_many_ranges() {
+        let mut rs = RangeSet::new();
+        rs.insert(0, 5);
+        rs.insert(10, 15);
+        rs.insert(20, 25);
+        // Bridge everything.
+        assert_eq!(rs.insert(3, 22), 10);
+        assert_eq!(rs.fragments(), 1);
+        assert!(rs.contains(0, 25));
+        assert_eq!(rs.covered(), 25);
+    }
+
+    #[test]
+    fn contains_partial_is_false() {
+        let mut rs = RangeSet::new();
+        rs.insert(0, 10);
+        assert!(!rs.contains(5, 15));
+        assert!(rs.contains(2, 8));
+        assert!(rs.contains(7, 7), "empty range trivially contained");
+    }
+
+    #[test]
+    fn gaps_clip_to_upto() {
+        let mut rs = RangeSet::new();
+        rs.insert(5, 100);
+        assert_eq!(rs.gaps(10), vec![(0, 5)]);
+        assert_eq!(rs.gaps(3), vec![(0, 3)]);
+    }
+
+    #[test]
+    fn covered_in_counts_partial_overlaps() {
+        let mut rs = RangeSet::new();
+        rs.insert(10, 20);
+        rs.insert(30, 40);
+        assert_eq!(rs.covered_in(0, 50), 20);
+        assert_eq!(rs.covered_in(15, 35), 10);
+        assert_eq!(rs.covered_in(12, 18), 6);
+        assert_eq!(rs.covered_in(20, 30), 0);
+        assert_eq!(rs.covered_in(40, 40), 0);
+    }
+
+    #[test]
+    fn first_uncovered_walks_holes() {
+        let mut rs = RangeSet::new();
+        rs.insert(0, 10);
+        rs.insert(20, 30);
+        assert_eq!(rs.first_uncovered_in(0, 40), Some((10, 20)));
+        assert_eq!(rs.first_uncovered_in(25, 40), Some((30, 40)));
+        assert_eq!(rs.first_uncovered_in(0, 10), None);
+        assert_eq!(rs.first_uncovered_in(5, 15), Some((10, 15)));
+        assert_eq!(rs.first_uncovered_in(12, 18), Some((12, 18)));
+        let empty = RangeSet::new();
+        assert_eq!(empty.first_uncovered_in(3, 7), Some((3, 7)));
+        assert_eq!(empty.first_uncovered_in(7, 7), None);
+    }
+
+    #[test]
+    fn empty_insert_is_noop() {
+        let mut rs = RangeSet::new();
+        assert_eq!(rs.insert(5, 5), 0);
+        assert_eq!(rs.covered(), 0);
+        assert_eq!(rs.fragments(), 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Routing: destination-indexed next-hop tables with ECMP.
+//!
+//! Each switch holds, for every destination host, the list of egress ports on
+//! shortest paths. Two selection policies cover the paper's protocols:
+//!
+//! * **per-flow ECMP hashing** (ExpressPass, Homa) — a hash of the flow id
+//!   and the packet's `path_tag` pins all packets of a flow to one path;
+//! * **per-packet spraying** (NDP) — every packet picks uniformly at random.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::packet::{NodeId, Packet, PortId};
+
+/// Path selection policy of a switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Hash (flow id, path tag) onto one of the candidate ports.
+    EcmpHash,
+    /// Choose uniformly at random per packet (NDP packet spraying).
+    Spray,
+}
+
+/// FNV-1a 64-bit hash — cheap, deterministic flow hashing.
+#[inline]
+pub fn fnv1a(mut x: u64, mut y: u64) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for _ in 0..8 {
+        h ^= x & 0xff;
+        h = h.wrapping_mul(0x100000001b3);
+        x >>= 8;
+    }
+    for _ in 0..8 {
+        h ^= y & 0xff;
+        h = h.wrapping_mul(0x100000001b3);
+        y >>= 8;
+    }
+    h
+}
+
+/// A switch routing table: for each destination node id, the ECMP group of
+/// candidate egress ports.
+pub struct RouteTable {
+    /// Indexed by `NodeId.0`; empty group = unreachable (a wiring bug).
+    groups: Vec<Vec<PortId>>,
+    policy: RoutePolicy,
+    rng: StdRng,
+}
+
+impl RouteTable {
+    /// A table for a network of `n_nodes` nodes.
+    pub fn new(n_nodes: usize, policy: RoutePolicy, seed: u64) -> RouteTable {
+        RouteTable {
+            groups: vec![Vec::new(); n_nodes],
+            policy,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Add `port` as a candidate next hop towards `dst`. The table grows on
+    /// demand, so nodes may be numbered beyond the initial capacity.
+    pub fn add_route(&mut self, dst: NodeId, port: PortId) {
+        let idx = dst.0 as usize;
+        if idx >= self.groups.len() {
+            self.groups.resize(idx + 1, Vec::new());
+        }
+        let g = &mut self.groups[idx];
+        if !g.contains(&port) {
+            g.push(port);
+        }
+    }
+
+    /// Candidate ports towards `dst` (for tests/topology validation).
+    pub fn group(&self, dst: NodeId) -> &[PortId] {
+        self.groups.get(dst.0 as usize).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Pick the egress port for `pkt`.
+    ///
+    /// # Panics
+    /// Panics if no route exists — topologies must be fully wired.
+    pub fn select(&mut self, pkt: &Packet) -> PortId {
+        let g = self
+            .groups
+            .get(pkt.dst.0 as usize)
+            .filter(|g| !g.is_empty())
+            .unwrap_or_else(|| panic!("no route from switch to {:?}", pkt.dst));
+        if g.len() == 1 {
+            return g[0];
+        }
+        match self.policy {
+            RoutePolicy::EcmpHash => {
+                let h = fnv1a(pkt.flow.0, pkt.path_tag);
+                g[(h % g.len() as u64) as usize]
+            }
+            RoutePolicy::Spray => {
+                let i = self.rng.gen_range(0..g.len());
+                g[i]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, TrafficClass};
+
+    fn pkt(flow: u64, tag: u64) -> Packet {
+        let mut p =
+            Packet::data(FlowId(flow), NodeId(0), NodeId(5), 0, 1460, TrafficClass::Scheduled, 1);
+        p.path_tag = tag;
+        p
+    }
+
+    fn table(policy: RoutePolicy) -> RouteTable {
+        let mut t = RouteTable::new(8, policy, 42);
+        for p in 0..4 {
+            t.add_route(NodeId(5), PortId(p));
+        }
+        t
+    }
+
+    #[test]
+    fn ecmp_is_deterministic_per_flow() {
+        let mut t = table(RoutePolicy::EcmpHash);
+        let first = t.select(&pkt(7, 0));
+        for _ in 0..50 {
+            assert_eq!(t.select(&pkt(7, 0)), first);
+        }
+    }
+
+    #[test]
+    fn ecmp_spreads_across_flows() {
+        let mut t = table(RoutePolicy::EcmpHash);
+        let mut seen = std::collections::HashSet::new();
+        for f in 0..64 {
+            seen.insert(t.select(&pkt(f, 0)));
+        }
+        assert!(seen.len() >= 3, "hash should reach most ports, saw {seen:?}");
+    }
+
+    #[test]
+    fn path_tag_changes_ecmp_choice() {
+        let mut t = table(RoutePolicy::EcmpHash);
+        let mut seen = std::collections::HashSet::new();
+        for tag in 0..64 {
+            seen.insert(t.select(&pkt(7, tag)));
+        }
+        assert!(seen.len() >= 3, "path tag must re-roll the hash, saw {seen:?}");
+    }
+
+    #[test]
+    fn spray_uses_all_ports() {
+        let mut t = table(RoutePolicy::Spray);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(t.select(&pkt(7, 0)));
+        }
+        assert_eq!(seen.len(), 4, "spraying must hit every port");
+    }
+
+    #[test]
+    fn duplicate_routes_ignored() {
+        let mut t = RouteTable::new(8, RoutePolicy::EcmpHash, 1);
+        t.add_route(NodeId(3), PortId(1));
+        t.add_route(NodeId(3), PortId(1));
+        assert_eq!(t.group(NodeId(3)).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn missing_route_panics() {
+        let mut t = RouteTable::new(8, RoutePolicy::EcmpHash, 1);
+        let mut p = pkt(1, 0);
+        p.dst = NodeId(2);
+        t.select(&p);
+    }
+}

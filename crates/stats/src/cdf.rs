@@ -1,0 +1,107 @@
+//! Empirical CDFs — the paper's figures are mostly FCT CDFs.
+
+use crate::percentile::Samples;
+
+/// One point of an empirical CDF: `fraction` of samples are ≤ `value`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CdfPoint {
+    /// Sample value.
+    pub value: f64,
+    /// Cumulative fraction in (0, 1].
+    pub fraction: f64,
+}
+
+/// Empirical CDF of a sample set.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    points: Vec<CdfPoint>,
+}
+
+impl Cdf {
+    /// Build from samples (consumes a sort).
+    pub fn from_samples(samples: &mut Samples) -> Cdf {
+        let sorted = samples.sorted();
+        let n = sorted.len();
+        let points = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| CdfPoint { value: v, fraction: (i + 1) as f64 / n as f64 })
+            .collect();
+        Cdf { points }
+    }
+
+    /// All points (one per sample, ascending).
+    pub fn points(&self) -> &[CdfPoint] {
+        &self.points
+    }
+
+    /// Fraction of samples ≤ `value`.
+    pub fn fraction_at(&self, value: f64) -> f64 {
+        match self.points.binary_search_by(|p| p.value.partial_cmp(&value).expect("finite")) {
+            Ok(mut i) => {
+                // Step to the last equal value.
+                while i + 1 < self.points.len() && self.points[i + 1].value == value {
+                    i += 1;
+                }
+                self.points[i].fraction
+            }
+            Err(0) => 0.0,
+            Err(i) => self.points[i - 1].fraction,
+        }
+    }
+
+    /// Downsample to at most `n` evenly-spaced points for printing.
+    pub fn downsample(&self, n: usize) -> Vec<CdfPoint> {
+        if self.points.len() <= n || n == 0 {
+            return self.points.clone();
+        }
+        let mut out = Vec::with_capacity(n);
+        for k in 1..=n {
+            let idx = (k * self.points.len()) / n - 1;
+            out.push(self.points[idx]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_fractions_are_monotone_and_end_at_one() {
+        let mut s = Samples::from_vec(vec![3.0, 1.0, 2.0, 2.0]);
+        let cdf = Cdf::from_samples(&mut s);
+        let fr: Vec<f64> = cdf.points().iter().map(|p| p.fraction).collect();
+        assert_eq!(fr, vec![0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(cdf.points().last().unwrap().value, 3.0);
+    }
+
+    #[test]
+    fn fraction_at_handles_duplicates_and_bounds() {
+        let mut s = Samples::from_vec(vec![1.0, 2.0, 2.0, 4.0]);
+        let cdf = Cdf::from_samples(&mut s);
+        assert_eq!(cdf.fraction_at(0.5), 0.0);
+        assert_eq!(cdf.fraction_at(1.0), 0.25);
+        assert_eq!(cdf.fraction_at(2.0), 0.75, "both 2.0 samples counted");
+        assert_eq!(cdf.fraction_at(3.0), 0.75);
+        assert_eq!(cdf.fraction_at(100.0), 1.0);
+    }
+
+    #[test]
+    fn downsample_keeps_last_point() {
+        let mut s = Samples::from_vec((1..=1000).map(|v| v as f64).collect());
+        let cdf = Cdf::from_samples(&mut s);
+        let d = cdf.downsample(10);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.last().unwrap().fraction, 1.0);
+        assert_eq!(d.last().unwrap().value, 1000.0);
+    }
+
+    #[test]
+    fn downsample_noop_when_small() {
+        let mut s = Samples::from_vec(vec![1.0, 2.0]);
+        let cdf = Cdf::from_samples(&mut s);
+        assert_eq!(cdf.downsample(10).len(), 2);
+    }
+}

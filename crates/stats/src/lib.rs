@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+//! # aeolus-stats — measurement & reporting
+//!
+//! Simulator-agnostic statistics for the Aeolus reproduction: FCT/MCT
+//! aggregation with size banding, slowdown, nearest-rank percentiles,
+//! empirical CDFs and text/CSV table rendering. Every experiment runner in
+//! `aeolus-experiments` reports through these types so numbers are computed
+//! exactly one way.
+
+pub mod ascii;
+pub mod cdf;
+pub mod fct;
+pub mod percentile;
+pub mod table;
+
+pub use ascii::plot_cdfs;
+pub use cdf::{Cdf, CdfPoint};
+pub use fct::{FctAggregator, FctSample, FctSummary};
+pub use percentile::Samples;
+pub use table::{f2, f3, TextTable};

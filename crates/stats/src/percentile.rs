@@ -1,0 +1,185 @@
+//! Quantile computation over f64 samples.
+//!
+//! Uses the nearest-rank method on a sorted copy — matches how FCT
+//! percentiles are reported in the datacenter-transport literature (the p99
+//! of 100 samples is the 99th smallest, not an interpolation).
+
+/// A collection of samples supporting percentile queries.
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// Empty sample set.
+    pub fn new() -> Samples {
+        Samples::default()
+    }
+
+    /// From an existing vector.
+    pub fn from_vec(values: Vec<f64>) -> Samples {
+        Samples { values, sorted: false }
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, v: f64) {
+        debug_assert!(v.is_finite(), "non-finite sample");
+        self.values.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted = true;
+        }
+    }
+
+    /// Arithmetic mean; 0.0 for an empty set.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Nearest-rank percentile, `p` in [0, 100]. 0.0 for an empty set.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        self.ensure_sorted();
+        let n = self.values.len();
+        // Tolerate float artifacts like 99.9/100*1000 = 999.0000000000001,
+        // which would otherwise bump the rank by one.
+        let rank = (((p / 100.0 * n as f64) - 1e-9).ceil() as usize).clamp(1, n);
+        self.values[rank - 1]
+    }
+
+    /// Median (p50).
+    pub fn median(&mut self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Maximum; 0.0 for an empty set.
+    pub fn max(&mut self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        *self.values.last().expect("non-empty")
+    }
+
+    /// Minimum; 0.0 for an empty set.
+    pub fn min(&mut self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        self.values[0]
+    }
+
+    /// Sorted view of the samples.
+    pub fn sorted(&mut self) -> &[f64] {
+        self.ensure_sorted();
+        &self.values
+    }
+
+    /// Jain's fairness index: `(Σx)² / (n · Σx²)`, in (0, 1]; 1.0 = all
+    /// samples equal. 1.0 for an empty set.
+    pub fn jain_fairness(&self) -> f64 {
+        if self.values.is_empty() {
+            return 1.0;
+        }
+        let sum: f64 = self.values.iter().sum();
+        let sum_sq: f64 = self.values.iter().map(|v| v * v).sum();
+        if sum_sq == 0.0 {
+            return 1.0;
+        }
+        sum * sum / (self.values.len() as f64 * sum_sq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_to_hundred() -> Samples {
+        Samples::from_vec((1..=100).map(|v| v as f64).collect())
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let mut s = one_to_hundred();
+        assert_eq!(s.percentile(99.0), 99.0);
+        assert_eq!(s.percentile(50.0), 50.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert_eq!(s.percentile(1.0), 1.0);
+        assert_eq!(s.percentile(0.0), 1.0, "p0 clamps to the minimum");
+    }
+
+    #[test]
+    fn p999_needs_enough_samples() {
+        let mut s = Samples::from_vec((1..=1000).map(|v| v as f64).collect());
+        assert_eq!(s.percentile(99.9), 999.0);
+    }
+
+    #[test]
+    fn mean_median_min_max() {
+        let mut s = Samples::from_vec(vec![4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.mean(), 2.5);
+        assert_eq!(s.median(), 2.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn empty_set_is_zero_everywhere() {
+        let mut s = Samples::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(99.0), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut s = Samples::from_vec(vec![42.0]);
+        assert_eq!(s.percentile(1.0), 42.0);
+        assert_eq!(s.percentile(99.9), 42.0);
+        assert_eq!(s.median(), 42.0);
+    }
+
+    #[test]
+    fn jain_fairness_bounds() {
+        let equal = Samples::from_vec(vec![5.0; 10]);
+        assert!((equal.jain_fairness() - 1.0).abs() < 1e-12);
+        let skewed = Samples::from_vec(vec![10.0, 0.0, 0.0, 0.0]);
+        assert!((skewed.jain_fairness() - 0.25).abs() < 1e-12, "one of four gets all");
+        assert_eq!(Samples::new().jain_fairness(), 1.0);
+    }
+
+    #[test]
+    fn push_invalidates_sort_cache() {
+        let mut s = Samples::new();
+        s.push(5.0);
+        assert_eq!(s.max(), 5.0);
+        s.push(9.0);
+        assert_eq!(s.max(), 9.0);
+        s.push(1.0);
+        assert_eq!(s.min(), 1.0);
+    }
+}

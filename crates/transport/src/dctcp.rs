@@ -1,0 +1,335 @@
+//! DCTCP (SIGCOMM'10) — the canonical *reactive* datacenter transport,
+//! included as the baseline the paper's introduction argues against:
+//! a "try and backoff" scheme needs multiple RTTs to converge to the right
+//! rate, which is exactly what proactive transports (and Aeolus' first-RTT
+//! handling) avoid.
+//!
+//! Model: window-based sender with slow start and ECN-proportional backoff.
+//! Switches run the same single-threshold RED/ECN queues as Aeolus — but
+//! here every data packet is ECT, so the threshold *marks* instead of
+//! dropping, and the sender reduces its window by the marked fraction
+//! (`cwnd ← cwnd·(1 − α/2)` once per window, with `α` an EWMA of the marked
+//! fraction). Losses (buffer overflow) recover via triple-duplicate-ACK fast
+//! retransmit plus a retransmission timeout.
+
+use std::collections::HashMap;
+
+use aeolus_sim::units::Time;
+use aeolus_sim::{
+    Ctx, Ecn, Endpoint, FlowDesc, FlowId, Packet, PacketKind, RangeSet, TrafficClass,
+};
+
+use crate::common::{data_packet, BaseConfig};
+use crate::receiver_table::RecvBook;
+
+/// DCTCP tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct DctcpConfig {
+    /// Shared transport parameters (first-RTT mode is ignored: DCTCP always
+    /// slow-starts).
+    pub base: BaseConfig,
+    /// Initial window in packets (RFC 6928 style; DCTCP papers use 10).
+    pub init_cwnd_pkts: u32,
+    /// EWMA gain for the marked fraction (DCTCP's g, default 1/16).
+    pub g: f64,
+    /// Retransmission timeout.
+    pub rto: Time,
+}
+
+impl DctcpConfig {
+    /// Paper-standard defaults.
+    pub fn new(base: BaseConfig, rto: Time) -> DctcpConfig {
+        DctcpConfig { base, init_cwnd_pkts: 10, g: 1.0 / 16.0, rto }
+    }
+}
+
+struct SendFlow {
+    desc: FlowDesc,
+    /// Congestion window in bytes.
+    cwnd: f64,
+    /// Slow-start threshold in bytes.
+    ssthresh: f64,
+    /// EWMA of the marked fraction.
+    alpha: f64,
+    /// Bytes ACKed cumulatively.
+    acked: u64,
+    /// Next byte to send for the first time.
+    next_seq: u64,
+    /// Marked / total ACKs in the current observation window.
+    acks_marked: u64,
+    acks_total: u64,
+    /// Window boundary: when `acked` passes this, α updates and a marked
+    /// window may cut cwnd.
+    window_end: u64,
+    /// Whether a cut was already applied in this window.
+    cut_this_window: bool,
+    /// Duplicate-ACK counter for fast retransmit.
+    dup_acks: u32,
+    /// Highest cumulative ACK seen.
+    last_ack: u64,
+    /// Outstanding retransmission request (fast retransmit pending send).
+    rtx_seq: Option<u64>,
+    /// Generation for the RTO timer (stale timers are ignored).
+    rto_gen: u64,
+    completed: bool,
+}
+
+struct RecvFlow {
+    book: RecvBook,
+    /// Out-of-order bytes received (for cumulative ACK computation).
+    received: RangeSet,
+    /// Whether any CE-marked packet arrived since the last ACK (echoed).
+    ce_pending: bool,
+}
+
+/// The per-host DCTCP endpoint.
+pub struct DctcpEndpoint {
+    cfg: DctcpConfig,
+    send_flows: HashMap<FlowId, SendFlow>,
+    recv_flows: HashMap<FlowId, RecvFlow>,
+    timers: HashMap<u64, (FlowId, u64)>,
+}
+
+impl DctcpEndpoint {
+    /// A fresh endpoint.
+    pub fn new(cfg: DctcpConfig) -> DctcpEndpoint {
+        DctcpEndpoint {
+            cfg,
+            send_flows: HashMap::new(),
+            recv_flows: HashMap::new(),
+            timers: HashMap::new(),
+        }
+    }
+
+    fn mtu(&self) -> u32 {
+        self.cfg.base.mtu_payload
+    }
+
+    /// Transmit as much as the window allows.
+    fn pump(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
+        let mtu = self.mtu();
+        if let Some(sf) = self.send_flows.get_mut(&flow) {
+            // Fast retransmit first.
+            if let Some(seq) = sf.rtx_seq.take() {
+                let len = (mtu as u64).min(sf.desc.size - seq) as u32;
+                let mut pkt =
+                    data_packet(&sf.desc, seq, len, TrafficClass::Scheduled, true);
+                pkt.ecn = Ecn::Ect0;
+                ctx.send(pkt);
+            }
+            while sf.next_seq < sf.desc.size {
+                let inflight = sf.next_seq.saturating_sub(sf.acked);
+                if inflight + mtu as u64 > sf.cwnd as u64 + mtu as u64 - 1 {
+                    break;
+                }
+                let len = (mtu as u64).min(sf.desc.size - sf.next_seq) as u32;
+                let mut pkt =
+                    data_packet(&sf.desc, sf.next_seq, len, TrafficClass::Scheduled, false);
+                pkt.ecn = Ecn::Ect0;
+                ctx.send(pkt);
+                sf.next_seq += len as u64;
+            }
+        }
+    }
+
+    fn arm_rto(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
+        let rto = self.cfg.rto;
+        if let Some(sf) = self.send_flows.get_mut(&flow) {
+            sf.rto_gen += 1;
+            let gen = sf.rto_gen;
+            let t = ctx.set_timer_in(rto);
+            self.timers.insert(t, (flow, gen));
+        }
+    }
+
+    fn on_rto(&mut self, flow: FlowId, gen: u64, ctx: &mut Ctx<'_>) {
+        let mtu = self.mtu();
+        let fire = {
+            let sf = match self.send_flows.get_mut(&flow) {
+                Some(sf) => sf,
+                None => return,
+            };
+            if sf.completed || gen != sf.rto_gen {
+                false
+            } else {
+                ctx.metrics.note_timeout(flow);
+                // Go-back-N from the cumulative ACK point.
+                sf.next_seq = sf.acked;
+                sf.cwnd = mtu as f64;
+                sf.ssthresh = (sf.ssthresh / 2.0).max(2.0 * mtu as f64);
+                sf.dup_acks = 0;
+                true
+            }
+        };
+        if fire {
+            self.pump(flow, ctx);
+            self.arm_rto(flow, ctx);
+        }
+    }
+
+    /// Cumulative-ACK processing with ECN echo (the DCTCP control law).
+    fn on_ack(&mut self, flow: FlowId, ack_to: u64, ce_echo: bool, ctx: &mut Ctx<'_>) {
+        let mtu = self.mtu() as f64;
+        let g = self.cfg.g;
+        let (progress, done) = {
+            let sf = match self.send_flows.get_mut(&flow) {
+                Some(sf) => sf,
+                None => return,
+            };
+            sf.acks_total += 1;
+            if ce_echo {
+                sf.acks_marked += 1;
+            }
+            if ack_to > sf.acked {
+                let newly = ack_to - sf.acked;
+                sf.acked = ack_to;
+                sf.dup_acks = 0;
+                sf.last_ack = ack_to;
+                // Window growth: slow start or congestion avoidance.
+                if sf.cwnd < sf.ssthresh {
+                    sf.cwnd += newly as f64;
+                } else {
+                    sf.cwnd += mtu * newly as f64 / sf.cwnd;
+                }
+                // End of observation window: update alpha, maybe cut.
+                if sf.acked >= sf.window_end {
+                    let frac = if sf.acks_total > 0 {
+                        sf.acks_marked as f64 / sf.acks_total as f64
+                    } else {
+                        0.0
+                    };
+                    sf.alpha = (1.0 - g) * sf.alpha + g * frac;
+                    if frac > 0.0 && !sf.cut_this_window {
+                        sf.cwnd *= 1.0 - sf.alpha / 2.0;
+                        sf.ssthresh = sf.cwnd;
+                    }
+                    sf.cwnd = sf.cwnd.max(mtu);
+                    sf.acks_marked = 0;
+                    sf.acks_total = 0;
+                    sf.cut_this_window = false;
+                    sf.window_end = sf.acked + (sf.cwnd as u64).max(1);
+                }
+                (true, sf.acked >= sf.desc.size)
+            } else {
+                // Duplicate ACK.
+                sf.dup_acks += 1;
+                if sf.dup_acks == 3 {
+                    sf.rtx_seq = Some(sf.acked);
+                    sf.ssthresh = (sf.cwnd / 2.0).max(2.0 * mtu);
+                    sf.cwnd = sf.ssthresh;
+                }
+                (sf.dup_acks == 3, false)
+            }
+        };
+        if done {
+            if let Some(sf) = self.send_flows.get_mut(&flow) {
+                sf.completed = true;
+                sf.rto_gen += 1; // cancel RTO
+            }
+            return;
+        }
+        if progress {
+            self.pump(flow, ctx);
+            self.arm_rto(flow, ctx);
+        }
+    }
+}
+
+impl Endpoint for DctcpEndpoint {
+    fn on_flow_arrival(&mut self, flow: FlowDesc, ctx: &mut Ctx<'_>) {
+        let mtu = self.mtu();
+        let cwnd = (self.cfg.init_cwnd_pkts * mtu) as f64;
+        self.send_flows.insert(
+            flow.id,
+            SendFlow {
+                desc: flow,
+                cwnd,
+                ssthresh: f64::MAX,
+                // Like the Linux implementation: start conservative so the
+                // first marked window halves instead of shaving 3%.
+                alpha: 1.0,
+                acked: 0,
+                next_seq: 0,
+                acks_marked: 0,
+                acks_total: 0,
+                window_end: cwnd as u64,
+                cut_this_window: false,
+                dup_acks: 0,
+                last_ack: 0,
+                rtx_seq: None,
+                rto_gen: 0,
+                completed: false,
+            },
+        );
+        self.pump(flow.id, ctx);
+        self.arm_rto(flow.id, ctx);
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        match pkt.kind {
+            PacketKind::Data => {
+                let rf = self.recv_flows.entry(pkt.flow).or_insert_with(|| RecvFlow {
+                    book: RecvBook::new(),
+                    received: RangeSet::new(),
+                    ce_pending: false,
+                });
+                rf.book.learn_size(pkt.flow_size);
+                rf.received.insert(pkt.seq, pkt.seq + pkt.payload as u64);
+                rf.book.on_data(&pkt, ctx);
+                if pkt.ecn == Ecn::Ce {
+                    rf.ce_pending = true;
+                }
+                // Cumulative ACK; the CE echo rides the `of_probe` slot's
+                // sibling field (`seq` = 1 marks echo) — we use a dedicated
+                // convention: seq 1 = CE echoed, 0 = not.
+                let ack_to = rf.received.contiguous_prefix();
+                let echo = rf.ce_pending;
+                rf.ce_pending = false;
+                let mut ack = Packet::control(
+                    pkt.flow,
+                    ctx.host,
+                    pkt.src,
+                    u64::from(echo),
+                    PacketKind::Ack { of_probe: false, end: ack_to },
+                );
+                ack.ecn = Ecn::Ect0;
+                ctx.send(ack);
+            }
+            PacketKind::Ack { end, .. } => {
+                let ce_echo = pkt.seq == 1;
+                self.on_ack(pkt.flow, end, ce_echo, ctx);
+            }
+            other => {
+                debug_assert!(false, "unexpected packet kind for DCTCP: {other:?}");
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        if let Some((flow, gen)) = self.timers.remove(&token) {
+            self.on_rto(flow, gen, ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeolus_core::AeolusConfig;
+    use aeolus_sim::units::{ms, us};
+    use crate::common::FirstRttMode;
+
+    #[test]
+    fn config_defaults() {
+        let base = BaseConfig {
+            mtu_payload: 1460,
+            base_rtt: us(14),
+            aeolus: AeolusConfig::default(),
+            mode: FirstRttMode::Blind,
+            disable_sack: false,
+        };
+        let c = DctcpConfig::new(base, ms(10));
+        assert_eq!(c.init_cwnd_pkts, 10);
+        assert!((c.g - 1.0 / 16.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,517 @@
+//! ExpressPass (SIGCOMM'17) — receiver-driven, credit-scheduled transport —
+//! with pluggable first-RTT handling:
+//!
+//! * [`FirstRttMode::Hold`]: the original protocol — a new sender transmits
+//!   only a credit request and waits one RTT for credits.
+//! * [`FirstRttMode::Aeolus`]: the paper's contribution — a BDP-worth
+//!   droppable unscheduled burst, probe-based loss detection, and scheduled
+//!   retransmission driven by the (untouched) credit loop.
+//! * [`FirstRttMode::Oracle`]: §2.3's hypothetical ExpressPass (spare
+//!   bandwidth used perfectly, zero interference).
+//! * [`FirstRttMode::LowPrio`]: §5.5's priority-queueing strawman with
+//!   RTO-based recovery.
+//!
+//! The credit loop follows the ExpressPass design: per-flow credit pacing at
+//! the receiver starting at 1/16 of line rate, credit throttling in switch
+//! queues ([`aeolus_sim::XPassQueue`]), and aggressiveness-weighted
+//! feedback control driven by the credit loss ratio (data packets echo the
+//! credit sequence they consumed).
+
+use std::collections::HashMap;
+
+use aeolus_core::PreCreditSender;
+use aeolus_sim::units::{Time, PS_PER_SEC};
+use aeolus_sim::{
+    Ctx, Endpoint, FlowDesc, FlowId, NodeId, Packet, PacketKind, TrafficClass, CREDIT_BYTES,
+};
+
+use crate::common::{
+    ack_packet, data_packet, probe_ack_packet, probe_packet, BaseConfig, FirstRttMode,
+};
+use crate::receiver_table::RecvBook;
+
+/// ExpressPass tunables (paper defaults in `Default` given a [`BaseConfig`]).
+#[derive(Debug, Clone, Copy)]
+pub struct XPassConfig {
+    /// Shared transport parameters.
+    pub base: BaseConfig,
+    /// Initial credit rate as a fraction of line rate (paper: 1/16).
+    pub init_rate_frac: f64,
+    /// Initial aggressiveness ω (paper: 1/16).
+    pub w_init: f64,
+    /// Maximum aggressiveness.
+    pub w_max: f64,
+    /// Minimum aggressiveness.
+    pub w_min: f64,
+    /// Target credit loss ratio (ExpressPass default 0.125).
+    pub target_loss: f64,
+    /// Credit feedback period (≈ one RTT).
+    pub feedback_period: Time,
+    /// Retransmission timeout for the RTO-recovery strawman (`LowPrio`).
+    pub rto: Option<Time>,
+}
+
+impl XPassConfig {
+    /// Paper defaults for the given base configuration.
+    pub fn new(base: BaseConfig) -> XPassConfig {
+        XPassConfig {
+            base,
+            init_rate_frac: 1.0 / 16.0,
+            w_init: 1.0 / 16.0,
+            w_max: 0.5,
+            w_min: 0.01,
+            target_loss: 0.125,
+            feedback_period: base.base_rtt.max(1),
+            rto: None,
+        }
+    }
+}
+
+/// A batch of missing ranges to re-request from one sender.
+type ResendBatch = (FlowId, NodeId, Vec<(u64, u64)>);
+
+#[derive(Debug, Clone, Copy)]
+enum TimerKind {
+    CreditTick(FlowId),
+    Feedback(FlowId),
+    Rto(FlowId),
+    /// §6 probe-retry: resend request+probe if nothing was heard at all.
+    ProbeRetry(FlowId),
+    /// Receiver-side stall scan: detects flows whose sender went idle while
+    /// bytes are still missing (a scheduled packet was lost to transient
+    /// buffer overflow — rare, but unrecoverable without this backstop).
+    StallScan,
+}
+
+struct SendFlow {
+    desc: FlowDesc,
+    core: PreCreditSender,
+    /// Set once anything at all came back (credit, ACK, probe ACK, resend).
+    heard_back: bool,
+    /// Probe sequence, kept for §6 retries.
+    probe_seq: Option<u64>,
+}
+
+struct RecvFlow {
+    sender: NodeId,
+    book: RecvBook,
+    next_credit_seq: u64,
+    /// Induced-data rate in bits/s this flow's credits are paced at.
+    rate_bps: f64,
+    w: f64,
+    can_increase_w: bool,
+    /// Highest credit sequence echoed back by a data packet.
+    last_echo: u64,
+    /// Data packets received this feedback period.
+    delivered_period: u64,
+    /// Credits inferred lost this period (gaps in the echo sequence —
+    /// delay-insensitive, exactly how ExpressPass measures credit loss).
+    lost_period: u64,
+    /// Credits sent this period (for idle back-off when the sender stops
+    /// responding entirely).
+    credits_sent_period: u64,
+    /// Last time any data packet of this flow arrived.
+    last_arrival: Time,
+    ticking: bool,
+}
+
+/// The per-host ExpressPass endpoint (plays both sender and receiver roles).
+pub struct XPassEndpoint {
+    cfg: XPassConfig,
+    send_flows: HashMap<FlowId, SendFlow>,
+    recv_flows: HashMap<FlowId, RecvFlow>,
+    timers: HashMap<u64, TimerKind>,
+    stall_scan_armed: bool,
+}
+
+impl XPassEndpoint {
+    /// A fresh endpoint.
+    pub fn new(cfg: XPassConfig) -> XPassEndpoint {
+        XPassEndpoint {
+            cfg,
+            send_flows: HashMap::new(),
+            recv_flows: HashMap::new(),
+            timers: HashMap::new(),
+            stall_scan_armed: false,
+        }
+    }
+
+    /// Interval after which an incomplete flow with no arrivals is deemed
+    /// stalled (a lost scheduled packet) and its gaps are re-requested.
+    /// A backstop for pathological loss — floored at 1 ms so loaded-network
+    /// queueing is never mistaken for a stall.
+    fn stall_after(&self) -> Time {
+        (8 * self.cfg.base.base_rtt.max(1)).max(aeolus_sim::units::ms(1))
+    }
+
+    fn arm_stall_scan(&mut self, ctx: &mut Ctx<'_>) {
+        if self.stall_scan_armed {
+            return;
+        }
+        self.stall_scan_armed = true;
+        let delay = self.stall_after();
+        let t = ctx.set_timer_in(delay);
+        self.timers.insert(t, TimerKind::StallScan);
+    }
+
+    fn on_stall_scan(&mut self, ctx: &mut Ctx<'_>) {
+        self.stall_scan_armed = false;
+        let stall_after = self.stall_after();
+        let mut any_incomplete = false;
+        let mut resends: Vec<ResendBatch> = Vec::new();
+        for (&id, rf) in self.recv_flows.iter_mut() {
+            if rf.book.is_complete() {
+                continue;
+            }
+            any_incomplete = true;
+            let size = match rf.book.core.size() {
+                Some(s) => s,
+                None => continue,
+            };
+            if ctx.now.saturating_sub(rf.last_arrival) >= stall_after {
+                let missing: Vec<(u64, u64)> =
+                    rf.book.core.missing_below(size).into_iter().take(8).collect();
+                if !missing.is_empty() {
+                    ctx.metrics.note_timeout(id);
+                    rf.last_arrival = ctx.now; // back off one period
+                    resends.push((id, rf.sender, missing));
+                }
+            }
+        }
+        for (id, sender, missing) in resends {
+            for (s, e) in missing {
+                let r = Packet::control(id, ctx.host, sender, s, PacketKind::Resend { end: e });
+                ctx.send(r);
+            }
+        }
+        if any_incomplete {
+            self.stall_scan_armed = true;
+            let t = ctx.set_timer_in(stall_after);
+            self.timers.insert(t, TimerKind::StallScan);
+        }
+    }
+
+    fn mtu(&self) -> u32 {
+        self.cfg.base.mtu_payload
+    }
+
+    /// Credit pacing interval for a flow at `rate_bps` induced-data rate.
+    fn credit_interval(&self, rate_bps: f64) -> Time {
+        let bits = self.cfg.base.mtu_wire() as f64 * 8.0;
+        ((bits / rate_bps) * PS_PER_SEC as f64) as Time
+    }
+
+    fn max_rate_bps(&self, ctx: &Ctx<'_>) -> f64 {
+        // Credits consume reverse bandwidth; cap induced data at the
+        // data-fraction of line rate like the switch throttle does.
+        let mtu = self.cfg.base.mtu_wire() as f64;
+        ctx.line_rate.bps() as f64 * mtu / (mtu + CREDIT_BYTES as f64)
+    }
+
+    /// Ensure receive-side state exists (created on Request, first data or
+    /// probe — whichever wins the race) and its credit loop is running.
+    fn ensure_recv_flow(&mut self, pkt: &Packet, ctx: &mut Ctx<'_>) {
+        let max_rate = self.max_rate_bps(ctx);
+        let init = max_rate * self.cfg.init_rate_frac;
+        let w = self.cfg.w_init;
+        let cfgp = self.cfg.feedback_period;
+        let entry = self.recv_flows.entry(pkt.flow).or_insert_with(|| RecvFlow {
+            sender: pkt.src,
+            book: RecvBook::new(),
+            next_credit_seq: 1,
+            rate_bps: init,
+            w,
+            can_increase_w: true,
+            last_echo: 0,
+            delivered_period: 0,
+            lost_period: 0,
+            credits_sent_period: 0,
+            last_arrival: ctx.now,
+            ticking: false,
+        });
+        entry.book.learn_size(pkt.flow_size);
+        if !entry.ticking && !entry.book.is_complete() {
+            entry.ticking = true;
+            let t = ctx.set_timer_in(0);
+            self.timers.insert(t, TimerKind::CreditTick(pkt.flow));
+            let f = ctx.set_timer_in(cfgp);
+            self.timers.insert(f, TimerKind::Feedback(pkt.flow));
+        }
+        self.arm_stall_scan(ctx);
+    }
+
+    /// Send one credit-induced chunk (called per credit).
+    fn pump_scheduled(&mut self, flow: FlowId, credit_seq: u64, ctx: &mut Ctx<'_>) {
+        let mtu = self.mtu();
+        if let Some(sf) = self.send_flows.get_mut(&flow) {
+            if let Some(chunk) = sf.core.next_scheduled_chunk(mtu) {
+                let mut pkt =
+                    data_packet(&sf.desc, chunk.seq, chunk.len, TrafficClass::Scheduled, chunk.retransmit);
+                pkt.credit_echo = credit_seq;
+                ctx.send(pkt);
+            }
+        }
+    }
+
+    fn on_credit_tick(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
+        // Receiver-side allocation: a flow never gets more than a fair share
+        // of this receiver's aggregate credit capacity (the real DPDK
+        // receiver rate-limits its own credit NIC the same way); the
+        // feedback loop then handles remote bottlenecks.
+        let active = self.recv_flows.values().filter(|rf| !rf.book.is_complete()).count().max(1);
+        let local_cap = self.max_rate_bps(ctx) / active as f64;
+        let rate_bps = {
+            let rf = match self.recv_flows.get_mut(&flow) {
+                Some(rf) => rf,
+                None => return,
+            };
+            if rf.book.is_complete() {
+                rf.ticking = false;
+                return;
+            }
+            let mut credit = Packet::control(flow, ctx.host, rf.sender, rf.next_credit_seq, PacketKind::Credit);
+            credit.size = CREDIT_BYTES;
+            rf.next_credit_seq += 1;
+            rf.credits_sent_period += 1;
+            ctx.send(credit);
+            rf.rate_bps.min(local_cap)
+        };
+        let interval = self.credit_interval(rate_bps);
+        let t = ctx.set_timer_in(interval);
+        self.timers.insert(t, TimerKind::CreditTick(flow));
+    }
+
+    fn on_feedback(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
+        let max_rate = self.max_rate_bps(ctx);
+        let period = self.cfg.feedback_period;
+        let (target, w_max, w_min) = (self.cfg.target_loss, self.cfg.w_max, self.cfg.w_min);
+        let reschedule = {
+            let rf = match self.recv_flows.get_mut(&flow) {
+                Some(rf) => rf,
+                None => return,
+            };
+            let total = rf.delivered_period + rf.lost_period;
+            if total == 0
+                && rf.credits_sent_period > 0
+                && ctx.now.saturating_sub(rf.last_arrival) > 4 * period
+            {
+                // Credits keep going out but no data has arrived for several
+                // RTTs: the sender is idle (done sending, or stalled on a
+                // loss). Back off to avoid blasting credits at a dead flow.
+                rf.rate_bps = (rf.rate_bps / 2.0).max(max_rate / 1024.0);
+            }
+            if total > 0 {
+                let loss = rf.lost_period as f64 / total as f64;
+                if loss <= target {
+                    // Tolerable loss: move toward max rate. The additive
+                    // pull `w * (max - rate)` is what makes competing flows
+                    // converge to a fair share (ExpressPass Algorithm 1).
+                    if loss == 0.0 && rf.can_increase_w {
+                        rf.w = ((rf.w + w_max) / 2.0).min(w_max);
+                    }
+                    rf.rate_bps = (1.0 - rf.w) * rf.rate_bps + rf.w * max_rate;
+                    rf.can_increase_w = loss == 0.0;
+                } else {
+                    rf.rate_bps *= (1.0 - loss) * (1.0 + target);
+                    rf.w = (rf.w / 2.0).max(w_min);
+                    rf.can_increase_w = false;
+                }
+                rf.rate_bps = rf.rate_bps.clamp(max_rate / 1024.0, max_rate);
+            }
+            rf.delivered_period = 0;
+            rf.lost_period = 0;
+            rf.credits_sent_period = 0;
+            !rf.book.is_complete()
+        };
+        if reschedule {
+            let t = ctx.set_timer_in(period);
+            self.timers.insert(t, TimerKind::Feedback(flow));
+        }
+    }
+
+    fn on_probe_retry(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
+        let retry_rtts = self.cfg.base.aeolus.probe_retry_rtts;
+        let rearm = {
+            let sf = match self.send_flows.get_mut(&flow) {
+                Some(sf) => sf,
+                None => return,
+            };
+            if sf.heard_back {
+                false
+            } else {
+                // Total silence: the request (and possibly the probe) never
+                // made it. Re-ask.
+                ctx.metrics.note_timeout(flow);
+                let mut req =
+                    Packet::control(flow, ctx.host, sf.desc.dst, 0, PacketKind::Request);
+                req.flow_size = sf.desc.size;
+                ctx.send(req);
+                if let Some(ps) = sf.probe_seq {
+                    ctx.send(probe_packet(&sf.desc, ps));
+                }
+                true
+            }
+        };
+        if rearm && retry_rtts > 0 {
+            let t = ctx.set_timer_in((retry_rtts as Time * self.cfg.base.base_rtt.max(1)).max(aeolus_sim::units::ms(2)));
+            self.timers.insert(t, TimerKind::ProbeRetry(flow));
+        }
+    }
+
+    fn on_rto(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
+        let rto = match self.cfg.rto {
+            Some(r) => r,
+            None => return,
+        };
+        let rearm = {
+            let sf = match self.send_flows.get_mut(&flow) {
+                Some(sf) => sf,
+                None => return,
+            };
+            if sf.core.fully_acked() {
+                false
+            } else {
+                ctx.metrics.note_timeout(flow);
+                let unacked = sf.core.unacked_ranges();
+                sf.core.force_mark_lost(&unacked);
+                true
+            }
+        };
+        if rearm {
+            let t = ctx.set_timer_in(rto);
+            self.timers.insert(t, TimerKind::Rto(flow));
+        }
+    }
+}
+
+impl Endpoint for XPassEndpoint {
+    fn on_flow_arrival(&mut self, flow: FlowDesc, ctx: &mut Ctx<'_>) {
+        let mode = self.cfg.base.mode;
+        let budget = if mode.bursts() {
+            self.cfg.base.aeolus.burst_budget(ctx.line_rate, self.cfg.base.base_rtt)
+        } else {
+            0
+        };
+        let mut core = PreCreditSender::new(flow.size, budget);
+        if mode == FirstRttMode::LowPrio {
+            // The §5.5 strawman recovers by RTO only — no last-resort
+            // retransmission of unacked bursts (that is an Aeolus refinement).
+            core.disable_last_resort();
+        }
+        // Credit request first (it carries the demand), then the line-rate
+        // burst: the NIC serializes them back to back.
+        let mut req = Packet::control(flow.id, flow.src, flow.dst, 0, PacketKind::Request);
+        req.flow_size = flow.size;
+        ctx.send(req);
+        let mtu = self.mtu();
+        let mut burst_prio = 0;
+        while let Some(chunk) = core.next_burst_chunk(mtu) {
+            let mut pkt =
+                data_packet(&flow, chunk.seq, chunk.len, TrafficClass::Unscheduled, false);
+            mode.stamp_unscheduled(&mut pkt, 0, 7);
+            burst_prio = pkt.priority;
+            ctx.send(pkt);
+        }
+        let mut probe_seq = None;
+        if let Some(ps) = core.end_burst() {
+            if mode.probe_recovery() {
+                // The probe trails the burst through every queue: same
+                // priority, protected by its ECT mark.
+                let mut probe = probe_packet(&flow, ps);
+                probe.priority = burst_prio;
+                ctx.send(probe);
+                probe_seq = Some(ps);
+            }
+        }
+        if let Some(rto) = self.cfg.rto {
+            let t = ctx.set_timer_in(rto);
+            self.timers.insert(t, TimerKind::Rto(flow.id));
+        }
+        let retry_rtts = self.cfg.base.aeolus.probe_retry_rtts;
+        if retry_rtts > 0 {
+            let t = ctx.set_timer_in((retry_rtts as Time * self.cfg.base.base_rtt.max(1)).max(aeolus_sim::units::ms(2)));
+            self.timers.insert(t, TimerKind::ProbeRetry(flow.id));
+        }
+        self.send_flows
+            .insert(flow.id, SendFlow { desc: flow, core, heard_back: false, probe_seq });
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        match pkt.kind {
+            PacketKind::Request => {
+                self.ensure_recv_flow(&pkt, ctx);
+            }
+            PacketKind::Credit => {
+                if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                    sf.heard_back = true;
+                }
+                self.pump_scheduled(pkt.flow, pkt.seq, ctx);
+            }
+            PacketKind::Data => {
+                self.ensure_recv_flow(&pkt, ctx);
+                let mode = self.cfg.base.mode;
+                let rf = self.recv_flows.get_mut(&pkt.flow).expect("just ensured");
+                let unscheduled = pkt.class == TrafficClass::Unscheduled;
+                rf.last_arrival = ctx.now;
+                let v = rf.book.on_data(&pkt, ctx);
+                if pkt.credit_echo > 0 {
+                    // Credit-loss accounting: a gap in the echoed credit
+                    // sequence means those credits were throttled away.
+                    if pkt.credit_echo > rf.last_echo {
+                        rf.lost_period += pkt.credit_echo - rf.last_echo - 1;
+                        rf.last_echo = pkt.credit_echo;
+                    }
+                    rf.delivered_period += 1;
+                }
+                // Aeolus ACKs unscheduled packets; the RTO strawman ACKs
+                // everything (its only loss signal); plain ExpressPass and
+                // the oracle ACK unscheduled too (dedup/GC — harmless 64 B).
+                let want_ack = unscheduled || mode == FirstRttMode::LowPrio;
+                if let (true, Some((s, e))) = (want_ack, v.acked_range) {
+                    ctx.send(ack_packet(pkt.flow, ctx.host, pkt.src, s, e));
+                }
+            }
+            PacketKind::Probe => {
+                self.ensure_recv_flow(&pkt, ctx);
+                let rf = self.recv_flows.get_mut(&pkt.flow).expect("just ensured");
+                rf.book.core.on_probe(pkt.seq, pkt.flow_size);
+                ctx.send(probe_ack_packet(pkt.flow, ctx.host, pkt.src, pkt.seq));
+            }
+            PacketKind::Resend { end } => {
+                // Receiver-detected stall: requeue the range; it rides out
+                // on the next credits.
+                if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                    sf.heard_back = true;
+                    sf.core.requeue_lost(pkt.seq, end);
+                }
+            }
+            PacketKind::Ack { of_probe, end } => {
+                let infer = self.cfg.base.sack_inference();
+                if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                    sf.heard_back = true;
+                    if of_probe {
+                        sf.core.on_probe_ack();
+                    } else if infer {
+                        sf.core.on_ack(pkt.seq, end);
+                    } else {
+                        sf.core.on_ack_no_infer(pkt.seq, end);
+                    }
+                }
+            }
+            other => {
+                debug_assert!(false, "unexpected packet kind for ExpressPass: {other:?}");
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        match self.timers.remove(&token) {
+            Some(TimerKind::CreditTick(f)) => self.on_credit_tick(f, ctx),
+            Some(TimerKind::Feedback(f)) => self.on_feedback(f, ctx),
+            Some(TimerKind::Rto(f)) => self.on_rto(f, ctx),
+            Some(TimerKind::ProbeRetry(f)) => self.on_probe_retry(f, ctx),
+            Some(TimerKind::StallScan) => self.on_stall_scan(ctx),
+            None => {}
+        }
+    }
+}

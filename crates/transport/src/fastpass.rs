@@ -1,0 +1,337 @@
+//! Fastpass (SIGCOMM'14) — the *centralized-arbiter* branch of proactive
+//! transport (§2.1 of the Aeolus paper: "Fastpass employs a centralized
+//! arbiter to enforce a tight control over packet transmission time"), as an
+//! extension beyond the paper's three receiver-driven baselines.
+//!
+//! Model: one designated host runs the [`ArbiterEndpoint`]. A new sender
+//! asks the arbiter for timeslots; the arbiter allocates them greedily such
+//! that no source transmits two slots at once and no destination receives
+//! two slots at once — the zero-queue property. The sender then transmits
+//! exactly on its schedule.
+//!
+//! The pre-credit phase is the round trip to the arbiter, so Aeolus applies
+//! verbatim: in [`FirstRttMode::Aeolus`] the sender bursts droppable
+//! unscheduled packets while its request is in flight, losses are detected
+//! by probe/ACKs, and the retransmissions ride later-requested timeslots.
+//!
+//! Simplifications (documented in DESIGN.md): slot allocation is greedy
+//! first-fit per (src, dst) rather than Fastpass' max-min matching, and path
+//! assignment is left to the fabric (the paper's zero-queue argument is
+//! exercised on single-switch and two-tier topologies where src/dst
+//! exclusivity suffices).
+//!
+//! [`FirstRttMode::Aeolus`]: crate::common::FirstRttMode::Aeolus
+
+use std::collections::HashMap;
+
+use aeolus_core::PreCreditSender;
+use aeolus_sim::units::Time;
+use aeolus_sim::{Ctx, Endpoint, FlowDesc, FlowId, NodeId, Packet, PacketKind, TrafficClass};
+
+use crate::common::{ack_packet, data_packet, probe_ack_packet, probe_packet, BaseConfig};
+use crate::receiver_table::RecvBook;
+
+/// Fastpass tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct FastpassConfig {
+    /// Shared transport parameters.
+    pub base: BaseConfig,
+    /// The arbiter's node id.
+    pub arbiter: NodeId,
+    /// Maximum timeslots granted per request (pipelined batches).
+    pub batch_slots: u32,
+}
+
+impl FastpassConfig {
+    /// Defaults: batches of 64 slots.
+    pub fn new(base: BaseConfig, arbiter: NodeId) -> FastpassConfig {
+        FastpassConfig { base, arbiter, batch_slots: 64 }
+    }
+}
+
+/// The centralized arbiter: allocates conflict-free timeslots.
+pub struct ArbiterEndpoint {
+    /// Slot duration (one MTU at host line rate); fixed at first request.
+    slot: Time,
+    mtu_wire: u32,
+    /// Earliest free slot per transmitting host.
+    src_free: HashMap<NodeId, Time>,
+    /// Earliest free slot per receiving host.
+    dst_free: HashMap<NodeId, Time>,
+}
+
+impl ArbiterEndpoint {
+    /// A fresh arbiter for hosts with `mtu_wire`-byte full packets.
+    pub fn new(mtu_wire: u32) -> ArbiterEndpoint {
+        ArbiterEndpoint { slot: 0, mtu_wire, src_free: HashMap::new(), dst_free: HashMap::new() }
+    }
+}
+
+impl Endpoint for ArbiterEndpoint {
+    fn on_flow_arrival(&mut self, _flow: FlowDesc, _ctx: &mut Ctx<'_>) {
+        panic!("the arbiter host must not originate flows");
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        if pkt.kind != PacketKind::Request {
+            debug_assert!(false, "arbiter only speaks Request, got {:?}", pkt.kind);
+            return;
+        }
+        if self.slot == 0 {
+            self.slot = ctx.line_rate.serialize(self.mtu_wire as u64);
+        }
+        // `flow_size` carries the *remaining demand in slots* for requests
+        // addressed to the arbiter; `seq` the first byte offset to cover.
+        let slots = (pkt.flow_size as u32).max(1);
+        // `path_tag` carries the true destination host id (the packet's
+        // `dst` is the arbiter itself).
+        let dst = NodeId(pkt.path_tag as u32);
+        let src = pkt.src;
+        // Greedy conflict-free allocation: the batch starts when both the
+        // source uplink and destination downlink are free, no earlier than
+        // one half-RTT from now (the reply must reach the sender first).
+        let earliest = ctx.now + self.base_delay();
+        let src_free = self.src_free.get(&src).copied().unwrap_or(0);
+        let dst_free = self.dst_free.get(&dst).copied().unwrap_or(0);
+        let start = earliest.max(src_free).max(dst_free);
+        let end = start + slots as Time * self.slot;
+        self.src_free.insert(src, end);
+        self.dst_free.insert(dst, end);
+        let mut reply = Packet::control(
+            pkt.flow,
+            ctx.host,
+            src,
+            pkt.seq,
+            PacketKind::Schedule { start, slots, stride: self.slot },
+        );
+        reply.priority = 0;
+        ctx.send(reply);
+    }
+
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+}
+
+impl ArbiterEndpoint {
+    /// Margin so a schedule never starts before its reply can arrive.
+    fn base_delay(&self) -> Time {
+        // One slot of margin per hop is plenty on the paper topologies; the
+        // precise value only shifts schedules, never overlaps them.
+        8 * self.slot.max(1)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TimerKind {
+    /// Transmit the next scheduled slot of a flow.
+    Slot(FlowId),
+}
+
+struct SendFlow {
+    desc: FlowDesc,
+    core: PreCreditSender,
+    /// Remaining granted slots and their cadence.
+    slots_left: u32,
+    stride: Time,
+    /// Whether a request is currently outstanding at the arbiter.
+    requesting: bool,
+    completed: bool,
+}
+
+struct RecvFlow {
+    sender: NodeId,
+    book: RecvBook,
+}
+
+/// The per-host Fastpass endpoint.
+pub struct FastpassEndpoint {
+    cfg: FastpassConfig,
+    send_flows: HashMap<FlowId, SendFlow>,
+    recv_flows: HashMap<FlowId, RecvFlow>,
+    timers: HashMap<u64, TimerKind>,
+}
+
+impl FastpassEndpoint {
+    /// A fresh endpoint.
+    pub fn new(cfg: FastpassConfig) -> FastpassEndpoint {
+        FastpassEndpoint {
+            cfg,
+            send_flows: HashMap::new(),
+            recv_flows: HashMap::new(),
+            timers: HashMap::new(),
+        }
+    }
+
+    fn request_slots(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
+        let arbiter = self.cfg.arbiter;
+        let batch = self.cfg.batch_slots;
+        if let Some(sf) = self.send_flows.get_mut(&flow) {
+            if sf.requesting || sf.completed || !sf.core.has_work() {
+                return;
+            }
+            sf.requesting = true;
+            let mut req = Packet::control(flow, ctx.host, arbiter, 0, PacketKind::Request);
+            // Demand in slots; true destination rides in path_tag.
+            let mtu = self.cfg.base.mtu_payload as u64;
+            let rough_need = sf.desc.size.div_ceil(mtu) as u32;
+            req.flow_size = rough_need.min(batch) as u64;
+            req.path_tag = sf.desc.dst.0 as u64;
+            ctx.send(req);
+        }
+    }
+
+    /// Fire one scheduled slot: send the next chunk.
+    fn on_slot(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
+        let mtu = self.cfg.base.mtu_payload;
+        let mut need_more = false;
+        if let Some(sf) = self.send_flows.get_mut(&flow) {
+            sf.slots_left = sf.slots_left.saturating_sub(1);
+            if let Some(chunk) = sf.core.next_scheduled_chunk(mtu) {
+                let pkt = data_packet(
+                    &sf.desc,
+                    chunk.seq,
+                    chunk.len,
+                    TrafficClass::Scheduled,
+                    chunk.retransmit,
+                );
+                ctx.send(pkt);
+            }
+            if sf.slots_left > 0 {
+                let stride = sf.stride;
+                let t = ctx.set_timer_in(stride);
+                self.timers.insert(t, TimerKind::Slot(flow));
+            } else {
+                need_more = sf.core.has_work();
+            }
+        }
+        if need_more {
+            self.request_slots(flow, ctx);
+        }
+    }
+}
+
+impl Endpoint for FastpassEndpoint {
+    fn on_flow_arrival(&mut self, flow: FlowDesc, ctx: &mut Ctx<'_>) {
+        let mode = self.cfg.base.mode;
+        let budget = if mode.bursts() {
+            self.cfg.base.aeolus.burst_budget(ctx.line_rate, self.cfg.base.base_rtt)
+        } else {
+            0
+        };
+        let mut core = PreCreditSender::new(flow.size, budget);
+        let mtu = self.cfg.base.mtu_payload;
+        // Pre-credit burst while the arbiter round-trip is in flight.
+        while let Some(chunk) = core.next_burst_chunk(mtu) {
+            let mut pkt = data_packet(&flow, chunk.seq, chunk.len, TrafficClass::Unscheduled, false);
+            mode.stamp_unscheduled(&mut pkt, 0, 7);
+            ctx.send(pkt);
+        }
+        if let Some(ps) = core.end_burst() {
+            if mode.probe_recovery() {
+                ctx.send(probe_packet(&flow, ps));
+            }
+        }
+        self.send_flows.insert(
+            flow.id,
+            SendFlow { desc: flow, core, slots_left: 0, stride: 0, requesting: false, completed: false },
+        );
+        self.request_slots(flow.id, ctx);
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        match pkt.kind {
+            PacketKind::Schedule { start, slots, stride } => {
+                let fire_first = {
+                    let sf = match self.send_flows.get_mut(&pkt.flow) {
+                        Some(sf) => sf,
+                        None => return,
+                    };
+                    sf.requesting = false;
+                    sf.slots_left = slots;
+                    sf.stride = stride;
+                    start.saturating_sub(ctx.now)
+                };
+                let t = ctx.set_timer_in(fire_first);
+                self.timers.insert(t, TimerKind::Slot(pkt.flow));
+            }
+            PacketKind::Data => {
+                let rf = self.recv_flows.entry(pkt.flow).or_insert_with(|| RecvFlow {
+                    sender: pkt.src,
+                    book: RecvBook::new(),
+                });
+                rf.book.learn_size(pkt.flow_size);
+                let unscheduled = pkt.class == TrafficClass::Unscheduled;
+                let v = rf.book.on_data(&pkt, ctx);
+                let sender = rf.sender;
+                if self.cfg.base.mode.probe_recovery() && unscheduled {
+                    if let Some((s, e)) = v.acked_range {
+                        ctx.send(ack_packet(pkt.flow, ctx.host, sender, s, e));
+                    }
+                }
+                if v.completed {
+                    ctx.send(ack_packet(pkt.flow, ctx.host, sender, 0, pkt.flow_size));
+                }
+            }
+            PacketKind::Probe => {
+                let rf = self.recv_flows.entry(pkt.flow).or_insert_with(|| RecvFlow {
+                    sender: pkt.src,
+                    book: RecvBook::new(),
+                });
+                rf.book.core.on_probe(pkt.seq, pkt.flow_size);
+                let sender = rf.sender;
+                ctx.send(probe_ack_packet(pkt.flow, ctx.host, sender, pkt.seq));
+            }
+            PacketKind::Ack { of_probe, end } => {
+                let mut need_more = false;
+                if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                    if of_probe {
+                        sf.core.on_probe_ack();
+                        // Losses revealed: they may need timeslots.
+                        need_more = sf.slots_left == 0 && sf.core.has_work();
+                    } else if pkt.seq == 0 && end >= sf.desc.size {
+                        sf.completed = true;
+                        sf.core.on_ack_no_infer(0, end);
+                    } else if self.cfg.base.sack_inference() {
+                        sf.core.on_ack(pkt.seq, end);
+                    } else {
+                        sf.core.on_ack_no_infer(pkt.seq, end);
+                    }
+                }
+                if need_more {
+                    self.request_slots(pkt.flow, ctx);
+                }
+            }
+            other => {
+                debug_assert!(false, "unexpected packet kind for Fastpass: {other:?}");
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        match self.timers.remove(&token) {
+            Some(TimerKind::Slot(f)) => self.on_slot(f, ctx),
+            None => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::FirstRttMode;
+    use aeolus_core::AeolusConfig;
+    use aeolus_sim::units::us;
+
+    #[test]
+    fn config_defaults() {
+        let base = BaseConfig {
+            mtu_payload: 1460,
+            base_rtt: us(14),
+            aeolus: AeolusConfig::default(),
+            mode: FirstRttMode::Aeolus,
+            disable_sack: false,
+        };
+        let cfg = FastpassConfig::new(base, NodeId(9));
+        assert_eq!(cfg.batch_slots, 64);
+        assert_eq!(cfg.arbiter, NodeId(9));
+    }
+}

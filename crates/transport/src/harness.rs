@@ -1,0 +1,144 @@
+//! Scenario harness: build a topology wired for a [`Scheme`], install
+//! endpoints, schedule flows and run — the shared front door for integration
+//! tests, examples and every experiment runner.
+
+use aeolus_sim::topology::{fat_tree, leaf_spine, single_switch, LinkParams, Topology};
+use aeolus_sim::units::Time;
+use aeolus_sim::{FlowDesc, Metrics, NodeId};
+
+use crate::registry::{Scheme, SchemeParams};
+
+/// Which topology to build (the paper's three families).
+#[derive(Debug, Clone, Copy)]
+pub enum TopoSpec {
+    /// `hosts` servers on one switch (testbed / microbenchmarks).
+    SingleSwitch {
+        /// Number of hosts.
+        hosts: usize,
+        /// Link parameters.
+        link: LinkParams,
+    },
+    /// Two-tier leaf-spine.
+    LeafSpine {
+        /// Spine switch count.
+        spines: usize,
+        /// Leaf switch count.
+        leaves: usize,
+        /// Hosts per leaf.
+        hosts_per_leaf: usize,
+        /// Link parameters.
+        link: LinkParams,
+    },
+    /// Three-tier oversubscribed fat-tree (ExpressPass paper shape).
+    FatTree {
+        /// Spine switch count.
+        spines: usize,
+        /// Pod count.
+        pods: usize,
+        /// ToRs per pod.
+        tors_per_pod: usize,
+        /// Aggregation switches per pod.
+        aggs_per_pod: usize,
+        /// Hosts per ToR.
+        hosts_per_tor: usize,
+        /// Link parameters.
+        link: LinkParams,
+    },
+}
+
+/// A runnable scenario: topology + scheme + endpoints.
+pub struct Harness {
+    /// The built topology (network inside).
+    pub topo: Topology,
+    /// The scheme under test.
+    pub scheme: Scheme,
+    /// The resolved parameters (base RTT filled from the topology).
+    pub params: SchemeParams,
+}
+
+impl Harness {
+    /// Build the topology for `scheme`, wiring every port with the scheme's
+    /// queue discipline and installing one endpoint per host.
+    ///
+    /// `params.base_rtt` is overwritten with the topology's base RTT unless
+    /// it was already set to a non-zero value by the caller.
+    pub fn new(scheme: Scheme, mut params: SchemeParams, spec: TopoSpec) -> Harness {
+        let qf = |rate, role| scheme.make_queue(&params, rate, role);
+        let mut topo = match spec {
+            TopoSpec::SingleSwitch { hosts, mut link } => {
+                link.policy = scheme.route_policy();
+                single_switch(hosts, link, &qf)
+            }
+            TopoSpec::LeafSpine { spines, leaves, hosts_per_leaf, mut link } => {
+                link.policy = scheme.route_policy();
+                leaf_spine(spines, leaves, hosts_per_leaf, link, &qf)
+            }
+            TopoSpec::FatTree { spines, pods, tors_per_pod, aggs_per_pod, hosts_per_tor, mut link } => {
+                link.policy = scheme.route_policy();
+                fat_tree(spines, pods, tors_per_pod, aggs_per_pod, hosts_per_tor, link, &qf)
+            }
+        };
+        if params.base_rtt == 0 {
+            // Base RTT plus a few serialization times so BDP bursts are not
+            // undersized on short-haul topologies.
+            let ser_slack = 4 * topo.host_rate.serialize((params.mtu_payload + 40) as u64);
+            params.base_rtt = topo.base_rtt + ser_slack;
+        }
+        if scheme.needs_arbiter() {
+            // Reserve the last host as the centralized arbiter; it is
+            // removed from `hosts()` so workloads never touch it.
+            let arbiter = topo.hosts.pop().expect("topology needs ≥2 hosts for an arbiter");
+            params.arbiter = Some(arbiter);
+            topo.net.set_endpoint(arbiter, scheme.make_arbiter(&params));
+        }
+        let hosts = topo.hosts.clone();
+        for h in hosts {
+            topo.net.set_endpoint(h, scheme.make_endpoint(&params));
+        }
+        Harness { topo, scheme, params }
+    }
+
+    /// All host node ids.
+    pub fn hosts(&self) -> &[NodeId] {
+        &self.topo.hosts
+    }
+
+    /// Schedule flows for execution.
+    pub fn schedule(&mut self, flows: &[FlowDesc]) {
+        for f in flows {
+            self.topo.net.schedule_flow(*f);
+        }
+    }
+
+    /// Run until all flows complete or `horizon`; returns completion status.
+    pub fn run(&mut self, horizon: Time) -> bool {
+        self.topo.net.run_to_completion(horizon)
+    }
+
+    /// Run metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.topo.net.metrics
+    }
+
+    /// Ideal (store-and-forward, unloaded) FCT for a flow of `size` bytes
+    /// between two hosts of this topology — the slowdown denominator.
+    pub fn ideal_fct(&self, size: u64) -> Time {
+        let mtu = self.params.mtu_payload as u64;
+        let wire = |payload: u64| payload + 40;
+        let full = size / mtu;
+        let rest = size % mtu;
+        let rate = self.topo.host_rate;
+        // All packets serialized at the NIC, plus the last packet's
+        // serialization at the bottleneck hop, plus the one-way base delay.
+        let mut t = 0;
+        for _ in 0..full {
+            t += rate.serialize(wire(mtu));
+        }
+        if rest > 0 {
+            t += rate.serialize(wire(rest));
+        }
+        let last = if rest > 0 { rest } else { mtu.min(size) };
+        t += rate.serialize(wire(last));
+        t + self.topo.base_rtt / 2
+    }
+}

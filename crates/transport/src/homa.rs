@@ -1,0 +1,670 @@
+//! Homa (SIGCOMM'18) — receiver-driven transport using network priorities —
+//! with pluggable first-RTT handling:
+//!
+//! * [`FirstRttMode::Blind`]: original Homa — RTT-bytes of unscheduled
+//!   packets burst at high priorities (by message-size cutoff), *protected*
+//!   from dropping but subject to buffer overflow; timeout-based recovery
+//!   (receiver RESENDs + sender RTO).
+//! * [`FirstRttMode::Aeolus`]: the burst is droppable/unscheduled, probes
+//!   and per-packet ACKs detect first-RTT losses, and retransmissions ride
+//!   the guaranteed scheduled (grant-induced) packets.
+//! * [`FirstRttMode::Oracle`]: §2.3's hypothetical Homa (zero interference).
+//!
+//! Receivers grant in SRPT order with an overcommitment degree (default 6),
+//! keeping one RTT-bytes window per granted message, and assign scheduled
+//! priorities by SRPT rank below the unscheduled levels.
+
+use std::collections::HashMap;
+
+use aeolus_core::PreCreditSender;
+use aeolus_sim::units::Time;
+use aeolus_sim::{Ctx, Endpoint, FlowDesc, FlowId, NodeId, Packet, PacketKind, TrafficClass};
+
+use crate::common::{
+    ack_packet, data_packet, probe_ack_packet, probe_packet, BaseConfig, FirstRttMode,
+};
+use crate::receiver_table::RecvBook;
+
+/// Homa tunables.
+#[derive(Debug, Clone)]
+pub struct HomaConfig {
+    /// Shared transport parameters.
+    pub base: BaseConfig,
+    /// Total switch priority levels (commodity: 8).
+    pub levels: u8,
+    /// How many (top) levels unscheduled packets use; scheduled packets use
+    /// the rest, ranked by SRPT.
+    pub unsched_levels: u8,
+    /// Message-size cutoffs for unscheduled priorities: a message of size ≤
+    /// `cutoffs[i]` bursts at priority `i`. Must have `unsched_levels - 1`
+    /// entries (everything larger uses the last unscheduled level).
+    pub cutoffs: Vec<u64>,
+    /// Overcommitment degree: how many messages a receiver grants at once.
+    pub overcommit: usize,
+    /// Retransmission timeout (paper experiments: 10 ms, 20 µs, 40 µs).
+    pub rto: Time,
+    /// "Eager Homa" (§2.3 / Table 1): the RTO is a naive per-message
+    /// deadline that is *not* reset by receiver progress, and every fire
+    /// blindly resends the whole burst region — the premature-retransmission
+    /// behaviour whose transfer-efficiency collapse the paper measures.
+    pub naive_rto: bool,
+}
+
+impl HomaConfig {
+    /// Defaults matching the paper's setup (8 levels, overcommitment 6),
+    /// with generic cutoffs suitable for the Table 2 workloads.
+    pub fn new(base: BaseConfig, rto: Time) -> HomaConfig {
+        HomaConfig {
+            base,
+            levels: 8,
+            unsched_levels: 4,
+            cutoffs: vec![3_000, 30_000, 300_000],
+            overcommit: 6,
+            rto,
+            naive_rto: false,
+        }
+    }
+
+    /// Unscheduled priority for a message of `size` bytes (smaller = higher).
+    pub fn unsched_prio(&self, size: u64) -> u8 {
+        for (i, &c) in self.cutoffs.iter().enumerate() {
+            if size <= c {
+                return i as u8;
+            }
+        }
+        self.unsched_levels - 1
+    }
+
+    /// Scheduled priority for the SRPT rank of a granted message.
+    pub fn sched_prio(&self, rank: usize) -> u8 {
+        let lo = self.unsched_levels;
+        let span = self.levels - lo;
+        lo + (rank as u8).min(span - 1)
+    }
+}
+
+/// A batch of missing ranges to re-request from one sender.
+type ResendBatch = (FlowId, NodeId, Vec<(u64, u64)>);
+
+#[derive(Debug, Clone, Copy)]
+enum TimerKind {
+    /// Sender-side RTO for one flow (Blind mode).
+    SenderRto(FlowId),
+    /// §6 probe-retry for probe-recovery modes: total silence means even
+    /// the probe was lost — resend it.
+    ProbeRetry(FlowId),
+    /// Receiver-side scan for stalled incomplete messages (Blind mode).
+    ResendScan,
+}
+
+struct SendFlow {
+    desc: FlowDesc,
+    core: PreCreditSender,
+    /// Consecutive sender-RTO fires (exponential backoff shift).
+    rto_fires: u32,
+    /// Last time the receiver showed signs of life for this flow (grant,
+    /// resend request, ACK): the RTO clock restarts from here.
+    last_progress: Time,
+    /// Highest grant offset received.
+    granted: u64,
+    /// Scheduled bytes sent against grants.
+    sent_sched: u64,
+    grant_prio: u8,
+    /// Set when the receiver's completion ACK arrives.
+    completed: bool,
+    /// Set once anything (grant, RESEND, ACK) has been heard from the
+    /// receiver — from then on the receiver's targeted RESEND scan owns
+    /// recovery and the sender's blind RTO stands down.
+    heard_from_receiver: bool,
+    native_prio: u8,
+}
+
+struct RecvFlow {
+    sender: NodeId,
+    book: RecvBook,
+    /// Cumulative scheduled-byte budget granted to the sender.
+    granted: u64,
+    /// Scheduled payload bytes received back (duplicates included — each
+    /// consumed budget, so each replenishes it).
+    sched_bytes_received: u64,
+    /// Budget written off by the stall scan (its packets are presumed lost).
+    budget_forgiven: u64,
+    last_arrival: Time,
+    /// When the last grant was issued (a freshly granted flow is not stale).
+    last_granted: Time,
+}
+
+/// The per-host Homa endpoint.
+pub struct HomaEndpoint {
+    cfg: HomaConfig,
+    send_flows: HashMap<FlowId, SendFlow>,
+    recv_flows: HashMap<FlowId, RecvFlow>,
+    timers: HashMap<u64, TimerKind>,
+    scan_armed: bool,
+}
+
+impl HomaEndpoint {
+    /// A fresh endpoint.
+    pub fn new(cfg: HomaConfig) -> HomaEndpoint {
+        HomaEndpoint {
+            cfg,
+            send_flows: HashMap::new(),
+            recv_flows: HashMap::new(),
+            timers: HashMap::new(),
+            scan_armed: false,
+        }
+    }
+
+    fn rtt_bytes(&self, ctx: &Ctx<'_>) -> u64 {
+        self.cfg.base.aeolus.burst_budget(ctx.line_rate, self.cfg.base.base_rtt)
+    }
+
+    /// Recompute grants after any receive-side event: SRPT-sorted incomplete
+    /// messages, top `overcommit` granted one RTT-bytes past what arrived.
+    fn regrant(&mut self, ctx: &mut Ctx<'_>) {
+        let rtt_bytes = self.rtt_bytes(ctx);
+        let mut active: Vec<(u64, FlowId)> = self
+            .recv_flows
+            .iter()
+            .filter_map(|(id, rf)| {
+                if rf.book.is_complete() {
+                    return None;
+                }
+                rf.book.remaining().map(|rem| (rem, *id))
+            })
+            .collect();
+        active.sort_unstable();
+        for (rank, &(_, id)) in active.iter().take(self.cfg.overcommit).enumerate() {
+            let prio = self.cfg.sched_prio(rank);
+            let rf = self.recv_flows.get_mut(&id).expect("active flow");
+            // Grants are a cumulative *scheduled-byte budget*, managed by
+            // outstanding-bytes accounting: keep
+            //   outstanding = granted − received-back (− written-off)
+            // topped up to min(remaining, RTTbytes). Counting received-back
+            // bytes (duplicates included — each consumed budget) makes the
+            // accounting self-correcting under reordering and duplicate
+            // retransmissions, and caps scheduled in-flight at one RTT.
+            let remaining = rf.book.remaining().unwrap_or(0);
+            let outstanding =
+                rf.granted.saturating_sub(rf.sched_bytes_received + rf.budget_forgiven);
+            // Fund whole packets: a sub-MTU remainder still needs a full
+            // packet's worth of budget when retransmissions fragment.
+            let mtu = self.cfg.base.mtu_payload as u64;
+            let want_outstanding = (remaining.div_ceil(mtu) * mtu).min(rtt_bytes);
+            let deficit = want_outstanding.saturating_sub(outstanding);
+            // Release arrival-clocked (real Homa grants per received packet):
+            // an initial kick when a message first gets scheduled, then a
+            // couple of MTUs per regrant — dumping whole windows for several
+            // messages at once would overflow the downlink buffer.
+            let step = if rf.granted == 0 { 8 * mtu } else { 2 * mtu };
+            let increment = deficit.min(step);
+            if increment > 0 {
+                rf.granted += increment;
+                rf.last_granted = ctx.now;
+                let mut g = Packet::control(
+                    id,
+                    ctx.host,
+                    rf.sender,
+                    rf.granted,
+                    PacketKind::Grant { grant_prio: prio },
+                );
+                g.priority = 0;
+                ctx.send(g);
+            }
+        }
+    }
+
+    /// Send scheduled data against the grant budget.
+    fn pump_scheduled(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
+        let mtu = self.cfg.base.mtu_payload;
+        if let Some(sf) = self.send_flows.get_mut(&flow) {
+            while sf.sent_sched < sf.granted {
+                match sf.core.next_scheduled_chunk(mtu) {
+                    Some(chunk) => {
+                        let mut pkt = data_packet(
+                            &sf.desc,
+                            chunk.seq,
+                            chunk.len,
+                            TrafficClass::Scheduled,
+                            chunk.retransmit,
+                        );
+                        pkt.priority = sf.grant_prio;
+                        ctx.send(pkt);
+                        sf.sent_sched += chunk.len as u64;
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+
+    /// Staleness threshold before recovery kicks in: the RTO in Blind mode,
+    /// several RTTs in the probe-recovery modes (where it is only a backstop
+    /// against lost *scheduled* packets under extreme buffer pressure).
+    fn stale_after(&self) -> Time {
+        match self.cfg.base.mode {
+            FirstRttMode::Blind => self.cfg.rto,
+            // Gated on outstanding budget (below), so this only needs to
+            // exceed worst-case in-flight drain time — 1 ms is generous.
+            _ => (20 * self.cfg.base.base_rtt).max(aeolus_sim::units::ms(1)),
+        }
+    }
+
+    fn arm_scan(&mut self, ctx: &mut Ctx<'_>) {
+        if self.cfg.base.mode == FirstRttMode::Hold || self.scan_armed {
+            return;
+        }
+        self.scan_armed = true;
+        let delay = self.stale_after() / 2;
+        let t = ctx.set_timer_in(delay);
+        self.timers.insert(t, TimerKind::ResendScan);
+    }
+
+    fn on_resend_scan(&mut self, ctx: &mut Ctx<'_>) {
+        self.scan_armed = false;
+        let stale_after = self.stale_after();
+        let probe_mode = self.cfg.base.mode.probe_recovery();
+        let rtt_bytes = self.rtt_bytes(ctx);
+        let mut any_incomplete = false;
+        let mut resends: Vec<ResendBatch> = Vec::new();
+        for (&id, rf) in self.recv_flows.iter_mut() {
+            if rf.book.is_complete() {
+                continue;
+            }
+            any_incomplete = true;
+            // Only a flow whose granted budget is *outstanding* (packets in
+            // flight that never returned) can be loss-stalled; zero
+            // outstanding means it is waiting on grants/SRPT, not on the
+            // network. In-flight packets drain within a buffer-drain time,
+            // so a stale outstanding balance is a loss.
+            if probe_mode {
+                let outstanding =
+                    rf.granted.saturating_sub(rf.sched_bytes_received + rf.budget_forgiven);
+                if outstanding == 0 {
+                    continue;
+                }
+            }
+            // Staleness is arrival-based: outstanding in-flight packets
+            // drain within a buffer-drain time, far below the 1 ms floor
+            // (grant timestamps are irrelevant — the periodic grant kick
+            // would otherwise mask a genuine stall indefinitely).
+            if ctx.now.saturating_sub(rf.last_arrival) < stale_after {
+                continue;
+            }
+            // Expected extent: whatever was granted plus the unscheduled
+            // region the sender must have burst.
+            let size = match rf.book.core.size() {
+                Some(s) => s,
+                None => continue, // know nothing yet; sender RTO covers this
+            };
+            // Request anything missing below the full message: the sender
+            // clamps requeues to what it actually transmitted, and resending
+            // not-yet-sent bytes early is harmless (grants are a cumulative
+            // byte budget, so the receiver cannot reconstruct which offsets
+            // were authorized).
+            let upto = size;
+            let _ = rtt_bytes;
+            // Blind mode requests at most one bounded range per flow per
+            // scan: premature resends of merely-queued data are the known
+            // waste of timeout recovery, but unbounded re-requests at RTO
+            // cadence would melt an incast fabric outright.
+            let missing: Vec<(u64, u64)> = if probe_mode {
+                rf.book.core.missing_below(upto).into_iter().take(8).collect()
+            } else {
+                let window = 8 * self.cfg.base.mtu_payload as u64;
+                rf.book
+                    .core
+                    .missing_below(upto)
+                    .into_iter()
+                    .take(1)
+                    .map(|(s, e)| (s, e.min(s + window)))
+                    .collect()
+            };
+            if !missing.is_empty() {
+                ctx.metrics.note_timeout(id);
+                rf.last_arrival = ctx.now; // back off until the next scan
+                // The stalled budget's packets are presumed gone: write
+                // them off so fresh grants flow for the retransmissions.
+                let outstanding = rf
+                    .granted
+                    .saturating_sub(rf.sched_bytes_received + rf.budget_forgiven);
+                rf.budget_forgiven += outstanding;
+                resends.push((id, rf.sender, missing));
+            }
+        }
+        // Always re-evaluate grants while anything is incomplete: grants are
+        // otherwise arrival-clocked, and a receiver whose last arrival
+        // predates a flow's turn in the SRPT order would strand it.
+        let regrant_needed = any_incomplete;
+        let _ = probe_mode;
+        for (id, sender, missing) in resends {
+            for (s, e) in missing {
+                let mut r =
+                    Packet::control(id, ctx.host, sender, s, PacketKind::Resend { end: e });
+                r.priority = 0;
+                ctx.send(r);
+            }
+        }
+        if regrant_needed {
+            self.regrant(ctx);
+        }
+        if any_incomplete {
+            let delay = stale_after / 2;
+            let t = ctx.set_timer_in(delay);
+            self.timers.insert(t, TimerKind::ResendScan);
+            self.scan_armed = true;
+        }
+    }
+
+    fn on_sender_rto(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
+        let mtu = self.cfg.base.mtu_payload;
+        let rto = self.cfg.rto;
+        let rearm = {
+            let sf = match self.send_flows.get_mut(&flow) {
+                Some(sf) => sf,
+                None => return,
+            };
+            if sf.completed {
+                false
+            } else if !self.cfg.naive_rto && ctx.now.saturating_sub(sf.last_progress) < rto {
+                // The receiver is alive (grants flowing): not a timeout,
+                // just re-arm from the last progress point.
+                true
+            } else if self.cfg.naive_rto {
+                // Eager Homa: premature full-burst retransmission on a
+                // naive deadline — the Table 1 efficiency collapse.
+                ctx.metrics.note_timeout(flow);
+                sf.rto_fires += 1;
+                let burst_end = sf.desc.size.min(
+                    self.cfg.base.aeolus.burst_budget(ctx.line_rate, self.cfg.base.base_rtt),
+                );
+                let mut seq = 0u64;
+                while seq < burst_end {
+                    let len = mtu.min((burst_end - seq) as u32);
+                    let mut pkt =
+                        data_packet(&sf.desc, seq, len, TrafficClass::Unscheduled, true);
+                    self.cfg.base.mode.stamp_unscheduled(
+                        &mut pkt,
+                        sf.native_prio,
+                        self.cfg.levels - 1,
+                    );
+                    ctx.send(pkt);
+                    seq += len as u64;
+                }
+                true
+            } else {
+                // No completion and no receiver feedback for a full RTO:
+                // re-poll with the first burst packet (it carries the
+                // message size, so a receiver that lost the whole burst
+                // learns of the flow); the receiver's RESEND machinery
+                // drives range recovery.
+                ctx.metrics.note_timeout(flow);
+                sf.rto_fires += 1;
+                let len = mtu.min(sf.desc.size as u32);
+                let mut pkt = data_packet(&sf.desc, 0, len, TrafficClass::Unscheduled, true);
+                self.cfg.base.mode.stamp_unscheduled(
+                    &mut pkt,
+                    sf.native_prio,
+                    self.cfg.levels - 1,
+                );
+                ctx.send(pkt);
+                true
+            }
+        };
+        if rearm {
+            // Naive mode keeps firing at a fixed cadence for a while (the
+            // measured waste); both modes back off exponentially eventually
+            // so a stuck flow cannot melt the run.
+            let fires = self.send_flows[&flow].rto_fires;
+            let shift = if self.cfg.naive_rto { (fires / 16).min(6) } else { (fires / 2).min(8) };
+            let t = ctx.set_timer_in(rto << shift);
+            self.timers.insert(t, TimerKind::SenderRto(flow));
+        }
+    }
+
+    fn on_probe_retry(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
+        let retry_rtts = self.cfg.base.aeolus.probe_retry_rtts;
+        let rearm = {
+            let sf = match self.send_flows.get_mut(&flow) {
+                Some(sf) => sf,
+                None => return,
+            };
+            if sf.heard_from_receiver || sf.completed {
+                false
+            } else {
+                ctx.metrics.note_timeout(flow);
+                let burst_end = sf.desc.size.min(
+                    self.cfg.base.aeolus.burst_budget(ctx.line_rate, self.cfg.base.base_rtt),
+                );
+                let mut probe = probe_packet(&sf.desc, burst_end);
+                probe.priority = sf.native_prio;
+                ctx.send(probe);
+                true
+            }
+        };
+        if rearm && retry_rtts > 0 {
+            let delay = (retry_rtts as Time * self.cfg.base.base_rtt.max(1)).max(aeolus_sim::units::ms(2));
+            let t = ctx.set_timer_in(delay);
+            self.timers.insert(t, TimerKind::ProbeRetry(flow));
+        }
+    }
+
+    fn ensure_recv_flow(&mut self, pkt: &Packet, now: Time) -> &mut RecvFlow {
+        let rf = self.recv_flows.entry(pkt.flow).or_insert_with(|| RecvFlow {
+            sender: pkt.src,
+            book: RecvBook::new(),
+            granted: 0,
+            sched_bytes_received: 0,
+            budget_forgiven: 0,
+            last_arrival: now,
+            last_granted: 0,
+        });
+        rf.book.learn_size(pkt.flow_size);
+        rf.last_arrival = now;
+        rf
+    }
+}
+
+impl Endpoint for HomaEndpoint {
+    fn on_flow_arrival(&mut self, flow: FlowDesc, ctx: &mut Ctx<'_>) {
+        let mode = self.cfg.base.mode;
+        let budget = if mode.bursts() { self.rtt_bytes(ctx).min(flow.size) } else { 0 };
+        let mut core = PreCreditSender::new(flow.size, budget);
+        let native_prio = self.cfg.unsched_prio(flow.size);
+        let mtu = self.cfg.base.mtu_payload;
+        while let Some(chunk) = core.next_burst_chunk(mtu) {
+            let mut pkt = data_packet(&flow, chunk.seq, chunk.len, TrafficClass::Unscheduled, false);
+            mode.stamp_unscheduled(&mut pkt, native_prio, self.cfg.levels - 1);
+            ctx.send(pkt);
+        }
+        if let Some(probe_seq) = core.end_burst() {
+            if mode.probe_recovery() {
+                // The probe must trail the burst through every queue: give it
+                // the *same* priority as the unscheduled data (it stays
+                // protected from selective dropping via its ECT mark).
+                let mut probe = probe_packet(&flow, probe_seq);
+                probe.priority = native_prio;
+                ctx.send(probe);
+            }
+        }
+        if mode == FirstRttMode::Blind {
+            let t = ctx.set_timer_in(self.cfg.rto);
+            self.timers.insert(t, TimerKind::SenderRto(flow.id));
+        } else if mode.probe_recovery() && self.cfg.base.aeolus.probe_retry_rtts > 0 {
+            let delay =
+                (self.cfg.base.aeolus.probe_retry_rtts as Time * self.cfg.base.base_rtt.max(1))
+                    .max(aeolus_sim::units::ms(2));
+            let t = ctx.set_timer_in(delay);
+            self.timers.insert(t, TimerKind::ProbeRetry(flow.id));
+        }
+        self.send_flows.insert(
+            flow.id,
+            SendFlow {
+                desc: flow,
+                core,
+                rto_fires: 0,
+                last_progress: ctx.now,
+                granted: 0,
+                sent_sched: 0,
+                grant_prio: self.cfg.sched_prio(0),
+                completed: false,
+                heard_from_receiver: false,
+                native_prio,
+            },
+        );
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        match pkt.kind {
+            PacketKind::Data => {
+                let mode = self.cfg.base.mode;
+                let rf = self.ensure_recv_flow(&pkt, ctx.now);
+                let unscheduled = pkt.class == TrafficClass::Unscheduled;
+                if !unscheduled {
+                    rf.sched_bytes_received += pkt.payload as u64;
+                }
+                let v = rf.book.on_data(&pkt, ctx);
+                let sender = rf.sender;
+                // Aeolus per-packet ACKs for unscheduled data.
+                if mode.probe_recovery() && unscheduled {
+                    if let Some((s, e)) = v.acked_range {
+                        let mut a = ack_packet(pkt.flow, ctx.host, sender, s, e);
+                        a.priority = 0;
+                        ctx.send(a);
+                    }
+                }
+                // Completion ACK (the RPC-reply analogue) in every mode so
+                // senders can retire state and stop RTO timers.
+                if v.completed {
+                    let size = pkt.flow_size;
+                    let mut done = ack_packet(pkt.flow, ctx.host, sender, 0, size);
+                    done.priority = 0;
+                    ctx.send(done);
+                }
+                self.regrant(ctx);
+                self.arm_scan(ctx);
+            }
+            PacketKind::Probe => {
+                let rf = self.ensure_recv_flow(&pkt, ctx.now);
+                rf.book.core.on_probe(pkt.seq, pkt.flow_size);
+                let sender = rf.sender;
+                let mut pa = probe_ack_packet(pkt.flow, ctx.host, sender, pkt.seq);
+                pa.priority = 0;
+                ctx.send(pa);
+                self.regrant(ctx);
+                self.arm_scan(ctx);
+            }
+            PacketKind::Grant { grant_prio } => {
+                if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                    sf.heard_from_receiver = true;
+                    sf.last_progress = ctx.now;
+                    sf.grant_prio = grant_prio;
+                    if pkt.seq > sf.granted {
+                        sf.granted = pkt.seq;
+                    }
+                    sf.core.end_burst();
+                }
+                self.pump_scheduled(pkt.flow, ctx);
+            }
+            PacketKind::Resend { end } => {
+                let mtu = self.cfg.base.mtu_payload;
+                let levels = self.cfg.levels;
+                let mode = self.cfg.base.mode;
+                if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                    sf.heard_from_receiver = true;
+                    sf.last_progress = ctx.now;
+                    if mode.probe_recovery() {
+                        // Backstop path: requeue and let the (inflated)
+                        // grant budget clock the retransmission out as a
+                        // guaranteed scheduled packet.
+                        sf.core.requeue_lost(pkt.seq, end.min(sf.desc.size));
+                    } else {
+                        // Blind mode: resend immediately as unscheduled.
+                        let mut seq = pkt.seq;
+                        while seq < end.min(sf.desc.size) {
+                            let len = mtu.min((end.min(sf.desc.size) - seq) as u32);
+                            let mut p =
+                                data_packet(&sf.desc, seq, len, TrafficClass::Unscheduled, true);
+                            mode.stamp_unscheduled(&mut p, sf.native_prio, levels - 1);
+                            ctx.send(p);
+                            seq += len as u64;
+                        }
+                    }
+                }
+                if mode.probe_recovery() {
+                    self.pump_scheduled(pkt.flow, ctx);
+                }
+            }
+            PacketKind::Ack { of_probe, end } => {
+                let infer = self.cfg.base.sack_inference();
+                if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                    sf.heard_from_receiver = true;
+                    sf.last_progress = ctx.now;
+                    if of_probe {
+                        sf.core.on_probe_ack();
+                        // Newly detected losses may fit the open grant window.
+                    } else if pkt.seq == 0 && end >= sf.desc.size {
+                        sf.completed = true;
+                        sf.core.on_ack_no_infer(0, end);
+                    } else if infer {
+                        sf.core.on_ack(pkt.seq, end);
+                    } else {
+                        sf.core.on_ack_no_infer(pkt.seq, end);
+                    }
+                }
+                self.pump_scheduled(pkt.flow, ctx);
+            }
+            other => {
+                debug_assert!(false, "unexpected packet kind for Homa: {other:?}");
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        match self.timers.remove(&token) {
+            Some(TimerKind::SenderRto(f)) => self.on_sender_rto(f, ctx),
+            Some(TimerKind::ProbeRetry(f)) => self.on_probe_retry(f, ctx),
+            Some(TimerKind::ResendScan) => self.on_resend_scan(ctx),
+            None => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeolus_core::AeolusConfig;
+    use aeolus_sim::units::us;
+
+    fn cfg() -> HomaConfig {
+        HomaConfig::new(
+            BaseConfig {
+                mtu_payload: 1460,
+                base_rtt: us(5),
+                aeolus: AeolusConfig::default(),
+                mode: FirstRttMode::Blind,
+                disable_sack: false,
+            },
+            us(10_000),
+        )
+    }
+
+    #[test]
+    fn unscheduled_priority_cutoffs() {
+        let c = cfg();
+        assert_eq!(c.unsched_prio(100), 0);
+        assert_eq!(c.unsched_prio(3_000), 0);
+        assert_eq!(c.unsched_prio(10_000), 1);
+        assert_eq!(c.unsched_prio(100_000), 2);
+        assert_eq!(c.unsched_prio(10_000_000), 3);
+    }
+
+    #[test]
+    fn scheduled_priorities_sit_below_unscheduled() {
+        let c = cfg();
+        assert_eq!(c.sched_prio(0), 4);
+        assert_eq!(c.sched_prio(1), 5);
+        assert_eq!(c.sched_prio(5), 7, "ranks beyond the span share the lowest level");
+        assert!(c.sched_prio(0) > c.unsched_prio(u64::MAX));
+    }
+}

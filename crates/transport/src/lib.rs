@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! # aeolus-transport — proactive datacenter transports
+//!
+//! Full implementations of the three proactive transports the Aeolus paper
+//! evaluates — ExpressPass (credit-scheduled), Homa (priority/grant-driven)
+//! and NDP (trim-and-pull) — each integrable with the Aeolus building block
+//! from `aeolus-core`, plus the §2 oracle ("hypothetical") variants and the
+//! §5.5 priority-queueing strawman.
+//!
+//! Use [`Scheme`] to obtain matched (queue discipline, routing policy,
+//! endpoint) triples; mixing them across schemes is a configuration error
+//! the paper's evaluation never performs.
+
+pub mod common;
+pub mod dctcp;
+pub mod harness;
+pub mod expresspass;
+pub mod fastpass;
+pub mod homa;
+pub mod ndp;
+pub mod phost;
+pub mod receiver_table;
+pub mod registry;
+
+pub use common::{BaseConfig, FirstRttMode};
+pub use dctcp::{DctcpConfig, DctcpEndpoint};
+pub use harness::{Harness, TopoSpec};
+pub use expresspass::{XPassConfig, XPassEndpoint};
+pub use fastpass::{ArbiterEndpoint, FastpassConfig, FastpassEndpoint};
+pub use homa::{HomaConfig, HomaEndpoint};
+pub use ndp::{NdpConfig, NdpEndpoint};
+pub use phost::{PHostConfig, PHostEndpoint};
+pub use receiver_table::{BookVerdict, RecvBook};
+pub use registry::{Scheme, SchemeParams};

@@ -1,0 +1,469 @@
+//! NDP (SIGCOMM'17) — pull-based transport with cutting payload — and its
+//! Aeolus variant that needs no switch modifications:
+//!
+//! * [`crate::common::FirstRttMode::Blind`]: original NDP — the sender blasts an initial
+//!   window, switches *trim* overflowing data packets to headers
+//!   ([`aeolus_sim::TrimmingQueue`]), receivers NACK trimmed packets and
+//!   pace PULLs at line rate; packets are sprayed across all paths.
+//! * [`crate::common::FirstRttMode::Aeolus`]: the same initial window is sent as droppable
+//!   unscheduled packets through commodity RED/ECN switches; probe + per-
+//!   packet ACKs replace trimming as the loss signal, and the (protected)
+//!   pull stream clocks out retransmissions.
+//!
+//! Every full data packet is ACKed (NDP semantics); the receiver issues one
+//! pull per arrival while demand remains, with a timer-paced pull queue per
+//! host, plus a slow backstop for pathological control-plane loss.
+
+use std::collections::{HashMap, VecDeque};
+
+use aeolus_core::PreCreditSender;
+use aeolus_sim::units::Time;
+use aeolus_sim::{Ctx, Endpoint, FlowDesc, FlowId, NodeId, Packet, PacketKind, TrafficClass};
+
+use crate::common::{ack_packet, data_packet, probe_ack_packet, probe_packet, BaseConfig};
+use crate::receiver_table::RecvBook;
+
+/// NDP tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct NdpConfig {
+    /// Shared transport parameters (`mode` selects Blind vs Aeolus).
+    pub base: BaseConfig,
+    /// Backstop timer for stalled incomplete messages (re-issues a pull).
+    pub backstop: Time,
+}
+
+impl NdpConfig {
+    /// Defaults: backstop at 20× the base RTT, floored at 1 ms so loaded
+    /// queueing is never mistaken for a stall.
+    pub fn new(base: BaseConfig) -> NdpConfig {
+        NdpConfig { base, backstop: (20 * base.base_rtt.max(1)).max(aeolus_sim::units::ms(1)) }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TimerKind {
+    /// The per-host pull pacer tick.
+    PullTick,
+    /// Stall backstop scan.
+    Backstop,
+    /// §6 probe-retry (Aeolus mode): total silence means even the probe was
+    /// lost — resend it.
+    ProbeRetry(FlowId),
+}
+
+struct SendFlow {
+    desc: FlowDesc,
+    core: PreCreditSender,
+    /// Packet counter used as the spray path tag.
+    tag: u64,
+    /// Set once anything (ACK, probe ACK, NACK, pull) came back.
+    heard_back: bool,
+    probe_seq: Option<u64>,
+}
+
+struct RecvFlow {
+    sender: NodeId,
+    book: RecvBook,
+    /// Pulls issued for this flow so far (each funds one packet).
+    pulls_sent: u64,
+    /// Packet arrivals (full data, trimmed headers — anything a transmission
+    /// produced), which return their transmission credit.
+    arrivals: u64,
+    /// Transmission credits written off as lost (probe arithmetic, backstop).
+    forgiven: u64,
+    /// Initial-window packets the sender transmits unprompted (pre-paid
+    /// credits).
+    iw_pkts: u64,
+    last_arrival: Time,
+}
+
+/// The per-host NDP endpoint.
+pub struct NdpEndpoint {
+    cfg: NdpConfig,
+    send_flows: HashMap<FlowId, SendFlow>,
+    recv_flows: HashMap<FlowId, RecvFlow>,
+    timers: HashMap<u64, TimerKind>,
+    /// Round-robin pull queue across flows (one entry = one pull to send).
+    pull_queue: VecDeque<FlowId>,
+    pull_pacer_armed: bool,
+    /// Earliest time the next pull may leave — the pacer's memory across
+    /// idle gaps, so bursts of arrivals cannot compress the pull spacing.
+    next_pull_at: Time,
+    backstop_armed: bool,
+}
+
+impl NdpEndpoint {
+    /// A fresh endpoint.
+    pub fn new(cfg: NdpConfig) -> NdpEndpoint {
+        NdpEndpoint {
+            cfg,
+            send_flows: HashMap::new(),
+            recv_flows: HashMap::new(),
+            timers: HashMap::new(),
+            pull_queue: VecDeque::new(),
+            pull_pacer_armed: false,
+            next_pull_at: 0,
+            backstop_armed: false,
+        }
+    }
+
+    fn iw_bytes(&self, ctx: &Ctx<'_>) -> u64 {
+        self.cfg.base.aeolus.burst_budget(ctx.line_rate, self.cfg.base.base_rtt)
+    }
+
+
+    fn pull_spacing(&self, ctx: &Ctx<'_>) -> Time {
+        ctx.line_rate.serialize(self.cfg.base.mtu_wire() as u64)
+    }
+
+    /// Credits the sender is still holding: initial window + pulls, minus
+    /// what came back (any packet arrival) and what was written off.
+    fn outstanding(rf: &RecvFlow) -> u64 {
+        (rf.iw_pkts + rf.pulls_sent).saturating_sub(rf.arrivals + rf.forgiven)
+    }
+
+    /// Pull deficit in *packets*: enough outstanding credit to cover the
+    /// remaining bytes — but never more than one initial window outstanding
+    /// (NDP's flow-control invariant; an unbounded pull window would let a
+    /// backlogged sender blast far more than the receiver's downlink can
+    /// drain). Counting packets (not bytes) keeps the accounting exact when
+    /// retransmitted chunks are fragmented.
+    fn pull_deficit(rf: &RecvFlow, mtu: u64) -> u64 {
+        if rf.book.core.size().is_none() || rf.book.is_complete() {
+            return 0;
+        }
+        let remaining = rf.book.remaining().unwrap_or(0);
+        let window = rf.iw_pkts.max(1);
+        remaining
+            .div_ceil(mtu)
+            .min(window)
+            .saturating_sub(Self::outstanding(rf))
+    }
+
+    /// Queue up to one pull for `flow` (the arrival-clocked path).
+    fn maybe_enqueue_pull(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
+        let mtu = self.cfg.base.mtu_payload as u64;
+        if let Some(rf) = self.recv_flows.get_mut(&flow) {
+            if Self::pull_deficit(rf, mtu) > 0 {
+                rf.pulls_sent += 1;
+                self.pull_queue.push_back(flow);
+                self.arm_pull_pacer(ctx);
+            }
+        }
+    }
+
+    /// Queue pulls until the deficit is zero (used when a probe reveals a
+    /// batch of losses at once; the pacer still spaces them at line rate).
+    fn drain_pull_deficit(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
+        let mtu = self.cfg.base.mtu_payload as u64;
+        if let Some(rf) = self.recv_flows.get_mut(&flow) {
+            while Self::pull_deficit(rf, mtu) > 0 {
+                rf.pulls_sent += 1;
+                self.pull_queue.push_back(flow);
+            }
+        }
+        self.arm_pull_pacer(ctx);
+    }
+
+    fn arm_pull_pacer(&mut self, ctx: &mut Ctx<'_>) {
+        if self.pull_pacer_armed || self.pull_queue.is_empty() {
+            return;
+        }
+        self.pull_pacer_armed = true;
+        let delay = self.next_pull_at.saturating_sub(ctx.now);
+        let t = ctx.set_timer_in(delay);
+        self.timers.insert(t, TimerKind::PullTick);
+    }
+
+    fn on_pull_tick(&mut self, ctx: &mut Ctx<'_>) {
+        self.pull_pacer_armed = false;
+        let flow = match self.pull_queue.pop_front() {
+            Some(f) => f,
+            None => return,
+        };
+        let spacing = self.pull_spacing(ctx);
+        if let Some(rf) = self.recv_flows.get(&flow) {
+            if !rf.book.is_complete() {
+                let mut pull =
+                    Packet::control(flow, ctx.host, rf.sender, rf.pulls_sent, PacketKind::Pull);
+                pull.priority = 0;
+                ctx.send(pull);
+                self.next_pull_at = ctx.now + spacing;
+            }
+        }
+        if !self.pull_queue.is_empty() {
+            self.pull_pacer_armed = true;
+            let delay = self.next_pull_at.saturating_sub(ctx.now);
+            let t = ctx.set_timer_in(delay);
+            self.timers.insert(t, TimerKind::PullTick);
+        }
+    }
+
+    fn arm_backstop(&mut self, ctx: &mut Ctx<'_>) {
+        if self.backstop_armed {
+            return;
+        }
+        self.backstop_armed = true;
+        let t = ctx.set_timer_in(self.cfg.backstop);
+        self.timers.insert(t, TimerKind::Backstop);
+    }
+
+    fn on_backstop(&mut self, ctx: &mut Ctx<'_>) {
+        self.backstop_armed = false;
+        let backstop = self.cfg.backstop;
+        let mut stalled = Vec::new();
+        let mut any_incomplete = false;
+        for (&id, rf) in self.recv_flows.iter() {
+            if rf.book.is_complete() || rf.book.core.size().is_none() {
+                continue;
+            }
+            any_incomplete = true;
+            // Outstanding credit with nothing arriving for a backstop period
+            // means the fabric lost something: in-flight packets would have
+            // drained long before. (Zero outstanding = waiting on our own
+            // pull pacer, not on the network.)
+            if Self::outstanding(rf) > 0
+                && ctx.now.saturating_sub(rf.last_arrival) >= backstop
+            {
+                stalled.push(id);
+            }
+        }
+        for id in stalled {
+            ctx.metrics.note_timeout(id);
+            // Tell the sender what is missing (a stall means the loss signal
+            // itself was lost — e.g. a corrupted scheduled packet, which
+            // neither trims nor ACKs), then replenish the pull stream.
+            let mtu = self.cfg.base.mtu_payload as u64;
+            let mut nacks = Vec::new();
+            if let Some(rf) = self.recv_flows.get_mut(&id) {
+                // The stuck credits are gone: write them off so fresh pulls
+                // flow, and tell the sender exactly what to requeue.
+                rf.forgiven += Self::outstanding(rf);
+                let size = rf.book.core.size().expect("checked above");
+                for (ms, me) in rf.book.core.missing_below(size).into_iter().take(4) {
+                    let mut seq = ms;
+                    while seq < me {
+                        nacks.push((rf.sender, seq));
+                        seq += mtu;
+                    }
+                }
+                rf.last_arrival = ctx.now;
+            }
+            for (sender, seq) in nacks {
+                let mut nack = Packet::control(id, ctx.host, sender, seq, PacketKind::Nack);
+                nack.priority = 0;
+                ctx.send(nack);
+            }
+            self.drain_pull_deficit(id, ctx);
+        }
+        self.arm_pull_pacer(ctx);
+        if any_incomplete {
+            self.backstop_armed = true;
+            let t = ctx.set_timer_in(backstop);
+            self.timers.insert(t, TimerKind::Backstop);
+        }
+    }
+
+    /// Send the next packet in response to a pull.
+    fn pump_one(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
+        let mtu = self.cfg.base.mtu_payload;
+        if let Some(sf) = self.send_flows.get_mut(&flow) {
+            if let Some(chunk) = sf.core.next_scheduled_chunk(mtu) {
+                let mut pkt = data_packet(
+                    &sf.desc,
+                    chunk.seq,
+                    chunk.len,
+                    TrafficClass::Scheduled,
+                    chunk.retransmit,
+                );
+                sf.tag += 1;
+                pkt.path_tag = sf.tag;
+                ctx.send(pkt);
+            }
+        }
+    }
+
+    fn on_probe_retry(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
+        let retry_rtts = self.cfg.base.aeolus.probe_retry_rtts;
+        let rearm = {
+            let sf = match self.send_flows.get_mut(&flow) {
+                Some(sf) => sf,
+                None => return,
+            };
+            if sf.heard_back {
+                false
+            } else {
+                ctx.metrics.note_timeout(flow);
+                if let Some(ps) = sf.probe_seq {
+                    let mut probe = probe_packet(&sf.desc, ps);
+                    probe.priority = 7;
+                    ctx.send(probe);
+                }
+                true
+            }
+        };
+        if rearm && retry_rtts > 0 {
+            let delay = (retry_rtts as Time * self.cfg.base.base_rtt.max(1)).max(aeolus_sim::units::ms(2));
+            let t = ctx.set_timer_in(delay);
+            self.timers.insert(t, TimerKind::ProbeRetry(flow));
+        }
+    }
+
+    fn ensure_recv_flow(&mut self, pkt: &Packet, ctx: &Ctx<'_>) {
+        let now = ctx.now;
+        let iw = self.iw_bytes(ctx);
+        let mtu = self.cfg.base.mtu_payload as u64;
+        let rf = self.recv_flows.entry(pkt.flow).or_insert_with(|| RecvFlow {
+            sender: pkt.src,
+            book: RecvBook::new(),
+            pulls_sent: 0,
+            arrivals: 0,
+            forgiven: 0,
+            iw_pkts: 0,
+            last_arrival: now,
+        });
+        rf.book.learn_size(pkt.flow_size);
+        if rf.iw_pkts == 0 {
+            if let Some(size) = rf.book.core.size() {
+                rf.iw_pkts = iw.min(size).div_ceil(mtu);
+            }
+        }
+        rf.last_arrival = now;
+    }
+}
+
+impl Endpoint for NdpEndpoint {
+    fn on_flow_arrival(&mut self, flow: FlowDesc, ctx: &mut Ctx<'_>) {
+        let mode = self.cfg.base.mode;
+        let budget = self.iw_bytes(ctx).min(flow.size);
+        let mut core = PreCreditSender::new(flow.size, budget);
+        // NDP recovery is signal-driven (NACKs in Blind mode, probe/SACK in
+        // Aeolus mode): last-resort duplication only feeds trim loops.
+        core.disable_last_resort();
+        let mut tag = 0u64;
+        let mtu = self.cfg.base.mtu_payload;
+        while let Some(chunk) = core.next_burst_chunk(mtu) {
+            let mut pkt = data_packet(&flow, chunk.seq, chunk.len, TrafficClass::Unscheduled, false);
+            mode.stamp_unscheduled(&mut pkt, 0, 7);
+            tag += 1;
+            pkt.path_tag = tag;
+            ctx.send(pkt);
+        }
+        let mut probe_seq = None;
+        if let Some(ps) = core.end_burst() {
+            if mode.probe_recovery() {
+                let mut probe = probe_packet(&flow, ps);
+                probe.priority = 7; // trail the burst (moot in a FIFO, kept for symmetry)
+                ctx.send(probe);
+                probe_seq = Some(ps);
+            }
+        }
+        if mode.probe_recovery() && self.cfg.base.aeolus.probe_retry_rtts > 0 {
+            let delay =
+                (self.cfg.base.aeolus.probe_retry_rtts as Time * self.cfg.base.base_rtt.max(1))
+                    .max(aeolus_sim::units::ms(2));
+            let t = ctx.set_timer_in(delay);
+            self.timers.insert(t, TimerKind::ProbeRetry(flow.id));
+        }
+        self.send_flows
+            .insert(flow.id, SendFlow { desc: flow, core, tag, heard_back: false, probe_seq });
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        match pkt.kind {
+            PacketKind::Data if pkt.trimmed => {
+                // A cut-payload header: it returns its transmission credit
+                // (the payload is gone, so the credit frees immediately);
+                // NACK so the sender requeues the bytes, then keep pulling.
+                self.ensure_recv_flow(&pkt, ctx);
+                let sender = {
+                    let rf = self.recv_flows.get_mut(&pkt.flow).expect("just ensured");
+                    rf.arrivals += 1;
+                    rf.sender
+                };
+                let mut nack = Packet::control(pkt.flow, ctx.host, sender, pkt.seq, PacketKind::Nack);
+                nack.priority = 0;
+                ctx.send(nack);
+                self.maybe_enqueue_pull(pkt.flow, ctx);
+                self.arm_backstop(ctx);
+            }
+            PacketKind::Data => {
+                self.ensure_recv_flow(&pkt, ctx);
+                let rf = self.recv_flows.get_mut(&pkt.flow).expect("just ensured");
+                rf.arrivals += 1;
+                let v = rf.book.on_data(&pkt, ctx);
+                let sender = rf.sender;
+                if let Some((s, e)) = v.acked_range {
+                    let mut a = ack_packet(pkt.flow, ctx.host, sender, s, e);
+                    a.priority = 0;
+                    ctx.send(a);
+                }
+                self.maybe_enqueue_pull(pkt.flow, ctx);
+                self.arm_backstop(ctx);
+            }
+            PacketKind::Probe => {
+                self.ensure_recv_flow(&pkt, ctx);
+                let rf = self.recv_flows.get_mut(&pkt.flow).expect("just ensured");
+                rf.book.core.on_probe(pkt.seq, pkt.flow_size);
+                let sender = rf.sender;
+                let mut pa = probe_ack_packet(pkt.flow, ctx.host, sender, pkt.seq);
+                pa.priority = 0;
+                ctx.send(pa);
+                // The probe arrives behind every surviving burst packet
+                // (one FIFO path), so the burst loss is exact arithmetic:
+                // write the lost packets' credits off and top up the pulls.
+                let mtu = self.cfg.base.mtu_payload as u64;
+                {
+                    let rf = self.recv_flows.get_mut(&pkt.flow).expect("just ensured");
+                    let burst_lost = pkt.seq.saturating_sub(rf.book.core.received_below(pkt.seq));
+                    let lost_pkts = burst_lost.div_ceil(mtu);
+                    let outstanding = Self::outstanding(rf);
+                    rf.forgiven += lost_pkts.min(outstanding);
+                }
+                self.drain_pull_deficit(pkt.flow, ctx);
+                self.arm_backstop(ctx);
+            }
+            PacketKind::Nack => {
+                // Edge-triggered: every trimmed packet produces exactly one
+                // NACK, including re-trimmed retransmissions, so requeue
+                // unconditionally.
+                let mtu = self.cfg.base.mtu_payload as u64;
+                if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                    sf.heard_back = true;
+                    let end = (pkt.seq + mtu).min(sf.desc.size);
+                    sf.core.requeue_lost(pkt.seq, end);
+                }
+            }
+            PacketKind::Pull => {
+                if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                    sf.heard_back = true;
+                }
+                self.pump_one(pkt.flow, ctx);
+            }
+            PacketKind::Ack { of_probe, end } => {
+                if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                    sf.heard_back = true;
+                    if of_probe {
+                        sf.core.on_probe_ack();
+                    } else {
+                        // Spraying reorders packets: never infer loss from
+                        // ACK gaps here.
+                        sf.core.on_ack_no_infer(pkt.seq, end);
+                    }
+                }
+            }
+            other => {
+                debug_assert!(false, "unexpected packet kind for NDP: {other:?}");
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        match self.timers.remove(&token) {
+            Some(TimerKind::PullTick) => self.on_pull_tick(ctx),
+            Some(TimerKind::Backstop) => self.on_backstop(ctx),
+            Some(TimerKind::ProbeRetry(f)) => self.on_probe_retry(f, ctx),
+            None => {}
+        }
+    }
+}

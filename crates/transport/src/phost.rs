@@ -1,0 +1,394 @@
+//! pHost (CoNEXT'15) — receiver-driven, token-based transport — with
+//! pluggable first-RTT handling. The Aeolus paper groups pHost with Homa as
+//! a "blind burst, prioritize unscheduled" design (§2.4); it is included
+//! here as an extension beyond the paper's three evaluated baselines.
+//!
+//! Protocol model:
+//!
+//! * A new sender transmits an RTS plus one RTT-worth of *free-token*
+//!   (unscheduled) packets at line rate.
+//! * The receiver paces tokens (one per MTU serialization time) to its
+//!   active flows in SRPT order; each token authorizes one data packet.
+//! * Loss recovery is timeout-based: the receiver re-issues tokens for
+//!   missing bytes when a flow stalls (original pHost), or — with Aeolus —
+//!   the probe/per-packet-ACK machinery detects first-RTT losses exactly
+//!   and retransmissions ride guaranteed token-induced packets.
+//!
+//! In [`FirstRttMode::Blind`] form, unscheduled packets ride a *higher*
+//! priority than scheduled ones (pHost's choice, the §2.4 critique target);
+//! with Aeolus they are droppable at the selective threshold instead.
+//!
+//! [`FirstRttMode::Blind`]: crate::common::FirstRttMode::Blind
+
+use std::collections::HashMap;
+
+use aeolus_core::PreCreditSender;
+use aeolus_sim::units::Time;
+use aeolus_sim::{Ctx, Endpoint, FlowDesc, FlowId, NodeId, Packet, PacketKind, TrafficClass};
+
+use crate::common::{
+    ack_packet, data_packet, probe_ack_packet, probe_packet, BaseConfig, FirstRttMode,
+};
+use crate::receiver_table::RecvBook;
+
+/// pHost tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct PHostConfig {
+    /// Shared transport parameters.
+    pub base: BaseConfig,
+    /// Receiver-side retransmission timeout (token re-issue) for Blind mode.
+    pub rto: Time,
+}
+
+impl PHostConfig {
+    /// Defaults for the given base configuration.
+    pub fn new(base: BaseConfig, rto: Time) -> PHostConfig {
+        PHostConfig { base, rto }
+    }
+}
+
+/// A batch of missing ranges to re-request from one sender.
+type ResendBatch = (FlowId, NodeId, Vec<(u64, u64)>);
+
+#[derive(Debug, Clone, Copy)]
+enum TimerKind {
+    /// The receiver's token pacer tick.
+    TokenTick,
+    /// Stalled-flow scan (token re-issue / missing-range recovery).
+    StallScan,
+}
+
+struct SendFlow {
+    desc: FlowDesc,
+    core: PreCreditSender,
+    completed: bool,
+}
+
+struct RecvFlow {
+    sender: NodeId,
+    book: RecvBook,
+    /// Tokens issued to this flow so far (each authorizes one packet).
+    tokens_sent: u64,
+    /// Scheduled (token-induced) data packets received back.
+    sched_pkts_received: u64,
+    /// Tokens written off by the stall scan (their packets are presumed
+    /// lost, so they no longer count as outstanding).
+    tokens_forgiven: u64,
+    last_arrival: Time,
+}
+
+/// The per-host pHost endpoint.
+pub struct PHostEndpoint {
+    cfg: PHostConfig,
+    send_flows: HashMap<FlowId, SendFlow>,
+    recv_flows: HashMap<FlowId, RecvFlow>,
+    timers: HashMap<u64, TimerKind>,
+    pacer_armed: bool,
+    next_token_at: Time,
+    scan_armed: bool,
+}
+
+impl PHostEndpoint {
+    /// A fresh endpoint.
+    pub fn new(cfg: PHostConfig) -> PHostEndpoint {
+        PHostEndpoint {
+            cfg,
+            send_flows: HashMap::new(),
+            recv_flows: HashMap::new(),
+            timers: HashMap::new(),
+            pacer_armed: false,
+            next_token_at: 0,
+            scan_armed: false,
+        }
+    }
+
+    fn rtt_bytes(&self, ctx: &Ctx<'_>) -> u64 {
+        self.cfg.base.aeolus.burst_budget(ctx.line_rate, self.cfg.base.base_rtt)
+    }
+
+    fn token_spacing(&self, ctx: &Ctx<'_>) -> Time {
+        ctx.line_rate.serialize(self.cfg.base.mtu_wire() as u64)
+    }
+
+    /// Tokens a flow still deserves: enough outstanding tokens to cover its
+    /// remaining bytes, one packet per token. Counting *packets* (not bytes)
+    /// keeps the accounting exact when retransmitted chunks are fragmented.
+    fn token_deficit(rf: &RecvFlow, rtt_bytes: u64, mtu: u64) -> u64 {
+        if rf.book.core.size().is_none() || rf.book.is_complete() {
+            return 0;
+        }
+        let remaining = rf.book.remaining().unwrap_or(0);
+        // Window-bound the outstanding tokens at one BDP: an unbounded
+        // window lets a backlogged sender overload the downlink later.
+        let window = rtt_bytes.div_ceil(mtu).max(1);
+        let needed = remaining.div_ceil(mtu).min(window);
+        let outstanding = rf
+            .tokens_sent
+            .saturating_sub(rf.sched_pkts_received + rf.tokens_forgiven);
+        needed.saturating_sub(outstanding)
+    }
+
+    fn arm_pacer(&mut self, ctx: &mut Ctx<'_>) {
+        if self.pacer_armed {
+            return;
+        }
+        self.pacer_armed = true;
+        let delay = self.next_token_at.saturating_sub(ctx.now);
+        let t = ctx.set_timer_in(delay);
+        self.timers.insert(t, TimerKind::TokenTick);
+    }
+
+    /// One pacer tick: give a token to the SRPT-best flow with a deficit.
+    fn on_token_tick(&mut self, ctx: &mut Ctx<'_>) {
+        self.pacer_armed = false;
+        let rtt_bytes = self.rtt_bytes(ctx);
+        let mtu = self.cfg.base.mtu_payload as u64;
+        // SRPT: smallest remaining first.
+        let best = self
+            .recv_flows
+            .iter()
+            .filter(|(_, rf)| Self::token_deficit(rf, rtt_bytes, mtu) > 0)
+            .min_by_key(|(_, rf)| rf.book.remaining().unwrap_or(u64::MAX))
+            .map(|(&id, rf)| (id, rf.sender));
+        if let Some((id, sender)) = best {
+            let rf = self.recv_flows.get_mut(&id).expect("chosen flow");
+            rf.tokens_sent += 1;
+            let mut tok = Packet::control(id, ctx.host, sender, rf.tokens_sent, PacketKind::Pull);
+            tok.priority = 0;
+            ctx.send(tok);
+            let spacing = self.token_spacing(ctx);
+            self.next_token_at = ctx.now + spacing;
+            // More work pending? Keep ticking.
+            let more = self
+                .recv_flows
+                .values()
+                .any(|rf| Self::token_deficit(rf, rtt_bytes, mtu) > 0);
+            if more {
+                self.pacer_armed = true;
+                let t = ctx.set_timer_in(spacing);
+                self.timers.insert(t, TimerKind::TokenTick);
+            }
+        }
+    }
+
+    fn arm_scan(&mut self, ctx: &mut Ctx<'_>) {
+        if self.scan_armed {
+            return;
+        }
+        self.scan_armed = true;
+        let delay = self.stale_after() / 2;
+        let t = ctx.set_timer_in(delay);
+        self.timers.insert(t, TimerKind::StallScan);
+    }
+
+    fn stale_after(&self) -> Time {
+        match self.cfg.base.mode {
+            FirstRttMode::Blind => self.cfg.rto,
+            _ => (20 * self.cfg.base.base_rtt).max(aeolus_sim::units::ms(1)),
+        }
+    }
+
+    /// Receiver-side recovery: for stalled incomplete flows, budget extra
+    /// tokens covering the missing bytes (and, in Blind mode, tell the
+    /// sender which ranges to retransmit).
+    fn on_stall_scan(&mut self, ctx: &mut Ctx<'_>) {
+        self.scan_armed = false;
+        let stale = self.stale_after();
+        let mut any_incomplete = false;
+        let mut resends: Vec<ResendBatch> = Vec::new();
+        for (&id, rf) in self.recv_flows.iter_mut() {
+            if rf.book.is_complete() {
+                continue;
+            }
+            any_incomplete = true;
+            let size = match rf.book.core.size() {
+                Some(s) => s,
+                None => continue,
+            };
+            // Loss-stall requires outstanding tokens whose packets never
+            // returned; zero outstanding = waiting on the SRPT pacer.
+            if self.cfg.base.mode.probe_recovery() {
+                let outstanding = rf
+                    .tokens_sent
+                    .saturating_sub(rf.sched_pkts_received + rf.tokens_forgiven);
+                if outstanding == 0 {
+                    continue;
+                }
+            }
+            if ctx.now.saturating_sub(rf.last_arrival) < stale {
+                continue;
+            }
+            let missing: Vec<(u64, u64)> =
+                rf.book.core.missing_below(size).into_iter().take(8).collect();
+            if !missing.is_empty() {
+                ctx.metrics.note_timeout(id);
+                rf.last_arrival = ctx.now;
+                // Token re-issue (the pHost recovery): write the stalled
+                // tokens off so fresh ones flow for the retransmissions.
+                let outstanding = rf
+                    .tokens_sent
+                    .saturating_sub(rf.sched_pkts_received + rf.tokens_forgiven);
+                rf.tokens_forgiven += outstanding;
+                resends.push((id, rf.sender, missing));
+            }
+        }
+        for (id, sender, missing) in resends {
+            for (s, e) in missing {
+                let r = Packet::control(id, ctx.host, sender, s, PacketKind::Resend { end: e });
+                ctx.send(r);
+            }
+        }
+        self.arm_pacer(ctx);
+        if any_incomplete {
+            self.scan_armed = true;
+            let delay = stale / 2;
+            let t = ctx.set_timer_in(delay);
+            self.timers.insert(t, TimerKind::StallScan);
+        }
+    }
+
+    /// Send one token-induced packet.
+    fn pump_one(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
+        let mtu = self.cfg.base.mtu_payload;
+        if let Some(sf) = self.send_flows.get_mut(&flow) {
+            sf.core.end_burst();
+            if let Some(chunk) = sf.core.next_scheduled_chunk(mtu) {
+                let mut pkt = data_packet(
+                    &sf.desc,
+                    chunk.seq,
+                    chunk.len,
+                    TrafficClass::Scheduled,
+                    chunk.retransmit,
+                );
+                // pHost puts scheduled below unscheduled: priority 1 of 2.
+                pkt.priority = 1;
+                ctx.send(pkt);
+            }
+        }
+    }
+
+    fn ensure_recv_flow(&mut self, pkt: &Packet, now: Time) {
+        let rf = self.recv_flows.entry(pkt.flow).or_insert_with(|| RecvFlow {
+            sender: pkt.src,
+            book: RecvBook::new(),
+            tokens_sent: 0,
+            sched_pkts_received: 0,
+            tokens_forgiven: 0,
+            last_arrival: now,
+        });
+        rf.book.learn_size(pkt.flow_size);
+        rf.last_arrival = now;
+    }
+}
+
+impl Endpoint for PHostEndpoint {
+    fn on_flow_arrival(&mut self, flow: FlowDesc, ctx: &mut Ctx<'_>) {
+        let mode = self.cfg.base.mode;
+        let budget = if mode.bursts() { self.rtt_bytes(ctx).min(flow.size) } else { 0 };
+        let mut core = PreCreditSender::new(flow.size, budget);
+        // Recovery is token re-issue (scan- or probe-driven); last-resort
+        // duplication would only waste tokens.
+        core.disable_last_resort();
+        // RTS first (carries the size), then the free-token burst.
+        let mut rts = Packet::control(flow.id, flow.src, flow.dst, 0, PacketKind::Request);
+        rts.flow_size = flow.size;
+        ctx.send(rts);
+        let native_prio = 0; // pHost: unscheduled at top priority
+        let mtu = self.cfg.base.mtu_payload;
+        while let Some(chunk) = core.next_burst_chunk(mtu) {
+            let mut pkt = data_packet(&flow, chunk.seq, chunk.len, TrafficClass::Unscheduled, false);
+            mode.stamp_unscheduled(&mut pkt, native_prio, 1);
+            ctx.send(pkt);
+        }
+        if let Some(ps) = core.end_burst() {
+            if mode.probe_recovery() {
+                let mut probe = probe_packet(&flow, ps);
+                probe.priority = native_prio;
+                ctx.send(probe);
+            }
+        }
+        self.send_flows.insert(flow.id, SendFlow { desc: flow, core, completed: false });
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        match pkt.kind {
+            PacketKind::Request => {
+                self.ensure_recv_flow(&pkt, ctx.now);
+                self.arm_pacer(ctx);
+                self.arm_scan(ctx);
+            }
+            PacketKind::Data => {
+                self.ensure_recv_flow(&pkt, ctx.now);
+                let mode = self.cfg.base.mode;
+                let rf = self.recv_flows.get_mut(&pkt.flow).expect("just ensured");
+                let unscheduled = pkt.class == TrafficClass::Unscheduled;
+                if !unscheduled {
+                    rf.sched_pkts_received += 1;
+                }
+                let v = rf.book.on_data(&pkt, ctx);
+                let sender = rf.sender;
+                if mode.probe_recovery() && unscheduled {
+                    if let Some((s, e)) = v.acked_range {
+                        let mut a = ack_packet(pkt.flow, ctx.host, sender, s, e);
+                        a.priority = 0;
+                        ctx.send(a);
+                    }
+                }
+                if v.completed {
+                    let mut done = ack_packet(pkt.flow, ctx.host, sender, 0, pkt.flow_size);
+                    done.priority = 0;
+                    ctx.send(done);
+                }
+                self.arm_pacer(ctx);
+                self.arm_scan(ctx);
+            }
+            PacketKind::Probe => {
+                self.ensure_recv_flow(&pkt, ctx.now);
+                let rf = self.recv_flows.get_mut(&pkt.flow).expect("just ensured");
+                rf.book.core.on_probe(pkt.seq, pkt.flow_size);
+                let sender = rf.sender;
+                let mut pa = probe_ack_packet(pkt.flow, ctx.host, sender, pkt.seq);
+                pa.priority = 0;
+                ctx.send(pa);
+                self.arm_pacer(ctx);
+                self.arm_scan(ctx);
+            }
+            PacketKind::Pull => {
+                // A token.
+                self.pump_one(pkt.flow, ctx);
+            }
+            PacketKind::Resend { end } => {
+                // pHost recovery is token re-issue in every mode: requeue
+                // the range; the extended token budget clocks it out.
+                if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                    sf.core.requeue_lost(pkt.seq, end.min(sf.desc.size));
+                }
+            }
+            PacketKind::Ack { of_probe, end } => {
+                if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                    if of_probe {
+                        sf.core.on_probe_ack();
+                    } else if pkt.seq == 0 && end >= sf.desc.size {
+                        sf.completed = true;
+                        sf.core.on_ack_no_infer(0, end);
+                    } else if self.cfg.base.sack_inference() {
+                        sf.core.on_ack(pkt.seq, end);
+                    } else {
+                        sf.core.on_ack_no_infer(pkt.seq, end);
+                    }
+                }
+            }
+            other => {
+                debug_assert!(false, "unexpected packet kind for pHost: {other:?}");
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        match self.timers.remove(&token) {
+            Some(TimerKind::TokenTick) => self.on_token_tick(ctx),
+            Some(TimerKind::StallScan) => self.on_stall_scan(ctx),
+            None => {}
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Receive-side bookkeeping shared by every transport: duplicate-suppressed
+//! delivery into the run metrics, message-size learning and ACK ranges.
+
+use aeolus_core::PreCreditReceiver;
+use aeolus_sim::{Ctx, Packet, TrafficClass};
+
+/// Result of booking one data packet.
+#[derive(Debug, Clone, Copy)]
+pub struct BookVerdict {
+    /// Payload bytes not seen before.
+    pub new_bytes: u64,
+    /// Whether this packet completed the message.
+    pub completed: bool,
+    /// The byte range this packet covered (`None` for empty packets), to be
+    /// echoed in an ACK if the protocol wants one.
+    pub acked_range: Option<(u64, u64)>,
+}
+
+/// Per-flow receive book: wraps the Aeolus receiver state and feeds unique
+/// bytes into [`aeolus_sim::Metrics`].
+#[derive(Debug, Default)]
+pub struct RecvBook {
+    /// Underlying Aeolus receiver state (dedupe, size, probe tracking).
+    pub core: PreCreditReceiver,
+}
+
+impl RecvBook {
+    /// Fresh book.
+    pub fn new() -> RecvBook {
+        RecvBook { core: PreCreditReceiver::new() }
+    }
+
+    /// Note the message size from any header carrying it.
+    pub fn learn_size(&mut self, size: u64) {
+        self.core.learn_size(size);
+    }
+
+    /// Whether the full message has been received.
+    pub fn is_complete(&self) -> bool {
+        self.core.is_complete()
+    }
+
+    /// Unique bytes received.
+    pub fn received(&self) -> u64 {
+        self.core.received_bytes()
+    }
+
+    /// Bytes still missing, if the size is known.
+    pub fn remaining(&self) -> Option<u64> {
+        self.core.remaining()
+    }
+
+    /// Book a data packet: dedupe, deliver new bytes to metrics, report the
+    /// ACKable range.
+    pub fn on_data(&mut self, pkt: &Packet, ctx: &mut Ctx<'_>) -> BookVerdict {
+        debug_assert!(pkt.is_data());
+        let unscheduled = pkt.class == TrafficClass::Unscheduled;
+        let v = self.core.on_data(pkt.seq, pkt.payload, unscheduled, pkt.flow_size);
+        if v.new_bytes > 0 {
+            ctx.metrics.deliver(pkt.flow, v.new_bytes, ctx.now);
+        }
+        BookVerdict {
+            new_bytes: v.new_bytes,
+            completed: v.completed,
+            acked_range: if pkt.payload > 0 {
+                Some((pkt.seq, pkt.seq + pkt.payload as u64))
+            } else {
+                None
+            },
+        }
+    }
+}

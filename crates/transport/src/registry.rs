@@ -1,0 +1,480 @@
+//! Scheme registry: one place that knows, for every evaluated scheme, which
+//! switch queue discipline, routing policy and endpoint configuration to use.
+//!
+//! | Scheme                 | switch queue                         | first RTT | recovery |
+//! |------------------------|--------------------------------------|-----------|----------|
+//! | ExpressPass            | XPass(credit throttle + drop-tail)   | hold      | (lossless) |
+//! | ExpressPass + Aeolus   | XPass(credit throttle + RED/ECN)     | Aeolus    | probe    |
+//! | ExpressPass oracle     | XPass(+8-prio, low-prio drop)        | oracle    | probe    |
+//! | ExpressPass + prio-q   | XPass(+8-prio, finite/shared buffer) | low-prio  | RTO      |
+//! | Homa                   | 8-priority bank                      | blind     | RTO/RESEND |
+//! | Homa + Aeolus          | 8-priority bank + selective drop     | Aeolus    | probe    |
+//! | Homa oracle            | 8-priority bank, low-prio drop       | oracle    | probe    |
+//! | NDP                    | trimming (cutting payload)           | blind     | NACK/pull |
+//! | NDP + Aeolus           | RED/ECN FIFO                         | Aeolus    | probe+pull |
+
+use aeolus_core::AeolusConfig;
+use aeolus_sim::units::Time;
+use aeolus_sim::{
+    DropTailQueue, Endpoint, PoolHandle, PriorityBank, QueueDisc, Rate, RedEcnQueue, RoutePolicy,
+    TrimmingQueue, WredProfile, WredQueue, XPassQueue, CREDIT_BYTES,
+};
+use aeolus_sim::topology::PortRole;
+
+use crate::common::{BaseConfig, FirstRttMode};
+use crate::expresspass::{XPassConfig, XPassEndpoint};
+use crate::homa::{HomaConfig, HomaEndpoint};
+use crate::ndp::{NdpConfig, NdpEndpoint};
+use crate::dctcp::{DctcpConfig, DctcpEndpoint};
+use crate::fastpass::{ArbiterEndpoint, FastpassConfig, FastpassEndpoint};
+use crate::phost::{PHostConfig, PHostEndpoint};
+
+/// Every transport scheme evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Original ExpressPass: no data in the first RTT.
+    ExpressPass,
+    /// ExpressPass + the Aeolus building block.
+    ExpressPassAeolus,
+    /// §2.3's hypothetical ExpressPass (oracle spare-bandwidth use).
+    ExpressPassOracle,
+    /// §5.5's strawman: unscheduled in a low-priority queue, RTO recovery.
+    ExpressPassPrioQueue {
+        /// Retransmission timeout (10 ms and 20 µs in Table 4).
+        rto: Time,
+    },
+    /// Original Homa with timeout-based recovery.
+    Homa {
+        /// Retransmission timeout (10 ms default; 20 µs = "eager Homa").
+        rto: Time,
+    },
+    /// "Eager Homa" (Table 1): naive deadline RTO with full-burst resends.
+    HomaEager {
+        /// The naive retransmission deadline (paper: 20 µs).
+        rto: Time,
+    },
+    /// Homa + the Aeolus building block.
+    HomaAeolus,
+    /// §2.3's hypothetical Homa.
+    HomaOracle,
+    /// Original NDP with cutting payload.
+    Ndp,
+    /// NDP + Aeolus (no switch modifications).
+    NdpAeolus,
+    /// pHost (extension): token-based receiver-driven transport with a
+    /// blind high-priority burst and timeout recovery.
+    PHost {
+        /// Receiver-side token re-issue timeout.
+        rto: Time,
+    },
+    /// pHost + the Aeolus building block (extension).
+    PHostAeolus,
+    /// DCTCP (extension): the reactive "try and backoff" baseline the
+    /// paper's introduction contrasts proactive transport against.
+    Dctcp {
+        /// Retransmission timeout.
+        rto: Time,
+    },
+    /// Fastpass (extension): centralized-arbiter proactive transport.
+    Fastpass,
+    /// Fastpass + the Aeolus building block (extension).
+    FastpassAeolus,
+}
+
+/// Parameters every scheme shares, fixed per experiment.
+#[derive(Debug, Clone)]
+pub struct SchemeParams {
+    /// Base RTT of the topology (sets BDP burst budgets).
+    pub base_rtt: Time,
+    /// MTU payload bytes.
+    pub mtu_payload: u32,
+    /// Aeolus knobs (threshold, buffers).
+    pub aeolus: AeolusConfig,
+    /// Per-port buffer for finite-buffer schemes (paper default 200 KB).
+    pub port_buffer: u64,
+    /// NDP trimming threshold in whole packets (paper default 8).
+    pub trim_cap_pkts: usize,
+    /// ExpressPass credit-queue cap in credits.
+    pub credit_cap: usize,
+    /// Homa message-size cutoffs for unscheduled priorities.
+    pub homa_cutoffs: Vec<u64>,
+    /// Homa overcommitment degree.
+    pub homa_overcommit: usize,
+    /// Optional switch-wide shared buffer pool (Table 5's single-switch
+    /// experiment); applied to switch egress ports only.
+    pub shared_pool: Option<PoolHandle>,
+    /// The Fastpass arbiter's node (set by the harness, which reserves the
+    /// topology's last host for it).
+    pub arbiter: Option<aeolus_sim::NodeId>,
+    /// Ablation knob: disable SACK gap inference (probe-only recovery).
+    pub disable_sack: bool,
+    /// Use the §4.1 WRED/color switch implementation of selective dropping
+    /// instead of the RED/ECN re-interpretation (identical drop decisions;
+    /// exists to demonstrate both deployment paths).
+    pub use_wred: bool,
+    /// Fault injection: wrap every *switch* egress queue so each packet is
+    /// discarded with this probability (0 = off). Robustness tests only.
+    pub fault_loss_prob: f64,
+}
+
+impl SchemeParams {
+    /// Paper defaults for a topology with the given base RTT.
+    pub fn new(base_rtt: Time) -> SchemeParams {
+        SchemeParams {
+            base_rtt,
+            mtu_payload: 1460,
+            aeolus: AeolusConfig::default(),
+            port_buffer: 200_000,
+            trim_cap_pkts: 8,
+            credit_cap: 8,
+            homa_cutoffs: vec![3_000, 30_000, 300_000],
+            homa_overcommit: 6,
+            shared_pool: None,
+            arbiter: None,
+            disable_sack: false,
+            use_wred: false,
+            fault_loss_prob: 0.0,
+        }
+    }
+
+    fn mtu_wire(&self) -> u32 {
+        self.mtu_payload + aeolus_sim::HEADER_BYTES
+    }
+}
+
+/// Effectively infinite buffer for oracle runs and host NICs.
+const HUGE: u64 = 1 << 40;
+
+impl Scheme {
+    /// Whether this scheme requires a centralized arbiter host.
+    pub fn needs_arbiter(&self) -> bool {
+        matches!(self, Scheme::Fastpass | Scheme::FastpassAeolus)
+    }
+
+    /// Build the arbiter endpoint (panics for schemes without one).
+    pub fn make_arbiter(&self, p: &SchemeParams) -> Box<dyn Endpoint> {
+        assert!(self.needs_arbiter());
+        Box::new(ArbiterEndpoint::new(p.mtu_wire()))
+    }
+
+    /// Human-readable name as used in the paper's tables.
+    pub fn name(&self) -> String {
+        match self {
+            Scheme::ExpressPass => "ExpressPass".into(),
+            Scheme::ExpressPassAeolus => "ExpressPass+Aeolus".into(),
+            Scheme::ExpressPassOracle => "Hypothetical ExpressPass".into(),
+            Scheme::ExpressPassPrioQueue { rto } => {
+                format!("ExpressPass+PrioQueue(RTO={}us)", rto / 1_000_000)
+            }
+            Scheme::Homa { rto } => format!("Homa(RTO={}us)", rto / 1_000_000),
+            Scheme::HomaEager { rto } => format!("Eager Homa(RTO={}us)", rto / 1_000_000),
+            Scheme::HomaAeolus => "Homa+Aeolus".into(),
+            Scheme::HomaOracle => "Hypothetical Homa".into(),
+            Scheme::Ndp => "NDP".into(),
+            Scheme::NdpAeolus => "NDP+Aeolus".into(),
+            Scheme::PHost { rto } => format!("pHost(RTO={}us)", rto / 1_000_000),
+            Scheme::PHostAeolus => "pHost+Aeolus".into(),
+            Scheme::Dctcp { rto } => format!("DCTCP(RTO={}us)", rto / 1_000_000),
+            Scheme::Fastpass => "Fastpass".into(),
+            Scheme::FastpassAeolus => "Fastpass+Aeolus".into(),
+        }
+    }
+
+    /// Switch path-selection policy this scheme assumes.
+    ///
+    /// NDP sprays by design; Homa and pHost assume a congestion-free core
+    /// (Aeolus paper §6), which their own simulators realize with per-packet
+    /// load balancing. ExpressPass *requires* symmetric per-flow paths so
+    /// switch credit throttling bounds the forward data rate.
+    pub fn route_policy(&self) -> RoutePolicy {
+        match self {
+            Scheme::Ndp
+            | Scheme::NdpAeolus
+            | Scheme::Homa { .. }
+            | Scheme::HomaEager { .. }
+            | Scheme::HomaAeolus
+            | Scheme::HomaOracle
+            | Scheme::PHost { .. }
+            | Scheme::PHostAeolus => RoutePolicy::Spray,
+            _ => RoutePolicy::EcmpHash,
+        }
+    }
+
+    fn first_rtt_mode(&self) -> FirstRttMode {
+        match self {
+            Scheme::ExpressPass => FirstRttMode::Hold,
+            Scheme::ExpressPassAeolus
+            | Scheme::HomaAeolus
+            | Scheme::NdpAeolus
+            | Scheme::PHostAeolus => FirstRttMode::Aeolus,
+            Scheme::ExpressPassOracle | Scheme::HomaOracle => FirstRttMode::Oracle,
+            Scheme::ExpressPassPrioQueue { .. } => FirstRttMode::LowPrio,
+            Scheme::Homa { .. }
+            | Scheme::HomaEager { .. }
+            | Scheme::Ndp
+            | Scheme::PHost { .. }
+            | Scheme::Dctcp { .. } => FirstRttMode::Blind,
+            Scheme::Fastpass => FirstRttMode::Hold,
+            Scheme::FastpassAeolus => FirstRttMode::Aeolus,
+        }
+    }
+
+    fn base_config(&self, p: &SchemeParams) -> BaseConfig {
+        let mut aeolus = p.aeolus;
+        aeolus.port_buffer = p.port_buffer.max(aeolus.drop_threshold);
+        // SACK gap inference needs in-order delivery; any scheme whose
+        // fabric sprays packets must rely on the probe alone.
+        let sprays = self.route_policy() == RoutePolicy::Spray;
+        BaseConfig {
+            mtu_payload: p.mtu_payload,
+            base_rtt: p.base_rtt,
+            aeolus,
+            mode: self.first_rtt_mode(),
+            disable_sack: p.disable_sack || sprays,
+        }
+    }
+
+    /// Build the egress queue for a port of the given rate and role.
+    pub fn make_queue(&self, p: &SchemeParams, rate: Rate, role: PortRole) -> Box<dyn QueueDisc> {
+        let inner = self.make_queue_inner(p, rate, role);
+        if p.fault_loss_prob > 0.0 && role != PortRole::HostNic {
+            // Seed varies per scheme so runs stay deterministic but distinct.
+            Box::new(aeolus_sim::LossyQueue::new(inner, p.fault_loss_prob, 0xfa17))
+        } else {
+            inner
+        }
+    }
+
+    fn make_queue_inner(&self, p: &SchemeParams, rate: Rate, role: PortRole) -> Box<dyn QueueDisc> {
+        let is_switch = role != PortRole::HostNic;
+        let threshold = p.aeolus.drop_threshold;
+        let buffer = p.port_buffer;
+        match self {
+            Scheme::ExpressPass
+            | Scheme::ExpressPassAeolus
+            | Scheme::ExpressPassOracle
+            | Scheme::ExpressPassPrioQueue { .. } => {
+                let inner: Box<dyn QueueDisc> = if !is_switch {
+                    // Host NICs never drop locally.
+                    Box::new(DropTailQueue::new(HUGE))
+                } else {
+                    match self {
+                        Scheme::ExpressPass => Box::new(DropTailQueue::new(buffer)),
+                        Scheme::ExpressPassAeolus => {
+                            if p.use_wred {
+                                Box::new(WredQueue::new(
+                                    WredProfile::aeolus(threshold, buffer.max(threshold)),
+                                    buffer.max(threshold),
+                                ))
+                            } else {
+                                Box::new(RedEcnQueue::new(threshold, buffer.max(threshold)))
+                            }
+                        }
+                        Scheme::ExpressPassOracle => Box::new(
+                            PriorityBank::new(8, HUGE).with_selective_threshold(threshold),
+                        ),
+                        Scheme::ExpressPassPrioQueue { .. } => {
+                            let bank = PriorityBank::new(8, buffer);
+                            match &p.shared_pool {
+                                Some(pool) => Box::new(bank.with_pool(pool.clone())),
+                                None => Box::new(bank),
+                            }
+                        }
+                        _ => unreachable!(),
+                    }
+                };
+                Box::new(XPassQueue::new(inner, rate, p.mtu_wire(), CREDIT_BYTES, p.credit_cap))
+            }
+            Scheme::Homa { .. } | Scheme::HomaEager { .. } => {
+                let cap = if is_switch { buffer } else { HUGE };
+                Box::new(PriorityBank::new(8, cap))
+            }
+            Scheme::HomaAeolus => {
+                if is_switch {
+                    Box::new(PriorityBank::new(8, buffer).with_selective_threshold(threshold))
+                } else {
+                    Box::new(PriorityBank::new(8, HUGE))
+                }
+            }
+            Scheme::HomaOracle => {
+                Box::new(PriorityBank::new(8, HUGE).with_selective_threshold(threshold))
+            }
+            Scheme::Ndp => {
+                if is_switch {
+                    Box::new(TrimmingQueue::new(p.trim_cap_pkts, HUGE))
+                } else {
+                    Box::new(TrimmingQueue::new(usize::MAX, HUGE))
+                }
+            }
+            Scheme::NdpAeolus => {
+                if is_switch {
+                    if p.use_wred {
+                        Box::new(WredQueue::new(
+                            WredProfile::aeolus(threshold, buffer.max(threshold)),
+                            buffer.max(threshold),
+                        ))
+                    } else {
+                        Box::new(RedEcnQueue::new(threshold, buffer.max(threshold)))
+                    }
+                } else {
+                    Box::new(DropTailQueue::new(HUGE))
+                }
+            }
+            // pHost uses two priority levels (unscheduled above scheduled);
+            // with Aeolus, selective dropping applies at port scope.
+            Scheme::PHost { .. } => {
+                let cap = if is_switch { buffer } else { HUGE };
+                Box::new(PriorityBank::new(2, cap))
+            }
+            Scheme::PHostAeolus => {
+                if is_switch {
+                    Box::new(PriorityBank::new(2, buffer).with_selective_threshold(threshold))
+                } else {
+                    Box::new(PriorityBank::new(2, HUGE))
+                }
+            }
+            // DCTCP: single-threshold RED/ECN marking — the same commodity
+            // feature Aeolus re-interprets, used here as DCTCP's K.
+            Scheme::Dctcp { .. } => {
+                if is_switch {
+                    Box::new(RedEcnQueue::new(threshold.max(30_000), buffer))
+                } else {
+                    Box::new(DropTailQueue::new(HUGE))
+                }
+            }
+            // Fastpass: arbiter-scheduled slots need no AQM; +Aeolus adds
+            // selective dropping for the pre-credit burst.
+            Scheme::Fastpass => {
+                let cap = if is_switch { buffer } else { HUGE };
+                Box::new(DropTailQueue::new(cap))
+            }
+            Scheme::FastpassAeolus => {
+                if is_switch {
+                    Box::new(RedEcnQueue::new(threshold, buffer.max(threshold)))
+                } else {
+                    Box::new(DropTailQueue::new(HUGE))
+                }
+            }
+        }
+    }
+
+    /// Build the per-host endpoint.
+    pub fn make_endpoint(&self, p: &SchemeParams) -> Box<dyn Endpoint> {
+        let base = self.base_config(p);
+        match self {
+            Scheme::ExpressPass | Scheme::ExpressPassAeolus | Scheme::ExpressPassOracle => {
+                Box::new(XPassEndpoint::new(XPassConfig::new(base)))
+            }
+            Scheme::ExpressPassPrioQueue { rto } => {
+                let mut cfg = XPassConfig::new(base);
+                cfg.rto = Some(*rto);
+                Box::new(XPassEndpoint::new(cfg))
+            }
+            Scheme::Homa { rto } => {
+                let mut cfg = HomaConfig::new(base, *rto);
+                cfg.cutoffs = p.homa_cutoffs.clone();
+                cfg.overcommit = p.homa_overcommit;
+                Box::new(HomaEndpoint::new(cfg))
+            }
+            Scheme::HomaEager { rto } => {
+                let mut cfg = HomaConfig::new(base, *rto);
+                cfg.naive_rto = true;
+                cfg.cutoffs = p.homa_cutoffs.clone();
+                cfg.overcommit = p.homa_overcommit;
+                Box::new(HomaEndpoint::new(cfg))
+            }
+            Scheme::HomaAeolus | Scheme::HomaOracle => {
+                // No RTO-driven recovery in these modes; this only scales
+                // the rare stall backstop.
+                let mut cfg = HomaConfig::new(base, aeolus_sim::units::ms(10));
+                cfg.cutoffs = p.homa_cutoffs.clone();
+                cfg.overcommit = p.homa_overcommit;
+                Box::new(HomaEndpoint::new(cfg))
+            }
+            Scheme::Ndp | Scheme::NdpAeolus => Box::new(NdpEndpoint::new(NdpConfig::new(base))),
+            Scheme::PHost { rto } => {
+                Box::new(PHostEndpoint::new(PHostConfig::new(base, *rto)))
+            }
+            Scheme::PHostAeolus => {
+                // Only scales the rare stall backstop in this mode.
+                Box::new(PHostEndpoint::new(PHostConfig::new(base, aeolus_sim::units::ms(10))))
+            }
+            Scheme::Dctcp { rto } => Box::new(DctcpEndpoint::new(DctcpConfig::new(base, *rto))),
+            Scheme::Fastpass | Scheme::FastpassAeolus => {
+                let arbiter = p.arbiter.expect("Fastpass needs an arbiter (set by the harness)");
+                Box::new(FastpassEndpoint::new(FastpassConfig::new(base, arbiter)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeolus_sim::units::us;
+
+    fn params() -> SchemeParams {
+        SchemeParams::new(us(5))
+    }
+
+    #[test]
+    fn route_policies() {
+        assert_eq!(Scheme::Ndp.route_policy(), RoutePolicy::Spray);
+        assert_eq!(Scheme::NdpAeolus.route_policy(), RoutePolicy::Spray);
+        assert_eq!(Scheme::HomaAeolus.route_policy(), RoutePolicy::Spray);
+        assert_eq!(Scheme::PHostAeolus.route_policy(), RoutePolicy::Spray);
+        assert_eq!(Scheme::ExpressPass.route_policy(), RoutePolicy::EcmpHash);
+        assert_eq!(Scheme::ExpressPassAeolus.route_policy(), RoutePolicy::EcmpHash);
+        assert_eq!(Scheme::Dctcp { rto: us(10_000) }.route_policy(), RoutePolicy::EcmpHash);
+    }
+
+    #[test]
+    fn all_schemes_build_queues_and_endpoints() {
+        let p = params();
+        let schemes = [
+            Scheme::ExpressPass,
+            Scheme::ExpressPassAeolus,
+            Scheme::ExpressPassOracle,
+            Scheme::ExpressPassPrioQueue { rto: us(10_000) },
+            Scheme::Homa { rto: us(10_000) },
+            Scheme::HomaAeolus,
+            Scheme::HomaOracle,
+            Scheme::Ndp,
+            Scheme::NdpAeolus,
+            Scheme::PHost { rto: us(10_000) },
+            Scheme::PHostAeolus,
+            Scheme::Dctcp { rto: us(10_000) },
+        ];
+        // (Fastpass needs an arbiter node: covered by the harness tests.)
+        for s in schemes {
+            for role in [PortRole::HostNic, PortRole::DownToHost, PortRole::SwitchToSwitch] {
+                let q = s.make_queue(&p, Rate::gbps(100), role);
+                assert_eq!(q.bytes(), 0, "{} queue starts empty", s.name());
+            }
+            let _ep = s.make_endpoint(&p);
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<String> = [
+            Scheme::ExpressPass.name(),
+            Scheme::ExpressPassAeolus.name(),
+            Scheme::ExpressPassOracle.name(),
+            Scheme::ExpressPassPrioQueue { rto: us(10_000) }.name(),
+            Scheme::Homa { rto: us(10_000) }.name(),
+            Scheme::HomaAeolus.name(),
+            Scheme::HomaOracle.name(),
+            Scheme::Ndp.name(),
+            Scheme::NdpAeolus.name(),
+            Scheme::PHost { rto: us(10_000) }.name(),
+            Scheme::PHostAeolus.name(),
+            Scheme::Dctcp { rto: us(10_000) }.name(),
+            Scheme::Fastpass.name(),
+            Scheme::FastpassAeolus.name(),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(names.len(), 14);
+    }
+}

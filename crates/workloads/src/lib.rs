@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+//! # aeolus-workloads — traffic generation
+//!
+//! The paper's four production workloads (Table 2) as piecewise-linear
+//! empirical flow-size distributions, open-loop Poisson arrivals at a target
+//! load, incast generators (7:1 testbed, 20:1 stress, N:1 sweeps) and the
+//! realistic+incast mix used by the goodput experiment. All generators are
+//! seeded and fully deterministic.
+
+pub mod dists;
+pub mod incast;
+pub mod mix;
+pub mod poisson;
+
+pub use dists::{EmpiricalDist, Workload};
+pub use incast::{incast_round, incast_rounds, random_incasts};
+pub use mix::{mixed_flows, MixConfig};
+pub use poisson::{poisson_flows, realized_load, PoissonConfig};

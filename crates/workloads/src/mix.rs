@@ -1,0 +1,97 @@
+//! Mixed workloads: Poisson background traffic plus periodic incast bursts
+//! (the Fig 18 goodput methodology: Web Search traffic mixed with 64-to-1
+//! incasts of 64 KB messages).
+
+use aeolus_sim::{FlowDesc, NodeId, Rate, Time};
+
+use crate::dists::EmpiricalDist;
+use crate::incast::random_incasts;
+use crate::poisson::{poisson_flows, PoissonConfig};
+
+/// Configuration for a realistic + incast traffic mix.
+#[derive(Debug, Clone)]
+pub struct MixConfig {
+    /// Background (Poisson) load as a fraction of host capacity.
+    pub background_load: f64,
+    /// Host link rate.
+    pub host_rate: Rate,
+    /// Background flows to generate.
+    pub background_flows: usize,
+    /// Incast fan-in (senders per event).
+    pub incast_fan_in: usize,
+    /// Bytes each incast sender ships.
+    pub incast_msg_size: u64,
+    /// Number of incast events.
+    pub incast_events: usize,
+    /// Spacing between incast events.
+    pub incast_gap: Time,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generate the mix, sorted by arrival time, with unique consecutive-block
+/// flow ids (background first, then incast).
+pub fn mixed_flows(cfg: &MixConfig, hosts: &[NodeId], dist: &EmpiricalDist) -> Vec<FlowDesc> {
+    let bg = poisson_flows(
+        &PoissonConfig {
+            load: cfg.background_load,
+            host_rate: cfg.host_rate,
+            flows: cfg.background_flows,
+            seed: cfg.seed,
+            first_id: 0,
+            start: 0,
+        },
+        hosts,
+        dist,
+    );
+    let incast = random_incasts(
+        hosts,
+        cfg.incast_fan_in,
+        cfg.incast_msg_size,
+        cfg.incast_events,
+        cfg.incast_gap,
+        0,
+        cfg.background_flows as u64,
+        cfg.seed ^ INCAST_SEED_SALT,
+    );
+    let mut all = bg;
+    all.extend(incast);
+    all.sort_by_key(|f| (f.start, f.id.0));
+    all
+}
+
+/// Salt so the incast RNG stream never collides with the background one.
+const INCAST_SEED_SALT: u64 = 0x1127_0a57;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dists::Workload;
+
+    #[test]
+    fn mix_contains_both_components_sorted() {
+        let hosts: Vec<NodeId> = (0..16).map(NodeId).collect();
+        let cfg = MixConfig {
+            background_load: 0.3,
+            host_rate: Rate::gbps(100),
+            background_flows: 500,
+            incast_fan_in: 8,
+            incast_msg_size: 64_000,
+            incast_events: 5,
+            incast_gap: 1_000_000_000,
+            seed: 5,
+        };
+        let flows = mixed_flows(&cfg, &hosts, &Workload::WebSearch.dist());
+        assert_eq!(flows.len(), 500 + 5 * 8);
+        for w in flows.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+        // Ids unique.
+        let mut ids: Vec<u64> = flows.iter().map(|f| f.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), flows.len());
+        // Incast flows present with the right size.
+        assert_eq!(flows.iter().filter(|f| f.size == 64_000 && f.id.0 >= 500).count(), 40);
+    }
+}

@@ -1,0 +1,172 @@
+//! Open-loop Poisson flow arrivals at a target network load.
+//!
+//! Following the evaluation methodology of ExpressPass/Homa/NDP (and this
+//! paper): flows arrive as a Poisson process whose rate is chosen so the
+//! aggregate offered traffic equals `load` × the aggregate host-link
+//! capacity; source and destination hosts are chosen uniformly at random
+//! (distinct).
+
+use aeolus_sim::units::PS_PER_SEC;
+use aeolus_sim::{FlowDesc, FlowId, NodeId, Rate, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dists::EmpiricalDist;
+
+/// Configuration of a Poisson workload.
+#[derive(Debug, Clone)]
+pub struct PoissonConfig {
+    /// Target offered load in (0, 1], as a fraction of aggregate host
+    /// capacity.
+    pub load: f64,
+    /// Host link rate.
+    pub host_rate: Rate,
+    /// Number of flows to generate.
+    pub flows: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// First flow id to assign (ids are consecutive).
+    pub first_id: u64,
+    /// Arrivals start at this time.
+    pub start: Time,
+}
+
+/// Generate `cfg.flows` Poisson-arriving flows among `hosts`, sized by `dist`.
+pub fn poisson_flows(
+    cfg: &PoissonConfig,
+    hosts: &[NodeId],
+    dist: &EmpiricalDist,
+) -> Vec<FlowDesc> {
+    assert!(hosts.len() >= 2, "need at least two hosts");
+    assert!(cfg.load > 0.0 && cfg.load <= 1.5, "implausible load {}", cfg.load);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Aggregate arrival rate in flows/second such that
+    //   lambda * mean_size_bytes * 8 = load * n_hosts * rate_bps.
+    let lambda =
+        cfg.load * hosts.len() as f64 * cfg.host_rate.bps() as f64 / (8.0 * dist.mean());
+    let mean_gap_ps = PS_PER_SEC as f64 / lambda;
+    let mut t = cfg.start as f64;
+    let mut out = Vec::with_capacity(cfg.flows);
+    for i in 0..cfg.flows {
+        // Exponential inter-arrival via inverse transform.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        t += -u.ln() * mean_gap_ps;
+        let src = hosts[rng.gen_range(0..hosts.len())];
+        let dst = loop {
+            let d = hosts[rng.gen_range(0..hosts.len())];
+            if d != src {
+                break d;
+            }
+        };
+        out.push(FlowDesc {
+            id: FlowId(cfg.first_id + i as u64),
+            src,
+            dst,
+            size: dist.sample(&mut rng),
+            start: t as Time,
+        });
+    }
+    out
+}
+
+/// The offered load actually realized by a flow list over its span — sanity
+/// check used by tests and experiment logs.
+pub fn realized_load(flows: &[FlowDesc], hosts: usize, host_rate: Rate) -> f64 {
+    if flows.len() < 2 {
+        return 0.0;
+    }
+    let bytes: u64 = flows.iter().map(|f| f.size).sum();
+    let span = flows.last().unwrap().start - flows.first().unwrap().start;
+    if span == 0 {
+        return f64::INFINITY;
+    }
+    (bytes as f64 * 8.0) / (hosts as f64 * host_rate.bps() as f64 * span as f64 / PS_PER_SEC as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dists::Workload;
+    use aeolus_sim::units::PS_PER_SEC;
+
+    fn hosts(n: usize) -> Vec<NodeId> {
+        (0..n).map(|i| NodeId(i as u32)).collect()
+    }
+
+    #[test]
+    fn realized_load_tracks_target() {
+        let dist = Workload::WebServer.dist();
+        let cfg = PoissonConfig {
+            load: 0.4,
+            host_rate: Rate::gbps(10),
+            flows: 20_000,
+            seed: 11,
+            first_id: 0,
+            start: 0,
+        };
+        let flows = poisson_flows(&cfg, &hosts(16), &dist);
+        let rho = realized_load(&flows, 16, Rate::gbps(10));
+        assert!((rho - 0.4).abs() < 0.05, "realized load {rho}");
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_ids_consecutive() {
+        let dist = Workload::WebSearch.dist();
+        let cfg = PoissonConfig {
+            load: 0.6,
+            host_rate: Rate::gbps(100),
+            flows: 1000,
+            seed: 3,
+            first_id: 100,
+            start: 50,
+        };
+        let flows = poisson_flows(&cfg, &hosts(8), &dist);
+        assert_eq!(flows.len(), 1000);
+        for (i, w) in flows.windows(2).enumerate() {
+            assert!(w[0].start <= w[1].start, "unsorted at {i}");
+        }
+        assert_eq!(flows[0].id, FlowId(100));
+        assert_eq!(flows[999].id, FlowId(1099));
+        assert!(flows[0].start >= 50);
+        assert!(flows.iter().all(|f| f.src != f.dst));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let dist = Workload::CacheFollower.dist();
+        let cfg = PoissonConfig {
+            load: 0.4,
+            host_rate: Rate::gbps(100),
+            flows: 100,
+            seed: 42,
+            first_id: 0,
+            start: 0,
+        };
+        let a = poisson_flows(&cfg, &hosts(4), &dist);
+        let b = poisson_flows(&cfg, &hosts(4), &dist);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn higher_load_means_denser_arrivals() {
+        let dist = Workload::WebServer.dist();
+        let mk = |load| {
+            let cfg = PoissonConfig {
+                load,
+                host_rate: Rate::gbps(10),
+                flows: 5000,
+                seed: 9,
+                first_id: 0,
+                start: 0,
+            };
+            poisson_flows(&cfg, &hosts(8), &dist).last().unwrap().start
+        };
+        let span_low = mk(0.2);
+        let span_high = mk(0.8);
+        assert!(
+            span_low > 3 * span_high,
+            "0.2 load span {span_low} should be ~4x the 0.8 load span {span_high}"
+        );
+        let _ = PS_PER_SEC;
+    }
+}

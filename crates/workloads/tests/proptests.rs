@@ -1,0 +1,77 @@
+//! Property-based tests on workload generation.
+
+use aeolus_sim::{NodeId, Rate};
+use aeolus_workloads::{poisson_flows, EmpiricalDist, PoissonConfig, Workload};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Sampled flow sizes land within the distribution's support and the
+    /// empirical bucket fractions track the analytic CDF.
+    #[test]
+    fn samples_respect_support_and_cdf(seed in 0u64..1_000) {
+        for w in Workload::ALL {
+            let d = w.dist();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 3_000;
+            let samples: Vec<u64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+            let max = d.max_size();
+            prop_assert!(samples.iter().all(|&s| s >= 1 && s <= max));
+            // Check one probe point: P(size <= 100KB).
+            let analytic = d.fraction_below(100_000.0);
+            let empirical =
+                samples.iter().filter(|&&s| s <= 100_000).count() as f64 / n as f64;
+            prop_assert!(
+                (analytic - empirical).abs() < 0.05,
+                "{}: analytic {analytic:.3} vs empirical {empirical:.3}",
+                w.name()
+            );
+        }
+    }
+
+    /// The quantile function is the inverse of the CDF up to interpolation.
+    #[test]
+    fn quantile_inverts_cdf(u in 0.001f64..0.999) {
+        for w in Workload::ALL {
+            let d = w.dist();
+            let size = d.quantile(u);
+            let back = d.fraction_below(size as f64);
+            prop_assert!(
+                (back - u).abs() < 0.02,
+                "{}: u={u:.4} -> size {size} -> cdf {back:.4}",
+                w.name()
+            );
+        }
+    }
+
+    /// Poisson generation is monotone in time, hits the requested count, and
+    /// never produces self-flows, regardless of seed/load/host count.
+    #[test]
+    fn poisson_invariants(
+        seed in 0u64..10_000,
+        load in 0.05f64..1.0,
+        hosts in 2usize..32,
+        flows in 1usize..200,
+    ) {
+        let ids: Vec<NodeId> = (0..hosts as u32).map(NodeId).collect();
+        let dist = EmpiricalDist::new(vec![(100.0, 0.0), (10_000.0, 1.0)]);
+        let cfg = PoissonConfig {
+            load,
+            host_rate: Rate::gbps(10),
+            flows,
+            seed,
+            first_id: 7,
+            start: 1_000,
+        };
+        let out = poisson_flows(&cfg, &ids, &dist);
+        prop_assert_eq!(out.len(), flows);
+        prop_assert!(out[0].start >= 1_000);
+        for w in out.windows(2) {
+            prop_assert!(w[0].start <= w[1].start);
+            prop_assert_eq!(w[1].id.0, w[0].id.0 + 1);
+        }
+        prop_assert!(out.iter().all(|f| f.src != f.dst));
+        prop_assert!(out.iter().all(|f| f.size >= 100 && f.size <= 10_000));
+    }
+}

@@ -1,0 +1,52 @@
+//! Incast message-completion-time demo (the Figure 8/11 scenario).
+//!
+//! Seven servers respond simultaneously with fixed-size messages to one
+//! client — the classic partition/aggregate pattern — repeated over many
+//! rounds. We compare message completion times (MCT) for the three base
+//! proactive transports with and without the Aeolus building block.
+//!
+//! ```text
+//! cargo run --release --example incast_mct [msg_size_bytes] [rounds]
+//! ```
+
+use aeolus::prelude::*;
+use aeolus::stats::f2;
+
+fn mct(scheme: Scheme, msg: u64, rounds: usize) -> (f64, f64, f64) {
+    let mut h = Harness::new(
+        scheme,
+        SchemeParams::new(0),
+        TopoSpec::SingleSwitch { hosts: 8, link: LinkParams::uniform(Rate::gbps(10), us(3)) },
+    );
+    let hosts = h.hosts().to_vec();
+    let flows = incast_rounds(&hosts[1..], hosts[0], msg, rounds, ms(2), 0, 1);
+    h.schedule(&flows);
+    h.run(ms(2 * rounds as u64 + 500));
+    let mut fct = FctAggregator::new();
+    for r in h.metrics().flows() {
+        if let Some(f) = r.fct() {
+            fct.push(FctSample { size: r.desc.size, fct_ps: f, ideal_ps: h.ideal_fct(r.desc.size) });
+        }
+    }
+    let mut s = fct.fct_us();
+    (s.mean(), s.percentile(50.0), s.max())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let msg: u64 = args.first().and_then(|a| a.parse().ok()).unwrap_or(30_000);
+    let rounds: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(20);
+    println!("7-to-1 incast, {msg} B messages, {rounds} rounds, 10G testbed\n");
+    println!("{:<22} {:>10} {:>10} {:>10}", "scheme", "mean(us)", "p50(us)", "max(us)");
+    for scheme in [
+        Scheme::ExpressPass,
+        Scheme::ExpressPassAeolus,
+        Scheme::Homa { rto: ms(10) },
+        Scheme::HomaAeolus,
+        Scheme::Ndp,
+        Scheme::NdpAeolus,
+    ] {
+        let (mean, p50, max) = mct(scheme, msg, rounds);
+        println!("{:<22} {:>10} {:>10} {:>10}", scheme.name(), f2(mean), f2(p50), f2(max));
+    }
+}

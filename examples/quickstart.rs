@@ -1,0 +1,34 @@
+//! Quickstart: the headline Aeolus effect in ~40 lines.
+//!
+//! A 30 KB message (sub-BDP) is sent on the paper's 8-host 10 Gbps testbed
+//! under plain ExpressPass (which waits one RTT for credits) and under
+//! ExpressPass+Aeolus (which bursts the message pre-credit). Aeolus finishes
+//! the message roughly one RTT sooner.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use aeolus::prelude::*;
+
+fn fct_us(scheme: Scheme) -> f64 {
+    let mut h = Harness::new(
+        scheme,
+        SchemeParams::new(0),
+        TopoSpec::SingleSwitch { hosts: 8, link: LinkParams::uniform(Rate::gbps(10), us(3)) },
+    );
+    let hosts = h.hosts().to_vec();
+    h.schedule(&[FlowDesc { id: FlowId(1), src: hosts[1], dst: hosts[0], size: 30_000, start: 0 }]);
+    assert!(h.run(ms(100)), "flow must complete");
+    h.metrics().flow(FlowId(1)).unwrap().fct().unwrap() as f64 / 1e6
+}
+
+fn main() {
+    let plain = fct_us(Scheme::ExpressPass);
+    let aeolus = fct_us(Scheme::ExpressPassAeolus);
+    println!("30 KB message on the 10G testbed (base RTT ~14 us):");
+    println!("  ExpressPass         : {plain:7.2} us  (request, wait one RTT for credits, send)");
+    println!("  ExpressPass + Aeolus: {aeolus:7.2} us  (pre-credit unscheduled burst)");
+    println!("  speedup             : {:.2}x", plain / aeolus);
+    assert!(aeolus < plain, "Aeolus must win on sub-BDP flows");
+}

@@ -1,0 +1,29 @@
+//! Selective-dropping threshold tuning (the Figure 15/16 methodology).
+//!
+//! Sweeps the Aeolus threshold on an N-to-1 microbenchmark and prints the
+//! bottleneck queue occupancy and the first-RTT utilization — showing why
+//! the paper recommends 6 KB (4 packets): small enough to keep queues tiny,
+//! large enough to fill the first RTT at any fan-in.
+//!
+//! ```text
+//! cargo run --release --example selective_drop_tuning [fan_in]
+//! ```
+
+use aeolus::experiments::fig15::queue_stats;
+use aeolus::experiments::fig16::first_rtt_utilization;
+
+fn main() {
+    let fan_in: usize =
+        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(16);
+    println!("N-to-1 on a 100G switch, N = {fan_in}, 200KB per sender\n");
+    println!(
+        "{:>10} {:>14} {:>14} {:>18}",
+        "threshold", "avg qlen (B)", "max qlen (B)", "first-RTT util"
+    );
+    for k in [1_500u64, 3_000, 6_000, 12_000, 24_000, 48_000, 96_000] {
+        let (avg, max) = queue_stats(k, fan_in);
+        let util = first_rtt_utilization(k, fan_in);
+        let marker = if k == 6_000 { "  <- paper default" } else { "" };
+        println!("{:>9}B {:>14.1} {:>14} {:>18.3}{marker}", k, avg, max, util);
+    }
+}

@@ -1,0 +1,86 @@
+//! Production-workload sweep: small-flow FCTs under a realistic open-loop
+//! workload (the Figure 9/12/14 methodology at example scale).
+//!
+//! Runs one of the paper's four workloads on the two-tier 100 G tree at a
+//! chosen load for every scheme, and prints the 0–100 KB FCT distribution.
+//!
+//! ```text
+//! cargo run --release --example workload_sweep [webserver|cachefollower|websearch|datamining] [load]
+//! ```
+
+use aeolus::prelude::*;
+use aeolus::sim::topology::LinkParams;
+use aeolus::stats::f2;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workload = match args.first().map(String::as_str) {
+        Some("cachefollower") => Workload::CacheFollower,
+        Some("websearch") => Workload::WebSearch,
+        Some("datamining") => Workload::DataMining,
+        _ => Workload::WebServer,
+    };
+    let load: f64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(0.4);
+    let n_flows = 400;
+
+    println!("{} @ load {load}, two-tier 8x8x64 @100G, {n_flows} flows\n", workload.name());
+    println!(
+        "{:<22} {:>6} {:>10} {:>10} {:>10} {:>8} {:>9}",
+        "scheme", "done", "mean(us)", "p99(us)", "max(us)", "eff", "timeouts"
+    );
+    for scheme in [
+        Scheme::ExpressPass,
+        Scheme::ExpressPassAeolus,
+        Scheme::Homa { rto: ms(10) },
+        Scheme::HomaAeolus,
+        Scheme::Ndp,
+        Scheme::NdpAeolus,
+    ] {
+        let spec = TopoSpec::LeafSpine {
+            spines: 8,
+            leaves: 8,
+            hosts_per_leaf: 8,
+            link: LinkParams::uniform(Rate::gbps(100), 550 * aeolus::sim::units::ns(1)),
+        };
+        let mut h = Harness::new(scheme, SchemeParams::new(0), spec);
+        let hosts = h.hosts().to_vec();
+        let flows = poisson_flows(
+            &PoissonConfig {
+                load,
+                host_rate: h.topo.host_rate,
+                flows: n_flows,
+                seed: 7,
+                first_id: 1,
+                start: 0,
+            },
+            &hosts,
+            &workload.dist(),
+        );
+        h.schedule(&flows);
+        h.run(flows.last().unwrap().start + ms(400));
+        let m = h.metrics();
+        let mut agg = FctAggregator::new();
+        for r in m.flows() {
+            if let Some(f) = r.fct() {
+                if r.desc.size < 100_000 {
+                    agg.push(FctSample {
+                        size: r.desc.size,
+                        fct_ps: f,
+                        ideal_ps: h.ideal_fct(r.desc.size),
+                    });
+                }
+            }
+        }
+        let mut s = agg.fct_us();
+        println!(
+            "{:<22} {:>6} {:>10} {:>10} {:>10} {:>8} {:>9}",
+            scheme.name(),
+            format!("{}/{}", m.completed_count(), m.flow_count()),
+            f2(s.mean()),
+            f2(s.percentile(99.0)),
+            f2(s.max()),
+            format!("{:.3}", m.transfer_efficiency()),
+            m.flows_with_timeouts(),
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based cross-crate invariants: for random small scenarios on any
+//! scheme, every flow completes, delivery is exact, selective dropping never
+//! touches protected packets, and accounting stays consistent.
+
+use aeolus::prelude::*;
+use aeolus::sim::topology::LinkParams;
+use aeolus::sim::{DropReason, TrafficClass};
+use proptest::prelude::*;
+
+fn scheme_strategy() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::ExpressPass),
+        Just(Scheme::ExpressPassAeolus),
+        Just(Scheme::ExpressPassOracle),
+        Just(Scheme::ExpressPassPrioQueue { rto: ms(10) }),
+        Just(Scheme::Homa { rto: ms(10) }),
+        Just(Scheme::HomaAeolus),
+        Just(Scheme::HomaOracle),
+        Just(Scheme::Ndp),
+        Just(Scheme::NdpAeolus),
+        Just(Scheme::PHost { rto: ms(10) }),
+        Just(Scheme::PHostAeolus),
+        Just(Scheme::Dctcp { rto: ms(10) }),
+        Just(Scheme::Fastpass),
+        Just(Scheme::FastpassAeolus),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn random_scenarios_deliver_exactly_once(
+        scheme in scheme_strategy(),
+        // Up to 6 flows with arbitrary sizes and staggered starts.
+        flow_specs in prop::collection::vec((1u64..200_000, 0u64..50), 1..6),
+        seed in 0u64..1000,
+    ) {
+        let spec = TopoSpec::SingleSwitch {
+            hosts: 8,
+            link: LinkParams::uniform(Rate::gbps(10), us(3)),
+        };
+        let mut h = Harness::new(scheme, SchemeParams::new(0), spec);
+        let hosts = h.hosts().to_vec();
+        let n = hosts.len() as u64;
+        let flows: Vec<FlowDesc> = flow_specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(size, start_us))| FlowDesc {
+                id: FlowId(i as u64 + 1),
+                src: hosts[(1 + (i as u64 + seed) % (n - 1)) as usize],
+                dst: hosts[((i as u64 + seed + 3) % n) as usize],
+                size,
+                start: us(start_us),
+            })
+            .filter(|f| f.src != f.dst)
+            .collect();
+        prop_assume!(!flows.is_empty());
+        h.schedule(&flows);
+        let done = h.run(ms(2000));
+        let m = h.metrics();
+
+        // 1. Everything completes.
+        prop_assert!(done, "{}: {}/{} complete", scheme.name(), m.completed_count(), m.flow_count());
+        // 2. Delivery is exact: every byte exactly once at the app layer.
+        for r in m.flows() {
+            prop_assert_eq!(r.delivered, r.desc.size);
+            prop_assert!(r.fct().unwrap() > 0);
+        }
+        // 3. Selective dropping never touches scheduled or control packets.
+        prop_assert_eq!(
+            m.drops.get(&(DropReason::SelectiveDrop, TrafficClass::Scheduled)).copied().unwrap_or(0), 0);
+        prop_assert_eq!(
+            m.drops.get(&(DropReason::SelectiveDrop, TrafficClass::Control)).copied().unwrap_or(0), 0);
+        // 4. Efficiency accounting is sane.
+        let eff = m.transfer_efficiency();
+        prop_assert!(eff > 0.0 && eff <= 1.0 + 1e-9, "efficiency {}", eff);
+        prop_assert!(m.payload_delivered <= m.payload_sent);
+    }
+
+    #[test]
+    fn fcts_are_at_least_ideal(
+        scheme in scheme_strategy(),
+        size in 1u64..500_000,
+    ) {
+        let spec = TopoSpec::SingleSwitch {
+            hosts: 4,
+            link: LinkParams::uniform(Rate::gbps(10), us(3)),
+        };
+        let mut h = Harness::new(scheme, SchemeParams::new(0), spec);
+        let hosts = h.hosts().to_vec();
+        h.schedule(&[FlowDesc { id: FlowId(1), src: hosts[1], dst: hosts[0], size, start: 0 }]);
+        prop_assert!(h.run(ms(2000)), "{} did not finish", scheme.name());
+        let fct = h.metrics().flow(FlowId(1)).unwrap().fct().unwrap();
+        // Causality: no flow beats its store-and-forward lower bound.
+        prop_assert!(
+            fct + us(1) >= h.ideal_fct(size),
+            "{}: fct {} < ideal {}",
+            scheme.name(),
+            fct,
+            h.ideal_fct(size)
+        );
+    }
+}

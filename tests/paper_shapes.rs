@@ -1,0 +1,152 @@
+//! Cross-crate integration tests asserting the *qualitative shapes* of the
+//! paper's headline results at test-friendly scale: who wins, and by
+//! roughly what kind of factor. Exact magnitudes live in EXPERIMENTS.md.
+
+use aeolus::prelude::*;
+use aeolus::sim::topology::LinkParams;
+
+fn testbed() -> TopoSpec {
+    TopoSpec::SingleSwitch { hosts: 8, link: LinkParams::uniform(Rate::gbps(10), us(3)) }
+}
+
+/// Run an N-round 7:1 incast; return (mean, max) MCT in µs.
+fn incast_mct(scheme: Scheme, msg: u64, rounds: usize) -> (f64, f64) {
+    incast_mct_with_buffer(scheme, msg, rounds, 200_000)
+}
+
+/// Same, with a configurable per-port switch buffer (smaller buffers force
+/// the loss regimes the paper's testbed hits).
+fn incast_mct_with_buffer(scheme: Scheme, msg: u64, rounds: usize, buffer: u64) -> (f64, f64) {
+    let mut params = SchemeParams::new(0);
+    params.port_buffer = buffer;
+    let mut h = Harness::new(scheme, params, testbed());
+    let hosts = h.hosts().to_vec();
+    let flows = incast_rounds(&hosts[1..], hosts[0], msg, rounds, ms(2), 0, 1);
+    h.schedule(&flows);
+    assert!(h.run(ms(10_000)), "{}: incast incomplete", scheme.name());
+    let mut agg = FctAggregator::new();
+    for r in h.metrics().flows() {
+        agg.push(FctSample { size: r.desc.size, fct_ps: r.fct().unwrap(), ideal_ps: 0 });
+    }
+    let mut s = agg.fct_us();
+    (s.mean(), s.max())
+}
+
+#[test]
+fn headline_expresspass_aeolus_speeds_up_incast_messages() {
+    // Figure 8's direction: Aeolus improves EP's mean MCT (paper: 19-33%).
+    let (plain, _) = incast_mct(Scheme::ExpressPass, 30_000, 10);
+    let (aeolus, _) = incast_mct(Scheme::ExpressPassAeolus, 30_000, 10);
+    assert!(
+        aeolus < plain * 0.95,
+        "EP+Aeolus mean MCT ({aeolus:.1}us) must beat EP ({plain:.1}us)"
+    );
+}
+
+#[test]
+fn headline_homa_aeolus_cuts_the_incast_tail() {
+    // Figure 11's direction: Homa's tail is RTO-bound once the synchronized
+    // unscheduled bursts (7 x BDP = ~147KB) overflow the port buffer;
+    // Aeolus removes the tail by selective dropping + probe recovery.
+    let (_, homa_max) = incast_mct_with_buffer(Scheme::Homa { rto: ms(10) }, 40_000, 10, 100_000);
+    let (_, aeolus_max) = incast_mct_with_buffer(Scheme::HomaAeolus, 40_000, 10, 100_000);
+    assert!(
+        aeolus_max * 3.0 < homa_max,
+        "Homa+Aeolus max MCT ({aeolus_max:.1}us) must be far below Homa's ({homa_max:.1}us)"
+    );
+}
+
+#[test]
+fn headline_ndp_aeolus_matches_ndp_without_trimming_switches() {
+    // Figure 14's direction: similar performance, no switch modifications.
+    let (ndp, _) = incast_mct(Scheme::Ndp, 40_000, 10);
+    let (aeolus, _) = incast_mct(Scheme::NdpAeolus, 40_000, 10);
+    let ratio = aeolus / ndp;
+    assert!(
+        (0.4..=2.5).contains(&ratio),
+        "NDP+Aeolus mean ({aeolus:.1}us) should be comparable to NDP ({ndp:.1}us)"
+    );
+}
+
+#[test]
+fn table4_direction_large_rto_tail_small_rto_waste() {
+    // Priority queueing's dilemma vs Aeolus, exercised with a loss-heavy
+    // incast: the 10ms-RTO variant has a huge max FCT; the 20us-RTO variant
+    // wastes bandwidth on redundant retransmissions.
+    let run = |scheme| {
+        let mut params = SchemeParams::new(0);
+        params.port_buffer = 60_000; // force buffer pressure on the strawman
+        let mut h = Harness::new(scheme, params, testbed());
+        let hosts = h.hosts().to_vec();
+        let flows = incast_round(&hosts[1..], hosts[0], 60_000, 0, 1);
+        h.schedule(&flows);
+        assert!(h.run(ms(1000)), "incomplete under {:?}", scheme);
+        let max = h
+            .metrics()
+            .flows()
+            .map(|r| r.fct().unwrap())
+            .max()
+            .unwrap() as f64
+            / 1e6;
+        (max, h.metrics().transfer_efficiency())
+    };
+    let (aeolus_max, aeolus_eff) = run(Scheme::ExpressPassAeolus);
+    let (pq_slow_max, _) = run(Scheme::ExpressPassPrioQueue { rto: ms(10) });
+    let (_, pq_fast_eff) = run(Scheme::ExpressPassPrioQueue { rto: us(20) });
+    assert!(
+        aeolus_max < pq_slow_max,
+        "Aeolus max FCT {aeolus_max:.1}us must beat PQ/10ms {pq_slow_max:.1}us"
+    );
+    assert!(
+        pq_fast_eff < aeolus_eff,
+        "PQ/20us efficiency {pq_fast_eff:.3} must trail Aeolus {aeolus_eff:.3}"
+    );
+}
+
+#[test]
+fn fig15_direction_queue_tracks_threshold() {
+    use aeolus::experiments::fig15::queue_stats;
+    let (avg_small, max_small) = queue_stats(3_000, 8);
+    let (avg_big, max_big) = queue_stats(48_000, 8);
+    assert!(avg_small < avg_big, "avg queue must grow with the threshold");
+    assert!(max_small < max_big, "max queue must grow with the threshold");
+    assert!(max_small >= 3_000, "bursts reach the small threshold");
+}
+
+#[test]
+fn fig16_direction_paper_threshold_fills_the_first_rtt() {
+    use aeolus::experiments::fig16::first_rtt_utilization;
+    // 6 KB (4 packets) sustains near-full first-RTT utilization even at
+    // high fan-in — the paper's recommended setting.
+    for n in [2, 8] {
+        let u = first_rtt_utilization(6_000, n);
+        assert!(u > 0.9, "utilization {u:.3} at threshold 6KB, N={n}");
+    }
+}
+
+#[test]
+fn oracle_upper_bounds_aeolus_which_upper_bounds_waiting() {
+    // §2's ordering on small flows: oracle <= Aeolus <= plain ExpressPass.
+    let fct = |scheme| {
+        let mut h = Harness::new(scheme, SchemeParams::new(0), testbed());
+        let hosts = h.hosts().to_vec();
+        h.schedule(&[FlowDesc { id: FlowId(1), src: hosts[1], dst: hosts[0], size: 12_000, start: 0 }]);
+        assert!(h.run(ms(100)));
+        h.metrics().flow(FlowId(1)).unwrap().fct().unwrap()
+    };
+    let oracle = fct(Scheme::ExpressPassOracle);
+    let aeolus = fct(Scheme::ExpressPassAeolus);
+    let plain = fct(Scheme::ExpressPass);
+    assert!(oracle <= aeolus + us(1), "oracle {oracle} vs aeolus {aeolus}");
+    assert!(aeolus < plain, "aeolus {aeolus} vs plain {plain}");
+}
+
+#[test]
+fn goodput_is_bounded_and_ndp_is_competitive() {
+    use aeolus::experiments::fig18::goodput;
+    use aeolus::experiments::Scale;
+    let ndp = goodput(Scheme::Ndp, Scale::Smoke, 0.5);
+    let homa = goodput(Scheme::Homa { rto: us(40) }, Scale::Smoke, 0.5);
+    assert!(ndp > 0.0 && ndp <= 1.0);
+    assert!(homa > 0.0 && homa <= 1.0);
+}
