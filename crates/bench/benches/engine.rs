@@ -1,9 +1,13 @@
-//! Engine microbenchmarks: the discrete-event core and the queue
-//! disciplines the paper's switch behavior is built on.
+//! Engine microbenchmarks: the discrete-event core (timing wheel vs the
+//! reference binary heap) and the queue disciplines the paper's switch
+//! behavior is built on. Plain `main` under the in-tree harness
+//! (`cargo bench --bench engine`).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
-use aeolus_sim::event::{Event, EventQueue};
+use aeolus_bench::harness::Suite;
+use aeolus_bench::{incast_sim_events, timer_stream_events};
+use aeolus_sim::event::SchedulerKind;
 use aeolus_sim::{
     DropTailQueue, FlowId, NodeId, Packet, Poll, PriorityBank, QueueDisc, RangeSet, Rate,
     RedEcnQueue, TrafficClass, TrimmingQueue, XPassQueue, CREDIT_BYTES,
@@ -11,36 +15,6 @@ use aeolus_sim::{
 
 fn pkt(seq: u64, class: TrafficClass) -> Packet {
     Packet::data(FlowId(seq % 64), NodeId(0), NodeId(1), seq, 1460, class, 1 << 20)
-}
-
-fn bench_event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine");
-    g.bench_function("event_queue_push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..10_000u64 {
-                // Pseudo-random interleaved timestamps.
-                let t = (i * 2_654_435_761) % 1_000_000;
-                q.schedule_at(t, Event::Timer { node: NodeId(0), token: i });
-            }
-            let mut n = 0u64;
-            while q.pop().is_some() {
-                n += 1;
-            }
-            black_box(n)
-        })
-    });
-    g.bench_function("rangeset_insert_1k_shuffled", |b| {
-        b.iter(|| {
-            let mut rs = RangeSet::new();
-            for i in 0..1_000u64 {
-                let start = ((i * 7919) % 1000) * 1460;
-                rs.insert(start, start + 1460);
-            }
-            black_box(rs.covered())
-        })
-    });
-    g.finish();
 }
 
 fn drain<Q: QueueDisc + ?Sized>(q: &mut Q) -> u64 {
@@ -51,76 +25,84 @@ fn drain<Q: QueueDisc + ?Sized>(q: &mut Q) -> u64 {
     n
 }
 
-fn bench_queues(c: &mut Criterion) {
-    let mut g = c.benchmark_group("queues");
-    g.bench_function("droptail_1k", |b| {
-        b.iter(|| {
-            let mut q = DropTailQueue::new(1 << 30);
-            for i in 0..1000 {
-                let _ = q.enqueue(pkt(i, TrafficClass::Scheduled), 0);
-            }
-            black_box(drain(&mut q))
-        })
+fn bench_event_queue(suite: &mut Suite) {
+    const N: u64 = 200_000;
+    suite.bench("timer_stream_200k_wheel", || {
+        timer_stream_events(SchedulerKind::TimingWheel, N)
     });
-    g.bench_function("red_selective_1k_mixed", |b| {
-        b.iter(|| {
-            let mut q = RedEcnQueue::new(6_000, 200_000);
-            for i in 0..1000 {
-                let class = if i % 2 == 0 {
-                    TrafficClass::Unscheduled
-                } else {
-                    TrafficClass::Scheduled
-                };
-                let _ = q.enqueue(pkt(i, class), 0);
-            }
-            black_box(drain(&mut q))
-        })
+    suite.bench("timer_stream_200k_heap", || {
+        timer_stream_events(SchedulerKind::BinaryHeap, N)
     });
-    g.bench_function("priority_bank_1k", |b| {
-        b.iter(|| {
-            let mut q = PriorityBank::new(8, 1 << 30);
-            for i in 0..1000u64 {
-                let mut p = pkt(i, TrafficClass::Scheduled);
-                p.priority = (i % 8) as u8;
-                let _ = q.enqueue(p, 0);
-            }
-            black_box(drain(&mut q))
-        })
+    suite.bench("incast_sim_wheel", || incast_sim_events(SchedulerKind::TimingWheel, 30_000, 3));
+    suite.bench("incast_sim_heap", || incast_sim_events(SchedulerKind::BinaryHeap, 30_000, 3));
+    suite.bench("rangeset_insert_1k_shuffled", || {
+        let mut rs = RangeSet::new();
+        for i in 0..1_000u64 {
+            let start = ((i * 7919) % 1000) * 1460;
+            rs.insert(start, start + 1460);
+        }
+        black_box(rs.covered())
     });
-    g.bench_function("trimming_1k", |b| {
-        b.iter(|| {
-            let mut q = TrimmingQueue::new(8, 1 << 30);
-            for i in 0..1000 {
-                let _ = q.enqueue(pkt(i, TrafficClass::Unscheduled), 0);
-            }
-            black_box(drain(&mut q))
-        })
-    });
-    g.bench_function("xpass_credit_shaper_1k", |b| {
-        b.iter(|| {
-            let mut q = XPassQueue::new(
-                Box::new(DropTailQueue::new(1 << 30)),
-                Rate::gbps(100),
-                1500,
-                CREDIT_BYTES,
-                8,
-            );
-            for i in 0..1000 {
-                let _ = q.enqueue(pkt(i, TrafficClass::Scheduled), 0);
-            }
-            black_box(drain(&mut q))
-        })
-    });
-    g.finish();
 }
 
-fn configured() -> Criterion {
-    Criterion::default().sample_size(20)
+fn bench_queues(suite: &mut Suite) {
+    suite.bench("droptail_1k", || {
+        let mut q = DropTailQueue::new(1 << 30);
+        for i in 0..1000 {
+            let _ = q.enqueue(pkt(i, TrafficClass::Scheduled), 0);
+        }
+        drain(&mut q)
+    });
+    suite.bench("red_selective_1k_mixed", || {
+        let mut q = RedEcnQueue::new(6_000, 200_000);
+        for i in 0..1000 {
+            let class =
+                if i % 2 == 0 { TrafficClass::Unscheduled } else { TrafficClass::Scheduled };
+            let _ = q.enqueue(pkt(i, class), 0);
+        }
+        drain(&mut q)
+    });
+    suite.bench("priority_bank_1k", || {
+        let mut q = PriorityBank::new(8, 1 << 30);
+        for i in 0..1000u64 {
+            let mut p = pkt(i, TrafficClass::Scheduled);
+            p.priority = (i % 8) as u8;
+            let _ = q.enqueue(p, 0);
+        }
+        drain(&mut q)
+    });
+    suite.bench("trimming_1k", || {
+        let mut q = TrimmingQueue::new(8, 1 << 30);
+        for i in 0..1000 {
+            let _ = q.enqueue(pkt(i, TrafficClass::Unscheduled), 0);
+        }
+        drain(&mut q)
+    });
+    suite.bench("xpass_credit_shaper_1k", || {
+        let mut q = XPassQueue::new(
+            Box::new(DropTailQueue::new(1 << 30)),
+            Rate::gbps(100),
+            1500,
+            CREDIT_BYTES,
+            8,
+        );
+        for i in 0..1000 {
+            let _ = q.enqueue(pkt(i, TrafficClass::Scheduled), 0);
+        }
+        drain(&mut q)
+    });
 }
 
-criterion_group! {
-    name = benches;
-    config = configured();
-    targets = bench_event_queue, bench_queues
+fn main() {
+    let mut engine = Suite::new("engine");
+    bench_event_queue(&mut engine);
+    let mut queues = Suite::new("queues");
+    bench_queues(&mut queues);
+
+    let wheel = engine.sample("timer_stream_200k_wheel").unwrap().units_per_sec();
+    let heap = engine.sample("timer_stream_200k_heap").unwrap().units_per_sec();
+    println!("\ntimer stream speedup (wheel vs heap): {:.2}x", wheel / heap);
+    let wheel = engine.sample("incast_sim_wheel").unwrap().units_per_sec();
+    let heap = engine.sample("incast_sim_heap").unwrap().units_per_sec();
+    println!("incast sim speedup (wheel vs heap):   {:.2}x", wheel / heap);
 }
-criterion_main!(benches);

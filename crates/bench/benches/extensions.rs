@@ -1,62 +1,44 @@
-//! Criterion groups for the extensions beyond the paper: pHost, DCTCP,
-//! Fastpass and the ablation kernels.
+//! Benches for the extensions beyond the paper: pHost, DCTCP, Fastpass and
+//! the ablation kernels. Plain `main` under the in-tree harness.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-
+use aeolus_bench::harness::Suite;
 use aeolus_bench::{bench_fabric, bench_incast, bench_testbed, bench_workload};
 use aeolus_sim::units::ms;
-use aeolus_transport::{Harness, Scheme, SchemeParams};
 use aeolus_sim::{FlowDesc, FlowId};
+use aeolus_transport::{Harness, Scheme, SchemeParams};
 use aeolus_workloads::Workload;
 
-fn extension_benches(c: &mut Criterion) {
-    c.bench_function("ext_phost_aeolus_workload", |b| {
-        b.iter(|| black_box(bench_workload(Scheme::PHostAeolus, bench_fabric(), Workload::WebServer, 30)))
+fn extension_benches(suite: &mut Suite) {
+    suite.bench("ext_phost_aeolus_workload", || {
+        bench_workload(Scheme::PHostAeolus, bench_fabric(), Workload::WebServer, 30) as u64
     });
-    c.bench_function("ext_dctcp_workload", |b| {
-        b.iter(|| {
-            black_box(bench_workload(
-                Scheme::Dctcp { rto: ms(10) },
-                bench_fabric(),
-                Workload::WebServer,
-                30,
-            ))
-        })
+    suite.bench("ext_dctcp_workload", || {
+        bench_workload(Scheme::Dctcp { rto: ms(10) }, bench_fabric(), Workload::WebServer, 30)
+            as u64
     });
-    c.bench_function("ext_fastpass_incast", |b| {
-        b.iter(|| black_box(bench_incast(Scheme::FastpassAeolus, 30_000, 3)))
+    suite.bench("ext_fastpass_incast", || {
+        bench_incast(Scheme::FastpassAeolus, 30_000, 3) as u64
     });
-    c.bench_function("ext_fastpass_arbiter_throughput", |b| {
+    suite.bench("ext_fastpass_arbiter_throughput", || {
         // Many small flows = many arbiter round trips: benches the arbiter.
-        b.iter(|| {
-            let mut h = Harness::new(Scheme::Fastpass, SchemeParams::new(0), bench_testbed());
-            let hosts = h.hosts().to_vec();
-            let flows: Vec<FlowDesc> = (0..40u64)
-                .map(|i| FlowDesc {
-                    id: FlowId(i + 1),
-                    src: hosts[(i as usize) % (hosts.len() - 1) + 1],
-                    dst: hosts[0],
-                    size: 5_000,
-                    start: i * 50_000_000,
-                })
-                .collect();
-            h.schedule(&flows);
-            h.run(ms(100));
-            black_box(h.metrics().completed_count())
-        })
+        let mut h = Harness::new(Scheme::Fastpass, SchemeParams::new(0), bench_testbed());
+        let hosts = h.hosts().to_vec();
+        let flows: Vec<FlowDesc> = (0..40u64)
+            .map(|i| FlowDesc {
+                id: FlowId(i + 1),
+                src: hosts[(i as usize) % (hosts.len() - 1) + 1],
+                dst: hosts[0],
+                size: 5_000,
+                start: i * 50_000_000,
+            })
+            .collect();
+        h.schedule(&flows);
+        h.run(ms(100));
+        h.metrics().completed_count() as u64
     });
 }
 
-fn configured() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(4))
-        .warm_up_time(std::time::Duration::from_millis(500))
+fn main() {
+    let mut suite = Suite::new("extensions");
+    extension_benches(&mut suite);
 }
-
-criterion_group! {
-    name = benches;
-    config = configured();
-    targets = extension_benches
-}
-criterion_main!(benches);

@@ -1,108 +1,89 @@
-//! One Criterion group per paper *figure*: each benchmarks a miniature,
-//! fixed-seed configuration of the same kernel the corresponding
-//! `aeolus-experiments` runner uses, so regressions in any figure's code
-//! path show up as a bench regression. (Figures 6 and 7 are architecture
-//! diagrams — no experiment, no bench.)
+//! One bench per paper *figure*: each measures a miniature, fixed-seed
+//! configuration of the same kernel the corresponding `aeolus-experiments`
+//! runner uses, so regressions in any figure's code path show up as a bench
+//! regression. (Figures 6 and 7 are architecture diagrams — no experiment,
+//! no bench.) Plain `main` under the in-tree harness.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
+use aeolus_bench::harness::Suite;
 use aeolus_bench::{bench_fabric, bench_incast, bench_many_to_one, bench_workload};
 use aeolus_experiments::fig15::queue_stats;
 use aeolus_experiments::fig16::first_rtt_utilization;
 use aeolus_experiments::fig18::goodput;
 use aeolus_experiments::{fig02, fig05, Scale};
-use aeolus_sim::units::{ms, us};
+use aeolus_sim::units::ms;
 use aeolus_transport::Scheme;
 use aeolus_workloads::Workload;
 
-fn motivation_figures(c: &mut Criterion) {
+fn motivation_figures(suite: &mut Suite) {
     // Fig 1/3: ExpressPass vs its oracle on a workload.
-    c.bench_function("fig01_fig03_ep_vs_oracle", |b| {
-        b.iter(|| {
-            let a = bench_workload(Scheme::ExpressPass, bench_fabric(), Workload::CacheFollower, 30);
-            let o = bench_workload(
-                Scheme::ExpressPassOracle,
-                bench_fabric(),
-                Workload::CacheFollower,
-                30,
-            );
-            black_box(a + o)
-        })
+    suite.bench("fig01_fig03_ep_vs_oracle", || {
+        let a = bench_workload(Scheme::ExpressPass, bench_fabric(), Workload::CacheFollower, 30);
+        let o =
+            bench_workload(Scheme::ExpressPassOracle, bench_fabric(), Workload::CacheFollower, 30);
+        (a + o) as u64
     });
     // Fig 2 is closed-form.
-    c.bench_function("fig02_first_rtt_fractions", |b| {
-        b.iter(|| black_box(fig02::run(Scale::Smoke).sections.len()))
-    });
+    suite.bench("fig02_first_rtt_fractions", || fig02::run(Scale::Smoke).sections.len() as u64);
     // Fig 4 / Table 1: Homa vs its oracle.
-    c.bench_function("fig04_homa_vs_oracle", |b| {
-        b.iter(|| {
-            let a = bench_workload(Scheme::Homa { rto: ms(10) }, bench_fabric(), Workload::WebServer, 30);
-            let o = bench_workload(Scheme::HomaOracle, bench_fabric(), Workload::WebServer, 30);
-            black_box(a + o)
-        })
+    suite.bench("fig04_homa_vs_oracle", || {
+        let a =
+            bench_workload(Scheme::Homa { rto: ms(10) }, bench_fabric(), Workload::WebServer, 30);
+        let o = bench_workload(Scheme::HomaOracle, bench_fabric(), Workload::WebServer, 30);
+        (a + o) as u64
     });
     // Fig 5: the cascade micro-experiment.
-    c.bench_function("fig05_cascade", |b| {
-        b.iter(|| black_box(fig05::run(Scale::Smoke).sections.len()))
-    });
+    suite.bench("fig05_cascade", || fig05::run(Scale::Smoke).sections.len() as u64);
 }
 
-fn testbed_figures(c: &mut Criterion) {
+fn testbed_figures(suite: &mut Suite) {
     // Fig 8: EP incast MCT.
-    c.bench_function("fig08_ep_incast", |b| {
-        b.iter(|| black_box(bench_incast(Scheme::ExpressPassAeolus, 30_000, 3)))
-    });
+    suite.bench("fig08_ep_incast", || bench_incast(Scheme::ExpressPassAeolus, 30_000, 3) as u64);
     // Fig 11: Homa incast MCT.
-    c.bench_function("fig11_homa_incast", |b| {
-        b.iter(|| black_box(bench_incast(Scheme::HomaAeolus, 30_000, 3)))
-    });
+    suite.bench("fig11_homa_incast", || bench_incast(Scheme::HomaAeolus, 30_000, 3) as u64);
 }
 
-fn workload_figures(c: &mut Criterion) {
+fn workload_figures(suite: &mut Suite) {
     // Fig 9/10: EP+Aeolus under a production workload.
-    c.bench_function("fig09_fig10_ep_aeolus_workload", |b| {
-        b.iter(|| black_box(bench_workload(Scheme::ExpressPassAeolus, bench_fabric(), Workload::WebServer, 30)))
+    suite.bench("fig09_fig10_ep_aeolus_workload", || {
+        bench_workload(Scheme::ExpressPassAeolus, bench_fabric(), Workload::WebServer, 30) as u64
     });
     // Fig 12/13: Homa+Aeolus under a production workload.
-    c.bench_function("fig12_fig13_homa_aeolus_workload", |b| {
-        b.iter(|| black_box(bench_workload(Scheme::HomaAeolus, bench_fabric(), Workload::WebServer, 30)))
+    suite.bench("fig12_fig13_homa_aeolus_workload", || {
+        bench_workload(Scheme::HomaAeolus, bench_fabric(), Workload::WebServer, 30) as u64
     });
     // Fig 14: NDP+Aeolus under a production workload.
-    c.bench_function("fig14_ndp_aeolus_workload", |b| {
-        b.iter(|| black_box(bench_workload(Scheme::NdpAeolus, bench_fabric(), Workload::WebServer, 30)))
+    suite.bench("fig14_ndp_aeolus_workload", || {
+        bench_workload(Scheme::NdpAeolus, bench_fabric(), Workload::WebServer, 30) as u64
     });
 }
 
-fn parameter_figures(c: &mut Criterion) {
+fn parameter_figures(suite: &mut Suite) {
     // Fig 15: queue length vs threshold.
-    c.bench_function("fig15_queue_vs_threshold", |b| {
-        b.iter(|| black_box(queue_stats(6_000, 4)))
+    suite.bench("fig15_queue_vs_threshold", || {
+        let (mean, max) = queue_stats(6_000, 4);
+        black_box(mean);
+        max
     });
     // Fig 16: first-RTT utilization.
-    c.bench_function("fig16_first_rtt_utilization", |b| {
-        b.iter(|| black_box(first_rtt_utilization(6_000, 4)))
+    suite.bench("fig16_first_rtt_utilization", || {
+        black_box(first_rtt_utilization(6_000, 4));
+        1
     });
     // Fig 17: heavy incast slowdown.
-    c.bench_function("fig17_heavy_incast", |b| {
-        b.iter(|| black_box(bench_many_to_one(Scheme::HomaAeolus, 16, 64_000)))
-    });
+    suite.bench("fig17_heavy_incast", || bench_many_to_one(Scheme::HomaAeolus, 16, 64_000) as u64);
     // Fig 18: goodput under mixed load.
-    c.bench_function("fig18_goodput_mix", |b| {
-        b.iter(|| black_box(goodput(Scheme::NdpAeolus, Scale::Smoke, 0.5)))
+    suite.bench("fig18_goodput_mix", || {
+        black_box(goodput(Scheme::NdpAeolus, Scale::Smoke, 0.5));
+        1
     });
-    let _ = us(1);
 }
 
-fn configured() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(4))
-        .warm_up_time(std::time::Duration::from_millis(500))
+fn main() {
+    let mut suite = Suite::new("figures");
+    motivation_figures(&mut suite);
+    testbed_figures(&mut suite);
+    workload_figures(&mut suite);
+    parameter_figures(&mut suite);
 }
-
-criterion_group! {
-    name = benches;
-    config = configured();
-    targets = motivation_figures, testbed_figures, workload_figures, parameter_figures
-}
-criterion_main!(benches);

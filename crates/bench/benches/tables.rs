@@ -1,81 +1,61 @@
-//! One Criterion group per paper *table*, same philosophy as `figures.rs`.
+//! One bench per paper *table*, same philosophy as `figures.rs`. Plain
+//! `main` under the in-tree harness.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-
+use aeolus_bench::harness::Suite;
 use aeolus_bench::{bench_fabric, bench_many_to_one, bench_workload};
 use aeolus_sim::units::{ms, us};
 use aeolus_transport::Scheme;
 use aeolus_workloads::Workload;
 
-fn table_benches(c: &mut Criterion) {
+fn table_benches(suite: &mut Suite) {
     // Table 1: the Homa recovery dilemma — eager Homa is the stress case.
-    c.bench_function("table1_eager_homa", |b| {
-        b.iter(|| {
-            black_box(bench_workload(
-                Scheme::Homa { rto: us(20) },
-                bench_fabric(),
-                Workload::CacheFollower,
-                20,
-            ))
-        })
+    suite.bench("table1_eager_homa", || {
+        bench_workload(Scheme::Homa { rto: us(20) }, bench_fabric(), Workload::CacheFollower, 20)
+            as u64
     });
     // Table 2 is the workload-distribution table: bench the samplers.
-    c.bench_function("table2_workload_sampling", |b| {
-        use rand_sampling::sample_all;
-        b.iter(|| black_box(sample_all()))
-    });
+    suite.bench("table2_workload_sampling", sampling::sample_all);
     // Table 3: Homa+Aeolus across workloads.
-    c.bench_function("table3_homa_aeolus", |b| {
-        b.iter(|| {
-            black_box(bench_workload(Scheme::HomaAeolus, bench_fabric(), Workload::DataMining, 20))
-        })
+    suite.bench("table3_homa_aeolus", || {
+        bench_workload(Scheme::HomaAeolus, bench_fabric(), Workload::DataMining, 20) as u64
     });
     // Table 4: the priority-queueing strawman.
-    c.bench_function("table4_prioqueue_strawman", |b| {
-        b.iter(|| {
-            black_box(bench_workload(
-                Scheme::ExpressPassPrioQueue { rto: ms(10) },
-                bench_fabric(),
-                Workload::CacheFollower,
-                20,
-            ))
-        })
+    suite.bench("table4_prioqueue_strawman", || {
+        bench_workload(
+            Scheme::ExpressPassPrioQueue { rto: ms(10) },
+            bench_fabric(),
+            Workload::CacheFollower,
+            20,
+        ) as u64
     });
     // Table 5: shared-buffer incast.
-    c.bench_function("table5_shared_buffer_incast", |b| {
-        b.iter(|| black_box(bench_many_to_one(Scheme::ExpressPassAeolus, 20, 400_000)))
+    suite.bench("table5_shared_buffer_incast", || {
+        bench_many_to_one(Scheme::ExpressPassAeolus, 20, 400_000) as u64
     });
 }
 
 /// Tiny helper module so the Table 2 bench has a deterministic kernel.
-mod rand_sampling {
+mod sampling {
+    use aeolus_sim::SimRng;
     use aeolus_workloads::Workload;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     pub fn sample_all() -> u64 {
         let mut total = 0u64;
+        let mut n = 0u64;
         for w in Workload::ALL {
             let d = w.dist();
-            let mut rng = StdRng::seed_from_u64(7);
+            let mut rng = SimRng::seed_from_u64(7);
             for _ in 0..1000 {
                 total = total.wrapping_add(d.sample(&mut rng));
+                n += 1;
             }
         }
-        total
+        std::hint::black_box(total);
+        n
     }
 }
 
-fn configured() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(4))
-        .warm_up_time(std::time::Duration::from_millis(500))
+fn main() {
+    let mut suite = Suite::new("tables");
+    table_benches(&mut suite);
 }
-
-criterion_group! {
-    name = benches;
-    config = configured();
-    targets = table_benches
-}
-criterion_main!(benches);

@@ -1,13 +1,16 @@
-//! Bench-sized scenario builders shared by the Criterion benchmarks.
+//! Bench-sized scenario builders shared by the benchmark targets, plus the
+//! in-tree measurement harness ([`harness`]).
 //!
 //! Each paper table/figure gets a miniature, fixed-seed configuration of its
-//! experiment kernel — small enough for Criterion's repeated sampling, large
-//! enough to exercise the same code paths as the full runner in
-//! `aeolus-experiments`.
+//! experiment kernel — small enough for repeated sampling, large enough to
+//! exercise the same code paths as the full runner in `aeolus-experiments`.
 
+pub mod harness;
+
+use aeolus_sim::event::{Event, EventQueue, SchedulerKind};
 use aeolus_sim::topology::LinkParams;
 use aeolus_sim::units::{ms, us, Rate};
-use aeolus_sim::{FlowDesc, FlowId};
+use aeolus_sim::{FlowDesc, FlowId, NodeId, SimRng};
 use aeolus_transport::{Harness, Scheme, SchemeParams, TopoSpec};
 use aeolus_workloads::{incast_rounds, poisson_flows, PoissonConfig, Workload};
 
@@ -80,9 +83,65 @@ pub fn bench_many_to_one(scheme: Scheme, n: usize, msg: u64) -> usize {
     h.metrics().completed_count()
 }
 
+/// Pop `n` events through an [`EventQueue`] under `kind`, re-scheduling a
+/// new timer after every pop (the self-sustaining pattern of a real DES hot
+/// loop). Deltas mix sub-tick, in-wheel and overflow horizons so both the
+/// current-tick heap, the wheel buckets and the overflow heap are exercised.
+/// Returns the number of events processed (= `n`).
+pub fn timer_stream_events(kind: SchedulerKind, n: u64) -> u64 {
+    let mut q = EventQueue::with_scheduler(kind);
+    let mut rng = SimRng::seed_from_u64(0x5eed_cafe);
+    for i in 0..1024u64 {
+        q.schedule_at(rng.below(us(200)), Event::Timer { node: NodeId(0), token: i });
+    }
+    let mut popped = 0u64;
+    while popped < n {
+        let (t, _ev) = q.pop().expect("self-sustaining stream drained early");
+        popped += 1;
+        // 70% short (intra-wheel), 25% sub-tick burst, 5% far future (overflow).
+        let delta = if rng.chance(0.70) {
+            1 + rng.below(us(150))
+        } else if rng.chance(0.833) {
+            1 + rng.below(1 << 14)
+        } else {
+            us(300) + rng.below(ms(5))
+        };
+        q.schedule_at(t + delta, Event::Timer { node: NodeId(0), token: popped });
+    }
+    popped
+}
+
+/// Run the canned 7:1 incast (Fig 8 shape) end-to-end under the given
+/// scheduler and return the total events processed — the engine-macro
+/// work-unit count for events/sec comparisons.
+pub fn incast_sim_events(kind: SchedulerKind, msg: u64, rounds: usize) -> u64 {
+    let mut h = Harness::new(Scheme::ExpressPassAeolus, SchemeParams::new(0), bench_testbed());
+    h.topo.net.set_scheduler(kind);
+    let hosts = h.hosts().to_vec();
+    let flows = incast_rounds(&hosts[1..], hosts[0], msg, rounds, ms(2), 0, 1);
+    h.schedule(&flows);
+    h.run(ms(1000));
+    h.topo.net.events_processed()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn timer_stream_is_scheduler_independent() {
+        let n = 20_000;
+        assert_eq!(timer_stream_events(SchedulerKind::TimingWheel, n), n);
+        assert_eq!(timer_stream_events(SchedulerKind::BinaryHeap, n), n);
+    }
+
+    #[test]
+    fn incast_events_identical_across_schedulers() {
+        let wheel = incast_sim_events(SchedulerKind::TimingWheel, 30_000, 2);
+        let heap = incast_sim_events(SchedulerKind::BinaryHeap, 30_000, 2);
+        assert_eq!(wheel, heap, "schedulers must process identical event streams");
+        assert!(wheel > 3_000, "incast should be event-heavy, got {wheel}");
+    }
 
     #[test]
     fn bench_kernels_complete() {

@@ -1,0 +1,101 @@
+//! `aeolus-bench` — the repo's benchmark entry point.
+//!
+//! Runs the engine microbenches (timing wheel vs the reference binary-heap
+//! scheduler, on a synthetic timer stream and a full incast simulation) plus
+//! a macro bench (one quick-scale paper figure, serial and parallel), prints
+//! a summary and writes a JSON report.
+//!
+//! ```text
+//! aeolus-bench [--out PATH]        # default: results/bench.json
+//! AEOLUS_BENCH_ITERS=30 aeolus-bench   # more measured iterations
+//! ```
+
+use aeolus_bench::harness::{write_json, BenchConfig, Suite};
+use aeolus_bench::{incast_sim_events, timer_stream_events};
+use aeolus_experiments::{fig09, set_jobs, take_events_processed, Scale};
+use aeolus_sim::event::SchedulerKind;
+
+fn macro_config() -> BenchConfig {
+    // Macro iterations take seconds each; default to fewer of them unless
+    // the caller pinned counts explicitly.
+    let cfg = BenchConfig::from_env();
+    BenchConfig {
+        warmup: if std::env::var("AEOLUS_BENCH_WARMUP").is_ok() { cfg.warmup } else { 1 },
+        iters: if std::env::var("AEOLUS_BENCH_ITERS").is_ok() { cfg.iters } else { 3 },
+    }
+}
+
+fn main() {
+    let mut out = String::from("results/bench.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--out" => {
+                out = iter.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--out wants a path");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("usage: aeolus-bench [--out PATH]   (unknown arg '{other}')");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    const TIMER_EVENTS: u64 = 200_000;
+    let mut engine = Suite::new("engine");
+    engine.bench("timer_stream_200k_wheel", || {
+        timer_stream_events(SchedulerKind::TimingWheel, TIMER_EVENTS)
+    });
+    engine.bench("timer_stream_200k_heap", || {
+        timer_stream_events(SchedulerKind::BinaryHeap, TIMER_EVENTS)
+    });
+    engine.bench("incast_sim_wheel", || incast_sim_events(SchedulerKind::TimingWheel, 30_000, 3));
+    engine.bench("incast_sim_heap", || incast_sim_events(SchedulerKind::BinaryHeap, 30_000, 3));
+
+    let mut figures = Suite::with_config("macro", macro_config());
+    take_events_processed(); // reset the events counter
+    set_jobs(1);
+    figures.bench("fig09_quick_serial", || {
+        let r = fig09::run(Scale::Quick);
+        std::hint::black_box(r.sections.len());
+        take_events_processed()
+    });
+    set_jobs(0); // auto: all cores
+    figures.bench("fig09_quick_parallel", || {
+        let r = fig09::run(Scale::Quick);
+        std::hint::black_box(r.sections.len());
+        take_events_processed()
+    });
+
+    let speedup = |a: &Suite, fast: &str, slow: &str| {
+        let f = a.sample(fast).map(|s| s.units_per_sec()).unwrap_or(0.0);
+        let s = a.sample(slow).map(|s| s.units_per_sec()).unwrap_or(f64::INFINITY);
+        f / s
+    };
+    println!();
+    println!(
+        "timer stream: wheel is {:.2}x the heap scheduler (events/s)",
+        speedup(&engine, "timer_stream_200k_wheel", "timer_stream_200k_heap")
+    );
+    println!(
+        "incast sim:   wheel is {:.2}x the heap scheduler (events/s)",
+        speedup(&engine, "incast_sim_wheel", "incast_sim_heap")
+    );
+    let serial = figures.sample("fig09_quick_serial").map(|s| s.median_ns).unwrap_or(0);
+    let par = figures.sample("fig09_quick_parallel").map(|s| s.median_ns).unwrap_or(1);
+    println!(
+        "fig09 quick:  parallel fan-out is {:.2}x serial (wall time)",
+        serial as f64 / par as f64
+    );
+
+    match write_json(&[&engine, &figures], &out) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("failed to write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

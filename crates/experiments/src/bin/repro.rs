@@ -1,14 +1,18 @@
 //! `repro` — regenerate any table or figure of the Aeolus paper.
 //!
 //! ```text
-//! repro <experiment>... [--scale smoke|quick|full] [--csv DIR]
+//! repro <experiment>... [--scale smoke|quick|full] [--csv DIR] [--jobs N]
 //! repro all [--scale ...]
 //! repro --list
 //! ```
+//!
+//! Each simulation is single-threaded and deterministic; `--jobs N` caps how
+//! many independent runs execute concurrently (default: all cores). Results
+//! are identical for every `N`.
 
 use std::time::Instant;
 
-use aeolus_experiments::{registry, Scale};
+use aeolus_experiments::{registry, set_jobs, take_events_processed, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +33,16 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--jobs" => {
+                let v = iter.next().map(String::as_str).unwrap_or("");
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => set_jobs(n),
+                    _ => {
+                        eprintln!("--jobs wants a positive integer, got '{v}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--list" => {
                 for (name, _) in registry() {
                     println!("{name}");
@@ -40,7 +54,7 @@ fn main() {
     }
     if wanted.is_empty() {
         eprintln!(
-            "usage: repro <experiment>... [--scale smoke|quick|full] [--csv DIR] | repro all | repro --list"
+            "usage: repro <experiment>... [--scale smoke|quick|full] [--csv DIR] [--jobs N] | repro all | repro --list"
         );
         std::process::exit(2);
     }
@@ -61,10 +75,16 @@ fn main() {
         }
         sel
     };
+    let wall0 = Instant::now();
+    let mut total_events = 0u64;
+    take_events_processed(); // reset counter
     for (name, f) in selected {
         let t0 = Instant::now();
         println!("######## {name} (scale {scale:?}) ########");
         let report = f(scale);
+        let secs = t0.elapsed().as_secs_f64();
+        let events = take_events_processed();
+        total_events += events;
         print!("{}", report.render());
         if let Some(dir) = &csv_dir {
             match report.write_csv(dir, name) {
@@ -72,6 +92,20 @@ fn main() {
                 Err(e) => eprintln!("[csv write failed: {e}]"),
             }
         }
-        println!("[{name} took {:.1}s]\n", t0.elapsed().as_secs_f64());
+        if events > 0 {
+            println!(
+                "[{name} took {secs:.1}s — {events} events, {:.2}M events/s]\n",
+                events as f64 / secs / 1e6
+            );
+        } else {
+            println!("[{name} took {secs:.1}s]\n");
+        }
+    }
+    let wall = wall0.elapsed().as_secs_f64();
+    if total_events > 0 {
+        println!(
+            "[total: {wall:.1}s wall, {total_events} events, {:.2}M events/s aggregate]",
+            total_events as f64 / wall / 1e6
+        );
     }
 }

@@ -7,7 +7,7 @@ use aeolus_transport::{Scheme, TopoSpec};
 use aeolus_workloads::Workload;
 
 use crate::report::{fct_header, fct_row, Report};
-use crate::runner::{run_workload, RunConfig};
+use crate::runner::{run_many, RunConfig};
 use crate::scale::Scale;
 
 /// Bytes bounding the paper's "small flow" band.
@@ -35,15 +35,25 @@ pub struct Comparison<'a> {
 pub fn small_flow_comparison(c: &Comparison<'_>, scale: Scale) -> Report {
     let mut report = Report::new();
     let n_flows = scale.flows(c.flows.0, c.flows.1, c.flows.2);
+    // One independent run per workload × scheme: fan the whole matrix out
+    // across cores, then tabulate in order.
+    let mut cfgs = Vec::with_capacity(c.workloads.len() * c.schemes.len());
     for &w in c.workloads {
-        let mut table = TextTable::new(fct_header());
-        let mut cdfs: Vec<(String, Cdf)> = Vec::new();
         for &scheme in c.schemes {
             let mut cfg = RunConfig::new(scheme, c.spec, w);
             cfg.load = c.host_load;
             cfg.n_flows = n_flows;
             cfg.seed = c.seed;
-            let out = run_workload(&cfg);
+            cfgs.push(cfg);
+        }
+    }
+    let outs = run_many(&cfgs);
+    let mut outs = outs.iter();
+    for &w in c.workloads {
+        let mut table = TextTable::new(fct_header());
+        let mut cdfs: Vec<(String, Cdf)> = Vec::new();
+        for &scheme in c.schemes {
+            let out = outs.next().expect("one output per config");
             let small = out.agg.band(0, SMALL_FLOW_MAX);
             let mut row = fct_row(&scheme.name(), &small);
             row[0] = format!(

@@ -25,28 +25,38 @@ pub fn incast_run(scheme: Scheme, msg_size: u64, rounds: usize) -> RunOutput {
     run_flows(&mut h, &flows, ms(100))
 }
 
-/// Run Figure 8.
-pub fn run(scale: Scale) -> Report {
-    let rounds = scale.count(3, 30, 100);
-    let schemes = [Scheme::ExpressPass, Scheme::ExpressPassAeolus];
-
-    let mut dist = TextTable::new(fct_header());
+/// Build both MCT tables — the @30KB distribution and the mean-vs-size sweep
+/// — for a scheme pair (shared with Figure 11). One run per scheme × size,
+/// fanned out across cores; the 30 KB run feeds both tables (`SIZES[0]`).
+pub fn mct_tables(schemes: [Scheme; 2], rounds: usize) -> (TextTable, TextTable) {
+    let mut cells = Vec::with_capacity(schemes.len() * SIZES.len());
     for scheme in schemes {
-        let out = incast_run(scheme, 30_000, rounds);
-        dist.row(fct_row(&scheme.name(), &out.agg));
+        for &size in &SIZES {
+            cells.push((scheme, size));
+        }
     }
-
+    let outs =
+        crate::runner::parallel_map(&cells, |&(scheme, size)| incast_run(scheme, size, rounds));
+    let mut dist = TextTable::new(fct_header());
     let mut header = vec!["scheme".to_string()];
     header.extend(SIZES.iter().map(|s| format!("{}KB", s / 1000)));
     let mut means = TextTable::new(header);
-    for scheme in schemes {
+    for (si, scheme) in schemes.into_iter().enumerate() {
+        let base = si * SIZES.len();
+        dist.row(fct_row(&scheme.name(), &outs[base].agg));
         let mut row = vec![scheme.name()];
-        for &size in &SIZES {
-            let out = incast_run(scheme, size, rounds);
-            row.push(f2(out.agg.fct_us().mean()));
+        for j in 0..SIZES.len() {
+            row.push(f2(outs[base + j].agg.fct_us().mean()));
         }
         means.row(row);
     }
+    (dist, means)
+}
+
+/// Run Figure 8.
+pub fn run(scale: Scale) -> Report {
+    let rounds = scale.count(3, 30, 100);
+    let (dist, means) = mct_tables([Scheme::ExpressPass, Scheme::ExpressPassAeolus], rounds);
 
     let mut r = Report::new();
     r.section("Figure 8(a): 7-to-1 incast MCT distribution @30KB (us)", dist);

@@ -7,7 +7,7 @@ use aeolus_workloads::Workload;
 
 use crate::compare::SMALL_FLOW_MAX;
 use crate::report::Report;
-use crate::runner::{run_workload, RunConfig};
+use crate::runner::{run_many, RunConfig};
 use crate::scale::Scale;
 use crate::topos::{ep_fat_tree, FAT_TREE_OVERSUB};
 
@@ -20,21 +20,36 @@ pub fn loads(scale: Scale) -> Vec<f64> {
     }
 }
 
+/// The two schemes compared.
+const SCHEMES: [Scheme; 2] = [Scheme::ExpressPass, Scheme::ExpressPassAeolus];
+
 /// Run Figure 10.
 pub fn run(scale: Scale) -> Report {
-    let mut r = Report::new();
+    let ls = loads(scale);
+    // Full workload × scheme × load matrix, fanned out across cores.
+    let mut cfgs = Vec::new();
     for w in Workload::ALL {
-        let mut header = vec!["scheme".to_string()];
-        header.extend(loads(scale).iter().map(|l| format!("load {l:.1}")));
-        let mut table = TextTable::new(header);
-        for scheme in [Scheme::ExpressPass, Scheme::ExpressPassAeolus] {
-            let mut row = vec![scheme.name()];
-            for &load in &loads(scale) {
+        for scheme in SCHEMES {
+            for &load in &ls {
                 let mut cfg = RunConfig::new(scheme, ep_fat_tree(scale), w);
                 cfg.load = load / FAT_TREE_OVERSUB;
                 cfg.n_flows = scale.flows(40, 400, 2000);
                 cfg.seed = 1010;
-                let out = run_workload(&cfg);
+                cfgs.push(cfg);
+            }
+        }
+    }
+    let outs = run_many(&cfgs);
+    let mut outs = outs.iter();
+    let mut r = Report::new();
+    for w in Workload::ALL {
+        let mut header = vec!["scheme".to_string()];
+        header.extend(ls.iter().map(|l| format!("load {l:.1}")));
+        let mut table = TextTable::new(header);
+        for scheme in SCHEMES {
+            let mut row = vec![scheme.name()];
+            for _ in &ls {
+                let out = outs.next().expect("one output per config");
                 row.push(f2(out.agg.band(0, SMALL_FLOW_MAX).fct_us().mean()));
             }
             table.row(row);

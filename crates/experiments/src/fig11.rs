@@ -2,35 +2,16 @@
 //! the tail from hundreds of ms (RTO-bound) to a few ms.
 
 use aeolus_sim::units::ms;
-use aeolus_stats::{f2, TextTable};
 use aeolus_transport::Scheme;
 
-use crate::fig08::{incast_run, SIZES};
-use crate::report::{fct_header, fct_row, Report};
+use crate::fig08::mct_tables;
+use crate::report::Report;
 use crate::scale::Scale;
 
 /// Run Figure 11.
 pub fn run(scale: Scale) -> Report {
     let rounds = scale.count(3, 30, 100);
-    let schemes = [Scheme::Homa { rto: ms(10) }, Scheme::HomaAeolus];
-
-    let mut dist = TextTable::new(fct_header());
-    for scheme in schemes {
-        let out = incast_run(scheme, 30_000, rounds);
-        dist.row(fct_row(&scheme.name(), &out.agg));
-    }
-
-    let mut header = vec!["scheme".to_string()];
-    header.extend(SIZES.iter().map(|s| format!("{}KB", s / 1000)));
-    let mut means = TextTable::new(header);
-    for scheme in schemes {
-        let mut row = vec![scheme.name()];
-        for &size in &SIZES {
-            let out = incast_run(scheme, size, rounds);
-            row.push(f2(out.agg.fct_us().mean()));
-        }
-        means.row(row);
-    }
+    let (dist, means) = mct_tables([Scheme::Homa { rto: ms(10) }, Scheme::HomaAeolus], rounds);
 
     let mut r = Report::new();
     r.section("Figure 11(a): 7-to-1 incast MCT distribution @30KB (us)", dist);

@@ -7,7 +7,7 @@ use aeolus_transport::Scheme;
 use aeolus_workloads::Workload;
 
 use crate::report::Report;
-use crate::runner::{run_workload, RunConfig};
+use crate::runner::{run_many, RunConfig};
 use crate::scale::Scale;
 use crate::topos::homa_two_tier;
 
@@ -22,19 +22,32 @@ pub fn loads(scale: Scale) -> Vec<f64> {
 
 /// Run Figure 13.
 pub fn run(scale: Scale) -> Report {
-    let mut r = Report::new();
+    let ls = loads(scale);
+    let schemes = [Scheme::Homa { rto: ms(10) }, Scheme::HomaAeolus];
+    // Full workload × scheme × load matrix, fanned out across cores.
+    let mut cfgs = Vec::new();
     for w in Workload::ALL {
-        let mut header = vec!["scheme".to_string()];
-        header.extend(loads(scale).iter().map(|l| format!("load {l:.1}")));
-        let mut table = TextTable::new(header);
-        for scheme in [Scheme::Homa { rto: ms(10) }, Scheme::HomaAeolus] {
-            let mut row = vec![scheme.name()];
-            for &load in &loads(scale) {
+        for scheme in schemes {
+            for &load in &ls {
                 let mut cfg = RunConfig::new(scheme, homa_two_tier(scale), w);
                 cfg.load = load;
                 cfg.n_flows = scale.flows(40, 400, 2000);
                 cfg.seed = 1313;
-                let out = run_workload(&cfg);
+                cfgs.push(cfg);
+            }
+        }
+    }
+    let outs = run_many(&cfgs);
+    let mut outs = outs.iter();
+    let mut r = Report::new();
+    for w in Workload::ALL {
+        let mut header = vec!["scheme".to_string()];
+        header.extend(ls.iter().map(|l| format!("load {l:.1}")));
+        let mut table = TextTable::new(header);
+        for scheme in schemes {
+            let mut row = vec![scheme.name()];
+            for _ in &ls {
+                let out = outs.next().expect("one output per config");
                 row.push(out.flows_with_timeouts.to_string());
             }
             table.row(row);

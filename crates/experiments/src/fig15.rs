@@ -39,15 +39,16 @@ pub fn queue_stats(threshold: u64, senders: usize) -> (f64, u64) {
     let (sw, port) = h.topo.host_ingress[0];
     let p = h.topo.net.port(sw, port);
     let span = h.topo.net.now().max(1);
+    crate::runner::note_events(h.topo.net.events_processed());
     (p.stats.avg_qlen(span), p.stats.qlen_max)
 }
 
 /// Run Figure 15.
 pub fn run(scale: Scale) -> Report {
     let senders = scale.count(4, 16, 32);
+    let stats = crate::runner::parallel_map(&THRESHOLDS, |&k| queue_stats(k, senders));
     let mut table = TextTable::new(vec!["threshold", "avg qlen (B)", "max qlen (B)"]);
-    for &k in &THRESHOLDS {
-        let (avg, max) = queue_stats(k, senders);
+    for (&k, &(avg, max)) in THRESHOLDS.iter().zip(&stats) {
         table.row(vec![format!("{}KB", k as f64 / 1000.0), f2(avg), max.to_string()]);
     }
     let mut r = Report::new();

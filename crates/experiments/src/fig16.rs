@@ -54,13 +54,22 @@ pub fn fan_ins(scale: Scale) -> Vec<usize> {
 
 /// Run Figure 16.
 pub fn run(scale: Scale) -> Report {
+    let ns = fan_ins(scale);
+    let mut cells = Vec::new();
+    for &k in &THRESHOLDS {
+        for &n in &ns {
+            cells.push((k, n));
+        }
+    }
+    let utils = crate::runner::parallel_map(&cells, |&(k, n)| first_rtt_utilization(k, n));
+    let mut utils = utils.iter();
     let mut header = vec!["threshold".to_string()];
-    header.extend(fan_ins(scale).iter().map(|n| format!("N={n}")));
+    header.extend(ns.iter().map(|n| format!("N={n}")));
     let mut table = TextTable::new(header);
     for &k in &THRESHOLDS {
         let mut row = vec![format!("{}KB", k as f64 / 1000.0)];
-        for &n in &fan_ins(scale) {
-            row.push(f3(first_rtt_utilization(k, n)));
+        for _ in &ns {
+            row.push(f3(*utils.next().expect("one cell per pair")));
         }
         table.row(row);
     }

@@ -58,6 +58,16 @@ pub fn incast_slowdown(scheme: Scheme, spec: TopoSpec, n: usize) -> (f64, f64) {
 /// Run Figure 17.
 pub fn run(scale: Scale) -> Report {
     let ns = fan_ins(scale);
+    let mut cells = Vec::new();
+    for scheme in schemes() {
+        for &n in &ns {
+            cells.push((scheme, n));
+        }
+    }
+    let results = crate::runner::parallel_map(&cells, |&(scheme, n)| {
+        incast_slowdown(scheme, heavy_spine_leaf(scale), n)
+    });
+    let mut results = results.iter();
     let mut header = vec!["scheme".to_string()];
     for n in &ns {
         header.push(format!("N={n} avg"));
@@ -66,8 +76,8 @@ pub fn run(scale: Scale) -> Report {
     let mut table = TextTable::new(header);
     for scheme in schemes() {
         let mut row = vec![scheme.name()];
-        for &n in &ns {
-            let (avg, p99) = incast_slowdown(scheme, heavy_spine_leaf(scale), n);
+        for _ in &ns {
+            let &(avg, p99) = results.next().expect("one result per cell");
             row.push(f2(avg));
             row.push(f2(p99));
         }

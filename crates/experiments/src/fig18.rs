@@ -49,6 +49,7 @@ pub fn goodput(scheme: Scheme, scale: Scale, load: f64) -> f64 {
     h.schedule(&flows);
     h.run(window + ms(2_000));
     let makespan = h.topo.net.now().max(1);
+    crate::runner::note_events(h.topo.net.events_processed());
     let delivered_bits = h.metrics().payload_delivered as f64 * 8.0;
     let capacity_bits = hosts.len() as f64
         * h.topo.host_rate.bps() as f64
@@ -60,13 +61,22 @@ pub fn goodput(scheme: Scheme, scale: Scale, load: f64) -> f64 {
 /// Run Figure 18.
 pub fn run(scale: Scale) -> Report {
     let ls = loads(scale);
+    let mut cells = Vec::new();
+    for scheme in schemes() {
+        for &l in &ls {
+            cells.push((scheme, l));
+        }
+    }
+    let results =
+        crate::runner::parallel_map(&cells, |&(scheme, l)| goodput(scheme, scale, l));
+    let mut results = results.iter();
     let mut header = vec!["scheme".to_string()];
     header.extend(ls.iter().map(|l| format!("load {l:.1}")));
     let mut table = TextTable::new(header);
     for scheme in schemes() {
         let mut row = vec![scheme.name()];
-        for &l in &ls {
-            row.push(f3(goodput(scheme, scale, l)));
+        for _ in &ls {
+            row.push(f3(*results.next().expect("one result per cell")));
         }
         table.row(row);
     }

@@ -42,7 +42,10 @@ pub mod tab04;
 pub mod tab05;
 
 pub use report::Report;
-pub use runner::{collect, run_flows, run_workload, RunConfig, RunOutput};
+pub use runner::{
+    collect, jobs, parallel_map, run_flows, run_many, run_workload, set_jobs,
+    take_events_processed, RunConfig, RunOutput,
+};
 pub use scale::Scale;
 
 /// An experiment entry: CLI name plus the function that runs it.

@@ -1,10 +1,51 @@
 //! Generic experiment runner: scheme × topology × workload → FCT statistics.
+//!
+//! Individual simulations are strictly single-threaded and deterministic;
+//! throughput comes from running *independent* configurations concurrently
+//! via [`run_many`] / [`parallel_map`]. Results always come back in input
+//! order, so serial and parallel execution produce identical output vectors.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use aeolus_sim::units::{ms, Time, PS_PER_SEC};
 use aeolus_sim::FlowDesc;
 use aeolus_stats::{FctAggregator, FctSample};
 use aeolus_transport::{Harness, Scheme, SchemeParams, TopoSpec};
 use aeolus_workloads::{poisson_flows, PoissonConfig, Workload};
+
+/// Worker-thread cap for [`parallel_map`]; 0 = auto (available cores).
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Events processed by every harness collected since the last
+/// [`take_events_processed`] — the engine-throughput counter `repro` reports.
+static EVENTS_PROCESSED: AtomicU64 = AtomicU64::new(0);
+
+/// Set the worker-thread cap for [`parallel_map`] (0 or `set_jobs(1)` keeps
+/// runs serial; 0 restores auto-detection).
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::Relaxed);
+}
+
+/// The effective worker count: the cap from [`set_jobs`], or the machine's
+/// available parallelism when unset.
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Drain the global events-processed counter (events simulated by all runs
+/// collected since the previous call).
+pub fn take_events_processed() -> u64 {
+    EVENTS_PROCESSED.swap(0, Ordering::Relaxed)
+}
+
+/// Credit events to the global counter — for experiment kernels that drive a
+/// harness directly instead of going through [`collect`].
+pub fn note_events(n: u64) {
+    EVENTS_PROCESSED.fetch_add(n, Ordering::Relaxed);
+}
 
 /// One simulation run's configuration.
 #[derive(Debug, Clone)]
@@ -60,6 +101,8 @@ pub struct RunOutput {
     pub goodput: f64,
     /// Simulated span (first arrival → last event processed).
     pub span: Time,
+    /// Events the engine processed during the run.
+    pub events: u64,
 }
 
 impl RunOutput {
@@ -130,6 +173,8 @@ pub fn collect(h: &Harness) -> RunOutput {
     let span = h.topo.net.now().max(1);
     let capacity_bits =
         h.hosts().len() as f64 * h.topo.host_rate.bps() as f64 * span as f64 / PS_PER_SEC as f64;
+    let events = h.topo.net.events_processed();
+    EVENTS_PROCESSED.fetch_add(events, Ordering::Relaxed);
     RunOutput {
         efficiency: m.transfer_efficiency(),
         flows_with_timeouts: m.flows_with_timeouts(),
@@ -137,8 +182,58 @@ pub fn collect(h: &Harness) -> RunOutput {
         scheduled: m.flow_count(),
         goodput: m.payload_delivered as f64 * 8.0 / capacity_bits,
         span,
+        events,
         agg,
     }
+}
+
+/// Apply `f` to every item on a scoped worker pool (work-stealing by atomic
+/// index) and return the results **in input order** — so callers observe the
+/// same output for any worker count, including 1. Each invocation of `f`
+/// must be self-contained (our simulations are single-threaded and seeded),
+/// which makes serial and parallel execution bit-identical.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = jobs().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("runner worker panicked"))
+            .collect()
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Run every configuration (concurrently up to the [`set_jobs`] cap) and
+/// return outputs in input order. Each run is an independent, deterministic,
+/// single-threaded simulation, so this is observably identical to
+/// `cfgs.iter().map(run_workload).collect()` — just faster.
+pub fn run_many(cfgs: &[RunConfig]) -> Vec<RunOutput> {
+    parallel_map(cfgs, run_workload)
 }
 
 #[cfg(test)]
@@ -159,6 +254,44 @@ mod tests {
         // Slowdowns must be causal.
         for s in out.agg.samples() {
             assert!(s.slowdown() >= 0.99, "slowdown {} for size {}", s.slowdown(), s.size);
+        }
+        assert!(out.events > 0, "a completed run must have processed events");
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        set_jobs(8);
+        let out = parallel_map(&items, |&x| x * x);
+        set_jobs(0);
+        let expect: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn run_many_matches_serial_exactly() {
+        let cfgs: Vec<RunConfig> = (1..=4)
+            .map(|seed| {
+                let mut c =
+                    RunConfig::new(Scheme::HomaAeolus, testbed(), Workload::WebServer);
+                c.n_flows = 25;
+                c.load = 0.3;
+                c.seed = seed;
+                c
+            })
+            .collect();
+        let serial: Vec<RunOutput> = cfgs.iter().map(run_workload).collect();
+        set_jobs(4);
+        let parallel = run_many(&cfgs);
+        set_jobs(0);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.completed, p.completed);
+            assert_eq!(s.scheduled, p.scheduled);
+            assert_eq!(s.events, p.events, "event counts must be bit-identical");
+            assert_eq!(s.span, p.span);
+            assert_eq!(s.agg.len(), p.agg.len());
+            assert_eq!(s.agg.summary().p99_slowdown, p.agg.summary().p99_slowdown);
         }
     }
 }

@@ -7,12 +7,27 @@ use aeolus_transport::Scheme;
 use aeolus_workloads::Workload;
 
 use crate::report::Report;
-use crate::runner::{run_workload, RunConfig};
+use crate::runner::{run_many, RunConfig};
 use crate::scale::Scale;
 use crate::topos::homa_two_tier;
 
 /// Run Table 3.
 pub fn run(scale: Scale) -> Report {
+    let arms =
+        [(Scheme::HomaEager { rto: us(20) }, "Eager Homa"), (Scheme::HomaAeolus, "Homa + Aeolus")];
+    // One run per scheme × workload, fanned out across cores.
+    let mut cfgs = Vec::new();
+    for (scheme, _) in arms {
+        for w in Workload::ALL {
+            let mut cfg = RunConfig::new(scheme, homa_two_tier(scale), w);
+            cfg.load = 0.54;
+            cfg.n_flows = scale.flows(50, 600, 3000);
+            cfg.seed = 33;
+            cfgs.push(cfg);
+        }
+    }
+    let outs = run_many(&cfgs);
+    let mut outs = outs.iter();
     let mut table = TextTable::new(vec![
         "scheme",
         "Web Server (us)",
@@ -20,16 +35,10 @@ pub fn run(scale: Scale) -> Report {
         "Web Search (us)",
         "Data Mining (us)",
     ]);
-    for (scheme, name) in
-        [(Scheme::HomaEager { rto: us(20) }, "Eager Homa"), (Scheme::HomaAeolus, "Homa + Aeolus")]
-    {
+    for (_, name) in arms {
         let mut row = vec![name.to_string()];
-        for w in Workload::ALL {
-            let mut cfg = RunConfig::new(scheme, homa_two_tier(scale), w);
-            cfg.load = 0.54;
-            cfg.n_flows = scale.flows(50, 600, 3000);
-            cfg.seed = 33;
-            let out = run_workload(&cfg);
+        for _ in Workload::ALL {
+            let out = outs.next().expect("one output per config");
             row.push(f2(out.agg.fct_us().mean()));
         }
         table.row(row);

@@ -4,7 +4,7 @@
 
 use aeolus_sim::units::{ms, Time};
 use aeolus_stats::{f2, TextTable};
-use aeolus_sim::{FlowDesc, FlowId, SharedPool};
+use aeolus_sim::{FlowDesc, FlowId};
 use aeolus_transport::{Harness, Scheme, SchemeParams};
 
 use crate::report::Report;
@@ -20,7 +20,7 @@ pub const SHARED_POOL_BYTES: u64 = 500_000;
 fn run_one(scheme: Scheme, senders: usize) -> (f64, f64) {
     let mut params = SchemeParams::new(0);
     params.port_buffer = SHARED_POOL_BYTES; // per-port cap = pool size
-    params.shared_pool = Some(SharedPool::new(SHARED_POOL_BYTES));
+    params.shared_pool = Some(SHARED_POOL_BYTES);
     let mut h = Harness::new(scheme, params, many_to_one(senders + 1));
     let hosts = h.hosts().to_vec();
     let flows: Vec<FlowDesc> = (0..senders)

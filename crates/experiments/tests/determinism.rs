@@ -1,0 +1,92 @@
+//! Determinism regression tests: identical seeds must give bit-identical
+//! results — run-to-run, serial vs parallel (`run_many`), and timing-wheel
+//! vs the reference binary-heap scheduler. This is the contract that makes
+//! the fast-path scheduler and the experiment fan-out safe to use for the
+//! paper's numbers.
+
+use aeolus_experiments::topos::testbed;
+use aeolus_experiments::{run_many, run_workload, set_jobs, RunConfig, RunOutput};
+use aeolus_sim::units::ms;
+use aeolus_sim::SchedulerKind;
+use aeolus_transport::{Harness, Scheme, SchemeParams};
+use aeolus_workloads::{incast_rounds, Workload};
+
+/// One representative per scheme family (proactive, Aeolus-armed, reactive,
+/// arbiter-based).
+fn families() -> Vec<Scheme> {
+    vec![
+        Scheme::ExpressPassAeolus,
+        Scheme::HomaAeolus,
+        Scheme::NdpAeolus,
+        Scheme::PHostAeolus,
+        Scheme::Dctcp { rto: ms(10) },
+        Scheme::FastpassAeolus,
+    ]
+}
+
+fn fixed_cfg(scheme: Scheme) -> RunConfig {
+    let mut cfg = RunConfig::new(scheme, testbed(), Workload::WebServer);
+    cfg.n_flows = 50;
+    cfg.load = 0.3;
+    cfg.seed = 7;
+    cfg
+}
+
+fn assert_identical(a: &RunOutput, b: &RunOutput, what: &str) {
+    assert_eq!(a.completed, b.completed, "{what}: completed-flow counts differ");
+    assert_eq!(a.scheduled, b.scheduled, "{what}: scheduled-flow counts differ");
+    assert_eq!(a.events, b.events, "{what}: engine event counts differ");
+    assert_eq!(a.span, b.span, "{what}: simulated spans differ");
+    assert_eq!(a.agg.len(), b.agg.len(), "{what}: sample counts differ");
+    // Bit-exact across the whole FCT sample set, not just summaries.
+    for (x, y) in a.agg.samples().iter().zip(b.agg.samples()) {
+        assert_eq!(x.size, y.size, "{what}: sample sizes differ");
+        assert_eq!(x.fct_ps, y.fct_ps, "{what}: FCTs differ");
+    }
+    let (pa, pb) = (a.agg.summary().p99_slowdown, b.agg.summary().p99_slowdown);
+    assert!(pa == pb, "{what}: p99 slowdowns differ ({pa} vs {pb})");
+}
+
+/// Same fixed-seed config, run twice serially and once through the parallel
+/// fan-out: all three must match exactly, per scheme family.
+#[test]
+fn serial_rerun_and_parallel_runs_are_bit_identical() {
+    let cfgs: Vec<RunConfig> = families().into_iter().map(fixed_cfg).collect();
+    let first: Vec<RunOutput> = cfgs.iter().map(run_workload).collect();
+    let second: Vec<RunOutput> = cfgs.iter().map(run_workload).collect();
+    set_jobs(cfgs.len());
+    let fanned = run_many(&cfgs);
+    set_jobs(0);
+    for (i, scheme) in families().into_iter().enumerate() {
+        let name = scheme.name();
+        assert!(first[i].completed > 0, "{name}: nothing completed");
+        assert_identical(&first[i], &second[i], &format!("{name} serial rerun"));
+        assert_identical(&first[i], &fanned[i], &format!("{name} run_many"));
+    }
+}
+
+/// The timing wheel and the reference binary heap must drive byte-identical
+/// simulations: same event counts, same completions, same per-flow FCTs.
+#[test]
+fn timing_wheel_matches_binary_heap_end_to_end() {
+    for scheme in families() {
+        let run = |kind: SchedulerKind| {
+            let mut h = Harness::new(scheme, SchemeParams::new(0), testbed());
+            h.topo.net.set_scheduler(kind);
+            let hosts = h.hosts().to_vec();
+            let flows = incast_rounds(&hosts[1..], hosts[0], 30_000, 3, ms(2), 0, 1);
+            h.schedule(&flows);
+            assert!(h.run(ms(1000)), "{}: incast did not complete", scheme.name());
+            let fcts: Vec<(u64, u64)> = h
+                .metrics()
+                .flows()
+                .map(|r| (r.desc.id.0, r.fct().expect("completed flow has an FCT")))
+                .collect();
+            (h.topo.net.events_processed(), fcts)
+        };
+        let (ev_wheel, fct_wheel) = run(SchedulerKind::TimingWheel);
+        let (ev_heap, fct_heap) = run(SchedulerKind::BinaryHeap);
+        assert_eq!(ev_wheel, ev_heap, "{}: event counts diverge", scheme.name());
+        assert_eq!(fct_wheel, fct_heap, "{}: per-flow FCTs diverge", scheme.name());
+    }
+}

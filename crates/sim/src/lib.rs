@@ -79,12 +79,13 @@ pub mod packet;
 pub mod port;
 pub mod queues;
 pub mod rangeset;
+pub mod rng;
 pub mod routing;
 pub mod topology;
 pub mod units;
 
 pub use endpoint::{Ctx, Endpoint};
-pub use event::{Event, EventQueue};
+pub use event::{Event, EventQueue, SchedulerKind};
 pub use metrics::{FlowRecord, Metrics};
 pub use network::{Network, TraceEvent, TraceKind};
 pub use packet::{
@@ -97,6 +98,7 @@ pub use queues::{
     QueueDisc, RedEcnQueue, SharedPool, TrimmingQueue, WredProfile, WredQueue, XPassQueue,
 };
 pub use rangeset::RangeSet;
+pub use rng::SimRng;
 pub use routing::{RoutePolicy, RouteTable};
 pub use topology::{
     fat_tree, leaf_spine, single_switch, LinkParams, PortRole, QueueFactory, Topology,

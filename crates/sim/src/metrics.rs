@@ -1,6 +1,6 @@
 //! Run-wide metrics: flow completion, drops, efficiency, timeouts.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::packet::{FlowDesc, FlowId, TrafficClass};
 use crate::queues::DropReason;
@@ -31,7 +31,9 @@ impl FlowRecord {
 /// Global counters and per-flow records for one simulation run.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    flows: HashMap<FlowId, FlowRecord>,
+    // Ordered so every iteration (and thus every report built from one) is
+    // deterministic run-to-run.
+    flows: BTreeMap<FlowId, FlowRecord>,
     /// Packet drops keyed by (reason, class).
     pub drops: HashMap<(DropReason, TrafficClass), u64>,
     /// Data payload bytes handed to NIC queues (first transmissions and

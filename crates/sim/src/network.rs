@@ -1,7 +1,7 @@
 //! The network engine: nodes, wiring, and the event dispatch loop.
 
 use crate::endpoint::{Actions, Ctx, Endpoint};
-use crate::event::{Event, EventQueue};
+use crate::event::{Event, EventQueue, SchedulerKind};
 use crate::metrics::Metrics;
 use crate::node::{Node, NodeKind};
 use crate::packet::{FlowDesc, NodeId, Packet, PortId};
@@ -80,6 +80,25 @@ impl Network {
     /// data, credits, ACKs, probes…). Call before running.
     pub fn trace_flow(&mut self, flow: crate::packet::FlowId) {
         self.traced.insert(flow);
+    }
+
+    /// Switch the event scheduler implementation. Used by benchmarks and
+    /// determinism cross-checks; must be called before any event is
+    /// scheduled or processed.
+    ///
+    /// # Panics
+    /// Panics if events are already pending or time has advanced.
+    pub fn set_scheduler(&mut self, kind: SchedulerKind) {
+        assert!(
+            self.queue.is_empty() && self.queue.now() == 0,
+            "set_scheduler on a live network"
+        );
+        self.queue = EventQueue::with_scheduler(kind);
+    }
+
+    /// Which event scheduler this network runs on.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.queue.scheduler()
     }
 
     /// The recorded trace, in event order.
@@ -229,7 +248,7 @@ impl Network {
 
     fn dispatch(&mut self, ev: Event) {
         match ev {
-            Event::Arrival { node, pkt } => self.handle_arrival(node, pkt),
+            Event::Arrival { node, pkt } => self.handle_arrival(node, *pkt),
             Event::PortFree { node, port } => {
                 self.nodes[node.0 as usize].ports[port.0 as usize].busy = false;
                 self.try_transmit(node, port);
@@ -339,7 +358,8 @@ impl Network {
                 self.record(node, &pkt, TraceKind::Transmit);
                 let ingress = self.nodes[to.0 as usize].ingress_delay;
                 self.queue.schedule_at(free_at, Event::PortFree { node, port });
-                self.queue.schedule_at(at_dst + ingress, Event::Arrival { node: to, pkt });
+                self.queue
+                    .schedule_at(at_dst + ingress, Event::Arrival { node: to, pkt: Box::new(pkt) });
             }
             Next::Kick(t) => {
                 self.queue.schedule_at(t, Event::PortKick { node, port });

@@ -6,11 +6,9 @@
 //! machinery (probes, backstops, RTOs) eventually delivers every flow even
 //! when the network itself misbehaves.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use super::{DropReason, EnqueueOutcome, Poll, QueueDisc};
 use crate::packet::Packet;
+use crate::rng::SimRng;
 use crate::units::Time;
 
 /// Wraps a discipline, dropping each arriving packet with probability `p`.
@@ -22,7 +20,7 @@ use crate::units::Time;
 pub struct LossyQueue {
     inner: Box<dyn QueueDisc>,
     loss_prob: f64,
-    rng: StdRng,
+    rng: SimRng,
     /// Packets discarded by fault injection.
     pub injected_drops: u64,
 }
@@ -31,13 +29,13 @@ impl LossyQueue {
     /// Wrap `inner`, dropping packets i.i.d. with probability `loss_prob`.
     pub fn new(inner: Box<dyn QueueDisc>, loss_prob: f64, seed: u64) -> LossyQueue {
         assert!((0.0..1.0).contains(&loss_prob), "loss probability out of range");
-        LossyQueue { inner, loss_prob, rng: StdRng::seed_from_u64(seed), injected_drops: 0 }
+        LossyQueue { inner, loss_prob, rng: SimRng::seed_from_u64(seed), injected_drops: 0 }
     }
 }
 
 impl QueueDisc for LossyQueue {
     fn enqueue(&mut self, pkt: Packet, now: Time) -> EnqueueOutcome {
-        if self.rng.gen::<f64>() < self.loss_prob {
+        if self.rng.chance(self.loss_prob) {
             self.injected_drops += 1;
             return EnqueueOutcome::Dropped { reason: DropReason::BufferFull, pkt: Box::new(pkt) };
         }

@@ -7,10 +7,8 @@
 //!   and the packet's `path_tag` pins all packets of a flow to one path;
 //! * **per-packet spraying** (NDP) — every packet picks uniformly at random.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::packet::{NodeId, Packet, PortId};
+use crate::rng::SimRng;
 
 /// Path selection policy of a switch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,7 +42,7 @@ pub struct RouteTable {
     /// Indexed by `NodeId.0`; empty group = unreachable (a wiring bug).
     groups: Vec<Vec<PortId>>,
     policy: RoutePolicy,
-    rng: StdRng,
+    rng: SimRng,
 }
 
 impl RouteTable {
@@ -53,7 +51,7 @@ impl RouteTable {
         RouteTable {
             groups: vec![Vec::new(); n_nodes],
             policy,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
         }
     }
 
@@ -94,7 +92,7 @@ impl RouteTable {
                 g[(h % g.len() as u64) as usize]
             }
             RoutePolicy::Spray => {
-                let i = self.rng.gen_range(0..g.len());
+                let i = self.rng.index(g.len());
                 g[i]
             }
         }

@@ -1,37 +1,56 @@
 //! Property-based tests on the simulator's core data structures.
+//!
+//! Implemented as seeded-loop fuzzing (many random cases drawn from
+//! [`SimRng`]) so the workspace carries no external property-testing
+//! dependency: every case is reproducible from the printed case index and
+//! the fixed seed.
 
-use aeolus_sim::event::{Event, EventQueue};
+use aeolus_sim::event::{Event, EventQueue, SchedulerKind};
 use aeolus_sim::{
     DropReason, EnqueueOutcome, FlowId, NodeId, Packet, Poll, PriorityBank, QueueDisc, RangeSet,
-    RedEcnQueue, TrafficClass,
+    RedEcnQueue, SimRng, TrafficClass,
 };
-use proptest::prelude::*;
 
-proptest! {
-    /// The event queue is a stable priority queue: pops come out in
-    /// non-decreasing time order, FIFO within a timestamp.
-    #[test]
-    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..1000, 1..200)) {
-        let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.schedule_at(t, Event::Timer { node: NodeId(0), token: i as u64 });
-        }
-        let mut popped: Vec<(u64, u64)> = Vec::new();
-        while let Some((t, Event::Timer { token, .. })) = q.pop() {
-            popped.push((t, token));
-        }
-        prop_assert_eq!(popped.len(), times.len());
-        for w in popped.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time order violated");
-            if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+/// Random cases per property (each case is a full scenario).
+const CASES: usize = 100;
+
+/// The event queue is a stable priority queue: pops come out in
+/// non-decreasing time order, FIFO within a timestamp. Checked for both
+/// scheduler backends.
+#[test]
+fn event_queue_is_a_stable_priority_queue() {
+    let mut rng = SimRng::seed_from_u64(0xe7e47);
+    for case in 0..CASES {
+        let n = 1 + rng.index(199);
+        let times: Vec<u64> = (0..n).map(|_| rng.below(1000)).collect();
+        for kind in [SchedulerKind::TimingWheel, SchedulerKind::BinaryHeap] {
+            let mut q = EventQueue::with_scheduler(kind);
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule_at(t, Event::Timer { node: NodeId(0), token: i as u64 });
+            }
+            let mut popped: Vec<(u64, u64)> = Vec::new();
+            while let Some((t, Event::Timer { token, .. })) = q.pop() {
+                popped.push((t, token));
+            }
+            assert_eq!(popped.len(), times.len(), "case {case} ({kind:?})");
+            for w in popped.windows(2) {
+                assert!(w[0].0 <= w[1].0, "case {case} ({kind:?}): time order violated");
+                if w[0].0 == w[1].0 {
+                    assert!(w[0].1 < w[1].1, "case {case} ({kind:?}): FIFO tie-break violated");
+                }
             }
         }
     }
+}
 
-    /// RangeSet agrees with a naive boolean-vector model.
-    #[test]
-    fn rangeset_matches_naive_model(ops in prop::collection::vec((0u64..500, 1u64..60), 1..60)) {
+/// RangeSet agrees with a naive boolean-vector model.
+#[test]
+fn rangeset_matches_naive_model() {
+    let mut rng = SimRng::seed_from_u64(0x4a2e5e7);
+    for case in 0..CASES {
+        let n_ops = 1 + rng.index(59);
+        let ops: Vec<(u64, u64)> =
+            (0..n_ops).map(|_| (rng.below(500), 1 + rng.below(59))).collect();
         let mut rs = RangeSet::new();
         let mut model = vec![false; 600];
         for &(start, len) in &ops {
@@ -44,10 +63,10 @@ proptest! {
                     model_added += 1;
                 }
             }
-            prop_assert_eq!(added, model_added as u64);
+            assert_eq!(added, model_added as u64, "case {case}");
         }
         let covered = model.iter().filter(|&&b| b).count() as u64;
-        prop_assert_eq!(rs.covered(), covered);
+        assert_eq!(rs.covered(), covered, "case {case}");
         // Gap structure agrees.
         let gaps = rs.gaps(600);
         let mut naive_gaps = Vec::new();
@@ -63,45 +82,67 @@ proptest! {
                 i += 1;
             }
         }
-        prop_assert_eq!(gaps, naive_gaps);
+        assert_eq!(gaps, naive_gaps, "case {case}");
         // contiguous_prefix agrees.
         let prefix = model.iter().take_while(|&&b| b).count() as u64;
-        prop_assert_eq!(rs.contiguous_prefix(), prefix);
+        assert_eq!(rs.contiguous_prefix(), prefix, "case {case}");
     }
+}
 
-    /// With only droppable (unscheduled) traffic, a selective-dropping queue
-    /// never holds more than threshold + one packet.
-    #[test]
-    fn selective_queue_bounded_by_threshold(
-        threshold in 1_500u64..50_000,
-        n in 1usize..200,
-    ) {
+/// With only droppable (unscheduled) traffic, a selective-dropping queue
+/// never holds more than threshold + one packet.
+#[test]
+fn selective_queue_bounded_by_threshold() {
+    let mut rng = SimRng::seed_from_u64(0x5e1ec7);
+    for case in 0..CASES {
+        let threshold = rng.range_u64(1_500, 50_000);
+        let n = 1 + rng.below(199);
         let mut q = RedEcnQueue::new(threshold, 1 << 30);
         let mut dropped = 0u64;
-        for i in 0..n as u64 {
+        for i in 0..n {
             let pkt = Packet::data(
-                FlowId(1), NodeId(0), NodeId(1), i * 1460, 1460,
-                TrafficClass::Unscheduled, 1 << 20,
+                FlowId(1),
+                NodeId(0),
+                NodeId(1),
+                i * 1460,
+                1460,
+                TrafficClass::Unscheduled,
+                1 << 20,
             );
             if let EnqueueOutcome::Dropped { reason, .. } = q.enqueue(pkt, 0) {
-                prop_assert_eq!(reason, DropReason::SelectiveDrop);
+                assert_eq!(reason, DropReason::SelectiveDrop, "case {case}");
                 dropped += 1;
             }
-            prop_assert!(q.bytes() < threshold + 1500, "queue {} vs threshold {}", q.bytes(), threshold);
+            assert!(
+                q.bytes() < threshold + 1500,
+                "case {case}: queue {} vs threshold {}",
+                q.bytes(),
+                threshold
+            );
         }
         // Conservation: everything is queued or dropped.
-        prop_assert_eq!(q.pkts() as u64 + dropped, n as u64);
+        assert_eq!(q.pkts() as u64 + dropped, n, "case {case}");
     }
+}
 
-    /// A priority bank drains packets of each priority level in FIFO order
-    /// and never inverts priorities present simultaneously.
-    #[test]
-    fn priority_bank_respects_strict_priority(prios in prop::collection::vec(0u8..8, 1..100)) {
+/// A priority bank drains packets of each priority level in FIFO order
+/// and never inverts priorities present simultaneously.
+#[test]
+fn priority_bank_respects_strict_priority() {
+    let mut rng = SimRng::seed_from_u64(0xba4);
+    for case in 0..CASES {
+        let n = 1 + rng.index(99);
+        let prios: Vec<u8> = (0..n).map(|_| rng.below(8) as u8).collect();
         let mut q = PriorityBank::new(8, 1 << 30);
         for (i, &p) in prios.iter().enumerate() {
             let mut pkt = Packet::data(
-                FlowId(1), NodeId(0), NodeId(1), i as u64, 1460,
-                TrafficClass::Scheduled, 1 << 20,
+                FlowId(1),
+                NodeId(0),
+                NodeId(1),
+                i as u64,
+                1460,
+                TrafficClass::Scheduled,
+                1 << 20,
             );
             pkt.priority = p;
             let _ = q.enqueue(pkt, 0);
@@ -111,24 +152,26 @@ proptest! {
         while let Poll::Ready(pkt) = q.poll(0) {
             out.push((pkt.priority, pkt.seq));
         }
-        prop_assert_eq!(out.len(), prios.len());
+        assert_eq!(out.len(), prios.len(), "case {case}");
         let mut expected: Vec<(u8, u64)> =
             prios.iter().enumerate().map(|(i, &p)| (p, i as u64)).collect();
         expected.sort();
-        prop_assert_eq!(out, expected);
+        assert_eq!(out, expected, "case {case}");
     }
 }
 
-proptest! {
-    /// WRED (color-based) and RED/ECN (marking-based) selective dropping
-    /// make identical drop decisions for any threshold and traffic mix —
-    /// the §4.1 deployment-equivalence claim, fuzzed.
-    #[test]
-    fn wred_equals_red_ecn_for_any_mix(
-        threshold in 1_500u64..60_000,
-        ops in prop::collection::vec((0u8..3, any::<bool>()), 1..300),
-    ) {
-        use aeolus_sim::{WredProfile, WredQueue};
+/// WRED (color-based) and RED/ECN (marking-based) selective dropping make
+/// identical drop decisions for any threshold and traffic mix — the §4.1
+/// deployment-equivalence claim, fuzzed.
+#[test]
+fn wred_equals_red_ecn_for_any_mix() {
+    use aeolus_sim::{WredProfile, WredQueue};
+    let mut rng = SimRng::seed_from_u64(0x44ed);
+    for case in 0..CASES {
+        let threshold = rng.range_u64(1_500, 60_000);
+        let n_ops = 1 + rng.index(299);
+        let ops: Vec<(u8, bool)> =
+            (0..n_ops).map(|_| (rng.below(3) as u8, rng.chance(0.5))).collect();
         let cap = 200_000u64;
         let mut wred = WredQueue::new(WredProfile::aeolus(threshold, cap), cap);
         let mut red = RedEcnQueue::new(threshold, cap);
@@ -136,25 +179,24 @@ proptest! {
             if dequeue {
                 let a = matches!(wred.poll(0), Poll::Ready(_));
                 let b = matches!(red.poll(0), Poll::Ready(_));
-                prop_assert_eq!(a, b);
+                assert_eq!(a, b, "case {case} op {i}");
             } else {
                 let class = match kind {
                     0 => TrafficClass::Unscheduled,
                     1 => TrafficClass::Scheduled,
                     _ => TrafficClass::Control,
                 };
-                let mut pkt = Packet::data(
-                    FlowId(1), NodeId(0), NodeId(1), i as u64, 1460, class, 1 << 20,
-                );
+                let mut pkt =
+                    Packet::data(FlowId(1), NodeId(0), NodeId(1), i as u64, 1460, class, 1 << 20);
                 if class == TrafficClass::Control {
                     pkt.class = TrafficClass::Control;
                     pkt.ecn = aeolus_sim::Ecn::Ect0;
                 }
                 let a = matches!(wred.enqueue(pkt.clone(), 0), EnqueueOutcome::Dropped { .. });
                 let b = matches!(red.enqueue(pkt, 0), EnqueueOutcome::Dropped { .. });
-                prop_assert_eq!(a, b, "divergence at op {}", i);
+                assert_eq!(a, b, "case {case}: divergence at op {i}");
             }
-            prop_assert_eq!(wred.bytes(), red.bytes());
+            assert_eq!(wred.bytes(), red.bytes(), "case {case} op {i}");
         }
     }
 }

@@ -12,7 +12,7 @@
 //! fraction). Losses (buffer overflow) recover via triple-duplicate-ACK fast
 //! retransmit plus a retransmission timeout.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use aeolus_sim::units::Time;
 use aeolus_sim::{
@@ -85,9 +85,9 @@ struct RecvFlow {
 /// The per-host DCTCP endpoint.
 pub struct DctcpEndpoint {
     cfg: DctcpConfig,
-    send_flows: HashMap<FlowId, SendFlow>,
-    recv_flows: HashMap<FlowId, RecvFlow>,
-    timers: HashMap<u64, (FlowId, u64)>,
+    send_flows: BTreeMap<FlowId, SendFlow>,
+    recv_flows: BTreeMap<FlowId, RecvFlow>,
+    timers: BTreeMap<u64, (FlowId, u64)>,
 }
 
 impl DctcpEndpoint {
@@ -95,9 +95,9 @@ impl DctcpEndpoint {
     pub fn new(cfg: DctcpConfig) -> DctcpEndpoint {
         DctcpEndpoint {
             cfg,
-            send_flows: HashMap::new(),
-            recv_flows: HashMap::new(),
-            timers: HashMap::new(),
+            send_flows: BTreeMap::new(),
+            recv_flows: BTreeMap::new(),
+            timers: BTreeMap::new(),
         }
     }
 

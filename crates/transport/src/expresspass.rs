@@ -17,7 +17,7 @@
 //! feedback control driven by the credit loss ratio (data packets echo the
 //! credit sequence they consumed).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use aeolus_core::PreCreditSender;
 use aeolus_sim::units::{Time, PS_PER_SEC};
@@ -118,9 +118,9 @@ struct RecvFlow {
 /// The per-host ExpressPass endpoint (plays both sender and receiver roles).
 pub struct XPassEndpoint {
     cfg: XPassConfig,
-    send_flows: HashMap<FlowId, SendFlow>,
-    recv_flows: HashMap<FlowId, RecvFlow>,
-    timers: HashMap<u64, TimerKind>,
+    send_flows: BTreeMap<FlowId, SendFlow>,
+    recv_flows: BTreeMap<FlowId, RecvFlow>,
+    timers: BTreeMap<u64, TimerKind>,
     stall_scan_armed: bool,
 }
 
@@ -129,9 +129,9 @@ impl XPassEndpoint {
     pub fn new(cfg: XPassConfig) -> XPassEndpoint {
         XPassEndpoint {
             cfg,
-            send_flows: HashMap::new(),
-            recv_flows: HashMap::new(),
-            timers: HashMap::new(),
+            send_flows: BTreeMap::new(),
+            recv_flows: BTreeMap::new(),
+            timers: BTreeMap::new(),
             stall_scan_armed: false,
         }
     }

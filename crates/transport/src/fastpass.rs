@@ -22,7 +22,7 @@
 //!
 //! [`FirstRttMode::Aeolus`]: crate::common::FirstRttMode::Aeolus
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use aeolus_core::PreCreditSender;
 use aeolus_sim::units::Time;
@@ -55,15 +55,15 @@ pub struct ArbiterEndpoint {
     slot: Time,
     mtu_wire: u32,
     /// Earliest free slot per transmitting host.
-    src_free: HashMap<NodeId, Time>,
+    src_free: BTreeMap<NodeId, Time>,
     /// Earliest free slot per receiving host.
-    dst_free: HashMap<NodeId, Time>,
+    dst_free: BTreeMap<NodeId, Time>,
 }
 
 impl ArbiterEndpoint {
     /// A fresh arbiter for hosts with `mtu_wire`-byte full packets.
     pub fn new(mtu_wire: u32) -> ArbiterEndpoint {
-        ArbiterEndpoint { slot: 0, mtu_wire, src_free: HashMap::new(), dst_free: HashMap::new() }
+        ArbiterEndpoint { slot: 0, mtu_wire, src_free: BTreeMap::new(), dst_free: BTreeMap::new() }
     }
 }
 
@@ -145,9 +145,9 @@ struct RecvFlow {
 /// The per-host Fastpass endpoint.
 pub struct FastpassEndpoint {
     cfg: FastpassConfig,
-    send_flows: HashMap<FlowId, SendFlow>,
-    recv_flows: HashMap<FlowId, RecvFlow>,
-    timers: HashMap<u64, TimerKind>,
+    send_flows: BTreeMap<FlowId, SendFlow>,
+    recv_flows: BTreeMap<FlowId, RecvFlow>,
+    timers: BTreeMap<u64, TimerKind>,
 }
 
 impl FastpassEndpoint {
@@ -155,9 +155,9 @@ impl FastpassEndpoint {
     pub fn new(cfg: FastpassConfig) -> FastpassEndpoint {
         FastpassEndpoint {
             cfg,
-            send_flows: HashMap::new(),
-            recv_flows: HashMap::new(),
-            timers: HashMap::new(),
+            send_flows: BTreeMap::new(),
+            recv_flows: BTreeMap::new(),
+            timers: BTreeMap::new(),
         }
     }
 

@@ -63,7 +63,10 @@ impl Harness {
     /// `params.base_rtt` is overwritten with the topology's base RTT unless
     /// it was already set to a non-zero value by the caller.
     pub fn new(scheme: Scheme, mut params: SchemeParams, spec: TopoSpec) -> Harness {
-        let qf = |rate, role| scheme.make_queue(&params, rate, role);
+        // One live shared-buffer pool per harness, handed to every port's
+        // queue factory (configs carry only the capacity).
+        let pool = params.shared_pool.map(aeolus_sim::SharedPool::new);
+        let qf = |rate, role| scheme.make_queue(&params, rate, role, pool.as_ref());
         let mut topo = match spec {
             TopoSpec::SingleSwitch { hosts, mut link } => {
                 link.policy = scheme.route_policy();

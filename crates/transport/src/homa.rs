@@ -14,7 +14,7 @@
 //! keeping one RTT-bytes window per granted message, and assign scheduled
 //! priorities by SRPT rank below the unscheduled levels.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use aeolus_core::PreCreditSender;
 use aeolus_sim::units::Time;
@@ -137,9 +137,9 @@ struct RecvFlow {
 /// The per-host Homa endpoint.
 pub struct HomaEndpoint {
     cfg: HomaConfig,
-    send_flows: HashMap<FlowId, SendFlow>,
-    recv_flows: HashMap<FlowId, RecvFlow>,
-    timers: HashMap<u64, TimerKind>,
+    send_flows: BTreeMap<FlowId, SendFlow>,
+    recv_flows: BTreeMap<FlowId, RecvFlow>,
+    timers: BTreeMap<u64, TimerKind>,
     scan_armed: bool,
 }
 
@@ -148,9 +148,9 @@ impl HomaEndpoint {
     pub fn new(cfg: HomaConfig) -> HomaEndpoint {
         HomaEndpoint {
             cfg,
-            send_flows: HashMap::new(),
-            recv_flows: HashMap::new(),
-            timers: HashMap::new(),
+            send_flows: BTreeMap::new(),
+            recv_flows: BTreeMap::new(),
+            timers: BTreeMap::new(),
             scan_armed: false,
         }
     }

@@ -14,7 +14,7 @@
 //! pull per arrival while demand remains, with a timer-paced pull queue per
 //! host, plus a slow backstop for pathological control-plane loss.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use aeolus_core::PreCreditSender;
 use aeolus_sim::units::Time;
@@ -80,9 +80,9 @@ struct RecvFlow {
 /// The per-host NDP endpoint.
 pub struct NdpEndpoint {
     cfg: NdpConfig,
-    send_flows: HashMap<FlowId, SendFlow>,
-    recv_flows: HashMap<FlowId, RecvFlow>,
-    timers: HashMap<u64, TimerKind>,
+    send_flows: BTreeMap<FlowId, SendFlow>,
+    recv_flows: BTreeMap<FlowId, RecvFlow>,
+    timers: BTreeMap<u64, TimerKind>,
     /// Round-robin pull queue across flows (one entry = one pull to send).
     pull_queue: VecDeque<FlowId>,
     pull_pacer_armed: bool,
@@ -97,9 +97,9 @@ impl NdpEndpoint {
     pub fn new(cfg: NdpConfig) -> NdpEndpoint {
         NdpEndpoint {
             cfg,
-            send_flows: HashMap::new(),
-            recv_flows: HashMap::new(),
-            timers: HashMap::new(),
+            send_flows: BTreeMap::new(),
+            recv_flows: BTreeMap::new(),
+            timers: BTreeMap::new(),
             pull_queue: VecDeque::new(),
             pull_pacer_armed: false,
             next_pull_at: 0,

@@ -20,7 +20,7 @@
 //!
 //! [`FirstRttMode::Blind`]: crate::common::FirstRttMode::Blind
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use aeolus_core::PreCreditSender;
 use aeolus_sim::units::Time;
@@ -80,9 +80,9 @@ struct RecvFlow {
 /// The per-host pHost endpoint.
 pub struct PHostEndpoint {
     cfg: PHostConfig,
-    send_flows: HashMap<FlowId, SendFlow>,
-    recv_flows: HashMap<FlowId, RecvFlow>,
-    timers: HashMap<u64, TimerKind>,
+    send_flows: BTreeMap<FlowId, SendFlow>,
+    recv_flows: BTreeMap<FlowId, RecvFlow>,
+    timers: BTreeMap<u64, TimerKind>,
     pacer_armed: bool,
     next_token_at: Time,
     scan_armed: bool,
@@ -93,9 +93,9 @@ impl PHostEndpoint {
     pub fn new(cfg: PHostConfig) -> PHostEndpoint {
         PHostEndpoint {
             cfg,
-            send_flows: HashMap::new(),
-            recv_flows: HashMap::new(),
-            timers: HashMap::new(),
+            send_flows: BTreeMap::new(),
+            recv_flows: BTreeMap::new(),
+            timers: BTreeMap::new(),
             pacer_armed: false,
             next_token_at: 0,
             scan_armed: false,

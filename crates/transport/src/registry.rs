@@ -100,9 +100,11 @@ pub struct SchemeParams {
     pub homa_cutoffs: Vec<u64>,
     /// Homa overcommitment degree.
     pub homa_overcommit: usize,
-    /// Optional switch-wide shared buffer pool (Table 5's single-switch
-    /// experiment); applied to switch egress ports only.
-    pub shared_pool: Option<PoolHandle>,
+    /// Optional switch-wide shared buffer pool capacity in bytes (Table 5's
+    /// single-switch experiment); applied to switch egress ports only. The
+    /// harness materializes one live pool per topology from this, so configs
+    /// stay plain data (and `Send + Sync` for the parallel runner).
+    pub shared_pool: Option<u64>,
     /// The Fastpass arbiter's node (set by the harness, which reserves the
     /// topology's last host for it).
     pub arbiter: Option<aeolus_sim::NodeId>,
@@ -235,8 +237,17 @@ impl Scheme {
     }
 
     /// Build the egress queue for a port of the given rate and role.
-    pub fn make_queue(&self, p: &SchemeParams, rate: Rate, role: PortRole) -> Box<dyn QueueDisc> {
-        let inner = self.make_queue_inner(p, rate, role);
+    ///
+    /// `pool` is the topology-wide shared buffer handle materialized from
+    /// `p.shared_pool` (one per harness, shared by all its ports).
+    pub fn make_queue(
+        &self,
+        p: &SchemeParams,
+        rate: Rate,
+        role: PortRole,
+        pool: Option<&PoolHandle>,
+    ) -> Box<dyn QueueDisc> {
+        let inner = self.make_queue_inner(p, rate, role, pool);
         if p.fault_loss_prob > 0.0 && role != PortRole::HostNic {
             // Seed varies per scheme so runs stay deterministic but distinct.
             Box::new(aeolus_sim::LossyQueue::new(inner, p.fault_loss_prob, 0xfa17))
@@ -245,7 +256,13 @@ impl Scheme {
         }
     }
 
-    fn make_queue_inner(&self, p: &SchemeParams, rate: Rate, role: PortRole) -> Box<dyn QueueDisc> {
+    fn make_queue_inner(
+        &self,
+        p: &SchemeParams,
+        rate: Rate,
+        role: PortRole,
+        pool: Option<&PoolHandle>,
+    ) -> Box<dyn QueueDisc> {
         let is_switch = role != PortRole::HostNic;
         let threshold = p.aeolus.drop_threshold;
         let buffer = p.port_buffer;
@@ -275,7 +292,7 @@ impl Scheme {
                         ),
                         Scheme::ExpressPassPrioQueue { .. } => {
                             let bank = PriorityBank::new(8, buffer);
-                            match &p.shared_pool {
+                            match pool {
                                 Some(pool) => Box::new(bank.with_pool(pool.clone())),
                                 None => Box::new(bank),
                             }
@@ -448,7 +465,7 @@ mod tests {
         // (Fastpass needs an arbiter node: covered by the harness tests.)
         for s in schemes {
             for role in [PortRole::HostNic, PortRole::DownToHost, PortRole::SwitchToSwitch] {
-                let q = s.make_queue(&p, Rate::gbps(100), role);
+                let q = s.make_queue(&p, Rate::gbps(100), role, None);
                 assert_eq!(q.bytes(), 0, "{} queue starts empty", s.name());
             }
             let _ep = s.make_endpoint(&p);

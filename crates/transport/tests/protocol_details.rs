@@ -216,19 +216,26 @@ fn fastpass_slots_are_evenly_spaced() {
 
 mod arbiter_invariants {
     use super::*;
-    use aeolus_sim::FlowDesc;
-    use proptest::prelude::*;
+    use aeolus_sim::{FlowDesc, SimRng};
 
-    proptest! {
-        #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
-
-        /// Fastpass invariant: under any random flow pattern, the arbiter's
-        /// schedules keep every downlink queue near-empty (no destination
-        /// receives two slots at once).
-        #[test]
-        fn arbiter_keeps_queues_near_empty(
-            specs in prop::collection::vec((1u64..150_000, 0u64..200, 0u8..7, 0u8..7), 1..10),
-        ) {
+    /// Fastpass invariant: under any random flow pattern, the arbiter's
+    /// schedules keep every downlink queue near-empty (no destination
+    /// receives two slots at once). Seeded-loop fuzz, 16 random cases.
+    #[test]
+    fn arbiter_keeps_queues_near_empty() {
+        let mut rng = SimRng::seed_from_u64(0xa4b1);
+        for case in 0..16 {
+            let n_specs = 1 + rng.index(9);
+            let specs: Vec<(u64, u64, u8, u8)> = (0..n_specs)
+                .map(|_| {
+                    (
+                        1 + rng.below(149_999),
+                        rng.below(200),
+                        rng.below(7) as u8,
+                        rng.below(7) as u8,
+                    )
+                })
+                .collect();
             let mut h = Harness::new(Scheme::Fastpass, SchemeParams::new(0), testbed());
             let hosts = h.hosts().to_vec();
             let n = hosts.len();
@@ -244,16 +251,17 @@ mod arbiter_invariants {
                 })
                 .filter(|f| f.src != f.dst)
                 .collect();
-            prop_assume!(!flows.is_empty());
+            if flows.is_empty() {
+                continue;
+            }
             h.schedule(&flows);
-            prop_assert!(h.run(ms(5_000)));
+            assert!(h.run(ms(5_000)), "case {case}: flows did not complete");
             // Every downlink queue stayed at a handful of packets.
             for &(sw, port) in &h.topo.host_ingress {
                 let max_q = h.topo.net.port(sw, port).stats.qlen_max;
-                prop_assert!(
+                assert!(
                     max_q <= 12_000,
-                    "downlink queue peaked at {} B under arbiter scheduling",
-                    max_q
+                    "case {case}: downlink queue peaked at {max_q} B under arbiter scheduling"
                 );
             }
         }

@@ -18,7 +18,7 @@
 //! (Table 2's Web Search column sums to 90 %, so an exact match is not
 //! attainable; we match the published DCTCP curve instead.)
 
-use rand::Rng;
+use aeolus_sim::rng::SimRng;
 
 /// The four production workloads of the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -170,8 +170,8 @@ impl EmpiricalDist {
     }
 
     /// Draw one flow size.
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
-        self.quantile(rng.gen::<f64>())
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        self.quantile(rng.next_f64())
     }
 
     /// Largest flow size in the support.
@@ -183,8 +183,6 @@ impl EmpiricalDist {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn means_match_table2() {
@@ -227,7 +225,7 @@ mod tests {
     #[test]
     fn sampled_mean_converges_to_analytic() {
         let d = Workload::WebServer.dist();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SimRng::seed_from_u64(7);
         let n = 200_000;
         let total: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum();
         let emp = total / n as f64;

@@ -5,9 +5,8 @@
 //! heavy N-to-1 sweep with N ∈ {32..256} (Fig 17) and as a component of the
 //! goodput mix (Fig 18).
 
+use aeolus_sim::rng::SimRng;
 use aeolus_sim::{FlowDesc, FlowId, NodeId, Time};
-use rand::rngs::StdRng;
-use rand::{seq::SliceRandom, Rng, SeedableRng};
 
 /// One N-to-1 incast: every sender ships `msg_size` bytes to `receiver`
 /// starting at `start`. Returns one flow per sender with consecutive ids
@@ -72,15 +71,15 @@ pub fn random_incasts(
     seed: u64,
 ) -> Vec<FlowDesc> {
     assert!(fan_in < hosts.len(), "fan-in must leave room for a receiver");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(events * fan_in);
     let mut id = first_id;
     for e in 0..events {
         let mut pool: Vec<NodeId> = hosts.to_vec();
-        pool.shuffle(&mut rng);
+        rng.shuffle(&mut pool);
         let receiver = pool[0];
         let senders = &pool[1..=fan_in];
-        let t = start + e as u64 * gap + rng.gen_range(0..gap.max(1)) / 4;
+        let t = start + e as u64 * gap + rng.below(gap.max(1)) / 4;
         out.extend(incast_round(senders, receiver, msg_size, t, id));
         id += fan_in as u64;
     }

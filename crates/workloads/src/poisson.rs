@@ -6,10 +6,9 @@
 //! capacity; source and destination hosts are chosen uniformly at random
 //! (distinct).
 
+use aeolus_sim::rng::SimRng;
 use aeolus_sim::units::PS_PER_SEC;
 use aeolus_sim::{FlowDesc, FlowId, NodeId, Rate, Time};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::dists::EmpiricalDist;
 
@@ -39,7 +38,7 @@ pub fn poisson_flows(
 ) -> Vec<FlowDesc> {
     assert!(hosts.len() >= 2, "need at least two hosts");
     assert!(cfg.load > 0.0 && cfg.load <= 1.5, "implausible load {}", cfg.load);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SimRng::seed_from_u64(cfg.seed);
     // Aggregate arrival rate in flows/second such that
     //   lambda * mean_size_bytes * 8 = load * n_hosts * rate_bps.
     let lambda =
@@ -49,11 +48,11 @@ pub fn poisson_flows(
     let mut out = Vec::with_capacity(cfg.flows);
     for i in 0..cfg.flows {
         // Exponential inter-arrival via inverse transform.
-        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u: f64 = rng.next_f64().max(f64::EPSILON);
         t += -u.ln() * mean_gap_ps;
-        let src = hosts[rng.gen_range(0..hosts.len())];
+        let src = hosts[rng.index(hosts.len())];
         let dst = loop {
-            let d = hosts[rng.gen_range(0..hosts.len())];
+            let d = hosts[rng.index(hosts.len())];
             if d != src {
                 break d;
             }

@@ -1,59 +1,63 @@
-//! Property-based tests on workload generation.
+//! Property-based tests on workload generation, implemented as seeded-loop
+//! fuzzing over [`SimRng`] so the workspace carries no external
+//! property-testing dependency.
 
-use aeolus_sim::{NodeId, Rate};
+use aeolus_sim::{NodeId, Rate, SimRng};
 use aeolus_workloads::{poisson_flows, EmpiricalDist, PoissonConfig, Workload};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-proptest! {
-    /// Sampled flow sizes land within the distribution's support and the
-    /// empirical bucket fractions track the analytic CDF.
-    #[test]
-    fn samples_respect_support_and_cdf(seed in 0u64..1_000) {
+/// Sampled flow sizes land within the distribution's support and the
+/// empirical bucket fractions track the analytic CDF.
+#[test]
+fn samples_respect_support_and_cdf() {
+    for seed in 0..40u64 {
         for w in Workload::ALL {
             let d = w.dist();
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SimRng::seed_from_u64(seed);
             let n = 3_000;
             let samples: Vec<u64> = (0..n).map(|_| d.sample(&mut rng)).collect();
             let max = d.max_size();
-            prop_assert!(samples.iter().all(|&s| s >= 1 && s <= max));
+            assert!(samples.iter().all(|&s| s >= 1 && s <= max), "seed {seed}");
             // Check one probe point: P(size <= 100KB).
             let analytic = d.fraction_below(100_000.0);
-            let empirical =
-                samples.iter().filter(|&&s| s <= 100_000).count() as f64 / n as f64;
-            prop_assert!(
+            let empirical = samples.iter().filter(|&&s| s <= 100_000).count() as f64 / n as f64;
+            assert!(
                 (analytic - empirical).abs() < 0.05,
-                "{}: analytic {analytic:.3} vs empirical {empirical:.3}",
+                "{} seed {seed}: analytic {analytic:.3} vs empirical {empirical:.3}",
                 w.name()
             );
         }
     }
+}
 
-    /// The quantile function is the inverse of the CDF up to interpolation.
-    #[test]
-    fn quantile_inverts_cdf(u in 0.001f64..0.999) {
+/// The quantile function is the inverse of the CDF up to interpolation.
+#[test]
+fn quantile_inverts_cdf() {
+    let mut rng = SimRng::seed_from_u64(0x0a11);
+    for case in 0..500 {
+        let u = 0.001 + rng.next_f64() * 0.998;
         for w in Workload::ALL {
             let d = w.dist();
             let size = d.quantile(u);
             let back = d.fraction_below(size as f64);
-            prop_assert!(
+            assert!(
                 (back - u).abs() < 0.02,
-                "{}: u={u:.4} -> size {size} -> cdf {back:.4}",
+                "{} case {case}: u={u:.4} -> size {size} -> cdf {back:.4}",
                 w.name()
             );
         }
     }
+}
 
-    /// Poisson generation is monotone in time, hits the requested count, and
-    /// never produces self-flows, regardless of seed/load/host count.
-    #[test]
-    fn poisson_invariants(
-        seed in 0u64..10_000,
-        load in 0.05f64..1.0,
-        hosts in 2usize..32,
-        flows in 1usize..200,
-    ) {
+/// Poisson generation is monotone in time, hits the requested count, and
+/// never produces self-flows, regardless of seed/load/host count.
+#[test]
+fn poisson_invariants() {
+    let mut rng = SimRng::seed_from_u64(0x90155);
+    for case in 0..150 {
+        let seed = rng.below(10_000);
+        let load = 0.05 + rng.next_f64() * 0.95;
+        let hosts = 2 + rng.index(30);
+        let flows = 1 + rng.index(199);
         let ids: Vec<NodeId> = (0..hosts as u32).map(NodeId).collect();
         let dist = EmpiricalDist::new(vec![(100.0, 0.0), (10_000.0, 1.0)]);
         let cfg = PoissonConfig {
@@ -65,13 +69,13 @@ proptest! {
             start: 1_000,
         };
         let out = poisson_flows(&cfg, &ids, &dist);
-        prop_assert_eq!(out.len(), flows);
-        prop_assert!(out[0].start >= 1_000);
+        assert_eq!(out.len(), flows, "case {case}");
+        assert!(out[0].start >= 1_000, "case {case}");
         for w in out.windows(2) {
-            prop_assert!(w[0].start <= w[1].start);
-            prop_assert_eq!(w[1].id.0, w[0].id.0 + 1);
+            assert!(w[0].start <= w[1].start, "case {case}");
+            assert_eq!(w[1].id.0, w[0].id.0 + 1, "case {case}");
         }
-        prop_assert!(out.iter().all(|f| f.src != f.dst));
-        prop_assert!(out.iter().all(|f| f.size >= 100 && f.size <= 10_000));
+        assert!(out.iter().all(|f| f.src != f.dst), "case {case}");
+        assert!(out.iter().all(|f| f.size >= 100 && f.size <= 10_000), "case {case}");
     }
 }

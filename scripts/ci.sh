@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 gate + smoke repro. Fully offline; no network access needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --workspace --release
+cargo test -q --workspace
+
+# Bench targets compile and run in quick mode (2 iterations, no report).
+AEOLUS_BENCH_ITERS=2 AEOLUS_BENCH_WARMUP=1 cargo bench -p aeolus-bench --bench engine
+
+# One end-to-end experiment at smoke scale, exercising the parallel fan-out.
+cargo run --release -q -p aeolus-experiments --bin repro -- fig1 --scale smoke --jobs 2
+
+echo "ci: OK"
