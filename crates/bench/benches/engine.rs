@@ -6,7 +6,7 @@
 use std::hint::black_box;
 
 use aeolus_bench::harness::Suite;
-use aeolus_bench::{incast_sim_events, timer_stream_events};
+use aeolus_bench::{incast_sim_events, incast_sim_events_recorded, timer_stream_events};
 use aeolus_sim::event::SchedulerKind;
 use aeolus_sim::{
     DropTailQueue, FlowId, NodeId, Packet, Poll, PriorityBank, QueueDisc, RangeSet, Rate,
@@ -35,6 +35,9 @@ fn bench_event_queue(suite: &mut Suite) {
     });
     suite.bench("incast_sim_wheel", || incast_sim_events(SchedulerKind::TimingWheel, 30_000, 3));
     suite.bench("incast_sim_heap", || incast_sim_events(SchedulerKind::BinaryHeap, 30_000, 3));
+    suite.bench("incast_sim_wheel_recorded", || {
+        incast_sim_events_recorded(SchedulerKind::TimingWheel, 30_000, 3)
+    });
     suite.bench("rangeset_insert_1k_shuffled", || {
         let mut rs = RangeSet::new();
         for i in 0..1_000u64 {

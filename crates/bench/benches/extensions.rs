@@ -5,7 +5,7 @@ use aeolus_bench::harness::Suite;
 use aeolus_bench::{bench_fabric, bench_incast, bench_testbed, bench_workload};
 use aeolus_sim::units::ms;
 use aeolus_sim::{FlowDesc, FlowId};
-use aeolus_transport::{Harness, Scheme, SchemeParams};
+use aeolus_transport::{Scheme, SchemeBuilder};
 use aeolus_workloads::Workload;
 
 fn extension_benches(suite: &mut Suite) {
@@ -21,7 +21,7 @@ fn extension_benches(suite: &mut Suite) {
     });
     suite.bench("ext_fastpass_arbiter_throughput", || {
         // Many small flows = many arbiter round trips: benches the arbiter.
-        let mut h = Harness::new(Scheme::Fastpass, SchemeParams::new(0), bench_testbed());
+        let mut h = SchemeBuilder::new(Scheme::Fastpass).topology(bench_testbed()).build();
         let hosts = h.hosts().to_vec();
         let flows: Vec<FlowDesc> = (0..40u64)
             .map(|i| FlowDesc {

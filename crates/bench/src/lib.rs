@@ -10,8 +10,8 @@ pub mod harness;
 use aeolus_sim::event::{Event, EventQueue, SchedulerKind};
 use aeolus_sim::topology::LinkParams;
 use aeolus_sim::units::{ms, us, Rate};
-use aeolus_sim::{FlowDesc, FlowId, NodeId, SimRng};
-use aeolus_transport::{Harness, Scheme, SchemeParams, TopoSpec};
+use aeolus_sim::{FlowDesc, FlowId, NodeId, RecordingTracer, SimRng};
+use aeolus_transport::{Scheme, SchemeBuilder, SchemeParams, TopoSpec};
 use aeolus_workloads::{incast_rounds, poisson_flows, PoissonConfig, Workload};
 
 /// The bench testbed: 8 hosts on one 10 G switch.
@@ -32,7 +32,7 @@ pub fn bench_fabric() -> TopoSpec {
 /// Run `n_flows` Poisson flows of `workload` under `scheme`; returns the
 /// completed-flow count (a black-box-able result).
 pub fn bench_workload(scheme: Scheme, spec: TopoSpec, workload: Workload, n_flows: usize) -> usize {
-    let mut h = Harness::new(scheme, SchemeParams::new(0), spec);
+    let mut h = SchemeBuilder::new(scheme).topology(spec).build();
     let hosts = h.hosts().to_vec();
     let flows = poisson_flows(
         &PoissonConfig {
@@ -53,7 +53,7 @@ pub fn bench_workload(scheme: Scheme, spec: TopoSpec, workload: Workload, n_flow
 
 /// Run a 7:1 incast of `rounds` rounds; returns the completed count.
 pub fn bench_incast(scheme: Scheme, msg: u64, rounds: usize) -> usize {
-    let mut h = Harness::new(scheme, SchemeParams::new(0), bench_testbed());
+    let mut h = SchemeBuilder::new(scheme).topology(bench_testbed()).build();
     let hosts = h.hosts().to_vec();
     let flows = incast_rounds(&hosts[1..], hosts[0], msg, rounds, ms(2), 0, 1);
     h.schedule(&flows);
@@ -67,7 +67,7 @@ pub fn bench_many_to_one(scheme: Scheme, n: usize, msg: u64) -> usize {
         TopoSpec::SingleSwitch { hosts: n + 1, link: LinkParams::uniform(Rate::gbps(100), us(1)) };
     let mut params = SchemeParams::new(0);
     params.port_buffer = 500_000;
-    let mut h = Harness::new(scheme, params, spec);
+    let mut h = SchemeBuilder::new(scheme).params(params).topology(spec).build();
     let hosts = h.hosts().to_vec();
     let flows: Vec<FlowDesc> = (0..n)
         .map(|i| FlowDesc {
@@ -115,7 +115,24 @@ pub fn timer_stream_events(kind: SchedulerKind, n: u64) -> u64 {
 /// scheduler and return the total events processed — the engine-macro
 /// work-unit count for events/sec comparisons.
 pub fn incast_sim_events(kind: SchedulerKind, msg: u64, rounds: usize) -> u64 {
-    let mut h = Harness::new(Scheme::ExpressPassAeolus, SchemeParams::new(0), bench_testbed());
+    let mut h = SchemeBuilder::new(Scheme::ExpressPassAeolus).topology(bench_testbed()).build();
+    h.topo.net.set_scheduler(kind);
+    let hosts = h.hosts().to_vec();
+    let flows = incast_rounds(&hosts[1..], hosts[0], msg, rounds, ms(2), 0, 1);
+    h.schedule(&flows);
+    h.run(ms(1000));
+    h.topo.net.events_processed()
+}
+
+/// The same incast kernel as [`incast_sim_events`] but with a
+/// [`RecordingTracer`] installed — measures the cost of full capture
+/// (ring buffers, time series, transport events) relative to the
+/// compiled-away `NullTracer` default.
+pub fn incast_sim_events_recorded(kind: SchedulerKind, msg: u64, rounds: usize) -> u64 {
+    let mut h = SchemeBuilder::new(Scheme::ExpressPassAeolus)
+        .topology(bench_testbed())
+        .tracer(RecordingTracer::new())
+        .build();
     h.topo.net.set_scheduler(kind);
     let hosts = h.hosts().to_vec();
     let flows = incast_rounds(&hosts[1..], hosts[0], msg, rounds, ms(2), 0, 1);
@@ -141,6 +158,13 @@ mod tests {
         let heap = incast_sim_events(SchedulerKind::BinaryHeap, 30_000, 2);
         assert_eq!(wheel, heap, "schedulers must process identical event streams");
         assert!(wheel > 3_000, "incast should be event-heavy, got {wheel}");
+    }
+
+    #[test]
+    fn recording_tracer_does_not_perturb_the_simulation() {
+        let plain = incast_sim_events(SchedulerKind::TimingWheel, 30_000, 2);
+        let recorded = incast_sim_events_recorded(SchedulerKind::TimingWheel, 30_000, 2);
+        assert_eq!(plain, recorded, "the tracer must be a passive observer");
     }
 
     #[test]

@@ -6,12 +6,15 @@
 //! a summary and writes a JSON report.
 //!
 //! ```text
-//! aeolus-bench [--out PATH]        # default: results/bench.json
-//! AEOLUS_BENCH_ITERS=30 aeolus-bench   # more measured iterations
+//! aeolus-bench [--out PATH] [--engine-only]   # default out: results/bench.json
+//! AEOLUS_BENCH_ITERS=30 aeolus-bench          # more measured iterations
 //! ```
+//!
+//! `--engine-only` skips the macro (paper-figure) suite — used by the CI
+//! overhead gate, which only compares the engine kernels.
 
 use aeolus_bench::harness::{write_json, BenchConfig, Suite};
-use aeolus_bench::{incast_sim_events, timer_stream_events};
+use aeolus_bench::{incast_sim_events, incast_sim_events_recorded, timer_stream_events};
 use aeolus_experiments::{fig09, set_jobs, take_events_processed, Scale};
 use aeolus_sim::event::SchedulerKind;
 
@@ -27,6 +30,7 @@ fn macro_config() -> BenchConfig {
 
 fn main() {
     let mut out = String::from("results/bench.json");
+    let mut engine_only = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
@@ -37,8 +41,11 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--engine-only" => engine_only = true,
             other => {
-                eprintln!("usage: aeolus-bench [--out PATH]   (unknown arg '{other}')");
+                eprintln!(
+                    "usage: aeolus-bench [--out PATH] [--engine-only]   (unknown arg '{other}')"
+                );
                 std::process::exit(2);
             }
         }
@@ -54,21 +61,26 @@ fn main() {
     });
     engine.bench("incast_sim_wheel", || incast_sim_events(SchedulerKind::TimingWheel, 30_000, 3));
     engine.bench("incast_sim_heap", || incast_sim_events(SchedulerKind::BinaryHeap, 30_000, 3));
+    engine.bench("incast_sim_wheel_recorded", || {
+        incast_sim_events_recorded(SchedulerKind::TimingWheel, 30_000, 3)
+    });
 
     let mut figures = Suite::with_config("macro", macro_config());
-    take_events_processed(); // reset the events counter
-    set_jobs(1);
-    figures.bench("fig09_quick_serial", || {
-        let r = fig09::run(Scale::Quick);
-        std::hint::black_box(r.sections.len());
-        take_events_processed()
-    });
-    set_jobs(0); // auto: all cores
-    figures.bench("fig09_quick_parallel", || {
-        let r = fig09::run(Scale::Quick);
-        std::hint::black_box(r.sections.len());
-        take_events_processed()
-    });
+    if !engine_only {
+        take_events_processed(); // reset the events counter
+        set_jobs(1);
+        figures.bench("fig09_quick_serial", || {
+            let r = fig09::run(Scale::Quick);
+            std::hint::black_box(r.sections.len());
+            take_events_processed()
+        });
+        set_jobs(0); // auto: all cores
+        figures.bench("fig09_quick_parallel", || {
+            let r = fig09::run(Scale::Quick);
+            std::hint::black_box(r.sections.len());
+            take_events_processed()
+        });
+    }
 
     let speedup = |a: &Suite, fast: &str, slow: &str| {
         let f = a.sample(fast).map(|s| s.units_per_sec()).unwrap_or(0.0);
@@ -84,12 +96,18 @@ fn main() {
         "incast sim:   wheel is {:.2}x the heap scheduler (events/s)",
         speedup(&engine, "incast_sim_wheel", "incast_sim_heap")
     );
-    let serial = figures.sample("fig09_quick_serial").map(|s| s.median_ns).unwrap_or(0);
-    let par = figures.sample("fig09_quick_parallel").map(|s| s.median_ns).unwrap_or(1);
     println!(
-        "fig09 quick:  parallel fan-out is {:.2}x serial (wall time)",
-        serial as f64 / par as f64
+        "tracing cost: NullTracer run is {:.2}x the RecordingTracer run (events/s)",
+        speedup(&engine, "incast_sim_wheel", "incast_sim_wheel_recorded")
     );
+    if !engine_only {
+        let serial = figures.sample("fig09_quick_serial").map(|s| s.median_ns).unwrap_or(0);
+        let par = figures.sample("fig09_quick_parallel").map(|s| s.median_ns).unwrap_or(1);
+        println!(
+            "fig09 quick:  parallel fan-out is {:.2}x serial (wall time)",
+            serial as f64 / par as f64
+        );
+    }
 
     match write_json(&[&engine, &figures], &out) {
         Ok(()) => println!("wrote {out}"),

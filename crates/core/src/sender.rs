@@ -16,6 +16,11 @@ pub struct Chunk {
     pub len: u32,
     /// True when these bytes were sent before (a recovery transmission).
     pub retransmit: bool,
+    /// True when this is a category-3 retransmission: the bytes were never
+    /// declared lost, the sender is re-sending them speculatively because
+    /// everything else is exhausted (§3.3 "last resort"). Lets transports
+    /// attribute the retransmission cause in traces.
+    pub last_resort: bool,
 }
 
 /// Per-flow sender state for the Aeolus building block.
@@ -96,7 +101,7 @@ impl PreCreditSender {
         let len = (mtu as u64).min(self.burst_budget_end - seq) as u32;
         self.burst_next += len as u64;
         self.burst_sent_end = self.burst_next;
-        Some(Chunk { seq, len, retransmit: false })
+        Some(Chunk { seq, len, retransmit: false, last_resort: false })
     }
 
     /// Whether the pre-credit burst phase is over.
@@ -129,9 +134,12 @@ impl PreCreditSender {
     /// order; a selective ACK for `start` therefore implies every unacked
     /// unscheduled byte before `start` was dropped (§3.3 "selective ACK …
     /// for loss detection in the middle").
-    pub fn on_ack(&mut self, start: u64, end: u64) {
+    ///
+    /// Returns the number of bytes *newly* declared lost by SACK-gap
+    /// inference (zero when the ACK revealed nothing new).
+    pub fn on_ack(&mut self, start: u64, end: u64) -> u64 {
         self.acked.insert(start, end);
-        self.declare_lost_within(0, start.min(self.burst_sent_end));
+        self.declare_lost_within(0, start.min(self.burst_sent_end))
     }
 
     /// Record an ACK *without* SACK gap inference. Used when the network may
@@ -143,15 +151,18 @@ impl PreCreditSender {
 
     /// Handle the probe ACK: every unacked unscheduled byte is now known
     /// lost (§3.3 tail-loss detection).
-    pub fn on_probe_ack(&mut self) {
+    ///
+    /// Returns the number of bytes newly declared lost.
+    pub fn on_probe_ack(&mut self) -> u64 {
         if self.probe_acked {
-            return;
+            return 0;
         }
         self.probe_acked = true;
-        self.declare_lost_within(0, self.burst_sent_end);
+        self.declare_lost_within(0, self.burst_sent_end)
     }
 
-    fn declare_lost_within(&mut self, lo: u64, hi: u64) {
+    fn declare_lost_within(&mut self, lo: u64, hi: u64) -> u64 {
+        let mut newly = 0;
         let mut cursor = lo;
         while let Some((s, e)) = self.acked.first_uncovered_in(cursor, hi) {
             // Skip parts already declared.
@@ -161,6 +172,7 @@ impl PreCreditSender {
                     Some((ls, le)) => {
                         self.lost_declared.insert(ls, le);
                         self.lost_pending.push_back((ls, le, false));
+                        newly += le - ls;
                         c = le;
                     }
                     None => break,
@@ -168,6 +180,7 @@ impl PreCreditSender {
             }
             cursor = e;
         }
+        newly
     }
 
     /// The next chunk to send with a credit/grant/pull, following the
@@ -211,7 +224,7 @@ impl PreCreditSender {
                     // without an explicit resend request.
                     self.resent_last_resort.insert(us, us + len as u64);
                 }
-                return Some(Chunk { seq: us, len, retransmit: true });
+                return Some(Chunk { seq: us, len, retransmit: true, last_resort: false });
             }
             // Entire range acked or already retransmitted: drop it.
         }
@@ -220,7 +233,7 @@ impl PreCreditSender {
             let seq = self.next_unsent;
             let len = (mtu as u64).min(self.size - seq) as u32;
             self.next_unsent += len as u64;
-            return Some(Chunk { seq, len, retransmit: false });
+            return Some(Chunk { seq, len, retransmit: false, last_resort: false });
         }
         // 3. Sent-but-unacknowledged unscheduled bytes (last resort; each
         // range retransmitted at most once this way, and ranges already
@@ -237,7 +250,7 @@ impl PreCreditSender {
                         Some((us, ue)) => {
                             let len = (mtu as u64).min(ue - us) as u32;
                             self.resent_last_resort.insert(us, us + len as u64);
-                            return Some(Chunk { seq: us, len, retransmit: true });
+                            return Some(Chunk { seq: us, len, retransmit: true, last_resort: true });
                         }
                         None => sub = de,
                     },
@@ -300,21 +313,27 @@ impl PreCreditSender {
     /// is lost again gets NACKed again and must be requeued, which the
     /// level-triggered [`PreCreditSender::force_mark_lost`] dedupe would
     /// suppress. Already-acked portions are still filtered at pop time.
-    pub fn requeue_lost(&mut self, start: u64, end: u64) {
+    /// Returns the number of bytes queued for retransmission.
+    pub fn requeue_lost(&mut self, start: u64, end: u64) -> u64 {
         // Only bytes actually sent can be lost; clamping keeps a spurious
         // resend request from duplicating bytes category 2 will still send.
         let end = end.min(self.next_unsent.max(self.burst_sent_end));
         if start >= end {
-            return;
+            return 0;
         }
         self.lost_declared.insert(start, end);
         // Force: the receiver explicitly says these bytes are missing, so
         // any earlier "guaranteed" scheduled copy evidently died.
         self.lost_pending.push_back((start, end, true));
+        end - start
     }
 
     /// Force ranges into the lost queue (RTO-based recovery path).
-    pub fn force_mark_lost(&mut self, ranges: &[(u64, u64)]) {
+    ///
+    /// Returns the number of bytes newly declared lost (ranges already
+    /// declared are deduplicated and not counted again).
+    pub fn force_mark_lost(&mut self, ranges: &[(u64, u64)]) -> u64 {
+        let mut newly = 0;
         for &(s, e) in ranges {
             let mut c = s;
             while c < e {
@@ -322,12 +341,14 @@ impl PreCreditSender {
                     Some((ls, le)) => {
                         self.lost_declared.insert(ls, le);
                         self.lost_pending.push_back((ls, le, true));
+                        newly += le - ls;
                         c = le;
                     }
                     None => break,
                 }
             }
         }
+        newly
     }
 }
 

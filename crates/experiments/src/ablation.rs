@@ -13,7 +13,7 @@ use aeolus_core::AeolusConfig;
 use aeolus_sim::units::{ms, us};
 use aeolus_sim::{FlowDesc, FlowId};
 use aeolus_stats::{f2, f3, TextTable};
-use aeolus_transport::{Harness, Scheme, SchemeParams};
+use aeolus_transport::{Scheme, SchemeBuilder, SchemeParams};
 use aeolus_workloads::Workload;
 
 use crate::compare::SMALL_FLOW_MAX;
@@ -64,7 +64,7 @@ pub fn recovery(scale: Scale) -> Report {
         let mut params = SchemeParams::new(0);
         params.disable_sack = disable_sack;
         params.port_buffer = 60_000; // force the loss regime
-        let mut h = Harness::new(scheme, params, testbed());
+        let mut h = SchemeBuilder::new(scheme).params(params).topology(testbed()).build();
         let hosts = h.hosts().to_vec();
         let flows: Vec<FlowDesc> = (0..senders)
             .map(|i| FlowDesc {

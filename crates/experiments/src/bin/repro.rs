@@ -3,8 +3,13 @@
 //! ```text
 //! repro <experiment>... [--scale smoke|quick|full] [--csv DIR] [--jobs N]
 //! repro all [--scale ...]
+//! repro --trace <scheme>[@rounds] [--trace-out PATH]
 //! repro --list
 //! ```
+//!
+//! `--trace` runs the canonical 7:1 incast under a recording tracer and
+//! writes the capture as deterministic JSONL (default
+//! `results/trace_<scheme>.jsonl`), printing queue-occupancy sparklines.
 //!
 //! Each simulation is single-threaded and deterministic; `--jobs N` caps how
 //! many independent runs execute concurrently (default: all cores). Results
@@ -12,16 +17,33 @@
 
 use std::time::Instant;
 
-use aeolus_experiments::{registry, set_jobs, take_events_processed, Scale};
+use aeolus_experiments::{registry, run_trace, set_jobs, take_events_processed, Scale, TraceSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Quick;
     let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut trace: Option<TraceSpec> = None;
+    let mut trace_out: Option<std::path::PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut iter = args.iter().peekable();
     while let Some(a) = iter.next() {
         match a.as_str() {
+            "--trace" => {
+                let v = iter.next().map(String::as_str).unwrap_or("");
+                trace = Some(v.parse().unwrap_or_else(|e| {
+                    eprintln!("bad --trace spec: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            "--trace-out" => {
+                let v = iter.next().map(String::as_str).unwrap_or("");
+                if v.is_empty() {
+                    eprintln!("--trace-out wants a path");
+                    std::process::exit(2);
+                }
+                trace_out = Some(std::path::PathBuf::from(v));
+            }
             "--csv" => {
                 let v = iter.next().map(String::as_str).unwrap_or("results");
                 csv_dir = Some(std::path::PathBuf::from(v));
@@ -52,9 +74,27 @@ fn main() {
             other => wanted.push(other.to_string()),
         }
     }
+    if let Some(spec) = trace {
+        let out = run_trace(&spec, aeolus_experiments::SchedulerKind::default());
+        print!("{}", out.summary);
+        let path = trace_out.unwrap_or_else(|| {
+            std::path::PathBuf::from(format!("results/trace_{}.jsonl", spec.file_stem()))
+        });
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(&path, &out.jsonl) {
+            Ok(()) => println!("[wrote {} trace lines to {}]", out.jsonl.lines().count(), path.display()),
+            Err(e) => {
+                eprintln!("[trace write to {} failed: {e}]", path.display());
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     if wanted.is_empty() {
         eprintln!(
-            "usage: repro <experiment>... [--scale smoke|quick|full] [--csv DIR] [--jobs N] | repro all | repro --list"
+            "usage: repro <experiment>... [--scale smoke|quick|full] [--csv DIR] [--jobs N] | repro all | repro --trace <scheme>[@rounds] [--trace-out PATH] | repro --list"
         );
         std::process::exit(2);
     }

@@ -55,16 +55,16 @@ pub fn small_flow_comparison(c: &Comparison<'_>, scale: Scale) -> Report {
         for &scheme in c.schemes {
             let out = outs.next().expect("one output per config");
             let small = out.agg.band(0, SMALL_FLOW_MAX);
-            let mut row = fct_row(&scheme.name(), &small);
+            let mut row = fct_row(&scheme.label(), &small);
             row[0] = format!(
                 "{} [done {}/{}]",
-                scheme.name(),
+                scheme.label(),
                 out.completed,
                 out.scheduled
             );
             table.row(row);
             if !small.is_empty() {
-                cdfs.push((scheme.name(), Cdf::from_samples(&mut small.fct_us())));
+                cdfs.push((scheme.label(), Cdf::from_samples(&mut small.fct_us())));
             }
         }
         report.section(format!("{}: {} (0-100KB flows)", c.title, w.name()), table);

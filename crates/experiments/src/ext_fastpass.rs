@@ -6,7 +6,7 @@
 use aeolus_sim::units::{ms, us};
 use aeolus_stats::TextTable;
 use aeolus_sim::{FlowDesc, FlowId};
-use aeolus_transport::{Harness, Scheme, SchemeParams};
+use aeolus_transport::{Scheme, SchemeBuilder};
 
 use crate::report::{fct_header, fct_row, Report};
 use crate::runner::run_flows;
@@ -17,7 +17,7 @@ use crate::topos::testbed;
 const SIZES: [u64; 4] = [8_000, 20_000, 60_000, 200_000];
 
 fn mct(scheme: Scheme, size: u64, rounds: usize) -> crate::runner::RunOutput {
-    let mut h = Harness::new(scheme, SchemeParams::new(0), testbed());
+    let mut h = SchemeBuilder::new(scheme).topology(testbed()).build();
     let hosts = h.hosts().to_vec();
     // Sequential request/response rounds with rotating endpoints: the
     // spare-bandwidth case where the pre-credit burst shines (the incast
@@ -50,8 +50,8 @@ pub fn run(scale: Scale) -> Report {
         let mut table = TextTable::new(fct_header());
         for scheme in [Scheme::Fastpass, Scheme::FastpassAeolus] {
             let out = mct(scheme, size, rounds);
-            let mut row = fct_row(&scheme.name(), &out.agg);
-            row[0] = format!("{} [done {}/{}]", scheme.name(), out.completed, out.scheduled);
+            let mut row = fct_row(&scheme.label(), &out.agg);
+            row[0] = format!("{} [done {}/{}]", scheme.label(), out.completed, out.scheduled);
             table.row(row);
         }
         r.section(format!("Extension: Fastpass — {} B messages", size), table);

@@ -40,7 +40,7 @@ pub fn run(scale: Scale) -> Report {
             let small = out.agg.band(0, SMALL_FLOW_MAX);
             let mut sf = small.fct_us();
             table.row(vec![
-                scheme.name(),
+                scheme.label(),
                 f2(sf.mean()),
                 f2(sf.percentile(99.0)),
                 f2(out.agg.fct_us().mean()),

@@ -12,7 +12,7 @@
 use aeolus_sim::units::{ms, us};
 use aeolus_stats::{f2, TextTable};
 use aeolus_sim::{FlowDesc, FlowId};
-use aeolus_transport::{Harness, Scheme, SchemeParams};
+use aeolus_transport::{Scheme, SchemeBuilder};
 
 use crate::report::Report;
 use crate::scale::Scale;
@@ -32,7 +32,7 @@ pub fn run(scale: Scale) -> Report {
         let base = cascade(scheme, false, scale);
         let loaded = cascade(scheme, true, scale);
         table.row(vec![
-            scheme.name(),
+            scheme.label(),
             f2(loaded[0]),
             f2(loaded[1]),
             f2(loaded[2]),
@@ -48,7 +48,7 @@ pub fn run(scale: Scale) -> Report {
 /// FCTs (us) of the three chained scheduled flows, with or without the
 /// interfering unscheduled burst.
 fn cascade(scheme: Scheme, with_burst: bool, scale: Scale) -> [f64; 3] {
-    let mut h = Harness::new(scheme, SchemeParams::new(0), homa_two_tier(scale));
+    let mut h = SchemeBuilder::new(scheme).topology(homa_two_tier(scale)).build();
     let hosts = h.hosts().to_vec();
     let per_leaf = hosts.len() / 4; // at least 4 leaves in both scales
     let leaf = |l: usize, i: usize| hosts[l * per_leaf + i];

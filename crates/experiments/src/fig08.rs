@@ -4,7 +4,7 @@
 
 use aeolus_sim::units::ms;
 use aeolus_stats::{f2, TextTable};
-use aeolus_transport::{Harness, Scheme, SchemeParams};
+use aeolus_transport::{Scheme, SchemeBuilder};
 use aeolus_workloads::incast_rounds;
 
 use crate::report::{fct_header, fct_row, Report};
@@ -17,7 +17,7 @@ pub const SIZES: [u64; 5] = [30_000, 35_000, 40_000, 45_000, 50_000];
 
 /// One incast run: `rounds` rounds of 7-to-1 with `msg_size` responses.
 pub fn incast_run(scheme: Scheme, msg_size: u64, rounds: usize) -> RunOutput {
-    let mut h = Harness::new(scheme, SchemeParams::new(0), testbed());
+    let mut h = SchemeBuilder::new(scheme).topology(testbed()).build();
     let hosts = h.hosts().to_vec();
     // Rounds spaced far enough apart to drain fully (testbed methodology:
     // request, wait for all responses, repeat).
@@ -43,8 +43,8 @@ pub fn mct_tables(schemes: [Scheme; 2], rounds: usize) -> (TextTable, TextTable)
     let mut means = TextTable::new(header);
     for (si, scheme) in schemes.into_iter().enumerate() {
         let base = si * SIZES.len();
-        dist.row(fct_row(&scheme.name(), &outs[base].agg));
-        let mut row = vec![scheme.name()];
+        dist.row(fct_row(&scheme.label(), &outs[base].agg));
+        let mut row = vec![scheme.label()];
         for j in 0..SIZES.len() {
             row.push(f2(outs[base + j].agg.fct_us().mean()));
         }

@@ -45,7 +45,7 @@ pub fn run(scale: Scale) -> Report {
         header.extend(ls.iter().map(|l| format!("load {l:.1}")));
         let mut table = TextTable::new(header);
         for scheme in schemes {
-            let mut row = vec![scheme.name()];
+            let mut row = vec![scheme.label()];
             for _ in &ls {
                 let out = outs.next().expect("one output per config");
                 row.push(out.flows_with_timeouts.to_string());

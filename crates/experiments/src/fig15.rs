@@ -7,7 +7,7 @@ use aeolus_core::AeolusConfig;
 use aeolus_sim::units::ms;
 use aeolus_stats::{f2, TextTable};
 use aeolus_sim::{FlowDesc, FlowId};
-use aeolus_transport::{Harness, Scheme, SchemeParams};
+use aeolus_transport::{Scheme, SchemeBuilder, SchemeParams};
 
 use crate::report::Report;
 use crate::scale::Scale;
@@ -21,7 +21,7 @@ pub fn queue_stats(threshold: u64, senders: usize) -> (f64, u64) {
     let mut params = SchemeParams::new(0);
     params.aeolus = AeolusConfig { drop_threshold: threshold, ..AeolusConfig::default() };
     params.port_buffer = 500_000;
-    let mut h = Harness::new(Scheme::ExpressPassAeolus, params, many_to_one(senders + 1));
+    let mut h = SchemeBuilder::new(Scheme::ExpressPassAeolus).params(params).topology(many_to_one(senders + 1)).build();
     let hosts = h.hosts().to_vec();
     let flows: Vec<FlowDesc> = (0..senders)
         .map(|i| FlowDesc {

@@ -6,7 +6,7 @@
 use aeolus_core::AeolusConfig;
 use aeolus_stats::{f3, TextTable};
 use aeolus_sim::{FlowDesc, FlowId};
-use aeolus_transport::{Harness, Scheme, SchemeParams};
+use aeolus_transport::{Scheme, SchemeBuilder, SchemeParams};
 
 use crate::fig15::THRESHOLDS;
 use crate::report::Report;
@@ -18,7 +18,7 @@ pub fn first_rtt_utilization(threshold: u64, fan_in: usize) -> f64 {
     let mut params = SchemeParams::new(0);
     params.aeolus = AeolusConfig { drop_threshold: threshold, ..AeolusConfig::default() };
     params.port_buffer = 500_000;
-    let mut h = Harness::new(Scheme::ExpressPassAeolus, params, many_to_one(fan_in + 1));
+    let mut h = SchemeBuilder::new(Scheme::ExpressPassAeolus).params(params).topology(many_to_one(fan_in + 1)).build();
     let hosts = h.hosts().to_vec();
     let flows: Vec<FlowDesc> = (0..fan_in)
         .map(|i| FlowDesc {

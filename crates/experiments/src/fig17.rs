@@ -5,7 +5,7 @@
 use aeolus_sim::units::{ms, us};
 use aeolus_stats::{f2, TextTable};
 use aeolus_sim::{FlowDesc, FlowId};
-use aeolus_transport::{Harness, Scheme, SchemeParams, TopoSpec};
+use aeolus_transport::{Scheme, SchemeBuilder, SchemeParams, TopoSpec};
 
 use crate::report::Report;
 use crate::runner::run_flows;
@@ -37,7 +37,7 @@ pub fn fan_ins(scale: Scale) -> Vec<usize> {
 pub fn incast_slowdown(scheme: Scheme, spec: TopoSpec, n: usize) -> (f64, f64) {
     let mut params = SchemeParams::new(0);
     params.port_buffer = 500_000;
-    let mut h = Harness::new(scheme, params, spec);
+    let mut h = SchemeBuilder::new(scheme).params(params).topology(spec).build();
     let hosts = h.hosts().to_vec();
     // Receiver is host 0; senders chosen round-robin over the others (a
     // host may source several flows when N exceeds the server count).
@@ -75,7 +75,7 @@ pub fn run(scale: Scale) -> Report {
     }
     let mut table = TextTable::new(header);
     for scheme in schemes() {
-        let mut row = vec![scheme.name()];
+        let mut row = vec![scheme.label()];
         for _ in &ns {
             let &(avg, p99) = results.next().expect("one result per cell");
             row.push(f2(avg));

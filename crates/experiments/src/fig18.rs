@@ -4,7 +4,7 @@
 
 use aeolus_sim::units::{ms, us};
 use aeolus_stats::{f3, TextTable};
-use aeolus_transport::{Harness, Scheme, SchemeParams};
+use aeolus_transport::{Scheme, SchemeBuilder, SchemeParams};
 use aeolus_workloads::{mixed_flows, MixConfig, Workload};
 
 use crate::report::Report;
@@ -29,7 +29,7 @@ pub fn loads(scale: Scale) -> Vec<f64> {
 pub fn goodput(scheme: Scheme, scale: Scale, load: f64) -> f64 {
     let mut params = SchemeParams::new(0);
     params.port_buffer = 500_000;
-    let mut h = Harness::new(scheme, params, heavy_spine_leaf(scale));
+    let mut h = SchemeBuilder::new(scheme).params(params).topology(heavy_spine_leaf(scale)).build();
     let hosts = h.hosts().to_vec();
     let flows = mixed_flows(
         &MixConfig {
@@ -74,7 +74,7 @@ pub fn run(scale: Scale) -> Report {
     header.extend(ls.iter().map(|l| format!("load {l:.1}")));
     let mut table = TextTable::new(header);
     for scheme in schemes() {
-        let mut row = vec![scheme.name()];
+        let mut row = vec![scheme.label()];
         for _ in &ls {
             row.push(f3(*results.next().expect("one result per cell")));
         }

@@ -17,6 +17,7 @@ pub mod report;
 pub mod runner;
 pub mod scale;
 pub mod topos;
+pub mod trace;
 pub mod validation;
 
 pub mod fig01;
@@ -46,7 +47,9 @@ pub use runner::{
     collect, jobs, parallel_map, run_flows, run_many, run_workload, set_jobs,
     take_events_processed, RunConfig, RunOutput,
 };
+pub use aeolus_sim::SchedulerKind;
 pub use scale::Scale;
+pub use trace::{run_trace, TraceOutput, TraceSpec};
 
 /// An experiment entry: CLI name plus the function that runs it.
 pub type ExperimentEntry = (&'static str, fn(Scale) -> Report);

@@ -10,7 +10,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use aeolus_sim::units::{ms, Time, PS_PER_SEC};
 use aeolus_sim::FlowDesc;
 use aeolus_stats::{FctAggregator, FctSample};
-use aeolus_transport::{Harness, Scheme, SchemeParams, TopoSpec};
+use aeolus_transport::{Harness, Scheme, SchemeBuilder, SchemeParams, TopoSpec};
 use aeolus_workloads::{poisson_flows, PoissonConfig, Workload};
 
 /// Worker-thread cap for [`parallel_map`]; 0 = auto (available cores).
@@ -131,7 +131,7 @@ pub fn run_workload(cfg: &RunConfig) -> RunOutput {
     if params.homa_cutoffs == SchemeParams::new(0).homa_cutoffs {
         params.homa_cutoffs = homa_cutoffs_for(cfg.workload);
     }
-    let mut h = Harness::new(cfg.scheme, params, cfg.spec);
+    let mut h = SchemeBuilder::new(cfg.scheme).params(params).topology(cfg.spec).build();
     let hosts = h.hosts().to_vec();
     let flows = poisson_flows(
         &PoissonConfig {

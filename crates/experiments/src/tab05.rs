@@ -5,7 +5,7 @@
 use aeolus_sim::units::{ms, Time};
 use aeolus_stats::{f2, TextTable};
 use aeolus_sim::{FlowDesc, FlowId};
-use aeolus_transport::{Harness, Scheme, SchemeParams};
+use aeolus_transport::{Scheme, SchemeBuilder, SchemeParams};
 
 use crate::report::Report;
 use crate::runner::run_flows;
@@ -21,7 +21,7 @@ fn run_one(scheme: Scheme, senders: usize) -> (f64, f64) {
     let mut params = SchemeParams::new(0);
     params.port_buffer = SHARED_POOL_BYTES; // per-port cap = pool size
     params.shared_pool = Some(SHARED_POOL_BYTES);
-    let mut h = Harness::new(scheme, params, many_to_one(senders + 1));
+    let mut h = SchemeBuilder::new(scheme).params(params).topology(many_to_one(senders + 1)).build();
     let hosts = h.hosts().to_vec();
     let flows: Vec<FlowDesc> = (0..senders)
         .map(|i| FlowDesc {

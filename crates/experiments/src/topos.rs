@@ -103,24 +103,24 @@ pub fn many_to_one(n_hosts: usize) -> TopoSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aeolus_transport::{Harness, Scheme, SchemeParams};
+    use aeolus_transport::{Scheme, SchemeBuilder};
 
     #[test]
     fn paper_topologies_have_paper_rtts() {
-        let h = Harness::new(Scheme::ExpressPass, SchemeParams::new(0), testbed());
+        let h = SchemeBuilder::new(Scheme::ExpressPass).topology(testbed()).build();
         // 14 us propagation RTT (plus the harness' serialization slack).
         assert_eq!(h.topo.base_rtt, us(14));
 
-        let h = Harness::new(Scheme::ExpressPass, SchemeParams::new(0), ep_fat_tree(Scale::Full));
+        let h = SchemeBuilder::new(Scheme::ExpressPass).topology(ep_fat_tree(Scale::Full)).build();
         assert_eq!(h.hosts().len(), 192);
         // 2 * (6*4us + 5*0.2ns… switching 200ns*5 + 1us host) = 52 us.
         assert_eq!(h.topo.base_rtt, 2 * (6 * us(4) + 5 * ns(200) + us(1)));
 
-        let h = Harness::new(Scheme::HomaAeolus, SchemeParams::new(0), homa_two_tier(Scale::Full));
+        let h = SchemeBuilder::new(Scheme::HomaAeolus).topology(homa_two_tier(Scale::Full)).build();
         assert_eq!(h.hosts().len(), 64);
         assert_eq!(h.topo.base_rtt, us(4) + 500 * ns(1));
 
-        let h = Harness::new(Scheme::HomaAeolus, SchemeParams::new(0), heavy_spine_leaf(Scale::Full));
+        let h = SchemeBuilder::new(Scheme::HomaAeolus).topology(heavy_spine_leaf(Scale::Full)).build();
         assert_eq!(h.hosts().len(), 144);
     }
 }

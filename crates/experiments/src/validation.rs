@@ -14,14 +14,14 @@
 use aeolus_sim::units::{ms, PS_PER_SEC};
 use aeolus_sim::{FlowDesc, FlowId};
 use aeolus_stats::{f2, f3, Samples, TextTable};
-use aeolus_transport::{Harness, Scheme, SchemeParams, TopoSpec};
+use aeolus_transport::{Scheme, SchemeBuilder, TopoSpec};
 
 use crate::report::Report;
 use crate::scale::Scale;
 use crate::topos::{ep_fat_tree, heavy_spine_leaf, homa_two_tier, testbed};
 
 fn rtt_check(spec: TopoSpec, name: &str, table: &mut TextTable) {
-    let mut h = Harness::new(Scheme::NdpAeolus, SchemeParams::new(0), spec);
+    let mut h = SchemeBuilder::new(Scheme::NdpAeolus).topology(spec).build();
     let hosts = h.hosts().to_vec();
     // Longest path: first host to last host.
     let (src, dst) = (hosts[0], *hosts.last().unwrap());
@@ -39,18 +39,18 @@ fn rtt_check(spec: TopoSpec, name: &str, table: &mut TextTable) {
 }
 
 fn throughput_check(scheme: Scheme, table: &mut TextTable) {
-    let mut h = Harness::new(scheme, SchemeParams::new(0), testbed());
+    let mut h = SchemeBuilder::new(scheme).topology(testbed()).build();
     let hosts = h.hosts().to_vec();
     let size = 4_000_000u64;
     h.schedule(&[FlowDesc { id: FlowId(1), src: hosts[1], dst: hosts[0], size, start: 0 }]);
     assert!(h.run(ms(500)), "{} elephant incomplete", scheme.name());
     let fct = h.metrics().flow(FlowId(1)).unwrap().fct().unwrap();
     let gbps = size as f64 * 8.0 / (fct as f64 / PS_PER_SEC as f64) / 1e9;
-    table.row(vec![scheme.name(), f2(gbps), f3(gbps / 10.0)]);
+    table.row(vec![scheme.label(), f2(gbps), f3(gbps / 10.0)]);
 }
 
 fn fairness_check(scheme: Scheme, table: &mut TextTable) {
-    let mut h = Harness::new(scheme, SchemeParams::new(0), testbed());
+    let mut h = SchemeBuilder::new(scheme).topology(testbed()).build();
     let hosts = h.hosts().to_vec();
     let flows: Vec<FlowDesc> = (0..4)
         .map(|i| FlowDesc {
@@ -67,7 +67,7 @@ fn fairness_check(scheme: Scheme, table: &mut TextTable) {
     let rates: Vec<f64> =
         h.metrics().flows().map(|r| 1e9 / r.fct().unwrap() as f64).collect();
     let jain = Samples::from_vec(rates).jain_fairness();
-    table.row(vec![scheme.name(), f3(jain)]);
+    table.row(vec![scheme.label(), f3(jain)]);
 }
 
 /// Run the validation suite.

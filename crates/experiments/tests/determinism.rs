@@ -8,7 +8,7 @@ use aeolus_experiments::topos::testbed;
 use aeolus_experiments::{run_many, run_workload, set_jobs, RunConfig, RunOutput};
 use aeolus_sim::units::ms;
 use aeolus_sim::SchedulerKind;
-use aeolus_transport::{Harness, Scheme, SchemeParams};
+use aeolus_transport::{Scheme, SchemeBuilder};
 use aeolus_workloads::{incast_rounds, Workload};
 
 /// One representative per scheme family (proactive, Aeolus-armed, reactive,
@@ -71,7 +71,7 @@ fn serial_rerun_and_parallel_runs_are_bit_identical() {
 fn timing_wheel_matches_binary_heap_end_to_end() {
     for scheme in families() {
         let run = |kind: SchedulerKind| {
-            let mut h = Harness::new(scheme, SchemeParams::new(0), testbed());
+            let mut h = SchemeBuilder::new(scheme).topology(testbed()).build();
             h.topo.net.set_scheduler(kind);
             let hosts = h.hosts().to_vec();
             let flows = incast_rounds(&hosts[1..], hosts[0], 30_000, 3, ms(2), 0, 1);

@@ -8,6 +8,7 @@
 
 use crate::metrics::Metrics;
 use crate::packet::{FlowDesc, NodeId, Packet};
+use crate::telemetry::{TraceSink, TransportEvent};
 use crate::units::{Rate, Time};
 
 /// A transport endpoint installed on a host.
@@ -39,6 +40,8 @@ pub struct Ctx<'a> {
     pub line_rate: Rate,
     /// Run metrics (flow completion, efficiency, timeouts).
     pub metrics: &'a mut Metrics,
+    pub(crate) tracer: &'a mut dyn TraceSink,
+    pub(crate) trace_enabled: bool,
     pub(crate) actions: &'a mut Actions,
     pub(crate) next_token: &'a mut u64,
 }
@@ -56,6 +59,22 @@ impl<'a> Ctx<'a> {
         self.actions.timers.push((self.now + delay, token));
         token
     }
+
+    /// Whether a recording tracer is attached. Handlers can skip building
+    /// expensive event payloads when this is false (emitting through
+    /// [`Ctx::emit`] is already a no-op then).
+    pub fn tracing(&self) -> bool {
+        self.trace_enabled
+    }
+
+    /// Report a transport-level telemetry event (credit issue/receipt,
+    /// burst start/stop, loss detection, retransmission). No-op unless the
+    /// engine runs with a recording tracer.
+    pub fn emit(&mut self, ev: TransportEvent) {
+        if self.trace_enabled {
+            self.tracer.transport_event(self.now, self.host, &ev);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -67,11 +86,14 @@ mod tests {
         let mut metrics = Metrics::new();
         let mut actions = Actions::default();
         let mut next = 7u64;
+        let mut sink = crate::telemetry::NullTracer;
         let mut ctx = Ctx {
             now: 1000,
             host: NodeId(0),
             line_rate: Rate::gbps(100),
             metrics: &mut metrics,
+            tracer: &mut sink,
+            trace_enabled: false,
             actions: &mut actions,
             next_token: &mut next,
         };

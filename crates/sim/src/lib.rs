@@ -81,6 +81,7 @@ pub mod queues;
 pub mod rangeset;
 pub mod rng;
 pub mod routing;
+pub mod telemetry;
 pub mod topology;
 pub mod units;
 
@@ -100,7 +101,12 @@ pub use queues::{
 pub use rangeset::RangeSet;
 pub use rng::SimRng;
 pub use routing::{RoutePolicy, RouteTable};
+pub use telemetry::{
+    LossCause, NullTracer, QueueEvent, QueueRecord, RecordingConfig, RecordingTracer, TraceSink,
+    Tracer, TransportEvent,
+};
 pub use topology::{
-    fat_tree, leaf_spine, single_switch, LinkParams, PortRole, QueueFactory, Topology,
+    fat_tree, fat_tree_with, leaf_spine, leaf_spine_with, single_switch, single_switch_with,
+    LinkParams, PortRole, QueueFactory, Topology,
 };
 pub use units::{bdp_bytes, kb, mb, ms, ns, secs, us, Rate, Time};

@@ -1,6 +1,6 @@
 //! Run-wide metrics: flow completion, drops, efficiency, timeouts.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use crate::packet::{FlowDesc, FlowId, TrafficClass};
 use crate::queues::DropReason;
@@ -34,8 +34,10 @@ pub struct Metrics {
     // Ordered so every iteration (and thus every report built from one) is
     // deterministic run-to-run.
     flows: BTreeMap<FlowId, FlowRecord>,
-    /// Packet drops keyed by (reason, class).
-    pub drops: HashMap<(DropReason, TrafficClass), u64>,
+    // Packet drops keyed by (reason, class); ordered for the same reason as
+    // `flows`. Read through the typed accessors (`drops_of`,
+    // `drops_by_reason`, `drops_for_class`, `total_drops`, `drops`).
+    drops: BTreeMap<(DropReason, TrafficClass), u64>,
     /// Data payload bytes handed to NIC queues (first transmissions and
     /// retransmissions alike) — denominator of transfer efficiency.
     pub payload_sent: u64,
@@ -99,14 +101,29 @@ impl Metrics {
         *self.drops.entry((reason, class)).or_insert(0) += 1;
     }
 
+    /// Drops of one (reason, class) cell.
+    pub fn drops_of(&self, reason: DropReason, class: TrafficClass) -> u64 {
+        self.drops.get(&(reason, class)).copied().unwrap_or(0)
+    }
+
     /// Total drops for a reason across classes.
     pub fn drops_by_reason(&self, reason: DropReason) -> u64 {
         self.drops.iter().filter(|((r, _), _)| *r == reason).map(|(_, v)| *v).sum()
     }
 
     /// Total drops for a traffic class across reasons.
-    pub fn drops_by_class(&self, class: TrafficClass) -> u64 {
+    pub fn drops_for_class(&self, class: TrafficClass) -> u64 {
         self.drops.iter().filter(|((_, c), _)| *c == class).map(|(_, v)| *v).sum()
+    }
+
+    /// Total drops across all reasons and classes.
+    pub fn total_drops(&self) -> u64 {
+        self.drops.values().sum()
+    }
+
+    /// Iterate all drop cells in deterministic (reason, class) order.
+    pub fn drops(&self) -> impl Iterator<Item = ((DropReason, TrafficClass), u64)> + '_ {
+        self.drops.iter().map(|(&k, &v)| (k, v))
     }
 
     /// Look up a flow record.
@@ -198,7 +215,12 @@ mod tests {
         m.note_drop(DropReason::SelectiveDrop, TrafficClass::Unscheduled);
         m.note_drop(DropReason::BufferFull, TrafficClass::Scheduled);
         assert_eq!(m.drops_by_reason(DropReason::SelectiveDrop), 2);
-        assert_eq!(m.drops_by_class(TrafficClass::Scheduled), 1);
+        assert_eq!(m.drops_for_class(TrafficClass::Scheduled), 1);
+        assert_eq!(m.drops_of(DropReason::SelectiveDrop, TrafficClass::Unscheduled), 2);
+        assert_eq!(m.drops_of(DropReason::BufferFull, TrafficClass::Unscheduled), 0);
+        assert_eq!(m.total_drops(), 3);
+        let cells: Vec<_> = m.drops().collect();
+        assert_eq!(cells.len(), 2, "two distinct (reason, class) cells");
     }
 
     #[test]

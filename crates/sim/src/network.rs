@@ -8,6 +8,7 @@ use crate::packet::{FlowDesc, NodeId, Packet, PortId};
 use crate::port::{Link, Port};
 use crate::queues::{EnqueueOutcome, Poll, QueueDisc};
 use crate::routing::{RoutePolicy, RouteTable};
+use crate::telemetry::{NullTracer, QueueEvent, QueueRecord, Tracer};
 use crate::units::{Rate, Time};
 
 /// One recorded event of a traced flow's packet life.
@@ -41,7 +42,12 @@ pub enum TraceKind {
 }
 
 /// A simulated network: topology, endpoints, event queue and metrics.
-pub struct Network {
+///
+/// Generic over a [`Tracer`]; the default [`NullTracer`] compiles every
+/// telemetry hook away (each sits behind an `if T::ENABLED` guard on an
+/// associated const), so an untraced network pays nothing for the
+/// observability layer.
+pub struct Network<T: Tracer = NullTracer> {
     nodes: Vec<Node>,
     queue: EventQueue,
     /// Run metrics.
@@ -53,6 +59,11 @@ pub struct Network {
     traced: std::collections::HashSet<crate::packet::FlowId>,
     /// Recorded trace events, in order.
     trace: Vec<TraceEvent>,
+    /// Telemetry sink for engine-level events.
+    tracer: T,
+    /// Scratch for per-band queue occupancy sampling (avoids a per-event
+    /// allocation when tracing is on; unused otherwise).
+    band_scratch: Vec<(&'static str, u64)>,
 }
 
 impl Default for Network {
@@ -62,8 +73,15 @@ impl Default for Network {
 }
 
 impl Network {
-    /// An empty network.
+    /// An empty, untraced network.
     pub fn new() -> Network {
+        Network::with_tracer(NullTracer)
+    }
+}
+
+impl<T: Tracer> Network<T> {
+    /// An empty network feeding engine telemetry to `tracer`.
+    pub fn with_tracer(tracer: T) -> Network<T> {
         Network {
             nodes: Vec::new(),
             queue: EventQueue::new(),
@@ -73,7 +91,20 @@ impl Network {
             events_processed: 0,
             traced: std::collections::HashSet::new(),
             trace: Vec::new(),
+            tracer,
+            band_scratch: Vec::new(),
         }
+    }
+
+    /// The installed tracer.
+    pub fn tracer(&self) -> &T {
+        &self.tracer
+    }
+
+    /// Mutable access to the installed tracer (e.g. to flush its time
+    /// series after a run).
+    pub fn tracer_mut(&mut self) -> &mut T {
+        &mut self.tracer
     }
 
     /// Record every arrival/transmit/drop of `flow`'s packets (any kind:
@@ -179,6 +210,9 @@ impl Network {
         let node = &mut self.nodes[from.0 as usize];
         let pid = PortId(node.ports.len() as u16);
         node.ports.push(Port::new(Link { rate, delay, to }, queue));
+        if T::ENABLED {
+            self.tracer.port_registered(from, pid, rate, to);
+        }
         pid
     }
 
@@ -276,6 +310,10 @@ impl Network {
             }
             NodeKind::Host { .. } => {
                 debug_assert_eq!(pkt.dst, node, "packet delivered to wrong host");
+                if T::ENABLED && pkt.is_data() && pkt.payload > 0 {
+                    let now = self.queue.now();
+                    self.tracer.packet_delivered(now, pkt.class, pkt.payload as u64);
+                }
                 self.with_endpoint(node, move |ep, ctx| ep.on_packet(pkt, ctx));
             }
         }
@@ -285,7 +323,14 @@ impl Network {
     /// transmitter if idle.
     fn enqueue_egress(&mut self, node: NodeId, port: PortId, pkt: Packet) {
         let now = self.queue.now();
-        let outcome = {
+        // The packet is consumed by `enqueue` (and may be trimmed inside),
+        // so capture its identity first when tracing.
+        let info = if T::ENABLED {
+            Some((pkt.flow, pkt.seq, pkt.kind, pkt.class, pkt.size, pkt.payload))
+        } else {
+            None
+        };
+        let (outcome, qlen_bytes, qlen_pkts) = {
             let p = &mut self.nodes[node.0 as usize].ports[port.0 as usize];
             let prev = p.queue.bytes();
             let outcome = p.queue.enqueue(pkt, now);
@@ -294,7 +339,13 @@ impl Network {
             if matches!(outcome, EnqueueOutcome::Dropped { .. }) {
                 p.stats.drops += 1;
             }
-            outcome
+            (outcome, p.queue.bytes(), p.queue.pkts())
+        };
+        let ev = match &outcome {
+            EnqueueOutcome::Queued => QueueEvent::Enqueue,
+            EnqueueOutcome::QueuedMarked => QueueEvent::EnqueueMarked,
+            EnqueueOutcome::QueuedTrimmed => QueueEvent::EnqueueTrimmed,
+            EnqueueOutcome::Dropped { reason, .. } => QueueEvent::Drop(*reason),
         };
         match outcome {
             EnqueueOutcome::Queued => {}
@@ -305,7 +356,33 @@ impl Network {
                 self.metrics.note_drop(reason, pkt.class);
             }
         }
+        if T::ENABLED {
+            let (flow, seq, kind, class, size, payload) = info.expect("captured when enabled");
+            self.tracer.queue_event(&QueueRecord {
+                at: now,
+                node,
+                port,
+                ev,
+                flow,
+                seq,
+                kind,
+                class,
+                size,
+                payload,
+                qlen_bytes,
+                qlen_pkts,
+            });
+            self.sample_bands(now, node, port);
+        }
         self.try_transmit(node, port);
+    }
+
+    /// Feed the queue's per-band occupancy to the tracer (tracing on only).
+    fn sample_bands(&mut self, now: Time, node: NodeId, port: PortId) {
+        self.band_scratch.clear();
+        let p = &self.nodes[node.0 as usize].ports[port.0 as usize];
+        p.queue.bands(&mut self.band_scratch);
+        self.tracer.queue_bands(now, node, port, &self.band_scratch);
     }
 
     /// If the transmitter of (`node`, `port`) is idle and the queue can
@@ -317,6 +394,7 @@ impl Network {
             Kick(Time),
             Idle,
         }
+        let mut deq_rec = None;
         let next = {
             let p = &mut self.nodes[node.0 as usize].ports[port.0 as usize];
             if p.busy {
@@ -332,6 +410,22 @@ impl Network {
                         p.stats.pkts_tx += 1;
                         p.stats.payload_tx += pkt.payload as u64;
                         let ser = p.link.rate.serialize(pkt.size as u64);
+                        if T::ENABLED {
+                            deq_rec = Some(QueueRecord {
+                                at: now,
+                                node,
+                                port,
+                                ev: QueueEvent::Dequeue,
+                                flow: pkt.flow,
+                                seq: pkt.seq,
+                                kind: pkt.kind,
+                                class: pkt.class,
+                                size: pkt.size,
+                                payload: pkt.payload,
+                                qlen_bytes: p.queue.bytes(),
+                                qlen_pkts: p.queue.pkts(),
+                            });
+                        }
                         Next::Send {
                             to: p.link.to,
                             at_dst: now + ser + p.link.delay,
@@ -356,6 +450,13 @@ impl Network {
         match next {
             Next::Send { to, at_dst, free_at, pkt } => {
                 self.record(node, &pkt, TraceKind::Transmit);
+                if T::ENABLED {
+                    if let Some(rec) = deq_rec {
+                        self.tracer.queue_event(&rec);
+                        self.tracer.link_tx(now, node, port, pkt.size as u64);
+                        self.sample_bands(now, node, port);
+                    }
+                }
                 let ingress = self.nodes[to.0 as usize].ingress_delay;
                 self.queue.schedule_at(free_at, Event::PortFree { node, port });
                 self.queue
@@ -391,6 +492,8 @@ impl Network {
                 host,
                 line_rate,
                 metrics: &mut self.metrics,
+                tracer: &mut self.tracer,
+                trace_enabled: T::ENABLED,
                 actions: &mut actions,
                 next_token: &mut self.next_token,
             };
@@ -412,6 +515,9 @@ impl Network {
                 self.metrics.payload_sent += pkt.payload as u64;
                 if pkt.retransmit {
                     self.metrics.note_retransmit(pkt.flow, pkt.payload as u64);
+                }
+                if T::ENABLED {
+                    self.tracer.packet_launched(now, pkt.class, pkt.payload as u64);
                 }
             }
             self.enqueue_egress(host, PortId(0), pkt);

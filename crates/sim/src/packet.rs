@@ -42,7 +42,7 @@ pub enum Ecn {
 }
 
 /// Scheduling class of a packet from the proactive-transport viewpoint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TrafficClass {
     /// Credit-induced data whose delivery the transport guarantees.
     Scheduled,

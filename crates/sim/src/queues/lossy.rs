@@ -53,6 +53,10 @@ impl QueueDisc for LossyQueue {
     fn pkts(&self) -> usize {
         self.inner.pkts()
     }
+
+    fn bands(&self, out: &mut Vec<(&'static str, u64)>) {
+        self.inner.bands(out);
+    }
 }
 
 #[cfg(test)]

@@ -41,7 +41,7 @@ use crate::packet::Packet;
 use crate::units::Time;
 
 /// Why a packet was dropped at a queue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DropReason {
     /// The per-port buffer (or its packet cap) was full.
     BufferFull,
@@ -93,6 +93,13 @@ pub trait QueueDisc {
     fn bytes(&self) -> u64;
     /// Total packets currently buffered.
     fn pkts(&self) -> usize;
+    /// Append this discipline's internal occupancy bands (name, bytes) to
+    /// `out` — priority levels, control vs data queues, credit queues, … —
+    /// for telemetry sampling. Single-FIFO disciplines report one `"fifo"`
+    /// band.
+    fn bands(&self, out: &mut Vec<(&'static str, u64)>) {
+        out.push(("fifo", self.bytes()));
+    }
 }
 
 /// A switch-wide shared buffer pool (dynamic thresholding disabled — plain

@@ -108,6 +108,20 @@ impl QueueDisc for PriorityBank {
     fn pkts(&self) -> usize {
         self.queues.iter().map(|q| q.len()).sum()
     }
+
+    fn bands(&self, out: &mut Vec<(&'static str, u64)>) {
+        // Commodity switches expose 8 levels; deeper banks aggregate the
+        // tail under the last name rather than invent dynamic labels.
+        const NAMES: [&str; 8] = ["p0", "p1", "p2", "p3", "p4", "p5", "p6", "p7"];
+        for (level, q) in self.queues.iter().enumerate() {
+            let name = NAMES[level.min(NAMES.len() - 1)];
+            if level < NAMES.len() {
+                out.push((name, q.bytes()));
+            } else if let Some(last) = out.last_mut() {
+                last.1 += q.bytes();
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -85,6 +85,11 @@ impl QueueDisc for TrimmingQueue {
     fn pkts(&self) -> usize {
         self.control.len() + self.data.len()
     }
+
+    fn bands(&self, out: &mut Vec<(&'static str, u64)>) {
+        out.push(("ctrl", self.control.bytes()));
+        out.push(("data", self.data.bytes()));
+    }
 }
 
 #[cfg(test)]

@@ -106,6 +106,11 @@ impl QueueDisc for XPassQueue {
     fn pkts(&self) -> usize {
         self.data.pkts() + self.credits.len()
     }
+
+    fn bands(&self, out: &mut Vec<(&'static str, u64)>) {
+        self.data.bands(out);
+        out.push(("credit", self.credits.bytes()));
+    }
 }
 
 #[cfg(test)]

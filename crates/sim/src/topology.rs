@@ -17,6 +17,7 @@ use crate::network::Network;
 use crate::packet::{NodeId, PortId};
 use crate::queues::QueueDisc;
 use crate::routing::RoutePolicy;
+use crate::telemetry::{NullTracer, Tracer};
 use crate::units::{Rate, Time};
 
 /// Where a port sits in the topology — queue factories pick disciplines by
@@ -34,7 +35,7 @@ pub enum PortRole {
 /// Factory producing an egress queue for a port of the given rate and role.
 pub type QueueFactory<'a> = dyn Fn(Rate, PortRole) -> Box<dyn QueueDisc> + 'a;
 
-impl Topology {
+impl<T: Tracer> Topology<T> {
     /// Validate routing: every switch must know a next hop for every host,
     /// and following first-choice next hops from any host must reach any
     /// other host within a hop budget. Panics with a description on failure
@@ -90,9 +91,12 @@ impl Topology {
 }
 
 /// A built topology: the network plus handles the experiments need.
-pub struct Topology {
+///
+/// Generic over the network's [`Tracer`]; the default [`NullTracer`] keeps
+/// untraced call sites unchanged.
+pub struct Topology<T: Tracer = NullTracer> {
     /// The wired network (endpoints not yet installed).
-    pub net: Network,
+    pub net: Network<T>,
     /// All host node ids, edge-switch-major order.
     pub hosts: Vec<NodeId>,
     /// All switch node ids.
@@ -143,7 +147,17 @@ impl LinkParams {
 
 /// `n_hosts` hosts on one switch.
 pub fn single_switch(n_hosts: usize, p: LinkParams, qf: &QueueFactory<'_>) -> Topology {
-    let mut net = Network::new();
+    single_switch_with(NullTracer, n_hosts, p, qf)
+}
+
+/// [`single_switch`] with a telemetry tracer installed on the network.
+pub fn single_switch_with<T: Tracer>(
+    tracer: T,
+    n_hosts: usize,
+    p: LinkParams,
+    qf: &QueueFactory<'_>,
+) -> Topology<T> {
+    let mut net = Network::with_tracer(tracer);
     let sw = net.add_switch(p.policy, p.seed, p.switch_delay);
     let mut hosts = Vec::with_capacity(n_hosts);
     let mut host_ingress = Vec::with_capacity(n_hosts);
@@ -169,7 +183,19 @@ pub fn leaf_spine(
     p: LinkParams,
     qf: &QueueFactory<'_>,
 ) -> Topology {
-    let mut net = Network::new();
+    leaf_spine_with(NullTracer, spines, leaves, hosts_per_leaf, p, qf)
+}
+
+/// [`leaf_spine`] with a telemetry tracer installed on the network.
+pub fn leaf_spine_with<T: Tracer>(
+    tracer: T,
+    spines: usize,
+    leaves: usize,
+    hosts_per_leaf: usize,
+    p: LinkParams,
+    qf: &QueueFactory<'_>,
+) -> Topology<T> {
+    let mut net = Network::with_tracer(tracer);
     let spine_ids: Vec<NodeId> =
         (0..spines).map(|i| net.add_switch(p.policy, p.seed + 1 + i as u64, p.switch_delay)).collect();
     let leaf_ids: Vec<NodeId> = (0..leaves)
@@ -248,7 +274,22 @@ pub fn fat_tree(
     p: LinkParams,
     qf: &QueueFactory<'_>,
 ) -> Topology {
-    let mut net = Network::new();
+    fat_tree_with(NullTracer, spines, pods, tors_per_pod, aggs_per_pod, hosts_per_tor, p, qf)
+}
+
+/// [`fat_tree`] with a telemetry tracer installed on the network.
+#[allow(clippy::too_many_arguments)]
+pub fn fat_tree_with<T: Tracer>(
+    tracer: T,
+    spines: usize,
+    pods: usize,
+    tors_per_pod: usize,
+    aggs_per_pod: usize,
+    hosts_per_tor: usize,
+    p: LinkParams,
+    qf: &QueueFactory<'_>,
+) -> Topology<T> {
+    let mut net = Network::with_tracer(tracer);
     let spine_ids: Vec<NodeId> =
         (0..spines).map(|i| net.add_switch(p.policy, p.seed + 1 + i as u64, p.switch_delay)).collect();
     // agg_ids[pod][a], tor_ids[pod][t]

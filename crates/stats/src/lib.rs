@@ -13,7 +13,7 @@ pub mod fct;
 pub mod percentile;
 pub mod table;
 
-pub use ascii::plot_cdfs;
+pub use ascii::{plot_cdfs, sparkline};
 pub use cdf::{Cdf, CdfPoint};
 pub use fct::{FctAggregator, FctSample, FctSummary};
 pub use percentile::Samples;

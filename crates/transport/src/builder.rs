@@ -1,0 +1,212 @@
+//! Fluent construction of runnable scenarios.
+//!
+//! [`SchemeBuilder`] replaces the positional [`Harness::new`] constructor:
+//! every knob — topology, scheme parameters, first-RTT mode, telemetry
+//! tracer, workload — is named, optional knobs have paper defaults, and the
+//! tracer changes the harness type statically so `NullTracer` runs carry no
+//! overhead.
+//!
+//! ```
+//! use aeolus_transport::{Scheme, SchemeBuilder, TopoSpec};
+//! use aeolus_sim::topology::LinkParams;
+//! use aeolus_sim::units::us;
+//!
+//! let mut h = SchemeBuilder::new(Scheme::HomaAeolus)
+//!     .topology(TopoSpec::SingleSwitch { hosts: 8, link: LinkParams::uniform(aeolus_sim::Rate::gbps(10), us(3)) })
+//!     .build();
+//! assert_eq!(h.hosts().len(), 8);
+//! assert!(h.run(us(10)));
+//! ```
+
+use aeolus_sim::topology::LinkParams;
+use aeolus_sim::units::{us, Time};
+use aeolus_sim::{FlowDesc, NullTracer, Tracer};
+use aeolus_workloads::{poisson_flows, PoissonConfig, Workload};
+
+use crate::common::FirstRttMode;
+use crate::harness::{Harness, TopoSpec};
+use crate::registry::{Scheme, SchemeParams};
+
+/// Builder for a [`Harness`]: scheme first, everything else by name.
+///
+/// The type parameter tracks the telemetry tracer ([`NullTracer`] by
+/// default); [`SchemeBuilder::tracer`] swaps it statically, so tracing
+/// carries zero cost unless requested.
+pub struct SchemeBuilder<T: Tracer = NullTracer> {
+    scheme: Scheme,
+    params: SchemeParams,
+    spec: TopoSpec,
+    tracer: T,
+    workload: Option<Workload>,
+    load: f64,
+    flows: usize,
+    seed: u64,
+}
+
+impl SchemeBuilder {
+    /// Start building a scenario for `scheme`.
+    ///
+    /// Defaults: the paper's 8-host 10 Gbps single-switch testbed, paper
+    /// [`SchemeParams`] (base RTT derived from the topology), no tracer, no
+    /// workload.
+    pub fn new(scheme: Scheme) -> SchemeBuilder {
+        SchemeBuilder {
+            scheme,
+            params: SchemeParams::new(0),
+            spec: TopoSpec::SingleSwitch { hosts: 8, link: LinkParams::uniform(aeolus_sim::Rate::gbps(10), us(3)) },
+            tracer: NullTracer,
+            workload: None,
+            load: 0.6,
+            flows: 200,
+            seed: 1,
+        }
+    }
+}
+
+impl<T: Tracer> SchemeBuilder<T> {
+    /// Replace the scheme parameters wholesale.
+    pub fn params(mut self, params: SchemeParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Set the topology to build.
+    pub fn topology(mut self, spec: TopoSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Override the scheme's native first-RTT mode (ablations — e.g. run
+    /// Homa's queue discipline with an Aeolus-style droppable burst).
+    pub fn first_rtt(mut self, mode: FirstRttMode) -> Self {
+        self.params.first_rtt = Some(mode);
+        self
+    }
+
+    /// Install a telemetry tracer. This changes the harness type: the
+    /// default [`NullTracer`] compiles every hook away, while e.g.
+    /// [`aeolus_sim::RecordingTracer`] captures typed events.
+    pub fn tracer<U: Tracer>(self, tracer: U) -> SchemeBuilder<U> {
+        SchemeBuilder {
+            scheme: self.scheme,
+            params: self.params,
+            spec: self.spec,
+            tracer,
+            workload: self.workload,
+            load: self.load,
+            flows: self.flows,
+            seed: self.seed,
+        }
+    }
+
+    /// Drive the scenario with Poisson arrivals sized by this empirical
+    /// workload (used by [`SchemeBuilder::build_run`]).
+    pub fn workload(mut self, w: Workload) -> Self {
+        self.workload = Some(w);
+        self
+    }
+
+    /// Target offered load for the workload (fraction of host capacity).
+    pub fn load(mut self, load: f64) -> Self {
+        self.load = load;
+        self
+    }
+
+    /// Number of flows the workload generates.
+    pub fn flows(mut self, flows: usize) -> Self {
+        self.flows = flows;
+        self
+    }
+
+    /// RNG seed for workload generation.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Build the harness: topology wired with the scheme's queue
+    /// discipline, one endpoint per host, tracer installed on the network.
+    pub fn build(self) -> Harness<T> {
+        Harness::with_tracer(self.scheme, self.params, self.spec, self.tracer)
+    }
+
+    /// Build the harness, schedule the configured workload's flows and run
+    /// until they complete (or `horizon`). Returns the harness (metrics and
+    /// tracer inside), the generated flows, and the completion status.
+    ///
+    /// Panics if no [`SchemeBuilder::workload`] was set.
+    pub fn build_run(self, horizon: Time) -> (Harness<T>, Vec<FlowDesc>, bool) {
+        let w = self.workload.expect("SchemeBuilder::build_run needs a workload");
+        let mut h = Harness::with_tracer(self.scheme, self.params, self.spec, self.tracer);
+        let cfg = PoissonConfig {
+            load: self.load,
+            host_rate: h.topo.host_rate,
+            flows: self.flows,
+            seed: self.seed,
+            first_id: 1,
+            start: 0,
+        };
+        let flows = poisson_flows(&cfg, h.hosts(), &w.dist());
+        h.schedule(&flows);
+        let done = h.run(horizon);
+        (h, flows, done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeolus_sim::units::ms;
+    use aeolus_sim::RecordingTracer;
+
+    #[test]
+    fn builder_defaults_match_positional_constructor() {
+        #[allow(deprecated)]
+        let old = Harness::new(
+            Scheme::HomaAeolus,
+            SchemeParams::new(0),
+            TopoSpec::SingleSwitch { hosts: 8, link: LinkParams::uniform(aeolus_sim::Rate::gbps(10), us(3)) },
+        );
+        let new = SchemeBuilder::new(Scheme::HomaAeolus).build();
+        assert_eq!(old.hosts(), new.hosts());
+        assert_eq!(old.params.base_rtt, new.params.base_rtt);
+    }
+
+    #[test]
+    fn tracer_changes_harness_type_and_records() {
+        let mut h = SchemeBuilder::new(Scheme::NdpAeolus).tracer(RecordingTracer::new()).build();
+        let hosts = h.hosts().to_vec();
+        h.schedule(&[FlowDesc {
+            id: aeolus_sim::FlowId(1),
+            src: hosts[1],
+            dst: hosts[0],
+            size: 30_000,
+            start: 0,
+        }]);
+        assert!(h.run(ms(10)));
+        let tracer = h.topo.net.tracer();
+        assert!(tracer.ports().next().is_some(), "ports registered");
+        assert!(tracer.ports().any(|(_, p)| !p.ring.is_empty()), "queue events recorded");
+    }
+
+    #[test]
+    fn first_rtt_override_reaches_the_endpoint_config() {
+        // Homa natively bursts Blind; the override flips it to Hold, which
+        // must leave host 1 with nothing to send in the first RTT.
+        let b = SchemeBuilder::new(Scheme::Homa { rto: us(10_000) }).first_rtt(FirstRttMode::Hold);
+        assert_eq!(b.params.first_rtt, Some(FirstRttMode::Hold));
+    }
+
+    #[test]
+    fn build_run_drives_a_workload_end_to_end() {
+        let (h, flows, done) = SchemeBuilder::new(Scheme::HomaAeolus)
+            .workload(Workload::WebSearch)
+            .flows(20)
+            .load(0.3)
+            .seed(7)
+            .build_run(ms(2_000));
+        assert!(done, "workload must complete");
+        assert_eq!(flows.len(), 20);
+        assert_eq!(h.metrics().completed_count(), 20);
+    }
+}

@@ -16,7 +16,8 @@ use std::collections::BTreeMap;
 
 use aeolus_sim::units::Time;
 use aeolus_sim::{
-    Ctx, Ecn, Endpoint, FlowDesc, FlowId, Packet, PacketKind, RangeSet, TrafficClass,
+    Ctx, Ecn, Endpoint, FlowDesc, FlowId, LossCause, Packet, PacketKind, RangeSet, TrafficClass,
+    TransportEvent,
 };
 
 use crate::common::{data_packet, BaseConfig};
@@ -72,6 +73,8 @@ struct SendFlow {
     /// Generation for the RTO timer (stale timers are ignored).
     rto_gen: u64,
     completed: bool,
+    /// Most recent loss signal, for retransmission attribution.
+    last_loss: Option<LossCause>,
 }
 
 struct RecvFlow {
@@ -115,6 +118,11 @@ impl DctcpEndpoint {
                 let mut pkt =
                     data_packet(&sf.desc, seq, len, TrafficClass::Scheduled, true);
                 pkt.ecn = Ecn::Ect0;
+                ctx.emit(TransportEvent::Retransmit {
+                    flow,
+                    bytes: len as u64,
+                    cause: sf.last_loss.unwrap_or(LossCause::SackGap),
+                });
                 ctx.send(pkt);
             }
             while sf.next_seq < sf.desc.size {
@@ -153,6 +161,12 @@ impl DctcpEndpoint {
                 false
             } else {
                 ctx.metrics.note_timeout(flow);
+                ctx.emit(TransportEvent::LossDetected {
+                    flow,
+                    bytes: sf.next_seq.saturating_sub(sf.acked),
+                    cause: LossCause::Timeout,
+                });
+                sf.last_loss = Some(LossCause::Timeout);
                 // Go-back-N from the cumulative ACK point.
                 sf.next_seq = sf.acked;
                 sf.cwnd = mtu as f64;
@@ -217,6 +231,12 @@ impl DctcpEndpoint {
                     sf.rtx_seq = Some(sf.acked);
                     sf.ssthresh = (sf.cwnd / 2.0).max(2.0 * mtu);
                     sf.cwnd = sf.ssthresh;
+                    sf.last_loss = Some(LossCause::SackGap);
+                    ctx.emit(TransportEvent::LossDetected {
+                        flow,
+                        bytes: (mtu as u64).min(sf.desc.size - sf.acked),
+                        cause: LossCause::SackGap,
+                    });
                 }
                 (sf.dup_acks == 3, false)
             }
@@ -259,6 +279,7 @@ impl Endpoint for DctcpEndpoint {
                 rtx_seq: None,
                 rto_gen: 0,
                 completed: false,
+                last_loss: None,
             },
         );
         self.pump(flow.id, ctx);

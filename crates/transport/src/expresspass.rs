@@ -22,7 +22,8 @@ use std::collections::BTreeMap;
 use aeolus_core::PreCreditSender;
 use aeolus_sim::units::{Time, PS_PER_SEC};
 use aeolus_sim::{
-    Ctx, Endpoint, FlowDesc, FlowId, NodeId, Packet, PacketKind, TrafficClass, CREDIT_BYTES,
+    Ctx, Endpoint, FlowDesc, FlowId, LossCause, NodeId, Packet, PacketKind, TrafficClass,
+    TransportEvent, CREDIT_BYTES,
 };
 
 use crate::common::{
@@ -90,6 +91,9 @@ struct SendFlow {
     heard_back: bool,
     /// Probe sequence, kept for §6 retries.
     probe_seq: Option<u64>,
+    /// Most recent loss-detection cause (attributes retransmissions in
+    /// telemetry traces).
+    last_loss: Option<LossCause>,
 }
 
 struct RecvFlow {
@@ -248,6 +252,14 @@ impl XPassEndpoint {
                 let mut pkt =
                     data_packet(&sf.desc, chunk.seq, chunk.len, TrafficClass::Scheduled, chunk.retransmit);
                 pkt.credit_echo = credit_seq;
+                if chunk.retransmit {
+                    let cause = if chunk.last_resort {
+                        LossCause::LastResort
+                    } else {
+                        sf.last_loss.unwrap_or(LossCause::Probe)
+                    };
+                    ctx.emit(TransportEvent::Retransmit { flow, bytes: chunk.len as u64, cause });
+                }
                 ctx.send(pkt);
             }
         }
@@ -260,6 +272,7 @@ impl XPassEndpoint {
         // feedback loop then handles remote bottlenecks.
         let active = self.recv_flows.values().filter(|rf| !rf.book.is_complete()).count().max(1);
         let local_cap = self.max_rate_bps(ctx) / active as f64;
+        let credit_grant = self.cfg.base.mtu_payload as u64;
         let rate_bps = {
             let rf = match self.recv_flows.get_mut(&flow) {
                 Some(rf) => rf,
@@ -273,6 +286,7 @@ impl XPassEndpoint {
             credit.size = CREDIT_BYTES;
             rf.next_credit_seq += 1;
             rf.credits_sent_period += 1;
+            ctx.emit(TransportEvent::CreditIssue { flow, bytes: credit_grant });
             ctx.send(credit);
             rf.rate_bps.min(local_cap)
         };
@@ -373,7 +387,15 @@ impl XPassEndpoint {
             } else {
                 ctx.metrics.note_timeout(flow);
                 let unacked = sf.core.unacked_ranges();
-                sf.core.force_mark_lost(&unacked);
+                let lost = sf.core.force_mark_lost(&unacked);
+                if lost > 0 {
+                    sf.last_loss = Some(LossCause::Timeout);
+                    ctx.emit(TransportEvent::LossDetected {
+                        flow,
+                        bytes: lost,
+                        cause: LossCause::Timeout,
+                    });
+                }
                 true
             }
         };
@@ -405,12 +427,20 @@ impl Endpoint for XPassEndpoint {
         ctx.send(req);
         let mtu = self.mtu();
         let mut burst_prio = 0;
+        let mut burst_sent = 0u64;
+        if budget > 0 {
+            ctx.emit(TransportEvent::BurstStart { flow: flow.id, bytes: budget.min(flow.size) });
+        }
         while let Some(chunk) = core.next_burst_chunk(mtu) {
             let mut pkt =
                 data_packet(&flow, chunk.seq, chunk.len, TrafficClass::Unscheduled, false);
             mode.stamp_unscheduled(&mut pkt, 0, 7);
             burst_prio = pkt.priority;
+            burst_sent += chunk.len as u64;
             ctx.send(pkt);
+        }
+        if budget > 0 {
+            ctx.emit(TransportEvent::BurstStop { flow: flow.id, sent: burst_sent });
         }
         let mut probe_seq = None;
         if let Some(ps) = core.end_burst() {
@@ -432,8 +462,10 @@ impl Endpoint for XPassEndpoint {
             let t = ctx.set_timer_in((retry_rtts as Time * self.cfg.base.base_rtt.max(1)).max(aeolus_sim::units::ms(2)));
             self.timers.insert(t, TimerKind::ProbeRetry(flow.id));
         }
-        self.send_flows
-            .insert(flow.id, SendFlow { desc: flow, core, heard_back: false, probe_seq });
+        self.send_flows.insert(
+            flow.id,
+            SendFlow { desc: flow, core, heard_back: false, probe_seq, last_loss: None },
+        );
     }
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
@@ -444,6 +476,10 @@ impl Endpoint for XPassEndpoint {
             PacketKind::Credit => {
                 if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
                     sf.heard_back = true;
+                    ctx.emit(TransportEvent::CreditReceipt {
+                        flow: pkt.flow,
+                        bytes: self.cfg.base.mtu_payload as u64,
+                    });
                 }
                 self.pump_scheduled(pkt.flow, pkt.seq, ctx);
             }
@@ -482,19 +518,32 @@ impl Endpoint for XPassEndpoint {
                 // on the next credits.
                 if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
                     sf.heard_back = true;
-                    sf.core.requeue_lost(pkt.seq, end);
+                    let lost = sf.core.requeue_lost(pkt.seq, end);
+                    if lost > 0 {
+                        sf.last_loss = Some(LossCause::Stall);
+                        ctx.emit(TransportEvent::LossDetected {
+                            flow: pkt.flow,
+                            bytes: lost,
+                            cause: LossCause::Stall,
+                        });
+                    }
                 }
             }
             PacketKind::Ack { of_probe, end } => {
                 let infer = self.cfg.base.sack_inference();
                 if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
                     sf.heard_back = true;
-                    if of_probe {
-                        sf.core.on_probe_ack();
+                    let (lost, cause) = if of_probe {
+                        (sf.core.on_probe_ack(), LossCause::Probe)
                     } else if infer {
-                        sf.core.on_ack(pkt.seq, end);
+                        (sf.core.on_ack(pkt.seq, end), LossCause::SackGap)
                     } else {
                         sf.core.on_ack_no_infer(pkt.seq, end);
+                        (0, LossCause::SackGap)
+                    };
+                    if lost > 0 {
+                        sf.last_loss = Some(cause);
+                        ctx.emit(TransportEvent::LossDetected { flow: pkt.flow, bytes: lost, cause });
                     }
                 }
             }

@@ -26,7 +26,10 @@ use std::collections::BTreeMap;
 
 use aeolus_core::PreCreditSender;
 use aeolus_sim::units::Time;
-use aeolus_sim::{Ctx, Endpoint, FlowDesc, FlowId, NodeId, Packet, PacketKind, TrafficClass};
+use aeolus_sim::{
+    Ctx, Endpoint, FlowDesc, FlowId, LossCause, NodeId, Packet, PacketKind, TrafficClass,
+    TransportEvent,
+};
 
 use crate::common::{ack_packet, data_packet, probe_ack_packet, probe_packet, BaseConfig};
 use crate::receiver_table::RecvBook;
@@ -97,6 +100,12 @@ impl Endpoint for ArbiterEndpoint {
         let end = start + slots as Time * self.slot;
         self.src_free.insert(src, end);
         self.dst_free.insert(dst, end);
+        // Each slot authorizes one full packet on the wire: the arbiter is
+        // the credit issuer in Fastpass.
+        ctx.emit(TransportEvent::CreditIssue {
+            flow: pkt.flow,
+            bytes: slots as u64 * self.mtu_wire as u64,
+        });
         let mut reply = Packet::control(
             pkt.flow,
             ctx.host,
@@ -135,6 +144,8 @@ struct SendFlow {
     /// Whether a request is currently outstanding at the arbiter.
     requesting: bool,
     completed: bool,
+    /// Most recent loss signal, for retransmission attribution.
+    last_loss: Option<LossCause>,
 }
 
 struct RecvFlow {
@@ -193,6 +204,18 @@ impl FastpassEndpoint {
                     TrafficClass::Scheduled,
                     chunk.retransmit,
                 );
+                if chunk.retransmit {
+                    let cause = if chunk.last_resort {
+                        LossCause::LastResort
+                    } else {
+                        sf.last_loss.unwrap_or(LossCause::Probe)
+                    };
+                    ctx.emit(TransportEvent::Retransmit {
+                        flow,
+                        bytes: chunk.len as u64,
+                        cause,
+                    });
+                }
                 ctx.send(pkt);
             }
             if sf.slots_left > 0 {
@@ -220,10 +243,18 @@ impl Endpoint for FastpassEndpoint {
         let mut core = PreCreditSender::new(flow.size, budget);
         let mtu = self.cfg.base.mtu_payload;
         // Pre-credit burst while the arbiter round-trip is in flight.
+        let mut burst_sent = 0u64;
+        if budget > 0 {
+            ctx.emit(TransportEvent::BurstStart { flow: flow.id, bytes: budget.min(flow.size) });
+        }
         while let Some(chunk) = core.next_burst_chunk(mtu) {
             let mut pkt = data_packet(&flow, chunk.seq, chunk.len, TrafficClass::Unscheduled, false);
             mode.stamp_unscheduled(&mut pkt, 0, 7);
+            burst_sent += chunk.len as u64;
             ctx.send(pkt);
+        }
+        if budget > 0 {
+            ctx.emit(TransportEvent::BurstStop { flow: flow.id, sent: burst_sent });
         }
         if let Some(ps) = core.end_burst() {
             if mode.probe_recovery() {
@@ -232,7 +263,15 @@ impl Endpoint for FastpassEndpoint {
         }
         self.send_flows.insert(
             flow.id,
-            SendFlow { desc: flow, core, slots_left: 0, stride: 0, requesting: false, completed: false },
+            SendFlow {
+                desc: flow,
+                core,
+                slots_left: 0,
+                stride: 0,
+                requesting: false,
+                completed: false,
+                last_loss: None,
+            },
         );
         self.request_slots(flow.id, ctx);
     }
@@ -248,6 +287,10 @@ impl Endpoint for FastpassEndpoint {
                     sf.requesting = false;
                     sf.slots_left = slots;
                     sf.stride = stride;
+                    ctx.emit(TransportEvent::CreditReceipt {
+                        flow: pkt.flow,
+                        bytes: slots as u64 * self.cfg.base.mtu_payload as u64,
+                    });
                     start.saturating_sub(ctx.now)
                 };
                 let t = ctx.set_timer_in(fire_first);
@@ -283,17 +326,28 @@ impl Endpoint for FastpassEndpoint {
             PacketKind::Ack { of_probe, end } => {
                 let mut need_more = false;
                 if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
-                    if of_probe {
-                        sf.core.on_probe_ack();
+                    let (lost, cause) = if of_probe {
+                        let lost = sf.core.on_probe_ack();
                         // Losses revealed: they may need timeslots.
                         need_more = sf.slots_left == 0 && sf.core.has_work();
+                        (lost, LossCause::Probe)
                     } else if pkt.seq == 0 && end >= sf.desc.size {
                         sf.completed = true;
                         sf.core.on_ack_no_infer(0, end);
+                        (0, LossCause::SackGap)
                     } else if self.cfg.base.sack_inference() {
-                        sf.core.on_ack(pkt.seq, end);
+                        (sf.core.on_ack(pkt.seq, end), LossCause::SackGap)
                     } else {
                         sf.core.on_ack_no_infer(pkt.seq, end);
+                        (0, LossCause::SackGap)
+                    };
+                    if lost > 0 {
+                        sf.last_loss = Some(cause);
+                        ctx.emit(TransportEvent::LossDetected {
+                            flow: pkt.flow,
+                            bytes: lost,
+                            cause,
+                        });
                     }
                 }
                 if need_more {

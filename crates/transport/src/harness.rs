@@ -2,9 +2,11 @@
 //! endpoints, schedule flows and run — the shared front door for integration
 //! tests, examples and every experiment runner.
 
-use aeolus_sim::topology::{fat_tree, leaf_spine, single_switch, LinkParams, Topology};
+use aeolus_sim::topology::{
+    fat_tree_with, leaf_spine_with, single_switch_with, LinkParams, Topology,
+};
 use aeolus_sim::units::Time;
-use aeolus_sim::{FlowDesc, Metrics, NodeId};
+use aeolus_sim::{FlowDesc, Metrics, NodeId, NullTracer, Tracer};
 
 use crate::registry::{Scheme, SchemeParams};
 
@@ -47,9 +49,12 @@ pub enum TopoSpec {
 }
 
 /// A runnable scenario: topology + scheme + endpoints.
-pub struct Harness {
+///
+/// Generic over the telemetry [`Tracer`]; the default [`NullTracer`]
+/// compiles every trace hook away.
+pub struct Harness<T: Tracer = NullTracer> {
     /// The built topology (network inside).
-    pub topo: Topology,
+    pub topo: Topology<T>,
     /// The scheme under test.
     pub scheme: Scheme,
     /// The resolved parameters (base RTT filled from the topology).
@@ -62,7 +67,28 @@ impl Harness {
     ///
     /// `params.base_rtt` is overwritten with the topology's base RTT unless
     /// it was already set to a non-zero value by the caller.
-    pub fn new(scheme: Scheme, mut params: SchemeParams, spec: TopoSpec) -> Harness {
+    #[deprecated(
+        since = "0.2.0",
+        note = "use SchemeBuilder::new(scheme).params(..).topology(..).build()"
+    )]
+    pub fn new(scheme: Scheme, params: SchemeParams, spec: TopoSpec) -> Harness {
+        Harness::with_tracer(scheme, params, spec, NullTracer)
+    }
+}
+
+impl<T: Tracer> Harness<T> {
+    /// [`SchemeBuilder::build`]'s engine: build the scheme's topology with
+    /// `tracer` installed on the network, wire every port with the scheme's
+    /// queue discipline and install one endpoint per host.
+    ///
+    /// `params.base_rtt` is overwritten with the topology's base RTT unless
+    /// it was already set to a non-zero value by the caller.
+    pub fn with_tracer(
+        scheme: Scheme,
+        mut params: SchemeParams,
+        spec: TopoSpec,
+        tracer: T,
+    ) -> Harness<T> {
         // One live shared-buffer pool per harness, handed to every port's
         // queue factory (configs carry only the capacity).
         let pool = params.shared_pool.map(aeolus_sim::SharedPool::new);
@@ -70,15 +96,15 @@ impl Harness {
         let mut topo = match spec {
             TopoSpec::SingleSwitch { hosts, mut link } => {
                 link.policy = scheme.route_policy();
-                single_switch(hosts, link, &qf)
+                single_switch_with(tracer, hosts, link, &qf)
             }
             TopoSpec::LeafSpine { spines, leaves, hosts_per_leaf, mut link } => {
                 link.policy = scheme.route_policy();
-                leaf_spine(spines, leaves, hosts_per_leaf, link, &qf)
+                leaf_spine_with(tracer, spines, leaves, hosts_per_leaf, link, &qf)
             }
             TopoSpec::FatTree { spines, pods, tors_per_pod, aggs_per_pod, hosts_per_tor, mut link } => {
                 link.policy = scheme.route_policy();
-                fat_tree(spines, pods, tors_per_pod, aggs_per_pod, hosts_per_tor, link, &qf)
+                fat_tree_with(tracer, spines, pods, tors_per_pod, aggs_per_pod, hosts_per_tor, link, &qf)
             }
         };
         if params.base_rtt == 0 {

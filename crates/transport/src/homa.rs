@@ -18,7 +18,10 @@ use std::collections::BTreeMap;
 
 use aeolus_core::PreCreditSender;
 use aeolus_sim::units::Time;
-use aeolus_sim::{Ctx, Endpoint, FlowDesc, FlowId, NodeId, Packet, PacketKind, TrafficClass};
+use aeolus_sim::{
+    Ctx, Endpoint, FlowDesc, FlowId, LossCause, NodeId, Packet, PacketKind, TrafficClass,
+    TransportEvent,
+};
 
 use crate::common::{
     ack_packet, data_packet, probe_ack_packet, probe_packet, BaseConfig, FirstRttMode,
@@ -117,6 +120,9 @@ struct SendFlow {
     /// recovery and the sender's blind RTO stands down.
     heard_from_receiver: bool,
     native_prio: u8,
+    /// Most recent loss-detection cause (attributes retransmissions in
+    /// telemetry traces).
+    last_loss: Option<LossCause>,
 }
 
 struct RecvFlow {
@@ -201,6 +207,7 @@ impl HomaEndpoint {
             if increment > 0 {
                 rf.granted += increment;
                 rf.last_granted = ctx.now;
+                ctx.emit(TransportEvent::CreditIssue { flow: id, bytes: increment });
                 let mut g = Packet::control(
                     id,
                     ctx.host,
@@ -229,6 +236,18 @@ impl HomaEndpoint {
                             chunk.retransmit,
                         );
                         pkt.priority = sf.grant_prio;
+                        if chunk.retransmit {
+                            let cause = if chunk.last_resort {
+                                LossCause::LastResort
+                            } else {
+                                sf.last_loss.unwrap_or(LossCause::Probe)
+                            };
+                            ctx.emit(TransportEvent::Retransmit {
+                                flow,
+                                bytes: chunk.len as u64,
+                                cause,
+                            });
+                        }
                         ctx.send(pkt);
                         sf.sent_sched += chunk.len as u64;
                     }
@@ -375,6 +394,7 @@ impl HomaEndpoint {
                 // naive deadline — the Table 1 efficiency collapse.
                 ctx.metrics.note_timeout(flow);
                 sf.rto_fires += 1;
+                sf.last_loss = Some(LossCause::Timeout);
                 let burst_end = sf.desc.size.min(
                     self.cfg.base.aeolus.burst_budget(ctx.line_rate, self.cfg.base.base_rtt),
                 );
@@ -388,6 +408,11 @@ impl HomaEndpoint {
                         sf.native_prio,
                         self.cfg.levels - 1,
                     );
+                    ctx.emit(TransportEvent::Retransmit {
+                        flow,
+                        bytes: len as u64,
+                        cause: LossCause::Timeout,
+                    });
                     ctx.send(pkt);
                     seq += len as u64;
                 }
@@ -400,6 +425,7 @@ impl HomaEndpoint {
                 // drives range recovery.
                 ctx.metrics.note_timeout(flow);
                 sf.rto_fires += 1;
+                sf.last_loss = Some(LossCause::Timeout);
                 let len = mtu.min(sf.desc.size as u32);
                 let mut pkt = data_packet(&sf.desc, 0, len, TrafficClass::Unscheduled, true);
                 self.cfg.base.mode.stamp_unscheduled(
@@ -407,6 +433,11 @@ impl HomaEndpoint {
                     sf.native_prio,
                     self.cfg.levels - 1,
                 );
+                ctx.emit(TransportEvent::Retransmit {
+                    flow,
+                    bytes: len as u64,
+                    cause: LossCause::Timeout,
+                });
                 ctx.send(pkt);
                 true
             }
@@ -472,10 +503,18 @@ impl Endpoint for HomaEndpoint {
         let mut core = PreCreditSender::new(flow.size, budget);
         let native_prio = self.cfg.unsched_prio(flow.size);
         let mtu = self.cfg.base.mtu_payload;
+        let mut burst_sent = 0u64;
+        if budget > 0 {
+            ctx.emit(TransportEvent::BurstStart { flow: flow.id, bytes: budget });
+        }
         while let Some(chunk) = core.next_burst_chunk(mtu) {
             let mut pkt = data_packet(&flow, chunk.seq, chunk.len, TrafficClass::Unscheduled, false);
             mode.stamp_unscheduled(&mut pkt, native_prio, self.cfg.levels - 1);
+            burst_sent += chunk.len as u64;
             ctx.send(pkt);
+        }
+        if budget > 0 {
+            ctx.emit(TransportEvent::BurstStop { flow: flow.id, sent: burst_sent });
         }
         if let Some(probe_seq) = core.end_burst() {
             if mode.probe_recovery() {
@@ -510,6 +549,7 @@ impl Endpoint for HomaEndpoint {
                 completed: false,
                 heard_from_receiver: false,
                 native_prio,
+                last_loss: None,
             },
         );
     }
@@ -560,6 +600,10 @@ impl Endpoint for HomaEndpoint {
                     sf.last_progress = ctx.now;
                     sf.grant_prio = grant_prio;
                     if pkt.seq > sf.granted {
+                        ctx.emit(TransportEvent::CreditReceipt {
+                            flow: pkt.flow,
+                            bytes: pkt.seq - sf.granted,
+                        });
                         sf.granted = pkt.seq;
                     }
                     sf.core.end_burst();
@@ -577,15 +621,34 @@ impl Endpoint for HomaEndpoint {
                         // Backstop path: requeue and let the (inflated)
                         // grant budget clock the retransmission out as a
                         // guaranteed scheduled packet.
-                        sf.core.requeue_lost(pkt.seq, end.min(sf.desc.size));
+                        let lost = sf.core.requeue_lost(pkt.seq, end.min(sf.desc.size));
+                        if lost > 0 {
+                            sf.last_loss = Some(LossCause::Stall);
+                            ctx.emit(TransportEvent::LossDetected {
+                                flow: pkt.flow,
+                                bytes: lost,
+                                cause: LossCause::Stall,
+                            });
+                        }
                     } else {
                         // Blind mode: resend immediately as unscheduled.
+                        sf.last_loss = Some(LossCause::Stall);
+                        ctx.emit(TransportEvent::LossDetected {
+                            flow: pkt.flow,
+                            bytes: end.min(sf.desc.size).saturating_sub(pkt.seq),
+                            cause: LossCause::Stall,
+                        });
                         let mut seq = pkt.seq;
                         while seq < end.min(sf.desc.size) {
                             let len = mtu.min((end.min(sf.desc.size) - seq) as u32);
                             let mut p =
                                 data_packet(&sf.desc, seq, len, TrafficClass::Unscheduled, true);
                             mode.stamp_unscheduled(&mut p, sf.native_prio, levels - 1);
+                            ctx.emit(TransportEvent::Retransmit {
+                                flow: pkt.flow,
+                                bytes: len as u64,
+                                cause: LossCause::Stall,
+                            });
                             ctx.send(p);
                             seq += len as u64;
                         }
@@ -600,16 +663,22 @@ impl Endpoint for HomaEndpoint {
                 if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
                     sf.heard_from_receiver = true;
                     sf.last_progress = ctx.now;
-                    if of_probe {
-                        sf.core.on_probe_ack();
+                    let (lost, cause) = if of_probe {
                         // Newly detected losses may fit the open grant window.
+                        (sf.core.on_probe_ack(), LossCause::Probe)
                     } else if pkt.seq == 0 && end >= sf.desc.size {
                         sf.completed = true;
                         sf.core.on_ack_no_infer(0, end);
+                        (0, LossCause::SackGap)
                     } else if infer {
-                        sf.core.on_ack(pkt.seq, end);
+                        (sf.core.on_ack(pkt.seq, end), LossCause::SackGap)
                     } else {
                         sf.core.on_ack_no_infer(pkt.seq, end);
+                        (0, LossCause::SackGap)
+                    };
+                    if lost > 0 {
+                        sf.last_loss = Some(cause);
+                        ctx.emit(TransportEvent::LossDetected { flow: pkt.flow, bytes: lost, cause });
                     }
                 }
                 self.pump_scheduled(pkt.flow, ctx);

@@ -11,6 +11,7 @@
 //! endpoint) triples; mixing them across schemes is a configuration error
 //! the paper's evaluation never performs.
 
+pub mod builder;
 pub mod common;
 pub mod dctcp;
 pub mod harness;
@@ -22,6 +23,7 @@ pub mod phost;
 pub mod receiver_table;
 pub mod registry;
 
+pub use builder::SchemeBuilder;
 pub use common::{BaseConfig, FirstRttMode};
 pub use dctcp::{DctcpConfig, DctcpEndpoint};
 pub use harness::{Harness, TopoSpec};
@@ -31,4 +33,4 @@ pub use homa::{HomaConfig, HomaEndpoint};
 pub use ndp::{NdpConfig, NdpEndpoint};
 pub use phost::{PHostConfig, PHostEndpoint};
 pub use receiver_table::{BookVerdict, RecvBook};
-pub use registry::{Scheme, SchemeParams};
+pub use registry::{ParseSchemeError, Scheme, SchemeParams};

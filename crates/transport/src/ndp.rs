@@ -18,7 +18,10 @@ use std::collections::{BTreeMap, VecDeque};
 
 use aeolus_core::PreCreditSender;
 use aeolus_sim::units::Time;
-use aeolus_sim::{Ctx, Endpoint, FlowDesc, FlowId, NodeId, Packet, PacketKind, TrafficClass};
+use aeolus_sim::{
+    Ctx, Endpoint, FlowDesc, FlowId, LossCause, NodeId, Packet, PacketKind, TrafficClass,
+    TransportEvent,
+};
 
 use crate::common::{ack_packet, data_packet, probe_ack_packet, probe_packet, BaseConfig};
 use crate::receiver_table::RecvBook;
@@ -59,6 +62,8 @@ struct SendFlow {
     /// Set once anything (ACK, probe ACK, NACK, pull) came back.
     heard_back: bool,
     probe_seq: Option<u64>,
+    /// Most recent loss signal, for retransmission attribution.
+    last_loss: Option<LossCause>,
 }
 
 struct RecvFlow {
@@ -187,6 +192,11 @@ impl NdpEndpoint {
                 let mut pull =
                     Packet::control(flow, ctx.host, rf.sender, rf.pulls_sent, PacketKind::Pull);
                 pull.priority = 0;
+                // Each pull funds one MTU of transmission: NDP's credit.
+                ctx.emit(TransportEvent::CreditIssue {
+                    flow,
+                    bytes: self.cfg.base.mtu_payload as u64,
+                });
                 ctx.send(pull);
                 self.next_pull_at = ctx.now + spacing;
             }
@@ -278,6 +288,18 @@ impl NdpEndpoint {
                 );
                 sf.tag += 1;
                 pkt.path_tag = sf.tag;
+                if chunk.retransmit {
+                    let cause = if chunk.last_resort {
+                        LossCause::LastResort
+                    } else {
+                        sf.last_loss.unwrap_or(LossCause::Nack)
+                    };
+                    ctx.emit(TransportEvent::Retransmit {
+                        flow,
+                        bytes: chunk.len as u64,
+                        cause,
+                    });
+                }
                 ctx.send(pkt);
             }
         }
@@ -342,12 +364,20 @@ impl Endpoint for NdpEndpoint {
         core.disable_last_resort();
         let mut tag = 0u64;
         let mtu = self.cfg.base.mtu_payload;
+        let mut burst_sent = 0u64;
+        if budget > 0 {
+            ctx.emit(TransportEvent::BurstStart { flow: flow.id, bytes: budget });
+        }
         while let Some(chunk) = core.next_burst_chunk(mtu) {
             let mut pkt = data_packet(&flow, chunk.seq, chunk.len, TrafficClass::Unscheduled, false);
             mode.stamp_unscheduled(&mut pkt, 0, 7);
             tag += 1;
             pkt.path_tag = tag;
+            burst_sent += chunk.len as u64;
             ctx.send(pkt);
+        }
+        if budget > 0 {
+            ctx.emit(TransportEvent::BurstStop { flow: flow.id, sent: burst_sent });
         }
         let mut probe_seq = None;
         if let Some(ps) = core.end_burst() {
@@ -365,8 +395,10 @@ impl Endpoint for NdpEndpoint {
             let t = ctx.set_timer_in(delay);
             self.timers.insert(t, TimerKind::ProbeRetry(flow.id));
         }
-        self.send_flows
-            .insert(flow.id, SendFlow { desc: flow, core, tag, heard_back: false, probe_seq });
+        self.send_flows.insert(
+            flow.id,
+            SendFlow { desc: flow, core, tag, heard_back: false, probe_seq, last_loss: None },
+        );
     }
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
@@ -431,12 +463,24 @@ impl Endpoint for NdpEndpoint {
                 if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
                     sf.heard_back = true;
                     let end = (pkt.seq + mtu).min(sf.desc.size);
-                    sf.core.requeue_lost(pkt.seq, end);
+                    let lost = sf.core.requeue_lost(pkt.seq, end);
+                    if lost > 0 {
+                        sf.last_loss = Some(LossCause::Nack);
+                        ctx.emit(TransportEvent::LossDetected {
+                            flow: pkt.flow,
+                            bytes: lost,
+                            cause: LossCause::Nack,
+                        });
+                    }
                 }
             }
             PacketKind::Pull => {
                 if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
                     sf.heard_back = true;
+                    ctx.emit(TransportEvent::CreditReceipt {
+                        flow: pkt.flow,
+                        bytes: self.cfg.base.mtu_payload as u64,
+                    });
                 }
                 self.pump_one(pkt.flow, ctx);
             }
@@ -444,7 +488,15 @@ impl Endpoint for NdpEndpoint {
                 if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
                     sf.heard_back = true;
                     if of_probe {
-                        sf.core.on_probe_ack();
+                        let lost = sf.core.on_probe_ack();
+                        if lost > 0 {
+                            sf.last_loss = Some(LossCause::Probe);
+                            ctx.emit(TransportEvent::LossDetected {
+                                flow: pkt.flow,
+                                bytes: lost,
+                                cause: LossCause::Probe,
+                            });
+                        }
                     } else {
                         // Spraying reorders packets: never infer loss from
                         // ACK gaps here.

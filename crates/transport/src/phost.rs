@@ -24,7 +24,10 @@ use std::collections::BTreeMap;
 
 use aeolus_core::PreCreditSender;
 use aeolus_sim::units::Time;
-use aeolus_sim::{Ctx, Endpoint, FlowDesc, FlowId, NodeId, Packet, PacketKind, TrafficClass};
+use aeolus_sim::{
+    Ctx, Endpoint, FlowDesc, FlowId, LossCause, NodeId, Packet, PacketKind, TrafficClass,
+    TransportEvent,
+};
 
 use crate::common::{
     ack_packet, data_packet, probe_ack_packet, probe_packet, BaseConfig, FirstRttMode,
@@ -62,6 +65,8 @@ struct SendFlow {
     desc: FlowDesc,
     core: PreCreditSender,
     completed: bool,
+    /// Most recent loss signal, for retransmission attribution.
+    last_loss: Option<LossCause>,
 }
 
 struct RecvFlow {
@@ -155,6 +160,8 @@ impl PHostEndpoint {
             rf.tokens_sent += 1;
             let mut tok = Packet::control(id, ctx.host, sender, rf.tokens_sent, PacketKind::Pull);
             tok.priority = 0;
+            // Each token authorizes one MTU of transmission: pHost's credit.
+            ctx.emit(TransportEvent::CreditIssue { flow: id, bytes: mtu });
             ctx.send(tok);
             let spacing = self.token_spacing(ctx);
             self.next_token_at = ctx.now + spacing;
@@ -262,6 +269,18 @@ impl PHostEndpoint {
                 );
                 // pHost puts scheduled below unscheduled: priority 1 of 2.
                 pkt.priority = 1;
+                if chunk.retransmit {
+                    let cause = if chunk.last_resort {
+                        LossCause::LastResort
+                    } else {
+                        sf.last_loss.unwrap_or(LossCause::Stall)
+                    };
+                    ctx.emit(TransportEvent::Retransmit {
+                        flow,
+                        bytes: chunk.len as u64,
+                        cause,
+                    });
+                }
                 ctx.send(pkt);
             }
         }
@@ -295,10 +314,18 @@ impl Endpoint for PHostEndpoint {
         ctx.send(rts);
         let native_prio = 0; // pHost: unscheduled at top priority
         let mtu = self.cfg.base.mtu_payload;
+        let mut burst_sent = 0u64;
+        if budget > 0 {
+            ctx.emit(TransportEvent::BurstStart { flow: flow.id, bytes: budget });
+        }
         while let Some(chunk) = core.next_burst_chunk(mtu) {
             let mut pkt = data_packet(&flow, chunk.seq, chunk.len, TrafficClass::Unscheduled, false);
             mode.stamp_unscheduled(&mut pkt, native_prio, 1);
+            burst_sent += chunk.len as u64;
             ctx.send(pkt);
+        }
+        if budget > 0 {
+            ctx.emit(TransportEvent::BurstStop { flow: flow.id, sent: burst_sent });
         }
         if let Some(ps) = core.end_burst() {
             if mode.probe_recovery() {
@@ -307,7 +334,8 @@ impl Endpoint for PHostEndpoint {
                 ctx.send(probe);
             }
         }
-        self.send_flows.insert(flow.id, SendFlow { desc: flow, core, completed: false });
+        self.send_flows
+            .insert(flow.id, SendFlow { desc: flow, core, completed: false, last_loss: None });
     }
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
@@ -355,26 +383,50 @@ impl Endpoint for PHostEndpoint {
             }
             PacketKind::Pull => {
                 // A token.
+                if self.send_flows.contains_key(&pkt.flow) {
+                    ctx.emit(TransportEvent::CreditReceipt {
+                        flow: pkt.flow,
+                        bytes: self.cfg.base.mtu_payload as u64,
+                    });
+                }
                 self.pump_one(pkt.flow, ctx);
             }
             PacketKind::Resend { end } => {
                 // pHost recovery is token re-issue in every mode: requeue
                 // the range; the extended token budget clocks it out.
                 if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
-                    sf.core.requeue_lost(pkt.seq, end.min(sf.desc.size));
+                    let lost = sf.core.requeue_lost(pkt.seq, end.min(sf.desc.size));
+                    if lost > 0 {
+                        sf.last_loss = Some(LossCause::Stall);
+                        ctx.emit(TransportEvent::LossDetected {
+                            flow: pkt.flow,
+                            bytes: lost,
+                            cause: LossCause::Stall,
+                        });
+                    }
                 }
             }
             PacketKind::Ack { of_probe, end } => {
                 if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
-                    if of_probe {
-                        sf.core.on_probe_ack();
+                    let (lost, cause) = if of_probe {
+                        (sf.core.on_probe_ack(), LossCause::Probe)
                     } else if pkt.seq == 0 && end >= sf.desc.size {
                         sf.completed = true;
                         sf.core.on_ack_no_infer(0, end);
+                        (0, LossCause::SackGap)
                     } else if self.cfg.base.sack_inference() {
-                        sf.core.on_ack(pkt.seq, end);
+                        (sf.core.on_ack(pkt.seq, end), LossCause::SackGap)
                     } else {
                         sf.core.on_ack_no_infer(pkt.seq, end);
+                        (0, LossCause::SackGap)
+                    };
+                    if lost > 0 {
+                        sf.last_loss = Some(cause);
+                        ctx.emit(TransportEvent::LossDetected {
+                            flow: pkt.flow,
+                            bytes: lost,
+                            cause,
+                        });
                     }
                 }
             }

@@ -117,6 +117,11 @@ pub struct SchemeParams {
     /// Fault injection: wrap every *switch* egress queue so each packet is
     /// discarded with this probability (0 = off). Robustness tests only.
     pub fault_loss_prob: f64,
+    /// Override the scheme's native first-RTT mode (ablations; set via
+    /// [`crate::SchemeBuilder::first_rtt`]). `None` keeps the default. The
+    /// switch queue discipline still follows the scheme, so overrides make
+    /// sense only between modes sharing a discipline (e.g. Aeolus ↔ Blind).
+    pub first_rtt: Option<FirstRttMode>,
 }
 
 impl SchemeParams {
@@ -136,6 +141,7 @@ impl SchemeParams {
             disable_sack: false,
             use_wred: false,
             fault_loss_prob: 0.0,
+            first_rtt: None,
         }
     }
 
@@ -159,8 +165,32 @@ impl Scheme {
         Box::new(ArbiterEndpoint::new(p.mtu_wire()))
     }
 
+    /// Stable machine-readable identifier for this scheme, usable on command
+    /// lines and in file names. Round-trips through [`Scheme::from_str`]
+    /// (RTO-carrying variants append `:<rto_us>` when parsing to override
+    /// the default timeout).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::ExpressPass => "expresspass",
+            Scheme::ExpressPassAeolus => "expresspass-aeolus",
+            Scheme::ExpressPassOracle => "expresspass-oracle",
+            Scheme::ExpressPassPrioQueue { .. } => "expresspass-prioq",
+            Scheme::Homa { .. } => "homa",
+            Scheme::HomaEager { .. } => "homa-eager",
+            Scheme::HomaAeolus => "homa-aeolus",
+            Scheme::HomaOracle => "homa-oracle",
+            Scheme::Ndp => "ndp",
+            Scheme::NdpAeolus => "ndp-aeolus",
+            Scheme::PHost { .. } => "phost",
+            Scheme::PHostAeolus => "phost-aeolus",
+            Scheme::Dctcp { .. } => "dctcp",
+            Scheme::Fastpass => "fastpass",
+            Scheme::FastpassAeolus => "fastpass-aeolus",
+        }
+    }
+
     /// Human-readable name as used in the paper's tables.
-    pub fn name(&self) -> String {
+    pub fn label(&self) -> String {
         match self {
             Scheme::ExpressPass => "ExpressPass".into(),
             Scheme::ExpressPassAeolus => "ExpressPass+Aeolus".into(),
@@ -231,7 +261,7 @@ impl Scheme {
             mtu_payload: p.mtu_payload,
             base_rtt: p.base_rtt,
             aeolus,
-            mode: self.first_rtt_mode(),
+            mode: p.first_rtt.unwrap_or_else(|| self.first_rtt_mode()),
             disable_sack: p.disable_sack || sprays,
         }
     }
@@ -425,6 +455,61 @@ impl Scheme {
     }
 }
 
+/// Error returned when a scheme string fails to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSchemeError(String);
+
+impl std::fmt::Display for ParseSchemeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown scheme '{}' (expected e.g. 'homa-aeolus' or 'dctcp:200')", self.0)
+    }
+}
+
+impl std::error::Error for ParseSchemeError {}
+
+impl std::str::FromStr for Scheme {
+    type Err = ParseSchemeError;
+
+    /// Parse `<slug>[:<rto_us>]`. The slug is [`Scheme::name`]; the optional
+    /// suffix overrides the retransmission timeout (in microseconds) of the
+    /// RTO-carrying variants and is rejected for the others.
+    fn from_str(s: &str) -> Result<Scheme, ParseSchemeError> {
+        let (slug, rto_us) = match s.split_once(':') {
+            Some((slug, rto)) => {
+                let rto_us: u64 = rto.parse().map_err(|_| ParseSchemeError(s.into()))?;
+                (slug, Some(rto_us))
+            }
+            None => (s, None),
+        };
+        let rto = |default_us: u64| aeolus_sim::units::us(rto_us.unwrap_or(default_us));
+        let fixed = |scheme: Scheme| {
+            if rto_us.is_some() {
+                Err(ParseSchemeError(s.into()))
+            } else {
+                Ok(scheme)
+            }
+        };
+        match slug {
+            "expresspass" => fixed(Scheme::ExpressPass),
+            "expresspass-aeolus" => fixed(Scheme::ExpressPassAeolus),
+            "expresspass-oracle" => fixed(Scheme::ExpressPassOracle),
+            "expresspass-prioq" => Ok(Scheme::ExpressPassPrioQueue { rto: rto(10_000) }),
+            "homa" => Ok(Scheme::Homa { rto: rto(10_000) }),
+            "homa-eager" => Ok(Scheme::HomaEager { rto: rto(20) }),
+            "homa-aeolus" => fixed(Scheme::HomaAeolus),
+            "homa-oracle" => fixed(Scheme::HomaOracle),
+            "ndp" => fixed(Scheme::Ndp),
+            "ndp-aeolus" => fixed(Scheme::NdpAeolus),
+            "phost" => Ok(Scheme::PHost { rto: rto(10_000) }),
+            "phost-aeolus" => fixed(Scheme::PHostAeolus),
+            "dctcp" => Ok(Scheme::Dctcp { rto: rto(10_000) }),
+            "fastpass" => fixed(Scheme::Fastpass),
+            "fastpass-aeolus" => fixed(Scheme::FastpassAeolus),
+            _ => Err(ParseSchemeError(s.into())),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -472,26 +557,68 @@ mod tests {
         }
     }
 
-    #[test]
-    fn names_are_distinct() {
-        let names: std::collections::HashSet<String> = [
-            Scheme::ExpressPass.name(),
-            Scheme::ExpressPassAeolus.name(),
-            Scheme::ExpressPassOracle.name(),
-            Scheme::ExpressPassPrioQueue { rto: us(10_000) }.name(),
-            Scheme::Homa { rto: us(10_000) }.name(),
-            Scheme::HomaAeolus.name(),
-            Scheme::HomaOracle.name(),
-            Scheme::Ndp.name(),
-            Scheme::NdpAeolus.name(),
-            Scheme::PHost { rto: us(10_000) }.name(),
-            Scheme::PHostAeolus.name(),
-            Scheme::Dctcp { rto: us(10_000) }.name(),
-            Scheme::Fastpass.name(),
-            Scheme::FastpassAeolus.name(),
+    fn all_schemes() -> Vec<Scheme> {
+        vec![
+            Scheme::ExpressPass,
+            Scheme::ExpressPassAeolus,
+            Scheme::ExpressPassOracle,
+            Scheme::ExpressPassPrioQueue { rto: us(10_000) },
+            Scheme::Homa { rto: us(10_000) },
+            Scheme::HomaEager { rto: us(20) },
+            Scheme::HomaAeolus,
+            Scheme::HomaOracle,
+            Scheme::Ndp,
+            Scheme::NdpAeolus,
+            Scheme::PHost { rto: us(10_000) },
+            Scheme::PHostAeolus,
+            Scheme::Dctcp { rto: us(10_000) },
+            Scheme::Fastpass,
+            Scheme::FastpassAeolus,
         ]
-        .into_iter()
-        .collect();
-        assert_eq!(names.len(), 14);
+    }
+
+    #[test]
+    fn names_and_labels_are_distinct() {
+        let schemes = all_schemes();
+        let names: std::collections::HashSet<&str> = schemes.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), schemes.len());
+        let labels: std::collections::HashSet<String> =
+            schemes.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), schemes.len());
+    }
+
+    #[test]
+    fn name_round_trips_through_from_str() {
+        // Property: for every scheme and every RTO in a sampled grid,
+        // parsing the printed form reproduces the scheme exactly.
+        for scheme in all_schemes() {
+            let parsed: Scheme = scheme.name().parse().expect("bare slug parses");
+            assert_eq!(parsed.name(), scheme.name(), "slug round-trip");
+        }
+        for rto_us in [1u64, 20, 200, 10_000, 1_000_000] {
+            for slug in ["expresspass-prioq", "homa", "homa-eager", "phost", "dctcp"] {
+                let spec = format!("{slug}:{rto_us}");
+                let parsed: Scheme = spec.parse().expect("rto-suffixed slug parses");
+                let rto = match parsed {
+                    Scheme::ExpressPassPrioQueue { rto }
+                    | Scheme::Homa { rto }
+                    | Scheme::HomaEager { rto }
+                    | Scheme::PHost { rto }
+                    | Scheme::Dctcp { rto } => rto,
+                    other => panic!("{spec} parsed to non-RTO scheme {other:?}"),
+                };
+                assert_eq!(rto, us(rto_us), "{spec} preserves the timeout");
+                assert_eq!(parsed.name(), slug, "{spec} keeps its slug");
+            }
+        }
+    }
+
+    #[test]
+    fn from_str_rejects_garbage() {
+        assert!("homa-aeolus:10".parse::<Scheme>().is_err(), "no RTO on fixed schemes");
+        assert!("".parse::<Scheme>().is_err());
+        assert!("tcp-vegas".parse::<Scheme>().is_err());
+        assert!("homa:abc".parse::<Scheme>().is_err());
+        assert!("homa:".parse::<Scheme>().is_err());
     }
 }

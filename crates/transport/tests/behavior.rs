@@ -5,7 +5,7 @@
 use aeolus_sim::topology::LinkParams;
 use aeolus_sim::units::{ms, us, Rate, PS_PER_SEC};
 use aeolus_sim::{FlowDesc, FlowId, NodeId};
-use aeolus_transport::{Harness, Scheme, SchemeParams, TopoSpec};
+use aeolus_transport::{Scheme, SchemeBuilder, SchemeParams, TopoSpec};
 
 fn testbed() -> TopoSpec {
     TopoSpec::SingleSwitch { hosts: 8, link: LinkParams::uniform(Rate::gbps(10), us(3)) }
@@ -13,7 +13,7 @@ fn testbed() -> TopoSpec {
 
 #[test]
 fn expresspass_credit_loop_ramps_to_near_line_rate() {
-    let mut h = Harness::new(Scheme::ExpressPass, SchemeParams::new(0), testbed());
+    let mut h = SchemeBuilder::new(Scheme::ExpressPass).topology(testbed()).build();
     let hosts = h.hosts().to_vec();
     let size = 4_000_000u64;
     h.schedule(&[FlowDesc { id: FlowId(1), src: hosts[1], dst: hosts[0], size, start: 0 }]);
@@ -29,7 +29,7 @@ fn expresspass_credit_loop_ramps_to_near_line_rate() {
 
 #[test]
 fn expresspass_shares_a_bottleneck_roughly_fairly() {
-    let mut h = Harness::new(Scheme::ExpressPass, SchemeParams::new(0), testbed());
+    let mut h = SchemeBuilder::new(Scheme::ExpressPass).topology(testbed()).build();
     let hosts = h.hosts().to_vec();
     // Two equal elephants into the same receiver, started together.
     h.schedule(&[
@@ -45,7 +45,7 @@ fn expresspass_shares_a_bottleneck_roughly_fairly() {
 
 #[test]
 fn homa_srpt_prefers_short_messages() {
-    let mut h = Harness::new(Scheme::HomaAeolus, SchemeParams::new(0), testbed());
+    let mut h = SchemeBuilder::new(Scheme::HomaAeolus).topology(testbed()).build();
     let hosts = h.hosts().to_vec();
     // A big message starts first; a small one arrives while it transfers.
     h.schedule(&[
@@ -69,7 +69,7 @@ fn ndp_sprays_across_all_spines() {
         hosts_per_leaf: 2,
         link: LinkParams::uniform(Rate::gbps(100), us(1)),
     };
-    let mut h = Harness::new(Scheme::Ndp, SchemeParams::new(0), spec);
+    let mut h = SchemeBuilder::new(Scheme::Ndp).topology(spec).build();
     let hosts = h.hosts().to_vec();
     // Cross-leaf elephant: its packets must spread over all 4 spines.
     h.schedule(&[FlowDesc { id: FlowId(1), src: hosts[0], dst: hosts[3], size: 1_000_000, start: 0 }]);
@@ -97,7 +97,7 @@ fn ecmp_pins_expresspass_flows_to_one_path() {
         hosts_per_leaf: 2,
         link: LinkParams::uniform(Rate::gbps(100), us(1)),
     };
-    let mut h = Harness::new(Scheme::ExpressPassAeolus, SchemeParams::new(0), spec);
+    let mut h = SchemeBuilder::new(Scheme::ExpressPassAeolus).topology(spec).build();
     let hosts = h.hosts().to_vec();
     h.schedule(&[FlowDesc { id: FlowId(1), src: hosts[0], dst: hosts[3], size: 1_000_000, start: 0 }]);
     assert!(h.run(ms(100)));
@@ -120,7 +120,7 @@ fn selective_dropping_bounds_the_bottleneck_queue() {
     // Under a synchronized EP+Aeolus incast, the bottleneck queue must stay
     // near the 6KB threshold: unscheduled can't pile up, and scheduled
     // packets are credit-paced.
-    let mut h = Harness::new(Scheme::ExpressPassAeolus, SchemeParams::new(0), testbed());
+    let mut h = SchemeBuilder::new(Scheme::ExpressPassAeolus).topology(testbed()).build();
     let hosts = h.hosts().to_vec();
     let flows: Vec<FlowDesc> = (0..7)
         .map(|i| FlowDesc {
@@ -154,7 +154,7 @@ fn oracle_burst_does_not_disturb_a_scheduled_victim() {
         link: LinkParams::uniform(Rate::gbps(10), us(1)),
     };
     let run = |with_burst: bool| {
-        let mut h = Harness::new(Scheme::ExpressPassOracle, SchemeParams::new(0), spec());
+        let mut h = SchemeBuilder::new(Scheme::ExpressPassOracle).topology(spec()).build();
         let hosts = h.hosts().to_vec();
         // Victim crosses leaf0 -> spine -> leaf1.
         let mut flows =
@@ -194,7 +194,7 @@ fn homa_learns_size_from_probe_when_whole_burst_is_lost() {
     // Force every unscheduled packet of one flow to drop by pre-filling the
     // bottleneck with other bursts; the probe (protected) still delivers the
     // demand and the flow completes via grants.
-    let mut h = Harness::new(Scheme::HomaAeolus, SchemeParams::new(0), testbed());
+    let mut h = SchemeBuilder::new(Scheme::HomaAeolus).topology(testbed()).build();
     let hosts = h.hosts().to_vec();
     let mut flows: Vec<FlowDesc> = (0..6)
         .map(|i| FlowDesc {
@@ -215,7 +215,7 @@ fn homa_learns_size_from_probe_when_whole_burst_is_lost() {
 #[test]
 fn node_id_sanity() {
     // Guard against host/switch id mixups in topology handles.
-    let h = Harness::new(Scheme::Ndp, SchemeParams::new(0), testbed());
+    let h = SchemeBuilder::new(Scheme::Ndp).topology(testbed()).build();
     for &id in h.hosts() {
         assert!(h.topo.net.node(id).is_host());
     }
@@ -228,7 +228,7 @@ fn node_id_sanity() {
 #[test]
 fn dctcp_delivers_and_converges() {
     // Single elephant should approach line rate after slow start.
-    let mut h = Harness::new(Scheme::Dctcp { rto: ms(10) }, SchemeParams::new(0), testbed());
+    let mut h = SchemeBuilder::new(Scheme::Dctcp { rto: ms(10) }).topology(testbed()).build();
     let hosts = h.hosts().to_vec();
     let size = 2_000_000u64;
     h.schedule(&[FlowDesc { id: FlowId(1), src: hosts[1], dst: hosts[0], size, start: 0 }]);
@@ -244,7 +244,7 @@ fn dctcp_needs_more_rtts_than_aeolus_for_sub_bdp_flows() {
     // larger than the initial window needs several RTTs, while an Aeolus
     // burst finishes it in roughly one.
     let fct = |scheme| {
-        let mut h = Harness::new(scheme, SchemeParams::new(0), testbed());
+        let mut h = SchemeBuilder::new(scheme).topology(testbed()).build();
         let hosts = h.hosts().to_vec();
         h.schedule(&[FlowDesc { id: FlowId(1), src: hosts[1], dst: hosts[0], size: 21_000, start: 0 }]);
         assert!(h.run(ms(100)));
@@ -260,7 +260,7 @@ fn dctcp_needs_more_rtts_than_aeolus_for_sub_bdp_flows() {
 
 #[test]
 fn dctcp_survives_incast_with_ecn_backoff() {
-    let mut h = Harness::new(Scheme::Dctcp { rto: ms(10) }, SchemeParams::new(0), testbed());
+    let mut h = SchemeBuilder::new(Scheme::Dctcp { rto: ms(10) }).topology(testbed()).build();
     let hosts = h.hosts().to_vec();
     let flows: Vec<FlowDesc> = (0..7)
         .map(|i| FlowDesc {
@@ -289,7 +289,7 @@ fn wred_and_red_ecn_switch_paths_agree_end_to_end() {
     let run = |use_wred: bool| {
         let mut params = SchemeParams::new(0);
         params.use_wred = use_wred;
-        let mut h = Harness::new(Scheme::ExpressPassAeolus, params, testbed());
+        let mut h = SchemeBuilder::new(Scheme::ExpressPassAeolus).params(params).topology(testbed()).build();
         let hosts = h.hosts().to_vec();
         let flows: Vec<FlowDesc> = (0..7)
             .map(|i| FlowDesc {
@@ -325,7 +325,7 @@ fn recovery_survives_random_packet_corruption() {
     ] {
         let mut params = SchemeParams::new(0);
         params.fault_loss_prob = 0.005;
-        let mut h = Harness::new(scheme, params, testbed());
+        let mut h = SchemeBuilder::new(scheme).params(params).topology(testbed()).build();
         let hosts = h.hosts().to_vec();
         let flows: Vec<FlowDesc> = (0..5)
             .map(|i| FlowDesc {
@@ -356,7 +356,7 @@ fn fastpass_arbiter_schedules_conflict_free_and_aeolus_fixes_first_rtt() {
     // couple of in-flight packets at the receiver downlink, every flow
     // delivered. With Aeolus, sub-BDP messages beat the arbiter round trip.
     let run = |scheme: Scheme, size: u64| {
-        let mut h = Harness::new(scheme, SchemeParams::new(0), testbed());
+        let mut h = SchemeBuilder::new(scheme).topology(testbed()).build();
         let hosts = h.hosts().to_vec();
         let flows: Vec<FlowDesc> = (0..5)
             .map(|i| FlowDesc {
@@ -394,7 +394,7 @@ fn fastpass_arbiter_schedules_conflict_free_and_aeolus_fixes_first_rtt() {
     // Aeolus' win is the first RTT when spare bandwidth exists: a single
     // sub-BDP message finishes before the arbiter round trip completes.
     let single = |scheme: Scheme| {
-        let mut h = Harness::new(scheme, SchemeParams::new(0), testbed());
+        let mut h = SchemeBuilder::new(scheme).topology(testbed()).build();
         let hosts = h.hosts().to_vec();
         h.schedule(&[FlowDesc { id: FlowId(1), src: hosts[1], dst: hosts[0], size: 12_000, start: 0 }]);
         assert!(h.run(ms(100)));
@@ -410,7 +410,7 @@ fn fastpass_arbiter_schedules_conflict_free_and_aeolus_fixes_first_rtt() {
 
 #[test]
 fn fastpass_arbiter_host_is_reserved() {
-    let h = Harness::new(Scheme::FastpassAeolus, SchemeParams::new(0), testbed());
+    let h = SchemeBuilder::new(Scheme::FastpassAeolus).topology(testbed()).build();
     // The testbed has 8 hosts; one is reserved for the arbiter.
     assert_eq!(h.hosts().len(), 7);
     assert!(h.params.arbiter.is_some());
@@ -423,7 +423,7 @@ fn homa_burst_priorities_follow_message_size() {
     // message's burst must ride a strictly higher priority (lower number)
     // than a large message's. Verified via the packet trace.
     let first_burst_prio = |size: u64| {
-        let mut h = Harness::new(Scheme::Homa { rto: ms(10) }, SchemeParams::new(0), testbed());
+        let mut h = SchemeBuilder::new(Scheme::Homa { rto: ms(10) }).topology(testbed()).build();
         let hosts = h.hosts().to_vec();
         h.topo.net.trace_flow(FlowId(9));
         h.schedule(&[FlowDesc { id: FlowId(9), src: hosts[1], dst: hosts[0], size, start: 0 }]);

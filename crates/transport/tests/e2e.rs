@@ -4,7 +4,7 @@
 use aeolus_sim::topology::LinkParams;
 use aeolus_sim::units::{ms, us};
 use aeolus_sim::{DropReason, FlowDesc, FlowId, Rate, TrafficClass};
-use aeolus_transport::{Harness, Scheme, SchemeParams, TopoSpec};
+use aeolus_transport::{Harness, Scheme, SchemeBuilder, TopoSpec};
 
 fn testbed() -> TopoSpec {
     // The paper's testbed: 8 hosts, one switch, 10 Gbps, ~14 us base RTT.
@@ -40,7 +40,7 @@ fn all_schemes() -> Vec<Scheme> {
 }
 
 fn run_one(scheme: Scheme, spec: TopoSpec, flows: &[FlowDesc], horizon: u64) -> Harness {
-    let mut h = Harness::new(scheme, SchemeParams::new(0), spec);
+    let mut h = SchemeBuilder::new(scheme).topology(spec).build();
     h.schedule(flows);
     let done = h.run(horizon);
     assert!(
@@ -71,7 +71,7 @@ fn pair_flows(h: &Harness, sizes: &[u64]) -> Vec<FlowDesc> {
 #[test]
 fn every_scheme_delivers_single_small_flow() {
     for scheme in all_schemes() {
-        let h = Harness::new(scheme, SchemeParams::new(0), testbed());
+        let h = SchemeBuilder::new(scheme).topology(testbed()).build();
         let flows =
             vec![FlowDesc { id: FlowId(1), src: h.hosts()[1], dst: h.hosts()[0], size: 3_000, start: 0 }];
         let h = run_one(scheme, testbed(), &flows, ms(100));
@@ -83,7 +83,7 @@ fn every_scheme_delivers_single_small_flow() {
 #[test]
 fn every_scheme_delivers_single_large_flow() {
     for scheme in all_schemes() {
-        let h = Harness::new(scheme, SchemeParams::new(0), testbed());
+        let h = SchemeBuilder::new(scheme).topology(testbed()).build();
         let flows = vec![FlowDesc {
             id: FlowId(1),
             src: h.hosts()[1],
@@ -100,7 +100,7 @@ fn every_scheme_delivers_single_large_flow() {
 #[test]
 fn every_scheme_survives_7_to_1_incast() {
     for scheme in all_schemes() {
-        let h = Harness::new(scheme, SchemeParams::new(0), testbed());
+        let h = SchemeBuilder::new(scheme).topology(testbed()).build();
         let flows = pair_flows(&h, &[40_000; 7]);
         let h = run_one(scheme, testbed(), &flows, ms(2000));
         assert_eq!(h.metrics().completed_count(), 7, "{}", scheme.name());
@@ -110,7 +110,7 @@ fn every_scheme_survives_7_to_1_incast() {
 #[test]
 fn every_scheme_works_on_leaf_spine_cross_traffic() {
     for scheme in all_schemes() {
-        let h = Harness::new(scheme, SchemeParams::new(0), small_leaf_spine());
+        let h = SchemeBuilder::new(scheme).topology(small_leaf_spine()).build();
         let hosts = h.hosts().to_vec();
         // Cross-rack flows in both directions plus one intra-rack flow.
         let flows = vec![
@@ -129,18 +129,18 @@ fn aeolus_never_selectively_drops_scheduled_packets() {
     for scheme in
         [Scheme::ExpressPassAeolus, Scheme::HomaAeolus, Scheme::NdpAeolus, Scheme::PHostAeolus]
     {
-        let h = Harness::new(scheme, SchemeParams::new(0), testbed());
+        let h = SchemeBuilder::new(scheme).topology(testbed()).build();
         let flows = pair_flows(&h, &[100_000; 7]);
         let h = run_one(scheme, testbed(), &flows, ms(2000));
         let m = h.metrics();
         assert_eq!(
-            m.drops.get(&(DropReason::SelectiveDrop, TrafficClass::Scheduled)).copied().unwrap_or(0),
+            m.drops_of(DropReason::SelectiveDrop, TrafficClass::Scheduled),
             0,
             "{}: selective dropping must never touch scheduled packets",
             scheme.name()
         );
         assert_eq!(
-            m.drops.get(&(DropReason::SelectiveDrop, TrafficClass::Control)).copied().unwrap_or(0),
+            m.drops_of(DropReason::SelectiveDrop, TrafficClass::Control),
             0,
             "{}: control packets are protected",
             scheme.name()
@@ -152,7 +152,7 @@ fn aeolus_never_selectively_drops_scheduled_packets() {
 fn aeolus_selective_drops_happen_under_incast() {
     // With 7 senders bursting a BDP each into one 10G port, the 6 KB
     // threshold must trigger.
-    let h = Harness::new(Scheme::ExpressPassAeolus, SchemeParams::new(0), testbed());
+    let h = SchemeBuilder::new(Scheme::ExpressPassAeolus).topology(testbed()).build();
     let flows = pair_flows(&h, &[100_000; 7]);
     let h = run_one(Scheme::ExpressPassAeolus, testbed(), &flows, ms(2000));
     assert!(
@@ -165,7 +165,7 @@ fn aeolus_selective_drops_happen_under_incast() {
 fn expresspass_aeolus_beats_plain_expresspass_on_small_flows() {
     // The headline effect: a sub-BDP flow completes ~1 RTT faster.
     let mk = |scheme| {
-        let h = Harness::new(scheme, SchemeParams::new(0), testbed());
+        let h = SchemeBuilder::new(scheme).topology(testbed()).build();
         let flows =
             vec![FlowDesc { id: FlowId(1), src: h.hosts()[1], dst: h.hosts()[0], size: 10_000, start: 0 }];
         let h = run_one(scheme, testbed(), &flows, ms(100));
@@ -181,12 +181,12 @@ fn expresspass_aeolus_beats_plain_expresspass_on_small_flows() {
 
 #[test]
 fn ndp_trims_under_incast_but_aeolus_variant_does_not() {
-    let h = Harness::new(Scheme::Ndp, SchemeParams::new(0), testbed());
+    let h = SchemeBuilder::new(Scheme::Ndp).topology(testbed()).build();
     let flows = pair_flows(&h, &[100_000; 7]);
     let h = run_one(Scheme::Ndp, testbed(), &flows, ms(2000));
     assert!(h.metrics().trimmed > 0, "NDP should trim under incast");
 
-    let h2 = Harness::new(Scheme::NdpAeolus, SchemeParams::new(0), testbed());
+    let h2 = SchemeBuilder::new(Scheme::NdpAeolus).topology(testbed()).build();
     let flows = pair_flows(&h2, &[100_000; 7]);
     let h2 = run_one(Scheme::NdpAeolus, testbed(), &flows, ms(2000));
     assert_eq!(h2.metrics().trimmed, 0, "NDP+Aeolus needs no trimming switches");
@@ -198,7 +198,7 @@ fn transfer_efficiency_reasonable_under_incast() {
     // selectively dropped by design (the §6 tradeoff): efficiency dips but
     // must stay far above eager-Homa's collapse (~0.31 in Table 1).
     for scheme in [Scheme::ExpressPassAeolus, Scheme::HomaAeolus, Scheme::NdpAeolus] {
-        let h = Harness::new(scheme, SchemeParams::new(0), testbed());
+        let h = SchemeBuilder::new(scheme).topology(testbed()).build();
         let flows = pair_flows(&h, &[60_000; 7]);
         let h = run_one(scheme, testbed(), &flows, ms(2000));
         let eff = h.metrics().transfer_efficiency();
@@ -210,7 +210,7 @@ fn transfer_efficiency_reasonable_under_incast() {
 fn transfer_efficiency_near_one_without_contention() {
     // With spare bandwidth nothing is dropped: every byte sent once.
     for scheme in [Scheme::ExpressPassAeolus, Scheme::HomaAeolus, Scheme::NdpAeolus] {
-        let h = Harness::new(scheme, SchemeParams::new(0), testbed());
+        let h = SchemeBuilder::new(scheme).topology(testbed()).build();
         let hosts = h.hosts().to_vec();
         let flows: Vec<FlowDesc> = (0..4)
             .map(|i| FlowDesc {
@@ -230,7 +230,7 @@ fn transfer_efficiency_near_one_without_contention() {
 #[test]
 fn aeolus_schemes_see_no_timeouts_under_moderate_incast() {
     for scheme in [Scheme::ExpressPassAeolus, Scheme::HomaAeolus] {
-        let h = Harness::new(scheme, SchemeParams::new(0), testbed());
+        let h = SchemeBuilder::new(scheme).topology(testbed()).build();
         let flows = pair_flows(&h, &[60_000; 7]);
         let h = run_one(scheme, testbed(), &flows, ms(2000));
         assert_eq!(h.metrics().flows_with_timeouts(), 0, "{}", scheme.name());
@@ -248,7 +248,7 @@ fn fat_tree_cross_pod_delivery() {
             hosts_per_tor: 2,
             link: LinkParams::uniform(Rate::gbps(100), us(1)),
         };
-        let h = Harness::new(scheme, SchemeParams::new(0), spec);
+        let h = SchemeBuilder::new(scheme).topology(spec).build();
         let hosts = h.hosts().to_vec();
         let flows = vec![
             // Cross-pod (first pod host -> last pod host).
@@ -265,7 +265,7 @@ fn fat_tree_cross_pod_delivery() {
 #[test]
 fn deterministic_across_runs() {
     let run = || {
-        let h = Harness::new(Scheme::HomaAeolus, SchemeParams::new(0), testbed());
+        let h = SchemeBuilder::new(Scheme::HomaAeolus).topology(testbed()).build();
         let flows = pair_flows(&h, &[50_000, 20_000, 80_000, 10_000, 35_000, 5_000, 64_000]);
         let h = run_one(Scheme::HomaAeolus, testbed(), &flows, ms(2000));
         h.metrics().flows().map(|r| (r.desc.id, r.fct().unwrap())).collect::<Vec<_>>()

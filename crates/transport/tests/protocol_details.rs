@@ -5,7 +5,7 @@
 use aeolus_sim::topology::LinkParams;
 use aeolus_sim::units::{ms, us, Rate};
 use aeolus_sim::{FlowDesc, FlowId, PacketKind, TraceKind, TrafficClass};
-use aeolus_transport::{Harness, Scheme, SchemeParams, TopoSpec};
+use aeolus_transport::{Harness, Scheme, SchemeBuilder, TopoSpec};
 
 fn testbed() -> TopoSpec {
     TopoSpec::SingleSwitch { hosts: 8, link: LinkParams::uniform(Rate::gbps(10), us(3)) }
@@ -13,7 +13,7 @@ fn testbed() -> TopoSpec {
 
 /// Harness with one traced flow scheduled.
 fn traced(scheme: Scheme, size: u64) -> Harness {
-    let mut h = Harness::new(scheme, SchemeParams::new(0), testbed());
+    let mut h = SchemeBuilder::new(scheme).topology(testbed()).build();
     let hosts = h.hosts().to_vec();
     h.topo.net.trace_flow(FlowId(1));
     h.schedule(&[FlowDesc { id: FlowId(1), src: hosts[1], dst: hosts[0], size, start: 0 }]);
@@ -85,7 +85,7 @@ fn ndp_trim_to_retransmit_takes_about_one_rtt() {
     // Overload the receiver so trims occur, then check that a trimmed
     // packet's payload is retransmitted roughly one RTT after the trim
     // (header races back, NACK out, pull clocks the retransmission).
-    let mut h = Harness::new(Scheme::Ndp, SchemeParams::new(0), testbed());
+    let mut h = SchemeBuilder::new(Scheme::Ndp).topology(testbed()).build();
     let hosts = h.hosts().to_vec();
     h.topo.net.trace_flow(FlowId(1));
     let mut flows = vec![FlowDesc { id: FlowId(1), src: hosts[1], dst: hosts[0], size: 60_000, start: 0 }];
@@ -236,7 +236,7 @@ mod arbiter_invariants {
                     )
                 })
                 .collect();
-            let mut h = Harness::new(Scheme::Fastpass, SchemeParams::new(0), testbed());
+            let mut h = SchemeBuilder::new(Scheme::Fastpass).topology(testbed()).build();
             let hosts = h.hosts().to_vec();
             let n = hosts.len();
             let flows: Vec<FlowDesc> = specs

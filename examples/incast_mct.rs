@@ -13,11 +13,12 @@ use aeolus::prelude::*;
 use aeolus::stats::f2;
 
 fn mct(scheme: Scheme, msg: u64, rounds: usize) -> (f64, f64, f64) {
-    let mut h = Harness::new(
-        scheme,
-        SchemeParams::new(0),
-        TopoSpec::SingleSwitch { hosts: 8, link: LinkParams::uniform(Rate::gbps(10), us(3)) },
-    );
+    let mut h = SchemeBuilder::new(scheme)
+        .topology(TopoSpec::SingleSwitch {
+            hosts: 8,
+            link: LinkParams::uniform(Rate::gbps(10), us(3)),
+        })
+        .build();
     let hosts = h.hosts().to_vec();
     let flows = incast_rounds(&hosts[1..], hosts[0], msg, rounds, ms(2), 0, 1);
     h.schedule(&flows);

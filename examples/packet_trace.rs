@@ -16,7 +16,7 @@ use aeolus::sim::{TraceKind, PacketKind};
 fn main() {
     let spec =
         TopoSpec::SingleSwitch { hosts: 8, link: LinkParams::uniform(Rate::gbps(10), us(3)) };
-    let mut h = Harness::new(Scheme::ExpressPassAeolus, SchemeParams::new(0), spec);
+    let mut h = SchemeBuilder::new(Scheme::ExpressPassAeolus).topology(spec).build();
     let hosts = h.hosts().to_vec();
     // Six competing bursts plus the traced victim.
     let mut flows: Vec<FlowDesc> = (0..6)

@@ -19,7 +19,7 @@ use aeolus::sim::topology::LinkParams;
 fn timeline(scheme: Scheme) -> Vec<(u64, u64)> {
     let spec =
         TopoSpec::SingleSwitch { hosts: 8, link: LinkParams::uniform(Rate::gbps(10), us(3)) };
-    let mut h = Harness::new(scheme, SchemeParams::new(0), spec);
+    let mut h = SchemeBuilder::new(scheme).topology(spec).build();
     let hosts = h.hosts().to_vec();
     let flows: Vec<FlowDesc> = (0..7)
         .map(|i| FlowDesc {

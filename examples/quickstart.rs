@@ -12,11 +12,12 @@
 use aeolus::prelude::*;
 
 fn fct_us(scheme: Scheme) -> f64 {
-    let mut h = Harness::new(
-        scheme,
-        SchemeParams::new(0),
-        TopoSpec::SingleSwitch { hosts: 8, link: LinkParams::uniform(Rate::gbps(10), us(3)) },
-    );
+    let mut h = SchemeBuilder::new(scheme)
+        .topology(TopoSpec::SingleSwitch {
+            hosts: 8,
+            link: LinkParams::uniform(Rate::gbps(10), us(3)),
+        })
+        .build();
     let hosts = h.hosts().to_vec();
     h.schedule(&[FlowDesc { id: FlowId(1), src: hosts[1], dst: hosts[0], size: 30_000, start: 0 }]);
     assert!(h.run(ms(100)), "flow must complete");

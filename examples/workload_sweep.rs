@@ -42,7 +42,7 @@ fn main() {
             hosts_per_leaf: 8,
             link: LinkParams::uniform(Rate::gbps(100), 550 * aeolus::sim::units::ns(1)),
         };
-        let mut h = Harness::new(scheme, SchemeParams::new(0), spec);
+        let mut h = SchemeBuilder::new(scheme).topology(spec).build();
         let hosts = h.hosts().to_vec();
         let flows = poisson_flows(
             &PoissonConfig {

@@ -12,4 +12,46 @@ AEOLUS_BENCH_ITERS=2 AEOLUS_BENCH_WARMUP=1 cargo bench -p aeolus-bench --bench e
 # One end-to-end experiment at smoke scale, exercising the parallel fan-out.
 cargo run --release -q -p aeolus-experiments --bin repro -- fig1 --scale smoke --jobs 2
 
+# Trace smoke: capture one traced incast, check the JSONL parses and is
+# non-empty (every line a JSON object, with at least one queue event).
+trace_out="$(mktemp -d)/trace_ci.jsonl"
+cargo run --release -q -p aeolus-experiments --bin repro -- \
+    --trace expresspass-aeolus --trace-out "$trace_out"
+python3 - "$trace_out" <<'EOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert len(lines) > 100, f"trace suspiciously small: {len(lines)} lines"
+kinds = set()
+for l in lines:
+    kinds.add(json.loads(l)["type"])
+assert {"meta", "port", "queue", "transport", "series"} <= kinds, kinds
+print(f"trace smoke: {len(lines)} JSONL lines, record types {sorted(kinds)}")
+EOF
+
+# NullTracer overhead gate: a fresh engine-bench run's incast kernel must
+# stay close to the committed baseline in results/bench.json. The tracer
+# hooks are statically dispatched to no-ops by default, so any regression
+# here means the abstraction stopped compiling away. The tolerance is
+# wider than the 2% acceptance bar (measured with full iterations on a
+# quiet machine) to absorb CI-host noise; override with AEOLUS_OVERHEAD_TOL.
+bench_out="$(mktemp -d)/bench_ci.json"
+AEOLUS_BENCH_ITERS="${AEOLUS_BENCH_ITERS:-5}" AEOLUS_BENCH_WARMUP="${AEOLUS_BENCH_WARMUP:-1}" \
+    cargo run --release -q -p aeolus-bench --bin aeolus-bench -- \
+    --engine-only --out "$bench_out"
+python3 - "$bench_out" results/bench.json <<'EOF'
+import json, os, sys
+def median(path, name):
+    for suite in json.load(open(path))["suites"]:
+        for b in suite["benches"]:
+            if b["name"] == name:
+                return b["median_ns"]
+    raise SystemExit(f"{name} missing from {path}")
+fresh = median(sys.argv[1], "incast_sim_wheel")
+base = median(sys.argv[2], "incast_sim_wheel")
+tol = float(os.environ.get("AEOLUS_OVERHEAD_TOL", "0.15"))
+ratio = fresh / base
+print(f"NullTracer overhead: incast_sim_wheel {fresh} ns vs baseline {base} ns ({ratio:.3f}x)")
+assert ratio <= 1.0 + tol, f"NullTracer kernel regressed {ratio:.3f}x > {1+tol:.2f}x baseline"
+EOF
+
 echo "ci: OK"

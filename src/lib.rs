@@ -22,11 +22,9 @@
 //! use aeolus::prelude::*;
 //!
 //! // ExpressPass+Aeolus on the paper's 8-host 10G testbed.
-//! let mut h = Harness::new(
-//!     Scheme::ExpressPassAeolus,
-//!     SchemeParams::new(0),
-//!     TopoSpec::SingleSwitch { hosts: 8, link: LinkParams::uniform(Rate::gbps(10), us(3)) },
-//! );
+//! let mut h = SchemeBuilder::new(Scheme::ExpressPassAeolus)
+//!     .topology(TopoSpec::SingleSwitch { hosts: 8, link: LinkParams::uniform(Rate::gbps(10), us(3)) })
+//!     .build();
 //! let hosts = h.hosts().to_vec();
 //! // 15 KB is under the testbed BDP (~23 KB): it fits in the pre-credit burst.
 //! h.schedule(&[FlowDesc { id: FlowId(1), src: hosts[1], dst: hosts[0], size: 15_000, start: 0 }]);
@@ -49,7 +47,7 @@ pub mod prelude {
     pub use aeolus_sim::units::{kb, mb, ms, ns, secs, us, Rate, Time};
     pub use aeolus_sim::{FlowDesc, FlowId, Metrics, NodeId};
     pub use aeolus_stats::{Cdf, FctAggregator, FctSample, Samples, TextTable};
-    pub use aeolus_transport::{Harness, Scheme, SchemeParams, TopoSpec};
+    pub use aeolus_transport::{Harness, Scheme, SchemeBuilder, SchemeParams, TopoSpec};
     pub use aeolus_workloads::{
         incast_round, incast_rounds, mixed_flows, poisson_flows, MixConfig, PoissonConfig,
         Workload,

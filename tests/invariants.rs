@@ -49,7 +49,7 @@ fn random_scenarios_deliver_exactly_once() {
             hosts: 8,
             link: LinkParams::uniform(Rate::gbps(10), us(3)),
         };
-        let mut h = Harness::new(scheme, SchemeParams::new(0), spec);
+        let mut h = SchemeBuilder::new(scheme).topology(spec).build();
         let hosts = h.hosts().to_vec();
         let n = hosts.len() as u64;
         let flows: Vec<FlowDesc> = flow_specs
@@ -86,13 +86,13 @@ fn random_scenarios_deliver_exactly_once() {
         }
         // 3. Selective dropping never touches scheduled or control packets.
         assert_eq!(
-            m.drops.get(&(DropReason::SelectiveDrop, TrafficClass::Scheduled)).copied().unwrap_or(0),
+            m.drops_of(DropReason::SelectiveDrop, TrafficClass::Scheduled),
             0,
             "case {case} {}",
             scheme.name()
         );
         assert_eq!(
-            m.drops.get(&(DropReason::SelectiveDrop, TrafficClass::Control)).copied().unwrap_or(0),
+            m.drops_of(DropReason::SelectiveDrop, TrafficClass::Control),
             0,
             "case {case} {}",
             scheme.name()
@@ -118,7 +118,7 @@ fn fcts_are_at_least_ideal() {
             hosts: 4,
             link: LinkParams::uniform(Rate::gbps(10), us(3)),
         };
-        let mut h = Harness::new(scheme, SchemeParams::new(0), spec);
+        let mut h = SchemeBuilder::new(scheme).topology(spec).build();
         let hosts = h.hosts().to_vec();
         h.schedule(&[FlowDesc { id: FlowId(1), src: hosts[1], dst: hosts[0], size, start: 0 }]);
         assert!(h.run(ms(2000)), "case {case}: {} did not finish", scheme.name());

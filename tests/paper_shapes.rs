@@ -19,7 +19,7 @@ fn incast_mct(scheme: Scheme, msg: u64, rounds: usize) -> (f64, f64) {
 fn incast_mct_with_buffer(scheme: Scheme, msg: u64, rounds: usize, buffer: u64) -> (f64, f64) {
     let mut params = SchemeParams::new(0);
     params.port_buffer = buffer;
-    let mut h = Harness::new(scheme, params, testbed());
+    let mut h = SchemeBuilder::new(scheme).params(params).topology(testbed()).build();
     let hosts = h.hosts().to_vec();
     let flows = incast_rounds(&hosts[1..], hosts[0], msg, rounds, ms(2), 0, 1);
     h.schedule(&flows);
@@ -76,7 +76,7 @@ fn table4_direction_large_rto_tail_small_rto_waste() {
     let run = |scheme| {
         let mut params = SchemeParams::new(0);
         params.port_buffer = 60_000; // force buffer pressure on the strawman
-        let mut h = Harness::new(scheme, params, testbed());
+        let mut h = SchemeBuilder::new(scheme).params(params).topology(testbed()).build();
         let hosts = h.hosts().to_vec();
         let flows = incast_round(&hosts[1..], hosts[0], 60_000, 0, 1);
         h.schedule(&flows);
@@ -128,7 +128,7 @@ fn fig16_direction_paper_threshold_fills_the_first_rtt() {
 fn oracle_upper_bounds_aeolus_which_upper_bounds_waiting() {
     // §2's ordering on small flows: oracle <= Aeolus <= plain ExpressPass.
     let fct = |scheme| {
-        let mut h = Harness::new(scheme, SchemeParams::new(0), testbed());
+        let mut h = SchemeBuilder::new(scheme).topology(testbed()).build();
         let hosts = h.hosts().to_vec();
         h.schedule(&[FlowDesc { id: FlowId(1), src: hosts[1], dst: hosts[0], size: 12_000, start: 0 }]);
         assert!(h.run(ms(100)));
