@@ -61,6 +61,42 @@ impl AeolusConfig {
         let bdp = bdp_bytes(line_rate, base_rtt) as f64 * self.burst_budget_frac;
         (bdp as u64).max(self.mtu_payload as u64)
     }
+
+    /// Reject nonsensical configurations with a descriptive error.
+    ///
+    /// A config that passes validation can be handed to any scheme builder
+    /// without panicking deep inside the simulator; the checks mirror the
+    /// physical constraints a real switch/NIC would impose.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mtu_payload == 0 {
+            return Err("mtu_payload must be positive (no zero-byte MTUs)".into());
+        }
+        if self.probe_size == 0 {
+            return Err("probe_size must be positive (probes occupy the wire)".into());
+        }
+        if self.port_buffer == 0 {
+            return Err("port_buffer must be positive (a switch needs some buffer)".into());
+        }
+        if self.drop_threshold > self.port_buffer {
+            return Err(format!(
+                "drop_threshold ({} B) exceeds port_buffer ({} B): selective dropping \
+                 would never engage before the buffer overflows",
+                self.drop_threshold, self.port_buffer
+            ));
+        }
+        if !self.burst_budget_frac.is_finite() || self.burst_budget_frac < 0.0 {
+            return Err(format!(
+                "burst_budget_frac ({}) must be a finite value >= 0",
+                self.burst_budget_frac
+            ));
+        }
+        if let RecoveryMode::Rto(rto) = self.recovery {
+            if rto == 0 {
+                return Err("RTO recovery needs a positive timeout".into());
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -77,6 +113,41 @@ mod tests {
         assert_eq!(c.recovery, RecoveryMode::ProbeBased);
         assert!(c.precredit_burst);
         assert_eq!(c.probe_retry_rtts, 20);
+    }
+
+    #[test]
+    fn validate_accepts_the_paper_defaults() {
+        assert_eq!(AeolusConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_threshold_above_buffer() {
+        let c = AeolusConfig { drop_threshold: 300_000, port_buffer: 200_000, ..Default::default() };
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("drop_threshold"), "unhelpful error: {err}");
+        assert!(err.contains("port_buffer"));
+    }
+
+    #[test]
+    fn validate_rejects_zero_mtu_probe_and_buffer() {
+        let c = AeolusConfig { mtu_payload: 0, ..Default::default() };
+        assert!(c.validate().unwrap_err().contains("mtu_payload"));
+        let c = AeolusConfig { probe_size: 0, ..Default::default() };
+        assert!(c.validate().unwrap_err().contains("probe_size"));
+        let c = AeolusConfig { port_buffer: 0, drop_threshold: 0, ..Default::default() };
+        assert!(c.validate().unwrap_err().contains("port_buffer"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_burst_fraction_and_zero_rto() {
+        let c = AeolusConfig { burst_budget_frac: -0.5, ..Default::default() };
+        assert!(c.validate().unwrap_err().contains("burst_budget_frac"));
+        let c = AeolusConfig { burst_budget_frac: f64::NAN, ..Default::default() };
+        assert!(c.validate().is_err());
+        let c = AeolusConfig { recovery: RecoveryMode::Rto(0), ..Default::default() };
+        assert!(c.validate().unwrap_err().contains("RTO"));
+        let c = AeolusConfig { recovery: RecoveryMode::Rto(1), ..Default::default() };
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]

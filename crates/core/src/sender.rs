@@ -546,6 +546,51 @@ mod tests {
     }
 
     #[test]
+    fn priority_spans_all_three_categories_in_order() {
+        // 3 KB burst, middle packet ACKed (declaring the first lost), tail
+        // packet in limbo; 2 KB scheduled remainder. Credits must be spent
+        // in the paper's order: lost unscheduled, then unsent scheduled,
+        // then (only once everything else is exhausted) the unACKed tail.
+        let mut s = PreCreditSender::new(5000, 3000);
+        burst_all(&mut s);
+        s.end_burst();
+        s.on_ack(1000, 2000); // implies [0,1000) lost; [2000,3000) undeclared
+        let order: Vec<(u64, bool, bool)> =
+            std::iter::from_fn(|| s.next_scheduled_chunk(MTU))
+                .map(|c| (c.seq, c.retransmit, c.last_resort))
+                .collect();
+        assert_eq!(
+            order,
+            vec![
+                (0, true, false),    // category 1: loss-detected
+                (3000, false, false), // category 2: unsent scheduled
+                (4000, false, false),
+                (2000, true, true),  // category 3: last-resort unACKed
+            ]
+        );
+    }
+
+    #[test]
+    fn lost_probe_with_retry_disabled_recovers_via_last_resort() {
+        // The probe_retry_rtts = 0 regime: the probe died on the wire and no
+        // retry will ever re-send it, so tail losses are never *declared*.
+        // Category 3 must still re-offer the unACKed tail exactly once, and
+        // completion must not depend on the probe ACK arriving.
+        let mut s = PreCreditSender::new(3000, 3000);
+        burst_all(&mut s);
+        s.end_burst();
+        s.on_ack(0, 1000);
+        // No probe ACK, no SACK gap: categories 1 and 2 are empty.
+        let c = s.next_scheduled_chunk(MTU).unwrap();
+        assert_eq!((c.seq, c.retransmit, c.last_resort), (1000, true, true));
+        let c = s.next_scheduled_chunk(MTU).unwrap();
+        assert_eq!((c.seq, c.retransmit, c.last_resort), (2000, true, true));
+        assert_eq!(s.next_scheduled_chunk(MTU), None, "each range re-sent at most once");
+        s.on_ack(1000, 3000);
+        assert!(s.fully_acked());
+    }
+
+    #[test]
     fn duplicate_acks_are_idempotent() {
         let mut s = PreCreditSender::new(2000, 2000);
         burst_all(&mut s);

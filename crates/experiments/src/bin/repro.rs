@@ -1,11 +1,16 @@
 //! `repro` — regenerate any table or figure of the Aeolus paper.
 //!
 //! ```text
-//! repro <experiment>... [--scale smoke|quick|full] [--csv DIR] [--jobs N]
+//! repro <experiment>... [--scale smoke|quick|full] [--csv DIR] [--jobs N] [--faults SPEC]
 //! repro all [--scale ...]
-//! repro --trace <scheme>[@rounds] [--trace-out PATH]
+//! repro --trace <scheme>[@rounds] [--trace-out PATH] [--faults SPEC]
 //! repro --list
 //! ```
+//!
+//! `--faults` injects a deterministic wire-fault schedule into every run:
+//! a comma-separated spec like `loss=0.01,down=2ms..2.3ms,seed=7` (see
+//! `FaultPlan::from_str` for the full grammar). Experiments that carry their
+//! own explicit plan (the chaos sweep) ignore the session default.
 //!
 //! `--trace` runs the canonical 7:1 incast under a recording tracer and
 //! writes the capture as deterministic JSONL (default
@@ -17,7 +22,10 @@
 
 use std::time::Instant;
 
-use aeolus_experiments::{registry, run_trace, set_jobs, take_events_processed, Scale, TraceSpec};
+use aeolus_experiments::{
+    registry, run_trace, set_default_faults, set_jobs, take_events_processed, FaultPlan, Scale,
+    TraceSpec,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,6 +62,16 @@ fn main() {
                     eprintln!("unknown scale '{v}' (use smoke|quick|full)");
                     std::process::exit(2);
                 });
+            }
+            "--faults" => {
+                let v = iter.next().map(String::as_str).unwrap_or("");
+                match v.parse::<FaultPlan>() {
+                    Ok(plan) => set_default_faults(plan),
+                    Err(e) => {
+                        eprintln!("bad --faults spec '{v}': {e}");
+                        std::process::exit(2);
+                    }
+                }
             }
             "--jobs" => {
                 let v = iter.next().map(String::as_str).unwrap_or("");
@@ -94,7 +112,7 @@ fn main() {
     }
     if wanted.is_empty() {
         eprintln!(
-            "usage: repro <experiment>... [--scale smoke|quick|full] [--csv DIR] [--jobs N] | repro all | repro --trace <scheme>[@rounds] [--trace-out PATH] | repro --list"
+            "usage: repro <experiment>... [--scale smoke|quick|full] [--csv DIR] [--jobs N] [--faults SPEC] | repro all | repro --trace <scheme>[@rounds] [--trace-out PATH] [--faults SPEC] | repro --list"
         );
         std::process::exit(2);
     }

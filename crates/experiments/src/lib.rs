@@ -9,6 +9,7 @@
 //! illustration is reproduced as a measured cascade micro-experiment.
 
 pub mod ablation;
+pub mod chaos;
 pub mod compare;
 pub mod ext_fastpass;
 pub mod ext_phost;
@@ -44,10 +45,10 @@ pub mod tab05;
 
 pub use report::Report;
 pub use runner::{
-    collect, jobs, parallel_map, run_flows, run_many, run_workload, set_jobs,
-    take_events_processed, RunConfig, RunOutput,
+    collect, default_faults, jobs, parallel_map, run_flows, run_many, run_workload,
+    set_default_faults, set_jobs, take_events_processed, RunConfig, RunOutput,
 };
-pub use aeolus_sim::SchedulerKind;
+pub use aeolus_sim::{FaultPlan, SchedulerKind};
 pub use scale::Scale;
 pub use trace::{run_trace, TraceOutput, TraceSpec};
 
@@ -79,6 +80,7 @@ pub fn registry() -> Vec<ExperimentEntry> {
         ("table4", tab04::run),
         ("table5", tab05::run),
         ("ablation", ablation::run),
+        ("chaos", chaos::run),
         ("phost", ext_phost::run),
         ("fastpass", ext_fastpass::run),
         ("reactive", ext_reactive::run),

@@ -6,9 +6,10 @@
 //! order, so serial and parallel execution produce identical output vectors.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use aeolus_sim::units::{ms, Time, PS_PER_SEC};
-use aeolus_sim::FlowDesc;
+use aeolus_sim::{FaultPlan, FlowDesc};
 use aeolus_stats::{FctAggregator, FctSample};
 use aeolus_transport::{Harness, Scheme, SchemeBuilder, SchemeParams, TopoSpec};
 use aeolus_workloads::{poisson_flows, PoissonConfig, Workload};
@@ -39,6 +40,24 @@ pub fn jobs() -> usize {
 /// collected since the previous call).
 pub fn take_events_processed() -> u64 {
     EVENTS_PROCESSED.swap(0, Ordering::Relaxed)
+}
+
+/// Session-wide default fault plan (`repro --faults <spec>`). Applied by
+/// [`run_workload`] to any run whose params don't carry an explicit plan.
+static DEFAULT_FAULTS: Mutex<Option<FaultPlan>> = Mutex::new(None);
+
+/// Install a default fault plan for all subsequent runs (the `--faults` CLI
+/// flag). `FaultPlan::default()` (empty) clears it.
+pub fn set_default_faults(plan: FaultPlan) {
+    let mut slot = DEFAULT_FAULTS.lock().unwrap();
+    *slot = if plan.is_empty() { None } else { Some(plan) };
+}
+
+/// The current session-wide default fault plan (empty unless `--faults` set
+/// one). Experiment kernels that build harnesses directly should thread this
+/// into [`aeolus_transport::SchemeBuilder::faults`].
+pub fn default_faults() -> FaultPlan {
+    DEFAULT_FAULTS.lock().unwrap().clone().unwrap_or_default()
 }
 
 /// Credit events to the global counter — for experiment kernels that drive a
@@ -130,6 +149,10 @@ pub fn run_workload(cfg: &RunConfig) -> RunOutput {
     // Workload-derived Homa cutoffs unless the caller overrode them.
     if params.homa_cutoffs == SchemeParams::new(0).homa_cutoffs {
         params.homa_cutoffs = homa_cutoffs_for(cfg.workload);
+    }
+    // Session-wide `--faults` default, unless the config carries its own plan.
+    if params.faults.is_empty() {
+        params.faults = default_faults();
     }
     let mut h = SchemeBuilder::new(cfg.scheme).params(params).topology(cfg.spec).build();
     let hosts = h.hosts().to_vec();

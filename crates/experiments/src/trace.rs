@@ -87,6 +87,13 @@ pub fn run_trace(spec: &TraceSpec, kind: SchedulerKind) -> TraceOutput {
         .tracer(RecordingTracer::new())
         .build();
     h.topo.net.set_scheduler(kind);
+    // Faults go in *after* the scheduler swap: a non-empty plan arms its
+    // window-transition events immediately, and set_scheduler requires a
+    // quiescent queue.
+    let faults = crate::runner::default_faults();
+    if !faults.is_empty() {
+        h.topo.net.set_fault_plan(faults);
+    }
     let hosts = h.hosts().to_vec();
     let mut flows = Vec::new();
     for round in 0..spec.rounds {

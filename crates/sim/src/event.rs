@@ -61,6 +61,15 @@ pub enum Event {
         /// The flow description.
         flow: FlowDesc,
     },
+    /// A fault-plan link window transitions (start or end). The network
+    /// re-kicks the affected ports so stalled queues wake up when a link
+    /// comes back. Only scheduled when a non-empty fault plan is installed.
+    FaultWindow {
+        /// Index into the plan's window list.
+        window: usize,
+        /// True at the window start, false at its end.
+        start: bool,
+    },
 }
 
 struct Scheduled {

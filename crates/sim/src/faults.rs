@@ -1,0 +1,527 @@
+//! Deterministic fault injection: corruption loss, link flaps and degraded
+//! links.
+//!
+//! The Aeolus paper's recovery argument (§3.3) assumes scheduled packets are
+//! lost only to congestion. A [`FaultPlan`] breaks that assumption on
+//! purpose: it attaches non-congestion loss to the engine so the transports'
+//! recovery machinery can be exercised against a hostile fabric.
+//!
+//! Three fault classes are modelled, all evaluated at the egress link (after
+//! the queue discipline, i.e. the failure happens *on the wire*, never
+//! inside the switch buffer — corruption loss is accounted separately from
+//! selective dropping by construction):
+//!
+//! - **Corruption loss** ([`CorruptionRule`]): an independent Bernoulli draw
+//!   per transmitted packet from the plan's own seeded [`SimRng`], optionally
+//!   filtered by packet class ([`PacketFilter`]) and link ([`LinkFilter`]) so
+//!   credit/ACK/probe control packets can be targeted separately from data.
+//! - **Link down windows** ([`WindowKind::Down`]): during `[from, until)`
+//!   the link transmits nothing (the queue stalls) and any packet whose
+//!   serialization would overlap the window start is cut mid-flight. Down
+//!   links are visible to routing: ECMP/spray selection avoids them while
+//!   an alternative path is up.
+//! - **Degraded windows** ([`WindowKind::Degraded`]): serialization time is
+//!   multiplied by an integer slowdown factor, modelling a link renegotiated
+//!   to a lower rate. Integer factors keep serialization times exact, so
+//!   determinism is preserved bit-for-bit.
+//!
+//! Determinism: the plan owns its RNG seed, and every fault decision is a
+//! pure function of (plan, packet transmission order). An **empty plan draws
+//! zero random numbers and schedules zero events** — the engine's fast path
+//! is byte-for-byte identical to a build without faults.
+
+use std::str::FromStr;
+
+use crate::packet::{NodeId, Packet, PacketKind, PortId, TrafficClass};
+use crate::rng::SimRng;
+use crate::units::{Time, PS_PER_MS, PS_PER_NS, PS_PER_SEC, PS_PER_US};
+
+/// Which packets a [`CorruptionRule`] applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketFilter {
+    /// Every packet.
+    Any,
+    /// Data payload packets only (scheduled or unscheduled).
+    Data,
+    /// Any control packet (everything that is not data).
+    Control,
+    /// Scheduled-class packets only.
+    Scheduled,
+    /// Unscheduled-class packets only.
+    Unscheduled,
+    /// Credit-carrying control packets: credits, grants, pulls, schedules.
+    Credit,
+    /// ACK/NACK feedback packets.
+    Ack,
+    /// Aeolus probes only.
+    Probe,
+}
+
+impl PacketFilter {
+    /// Does `pkt` fall under this filter?
+    pub fn matches(&self, pkt: &Packet) -> bool {
+        match self {
+            PacketFilter::Any => true,
+            PacketFilter::Data => pkt.is_data(),
+            PacketFilter::Control => !pkt.is_data(),
+            PacketFilter::Scheduled => pkt.class == TrafficClass::Scheduled,
+            PacketFilter::Unscheduled => pkt.class == TrafficClass::Unscheduled,
+            PacketFilter::Credit => matches!(
+                pkt.kind,
+                PacketKind::Credit
+                    | PacketKind::Grant { .. }
+                    | PacketKind::Pull
+                    | PacketKind::Schedule { .. }
+            ),
+            PacketFilter::Ack => matches!(pkt.kind, PacketKind::Ack { .. } | PacketKind::Nack),
+            PacketFilter::Probe => matches!(pkt.kind, PacketKind::Probe),
+        }
+    }
+}
+
+/// Which egress links a fault applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFilter {
+    /// Every link in the topology.
+    All,
+    /// Every egress port of one node.
+    Node(NodeId),
+    /// One specific egress port.
+    Link(NodeId, PortId),
+}
+
+impl LinkFilter {
+    /// Does the egress port `(node, port)` fall under this filter?
+    #[inline]
+    pub fn matches(&self, node: NodeId, port: PortId) -> bool {
+        match *self {
+            LinkFilter::All => true,
+            LinkFilter::Node(n) => n == node,
+            LinkFilter::Link(n, p) => n == node && p == port,
+        }
+    }
+}
+
+/// Independent Bernoulli corruption loss on matching links/packets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorruptionRule {
+    /// Per-packet loss probability in `[0, 1]`.
+    pub prob: f64,
+    /// Which packets the rule targets.
+    pub filter: PacketFilter,
+    /// Which links the rule targets.
+    pub links: LinkFilter,
+}
+
+/// What happens to a link inside a [`LinkWindow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowKind {
+    /// The link carries nothing; queued packets stall, in-flight packets
+    /// whose serialization overlaps the window start are cut.
+    Down,
+    /// The link still carries traffic, but serialization takes
+    /// `slowdown` times longer (integer factor, so times stay exact).
+    Degraded {
+        /// Serialization-time multiplier, `>= 2` to have any effect.
+        slowdown: u32,
+    },
+}
+
+/// A scheduled `[from, until)` window during which matching links are down
+/// or degraded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkWindow {
+    /// Window start (inclusive).
+    pub from: Time,
+    /// Window end (exclusive).
+    pub until: Time,
+    /// Which links the window covers.
+    pub links: LinkFilter,
+    /// Down or degraded.
+    pub kind: WindowKind,
+}
+
+impl LinkWindow {
+    /// Is `t` inside the window?
+    #[inline]
+    pub fn covers(&self, t: Time) -> bool {
+        self.from <= t && t < self.until
+    }
+
+    /// Does the window overlap the half-open interval `[t0, t1)`?
+    #[inline]
+    pub fn overlaps(&self, t0: Time, t1: Time) -> bool {
+        self.from < t1 && t0 < self.until
+    }
+}
+
+/// A complete, seeded fault schedule for one run.
+///
+/// Plain data (`Clone + Send + Sync`), so it can ride inside scheme
+/// parameters through the parallel experiment runner. The default plan is
+/// empty and injects nothing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the plan's private corruption RNG.
+    pub seed: u64,
+    /// Bernoulli corruption rules, evaluated in order (first match draws).
+    pub corruption: Vec<CorruptionRule>,
+    /// Scheduled down/degraded windows.
+    pub windows: Vec<LinkWindow>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given corruption-RNG seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan { seed, ..FaultPlan::default() }
+    }
+
+    /// Add a Bernoulli corruption rule.
+    pub fn with_loss(mut self, prob: f64, filter: PacketFilter, links: LinkFilter) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&prob), "corruption prob {prob} outside [0, 1]");
+        self.corruption.push(CorruptionRule { prob, filter, links });
+        self
+    }
+
+    /// Add a link-down window over `[from, until)`.
+    pub fn with_down(mut self, from: Time, until: Time, links: LinkFilter) -> FaultPlan {
+        assert!(from < until, "empty down window {from}..{until}");
+        self.windows.push(LinkWindow { from, until, links, kind: WindowKind::Down });
+        self
+    }
+
+    /// Add a degraded-rate window over `[from, until)` with an integer
+    /// serialization-time multiplier.
+    pub fn with_degraded(
+        mut self,
+        from: Time,
+        until: Time,
+        slowdown: u32,
+        links: LinkFilter,
+    ) -> FaultPlan {
+        assert!(from < until, "empty degraded window {from}..{until}");
+        assert!(slowdown >= 1, "degraded slowdown must be >= 1");
+        self.windows.push(LinkWindow { from, until, links, kind: WindowKind::Degraded { slowdown } });
+        self
+    }
+
+    /// True when the plan injects nothing. The engine checks this once per
+    /// transmission and skips every fault hook, so an empty plan costs one
+    /// branch and draws no randomness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.corruption.is_empty() && self.windows.is_empty()
+    }
+
+    /// Is the egress link `(node, port)` inside a down window at `t`?
+    #[inline]
+    pub fn link_down_at(&self, node: NodeId, port: PortId, t: Time) -> bool {
+        self.windows.iter().any(|w| {
+            w.kind == WindowKind::Down && w.covers(t) && w.links.matches(node, port)
+        })
+    }
+
+    /// Does any down window on `(node, port)` overlap `[t0, t1)`? Used to
+    /// cut packets whose serialization straddles a window start.
+    #[inline]
+    pub fn down_during(&self, node: NodeId, port: PortId, t0: Time, t1: Time) -> bool {
+        self.windows.iter().any(|w| {
+            w.kind == WindowKind::Down && w.overlaps(t0, t1) && w.links.matches(node, port)
+        })
+    }
+
+    /// Serialization-time multiplier for `(node, port)` at `t` (1 = full
+    /// rate). Overlapping degraded windows compound via the maximum.
+    #[inline]
+    pub fn slowdown_at(&self, node: NodeId, port: PortId, t: Time) -> u32 {
+        self.windows
+            .iter()
+            .filter_map(|w| match w.kind {
+                WindowKind::Degraded { slowdown }
+                    if w.covers(t) && w.links.matches(node, port) =>
+                {
+                    Some(slowdown)
+                }
+                _ => None,
+            })
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Draw the corruption verdict for one transmission of `pkt` on
+    /// `(node, port)`. The first matching rule draws exactly one Bernoulli
+    /// sample; non-matching packets draw nothing, keeping the RNG stream a
+    /// pure function of the matched-transmission order.
+    #[inline]
+    pub fn corrupts(&self, node: NodeId, port: PortId, pkt: &Packet, rng: &mut SimRng) -> bool {
+        for rule in &self.corruption {
+            if rule.links.matches(node, port) && rule.filter.matches(pkt) {
+                return rng.chance(rule.prob);
+            }
+        }
+        false
+    }
+}
+
+/// Parse a duration like `300ns`, `2.5us`, `3ms`, `1s` (also bare
+/// picoseconds, e.g. `1200`).
+fn parse_time(s: &str) -> Result<Time, String> {
+    let (num, unit) = match s.find(|c: char| c.is_ascii_alphabetic()) {
+        Some(i) => s.split_at(i),
+        None => (s, ""),
+    };
+    let v: f64 = num.parse().map_err(|_| format!("bad time '{s}'"))?;
+    let scale = match unit {
+        "" | "ps" => 1,
+        "ns" => PS_PER_NS,
+        "us" => PS_PER_US,
+        "ms" => PS_PER_MS,
+        "s" => PS_PER_SEC,
+        _ => return Err(format!("unknown time unit '{unit}' in '{s}'")),
+    };
+    if v < 0.0 {
+        return Err(format!("negative time '{s}'"));
+    }
+    Ok((v * scale as f64).round() as Time)
+}
+
+/// Parse a probability like `0.01` or `1%`.
+fn parse_prob(s: &str) -> Result<f64, String> {
+    let (num, pct) = match s.strip_suffix('%') {
+        Some(n) => (n, true),
+        None => (s, false),
+    };
+    let v: f64 = num.parse().map_err(|_| format!("bad probability '{s}'"))?;
+    let v = if pct { v / 100.0 } else { v };
+    if !(0.0..=1.0).contains(&v) {
+        return Err(format!("probability '{s}' outside [0, 1]"));
+    }
+    Ok(v)
+}
+
+impl FromStr for FaultPlan {
+    type Err = String;
+
+    /// Parse a `--faults` spec: comma-separated directives.
+    ///
+    /// - `loss=P` — corruption loss on every packet (`P` = `0.01` or `1%`)
+    /// - `data-loss=P` / `ctrl-loss=P` — data / control packets only
+    /// - `credit-loss=P` / `ack-loss=P` / `probe-loss=P` — targeted control
+    /// - `sched-loss=P` / `unsched-loss=P` — by traffic class
+    /// - `down=FROM..UNTIL` — link-down window (times like `2ms..2.3ms`)
+    /// - `degrade=FROM..UNTIL@N` — N× slower serialization in the window
+    /// - `seed=N` — corruption RNG seed (default 0)
+    ///
+    /// All directives apply to every link; class/direction targeting beyond
+    /// this grammar is available through the builder API.
+    fn from_str(s: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for tok in s.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let (key, val) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("fault directive '{tok}' is not KEY=VALUE"))?;
+            let filter = match key {
+                "loss" => Some(PacketFilter::Any),
+                "data-loss" => Some(PacketFilter::Data),
+                "ctrl-loss" => Some(PacketFilter::Control),
+                "credit-loss" => Some(PacketFilter::Credit),
+                "ack-loss" => Some(PacketFilter::Ack),
+                "probe-loss" => Some(PacketFilter::Probe),
+                "sched-loss" => Some(PacketFilter::Scheduled),
+                "unsched-loss" => Some(PacketFilter::Unscheduled),
+                _ => None,
+            };
+            if let Some(filter) = filter {
+                plan = plan.with_loss(parse_prob(val)?, filter, LinkFilter::All);
+                continue;
+            }
+            match key {
+                "seed" => {
+                    plan.seed = val.parse().map_err(|_| format!("bad seed '{val}'"))?;
+                }
+                "down" | "degrade" => {
+                    let (range, slow) = match val.split_once('@') {
+                        Some((r, n)) => {
+                            if key == "down" {
+                                return Err(format!("'down' takes no @factor: '{tok}'"));
+                            }
+                            let n: u32 =
+                                n.parse().map_err(|_| format!("bad slowdown '{n}' in '{tok}'"))?;
+                            (r, Some(n))
+                        }
+                        None => {
+                            if key == "degrade" {
+                                return Err(format!(
+                                    "'degrade' needs an @factor, e.g. degrade=1ms..2ms@4"
+                                ));
+                            }
+                            (val, None)
+                        }
+                    };
+                    let (from, until) = range
+                        .split_once("..")
+                        .ok_or_else(|| format!("window '{range}' is not FROM..UNTIL"))?;
+                    let (from, until) = (parse_time(from)?, parse_time(until)?);
+                    if from >= until {
+                        return Err(format!("empty window '{range}'"));
+                    }
+                    plan = match slow {
+                        Some(n) => plan.with_degraded(from, until, n, LinkFilter::All),
+                        None => plan.with_down(from, until, LinkFilter::All),
+                    };
+                }
+                _ => return Err(format!("unknown fault directive '{key}'")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::FlowId;
+    use crate::units::{ms, us};
+
+    fn pkt(kind: PacketKind, class: TrafficClass) -> Packet {
+        match kind {
+            PacketKind::Data => {
+                Packet::data(FlowId(1), NodeId(0), NodeId(1), 0, 100, class, 1000)
+            }
+            k => {
+                let mut p = Packet::control(FlowId(1), NodeId(0), NodeId(1), 0, k);
+                p.class = class;
+                p
+            }
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        let mut rng = SimRng::seed_from_u64(1);
+        let before = rng.next_u64();
+        let mut rng = SimRng::seed_from_u64(1);
+        assert!(!plan.corrupts(
+            NodeId(0),
+            PortId(0),
+            &pkt(PacketKind::Data, TrafficClass::Scheduled),
+            &mut rng
+        ));
+        // No rule matched, so the stream is untouched.
+        assert_eq!(rng.next_u64(), before);
+        assert!(!plan.link_down_at(NodeId(0), PortId(0), 0));
+        assert_eq!(plan.slowdown_at(NodeId(0), PortId(0), 0), 1);
+    }
+
+    #[test]
+    fn packet_filters_select_the_right_kinds() {
+        let credit = pkt(PacketKind::Credit, TrafficClass::Control);
+        let data = pkt(PacketKind::Data, TrafficClass::Unscheduled);
+        let probe = pkt(PacketKind::Probe, TrafficClass::Unscheduled);
+        let ack = pkt(PacketKind::Ack { of_probe: false, end: 0 }, TrafficClass::Control);
+        assert!(PacketFilter::Credit.matches(&credit));
+        assert!(!PacketFilter::Credit.matches(&data));
+        assert!(PacketFilter::Data.matches(&data));
+        assert!(!PacketFilter::Data.matches(&probe));
+        assert!(PacketFilter::Control.matches(&probe));
+        assert!(PacketFilter::Probe.matches(&probe));
+        assert!(PacketFilter::Ack.matches(&ack));
+        assert!(PacketFilter::Unscheduled.matches(&data));
+        assert!(!PacketFilter::Scheduled.matches(&data));
+        assert!(PacketFilter::Any.matches(&credit));
+    }
+
+    #[test]
+    fn windows_cover_and_overlap_half_open() {
+        let w = LinkWindow {
+            from: ms(1),
+            until: ms(2),
+            links: LinkFilter::All,
+            kind: WindowKind::Down,
+        };
+        assert!(w.covers(ms(1)));
+        assert!(!w.covers(ms(2)));
+        assert!(w.overlaps(0, ms(1) + 1));
+        assert!(!w.overlaps(0, ms(1)));
+        assert!(w.overlaps(ms(2) - 1, ms(3)));
+        assert!(!w.overlaps(ms(2), ms(3)));
+    }
+
+    #[test]
+    fn down_and_degrade_queries_respect_link_filters() {
+        let plan = FaultPlan::new(7)
+            .with_down(ms(1), ms(2), LinkFilter::Node(NodeId(3)))
+            .with_degraded(ms(1), ms(3), 4, LinkFilter::Link(NodeId(5), PortId(2)));
+        assert!(plan.link_down_at(NodeId(3), PortId(0), ms(1)));
+        assert!(!plan.link_down_at(NodeId(4), PortId(0), ms(1)));
+        assert!(plan.down_during(NodeId(3), PortId(9), ms(2) - 1, ms(2)));
+        assert!(!plan.down_during(NodeId(3), PortId(9), ms(2), ms(3)));
+        assert_eq!(plan.slowdown_at(NodeId(5), PortId(2), ms(2)), 4);
+        assert_eq!(plan.slowdown_at(NodeId(5), PortId(1), ms(2)), 1);
+    }
+
+    #[test]
+    fn corruption_at_prob_one_always_fires_and_zero_never() {
+        let always = FaultPlan::new(1).with_loss(1.0, PacketFilter::Any, LinkFilter::All);
+        let never = FaultPlan::new(1).with_loss(0.0, PacketFilter::Any, LinkFilter::All);
+        let p = pkt(PacketKind::Data, TrafficClass::Scheduled);
+        let mut rng = SimRng::seed_from_u64(2);
+        for _ in 0..64 {
+            assert!(always.corrupts(NodeId(0), PortId(0), &p, &mut rng));
+            assert!(!never.corrupts(NodeId(0), PortId(0), &p, &mut rng));
+        }
+    }
+
+    #[test]
+    fn corruption_rate_is_close_to_nominal() {
+        let plan = FaultPlan::new(42).with_loss(0.1, PacketFilter::Any, LinkFilter::All);
+        let p = pkt(PacketKind::Data, TrafficClass::Scheduled);
+        let mut rng = SimRng::seed_from_u64(plan.seed);
+        let hits = (0..20_000)
+            .filter(|_| plan.corrupts(NodeId(0), PortId(0), &p, &mut rng))
+            .count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.1).abs() < 0.01, "observed corruption rate {rate}");
+    }
+
+    #[test]
+    fn spec_parses_full_grammar() {
+        let plan: FaultPlan =
+            "loss=0.5%, credit-loss=0.02, down=1ms..1.5ms, degrade=2ms..3ms@4, seed=9"
+                .parse()
+                .unwrap();
+        assert_eq!(plan.seed, 9);
+        assert_eq!(plan.corruption.len(), 2);
+        assert!((plan.corruption[0].prob - 0.005).abs() < 1e-12);
+        assert_eq!(plan.corruption[0].filter, PacketFilter::Any);
+        assert_eq!(plan.corruption[1].filter, PacketFilter::Credit);
+        assert_eq!(plan.windows.len(), 2);
+        assert_eq!(plan.windows[0].kind, WindowKind::Down);
+        assert_eq!(plan.windows[0].from, ms(1));
+        assert_eq!(plan.windows[0].until, ms(1) + us(500));
+        assert_eq!(plan.windows[1].kind, WindowKind::Degraded { slowdown: 4 });
+    }
+
+    #[test]
+    fn spec_rejects_nonsense() {
+        assert!("loss=2".parse::<FaultPlan>().is_err());
+        assert!("loss=-0.1".parse::<FaultPlan>().is_err());
+        assert!("bogus=1".parse::<FaultPlan>().is_err());
+        assert!("down=2ms..1ms".parse::<FaultPlan>().is_err());
+        assert!("down=1ms..2ms@3".parse::<FaultPlan>().is_err());
+        assert!("degrade=1ms..2ms".parse::<FaultPlan>().is_err());
+        assert!("loss".parse::<FaultPlan>().is_err());
+        assert!("down=oops".parse::<FaultPlan>().is_err());
+    }
+
+    #[test]
+    fn spec_time_units_parse() {
+        assert_eq!(parse_time("300ns").unwrap(), 300 * PS_PER_NS);
+        assert_eq!(parse_time("2.5us").unwrap(), 2 * PS_PER_US + PS_PER_US / 2);
+        assert_eq!(parse_time("1s").unwrap(), PS_PER_SEC);
+        assert_eq!(parse_time("1200").unwrap(), 1200);
+        assert!(parse_time("4parsecs").is_err());
+    }
+}

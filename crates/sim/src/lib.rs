@@ -72,6 +72,7 @@
 
 pub mod endpoint;
 pub mod event;
+pub mod faults;
 pub mod metrics;
 pub mod network;
 pub mod node;
@@ -87,6 +88,7 @@ pub mod units;
 
 pub use endpoint::{Ctx, Endpoint};
 pub use event::{Event, EventQueue, SchedulerKind};
+pub use faults::{CorruptionRule, FaultPlan, LinkFilter, LinkWindow, PacketFilter, WindowKind};
 pub use metrics::{FlowRecord, Metrics};
 pub use network::{Network, TraceEvent, TraceKind};
 pub use packet::{
@@ -102,8 +104,8 @@ pub use rangeset::RangeSet;
 pub use rng::SimRng;
 pub use routing::{RoutePolicy, RouteTable};
 pub use telemetry::{
-    LossCause, NullTracer, QueueEvent, QueueRecord, RecordingConfig, RecordingTracer, TraceSink,
-    Tracer, TransportEvent,
+    FaultEvent, LossCause, NullTracer, QueueEvent, QueueRecord, RecordingConfig, RecordingTracer,
+    TraceSink, Tracer, TransportEvent,
 };
 pub use topology::{
     fat_tree, fat_tree_with, leaf_spine, leaf_spine_with, single_switch, single_switch_with,

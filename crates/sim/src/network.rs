@@ -2,13 +2,15 @@
 
 use crate::endpoint::{Actions, Ctx, Endpoint};
 use crate::event::{Event, EventQueue, SchedulerKind};
+use crate::faults::FaultPlan;
 use crate::metrics::Metrics;
 use crate::node::{Node, NodeKind};
 use crate::packet::{FlowDesc, NodeId, Packet, PortId};
 use crate::port::{Link, Port};
-use crate::queues::{EnqueueOutcome, Poll, QueueDisc};
+use crate::queues::{DropReason, EnqueueOutcome, Poll, QueueDisc};
+use crate::rng::SimRng;
 use crate::routing::{RoutePolicy, RouteTable};
-use crate::telemetry::{NullTracer, QueueEvent, QueueRecord, Tracer};
+use crate::telemetry::{FaultEvent, NullTracer, QueueEvent, QueueRecord, Tracer};
 use crate::units::{Rate, Time};
 
 /// One recorded event of a traced flow's packet life.
@@ -64,6 +66,12 @@ pub struct Network<T: Tracer = NullTracer> {
     /// Scratch for per-band queue occupancy sampling (avoids a per-event
     /// allocation when tracing is on; unused otherwise).
     band_scratch: Vec<(&'static str, u64)>,
+    /// Installed fault schedule (empty by default: one `is_empty` branch per
+    /// transmission, zero RNG draws, zero extra events).
+    faults: FaultPlan,
+    /// The fault plan's private corruption RNG, isolated from every other
+    /// randomness stream in the run.
+    fault_rng: SimRng,
 }
 
 impl Default for Network {
@@ -93,7 +101,30 @@ impl<T: Tracer> Network<T> {
             trace: Vec::new(),
             tracer,
             band_scratch: Vec::new(),
+            faults: FaultPlan::default(),
+            fault_rng: SimRng::seed_from_u64(0),
         }
+    }
+
+    /// Install a fault schedule and arm its window-transition events.
+    ///
+    /// Call before the run starts; window times already in the past are
+    /// clamped to `now`. Installing an empty plan is free — no events are
+    /// scheduled and the per-transmission fault check stays a single branch.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_rng = SimRng::seed_from_u64(plan.seed ^ 0xae01_f417);
+        let now = self.queue.now();
+        for (i, w) in plan.windows.iter().enumerate() {
+            self.queue.schedule_at(w.from.max(now), Event::FaultWindow { window: i, start: true });
+            self.queue.schedule_at(w.until.max(now), Event::FaultWindow { window: i, start: false });
+        }
+        self.faults = plan;
+    }
+
+    /// The installed fault plan (empty unless [`Network::set_fault_plan`]
+    /// was called).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// The installed tracer.
@@ -297,14 +328,51 @@ impl<T: Tracer> Network<T> {
             Event::FlowArrival { flow } => {
                 self.with_endpoint(flow.src, |ep, ctx| ep.on_flow_arrival(flow, ctx));
             }
+            Event::FaultWindow { window, start } => self.on_fault_window(window, start),
+        }
+    }
+
+    /// A fault window transitioned: surface it to telemetry and re-kick
+    /// every port it covers — waking queues that stalled while their link
+    /// was down and re-evaluating pacing under a changed degrade factor.
+    fn on_fault_window(&mut self, window: usize, start: bool) {
+        let w = self.faults.windows[window].clone();
+        if T::ENABLED {
+            let now = self.queue.now();
+            let ev = if start {
+                FaultEvent::WindowStart { window, kind: w.kind }
+            } else {
+                FaultEvent::WindowEnd { window, kind: w.kind }
+            };
+            self.tracer.fault_event(now, &ev);
+        }
+        let mut touched = Vec::new();
+        for n in &self.nodes {
+            for pi in 0..n.ports.len() {
+                let pid = PortId(pi as u16);
+                if w.links.matches(n.id, pid) {
+                    touched.push((n.id, pid));
+                }
+            }
+        }
+        for (n, p) in touched {
+            self.try_transmit(n, p);
         }
     }
 
     fn handle_arrival(&mut self, node: NodeId, mut pkt: Packet) {
         self.record(node, &pkt, TraceKind::Arrive);
+        let now = self.queue.now();
+        let faults = &self.faults;
         match &mut self.nodes[node.0 as usize].kind {
             NodeKind::Switch { table } => {
-                let port = table.select(&pkt);
+                let port = if faults.is_empty() {
+                    table.select(&pkt)
+                } else {
+                    // Down links are visible to routing: steer around them
+                    // while an alternative next hop is up.
+                    table.select_avoiding(&pkt, |p| faults.link_down_at(node, p, now))
+                };
                 pkt.hops += 1;
                 self.enqueue_egress(node, port, pkt);
             }
@@ -391,13 +459,21 @@ impl<T: Tracer> Network<T> {
         let now = self.queue.now();
         enum Next {
             Send { to: NodeId, at_dst: Time, free_at: Time, pkt: Packet },
+            Kill { free_at: Time, pkt: Packet, reason: DropReason },
             Kick(Time),
             Idle,
         }
         let mut deq_rec = None;
+        let faults_active = !self.faults.is_empty();
         let next = {
+            let faults = &self.faults;
+            let fault_rng = &mut self.fault_rng;
             let p = &mut self.nodes[node.0 as usize].ports[port.0 as usize];
             if p.busy {
+                Next::Idle
+            } else if faults_active && faults.link_down_at(node, port, now) {
+                // Link is down: leave the queue untouched. The window-end
+                // FaultWindow event re-kicks this port.
                 Next::Idle
             } else {
                 let prev = p.queue.bytes();
@@ -409,7 +485,10 @@ impl<T: Tracer> Network<T> {
                         p.stats.bytes_tx += pkt.size as u64;
                         p.stats.pkts_tx += 1;
                         p.stats.payload_tx += pkt.payload as u64;
-                        let ser = p.link.rate.serialize(pkt.size as u64);
+                        let mut ser = p.link.rate.serialize(pkt.size as u64);
+                        if faults_active {
+                            ser *= faults.slowdown_at(node, port, now) as Time;
+                        }
                         if T::ENABLED {
                             deq_rec = Some(QueueRecord {
                                 at: now,
@@ -426,11 +505,18 @@ impl<T: Tracer> Network<T> {
                                 qlen_pkts: p.queue.pkts(),
                             });
                         }
-                        Next::Send {
-                            to: p.link.to,
-                            at_dst: now + ser + p.link.delay,
-                            free_at: now + ser,
-                            pkt,
+                        let free_at = now + ser;
+                        if faults_active && faults.down_during(node, port, now, free_at) {
+                            // The link flaps while the packet is on the
+                            // wire: the transmitter clocks the bits out, but
+                            // the far end never sees them.
+                            p.stats.fault_kills += 1;
+                            Next::Kill { free_at, pkt, reason: DropReason::LinkDown }
+                        } else if faults_active && faults.corrupts(node, port, &pkt, fault_rng) {
+                            p.stats.fault_kills += 1;
+                            Next::Kill { free_at, pkt, reason: DropReason::Corruption }
+                        } else {
+                            Next::Send { to: p.link.to, at_dst: free_at + p.link.delay, free_at, pkt }
                         }
                     }
                     Poll::NotBefore(t) => {
@@ -461,6 +547,33 @@ impl<T: Tracer> Network<T> {
                 self.queue.schedule_at(free_at, Event::PortFree { node, port });
                 self.queue
                     .schedule_at(at_dst + ingress, Event::Arrival { node: to, pkt: Box::new(pkt) });
+            }
+            Next::Kill { free_at, pkt, reason } => {
+                self.record(node, &pkt, TraceKind::Drop(reason));
+                self.metrics.note_drop(reason, pkt.class);
+                if T::ENABLED {
+                    if let Some(rec) = deq_rec {
+                        self.tracer.queue_event(&rec);
+                        self.tracer.link_tx(now, node, port, pkt.size as u64);
+                        self.sample_bands(now, node, port);
+                    }
+                    self.tracer.fault_event(
+                        now,
+                        &FaultEvent::PacketKilled {
+                            node,
+                            port,
+                            flow: pkt.flow,
+                            seq: pkt.seq,
+                            kind: pkt.kind,
+                            class: pkt.class,
+                            payload: pkt.payload,
+                            reason,
+                        },
+                    );
+                }
+                // The transmitter was still occupied for the serialization
+                // time; only the arrival is suppressed.
+                self.queue.schedule_at(free_at, Event::PortFree { node, port });
             }
             Next::Kick(t) => {
                 self.queue.schedule_at(t, Event::PortKick { node, port });
@@ -652,6 +765,97 @@ mod tests {
         let transmits = trace.iter().filter(|e| e.what == TraceKind::Transmit).count();
         let arrives = trace.iter().filter(|e| e.what == TraceKind::Arrive).count();
         assert_eq!(transmits, arrives, "every transmit arrives on a lossless path");
+    }
+
+    #[test]
+    fn corruption_kills_packets_on_the_wire() {
+        use crate::faults::{FaultPlan, LinkFilter, PacketFilter};
+        let (mut net, h0, h1) = two_hosts_one_switch();
+        net.set_fault_plan(FaultPlan::new(1).with_loss(
+            1.0,
+            PacketFilter::Data,
+            LinkFilter::Node(h0),
+        ));
+        net.schedule_flow(FlowDesc { id: FlowId(1), src: h0, dst: h1, size: 2_920, start: 0 });
+        assert!(!net.run_to_completion(us(1000)), "all data corrupted at the NIC");
+        assert_eq!(net.metrics.payload_delivered, 0);
+        assert_eq!(
+            net.metrics.drops_by_reason(crate::queues::DropReason::Corruption),
+            2,
+            "both data packets must be accounted as corruption, never congestion"
+        );
+        assert_eq!(net.metrics.drops_by_reason(crate::queues::DropReason::SelectiveDrop), 0);
+        assert_eq!(net.port(h0, PortId(0)).stats.fault_kills, 2);
+    }
+
+    #[test]
+    fn down_window_stalls_the_queue_then_recovers() {
+        use crate::faults::{FaultPlan, LinkFilter};
+        let (mut net, h0, h1) = two_hosts_one_switch();
+        // Every link is down for the first 50 us; the flow arrives at t=0,
+        // waits in the NIC queue, and completes untouched after the flap.
+        net.set_fault_plan(FaultPlan::new(0).with_down(0, us(50), LinkFilter::All));
+        net.schedule_flow(FlowDesc { id: FlowId(1), src: h0, dst: h1, size: 14_600, start: 0 });
+        assert!(net.run_to_completion(us(1000)));
+        let done = net.metrics.flow(FlowId(1)).unwrap().completed_at.unwrap();
+        assert!(done > us(50), "nothing can be delivered while links are down");
+        assert_eq!(net.metrics.total_drops(), 0, "stalled packets are not lost");
+    }
+
+    #[test]
+    fn mid_flight_cut_is_a_link_down_drop() {
+        use crate::faults::{FaultPlan, LinkFilter};
+        let (mut net, h0, h1) = two_hosts_one_switch();
+        // The first packet starts serializing at t=0 (832 ns at 10G); a down
+        // window opening at 100 ns cuts it on the wire.
+        net.set_fault_plan(FaultPlan::new(0).with_down(
+            100 * crate::units::PS_PER_NS,
+            us(2),
+            LinkFilter::Node(h0),
+        ));
+        net.schedule_flow(FlowDesc { id: FlowId(1), src: h0, dst: h1, size: 1_460, start: 0 });
+        net.run_to_completion(us(100));
+        assert_eq!(net.metrics.drops_by_reason(crate::queues::DropReason::LinkDown), 1);
+        assert_eq!(net.metrics.payload_delivered, 0);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_behavior_identical() {
+        let run = |with_plan: bool| {
+            let (mut net, h0, h1) = two_hosts_one_switch();
+            if with_plan {
+                net.set_fault_plan(crate::faults::FaultPlan::new(99));
+            }
+            net.schedule_flow(FlowDesc { id: FlowId(1), src: h0, dst: h1, size: 146_000, start: 0 });
+            assert!(net.run_to_completion(us(10_000)));
+            (net.metrics.flow(FlowId(1)).unwrap().fct().unwrap(), net.events_processed())
+        };
+        assert_eq!(run(false), run(true), "an empty plan must not perturb the run");
+    }
+
+    #[test]
+    fn degraded_window_slows_serialization() {
+        use crate::faults::{FaultPlan, LinkFilter};
+        let fct = |plan: Option<FaultPlan>| {
+            let (mut net, h0, h1) = two_hosts_one_switch();
+            if let Some(p) = plan {
+                net.set_fault_plan(p);
+            }
+            net.schedule_flow(FlowDesc { id: FlowId(1), src: h0, dst: h1, size: 146_000, start: 0 });
+            assert!(net.run_to_completion(us(100_000)));
+            net.metrics.flow(FlowId(1)).unwrap().fct().unwrap()
+        };
+        let clean = fct(None);
+        let degraded = fct(Some(FaultPlan::new(0).with_degraded(
+            0,
+            crate::units::ms(10),
+            4,
+            LinkFilter::All,
+        )));
+        assert!(
+            degraded > 3 * clean && degraded < 6 * clean,
+            "4x slowdown should roughly quadruple the FCT: {clean} -> {degraded}"
+        );
     }
 
     #[test]

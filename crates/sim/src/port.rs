@@ -33,6 +33,9 @@ pub struct PortStats {
     /// Packets dropped at this port, by coarse reason index
     /// (see [`crate::metrics::Metrics`] for the global per-reason counters).
     pub drops: u64,
+    /// Packets killed on the wire by fault injection (corruption or a link
+    /// going down mid-serialization) — always 0 without a fault plan.
+    pub fault_kills: u64,
 }
 
 impl PortStats {

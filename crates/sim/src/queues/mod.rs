@@ -52,6 +52,13 @@ pub enum DropReason {
     SelectiveDrop,
     /// ExpressPass credit throttling: the credit queue overflowed.
     CreditOverflow,
+    /// Fault injection: random (FCS) corruption loss on a link. Never
+    /// conflated with [`DropReason::SelectiveDrop`] — corruption happens on
+    /// the wire, selective dropping in the buffer.
+    Corruption,
+    /// Fault injection: the packet was in flight (or about to serialize)
+    /// when its link went down.
+    LinkDown,
 }
 
 /// Result of offering a packet to a queue.

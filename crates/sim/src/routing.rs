@@ -97,6 +97,43 @@ impl RouteTable {
             }
         }
     }
+
+    /// Pick the egress port for `pkt`, steering around ports for which
+    /// `is_down` returns true. Falls back to the normal selection when every
+    /// candidate is down (the packet then waits in a stalled queue until the
+    /// link recovers). Used by the engine only while a fault plan with down
+    /// windows is active.
+    ///
+    /// # Panics
+    /// Panics if no route exists — topologies must be fully wired.
+    pub fn select_avoiding(
+        &mut self,
+        pkt: &Packet,
+        is_down: impl Fn(PortId) -> bool,
+    ) -> PortId {
+        let g = self
+            .groups
+            .get(pkt.dst.0 as usize)
+            .filter(|g| !g.is_empty())
+            .unwrap_or_else(|| panic!("no route from switch to {:?}", pkt.dst));
+        let up: Vec<PortId> = g.iter().copied().filter(|&p| !is_down(p)).collect();
+        if up.is_empty() {
+            return self.select(pkt);
+        }
+        if up.len() == 1 {
+            return up[0];
+        }
+        match self.policy {
+            RoutePolicy::EcmpHash => {
+                let h = fnv1a(pkt.flow.0, pkt.path_tag);
+                up[(h % up.len() as u64) as usize]
+            }
+            RoutePolicy::Spray => {
+                let i = self.rng.index(up.len());
+                up[i]
+            }
+        }
+    }
 }
 
 #[cfg(test)]

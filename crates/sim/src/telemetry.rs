@@ -20,6 +20,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
 
+use crate::faults::WindowKind;
 use crate::packet::{FlowId, NodeId, PacketKind, PortId, TrafficClass};
 use crate::queues::DropReason;
 use crate::units::{us, Rate, Time};
@@ -140,6 +141,46 @@ pub enum TransportEvent {
     },
 }
 
+/// A fault-injection event: a scheduled [`crate::FaultPlan`] window
+/// transitioning, or a packet killed on a link by the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// A scheduled fault window armed (its links went down or degraded).
+    WindowStart {
+        /// Index into the plan's window list.
+        window: usize,
+        /// Down or degraded.
+        kind: WindowKind,
+    },
+    /// A scheduled fault window ended (its links recovered).
+    WindowEnd {
+        /// Index into the plan's window list.
+        window: usize,
+        /// Down or degraded.
+        kind: WindowKind,
+    },
+    /// A packet died on the wire: corruption loss, or cut by a link going
+    /// down mid-serialization.
+    PacketKilled {
+        /// Node owning the egress link.
+        node: NodeId,
+        /// Egress port the packet was leaving through.
+        port: PortId,
+        /// Flow of the killed packet.
+        flow: FlowId,
+        /// Sequence / offset of the killed packet.
+        seq: u64,
+        /// Protocol meaning of the killed packet.
+        kind: PacketKind,
+        /// Scheduling class of the killed packet.
+        class: TrafficClass,
+        /// Application payload bytes it carried.
+        payload: u32,
+        /// [`DropReason::Corruption`] or [`DropReason::LinkDown`].
+        reason: DropReason,
+    },
+}
+
 /// Object-safe event sink: every hook has a no-op default, so a sink
 /// implements only what it cares about. The engine's context exposes this
 /// as `&mut dyn TraceSink` to endpoints.
@@ -159,6 +200,8 @@ pub trait TraceSink {
     fn packet_delivered(&mut self, _at: Time, _class: TrafficClass, _payload: u64) {}
     /// A transport endpoint emitted a protocol-level event.
     fn transport_event(&mut self, _at: Time, _host: NodeId, _ev: &TransportEvent) {}
+    /// The fault plan acted: a window transitioned or a packet was killed.
+    fn fault_event(&mut self, _at: Time, _ev: &FaultEvent) {}
 }
 
 /// A statically-dispatched tracer. `ENABLED` gates every engine hook at
@@ -368,6 +411,7 @@ pub struct RecordingTracer {
     cfg: RecordingConfig,
     ports: BTreeMap<(NodeId, PortId), PortTrace>,
     transport: Vec<(Time, NodeId, TransportEvent)>,
+    faults: Vec<(Time, FaultEvent)>,
     inflight: [u64; 3],
     inflight_series: [TimeSeries; 3],
 }
@@ -418,6 +462,16 @@ pub fn reason_str(reason: DropReason) -> &'static str {
         DropReason::SharedBufferFull => "shared_buffer_full",
         DropReason::SelectiveDrop => "selective_drop",
         DropReason::CreditOverflow => "credit_overflow",
+        DropReason::Corruption => "corruption",
+        DropReason::LinkDown => "link_down",
+    }
+}
+
+/// Stable wire name for a fault-window kind.
+pub fn window_kind_str(kind: WindowKind) -> &'static str {
+    match kind {
+        WindowKind::Down => "down",
+        WindowKind::Degraded { .. } => "degraded",
     }
 }
 
@@ -456,6 +510,7 @@ impl RecordingTracer {
             cfg,
             ports: BTreeMap::new(),
             transport: Vec::new(),
+            faults: Vec::new(),
             inflight: [0; 3],
             inflight_series: [mk(), mk(), mk()],
         }
@@ -494,6 +549,11 @@ impl RecordingTracer {
         &self.transport
     }
 
+    /// Fault-injection events in emission order (empty without a fault plan).
+    pub fn fault_events(&self) -> &[(Time, FaultEvent)] {
+        &self.faults
+    }
+
     /// Current in-flight payload bytes of a class.
     pub fn inflight_bytes(&self, class: TrafficClass) -> u64 {
         self.inflight[class_idx(class)]
@@ -517,8 +577,8 @@ impl RecordingTracer {
     }
 
     /// Serialize the full capture as deterministic JSONL: one `meta` line,
-    /// then `port`, `queue`, `transport` and `series` lines, every map
-    /// iterated in `BTreeMap` order.
+    /// then `port`, `queue`, `transport`, `fault` (only when a fault plan
+    /// acted) and `series` lines, every map iterated in `BTreeMap` order.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(
@@ -594,6 +654,33 @@ impl RecordingTracer {
                     flow.0,
                     cause_str(cause)
                 ),
+            };
+        }
+        for &(at, ev) in &self.faults {
+            let _ = write!(out, "{{\"type\":\"fault\",\"at\":{at},");
+            let _ = match ev {
+                FaultEvent::WindowStart { window, kind } => writeln!(
+                    out,
+                    "\"ev\":\"window_start\",\"window\":{window},\"kind\":\"{}\"}}",
+                    window_kind_str(kind)
+                ),
+                FaultEvent::WindowEnd { window, kind } => writeln!(
+                    out,
+                    "\"ev\":\"window_end\",\"window\":{window},\"kind\":\"{}\"}}",
+                    window_kind_str(kind)
+                ),
+                FaultEvent::PacketKilled { node, port, flow, seq, kind, class, payload, reason } => {
+                    writeln!(
+                        out,
+                        "\"ev\":\"killed\",\"node\":{},\"port\":{},\"flow\":{},\"seq\":{seq},\"kind\":\"{}\",\"class\":\"{}\",\"payload\":{payload},\"reason\":\"{}\"}}",
+                        node.0,
+                        port.0,
+                        flow.0,
+                        kind_str(kind),
+                        class_str(class),
+                        reason_str(reason)
+                    )
+                }
             };
         }
         let series_line = |out: &mut String, name: &str, loc: Option<(NodeId, PortId)>, samples: &[(Time, u64)]| {
@@ -685,6 +772,20 @@ impl TraceSink for RecordingTracer {
 
     fn transport_event(&mut self, at: Time, host: NodeId, ev: &TransportEvent) {
         self.transport.push((at, host, *ev));
+    }
+
+    fn fault_event(&mut self, at: Time, ev: &FaultEvent) {
+        // A packet killed on the wire leaves the network without a delivery
+        // or queue-drop event, so keep the in-flight accounting balanced
+        // here.
+        if let FaultEvent::PacketKilled { class, payload, .. } = *ev {
+            if payload > 0 {
+                let idx = class_idx(class);
+                self.inflight[idx] = self.inflight[idx].saturating_sub(payload as u64);
+                self.inflight_observe(at, idx);
+            }
+        }
+        self.faults.push((at, *ev));
     }
 }
 

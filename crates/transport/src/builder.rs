@@ -1,7 +1,7 @@
 //! Fluent construction of runnable scenarios.
 //!
-//! [`SchemeBuilder`] replaces the positional [`Harness::new`] constructor:
-//! every knob — topology, scheme parameters, first-RTT mode, telemetry
+//! [`SchemeBuilder`] is the one way to construct a [`Harness`]: every knob —
+//! topology, scheme parameters, first-RTT mode, fault plan, telemetry
 //! tracer, workload — is named, optional knobs have paper defaults, and the
 //! tracer changes the harness type statically so `NullTracer` runs carry no
 //! overhead.
@@ -83,6 +83,14 @@ impl<T: Tracer> SchemeBuilder<T> {
         self
     }
 
+    /// Install a wire-level fault plan (corruption loss, link down/degraded
+    /// windows) on the built network. An empty plan is the default and adds
+    /// no machinery to the run.
+    pub fn faults(mut self, plan: aeolus_sim::FaultPlan) -> Self {
+        self.params.faults = plan;
+        self
+    }
+
     /// Install a telemetry tracer. This changes the harness type: the
     /// default [`NullTracer`] compiles every hook away, while e.g.
     /// [`aeolus_sim::RecordingTracer`] captures typed events.
@@ -126,7 +134,14 @@ impl<T: Tracer> SchemeBuilder<T> {
 
     /// Build the harness: topology wired with the scheme's queue
     /// discipline, one endpoint per host, tracer installed on the network.
+    ///
+    /// Panics if the Aeolus configuration fails
+    /// [`aeolus_core::AeolusConfig::validate`] — better a descriptive error
+    /// at build time than a confusing one deep inside the simulator.
     pub fn build(self) -> Harness<T> {
+        if let Err(e) = self.params.aeolus.validate() {
+            panic!("invalid Aeolus config for scheme '{}': {e}", self.scheme.name());
+        }
         Harness::with_tracer(self.scheme, self.params, self.spec, self.tracer)
     }
 
@@ -134,8 +149,12 @@ impl<T: Tracer> SchemeBuilder<T> {
     /// until they complete (or `horizon`). Returns the harness (metrics and
     /// tracer inside), the generated flows, and the completion status.
     ///
-    /// Panics if no [`SchemeBuilder::workload`] was set.
+    /// Panics if no [`SchemeBuilder::workload`] was set, or if the Aeolus
+    /// configuration fails [`aeolus_core::AeolusConfig::validate`].
     pub fn build_run(self, horizon: Time) -> (Harness<T>, Vec<FlowDesc>, bool) {
+        if let Err(e) = self.params.aeolus.validate() {
+            panic!("invalid Aeolus config for scheme '{}': {e}", self.scheme.name());
+        }
         let w = self.workload.expect("SchemeBuilder::build_run needs a workload");
         let mut h = Harness::with_tracer(self.scheme, self.params, self.spec, self.tracer);
         let cfg = PoissonConfig {
@@ -160,16 +179,35 @@ mod tests {
     use aeolus_sim::RecordingTracer;
 
     #[test]
-    fn builder_defaults_match_positional_constructor() {
-        #[allow(deprecated)]
-        let old = Harness::new(
+    fn builder_defaults_match_explicit_construction() {
+        let explicit = Harness::with_tracer(
             Scheme::HomaAeolus,
             SchemeParams::new(0),
             TopoSpec::SingleSwitch { hosts: 8, link: LinkParams::uniform(aeolus_sim::Rate::gbps(10), us(3)) },
+            NullTracer,
         );
         let new = SchemeBuilder::new(Scheme::HomaAeolus).build();
-        assert_eq!(old.hosts(), new.hosts());
-        assert_eq!(old.params.base_rtt, new.params.base_rtt);
+        assert_eq!(explicit.hosts(), new.hosts());
+        assert_eq!(explicit.params.base_rtt, new.params.base_rtt);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_threshold")]
+    fn build_rejects_invalid_aeolus_config() {
+        let mut p = SchemeParams::new(0);
+        p.aeolus.drop_threshold = 1 << 40; // far above any port buffer
+        p.aeolus.port_buffer = 1_000;
+        let _ = SchemeBuilder::new(Scheme::ExpressPassAeolus).params(p).build();
+    }
+
+    #[test]
+    fn faults_knob_reaches_the_network() {
+        use aeolus_sim::{FaultPlan, LinkFilter, PacketFilter};
+        let plan = FaultPlan::new(7).with_loss(0.5, PacketFilter::Data, LinkFilter::All);
+        let h = SchemeBuilder::new(Scheme::HomaAeolus).faults(plan.clone()).build();
+        assert_eq!(h.topo.net.fault_plan(), &plan);
+        let clean = SchemeBuilder::new(Scheme::HomaAeolus).build();
+        assert!(clean.topo.net.fault_plan().is_empty());
     }
 
     #[test]

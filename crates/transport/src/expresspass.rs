@@ -94,11 +94,20 @@ struct SendFlow {
     /// Most recent loss-detection cause (attributes retransmissions in
     /// telemetry traces).
     last_loss: Option<LossCause>,
+    /// Last time anything of this flow was heard (drives the silence-gated
+    /// retry; reset on every credit/ACK/resend receipt).
+    last_heard: Time,
+    /// Consecutive retry firings without a response, capped — each doubles
+    /// the next retry interval so a long outage never seeds a retry storm.
+    retry_fires: u32,
 }
 
 struct RecvFlow {
     sender: NodeId,
     book: RecvBook,
+    /// Consecutive stall-scan resends without progress, capped — backs off
+    /// this flow's stall window exponentially (reset on data arrival).
+    stall_strikes: u32,
     next_credit_seq: u64,
     /// Induced-data rate in bits/s this flow's credits are paced at.
     rate_bps: f64,
@@ -172,12 +181,16 @@ impl XPassEndpoint {
                 Some(s) => s,
                 None => continue,
             };
-            if ctx.now.saturating_sub(rf.last_arrival) >= stall_after {
+            // Each fruitless resend doubles this flow's stall window (capped)
+            // so a dead sender is probed ever more gently.
+            let wait = stall_after << rf.stall_strikes.min(4);
+            if ctx.now.saturating_sub(rf.last_arrival) >= wait {
                 let missing: Vec<(u64, u64)> =
                     rf.book.core.missing_below(size).into_iter().take(8).collect();
                 if !missing.is_empty() {
                     ctx.metrics.note_timeout(id);
                     rf.last_arrival = ctx.now; // back off one period
+                    rf.stall_strikes = (rf.stall_strikes + 1).min(4);
                     resends.push((id, rf.sender, missing));
                 }
             }
@@ -222,6 +235,7 @@ impl XPassEndpoint {
         let entry = self.recv_flows.entry(pkt.flow).or_insert_with(|| RecvFlow {
             sender: pkt.src,
             book: RecvBook::new(),
+            stall_strikes: 0,
             next_credit_seq: 1,
             rate_bps: init,
             w,
@@ -343,31 +357,53 @@ impl XPassEndpoint {
         }
     }
 
-    fn on_probe_retry(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
+    /// Base §6 retry interval; each of a flow's earlier fruitless fires
+    /// doubles it, capped at 64× (capped exponential backoff).
+    fn probe_retry_base(&self) -> Time {
         let retry_rtts = self.cfg.base.aeolus.probe_retry_rtts;
-        let rearm = {
+        (retry_rtts as Time * self.cfg.base.base_rtt.max(1)).max(aeolus_sim::units::ms(2))
+    }
+
+    fn on_probe_retry(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
+        if self.cfg.base.aeolus.probe_retry_rtts == 0 {
+            return;
+        }
+        let base = self.probe_retry_base();
+        let rearm_in = {
             let sf = match self.send_flows.get_mut(&flow) {
                 Some(sf) => sf,
                 None => return,
             };
-            if sf.heard_back {
-                false
+            if sf.core.fully_acked() || (sf.heard_back && !sf.core.has_work()) {
+                // Every byte is out (or acknowledged); any residual tail loss
+                // is the receiver stall scan's business.
+                None
             } else {
-                // Total silence: the request (and possibly the probe) never
-                // made it. Re-ask.
-                ctx.metrics.note_timeout(flow);
-                let mut req =
-                    Packet::control(flow, ctx.host, sf.desc.dst, 0, PacketKind::Request);
-                req.flow_size = sf.desc.size;
-                ctx.send(req);
-                if let Some(ps) = sf.probe_seq {
-                    ctx.send(probe_packet(&sf.desc, ps));
+                let interval = base << sf.retry_fires.min(6);
+                if ctx.now.saturating_sub(sf.last_heard) >= interval {
+                    // Silence for a whole retry interval. Before first
+                    // contact that means the request (and possibly the probe)
+                    // never made it; after, the credit loop's packets are not
+                    // getting through — either way, re-ask. This is the
+                    // scheduled-phase RTO fallback: the re-sent request
+                    // re-kicks the receiver's credit loop and stall scan.
+                    ctx.metrics.note_timeout(flow);
+                    let mut req =
+                        Packet::control(flow, ctx.host, sf.desc.dst, 0, PacketKind::Request);
+                    req.flow_size = sf.desc.size;
+                    ctx.send(req);
+                    if !sf.heard_back {
+                        if let Some(ps) = sf.probe_seq {
+                            ctx.send(probe_packet(&sf.desc, ps));
+                        }
+                    }
+                    sf.retry_fires = (sf.retry_fires + 1).min(6);
                 }
-                true
+                Some(base << sf.retry_fires.min(6))
             }
         };
-        if rearm && retry_rtts > 0 {
-            let t = ctx.set_timer_in((retry_rtts as Time * self.cfg.base.base_rtt.max(1)).max(aeolus_sim::units::ms(2)));
+        if let Some(d) = rearm_in {
+            let t = ctx.set_timer_in(d);
             self.timers.insert(t, TimerKind::ProbeRetry(flow));
         }
     }
@@ -457,14 +493,21 @@ impl Endpoint for XPassEndpoint {
             let t = ctx.set_timer_in(rto);
             self.timers.insert(t, TimerKind::Rto(flow.id));
         }
-        let retry_rtts = self.cfg.base.aeolus.probe_retry_rtts;
-        if retry_rtts > 0 {
-            let t = ctx.set_timer_in((retry_rtts as Time * self.cfg.base.base_rtt.max(1)).max(aeolus_sim::units::ms(2)));
+        if self.cfg.base.aeolus.probe_retry_rtts > 0 {
+            let t = ctx.set_timer_in(self.probe_retry_base());
             self.timers.insert(t, TimerKind::ProbeRetry(flow.id));
         }
         self.send_flows.insert(
             flow.id,
-            SendFlow { desc: flow, core, heard_back: false, probe_seq, last_loss: None },
+            SendFlow {
+                desc: flow,
+                core,
+                heard_back: false,
+                probe_seq,
+                last_loss: None,
+                last_heard: ctx.now,
+                retry_fires: 0,
+            },
         );
     }
 
@@ -476,6 +519,8 @@ impl Endpoint for XPassEndpoint {
             PacketKind::Credit => {
                 if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
                     sf.heard_back = true;
+                    sf.last_heard = ctx.now;
+                    sf.retry_fires = 0;
                     ctx.emit(TransportEvent::CreditReceipt {
                         flow: pkt.flow,
                         bytes: self.cfg.base.mtu_payload as u64,
@@ -489,6 +534,7 @@ impl Endpoint for XPassEndpoint {
                 let rf = self.recv_flows.get_mut(&pkt.flow).expect("just ensured");
                 let unscheduled = pkt.class == TrafficClass::Unscheduled;
                 rf.last_arrival = ctx.now;
+                rf.stall_strikes = 0;
                 let v = rf.book.on_data(&pkt, ctx);
                 if pkt.credit_echo > 0 {
                     // Credit-loss accounting: a gap in the echoed credit
@@ -518,6 +564,8 @@ impl Endpoint for XPassEndpoint {
                 // on the next credits.
                 if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
                     sf.heard_back = true;
+                    sf.last_heard = ctx.now;
+                    sf.retry_fires = 0;
                     let lost = sf.core.requeue_lost(pkt.seq, end);
                     if lost > 0 {
                         sf.last_loss = Some(LossCause::Stall);
@@ -533,6 +581,8 @@ impl Endpoint for XPassEndpoint {
                 let infer = self.cfg.base.sack_inference();
                 if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
                     sf.heard_back = true;
+                    sf.last_heard = ctx.now;
+                    sf.retry_fires = 0;
                     let (lost, cause) = if of_probe {
                         (sf.core.on_probe_ack(), LossCause::Probe)
                     } else if infer {

@@ -133,6 +133,13 @@ impl ArbiterEndpoint {
 enum TimerKind {
     /// Transmit the next scheduled slot of a flow.
     Slot(FlowId),
+    /// Re-request timeslots if the outstanding request (or its Schedule
+    /// reply) was lost on the way — without this, a single lost arbiter
+    /// round trip hangs the flow forever.
+    RequestRetry(FlowId),
+    /// Receiver-side stall scan: re-requests missing ranges from senders
+    /// whose scheduled packets died on the wire.
+    StallScan,
 }
 
 struct SendFlow {
@@ -146,11 +153,18 @@ struct SendFlow {
     completed: bool,
     /// Most recent loss signal, for retransmission attribution.
     last_loss: Option<LossCause>,
+    /// Consecutive request retries without a Schedule reply, capped — each
+    /// doubles the next retry interval (reset when a Schedule arrives).
+    retry_fires: u32,
 }
 
 struct RecvFlow {
     sender: NodeId,
     book: RecvBook,
+    /// Last time any data packet of this flow arrived.
+    last_arrival: Time,
+    /// Consecutive stall resends without progress, capped (backoff).
+    stall_strikes: u32,
 }
 
 /// The per-host Fastpass endpoint.
@@ -159,6 +173,7 @@ pub struct FastpassEndpoint {
     send_flows: BTreeMap<FlowId, SendFlow>,
     recv_flows: BTreeMap<FlowId, RecvFlow>,
     timers: BTreeMap<u64, TimerKind>,
+    stall_scan_armed: bool,
 }
 
 impl FastpassEndpoint {
@@ -169,13 +184,27 @@ impl FastpassEndpoint {
             send_flows: BTreeMap::new(),
             recv_flows: BTreeMap::new(),
             timers: BTreeMap::new(),
+            stall_scan_armed: false,
         }
+    }
+
+    /// Base interval after which an unanswered arbiter request is retried;
+    /// generous (several RTTs) so queueing is never mistaken for loss.
+    fn retry_base(&self) -> Time {
+        (8 * self.cfg.base.base_rtt.max(1)).max(aeolus_sim::units::ms(2))
+    }
+
+    /// Interval after which an incomplete receive flow with no arrivals is
+    /// deemed stalled and its gaps re-requested.
+    fn stall_after(&self) -> Time {
+        (8 * self.cfg.base.base_rtt.max(1)).max(aeolus_sim::units::ms(1))
     }
 
     fn request_slots(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
         let arbiter = self.cfg.arbiter;
         let batch = self.cfg.batch_slots;
-        if let Some(sf) = self.send_flows.get_mut(&flow) {
+        let retry_base = self.retry_base();
+        let retry_in = if let Some(sf) = self.send_flows.get_mut(&flow) {
             if sf.requesting || sf.completed || !sf.core.has_work() {
                 return;
             }
@@ -187,6 +216,78 @@ impl FastpassEndpoint {
             req.flow_size = rough_need.min(batch) as u64;
             req.path_tag = sf.desc.dst.0 as u64;
             ctx.send(req);
+            retry_base << sf.retry_fires.min(6)
+        } else {
+            return;
+        };
+        let t = ctx.set_timer_in(retry_in);
+        self.timers.insert(t, TimerKind::RequestRetry(flow));
+    }
+
+    /// The request-retry backstop: if the request (or its Schedule reply)
+    /// vanished, clear the stuck `requesting` latch and re-ask with capped
+    /// exponential backoff.
+    fn on_request_retry(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
+        let stuck = match self.send_flows.get_mut(&flow) {
+            Some(sf) if sf.requesting && !sf.completed => {
+                sf.requesting = false;
+                sf.retry_fires = (sf.retry_fires + 1).min(6);
+                ctx.metrics.note_timeout(flow);
+                true
+            }
+            _ => false,
+        };
+        if stuck {
+            self.request_slots(flow, ctx);
+        }
+    }
+
+    fn arm_stall_scan(&mut self, ctx: &mut Ctx<'_>) {
+        if self.stall_scan_armed {
+            return;
+        }
+        self.stall_scan_armed = true;
+        let delay = self.stall_after();
+        let t = ctx.set_timer_in(delay);
+        self.timers.insert(t, TimerKind::StallScan);
+    }
+
+    fn on_stall_scan(&mut self, ctx: &mut Ctx<'_>) {
+        self.stall_scan_armed = false;
+        let stall_after = self.stall_after();
+        let mut any_incomplete = false;
+        let mut resends: Vec<(FlowId, NodeId, Vec<(u64, u64)>)> = Vec::new();
+        for (&id, rf) in self.recv_flows.iter_mut() {
+            if rf.book.is_complete() {
+                continue;
+            }
+            any_incomplete = true;
+            let size = match rf.book.core.size() {
+                Some(s) => s,
+                None => continue,
+            };
+            let wait = stall_after << rf.stall_strikes.min(4);
+            if ctx.now.saturating_sub(rf.last_arrival) >= wait {
+                let missing: Vec<(u64, u64)> =
+                    rf.book.core.missing_below(size).into_iter().take(8).collect();
+                if !missing.is_empty() {
+                    ctx.metrics.note_timeout(id);
+                    rf.last_arrival = ctx.now; // back off one period
+                    rf.stall_strikes = (rf.stall_strikes + 1).min(4);
+                    resends.push((id, rf.sender, missing));
+                }
+            }
+        }
+        for (id, sender, missing) in resends {
+            for (s, e) in missing {
+                let r = Packet::control(id, ctx.host, sender, s, PacketKind::Resend { end: e });
+                ctx.send(r);
+            }
+        }
+        if any_incomplete {
+            self.stall_scan_armed = true;
+            let t = ctx.set_timer_in(stall_after);
+            self.timers.insert(t, TimerKind::StallScan);
         }
     }
 
@@ -271,6 +372,7 @@ impl Endpoint for FastpassEndpoint {
                 requesting: false,
                 completed: false,
                 last_loss: None,
+                retry_fires: 0,
             },
         );
         self.request_slots(flow.id, ctx);
@@ -285,6 +387,7 @@ impl Endpoint for FastpassEndpoint {
                         None => return,
                     };
                     sf.requesting = false;
+                    sf.retry_fires = 0;
                     sf.slots_left = slots;
                     sf.stride = stride;
                     ctx.emit(TransportEvent::CreditReceipt {
@@ -297,14 +400,20 @@ impl Endpoint for FastpassEndpoint {
                 self.timers.insert(t, TimerKind::Slot(pkt.flow));
             }
             PacketKind::Data => {
+                let now = ctx.now;
                 let rf = self.recv_flows.entry(pkt.flow).or_insert_with(|| RecvFlow {
                     sender: pkt.src,
                     book: RecvBook::new(),
+                    last_arrival: now,
+                    stall_strikes: 0,
                 });
                 rf.book.learn_size(pkt.flow_size);
+                rf.last_arrival = now;
+                rf.stall_strikes = 0;
                 let unscheduled = pkt.class == TrafficClass::Unscheduled;
                 let v = rf.book.on_data(&pkt, ctx);
                 let sender = rf.sender;
+                self.arm_stall_scan(ctx);
                 if self.cfg.base.mode.probe_recovery() && unscheduled {
                     if let Some((s, e)) = v.acked_range {
                         ctx.send(ack_packet(pkt.flow, ctx.host, sender, s, e));
@@ -315,13 +424,38 @@ impl Endpoint for FastpassEndpoint {
                 }
             }
             PacketKind::Probe => {
+                let now = ctx.now;
                 let rf = self.recv_flows.entry(pkt.flow).or_insert_with(|| RecvFlow {
                     sender: pkt.src,
                     book: RecvBook::new(),
+                    last_arrival: now,
+                    stall_strikes: 0,
                 });
                 rf.book.core.on_probe(pkt.seq, pkt.flow_size);
                 let sender = rf.sender;
                 ctx.send(probe_ack_packet(pkt.flow, ctx.host, sender, pkt.seq));
+                self.arm_stall_scan(ctx);
+            }
+            PacketKind::Resend { end } => {
+                // Receiver-detected stall: a scheduled packet died on the
+                // wire. Requeue the range and ask the arbiter for slots to
+                // carry it.
+                let mut need_more = false;
+                if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                    let lost = sf.core.requeue_lost(pkt.seq, end);
+                    if lost > 0 {
+                        sf.last_loss = Some(LossCause::Stall);
+                        ctx.emit(TransportEvent::LossDetected {
+                            flow: pkt.flow,
+                            bytes: lost,
+                            cause: LossCause::Stall,
+                        });
+                    }
+                    need_more = sf.slots_left == 0 && sf.core.has_work();
+                }
+                if need_more {
+                    self.request_slots(pkt.flow, ctx);
+                }
             }
             PacketKind::Ack { of_probe, end } => {
                 let mut need_more = false;
@@ -363,6 +497,8 @@ impl Endpoint for FastpassEndpoint {
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
         match self.timers.remove(&token) {
             Some(TimerKind::Slot(f)) => self.on_slot(f, ctx),
+            Some(TimerKind::RequestRetry(f)) => self.on_request_retry(f, ctx),
+            Some(TimerKind::StallScan) => self.on_stall_scan(ctx),
             None => {}
         }
     }

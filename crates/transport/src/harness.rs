@@ -2,11 +2,13 @@
 //! endpoints, schedule flows and run — the shared front door for integration
 //! tests, examples and every experiment runner.
 
+use std::fmt;
+
 use aeolus_sim::topology::{
     fat_tree_with, leaf_spine_with, single_switch_with, LinkParams, Topology,
 };
-use aeolus_sim::units::Time;
-use aeolus_sim::{FlowDesc, Metrics, NodeId, NullTracer, Tracer};
+use aeolus_sim::units::{fmt_time, Time};
+use aeolus_sim::{FlowDesc, FlowId, Metrics, NodeId, NullTracer, Tracer};
 
 use crate::registry::{Scheme, SchemeParams};
 
@@ -61,20 +63,63 @@ pub struct Harness<T: Tracer = NullTracer> {
     pub params: SchemeParams,
 }
 
-impl Harness {
-    /// Build the topology for `scheme`, wiring every port with the scheme's
-    /// queue discipline and installing one endpoint per host.
-    ///
-    /// `params.base_rtt` is overwritten with the topology's base RTT unless
-    /// it was already set to a non-zero value by the caller.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use SchemeBuilder::new(scheme).params(..).topology(..).build()"
-    )]
-    pub fn new(scheme: Scheme, params: SchemeParams, spec: TopoSpec) -> Harness {
-        Harness::with_tracer(scheme, params, spec, NullTracer)
+/// One flow the watchdog found incomplete at its horizon, with enough state
+/// to tell a hung recovery loop from a merely slow transfer.
+#[derive(Debug, Clone)]
+pub struct StuckFlow {
+    /// The flow's id.
+    pub id: FlowId,
+    /// Sending host.
+    pub src: NodeId,
+    /// Receiving host.
+    pub dst: NodeId,
+    /// Bytes the flow was supposed to move.
+    pub size: u64,
+    /// Unique payload bytes actually delivered.
+    pub delivered: u64,
+    /// Retransmission timeouts the flow suffered.
+    pub timeouts: u32,
+    /// Payload bytes retransmitted.
+    pub retransmitted: u64,
+}
+
+/// Diagnostics from [`Harness::run_watchdog`] when not every flow finished:
+/// the global watchdog tripped, and these are the per-flow stuck states.
+#[derive(Debug, Clone)]
+pub struct WatchdogReport {
+    /// The horizon the run was given.
+    pub horizon: Time,
+    /// Every incomplete flow, in flow-id order.
+    pub stuck: Vec<StuckFlow>,
+}
+
+impl fmt::Display for WatchdogReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "watchdog: {} flow(s) still incomplete at horizon {}",
+            self.stuck.len(),
+            fmt_time(self.horizon)
+        )?;
+        for s in &self.stuck {
+            writeln!(
+                f,
+                "  flow {} {}->{}: {}/{} B delivered, {} timeouts, {} B retransmitted{}",
+                s.id.0,
+                s.src.0,
+                s.dst.0,
+                s.delivered,
+                s.size,
+                s.timeouts,
+                s.retransmitted,
+                if s.delivered == 0 { " (never got a byte through)" } else { "" },
+            )?;
+        }
+        Ok(())
     }
 }
+
+impl std::error::Error for WatchdogReport {}
 
 impl<T: Tracer> Harness<T> {
     /// [`SchemeBuilder::build`]'s engine: build the scheme's topology with
@@ -120,6 +165,9 @@ impl<T: Tracer> Harness<T> {
             params.arbiter = Some(arbiter);
             topo.net.set_endpoint(arbiter, scheme.make_arbiter(&params));
         }
+        if !params.faults.is_empty() {
+            topo.net.set_fault_plan(params.faults.clone());
+        }
         let hosts = topo.hosts.clone();
         for h in hosts {
             topo.net.set_endpoint(h, scheme.make_endpoint(&params));
@@ -142,6 +190,31 @@ impl<T: Tracer> Harness<T> {
     /// Run until all flows complete or `horizon`; returns completion status.
     pub fn run(&mut self, horizon: Time) -> bool {
         self.topo.net.run_to_completion(horizon)
+    }
+
+    /// Run with a global watchdog: like [`Harness::run`], but an incomplete
+    /// run is an *error* carrying per-flow stuck-state diagnostics instead of
+    /// a bare `false`. Chaos/fault experiments use this so a hung recovery
+    /// loop fails loudly with enough context to debug it.
+    pub fn run_watchdog(&mut self, horizon: Time) -> Result<(), WatchdogReport> {
+        if self.run(horizon) {
+            return Ok(());
+        }
+        let stuck = self
+            .metrics()
+            .flows()
+            .filter(|r| r.completed_at.is_none())
+            .map(|r| StuckFlow {
+                id: r.desc.id,
+                src: r.desc.src,
+                dst: r.desc.dst,
+                size: r.desc.size,
+                delivered: r.delivered,
+                timeouts: r.timeouts,
+                retransmitted: r.retransmitted,
+            })
+            .collect();
+        Err(WatchdogReport { horizon, stuck })
     }
 
     /// Run metrics.

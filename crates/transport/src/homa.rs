@@ -470,12 +470,18 @@ impl HomaEndpoint {
                 let mut probe = probe_packet(&sf.desc, burst_end);
                 probe.priority = sf.native_prio;
                 ctx.send(probe);
+                // Reuse `rto_fires` as the retry counter: Blind mode (the
+                // only other user) never arms ProbeRetry.
+                sf.rto_fires += 1;
                 true
             }
         };
         if rearm && retry_rtts > 0 {
-            let delay = (retry_rtts as Time * self.cfg.base.base_rtt.max(1)).max(aeolus_sim::units::ms(2));
-            let t = ctx.set_timer_in(delay);
+            // Capped exponential backoff: each fruitless retry doubles the
+            // interval, up to 64×, so a long outage never seeds a storm.
+            let fires = self.send_flows[&flow].rto_fires;
+            let base = (retry_rtts as Time * self.cfg.base.base_rtt.max(1)).max(aeolus_sim::units::ms(2));
+            let t = ctx.set_timer_in(base << fires.min(6));
             self.timers.insert(t, TimerKind::ProbeRetry(flow));
         }
     }

@@ -64,6 +64,9 @@ struct SendFlow {
     probe_seq: Option<u64>,
     /// Most recent loss signal, for retransmission attribution.
     last_loss: Option<LossCause>,
+    /// Consecutive probe retries without a response, capped — each doubles
+    /// the next retry interval (capped exponential backoff).
+    retry_fires: u32,
 }
 
 struct RecvFlow {
@@ -321,12 +324,15 @@ impl NdpEndpoint {
                     probe.priority = 7;
                     ctx.send(probe);
                 }
+                sf.retry_fires = (sf.retry_fires + 1).min(6);
                 true
             }
         };
         if rearm && retry_rtts > 0 {
-            let delay = (retry_rtts as Time * self.cfg.base.base_rtt.max(1)).max(aeolus_sim::units::ms(2));
-            let t = ctx.set_timer_in(delay);
+            // Capped exponential backoff on fruitless retries.
+            let fires = self.send_flows[&flow].retry_fires;
+            let base = (retry_rtts as Time * self.cfg.base.base_rtt.max(1)).max(aeolus_sim::units::ms(2));
+            let t = ctx.set_timer_in(base << fires.min(6));
             self.timers.insert(t, TimerKind::ProbeRetry(flow));
         }
     }
@@ -397,7 +403,7 @@ impl Endpoint for NdpEndpoint {
         }
         self.send_flows.insert(
             flow.id,
-            SendFlow { desc: flow, core, tag, heard_back: false, probe_seq, last_loss: None },
+            SendFlow { desc: flow, core, tag, heard_back: false, probe_seq, last_loss: None, retry_fires: 0 },
         );
     }
 

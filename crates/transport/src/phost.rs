@@ -59,6 +59,10 @@ enum TimerKind {
     TokenTick,
     /// Stalled-flow scan (token re-issue / missing-range recovery).
     StallScan,
+    /// §6-style initial-contact retry: if the RTS, the whole burst *and* the
+    /// probe died on the way, the receiver never learns the flow exists —
+    /// re-send the RTS (and probe) until something comes back.
+    RtsRetry(FlowId),
 }
 
 struct SendFlow {
@@ -67,6 +71,12 @@ struct SendFlow {
     completed: bool,
     /// Most recent loss signal, for retransmission attribution.
     last_loss: Option<LossCause>,
+    /// Set once anything came back (token, ACK, probe ACK, resend).
+    heard_back: bool,
+    /// Probe sequence, kept for retries.
+    probe_seq: Option<u64>,
+    /// Consecutive fruitless retries, capped — each doubles the interval.
+    retry_fires: u32,
 }
 
 struct RecvFlow {
@@ -286,6 +296,48 @@ impl PHostEndpoint {
         }
     }
 
+    /// Base initial-contact retry interval (capped exponential backoff on
+    /// top, like the other schemes' §6 probe retries).
+    fn retry_base(&self) -> Time {
+        let retry_rtts = self.cfg.base.aeolus.probe_retry_rtts;
+        (retry_rtts as Time * self.cfg.base.base_rtt.max(1)).max(aeolus_sim::units::ms(2))
+    }
+
+    fn on_rts_retry(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
+        if self.cfg.base.aeolus.probe_retry_rtts == 0 {
+            return;
+        }
+        let base = self.retry_base();
+        let probe_recovery = self.cfg.base.mode.probe_recovery();
+        let rearm = {
+            let sf = match self.send_flows.get_mut(&flow) {
+                Some(sf) => sf,
+                None => return,
+            };
+            if sf.heard_back || sf.completed {
+                false
+            } else {
+                // Total silence: re-introduce the flow to the receiver.
+                ctx.metrics.note_timeout(flow);
+                let mut rts = Packet::control(flow, ctx.host, sf.desc.dst, 0, PacketKind::Request);
+                rts.flow_size = sf.desc.size;
+                ctx.send(rts);
+                if probe_recovery {
+                    if let Some(ps) = sf.probe_seq {
+                        ctx.send(probe_packet(&sf.desc, ps));
+                    }
+                }
+                sf.retry_fires = (sf.retry_fires + 1).min(6);
+                true
+            }
+        };
+        if rearm {
+            let fires = self.send_flows[&flow].retry_fires;
+            let t = ctx.set_timer_in(base << fires.min(6));
+            self.timers.insert(t, TimerKind::RtsRetry(flow));
+        }
+    }
+
     fn ensure_recv_flow(&mut self, pkt: &Packet, now: Time) {
         let rf = self.recv_flows.entry(pkt.flow).or_insert_with(|| RecvFlow {
             sender: pkt.src,
@@ -327,15 +379,31 @@ impl Endpoint for PHostEndpoint {
         if budget > 0 {
             ctx.emit(TransportEvent::BurstStop { flow: flow.id, sent: burst_sent });
         }
+        let mut probe_seq = None;
         if let Some(ps) = core.end_burst() {
             if mode.probe_recovery() {
                 let mut probe = probe_packet(&flow, ps);
                 probe.priority = native_prio;
                 ctx.send(probe);
+                probe_seq = Some(ps);
             }
         }
-        self.send_flows
-            .insert(flow.id, SendFlow { desc: flow, core, completed: false, last_loss: None });
+        if self.cfg.base.aeolus.probe_retry_rtts > 0 {
+            let t = ctx.set_timer_in(self.retry_base());
+            self.timers.insert(t, TimerKind::RtsRetry(flow.id));
+        }
+        self.send_flows.insert(
+            flow.id,
+            SendFlow {
+                desc: flow,
+                core,
+                completed: false,
+                last_loss: None,
+                heard_back: false,
+                probe_seq,
+                retry_fires: 0,
+            },
+        );
     }
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
@@ -383,7 +451,8 @@ impl Endpoint for PHostEndpoint {
             }
             PacketKind::Pull => {
                 // A token.
-                if self.send_flows.contains_key(&pkt.flow) {
+                if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                    sf.heard_back = true;
                     ctx.emit(TransportEvent::CreditReceipt {
                         flow: pkt.flow,
                         bytes: self.cfg.base.mtu_payload as u64,
@@ -395,6 +464,7 @@ impl Endpoint for PHostEndpoint {
                 // pHost recovery is token re-issue in every mode: requeue
                 // the range; the extended token budget clocks it out.
                 if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                    sf.heard_back = true;
                     let lost = sf.core.requeue_lost(pkt.seq, end.min(sf.desc.size));
                     if lost > 0 {
                         sf.last_loss = Some(LossCause::Stall);
@@ -408,6 +478,7 @@ impl Endpoint for PHostEndpoint {
             }
             PacketKind::Ack { of_probe, end } => {
                 if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                    sf.heard_back = true;
                     let (lost, cause) = if of_probe {
                         (sf.core.on_probe_ack(), LossCause::Probe)
                     } else if pkt.seq == 0 && end >= sf.desc.size {
@@ -440,6 +511,7 @@ impl Endpoint for PHostEndpoint {
         match self.timers.remove(&token) {
             Some(TimerKind::TokenTick) => self.on_token_tick(ctx),
             Some(TimerKind::StallScan) => self.on_stall_scan(ctx),
+            Some(TimerKind::RtsRetry(f)) => self.on_rts_retry(f, ctx),
             None => {}
         }
     }

@@ -16,8 +16,8 @@
 use aeolus_core::AeolusConfig;
 use aeolus_sim::units::Time;
 use aeolus_sim::{
-    DropTailQueue, Endpoint, PoolHandle, PriorityBank, QueueDisc, Rate, RedEcnQueue, RoutePolicy,
-    TrimmingQueue, WredProfile, WredQueue, XPassQueue, CREDIT_BYTES,
+    DropTailQueue, Endpoint, FaultPlan, PoolHandle, PriorityBank, QueueDisc, Rate, RedEcnQueue,
+    RoutePolicy, TrimmingQueue, WredProfile, WredQueue, XPassQueue, CREDIT_BYTES,
 };
 use aeolus_sim::topology::PortRole;
 
@@ -117,6 +117,11 @@ pub struct SchemeParams {
     /// Fault injection: wrap every *switch* egress queue so each packet is
     /// discarded with this probability (0 = off). Robustness tests only.
     pub fault_loss_prob: f64,
+    /// Wire-level fault plan (corruption loss, link down/degraded windows),
+    /// installed on the engine by the harness. Empty = no fault machinery
+    /// runs at all; see [`aeolus_sim::FaultPlan`]. Plain data, so parameter
+    /// sets stay `Send + Sync` for the parallel runner.
+    pub faults: FaultPlan,
     /// Override the scheme's native first-RTT mode (ablations; set via
     /// [`crate::SchemeBuilder::first_rtt`]). `None` keeps the default. The
     /// switch queue discipline still follows the scheme, so overrides make
@@ -141,6 +146,7 @@ impl SchemeParams {
             disable_sack: false,
             use_wred: false,
             fault_loss_prob: 0.0,
+            faults: FaultPlan::default(),
             first_rtt: None,
         }
     }

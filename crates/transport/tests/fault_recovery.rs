@@ -1,0 +1,188 @@
+//! Recovery-hardening tests: every scheme must finish every flow under
+//! injected wire faults — corruption loss on data, credits, ACKs and
+//! probes, and whole-fabric link flaps. These are the harness-level
+//! counterpart of the `PreCreditSender` priority-order unit tests: the
+//! same retransmission machinery, driven by real losses instead of
+//! hand-sequenced ACKs, with the watchdog turning any hang into a loud
+//! per-flow diagnostic instead of a test timeout.
+
+use aeolus_sim::topology::LinkParams;
+use aeolus_sim::units::{ms, us};
+use aeolus_sim::{DropReason, FaultPlan, FlowDesc, FlowId, LinkFilter, PacketFilter, Rate};
+use aeolus_transport::{Harness, Scheme, SchemeBuilder, SchemeParams, TopoSpec};
+
+fn testbed() -> TopoSpec {
+    TopoSpec::SingleSwitch { hosts: 8, link: LinkParams::uniform(Rate::gbps(10), us(3)) }
+}
+
+/// The six schemes of the paper's evaluation.
+fn schemes_under_fire() -> Vec<Scheme> {
+    vec![
+        Scheme::ExpressPassAeolus,
+        Scheme::HomaAeolus,
+        Scheme::NdpAeolus,
+        Scheme::PHostAeolus,
+        Scheme::FastpassAeolus,
+        Scheme::Dctcp { rto: ms(10) },
+    ]
+}
+
+fn incast_flows(h: &Harness, sizes: &[u64]) -> Vec<FlowDesc> {
+    let hosts = h.hosts();
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &size)| FlowDesc {
+            id: FlowId(i as u64 + 1),
+            src: hosts[i % (hosts.len() - 1) + 1],
+            dst: hosts[0],
+            size,
+            start: (i as u64) * us(1),
+        })
+        .collect()
+}
+
+/// Build, run under the watchdog, and return the harness; panics with the
+/// watchdog's per-flow stuck-state report if anything hangs.
+fn run_faulted(scheme: Scheme, params: SchemeParams, sizes: &[u64], horizon: u64) -> Harness {
+    let mut h = SchemeBuilder::new(scheme).params(params).topology(testbed()).build();
+    let flows = incast_flows(&h, sizes);
+    h.schedule(&flows);
+    if let Err(report) = h.run_watchdog(horizon) {
+        panic!("{}: {report}", scheme.name());
+    }
+    h
+}
+
+#[test]
+fn every_scheme_survives_heavy_corruption_loss() {
+    // 20% of every packet — data, credits, grants, ACKs, probes — dies on
+    // the wire. Far beyond the chaos sweep's 1% ceiling; the point is that
+    // no retry path deadlocks even when several signals die in a row.
+    for scheme in schemes_under_fire() {
+        let mut params = SchemeParams::new(0);
+        params.faults =
+            FaultPlan::new(11).with_loss(0.2, PacketFilter::Any, LinkFilter::All);
+        let h = run_faulted(scheme, params, &[40_000; 4], ms(2000));
+        let m = h.metrics();
+        assert!(
+            m.drops_by_reason(DropReason::Corruption) > 0,
+            "{}: the plan injected nothing",
+            scheme.name()
+        );
+        assert!(
+            m.flows().all(|r| r.delivered == r.desc.size),
+            "{}: short delivery",
+            scheme.name()
+        );
+    }
+}
+
+#[test]
+fn credit_loss_triggers_stall_recovery() {
+    // Half of all credit-carrying control packets vanish. The credit-loop
+    // transports must detect the stall receiver-side and re-issue; the
+    // senders must re-request. Without the stall/retry hardening both
+    // ExpressPass and Fastpass hang here forever.
+    for scheme in [Scheme::ExpressPassAeolus, Scheme::FastpassAeolus] {
+        let mut params = SchemeParams::new(0);
+        params.faults =
+            FaultPlan::new(23).with_loss(0.5, PacketFilter::Credit, LinkFilter::All);
+        let h = run_faulted(scheme, params, &[60_000; 3], ms(2000));
+        assert_eq!(h.metrics().completed_count(), 3, "{}", scheme.name());
+    }
+}
+
+#[test]
+fn control_blackout_retries_reestablish_contact() {
+    // 40% loss on *all* control traffic — requests, credits, ACKs, NACKs,
+    // probes. First-contact packets (ExpressPass Requests, pHost RTS) can
+    // die repeatedly; the capped-backoff retry timers must keep re-trying
+    // until the receiver learns the flow exists.
+    for scheme in [Scheme::ExpressPassAeolus, Scheme::PHostAeolus, Scheme::FastpassAeolus] {
+        let mut params = SchemeParams::new(0);
+        params.faults =
+            FaultPlan::new(31).with_loss(0.4, PacketFilter::Control, LinkFilter::All);
+        let h = run_faulted(scheme, params, &[20_000; 3], ms(2000));
+        assert_eq!(h.metrics().completed_count(), 3, "{}", scheme.name());
+    }
+}
+
+#[test]
+fn probe_loss_with_retry_disabled_still_completes() {
+    // The probe_retry_rtts = 0 regime: every probe dies on the wire and no
+    // retry replaces it, so tail losses in the unscheduled burst are never
+    // *declared* — completion must come from the last-resort category-3
+    // retransmissions riding ordinary credits.
+    let mut params = SchemeParams::new(0);
+    params.aeolus.probe_retry_rtts = 0;
+    params.faults = FaultPlan::new(43)
+        .with_loss(1.0, PacketFilter::Probe, LinkFilter::All)
+        .with_loss(0.3, PacketFilter::Unscheduled, LinkFilter::All);
+    let h = run_faulted(Scheme::ExpressPassAeolus, params, &[30_000; 2], ms(2000));
+    let m = h.metrics();
+    assert_eq!(m.completed_count(), 2);
+    assert!(
+        m.flows().any(|r| r.retransmitted > 0),
+        "burst losses must have been repaired by retransmission"
+    );
+}
+
+#[test]
+fn probe_retry_repairs_lost_probes_when_enabled() {
+    // Same fault schedule with the retry enabled (the default): the flow
+    // completes and the retry path re-sends the probe, so tail losses are
+    // declared instead of waiting for the last resort.
+    let mut params = SchemeParams::new(0);
+    assert!(params.aeolus.probe_retry_rtts > 0, "default must enable the retry");
+    params.faults = FaultPlan::new(43)
+        .with_loss(1.0, PacketFilter::Probe, LinkFilter::All)
+        .with_loss(0.3, PacketFilter::Unscheduled, LinkFilter::All);
+    let h = run_faulted(Scheme::ExpressPassAeolus, params, &[30_000; 2], ms(2000));
+    assert_eq!(h.metrics().completed_count(), 2);
+}
+
+#[test]
+fn every_scheme_survives_a_fabric_flap() {
+    // All links dark for 300 µs while the incast is mid-flight; queued
+    // packets stall, in-flight packets are cut. Every flow must still
+    // complete once the fabric comes back.
+    for scheme in schemes_under_fire() {
+        let mut params = SchemeParams::new(0);
+        params.faults = FaultPlan::new(5).with_down(us(100), us(400), LinkFilter::All);
+        let h = run_faulted(scheme, params, &[40_000; 7], ms(2000));
+        assert_eq!(h.metrics().completed_count(), 7, "{}", scheme.name());
+    }
+}
+
+#[test]
+fn corruption_is_never_conflated_with_selective_drops() {
+    // Aeolus' selective dropping is a *signal*; corruption is noise. The
+    // metrics must keep the two apart so the paper's drop-rate figures
+    // stay meaningful under fault injection.
+    let mut params = SchemeParams::new(0);
+    params.faults = FaultPlan::new(3).with_loss(0.05, PacketFilter::Data, LinkFilter::All);
+    let h = run_faulted(Scheme::ExpressPassAeolus, params, &[100_000; 7], ms(2000));
+    let m = h.metrics();
+    let corruption = m.drops_by_reason(DropReason::Corruption);
+    let selective = m.drops_by_reason(DropReason::SelectiveDrop);
+    assert!(corruption > 0, "5% data loss must register corruption drops");
+    assert!(selective > 0, "a 7:1 incast must still trip selective dropping");
+}
+
+#[test]
+fn watchdog_reports_stuck_flows_with_diagnostics() {
+    // Kill 100% of everything: no flow can complete, and the watchdog must
+    // say which ones are stuck and that they never got a byte through.
+    let mut params = SchemeParams::new(0);
+    params.faults = FaultPlan::new(1).with_loss(1.0, PacketFilter::Any, LinkFilter::All);
+    let mut h =
+        SchemeBuilder::new(Scheme::ExpressPassAeolus).params(params).topology(testbed()).build();
+    let flows = incast_flows(&h, &[10_000; 2]);
+    h.schedule(&flows);
+    let report = h.run_watchdog(ms(50)).expect_err("nothing can complete under 100% loss");
+    assert_eq!(report.stuck.len(), 2);
+    let text = report.to_string();
+    assert!(text.contains("2 flow(s) still incomplete"), "got: {text}");
+    assert!(text.contains("never got a byte through"), "got: {text}");
+}

@@ -54,4 +54,29 @@ print(f"NullTracer overhead: incast_sim_wheel {fresh} ns vs baseline {base} ns (
 assert ratio <= 1.0 + tol, f"NullTracer kernel regressed {ratio:.3f}x > {1+tol:.2f}x baseline"
 EOF
 
+# Chaos smoke: the fault sweep (loss rate x fabric flap, all six schemes)
+# at smoke scale. Every cell runs under the completion watchdog — a single
+# hung flow anywhere panics the run with per-flow diagnostics, so a zero
+# exit code here *is* the zero-hung-flows assertion.
+cargo run --release -q -p aeolus-experiments --bin repro -- chaos --scale smoke --jobs 2
+
+# Fault-schedule determinism gate: an identical --faults spec must produce
+# a bit-identical trace capture across reruns and worker counts.
+fault_dir="$(mktemp -d)"
+fault_spec='loss=1%,down=200us..500us,seed=7'
+cargo run --release -q -p aeolus-experiments --bin repro -- \
+    --trace expresspass-aeolus --faults "$fault_spec" --trace-out "$fault_dir/a.jsonl"
+cargo run --release -q -p aeolus-experiments --bin repro -- \
+    --trace expresspass-aeolus --faults "$fault_spec" --trace-out "$fault_dir/b.jsonl" --jobs 1
+cargo run --release -q -p aeolus-experiments --bin repro -- \
+    --trace expresspass-aeolus --faults "$fault_spec" --trace-out "$fault_dir/c.jsonl" --jobs 4
+cmp "$fault_dir/a.jsonl" "$fault_dir/b.jsonl"
+cmp "$fault_dir/a.jsonl" "$fault_dir/c.jsonl"
+# And the schedule must actually have injected faults (corruption drops
+# reach the queue-event stream as wire-level kills).
+grep -q '"corruption"' "$fault_dir/a.jsonl" || {
+    echo "faulted trace contains no corruption kills" >&2; exit 1;
+}
+echo "fault determinism: $(wc -l < "$fault_dir/a.jsonl") JSONL lines bit-identical across reruns and --jobs 1/4"
+
 echo "ci: OK"

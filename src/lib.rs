@@ -45,7 +45,9 @@ pub mod prelude {
     pub use aeolus_core::{AeolusConfig, RecoveryMode};
     pub use aeolus_sim::topology::LinkParams;
     pub use aeolus_sim::units::{kb, mb, ms, ns, secs, us, Rate, Time};
-    pub use aeolus_sim::{FlowDesc, FlowId, Metrics, NodeId};
+    pub use aeolus_sim::{
+        DropReason, FaultPlan, FlowDesc, FlowId, LinkFilter, Metrics, NodeId, PacketFilter,
+    };
     pub use aeolus_stats::{Cdf, FctAggregator, FctSample, Samples, TextTable};
     pub use aeolus_transport::{Harness, Scheme, SchemeBuilder, SchemeParams, TopoSpec};
     pub use aeolus_workloads::{
