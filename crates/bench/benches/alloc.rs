@@ -1,0 +1,47 @@
+//! Allocation benchmarks for the pooled packet path: recycling-pool churn
+//! vs the old boxed-per-packet churn, plus an allocation count over a
+//! steady-state incast window. Plain `main` under the in-tree harness
+//! (`cargo bench --bench alloc`).
+
+use aeolus_bench::alloc_counter::{allocations, CountingAlloc};
+use aeolus_bench::harness::Suite;
+use aeolus_bench::{boxed_churn, pool_churn, steady_incast_alloc_window};
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+const CHURN_OPS: u64 = 1_000_000;
+const WORKING_SET: usize = 64;
+
+fn main() {
+    let mut suite = Suite::new("alloc");
+
+    suite.bench("pool_churn_64x1m", || pool_churn(CHURN_OPS, WORKING_SET));
+    suite.bench("boxed_churn_64x1m", || boxed_churn(CHURN_OPS, WORKING_SET));
+
+    // Allocator hits during one warmed-up pooled churn round: the pool
+    // reaches its high-water mark while filling the working set, then every
+    // cycle reuses a recycled slot.
+    let before = allocations();
+    pool_churn(CHURN_OPS, WORKING_SET);
+    let pool_allocs = allocations() - before;
+
+    let before = allocations();
+    boxed_churn(CHURN_OPS, WORKING_SET);
+    let boxed_allocs = allocations() - before;
+
+    suite.bench("steady_incast_window", steady_incast_alloc_window);
+
+    let pool = suite.sample("pool_churn_64x1m").unwrap().units_per_sec();
+    let boxed = suite.sample("boxed_churn_64x1m").unwrap().units_per_sec();
+    let steady = suite.sample("steady_incast_window").unwrap().units;
+    println!();
+    println!("packet churn: pool is {:.2}x boxed alloc/free (ops/s)", pool / boxed);
+    println!(
+        "allocator hits per {CHURN_OPS} cycles: pool {pool_allocs}, boxed {boxed_allocs} \
+         ({:.4} vs {:.4} per packet)",
+        pool_allocs as f64 / CHURN_OPS as f64,
+        boxed_allocs as f64 / CHURN_OPS as f64,
+    );
+    println!("steady-state incast window: {steady} allocations (pooled engine target: 0)");
+}

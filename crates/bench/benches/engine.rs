@@ -9,17 +9,18 @@ use aeolus_bench::harness::Suite;
 use aeolus_bench::{incast_sim_events, incast_sim_events_recorded, timer_stream_events};
 use aeolus_sim::event::SchedulerKind;
 use aeolus_sim::{
-    DropTailQueue, FlowId, NodeId, Packet, Poll, PriorityBank, QueueDisc, RangeSet, Rate,
-    RedEcnQueue, TrafficClass, TrimmingQueue, XPassQueue, CREDIT_BYTES,
+    DropTailQueue, FlowId, NodeId, Packet, PacketPool, PacketRef, Poll, PriorityBank, QueueDisc,
+    RangeSet, Rate, RedEcnQueue, TrafficClass, TrimmingQueue, XPassQueue, CREDIT_BYTES,
 };
 
-fn pkt(seq: u64, class: TrafficClass) -> Packet {
-    Packet::data(FlowId(seq % 64), NodeId(0), NodeId(1), seq, 1460, class, 1 << 20)
+fn pkt(pool: &mut PacketPool, seq: u64, class: TrafficClass) -> PacketRef {
+    pool.insert(Packet::data(FlowId(seq % 64), NodeId(0), NodeId(1), seq, 1460, class, 1 << 20))
 }
 
-fn drain<Q: QueueDisc + ?Sized>(q: &mut Q) -> u64 {
+fn drain<Q: QueueDisc + ?Sized>(q: &mut Q, pool: &mut PacketPool) -> u64 {
     let mut n = 0;
-    while let Poll::Ready(_) = q.poll(0) {
+    while let Poll::Ready(r) = q.poll(pool, 0) {
+        pool.free(r);
         n += 1;
     }
     n
@@ -48,39 +49,57 @@ fn bench_event_queue(suite: &mut Suite) {
     });
 }
 
+fn free_dropped(pool: &mut PacketPool, outcome: aeolus_sim::EnqueueOutcome) {
+    if let aeolus_sim::EnqueueOutcome::Dropped { pkt, .. } = outcome {
+        pool.free(pkt);
+    }
+}
+
 fn bench_queues(suite: &mut Suite) {
+    let mut pool = PacketPool::new();
     suite.bench("droptail_1k", || {
         let mut q = DropTailQueue::new(1 << 30);
         for i in 0..1000 {
-            let _ = q.enqueue(pkt(i, TrafficClass::Scheduled), 0);
+            let r = pkt(&mut pool, i, TrafficClass::Scheduled);
+            let out = q.enqueue(r, &mut pool, 0);
+            free_dropped(&mut pool, out);
         }
-        drain(&mut q)
+        drain(&mut q, &mut pool)
     });
+    let mut pool = PacketPool::new();
     suite.bench("red_selective_1k_mixed", || {
         let mut q = RedEcnQueue::new(6_000, 200_000);
         for i in 0..1000 {
             let class =
                 if i % 2 == 0 { TrafficClass::Unscheduled } else { TrafficClass::Scheduled };
-            let _ = q.enqueue(pkt(i, class), 0);
+            let r = pkt(&mut pool, i, class);
+            let out = q.enqueue(r, &mut pool, 0);
+            free_dropped(&mut pool, out);
         }
-        drain(&mut q)
+        drain(&mut q, &mut pool)
     });
+    let mut pool = PacketPool::new();
     suite.bench("priority_bank_1k", || {
         let mut q = PriorityBank::new(8, 1 << 30);
         for i in 0..1000u64 {
-            let mut p = pkt(i, TrafficClass::Scheduled);
-            p.priority = (i % 8) as u8;
-            let _ = q.enqueue(p, 0);
+            let r = pkt(&mut pool, i, TrafficClass::Scheduled);
+            pool.get_mut(r).priority = (i % 8) as u8;
+            let out = q.enqueue(r, &mut pool, 0);
+            free_dropped(&mut pool, out);
         }
-        drain(&mut q)
+        drain(&mut q, &mut pool)
     });
+    let mut pool = PacketPool::new();
     suite.bench("trimming_1k", || {
         let mut q = TrimmingQueue::new(8, 1 << 30);
         for i in 0..1000 {
-            let _ = q.enqueue(pkt(i, TrafficClass::Unscheduled), 0);
+            let r = pkt(&mut pool, i, TrafficClass::Unscheduled);
+            let out = q.enqueue(r, &mut pool, 0);
+            free_dropped(&mut pool, out);
         }
-        drain(&mut q)
+        drain(&mut q, &mut pool)
     });
+    let mut pool = PacketPool::new();
     suite.bench("xpass_credit_shaper_1k", || {
         let mut q = XPassQueue::new(
             Box::new(DropTailQueue::new(1 << 30)),
@@ -90,9 +109,11 @@ fn bench_queues(suite: &mut Suite) {
             8,
         );
         for i in 0..1000 {
-            let _ = q.enqueue(pkt(i, TrafficClass::Scheduled), 0);
+            let r = pkt(&mut pool, i, TrafficClass::Scheduled);
+            let out = q.enqueue(r, &mut pool, 0);
+            free_dropped(&mut pool, out);
         }
-        drain(&mut q)
+        drain(&mut q, &mut pool)
     });
 }
 

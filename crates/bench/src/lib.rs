@@ -10,7 +10,9 @@ pub mod harness;
 use aeolus_sim::event::{Event, EventQueue, SchedulerKind};
 use aeolus_sim::topology::LinkParams;
 use aeolus_sim::units::{ms, us, Rate};
-use aeolus_sim::{FlowDesc, FlowId, NodeId, RecordingTracer, SimRng};
+use aeolus_sim::{
+    FlowDesc, FlowId, NodeId, Packet, PacketPool, PacketRef, RecordingTracer, SimRng, TrafficClass,
+};
 use aeolus_transport::{Scheme, SchemeBuilder, SchemeParams, TopoSpec};
 use aeolus_workloads::{incast_rounds, poisson_flows, PoissonConfig, Workload};
 
@@ -81,6 +83,110 @@ pub fn bench_many_to_one(scheme: Scheme, n: usize, msg: u64) -> usize {
     h.schedule(&flows);
     h.run(ms(1000));
     h.metrics().completed_count()
+}
+
+/// Counting shim over the system allocator for the `alloc` bench suite.
+///
+/// A library cannot install a `#[global_allocator]`, so each bench binary
+/// that wants allocation counts declares
+/// `#[global_allocator] static A: CountingAlloc = CountingAlloc;` and reads
+/// the shared counter through [`alloc_counter::allocations`]. Binaries that
+/// skip the install still link fine — the counter just stays at zero.
+pub mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    /// The counting allocator; forwards everything to [`System`].
+    pub struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+    }
+
+    /// Heap allocations (alloc + realloc + alloc_zeroed) since process start.
+    pub fn allocations() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
+fn churn_pkt(seq: u64) -> Packet {
+    Packet::data(FlowId(seq % 64), NodeId(0), NodeId(1), seq, 1460, TrafficClass::Scheduled, 1 << 20)
+}
+
+/// `n` insert/free cycles through a [`PacketPool`] with a working set of
+/// `live` in-flight packets — the per-hop hand-off pattern of the pooled
+/// engine. Returns the cycle count.
+pub fn pool_churn(n: u64, live: usize) -> u64 {
+    let mut pool = PacketPool::new();
+    let mut ring: Vec<PacketRef> = (0..live as u64).map(|i| pool.insert(churn_pkt(i))).collect();
+    let mut at = 0usize;
+    for i in 0..n {
+        pool.free(ring[at]);
+        ring[at] = pool.insert(churn_pkt(i));
+        at = (at + 1) % live;
+    }
+    for r in ring {
+        pool.free(r);
+    }
+    n
+}
+
+/// The pre-pool baseline: the same churn pattern but every packet is a
+/// fresh `Box` (one malloc + one free per cycle, as the engine used to pay
+/// per hop). Kept for an honest speedup denominator.
+pub fn boxed_churn(n: u64, live: usize) -> u64 {
+    let mut ring: Vec<Box<Packet>> = (0..live as u64).map(|i| Box::new(churn_pkt(i))).collect();
+    let mut at = 0usize;
+    for i in 0..n {
+        ring[at] = Box::new(churn_pkt(i));
+        at = (at + 1) % live;
+    }
+    std::hint::black_box(&ring);
+    n
+}
+
+/// Heap allocations observed during a steady-state window of the canned
+/// 7:1 elephant incast (50 ms warm-up, then a 150 ms measured window).
+/// With the pooled engine this is **zero** once warm; the tier-1
+/// `zero_alloc` test enforces that, this kernel makes it measurable in the
+/// bench report. Requires the binary to install
+/// [`alloc_counter::CountingAlloc`]; returns the allocation delta.
+pub fn steady_incast_alloc_window() -> u64 {
+    let mut h = SchemeBuilder::new(Scheme::ExpressPassAeolus).topology(bench_testbed()).build();
+    let hosts = h.hosts().to_vec();
+    let flows: Vec<FlowDesc> = (1..hosts.len())
+        .map(|i| FlowDesc {
+            id: FlowId(i as u64),
+            src: hosts[i],
+            dst: hosts[0],
+            size: 1 << 30,
+            start: 0,
+        })
+        .collect();
+    h.schedule(&flows);
+    h.topo.net.run_until(ms(50));
+    let before = alloc_counter::allocations();
+    h.topo.net.run_until(ms(200));
+    alloc_counter::allocations() - before
 }
 
 /// Pop `n` events through an [`EventQueue`] under `kind`, re-scheduling a

@@ -13,10 +13,19 @@
 //! `--engine-only` skips the macro (paper-figure) suite — used by the CI
 //! overhead gate, which only compares the engine kernels.
 
+use aeolus_bench::alloc_counter::CountingAlloc;
 use aeolus_bench::harness::{write_json, BenchConfig, Suite};
-use aeolus_bench::{incast_sim_events, incast_sim_events_recorded, timer_stream_events};
+use aeolus_bench::{
+    boxed_churn, incast_sim_events, incast_sim_events_recorded, pool_churn,
+    steady_incast_alloc_window, timer_stream_events,
+};
 use aeolus_experiments::{fig09, set_jobs, take_events_processed, Scale};
 use aeolus_sim::event::SchedulerKind;
+
+// Counting shim so the `alloc` suite can report allocator hits; one relaxed
+// atomic increment per allocation, invisible at bench resolution.
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
 
 fn macro_config() -> BenchConfig {
     // Macro iterations take seconds each; default to fewer of them unless
@@ -51,6 +60,10 @@ fn main() {
         }
     }
 
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("host: {cpus} cpu(s) available to this process");
+    println!();
+
     const TIMER_EVENTS: u64 = 200_000;
     let mut engine = Suite::new("engine");
     engine.bench("timer_stream_200k_wheel", || {
@@ -65,6 +78,11 @@ fn main() {
         incast_sim_events_recorded(SchedulerKind::TimingWheel, 30_000, 3)
     });
 
+    let mut alloc = Suite::new("alloc");
+    alloc.bench("pool_churn_64x1m", || pool_churn(1_000_000, 64));
+    alloc.bench("boxed_churn_64x1m", || boxed_churn(1_000_000, 64));
+    alloc.bench("steady_incast_window", steady_incast_alloc_window);
+
     let mut figures = Suite::with_config("macro", macro_config());
     if !engine_only {
         take_events_processed(); // reset the events counter
@@ -74,12 +92,21 @@ fn main() {
             std::hint::black_box(r.sections.len());
             take_events_processed()
         });
-        set_jobs(0); // auto: all cores
-        figures.bench("fig09_quick_parallel", || {
-            let r = fig09::run(Scale::Quick);
-            std::hint::black_box(r.sections.len());
-            take_events_processed()
-        });
+        if cpus < 2 {
+            // A parallel fan-out on one core measures thread overhead, not
+            // fan-out; skip it rather than record a misleading sample.
+            println!(
+                "macro/fig09_quick_parallel                   skipped: host has {cpus} cpu(s), \
+                 parallel fan-out needs >= 2"
+            );
+        } else {
+            set_jobs(0); // auto: all cores
+            figures.bench("fig09_quick_parallel", || {
+                let r = fig09::run(Scale::Quick);
+                std::hint::black_box(r.sections.len());
+                take_events_processed()
+            });
+        }
     }
 
     let speedup = |a: &Suite, fast: &str, slow: &str| {
@@ -100,16 +127,29 @@ fn main() {
         "tracing cost: NullTracer run is {:.2}x the RecordingTracer run (events/s)",
         speedup(&engine, "incast_sim_wheel", "incast_sim_wheel_recorded")
     );
+    println!(
+        "packet churn: pool is {:.2}x boxed alloc/free (ops/s)",
+        speedup(&alloc, "pool_churn_64x1m", "boxed_churn_64x1m")
+    );
+    println!(
+        "steady-state incast window: {} allocations (pooled engine target: 0)",
+        alloc.sample("steady_incast_window").map(|s| s.units).unwrap_or(u64::MAX)
+    );
     if !engine_only {
-        let serial = figures.sample("fig09_quick_serial").map(|s| s.median_ns).unwrap_or(0);
-        let par = figures.sample("fig09_quick_parallel").map(|s| s.median_ns).unwrap_or(1);
-        println!(
-            "fig09 quick:  parallel fan-out is {:.2}x serial (wall time)",
-            serial as f64 / par as f64
-        );
+        match figures.sample("fig09_quick_parallel") {
+            Some(par) => {
+                let serial =
+                    figures.sample("fig09_quick_serial").map(|s| s.median_ns).unwrap_or(0);
+                println!(
+                    "fig09 quick:  parallel fan-out is {:.2}x serial (wall time)",
+                    serial as f64 / par.median_ns as f64
+                );
+            }
+            None => println!("fig09 quick:  parallel fan-out not measured on a {cpus}-cpu host"),
+        }
     }
 
-    match write_json(&[&engine, &figures], &out) {
+    match write_json(&[&engine, &alloc, &figures], &out) {
         Ok(()) => println!("wrote {out}"),
         Err(e) => {
             eprintln!("failed to write {out}: {e}");

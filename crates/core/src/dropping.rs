@@ -28,41 +28,43 @@ pub fn mark(pkt: &mut Packet) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aeolus_sim::{EnqueueOutcome, FlowId, NodeId, Poll};
+    use aeolus_sim::{EnqueueOutcome, FlowId, NodeId, PacketPool, PacketRef, Poll};
 
-    fn data(class: TrafficClass, seq: u64) -> Packet {
+    fn data(pool: &mut PacketPool, class: TrafficClass, seq: u64) -> PacketRef {
         let mut p = Packet::data(FlowId(1), NodeId(0), NodeId(1), seq, 1460, class, 1 << 20);
         mark(&mut p);
-        p
+        pool.insert(p)
     }
 
     #[test]
     fn marking_rule_matches_section_4_1() {
-        assert_eq!(data(TrafficClass::Unscheduled, 0).ecn, Ecn::NotEct);
-        assert_eq!(data(TrafficClass::Scheduled, 0).ecn, Ecn::Ect0);
-        assert_eq!(data(TrafficClass::Control, 0).ecn, Ecn::Ect0);
+        let mut pool = PacketPool::new();
+        let u = data(&mut pool, TrafficClass::Unscheduled, 0);
+        assert_eq!(pool.get(u).ecn, Ecn::NotEct);
+        let s = data(&mut pool, TrafficClass::Scheduled, 0);
+        assert_eq!(pool.get(s).ecn, Ecn::Ect0);
+        let c = data(&mut pool, TrafficClass::Control, 0);
+        assert_eq!(pool.get(c).ecn, Ecn::Ect0);
     }
 
     #[test]
     fn queue_drops_only_unscheduled_above_threshold() {
         let cfg = AeolusConfig::default();
+        let mut pool = PacketPool::new();
         let mut q = selective_drop_queue(&cfg);
         // Fill to the 6 KB threshold with scheduled packets.
         for i in 0..4 {
-            assert!(matches!(q.enqueue(data(TrafficClass::Scheduled, i), 0), EnqueueOutcome::Queued));
+            let r = data(&mut pool, TrafficClass::Scheduled, i);
+            assert!(matches!(q.enqueue(r, &mut pool, 0), EnqueueOutcome::Queued));
         }
-        assert!(matches!(
-            q.enqueue(data(TrafficClass::Unscheduled, 10), 0),
-            EnqueueOutcome::Dropped { .. }
-        ));
-        assert!(matches!(
-            q.enqueue(data(TrafficClass::Scheduled, 11), 0),
-            EnqueueOutcome::QueuedMarked
-        ));
+        let u = data(&mut pool, TrafficClass::Unscheduled, 10);
+        assert!(matches!(q.enqueue(u, &mut pool, 0), EnqueueOutcome::Dropped { .. }));
+        let s = data(&mut pool, TrafficClass::Scheduled, 11);
+        assert!(matches!(q.enqueue(s, &mut pool, 0), EnqueueOutcome::QueuedMarked));
         // FIFO order preserved (no ambiguity — the §3.2 argument).
         let mut seqs = Vec::new();
-        while let Poll::Ready(p) = q.poll(0) {
-            seqs.push(p.seq);
+        while let Poll::Ready(p) = q.poll(&mut pool, 0) {
+            seqs.push(pool.get(p).seq);
         }
         assert_eq!(seqs, vec![0, 1, 2, 3, 11]);
     }
@@ -70,12 +72,11 @@ mod tests {
     #[test]
     fn unscheduled_fill_spare_capacity_below_threshold() {
         let cfg = AeolusConfig::default();
+        let mut pool = PacketPool::new();
         let mut q = selective_drop_queue(&cfg);
         for i in 0..4 {
-            assert!(matches!(
-                q.enqueue(data(TrafficClass::Unscheduled, i), 0),
-                EnqueueOutcome::Queued
-            ));
+            let r = data(&mut pool, TrafficClass::Unscheduled, i);
+            assert!(matches!(q.enqueue(r, &mut pool, 0), EnqueueOutcome::Queued));
         }
         assert_eq!(q.bytes(), 6000);
     }

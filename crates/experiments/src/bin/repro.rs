@@ -135,6 +135,7 @@ fn main() {
     };
     let wall0 = Instant::now();
     let mut total_events = 0u64;
+    let mut violations = 0usize;
     take_events_processed(); // reset counter
     for (name, f) in selected {
         let t0 = Instant::now();
@@ -143,6 +144,7 @@ fn main() {
         let secs = t0.elapsed().as_secs_f64();
         let events = take_events_processed();
         total_events += events;
+        violations += report.violations.len();
         print!("{}", report.render());
         if let Some(dir) = &csv_dir {
             match report.write_csv(dir, name) {
@@ -165,5 +167,9 @@ fn main() {
             "[total: {wall:.1}s wall, {total_events} events, {:.2}M events/s aggregate]",
             total_events as f64 / wall / 1e6
         );
+    }
+    if violations > 0 {
+        eprintln!("FAILED: {violations} tolerance violation(s) — see VIOLATION lines above");
+        std::process::exit(1);
     }
 }

@@ -13,6 +13,9 @@ pub struct Report {
     pub notes: Vec<String>,
     /// (title, pre-rendered ASCII chart) pairs, printed after the tables.
     pub charts: Vec<(String, String)>,
+    /// Tolerance violations. A non-empty list means the experiment's numbers
+    /// are outside their accepted bounds; `repro` exits non-zero.
+    pub violations: Vec<String>,
 }
 
 impl Report {
@@ -37,6 +40,17 @@ impl Report {
     pub fn chart<S: Into<String>>(&mut self, title: S, rendered: String) -> &mut Self {
         self.charts.push((title.into(), rendered));
         self
+    }
+
+    /// Record a tolerance violation (makes [`Report::passed`] false).
+    pub fn violation<S: Into<String>>(&mut self, v: S) -> &mut Self {
+        self.violations.push(v.into());
+        self
+    }
+
+    /// True when every checked quantity stayed inside its tolerance.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
     }
 
     /// Write each section as `<dir>/<prefix>_<n>.csv`; returns the paths.
@@ -88,6 +102,11 @@ impl Report {
         for n in &self.notes {
             out.push_str("note: ");
             out.push_str(n);
+            out.push('\n');
+        }
+        for v in &self.violations {
+            out.push_str("VIOLATION: ");
+            out.push_str(v);
             out.push('\n');
         }
         out

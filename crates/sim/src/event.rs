@@ -17,7 +17,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::packet::{FlowDesc, NodeId, Packet, PortId};
+use crate::packet::{FlowDesc, NodeId, PortId};
+use crate::pool::PacketRef;
 use crate::units::Time;
 
 /// An event to be dispatched by the network.
@@ -25,15 +26,14 @@ use crate::units::Time;
 pub enum Event {
     /// The last bit of `pkt` arrived at `node`.
     ///
-    /// The packet is boxed: `Packet` is ~100 bytes and an event is moved
-    /// many times through scheduler internals, so carrying a thin pointer
-    /// keeps the hot loop to one allocation per hop instead of repeated
-    /// struct copies.
+    /// The packet lives in the network's [`crate::pool::PacketPool`]; the
+    /// event carries a 4-byte recycled handle, so moving events through
+    /// scheduler internals costs no allocation and no large struct copies.
     Arrival {
         /// Receiving node.
         node: NodeId,
-        /// The packet, fully received.
-        pkt: Box<Packet>,
+        /// Handle of the packet, fully received.
+        pkt: PacketRef,
     },
     /// Egress `port` of `node` finished serializing its current packet.
     PortFree {
@@ -58,8 +58,11 @@ pub enum Event {
     },
     /// A new application flow arrives at its source host.
     FlowArrival {
-        /// The flow description.
-        flow: FlowDesc,
+        /// The flow description. Boxed: flow arrivals are rare (one per
+        /// flow), and an inline `FlowDesc` would inflate every [`Event`] —
+        /// and therefore every scheduler copy on the hot path — from 16 to
+        /// 40 bytes.
+        flow: Box<FlowDesc>,
     },
     /// A fault-plan link window transitions (start or end). The network
     /// re-kicks the affected ports so stalled queues wake up when a link
@@ -131,6 +134,14 @@ impl HeapScheduler {
         self.heap.pop()
     }
 
+    #[inline]
+    fn pop_at_or_before(&mut self, limit: Time) -> Option<Scheduled> {
+        if self.heap.peek()?.at > limit {
+            return None;
+        }
+        self.heap.pop()
+    }
+
     fn peek_time(&self) -> Option<Time> {
         self.heap.peek().map(|s| s.at)
     }
@@ -157,9 +168,26 @@ const WHEEL_MASK: u64 = (WHEEL_SIZE as u64) - 1;
 /// One summary bit per 64-bucket occupancy word.
 const WORDS: usize = WHEEL_SIZE / 64;
 
+/// Slab slot holding one bucketed event plus the intrusive FIFO link to the
+/// next event of the same tick ([`NIL`] terminates the list).
+struct BucketNode {
+    s: Scheduled,
+    next: u32,
+}
+
+/// Sentinel for "no slot" in the bucket slab's intrusive lists.
+const NIL: u32 = u32::MAX;
+
 /// Timing-wheel scheduler: one rotation of `WHEEL_SIZE` buckets of
 /// `2^TICK_SHIFT` ps each, a small heap for the tick being drained, and an
 /// overflow heap for events beyond the horizon.
+///
+/// Bucketed events live in one recycling slab (`nodes` + `free`) threaded
+/// into per-bucket intrusive FIFO lists. Per-bucket `Vec`s would keep
+/// reallocating for the whole run — 4096 independent buffers, each growing
+/// the first time *it* sees a deeper tick — whereas the shared slab reaches
+/// its high-water mark during warm-up and never touches the allocator
+/// again (the steady-state zero-allocation invariant).
 ///
 /// Invariants:
 /// * `base_tick == now >> TICK_SHIFT` whenever events are pending — events
@@ -171,11 +199,20 @@ const WORDS: usize = WHEEL_SIZE / 64;
 struct WheelScheduler {
     base_tick: u64,
     len: usize,
-    /// Events of the tick currently being drained, ordered by `(at, seq)`.
-    cur: BinaryHeap<Scheduled>,
-    /// Future ticks within the horizon, unsorted until their tick comes up.
-    buckets: Vec<Vec<Scheduled>>,
-    /// Occupancy bitmap over `buckets` plus a one-word summary, so finding
+    /// Events of the tick currently being drained, sorted **descending** by
+    /// `(at, seq)` so the next event is an O(1) `Vec::pop` off the end. A
+    /// tick is ≈65.5 ns, so this rarely holds more than a handful of
+    /// events — one `sort_unstable` per drained bucket beats a binary
+    /// heap's per-element sift-down.
+    cur: Vec<Scheduled>,
+    /// Slab backing every bucketed event.
+    nodes: Vec<BucketNode>,
+    /// Recycled slab slots.
+    free: Vec<u32>,
+    /// Per-bucket FIFO list heads/tails into `nodes`.
+    head: Vec<u32>,
+    tail: Vec<u32>,
+    /// Occupancy bitmap over buckets plus a one-word summary, so finding
     /// the next occupied bucket is two `trailing_zeros`, not a scan.
     occupied: [u64; WORDS],
     summary: u64,
@@ -188,12 +225,71 @@ impl WheelScheduler {
         WheelScheduler {
             base_tick: 0,
             len: 0,
-            cur: BinaryHeap::new(),
-            buckets: (0..WHEEL_SIZE).map(|_| Vec::new()).collect(),
+            cur: Vec::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: vec![NIL; WHEEL_SIZE],
+            tail: vec![NIL; WHEEL_SIZE],
             occupied: [0; WORDS],
             summary: 0,
             overflow: BinaryHeap::new(),
         }
+    }
+
+    /// Append `s` to bucket `idx`'s FIFO list, reusing a recycled slab slot
+    /// when one is available.
+    fn bucket_push(&mut self, idx: usize, s: Scheduled) {
+        let node = BucketNode { s, next: NIL };
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        if self.head[idx] == NIL {
+            self.head[idx] = slot;
+            self.set_bit(idx);
+        } else {
+            let t = self.tail[idx];
+            self.nodes[t as usize].next = slot;
+        }
+        self.tail[idx] = slot;
+    }
+
+    /// Drain bucket `idx` into the cursor buffer, recycling its slab slots.
+    /// Pop order is unaffected by list order: `(at, seq)` is a total order,
+    /// so any insertion sequence sorts to the same pop sequence.
+    fn bucket_drain_into_cur(&mut self, idx: usize) {
+        let mut slot = self.head[idx];
+        self.head[idx] = NIL;
+        self.tail[idx] = NIL;
+        self.clear_bit(idx);
+        while slot != NIL {
+            let node = &mut self.nodes[slot as usize];
+            let next = node.next;
+            // Move the event out, leaving an inert placeholder in the slot.
+            let s = std::mem::replace(
+                &mut node.s,
+                Scheduled { at: 0, seq: 0, event: Event::PortFree { node: NodeId(0), port: PortId(0) } },
+            );
+            self.cur.push(s);
+            self.free.push(slot);
+            slot = next;
+        }
+        if self.cur.len() > 1 {
+            self.cur.sort_unstable_by(|a, b| (b.at, b.seq).cmp(&(a.at, a.seq)));
+        }
+    }
+
+    /// Insert `s` into the (descending-sorted) cursor buffer in order.
+    fn cur_insert(&mut self, s: Scheduled) {
+        let key = (s.at, s.seq);
+        let pos = self.cur.partition_point(|e| (e.at, e.seq) > key);
+        self.cur.insert(pos, s);
     }
 
     #[inline]
@@ -238,14 +334,15 @@ impl WheelScheduler {
     fn push(&mut self, s: Scheduled) {
         self.len += 1;
         let tick = s.at >> TICK_SHIFT;
-        if tick == self.base_tick {
-            self.cur.push(s);
+        // `<=`: a fused pop that answered "nothing due yet" may have moved
+        // the cursor past `now`, and the caller can still legally schedule
+        // before the cursor. Such events join `cur`, whose sort keeps them
+        // ahead of every bucketed (strictly later-tick) event.
+        if tick <= self.base_tick {
+            self.cur_insert(s);
         } else if tick < self.base_tick + WHEEL_SIZE as u64 {
             let idx = (tick & WHEEL_MASK) as usize;
-            if self.buckets[idx].is_empty() {
-                self.set_bit(idx);
-            }
-            self.buckets[idx].push(s);
+            self.bucket_push(idx, s);
         } else {
             self.overflow.push(s);
         }
@@ -261,13 +358,10 @@ impl WheelScheduler {
             }
             let s = self.overflow.pop().expect("peeked");
             if tick == self.base_tick {
-                self.cur.push(s);
+                self.cur_insert(s);
             } else {
                 let idx = (tick & WHEEL_MASK) as usize;
-                if self.buckets[idx].is_empty() {
-                    self.set_bit(idx);
-                }
-                self.buckets[idx].push(s);
+                self.bucket_push(idx, s);
             }
         }
     }
@@ -280,9 +374,7 @@ impl WheelScheduler {
             let cursor = (self.base_tick & WHEEL_MASK) as usize;
             let delta = (idx + WHEEL_SIZE - cursor) % WHEEL_SIZE;
             self.base_tick += delta as u64;
-            self.clear_bit(idx % WHEEL_SIZE);
-            // Reusing the Vec's buffer: From<Vec> heapifies in place.
-            self.cur = BinaryHeap::from(std::mem::take(&mut self.buckets[idx % WHEEL_SIZE]));
+            self.bucket_drain_into_cur(idx % WHEEL_SIZE);
         } else {
             let at = self.overflow.peek().expect("len > 0 with empty wheel").at;
             self.base_tick = at >> TICK_SHIFT;
@@ -300,20 +392,44 @@ impl WheelScheduler {
         }
         self.len -= 1;
         let s = self.cur.pop().expect("advance loads the cursor tick");
-        self.base_tick = s.at >> TICK_SHIFT;
+        // max: `cur` may hold pre-cursor events (see `push`); the cursor
+        // never moves backwards or bucketed ticks would alias.
+        self.base_tick = self.base_tick.max(s.at >> TICK_SHIFT);
+        Some(s)
+    }
+
+    /// Pop the next event only if it fires at or before `limit`; otherwise
+    /// leave it pending. Fused peek + pop: the run loops call this once per
+    /// event instead of scanning for the next occupied bucket twice.
+    fn pop_at_or_before(&mut self, limit: Time) -> Option<Scheduled> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.cur.is_empty() {
+            self.advance();
+        }
+        if self.cur.last().expect("advance loads the cursor tick").at > limit {
+            return None;
+        }
+        self.len -= 1;
+        let s = self.cur.pop().expect("checked non-empty");
+        self.base_tick = self.base_tick.max(s.at >> TICK_SHIFT);
         Some(s)
     }
 
     fn peek_time(&self) -> Option<Time> {
-        if let Some(s) = self.cur.peek() {
+        if let Some(s) = self.cur.last() {
             return Some(s.at);
         }
         if let Some(idx) = self.next_occupied() {
-            let min = self.buckets[idx % WHEEL_SIZE]
-                .iter()
-                .map(|s| (s.at, s.seq))
-                .min()
-                .expect("occupied bucket is non-empty");
+            let mut slot = self.head[idx % WHEEL_SIZE];
+            debug_assert!(slot != NIL, "occupied bucket is non-empty");
+            let mut min = (Time::MAX, u64::MAX);
+            while slot != NIL {
+                let node = &self.nodes[slot as usize];
+                min = min.min((node.s.at, node.s.seq));
+                slot = node.next;
+            }
             return Some(min.0);
         }
         self.overflow.peek().map(|s| s.at)
@@ -402,6 +518,20 @@ impl EventQueue {
         let s = match &mut self.imp {
             Impl::Wheel(w) => w.pop()?,
             Impl::Heap(h) => h.pop()?,
+        };
+        debug_assert!(s.at >= self.now);
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    /// Pop the next event only if it fires at or before `limit`, advancing
+    /// the clock to its timestamp; returns `None` (and leaves the event
+    /// pending) otherwise. The hot-loop form of `peek_time` + `pop`: one
+    /// scheduler lookup per event instead of two.
+    pub fn pop_at_or_before(&mut self, limit: Time) -> Option<(Time, Event)> {
+        let s = match &mut self.imp {
+            Impl::Wheel(w) => w.pop_at_or_before(limit)?,
+            Impl::Heap(h) => h.pop_at_or_before(limit)?,
         };
         debug_assert!(s.at >= self.now);
         self.now = s.at;
@@ -501,10 +631,55 @@ mod tests {
     fn flow_arrival_events_carry_descriptor() {
         let mut q = EventQueue::new();
         let f = FlowDesc { id: FlowId(7), src: NodeId(1), dst: NodeId(2), size: 1000, start: 5 };
-        q.schedule_at(5, Event::FlowArrival { flow: f });
+        q.schedule_at(5, Event::FlowArrival { flow: Box::new(f) });
         match q.pop() {
-            Some((5, Event::FlowArrival { flow })) => assert_eq!(flow, f),
+            Some((5, Event::FlowArrival { flow })) => assert_eq!(*flow, f),
             other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn event_stays_small() {
+        // Every scheduler move copies an `Event`; keep it two words.
+        assert!(std::mem::size_of::<Event>() <= 16, "{}", std::mem::size_of::<Event>());
+    }
+
+    #[test]
+    fn fused_pop_respects_limit_and_leaves_events_pending() {
+        for kind in BOTH {
+            let mut q = EventQueue::with_scheduler(kind);
+            q.schedule_at(10, timer(0));
+            q.schedule_at(20, timer(1));
+            assert!(q.pop_at_or_before(5).is_none());
+            // The refused event is still pending and the clock untouched.
+            assert_eq!(q.now(), 0);
+            assert_eq!(q.len(), 2);
+            assert!(matches!(q.pop_at_or_before(10), Some((10, _))));
+            assert!(matches!(q.pop_at_or_before(u64::MAX), Some((20, _))));
+            assert!(q.pop_at_or_before(u64::MAX).is_none());
+        }
+    }
+
+    #[test]
+    fn schedule_before_the_advanced_cursor_after_refused_pop() {
+        // A refused fused pop may advance the wheel cursor past `now`; a
+        // subsequent schedule between `now` and the cursor must still pop
+        // in strict time order (regression test for cursor aliasing).
+        for kind in BOTH {
+            let mut q = EventQueue::with_scheduler(kind);
+            let far = 7 << TICK_SHIFT; // several ticks out, within the wheel
+            q.schedule_at(far, timer(99));
+            assert!(q.pop_at_or_before(1).is_none(), "nothing due yet");
+            // Earlier than the (advanced) cursor, later than `now`.
+            q.schedule_at(2, timer(1));
+            q.schedule_at(1, timer(0));
+            let order: Vec<(Time, u64)> = std::iter::from_fn(|| q.pop())
+                .map(|(t, e)| match e {
+                    Event::Timer { token, .. } => (t, token),
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(order, vec![(1, 0), (2, 1), (far, 99)]);
         }
     }
 

@@ -77,6 +77,7 @@ pub mod metrics;
 pub mod network;
 pub mod node;
 pub mod packet;
+pub mod pool;
 pub mod port;
 pub mod queues;
 pub mod rangeset;
@@ -95,6 +96,7 @@ pub use packet::{
     Ecn, FlowDesc, FlowId, NodeId, Packet, PacketKind, PortId, TrafficClass, CREDIT_BYTES,
     HEADER_BYTES, MIN_PACKET_BYTES,
 };
+pub use pool::{PacketPool, PacketRef};
 pub use port::{Link, Port, PortStats};
 pub use queues::{
     Color, DropReason, DropTailQueue, EnqueueOutcome, LossyQueue, Poll, PoolHandle, PriorityBank,

@@ -5,7 +5,8 @@ use crate::event::{Event, EventQueue, SchedulerKind};
 use crate::faults::FaultPlan;
 use crate::metrics::Metrics;
 use crate::node::{Node, NodeKind};
-use crate::packet::{FlowDesc, NodeId, Packet, PortId};
+use crate::packet::{FlowDesc, NodeId, PortId};
+use crate::pool::{PacketPool, PacketRef};
 use crate::port::{Link, Port};
 use crate::queues::{DropReason, EnqueueOutcome, Poll, QueueDisc};
 use crate::rng::SimRng;
@@ -72,6 +73,14 @@ pub struct Network<T: Tracer = NullTracer> {
     /// The fault plan's private corruption RNG, isolated from every other
     /// randomness stream in the run.
     fault_rng: SimRng,
+    /// Recycling slab for every packet in flight. Endpoints hand the engine
+    /// packets by value; the engine pools them and moves 4-byte
+    /// [`PacketRef`] handles through queues and events instead.
+    pool: PacketPool,
+    /// Reusable [`Actions`] buffers for endpoint dispatch — taken before
+    /// each callback and put back drained, so steady-state dispatch never
+    /// allocates.
+    actions_scratch: Actions,
 }
 
 impl Default for Network {
@@ -103,7 +112,15 @@ impl<T: Tracer> Network<T> {
             band_scratch: Vec::new(),
             faults: FaultPlan::default(),
             fault_rng: SimRng::seed_from_u64(0),
+            pool: PacketPool::new(),
+            actions_scratch: Actions::default(),
         }
+    }
+
+    /// The packet pool — read its slab/recycling counters to verify the
+    /// zero-alloc steady-state invariant.
+    pub fn pool(&self) -> &PacketPool {
+        &self.pool
     }
 
     /// Install a fault schedule and arm its window-transition events.
@@ -169,17 +186,21 @@ impl<T: Tracer> Network<T> {
     }
 
     #[inline]
-    fn record(&mut self, node: NodeId, pkt: &Packet, what: TraceKind) {
-        if !self.traced.is_empty() && self.traced.contains(&pkt.flow) {
-            self.trace.push(TraceEvent {
-                at: self.queue.now(),
-                node,
-                what,
-                kind: pkt.kind,
-                class: pkt.class,
-                seq: pkt.seq,
-                priority: pkt.priority,
-            });
+    fn record_ref(&mut self, node: NodeId, r: PacketRef, what: TraceKind) {
+        if !self.traced.is_empty() {
+            let pkt = self.pool.get(r);
+            if self.traced.contains(&pkt.flow) {
+                let ev = TraceEvent {
+                    at: self.queue.now(),
+                    node,
+                    what,
+                    kind: pkt.kind,
+                    class: pkt.class,
+                    seq: pkt.seq,
+                    priority: pkt.priority,
+                };
+                self.trace.push(ev);
+            }
         }
     }
 
@@ -260,7 +281,7 @@ impl<T: Tracer> Network<T> {
         assert!(self.nodes[desc.src.0 as usize].is_host(), "flow src must be a host");
         assert!(self.nodes[desc.dst.0 as usize].is_host(), "flow dst must be a host");
         self.metrics.flow_scheduled(desc);
-        self.queue.schedule_at(desc.start, Event::FlowArrival { flow: desc });
+        self.queue.schedule_at(desc.start, Event::FlowArrival { flow: Box::new(desc) });
     }
 
     /// Immutable access to a node (for tests and stats readers).
@@ -287,11 +308,8 @@ impl<T: Tracer> Network<T> {
     /// Run until the event queue is exhausted or simulated time exceeds
     /// `horizon`. Returns true if all scheduled flows completed.
     pub fn run_to_completion(&mut self, horizon: Time) -> bool {
-        while let Some(t) = self.queue.peek_time() {
-            if t > horizon || self.metrics.all_complete() && self.metrics.flow_count() > 0 {
-                break;
-            }
-            let (_, ev) = self.queue.pop().expect("peeked");
+        while !(self.metrics.all_complete() && self.metrics.flow_count() > 0) {
+            let Some((_, ev)) = self.queue.pop_at_or_before(horizon) else { break };
             self.events_processed += 1;
             self.dispatch(ev);
         }
@@ -301,11 +319,7 @@ impl<T: Tracer> Network<T> {
     /// Run until simulated time reaches `until` (events at exactly `until`
     /// are processed).
     pub fn run_until(&mut self, until: Time) {
-        while let Some(t) = self.queue.peek_time() {
-            if t > until {
-                break;
-            }
-            let (_, ev) = self.queue.pop().expect("peeked");
+        while let Some((_, ev)) = self.queue.pop_at_or_before(until) {
             self.events_processed += 1;
             self.dispatch(ev);
         }
@@ -313,7 +327,7 @@ impl<T: Tracer> Network<T> {
 
     fn dispatch(&mut self, ev: Event) {
         match ev {
-            Event::Arrival { node, pkt } => self.handle_arrival(node, *pkt),
+            Event::Arrival { node, pkt } => self.handle_arrival(node, pkt),
             Event::PortFree { node, port } => {
                 self.nodes[node.0 as usize].ports[port.0 as usize].busy = false;
                 self.try_transmit(node, port);
@@ -326,6 +340,7 @@ impl<T: Tracer> Network<T> {
                 self.with_endpoint(node, |ep, ctx| ep.on_timer(token, ctx));
             }
             Event::FlowArrival { flow } => {
+                let flow = *flow;
                 self.with_endpoint(flow.src, |ep, ctx| ep.on_flow_arrival(flow, ctx));
             }
             Event::FaultWindow { window, start } => self.on_fault_window(window, start),
@@ -360,28 +375,35 @@ impl<T: Tracer> Network<T> {
         }
     }
 
-    fn handle_arrival(&mut self, node: NodeId, mut pkt: Packet) {
-        self.record(node, &pkt, TraceKind::Arrive);
+    fn handle_arrival(&mut self, node: NodeId, r: PacketRef) {
+        self.record_ref(node, r, TraceKind::Arrive);
         let now = self.queue.now();
         let faults = &self.faults;
+        let pool = &mut self.pool;
         match &mut self.nodes[node.0 as usize].kind {
             NodeKind::Switch { table } => {
                 let port = if faults.is_empty() {
-                    table.select(&pkt)
+                    table.select(pool.get(r))
                 } else {
                     // Down links are visible to routing: steer around them
                     // while an alternative next hop is up.
-                    table.select_avoiding(&pkt, |p| faults.link_down_at(node, p, now))
+                    table.select_avoiding(pool.get(r), |p| faults.link_down_at(node, p, now))
                 };
-                pkt.hops += 1;
-                self.enqueue_egress(node, port, pkt);
+                pool.get_mut(r).hops += 1;
+                self.enqueue_egress(node, port, r);
             }
             NodeKind::Host { .. } => {
-                debug_assert_eq!(pkt.dst, node, "packet delivered to wrong host");
-                if T::ENABLED && pkt.is_data() && pkt.payload > 0 {
-                    let now = self.queue.now();
-                    self.tracer.packet_delivered(now, pkt.class, pkt.payload as u64);
+                debug_assert_eq!(pool.get(r).dst, node, "packet delivered to wrong host");
+                if T::ENABLED {
+                    let pkt = pool.get(r);
+                    if pkt.is_data() && pkt.payload > 0 {
+                        let (class, payload) = (pkt.class, pkt.payload as u64);
+                        self.tracer.packet_delivered(now, class, payload);
+                    }
                 }
+                // The endpoint consumes the packet by value; its slot is
+                // recycled before the callback runs.
+                let pkt = self.pool.take(r);
                 self.with_endpoint(node, move |ep, ctx| ep.on_packet(pkt, ctx));
             }
         }
@@ -389,19 +411,21 @@ impl<T: Tracer> Network<T> {
 
     /// Offer `pkt` to the egress queue of (`node`, `port`) and start the
     /// transmitter if idle.
-    fn enqueue_egress(&mut self, node: NodeId, port: PortId, pkt: Packet) {
+    fn enqueue_egress(&mut self, node: NodeId, port: PortId, pkt: PacketRef) {
         let now = self.queue.now();
-        // The packet is consumed by `enqueue` (and may be trimmed inside),
-        // so capture its identity first when tracing.
+        // The packet may be trimmed inside `enqueue`, so capture its
+        // identity first when tracing.
         let info = if T::ENABLED {
-            Some((pkt.flow, pkt.seq, pkt.kind, pkt.class, pkt.size, pkt.payload))
+            let p = self.pool.get(pkt);
+            Some((p.flow, p.seq, p.kind, p.class, p.size, p.payload))
         } else {
             None
         };
         let (outcome, qlen_bytes, qlen_pkts) = {
+            let pool = &mut self.pool;
             let p = &mut self.nodes[node.0 as usize].ports[port.0 as usize];
             let prev = p.queue.bytes();
-            let outcome = p.queue.enqueue(pkt, now);
+            let outcome = p.queue.enqueue(pkt, pool, now);
             p.stats.on_qlen_change(prev, now);
             p.stats.observe_qlen(p.queue.bytes());
             if matches!(outcome, EnqueueOutcome::Dropped { .. }) {
@@ -420,8 +444,9 @@ impl<T: Tracer> Network<T> {
             EnqueueOutcome::QueuedMarked => self.metrics.ce_marks += 1,
             EnqueueOutcome::QueuedTrimmed => self.metrics.trimmed += 1,
             EnqueueOutcome::Dropped { reason, pkt } => {
-                self.record(node, &pkt, TraceKind::Drop(reason));
-                self.metrics.note_drop(reason, pkt.class);
+                self.record_ref(node, pkt, TraceKind::Drop(reason));
+                self.metrics.note_drop(reason, self.pool.get(pkt).class);
+                self.pool.free(pkt);
             }
         }
         if T::ENABLED {
@@ -458,8 +483,8 @@ impl<T: Tracer> Network<T> {
     fn try_transmit(&mut self, node: NodeId, port: PortId) {
         let now = self.queue.now();
         enum Next {
-            Send { to: NodeId, at_dst: Time, free_at: Time, pkt: Packet },
-            Kill { free_at: Time, pkt: Packet, reason: DropReason },
+            Send { to: NodeId, at_dst: Time, free_at: Time, pkt: PacketRef },
+            Kill { free_at: Time, pkt: PacketRef, reason: DropReason },
             Kick(Time),
             Idle,
         }
@@ -468,6 +493,7 @@ impl<T: Tracer> Network<T> {
         let next = {
             let faults = &self.faults;
             let fault_rng = &mut self.fault_rng;
+            let pool = &mut self.pool;
             let p = &mut self.nodes[node.0 as usize].ports[port.0 as usize];
             if p.busy {
                 Next::Idle
@@ -477,11 +503,12 @@ impl<T: Tracer> Network<T> {
                 Next::Idle
             } else {
                 let prev = p.queue.bytes();
-                match p.queue.poll(now) {
-                    Poll::Ready(pkt) => {
+                match p.queue.poll(pool, now) {
+                    Poll::Ready(r) => {
                         p.busy = true;
                         p.stats.on_qlen_change(prev, now);
                         p.stats.observe_qlen(p.queue.bytes());
+                        let pkt = pool.get(r);
                         p.stats.bytes_tx += pkt.size as u64;
                         p.stats.pkts_tx += 1;
                         p.stats.payload_tx += pkt.payload as u64;
@@ -511,12 +538,18 @@ impl<T: Tracer> Network<T> {
                             // wire: the transmitter clocks the bits out, but
                             // the far end never sees them.
                             p.stats.fault_kills += 1;
-                            Next::Kill { free_at, pkt, reason: DropReason::LinkDown }
-                        } else if faults_active && faults.corrupts(node, port, &pkt, fault_rng) {
+                            Next::Kill { free_at, pkt: r, reason: DropReason::LinkDown }
+                        } else if faults_active && faults.corrupts(node, port, pool.get(r), fault_rng)
+                        {
                             p.stats.fault_kills += 1;
-                            Next::Kill { free_at, pkt, reason: DropReason::Corruption }
+                            Next::Kill { free_at, pkt: r, reason: DropReason::Corruption }
                         } else {
-                            Next::Send { to: p.link.to, at_dst: free_at + p.link.delay, free_at, pkt }
+                            Next::Send {
+                                to: p.link.to,
+                                at_dst: free_at + p.link.delay,
+                                free_at,
+                                pkt: r,
+                            }
                         }
                     }
                     Poll::NotBefore(t) => {
@@ -535,44 +568,46 @@ impl<T: Tracer> Network<T> {
         };
         match next {
             Next::Send { to, at_dst, free_at, pkt } => {
-                self.record(node, &pkt, TraceKind::Transmit);
+                self.record_ref(node, pkt, TraceKind::Transmit);
                 if T::ENABLED {
                     if let Some(rec) = deq_rec {
+                        let size = self.pool.get(pkt).size as u64;
                         self.tracer.queue_event(&rec);
-                        self.tracer.link_tx(now, node, port, pkt.size as u64);
+                        self.tracer.link_tx(now, node, port, size);
                         self.sample_bands(now, node, port);
                     }
                 }
                 let ingress = self.nodes[to.0 as usize].ingress_delay;
                 self.queue.schedule_at(free_at, Event::PortFree { node, port });
-                self.queue
-                    .schedule_at(at_dst + ingress, Event::Arrival { node: to, pkt: Box::new(pkt) });
+                self.queue.schedule_at(at_dst + ingress, Event::Arrival { node: to, pkt });
             }
             Next::Kill { free_at, pkt, reason } => {
-                self.record(node, &pkt, TraceKind::Drop(reason));
-                self.metrics.note_drop(reason, pkt.class);
+                self.record_ref(node, pkt, TraceKind::Drop(reason));
+                self.metrics.note_drop(reason, self.pool.get(pkt).class);
                 if T::ENABLED {
                     if let Some(rec) = deq_rec {
+                        let size = self.pool.get(pkt).size as u64;
                         self.tracer.queue_event(&rec);
-                        self.tracer.link_tx(now, node, port, pkt.size as u64);
+                        self.tracer.link_tx(now, node, port, size);
                         self.sample_bands(now, node, port);
                     }
-                    self.tracer.fault_event(
-                        now,
-                        &FaultEvent::PacketKilled {
-                            node,
-                            port,
-                            flow: pkt.flow,
-                            seq: pkt.seq,
-                            kind: pkt.kind,
-                            class: pkt.class,
-                            payload: pkt.payload,
-                            reason,
-                        },
-                    );
+                    let p = self.pool.get(pkt);
+                    let ev = FaultEvent::PacketKilled {
+                        node,
+                        port,
+                        flow: p.flow,
+                        seq: p.seq,
+                        kind: p.kind,
+                        class: p.class,
+                        payload: p.payload,
+                        reason,
+                    };
+                    self.tracer.fault_event(now, &ev);
                 }
                 // The transmitter was still occupied for the serialization
-                // time; only the arrival is suppressed.
+                // time; only the arrival is suppressed. The slot is recycled
+                // now — nothing downstream will ever read it.
+                self.pool.free(pkt);
                 self.queue.schedule_at(free_at, Event::PortFree { node, port });
             }
             Next::Kick(t) => {
@@ -598,7 +633,12 @@ impl<T: Tracer> Network<T> {
             NodeKind::Host { endpoint } => endpoint.take().expect("endpoint not installed"),
             NodeKind::Switch { .. } => panic!("endpoint dispatch on a switch"),
         };
-        let mut actions = Actions::default();
+        // Reuse the scratch buffers: endpoint dispatch is the single hottest
+        // call site, and a fresh `Actions` per dispatch would allocate twice
+        // per event in steady state. `take` leaves a default in place, so a
+        // (hypothetical) re-entrant dispatch degrades to allocation, not UB.
+        let mut actions = std::mem::take(&mut self.actions_scratch);
+        debug_assert!(actions.sends.is_empty() && actions.timers.is_empty());
         {
             let mut ctx = Ctx {
                 now,
@@ -616,10 +656,11 @@ impl<T: Tracer> Network<T> {
             NodeKind::Host { endpoint } => *endpoint = Some(ep),
             NodeKind::Switch { .. } => unreachable!(),
         }
-        for (at, token) in actions.timers {
+        for &(at, token) in &actions.timers {
             self.queue.schedule_at(at, Event::Timer { node: host, token });
         }
-        for mut pkt in actions.sends {
+        actions.timers.clear();
+        for mut pkt in actions.sends.drain(..) {
             pkt.uid = self.uid;
             self.uid += 1;
             pkt.sent_at = now;
@@ -633,15 +674,17 @@ impl<T: Tracer> Network<T> {
                     self.tracer.packet_launched(now, pkt.class, pkt.payload as u64);
                 }
             }
-            self.enqueue_egress(host, PortId(0), pkt);
+            let r = self.pool.insert(pkt);
+            self.enqueue_egress(host, PortId(0), r);
         }
+        self.actions_scratch = actions;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{FlowId, PacketKind, TrafficClass, HEADER_BYTES};
+    use crate::packet::{FlowId, Packet, PacketKind, TrafficClass, HEADER_BYTES};
     use crate::queues::DropTailQueue;
     use crate::units::{us, Rate};
 

@@ -1,7 +1,7 @@
 //! Plain drop-tail FIFO, optionally drawing buffer from a shared pool.
 
 use super::{ByteFifo, DropReason, EnqueueOutcome, Poll, PoolHandle, QueueDisc};
-use crate::packet::Packet;
+use crate::pool::{PacketPool, PacketRef};
 use crate::units::Time;
 
 /// FIFO queue that tail-drops when its byte cap (or the switch shared buffer
@@ -27,28 +27,25 @@ impl DropTailQueue {
 }
 
 impl QueueDisc for DropTailQueue {
-    fn enqueue(&mut self, pkt: Packet, _now: Time) -> EnqueueOutcome {
-        let sz = pkt.size as u64;
-        if self.fifo.bytes() + sz > self.cap_bytes {
-            return EnqueueOutcome::Dropped { reason: DropReason::BufferFull, pkt: Box::new(pkt) };
+    fn enqueue(&mut self, pkt: PacketRef, pool: &mut PacketPool, _now: Time) -> EnqueueOutcome {
+        let sz = pool.get(pkt).size;
+        if self.fifo.bytes() + sz as u64 > self.cap_bytes {
+            return EnqueueOutcome::Dropped { reason: DropReason::BufferFull, pkt };
         }
-        if let Some(pool) = &self.pool {
-            if !pool.borrow_mut().try_alloc(sz) {
-                return EnqueueOutcome::Dropped {
-                    reason: DropReason::SharedBufferFull,
-                    pkt: Box::new(pkt),
-                };
+        if let Some(shared) = &self.pool {
+            if !shared.borrow_mut().try_alloc(sz as u64) {
+                return EnqueueOutcome::Dropped { reason: DropReason::SharedBufferFull, pkt };
             }
         }
-        self.fifo.push(pkt);
+        self.fifo.push(pkt, sz);
         EnqueueOutcome::Queued
     }
 
-    fn poll(&mut self, _now: Time) -> Poll {
+    fn poll(&mut self, pool: &mut PacketPool, _now: Time) -> Poll {
         match self.fifo.pop() {
             Some(pkt) => {
-                if let Some(pool) = &self.pool {
-                    pool.borrow_mut().free(pkt.size as u64);
+                if let Some(shared) = &self.pool {
+                    shared.borrow_mut().free(pool.get(pkt).size as u64);
                 }
                 Poll::Ready(pkt)
             }
@@ -67,23 +64,23 @@ impl QueueDisc for DropTailQueue {
 
 #[cfg(test)]
 mod tests {
-    use super::super::testutil::data_pkt;
+    use super::super::testutil::data_ref;
     use super::super::SharedPool;
     use super::*;
     use crate::packet::TrafficClass;
 
     #[test]
     fn accepts_until_cap_then_tail_drops() {
+        let mut pool = PacketPool::new();
         let mut q = DropTailQueue::new(3000);
         for i in 0..2 {
-            assert!(matches!(
-                q.enqueue(data_pkt(TrafficClass::Scheduled, i * 1460), 0),
-                EnqueueOutcome::Queued
-            ));
+            let r = data_ref(&mut pool, TrafficClass::Scheduled, i * 1460);
+            assert!(matches!(q.enqueue(r, &mut pool, 0), EnqueueOutcome::Queued));
         }
-        match q.enqueue(data_pkt(TrafficClass::Scheduled, 2 * 1460), 0) {
+        let r = data_ref(&mut pool, TrafficClass::Scheduled, 2 * 1460);
+        match q.enqueue(r, &mut pool, 0) {
             EnqueueOutcome::Dropped { reason: DropReason::BufferFull, pkt } => {
-                assert_eq!(pkt.seq, 2 * 1460)
+                assert_eq!(pool.get(pkt).seq, 2 * 1460)
             }
             other => panic!("expected tail drop, got {other:?}"),
         }
@@ -93,33 +90,39 @@ mod tests {
 
     #[test]
     fn fifo_order_preserved() {
+        let mut pool = PacketPool::new();
         let mut q = DropTailQueue::new(1 << 20);
         for i in 0..10u64 {
-            q.enqueue(data_pkt(TrafficClass::Scheduled, i), 0);
+            let r = data_ref(&mut pool, TrafficClass::Scheduled, i);
+            q.enqueue(r, &mut pool, 0);
         }
         for i in 0..10u64 {
-            match q.poll(0) {
-                Poll::Ready(p) => assert_eq!(p.seq, i),
+            match q.poll(&mut pool, 0) {
+                Poll::Ready(p) => assert_eq!(pool.get(p).seq, i),
                 other => panic!("unexpected {other:?}"),
             }
         }
-        assert!(matches!(q.poll(0), Poll::Empty));
+        assert!(matches!(q.poll(&mut pool, 0), Poll::Empty));
     }
 
     #[test]
     fn shared_pool_exhaustion_drops_even_below_port_cap() {
-        let pool = SharedPool::new(1500);
-        let mut q1 = DropTailQueue::new(1 << 20).with_pool(pool.clone());
-        let mut q2 = DropTailQueue::new(1 << 20).with_pool(pool.clone());
-        assert!(matches!(q1.enqueue(data_pkt(TrafficClass::Scheduled, 0), 0), EnqueueOutcome::Queued));
+        let mut pool = PacketPool::new();
+        let shared = SharedPool::new(1500);
+        let mut q1 = DropTailQueue::new(1 << 20).with_pool(shared.clone());
+        let mut q2 = DropTailQueue::new(1 << 20).with_pool(shared.clone());
+        let r0 = data_ref(&mut pool, TrafficClass::Scheduled, 0);
+        assert!(matches!(q1.enqueue(r0, &mut pool, 0), EnqueueOutcome::Queued));
         // q2 has plenty of per-port headroom but the pool is gone.
-        match q2.enqueue(data_pkt(TrafficClass::Scheduled, 1), 0) {
+        let r1 = data_ref(&mut pool, TrafficClass::Scheduled, 1);
+        match q2.enqueue(r1, &mut pool, 0) {
             EnqueueOutcome::Dropped { reason: DropReason::SharedBufferFull, .. } => {}
             other => panic!("expected shared-buffer drop, got {other:?}"),
         }
         // Draining q1 frees pool space for q2.
-        assert!(matches!(q1.poll(0), Poll::Ready(_)));
-        assert!(matches!(q2.enqueue(data_pkt(TrafficClass::Scheduled, 2), 0), EnqueueOutcome::Queued));
-        assert_eq!(pool.borrow().used(), 1500);
+        assert!(matches!(q1.poll(&mut pool, 0), Poll::Ready(_)));
+        let r2 = data_ref(&mut pool, TrafficClass::Scheduled, 2);
+        assert!(matches!(q2.enqueue(r2, &mut pool, 0), EnqueueOutcome::Queued));
+        assert_eq!(shared.borrow().used(), 1500);
     }
 }

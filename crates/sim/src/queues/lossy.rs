@@ -7,7 +7,7 @@
 //! when the network itself misbehaves.
 
 use super::{DropReason, EnqueueOutcome, Poll, QueueDisc};
-use crate::packet::Packet;
+use crate::pool::{PacketPool, PacketRef};
 use crate::rng::SimRng;
 use crate::units::Time;
 
@@ -34,16 +34,16 @@ impl LossyQueue {
 }
 
 impl QueueDisc for LossyQueue {
-    fn enqueue(&mut self, pkt: Packet, now: Time) -> EnqueueOutcome {
+    fn enqueue(&mut self, pkt: PacketRef, pool: &mut PacketPool, now: Time) -> EnqueueOutcome {
         if self.rng.chance(self.loss_prob) {
             self.injected_drops += 1;
-            return EnqueueOutcome::Dropped { reason: DropReason::BufferFull, pkt: Box::new(pkt) };
+            return EnqueueOutcome::Dropped { reason: DropReason::BufferFull, pkt };
         }
-        self.inner.enqueue(pkt, now)
+        self.inner.enqueue(pkt, pool, now)
     }
 
-    fn poll(&mut self, now: Time) -> Poll {
-        self.inner.poll(now)
+    fn poll(&mut self, pool: &mut PacketPool, now: Time) -> Poll {
+        self.inner.poll(pool, now)
     }
 
     fn bytes(&self) -> u64 {
@@ -61,17 +61,21 @@ impl QueueDisc for LossyQueue {
 
 #[cfg(test)]
 mod tests {
-    use super::super::testutil::data_pkt;
+    use super::super::testutil::data_ref;
     use super::super::DropTailQueue;
     use super::*;
     use crate::packet::TrafficClass;
 
     #[test]
     fn drops_roughly_the_requested_fraction() {
+        let mut pool = PacketPool::new();
         let mut q = LossyQueue::new(Box::new(DropTailQueue::new(1 << 40)), 0.2, 7);
         let n = 10_000u64;
         for i in 0..n {
-            let _ = q.enqueue(data_pkt(TrafficClass::Scheduled, i), 0);
+            let r = data_ref(&mut pool, TrafficClass::Scheduled, i);
+            if let EnqueueOutcome::Dropped { pkt, .. } = q.enqueue(r, &mut pool, 0) {
+                pool.free(pkt);
+            }
         }
         let frac = q.injected_drops as f64 / n as f64;
         assert!((frac - 0.2).abs() < 0.02, "observed loss {frac}");
@@ -80,13 +84,15 @@ mod tests {
 
     #[test]
     fn zero_probability_is_transparent() {
+        let mut pool = PacketPool::new();
         let mut q = LossyQueue::new(Box::new(DropTailQueue::new(1 << 40)), 0.0, 7);
         for i in 0..100 {
-            assert!(matches!(q.enqueue(data_pkt(TrafficClass::Scheduled, i), 0), EnqueueOutcome::Queued));
+            let r = data_ref(&mut pool, TrafficClass::Scheduled, i);
+            assert!(matches!(q.enqueue(r, &mut pool, 0), EnqueueOutcome::Queued));
         }
         assert_eq!(q.injected_drops, 0);
         let mut n = 0;
-        while let Poll::Ready(_) = q.poll(0) {
+        while let Poll::Ready(_) = q.poll(&mut pool, 0) {
             n += 1;
         }
         assert_eq!(n, 100);
@@ -95,10 +101,18 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let run = || {
+            let mut pool = PacketPool::new();
             let mut q = LossyQueue::new(Box::new(DropTailQueue::new(1 << 40)), 0.3, 42);
             (0..1000u64)
                 .map(|i| {
-                    matches!(q.enqueue(data_pkt(TrafficClass::Scheduled, i), 0), EnqueueOutcome::Dropped { .. })
+                    let r = data_ref(&mut pool, TrafficClass::Scheduled, i);
+                    match q.enqueue(r, &mut pool, 0) {
+                        EnqueueOutcome::Dropped { pkt, .. } => {
+                            pool.free(pkt);
+                            true
+                        }
+                        _ => false,
+                    }
                 })
                 .collect::<Vec<bool>>()
         };

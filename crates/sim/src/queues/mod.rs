@@ -37,7 +37,7 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use crate::packet::Packet;
+use crate::pool::{PacketPool, PacketRef};
 use crate::units::Time;
 
 /// Why a packet was dropped at a queue.
@@ -70,12 +70,13 @@ pub enum EnqueueOutcome {
     QueuedMarked,
     /// Payload trimmed (NDP cutting payload); the header was queued.
     QueuedTrimmed,
-    /// Rejected; the packet is returned so the caller can account for it.
+    /// Rejected; the handle is returned so the caller can account for the
+    /// packet and recycle its pool slot.
     Dropped {
         /// Why it was dropped.
         reason: DropReason,
-        /// The rejected packet.
-        pkt: Box<Packet>,
+        /// Handle of the rejected packet (still live in the pool).
+        pkt: PacketRef,
     },
 }
 
@@ -83,7 +84,7 @@ pub enum EnqueueOutcome {
 #[derive(Debug)]
 pub enum Poll {
     /// A packet is ready now.
-    Ready(Packet),
+    Ready(PacketRef),
     /// A packet is queued but pacing forbids sending before this time.
     NotBefore(Time),
     /// Nothing queued.
@@ -91,11 +92,17 @@ pub enum Poll {
 }
 
 /// An egress queue discipline.
+///
+/// Packets are identified by pool handles; disciplines read and mutate them
+/// through the [`PacketPool`] the engine passes in. A discipline never frees
+/// a slot — dropped packets are handed back via
+/// [`EnqueueOutcome::Dropped`] and the engine recycles them after
+/// accounting.
 pub trait QueueDisc {
     /// Offer a packet to the queue at time `now`.
-    fn enqueue(&mut self, pkt: Packet, now: Time) -> EnqueueOutcome;
+    fn enqueue(&mut self, pkt: PacketRef, pool: &mut PacketPool, now: Time) -> EnqueueOutcome;
     /// Ask for the next packet to transmit at time `now`.
-    fn poll(&mut self, now: Time) -> Poll;
+    fn poll(&mut self, pool: &mut PacketPool, now: Time) -> Poll;
     /// Total bytes currently buffered.
     fn bytes(&self) -> u64;
     /// Total packets currently buffered.
@@ -154,11 +161,13 @@ impl SharedPool {
     }
 }
 
-/// FIFO of packets with a running byte count — building block for the
-/// disciplines in this module.
+/// FIFO of pooled packet handles with a running byte count — building block
+/// for the disciplines in this module. The wire size is cached alongside
+/// each handle (it is fixed once the packet is queued), so pops never touch
+/// the pool.
 #[derive(Debug, Default)]
 pub(crate) struct ByteFifo {
-    q: VecDeque<Packet>,
+    q: VecDeque<(PacketRef, u32)>,
     bytes: u64,
 }
 
@@ -167,14 +176,14 @@ impl ByteFifo {
         ByteFifo { q: VecDeque::new(), bytes: 0 }
     }
 
-    pub fn push(&mut self, pkt: Packet) {
-        self.bytes += pkt.size as u64;
-        self.q.push_back(pkt);
+    pub fn push(&mut self, pkt: PacketRef, size: u32) {
+        self.bytes += size as u64;
+        self.q.push_back((pkt, size));
     }
 
-    pub fn pop(&mut self) -> Option<Packet> {
-        let pkt = self.q.pop_front()?;
-        self.bytes -= pkt.size as u64;
+    pub fn pop(&mut self) -> Option<PacketRef> {
+        let (pkt, size) = self.q.pop_front()?;
+        self.bytes -= size as u64;
         Some(pkt)
     }
 
@@ -194,6 +203,7 @@ impl ByteFifo {
 #[cfg(test)]
 pub(crate) mod testutil {
     use crate::packet::{FlowId, NodeId, Packet, PacketKind, TrafficClass};
+    use crate::pool::{PacketPool, PacketRef};
 
     /// A 1500 B data packet of the given class.
     pub fn data_pkt(class: TrafficClass, seq: u64) -> Packet {
@@ -203,6 +213,16 @@ pub(crate) mod testutil {
     /// A minimum-size control packet.
     pub fn ctrl_pkt(kind: PacketKind, seq: u64) -> Packet {
         Packet::control(FlowId(1), NodeId(0), NodeId(1), seq, kind)
+    }
+
+    /// [`data_pkt`] inserted into `pool`.
+    pub fn data_ref(pool: &mut PacketPool, class: TrafficClass, seq: u64) -> PacketRef {
+        pool.insert(data_pkt(class, seq))
+    }
+
+    /// [`ctrl_pkt`] inserted into `pool`.
+    pub fn ctrl_ref(pool: &mut PacketPool, kind: PacketKind, seq: u64) -> PacketRef {
+        pool.insert(ctrl_pkt(kind, seq))
     }
 }
 
@@ -225,13 +245,16 @@ mod tests {
 
     #[test]
     fn byte_fifo_tracks_bytes() {
+        let mut pool = PacketPool::new();
         let mut f = ByteFifo::new();
-        f.push(data_pkt(TrafficClass::Scheduled, 0));
-        f.push(data_pkt(TrafficClass::Scheduled, 1460));
+        let a = data_ref(&mut pool, TrafficClass::Scheduled, 0);
+        let b = data_ref(&mut pool, TrafficClass::Scheduled, 1460);
+        f.push(a, pool.get(a).size);
+        f.push(b, pool.get(b).size);
         assert_eq!(f.bytes(), 3000);
         assert_eq!(f.len(), 2);
         let p = f.pop().unwrap();
-        assert_eq!(p.seq, 0);
+        assert_eq!(pool.get(p).seq, 0);
         assert_eq!(f.bytes(), 1500);
         f.pop().unwrap();
         assert!(f.is_empty());

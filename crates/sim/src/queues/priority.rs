@@ -7,7 +7,7 @@
 //! exceeds the threshold, regardless of which priority queue they target.
 
 use super::{ByteFifo, DropReason, EnqueueOutcome, Poll, PoolHandle, QueueDisc};
-use crate::packet::Packet;
+use crate::pool::{PacketPool, PacketRef};
 use crate::units::Time;
 
 /// A bank of strict-priority FIFOs sharing one per-port byte budget.
@@ -61,39 +61,36 @@ impl PriorityBank {
 }
 
 impl QueueDisc for PriorityBank {
-    fn enqueue(&mut self, pkt: Packet, _now: Time) -> EnqueueOutcome {
-        let sz = pkt.size as u64;
+    fn enqueue(&mut self, pkt: PacketRef, pool: &mut PacketPool, _now: Time) -> EnqueueOutcome {
+        let p = pool.get(pkt);
+        let sz = p.size;
+        let droppable = p.droppable();
+        let level = (p.priority as usize).min(self.queues.len() - 1);
         if let Some(k) = self.selective_threshold {
-            if self.bytes >= k && pkt.droppable() {
-                return EnqueueOutcome::Dropped {
-                    reason: DropReason::SelectiveDrop,
-                    pkt: Box::new(pkt),
-                };
+            if self.bytes >= k && droppable {
+                return EnqueueOutcome::Dropped { reason: DropReason::SelectiveDrop, pkt };
             }
         }
-        if self.bytes + sz > self.cap_bytes {
-            return EnqueueOutcome::Dropped { reason: DropReason::BufferFull, pkt: Box::new(pkt) };
+        if self.bytes + sz as u64 > self.cap_bytes {
+            return EnqueueOutcome::Dropped { reason: DropReason::BufferFull, pkt };
         }
-        if let Some(pool) = &self.pool {
-            if !pool.borrow_mut().try_alloc(sz) {
-                return EnqueueOutcome::Dropped {
-                    reason: DropReason::SharedBufferFull,
-                    pkt: Box::new(pkt),
-                };
+        if let Some(shared) = &self.pool {
+            if !shared.borrow_mut().try_alloc(sz as u64) {
+                return EnqueueOutcome::Dropped { reason: DropReason::SharedBufferFull, pkt };
             }
         }
-        let level = (pkt.priority as usize).min(self.queues.len() - 1);
-        self.bytes += sz;
-        self.queues[level].push(pkt);
+        self.bytes += sz as u64;
+        self.queues[level].push(pkt, sz);
         EnqueueOutcome::Queued
     }
 
-    fn poll(&mut self, _now: Time) -> Poll {
+    fn poll(&mut self, pool: &mut PacketPool, _now: Time) -> Poll {
         for q in self.queues.iter_mut() {
             if let Some(pkt) = q.pop() {
-                self.bytes -= pkt.size as u64;
-                if let Some(pool) = &self.pool {
-                    pool.borrow_mut().free(pkt.size as u64);
+                let sz = pool.get(pkt).size as u64;
+                self.bytes -= sz;
+                if let Some(shared) = &self.pool {
+                    shared.borrow_mut().free(sz);
                 }
                 return Poll::Ready(pkt);
             }
@@ -131,35 +128,43 @@ mod tests {
     use super::*;
     use crate::packet::TrafficClass;
 
-    fn pkt_at(prio: u8, seq: u64) -> Packet {
+    fn pkt_at(pool: &mut PacketPool, prio: u8, seq: u64) -> PacketRef {
         let mut p = data_pkt(TrafficClass::Scheduled, seq);
         p.priority = prio;
-        p
+        pool.insert(p)
     }
 
     #[test]
     fn strict_priority_order() {
+        let mut pool = PacketPool::new();
         let mut q = PriorityBank::new(8, 1 << 20);
-        q.enqueue(pkt_at(5, 50), 0);
-        q.enqueue(pkt_at(0, 0), 0);
-        q.enqueue(pkt_at(3, 30), 0);
-        q.enqueue(pkt_at(0, 1), 0);
-        let order: Vec<u64> = std::iter::from_fn(|| match q.poll(0) {
-            Poll::Ready(p) => Some(p.seq),
-            _ => None,
-        })
-        .collect();
+        let a = pkt_at(&mut pool, 5, 50);
+        q.enqueue(a, &mut pool, 0);
+        let b = pkt_at(&mut pool, 0, 0);
+        q.enqueue(b, &mut pool, 0);
+        let c = pkt_at(&mut pool, 3, 30);
+        q.enqueue(c, &mut pool, 0);
+        let d = pkt_at(&mut pool, 0, 1);
+        q.enqueue(d, &mut pool, 0);
+        let mut order = Vec::new();
+        while let Poll::Ready(p) = q.poll(&mut pool, 0) {
+            order.push(pool.get(p).seq);
+        }
         assert_eq!(order, vec![0, 1, 30, 50]);
     }
 
     #[test]
     fn port_cap_shared_across_levels() {
+        let mut pool = PacketPool::new();
         let mut q = PriorityBank::new(8, 3000);
-        assert!(matches!(q.enqueue(pkt_at(7, 0), 0), EnqueueOutcome::Queued));
-        assert!(matches!(q.enqueue(pkt_at(6, 1), 0), EnqueueOutcome::Queued));
+        let a = pkt_at(&mut pool, 7, 0);
+        assert!(matches!(q.enqueue(a, &mut pool, 0), EnqueueOutcome::Queued));
+        let b = pkt_at(&mut pool, 6, 1);
+        assert!(matches!(q.enqueue(b, &mut pool, 0), EnqueueOutcome::Queued));
         // A *high* priority arrival is still tail-dropped when the port
         // buffer is full of low-priority bytes — the §5.5 failure mode.
-        match q.enqueue(pkt_at(0, 2), 0) {
+        let c = pkt_at(&mut pool, 0, 2);
+        match q.enqueue(c, &mut pool, 0) {
             EnqueueOutcome::Dropped { reason: DropReason::BufferFull, .. } => {}
             other => panic!("expected drop, got {other:?}"),
         }
@@ -167,54 +172,66 @@ mod tests {
 
     #[test]
     fn selective_threshold_applies_across_the_whole_port() {
+        let mut pool = PacketPool::new();
         let mut q = PriorityBank::new(8, 1 << 20).with_selective_threshold(3000);
-        let unsched = |seq| {
+        let unsched = |pool: &mut PacketPool, seq| {
             let mut p = data_pkt(TrafficClass::Unscheduled, seq);
             p.priority = 7;
-            p
+            pool.insert(p)
         };
-        assert!(matches!(q.enqueue(unsched(0), 0), EnqueueOutcome::Queued));
-        assert!(matches!(q.enqueue(pkt_at(2, 1), 0), EnqueueOutcome::Queued));
+        let a = unsched(&mut pool, 0);
+        assert!(matches!(q.enqueue(a, &mut pool, 0), EnqueueOutcome::Queued));
+        let b = pkt_at(&mut pool, 2, 1);
+        assert!(matches!(q.enqueue(b, &mut pool, 0), EnqueueOutcome::Queued));
         // Port occupancy is now 3000 B: droppable arrivals go, even to an
         // empty priority level...
-        match q.enqueue(unsched(2), 0) {
+        let c = unsched(&mut pool, 2);
+        match q.enqueue(c, &mut pool, 0) {
             EnqueueOutcome::Dropped { reason: DropReason::SelectiveDrop, .. } => {}
             other => panic!("expected selective drop, got {other:?}"),
         }
         // ...while scheduled packets are still accepted.
-        assert!(matches!(q.enqueue(pkt_at(1, 3), 0), EnqueueOutcome::Queued));
+        let d = pkt_at(&mut pool, 1, 3);
+        assert!(matches!(q.enqueue(d, &mut pool, 0), EnqueueOutcome::Queued));
     }
 
     #[test]
     fn out_of_range_priority_clamps_to_lowest() {
+        let mut pool = PacketPool::new();
         let mut q = PriorityBank::new(2, 1 << 20);
-        q.enqueue(pkt_at(9, 42), 0);
+        let r = pkt_at(&mut pool, 9, 42);
+        q.enqueue(r, &mut pool, 0);
         assert_eq!(q.bytes_at(1), 1500);
     }
 
     #[test]
     fn shared_pool_integrates() {
-        let pool = SharedPool::new(1500);
-        let mut a = PriorityBank::new(2, 1 << 20).with_pool(pool.clone());
-        let mut b = PriorityBank::new(2, 1 << 20).with_pool(pool.clone());
-        assert!(matches!(a.enqueue(pkt_at(0, 0), 0), EnqueueOutcome::Queued));
-        match b.enqueue(pkt_at(0, 1), 0) {
+        let mut pool = PacketPool::new();
+        let shared = SharedPool::new(1500);
+        let mut a = PriorityBank::new(2, 1 << 20).with_pool(shared.clone());
+        let mut b = PriorityBank::new(2, 1 << 20).with_pool(shared.clone());
+        let r0 = pkt_at(&mut pool, 0, 0);
+        assert!(matches!(a.enqueue(r0, &mut pool, 0), EnqueueOutcome::Queued));
+        let r1 = pkt_at(&mut pool, 0, 1);
+        match b.enqueue(r1, &mut pool, 0) {
             EnqueueOutcome::Dropped { reason: DropReason::SharedBufferFull, .. } => {}
             other => panic!("expected pool drop, got {other:?}"),
         }
-        assert!(matches!(a.poll(0), Poll::Ready(_)));
-        assert_eq!(pool.borrow().used(), 0);
+        assert!(matches!(a.poll(&mut pool, 0), Poll::Ready(_)));
+        assert_eq!(shared.borrow().used(), 0);
     }
 
     #[test]
     fn byte_and_packet_counters_consistent() {
+        let mut pool = PacketPool::new();
         let mut q = PriorityBank::new(8, 1 << 20);
         for i in 0..5 {
-            q.enqueue(pkt_at((i % 3) as u8, i), 0);
+            let r = pkt_at(&mut pool, (i % 3) as u8, i);
+            q.enqueue(r, &mut pool, 0);
         }
         assert_eq!(q.pkts(), 5);
         assert_eq!(q.bytes(), 5 * 1500);
-        while let Poll::Ready(_) = q.poll(0) {}
+        while let Poll::Ready(_) = q.poll(&mut pool, 0) {}
         assert_eq!(q.pkts(), 0);
         assert_eq!(q.bytes(), 0);
     }

@@ -10,11 +10,16 @@
 //! * **CE-marked and queued** if it is ECT — the scheduled packets (whose
 //!   marks Aeolus receivers simply ignore).
 //!
+//! The decision is taken on the *pre-enqueue* occupancy: a packet arriving
+//! while the queue holds `K - 1` bytes is admitted (and may push occupancy
+//! well past `K`), one arriving at exactly `K` is not. Boundary tests below
+//! pin this interpretation.
+//!
 //! Scheduled packets are still subject to the physical buffer cap, but in a
 //! functioning proactive transport that cap is never approached.
 
 use super::{ByteFifo, DropReason, EnqueueOutcome, Poll, QueueDisc};
-use crate::packet::Packet;
+use crate::pool::{PacketPool, PacketRef};
 use crate::units::Time;
 
 /// RED/ECN FIFO with equal low/high thresholds (deterministic marking), the
@@ -41,27 +46,24 @@ impl RedEcnQueue {
 }
 
 impl QueueDisc for RedEcnQueue {
-    fn enqueue(&mut self, mut pkt: Packet, _now: Time) -> EnqueueOutcome {
-        let sz = pkt.size as u64;
-        if self.fifo.bytes() + sz > self.cap_bytes {
-            return EnqueueOutcome::Dropped { reason: DropReason::BufferFull, pkt: Box::new(pkt) };
+    fn enqueue(&mut self, pkt: PacketRef, pool: &mut PacketPool, _now: Time) -> EnqueueOutcome {
+        let sz = pool.get(pkt).size;
+        if self.fifo.bytes() + sz as u64 > self.cap_bytes {
+            return EnqueueOutcome::Dropped { reason: DropReason::BufferFull, pkt };
         }
         if self.fifo.bytes() >= self.threshold {
-            if pkt.droppable() {
-                return EnqueueOutcome::Dropped {
-                    reason: DropReason::SelectiveDrop,
-                    pkt: Box::new(pkt),
-                };
+            if pool.get(pkt).droppable() {
+                return EnqueueOutcome::Dropped { reason: DropReason::SelectiveDrop, pkt };
             }
-            pkt.mark_ce();
-            self.fifo.push(pkt);
+            pool.get_mut(pkt).mark_ce();
+            self.fifo.push(pkt, sz);
             return EnqueueOutcome::QueuedMarked;
         }
-        self.fifo.push(pkt);
+        self.fifo.push(pkt, sz);
         EnqueueOutcome::Queued
     }
 
-    fn poll(&mut self, _now: Time) -> Poll {
+    fn poll(&mut self, _pool: &mut PacketPool, _now: Time) -> Poll {
         match self.fifo.pop() {
             Some(pkt) => Poll::Ready(pkt),
             None => Poll::Empty,
@@ -79,20 +81,36 @@ impl QueueDisc for RedEcnQueue {
 
 #[cfg(test)]
 mod tests {
-    use super::super::testutil::{ctrl_pkt, data_pkt};
+    use super::super::testutil::{ctrl_ref, data_ref};
     use super::*;
-    use crate::packet::{Ecn, PacketKind, TrafficClass};
+    use crate::packet::{Ecn, FlowId, NodeId, Packet, PacketKind, TrafficClass};
 
     /// 6 KB threshold = 4 MTU packets, the paper default.
     fn queue() -> RedEcnQueue {
         RedEcnQueue::new(6_000, 200_000)
     }
 
+    /// A data packet whose wire size is exactly `size` bytes.
+    fn sized_ref(pool: &mut PacketPool, size: u32, seq: u64) -> PacketRef {
+        let payload = size - crate::packet::HEADER_BYTES;
+        pool.insert(Packet::data(
+            FlowId(1),
+            NodeId(0),
+            NodeId(1),
+            seq,
+            payload,
+            TrafficClass::Unscheduled,
+            1 << 20,
+        ))
+    }
+
     #[test]
     fn below_threshold_everything_is_queued_unmarked() {
+        let mut pool = PacketPool::new();
         let mut q = queue();
         for i in 0..4 {
-            let out = q.enqueue(data_pkt(TrafficClass::Unscheduled, i), 0);
+            let r = data_ref(&mut pool, TrafficClass::Unscheduled, i);
+            let out = q.enqueue(r, &mut pool, 0);
             assert!(matches!(out, EnqueueOutcome::Queued), "pkt {i}: {out:?}");
         }
         assert_eq!(q.pkts(), 4);
@@ -100,12 +118,15 @@ mod tests {
 
     #[test]
     fn unscheduled_dropped_above_threshold() {
+        let mut pool = PacketPool::new();
         let mut q = queue();
         for i in 0..4 {
-            q.enqueue(data_pkt(TrafficClass::Unscheduled, i), 0);
+            let r = data_ref(&mut pool, TrafficClass::Unscheduled, i);
+            q.enqueue(r, &mut pool, 0);
         }
         // Queue now holds 6000 B >= threshold: next unscheduled must go.
-        match q.enqueue(data_pkt(TrafficClass::Unscheduled, 4), 0) {
+        let r = data_ref(&mut pool, TrafficClass::Unscheduled, 4);
+        match q.enqueue(r, &mut pool, 0) {
             EnqueueOutcome::Dropped { reason: DropReason::SelectiveDrop, .. } => {}
             other => panic!("expected selective drop, got {other:?}"),
         }
@@ -114,40 +135,49 @@ mod tests {
 
     #[test]
     fn scheduled_marked_not_dropped_above_threshold() {
+        let mut pool = PacketPool::new();
         let mut q = queue();
         for i in 0..4 {
-            q.enqueue(data_pkt(TrafficClass::Unscheduled, i), 0);
+            let r = data_ref(&mut pool, TrafficClass::Unscheduled, i);
+            q.enqueue(r, &mut pool, 0);
         }
-        match q.enqueue(data_pkt(TrafficClass::Scheduled, 4), 0) {
+        let r = data_ref(&mut pool, TrafficClass::Scheduled, 4);
+        match q.enqueue(r, &mut pool, 0) {
             EnqueueOutcome::QueuedMarked => {}
             other => panic!("expected marked enqueue, got {other:?}"),
         }
         assert_eq!(q.pkts(), 5);
         // The marked packet comes out with CE set.
         let mut last = None;
-        while let Poll::Ready(p) = q.poll(0) {
+        while let Poll::Ready(p) = q.poll(&mut pool, 0) {
             last = Some(p);
         }
-        assert_eq!(last.unwrap().ecn, Ecn::Ce);
+        assert_eq!(pool.get(last.unwrap()).ecn, Ecn::Ce);
     }
 
     #[test]
     fn control_packets_survive_congestion() {
+        let mut pool = PacketPool::new();
         let mut q = queue();
         for i in 0..10 {
-            q.enqueue(data_pkt(TrafficClass::Scheduled, i), 0);
+            let r = data_ref(&mut pool, TrafficClass::Scheduled, i);
+            q.enqueue(r, &mut pool, 0);
         }
-        let out = q.enqueue(ctrl_pkt(PacketKind::Probe, 99), 0);
+        let r = ctrl_ref(&mut pool, PacketKind::Probe, 99);
+        let out = q.enqueue(r, &mut pool, 0);
         assert!(matches!(out, EnqueueOutcome::QueuedMarked | EnqueueOutcome::Queued));
     }
 
     #[test]
     fn physical_cap_still_binds_scheduled() {
+        let mut pool = PacketPool::new();
         let mut q = RedEcnQueue::new(6_000, 7_500);
         for i in 0..5 {
-            q.enqueue(data_pkt(TrafficClass::Scheduled, i), 0);
+            let r = data_ref(&mut pool, TrafficClass::Scheduled, i);
+            q.enqueue(r, &mut pool, 0);
         }
-        match q.enqueue(data_pkt(TrafficClass::Scheduled, 5), 0) {
+        let r = data_ref(&mut pool, TrafficClass::Scheduled, 5);
+        match q.enqueue(r, &mut pool, 0) {
             EnqueueOutcome::Dropped { reason: DropReason::BufferFull, .. } => {}
             other => panic!("expected buffer-full drop, got {other:?}"),
         }
@@ -157,5 +187,65 @@ mod tests {
     #[should_panic(expected = "threshold must not exceed")]
     fn threshold_above_cap_is_a_config_bug() {
         RedEcnQueue::new(10_000, 5_000);
+    }
+
+    // §4.1 boundary semantics: the drop decision reads the *pre-enqueue*
+    // occupancy and compares it to K with `>=`.
+
+    #[test]
+    fn occupancy_exactly_at_threshold_drops_unscheduled() {
+        let mut pool = PacketPool::new();
+        let mut q = RedEcnQueue::new(6_000, 200_000);
+        // Fill to exactly K = 6000 bytes.
+        for i in 0..4 {
+            let r = sized_ref(&mut pool, 1500, i);
+            assert!(matches!(q.enqueue(r, &mut pool, 0), EnqueueOutcome::Queued));
+        }
+        assert_eq!(q.bytes(), 6_000);
+        let r = sized_ref(&mut pool, 64, 100);
+        match q.enqueue(r, &mut pool, 0) {
+            EnqueueOutcome::Dropped { reason: DropReason::SelectiveDrop, .. } => {}
+            other => panic!("at exactly K the unscheduled packet must drop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn occupancy_one_byte_below_threshold_admits() {
+        let mut pool = PacketPool::new();
+        let mut q = RedEcnQueue::new(6_000, 200_000);
+        // Fill to K - 1 = 5999 bytes: 3 × 1500 + 1499.
+        for i in 0..3 {
+            q.enqueue(sized_ref(&mut pool, 1500, i), &mut pool, 0);
+        }
+        q.enqueue(sized_ref(&mut pool, 1499, 3), &mut pool, 0);
+        assert_eq!(q.bytes(), 5_999);
+        let r = sized_ref(&mut pool, 64, 100);
+        assert!(
+            matches!(q.enqueue(r, &mut pool, 0), EnqueueOutcome::Queued),
+            "one byte below K the packet is admitted unmarked"
+        );
+        assert_eq!(q.bytes(), 6_063);
+    }
+
+    #[test]
+    fn mtu_packet_at_k_minus_one_overshoots_threshold() {
+        let mut pool = PacketPool::new();
+        let mut q = RedEcnQueue::new(6_000, 200_000);
+        for i in 0..3 {
+            q.enqueue(sized_ref(&mut pool, 1500, i), &mut pool, 0);
+        }
+        q.enqueue(sized_ref(&mut pool, 1499, 3), &mut pool, 0);
+        assert_eq!(q.bytes(), 5_999);
+        // A full MTU packet arriving at K-1 is admitted — pre-enqueue
+        // occupancy rules — and legally pushes the queue to K + 1499.
+        let r = sized_ref(&mut pool, 1500, 100);
+        assert!(matches!(q.enqueue(r, &mut pool, 0), EnqueueOutcome::Queued));
+        assert_eq!(q.bytes(), 7_499);
+        // But the *next* arrival sees occupancy >= K and drops.
+        let r2 = sized_ref(&mut pool, 64, 101);
+        assert!(matches!(
+            q.enqueue(r2, &mut pool, 0),
+            EnqueueOutcome::Dropped { reason: DropReason::SelectiveDrop, .. }
+        ));
     }
 }

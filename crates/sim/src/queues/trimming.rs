@@ -8,7 +8,7 @@
 //! reproduces the effect with commodity RED/ECN instead).
 
 use super::{ByteFifo, DropReason, EnqueueOutcome, Poll, QueueDisc};
-use crate::packet::Packet;
+use crate::pool::{PacketPool, PacketRef};
 use crate::units::Time;
 
 /// Two-queue NDP port: priority control queue + packet-capped data queue
@@ -38,37 +38,35 @@ impl TrimmingQueue {
 }
 
 impl QueueDisc for TrimmingQueue {
-    fn enqueue(&mut self, mut pkt: Packet, _now: Time) -> EnqueueOutcome {
-        let is_payload = pkt.is_data();
+    fn enqueue(&mut self, pkt: PacketRef, pool: &mut PacketPool, _now: Time) -> EnqueueOutcome {
+        let is_payload = pool.get(pkt).is_data();
         if !is_payload {
             // Control / already-trimmed packets ride the priority queue.
-            if self.control.bytes() + pkt.size as u64 > self.control_cap_bytes {
-                return EnqueueOutcome::Dropped {
-                    reason: DropReason::BufferFull,
-                    pkt: Box::new(pkt),
-                };
+            let sz = pool.get(pkt).size;
+            if self.control.bytes() + sz as u64 > self.control_cap_bytes {
+                return EnqueueOutcome::Dropped { reason: DropReason::BufferFull, pkt };
             }
-            self.control.push(pkt);
+            self.control.push(pkt, sz);
             return EnqueueOutcome::Queued;
         }
         if self.data.len() >= self.data_cap_pkts {
-            // Cutting payload: keep the header, lose the bytes.
-            pkt.trim();
+            // Cutting payload: keep the header, lose the bytes. Trim before
+            // pushing so the FIFO caches the post-trim wire size.
+            pool.get_mut(pkt).trim();
             self.trimmed_count += 1;
-            if self.control.bytes() + pkt.size as u64 > self.control_cap_bytes {
-                return EnqueueOutcome::Dropped {
-                    reason: DropReason::BufferFull,
-                    pkt: Box::new(pkt),
-                };
+            let sz = pool.get(pkt).size;
+            if self.control.bytes() + sz as u64 > self.control_cap_bytes {
+                return EnqueueOutcome::Dropped { reason: DropReason::BufferFull, pkt };
             }
-            self.control.push(pkt);
+            self.control.push(pkt, sz);
             return EnqueueOutcome::QueuedTrimmed;
         }
-        self.data.push(pkt);
+        let sz = pool.get(pkt).size;
+        self.data.push(pkt, sz);
         EnqueueOutcome::Queued
     }
 
-    fn poll(&mut self, _now: Time) -> Poll {
+    fn poll(&mut self, _pool: &mut PacketPool, _now: Time) -> Poll {
         if let Some(pkt) = self.control.pop() {
             return Poll::Ready(pkt);
         }
@@ -94,7 +92,7 @@ impl QueueDisc for TrimmingQueue {
 
 #[cfg(test)]
 mod tests {
-    use super::super::testutil::{ctrl_pkt, data_pkt};
+    use super::super::testutil::{ctrl_ref, data_ref};
     use super::*;
     use crate::packet::{PacketKind, TrafficClass, MIN_PACKET_BYTES};
 
@@ -104,14 +102,14 @@ mod tests {
 
     #[test]
     fn data_queued_until_cap_then_trimmed() {
+        let mut pool = PacketPool::new();
         let mut q = queue();
         for i in 0..8 {
-            assert!(matches!(
-                q.enqueue(data_pkt(TrafficClass::Unscheduled, i), 0),
-                EnqueueOutcome::Queued
-            ));
+            let r = data_ref(&mut pool, TrafficClass::Unscheduled, i);
+            assert!(matches!(q.enqueue(r, &mut pool, 0), EnqueueOutcome::Queued));
         }
-        match q.enqueue(data_pkt(TrafficClass::Unscheduled, 8), 0) {
+        let r = data_ref(&mut pool, TrafficClass::Unscheduled, 8);
+        match q.enqueue(r, &mut pool, 0) {
             EnqueueOutcome::QueuedTrimmed => {}
             other => panic!("expected trim, got {other:?}"),
         }
@@ -121,14 +119,18 @@ mod tests {
 
     #[test]
     fn trimmed_headers_overtake_data() {
+        let mut pool = PacketPool::new();
         let mut q = queue();
         for i in 0..8 {
-            q.enqueue(data_pkt(TrafficClass::Unscheduled, i), 0);
+            let r = data_ref(&mut pool, TrafficClass::Unscheduled, i);
+            q.enqueue(r, &mut pool, 0);
         }
-        q.enqueue(data_pkt(TrafficClass::Unscheduled, 100), 0);
+        let r = data_ref(&mut pool, TrafficClass::Unscheduled, 100);
+        q.enqueue(r, &mut pool, 0);
         // The trimmed header (seq 100) must come out first.
-        match q.poll(0) {
+        match q.poll(&mut pool, 0) {
             Poll::Ready(p) => {
+                let p = pool.get(p);
                 assert_eq!(p.seq, 100);
                 assert!(p.trimmed);
                 assert_eq!(p.size, MIN_PACKET_BYTES);
@@ -136,8 +138,9 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         // Then the full data packets in order.
-        match q.poll(0) {
+        match q.poll(&mut pool, 0) {
             Poll::Ready(p) => {
+                let p = pool.get(p);
                 assert_eq!(p.seq, 0);
                 assert!(!p.trimmed);
             }
@@ -147,22 +150,29 @@ mod tests {
 
     #[test]
     fn control_packets_ride_priority_queue() {
+        let mut pool = PacketPool::new();
         let mut q = queue();
-        q.enqueue(data_pkt(TrafficClass::Scheduled, 0), 0);
-        q.enqueue(ctrl_pkt(PacketKind::Pull, 1), 0);
-        match q.poll(0) {
-            Poll::Ready(p) => assert_eq!(p.kind, PacketKind::Pull),
+        let d = data_ref(&mut pool, TrafficClass::Scheduled, 0);
+        q.enqueue(d, &mut pool, 0);
+        let c = ctrl_ref(&mut pool, PacketKind::Pull, 1);
+        q.enqueue(c, &mut pool, 0);
+        match q.poll(&mut pool, 0) {
+            Poll::Ready(p) => assert_eq!(pool.get(p).kind, PacketKind::Pull),
             other => panic!("unexpected {other:?}"),
         }
     }
 
     #[test]
     fn control_cap_eventually_drops() {
+        let mut pool = PacketPool::new();
         let mut q = TrimmingQueue::new(8, 128);
-        assert!(matches!(q.enqueue(ctrl_pkt(PacketKind::Pull, 0), 0), EnqueueOutcome::Queued));
-        assert!(matches!(q.enqueue(ctrl_pkt(PacketKind::Pull, 1), 0), EnqueueOutcome::Queued));
+        let a = ctrl_ref(&mut pool, PacketKind::Pull, 0);
+        assert!(matches!(q.enqueue(a, &mut pool, 0), EnqueueOutcome::Queued));
+        let b = ctrl_ref(&mut pool, PacketKind::Pull, 1);
+        assert!(matches!(q.enqueue(b, &mut pool, 0), EnqueueOutcome::Queued));
+        let c = ctrl_ref(&mut pool, PacketKind::Pull, 2);
         assert!(matches!(
-            q.enqueue(ctrl_pkt(PacketKind::Pull, 2), 0),
+            q.enqueue(c, &mut pool, 0),
             EnqueueOutcome::Dropped { reason: DropReason::BufferFull, .. }
         ));
     }

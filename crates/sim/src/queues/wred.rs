@@ -15,6 +15,7 @@
 
 use super::{ByteFifo, DropReason, EnqueueOutcome, Poll, QueueDisc};
 use crate::packet::{Packet, TrafficClass};
+use crate::pool::{PacketPool, PacketRef};
 use crate::units::Time;
 
 /// Packet colors in the switch pipeline.
@@ -90,23 +91,20 @@ impl WredQueue {
 }
 
 impl QueueDisc for WredQueue {
-    fn enqueue(&mut self, pkt: Packet, _now: Time) -> EnqueueOutcome {
-        let sz = pkt.size as u64;
-        if self.fifo.bytes() + sz > self.cap_bytes {
-            return EnqueueOutcome::Dropped { reason: DropReason::BufferFull, pkt: Box::new(pkt) };
+    fn enqueue(&mut self, pkt: PacketRef, pool: &mut PacketPool, _now: Time) -> EnqueueOutcome {
+        let sz = pool.get(pkt).size;
+        if self.fifo.bytes() + sz as u64 > self.cap_bytes {
+            return EnqueueOutcome::Dropped { reason: DropReason::BufferFull, pkt };
         }
-        let color = (self.classify)(&pkt);
+        let color = (self.classify)(pool.get(pkt));
         if self.fifo.bytes() >= self.threshold_for(color) {
-            return EnqueueOutcome::Dropped {
-                reason: DropReason::SelectiveDrop,
-                pkt: Box::new(pkt),
-            };
+            return EnqueueOutcome::Dropped { reason: DropReason::SelectiveDrop, pkt };
         }
-        self.fifo.push(pkt);
+        self.fifo.push(pkt, sz);
         EnqueueOutcome::Queued
     }
 
-    fn poll(&mut self, _now: Time) -> Poll {
+    fn poll(&mut self, _pool: &mut PacketPool, _now: Time) -> Poll {
         match self.fifo.pop() {
             Some(pkt) => Poll::Ready(pkt),
             None => Poll::Empty,
@@ -124,37 +122,54 @@ impl QueueDisc for WredQueue {
 
 #[cfg(test)]
 mod tests {
-    use super::super::testutil::{ctrl_pkt, data_pkt};
+    use super::super::testutil::{ctrl_ref, data_ref};
     use super::super::RedEcnQueue;
     use super::*;
-    use crate::packet::PacketKind;
+    use crate::packet::{FlowId, NodeId, PacketKind};
 
     fn queue() -> WredQueue {
         WredQueue::new(WredProfile::aeolus(6_000, 200_000), 200_000)
     }
 
+    /// An unscheduled data packet whose wire size is exactly `size` bytes.
+    fn sized_ref(pool: &mut PacketPool, size: u32, seq: u64) -> PacketRef {
+        let payload = size - crate::packet::HEADER_BYTES;
+        pool.insert(Packet::data(
+            FlowId(1),
+            NodeId(0),
+            NodeId(1),
+            seq,
+            payload,
+            TrafficClass::Unscheduled,
+            1 << 20,
+        ))
+    }
+
     #[test]
     fn red_color_dropped_above_selective_threshold() {
+        let mut pool = PacketPool::new();
         let mut q = queue();
         for i in 0..4 {
-            assert!(matches!(
-                q.enqueue(data_pkt(TrafficClass::Unscheduled, i), 0),
-                EnqueueOutcome::Queued
-            ));
+            let r = data_ref(&mut pool, TrafficClass::Unscheduled, i);
+            assert!(matches!(q.enqueue(r, &mut pool, 0), EnqueueOutcome::Queued));
         }
+        let r = data_ref(&mut pool, TrafficClass::Unscheduled, 4);
         assert!(matches!(
-            q.enqueue(data_pkt(TrafficClass::Unscheduled, 4), 0),
+            q.enqueue(r, &mut pool, 0),
             EnqueueOutcome::Dropped { reason: DropReason::SelectiveDrop, .. }
         ));
         // Green packets still pass.
-        assert!(matches!(q.enqueue(data_pkt(TrafficClass::Scheduled, 5), 0), EnqueueOutcome::Queued));
-        assert!(matches!(q.enqueue(ctrl_pkt(PacketKind::Probe, 6), 0), EnqueueOutcome::Queued));
+        let g = data_ref(&mut pool, TrafficClass::Scheduled, 5);
+        assert!(matches!(q.enqueue(g, &mut pool, 0), EnqueueOutcome::Queued));
+        let c = ctrl_ref(&mut pool, PacketKind::Probe, 6);
+        assert!(matches!(q.enqueue(c, &mut pool, 0), EnqueueOutcome::Queued));
     }
 
     #[test]
     fn wred_and_red_ecn_make_identical_drop_decisions() {
         // The paper's two §4.1 implementations must agree packet-for-packet
         // under the same arrival sequence.
+        let mut pool = PacketPool::new();
         let mut wred = queue();
         let mut red = RedEcnQueue::new(6_000, 200_000);
         // A deterministic pseudo-random mix of classes and dequeues.
@@ -162,14 +177,38 @@ mod tests {
         for i in 0..2_000u64 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             let class = if x.is_multiple_of(3) { TrafficClass::Scheduled } else { TrafficClass::Unscheduled };
-            let wred_drop =
-                matches!(wred.enqueue(data_pkt(class, i), 0), EnqueueOutcome::Dropped { .. });
-            let red_drop =
-                matches!(red.enqueue(data_pkt(class, i), 0), EnqueueOutcome::Dropped { .. });
+            let wr = data_ref(&mut pool, class, i);
+            let wred_drop = match wred.enqueue(wr, &mut pool, 0) {
+                EnqueueOutcome::Dropped { pkt, .. } => {
+                    pool.free(pkt);
+                    true
+                }
+                _ => false,
+            };
+            let rr = data_ref(&mut pool, class, i);
+            let red_drop = match red.enqueue(rr, &mut pool, 0) {
+                EnqueueOutcome::Dropped { pkt, .. } => {
+                    pool.free(pkt);
+                    true
+                }
+                _ => false,
+            };
             assert_eq!(wred_drop, red_drop, "divergence at packet {i} ({class:?})");
             if x % 5 < 2 {
-                let a = matches!(wred.poll(0), Poll::Ready(_));
-                let b = matches!(red.poll(0), Poll::Ready(_));
+                let a = match wred.poll(&mut pool, 0) {
+                    Poll::Ready(p) => {
+                        pool.free(p);
+                        true
+                    }
+                    _ => false,
+                };
+                let b = match red.poll(&mut pool, 0) {
+                    Poll::Ready(p) => {
+                        pool.free(p);
+                        true
+                    }
+                    _ => false,
+                };
                 assert_eq!(a, b);
             }
             assert_eq!(wred.bytes(), red.bytes(), "occupancy divergence at {i}");
@@ -181,26 +220,81 @@ mod tests {
         fn everything_red(_: &Packet) -> Color {
             Color::Red
         }
+        let mut pool = PacketPool::new();
         let mut q = WredQueue::new(WredProfile::aeolus(3_000, 200_000), 200_000)
             .with_classifier(everything_red);
-        q.enqueue(data_pkt(TrafficClass::Scheduled, 0), 0);
-        q.enqueue(data_pkt(TrafficClass::Scheduled, 1), 0);
+        let a = data_ref(&mut pool, TrafficClass::Scheduled, 0);
+        q.enqueue(a, &mut pool, 0);
+        let b = data_ref(&mut pool, TrafficClass::Scheduled, 1);
+        q.enqueue(b, &mut pool, 0);
         // 3000 B queued >= red threshold: even "scheduled" drops now.
-        assert!(matches!(
-            q.enqueue(data_pkt(TrafficClass::Scheduled, 2), 0),
-            EnqueueOutcome::Dropped { .. }
-        ));
+        let c = data_ref(&mut pool, TrafficClass::Scheduled, 2);
+        assert!(matches!(q.enqueue(c, &mut pool, 0), EnqueueOutcome::Dropped { .. }));
     }
 
     #[test]
     fn physical_cap_binds_green_too() {
+        let mut pool = PacketPool::new();
         let mut q = WredQueue::new(WredProfile::aeolus(6_000, 7_500), 7_500);
         for i in 0..5 {
-            q.enqueue(data_pkt(TrafficClass::Scheduled, i), 0);
+            let r = data_ref(&mut pool, TrafficClass::Scheduled, i);
+            q.enqueue(r, &mut pool, 0);
         }
+        let r = data_ref(&mut pool, TrafficClass::Scheduled, 5);
         assert!(matches!(
-            q.enqueue(data_pkt(TrafficClass::Scheduled, 5), 0),
+            q.enqueue(r, &mut pool, 0),
             EnqueueOutcome::Dropped { reason: DropReason::BufferFull, .. }
+        ));
+    }
+
+    // §4.1 boundary semantics — same pre-enqueue-occupancy rule as
+    // RedEcnQueue, pinned here so the two implementations can't drift.
+
+    #[test]
+    fn occupancy_exactly_at_threshold_drops_red_color() {
+        let mut pool = PacketPool::new();
+        let mut q = WredQueue::new(WredProfile::aeolus(6_000, 200_000), 200_000);
+        for i in 0..4 {
+            let r = sized_ref(&mut pool, 1500, i);
+            assert!(matches!(q.enqueue(r, &mut pool, 0), EnqueueOutcome::Queued));
+        }
+        assert_eq!(q.bytes(), 6_000);
+        let r = sized_ref(&mut pool, 64, 100);
+        assert!(matches!(
+            q.enqueue(r, &mut pool, 0),
+            EnqueueOutcome::Dropped { reason: DropReason::SelectiveDrop, .. }
+        ));
+    }
+
+    #[test]
+    fn occupancy_one_byte_below_threshold_admits() {
+        let mut pool = PacketPool::new();
+        let mut q = WredQueue::new(WredProfile::aeolus(6_000, 200_000), 200_000);
+        for i in 0..3 {
+            q.enqueue(sized_ref(&mut pool, 1500, i), &mut pool, 0);
+        }
+        q.enqueue(sized_ref(&mut pool, 1499, 3), &mut pool, 0);
+        assert_eq!(q.bytes(), 5_999);
+        let r = sized_ref(&mut pool, 64, 100);
+        assert!(matches!(q.enqueue(r, &mut pool, 0), EnqueueOutcome::Queued));
+    }
+
+    #[test]
+    fn mtu_packet_at_k_minus_one_overshoots_threshold() {
+        let mut pool = PacketPool::new();
+        let mut q = WredQueue::new(WredProfile::aeolus(6_000, 200_000), 200_000);
+        for i in 0..3 {
+            q.enqueue(sized_ref(&mut pool, 1500, i), &mut pool, 0);
+        }
+        q.enqueue(sized_ref(&mut pool, 1499, 3), &mut pool, 0);
+        assert_eq!(q.bytes(), 5_999);
+        let r = sized_ref(&mut pool, 1500, 100);
+        assert!(matches!(q.enqueue(r, &mut pool, 0), EnqueueOutcome::Queued));
+        assert_eq!(q.bytes(), 7_499);
+        let r2 = sized_ref(&mut pool, 64, 101);
+        assert!(matches!(
+            q.enqueue(r2, &mut pool, 0),
+            EnqueueOutcome::Dropped { reason: DropReason::SelectiveDrop, .. }
         ));
     }
 }

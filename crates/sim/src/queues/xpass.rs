@@ -13,7 +13,8 @@
 //! dropping (ExpressPass+Aeolus) or a priority bank (the §5.5 strawman).
 
 use super::{ByteFifo, DropReason, EnqueueOutcome, Poll, QueueDisc};
-use crate::packet::{Packet, PacketKind};
+use crate::packet::PacketKind;
+use crate::pool::{PacketPool, PacketRef};
 use crate::units::{Rate, Time};
 
 /// ExpressPass egress discipline: paced credit queue + inner data queue.
@@ -59,28 +60,27 @@ impl XPassQueue {
 }
 
 impl QueueDisc for XPassQueue {
-    fn enqueue(&mut self, pkt: Packet, now: Time) -> EnqueueOutcome {
-        if pkt.kind == PacketKind::Credit {
+    fn enqueue(&mut self, pkt: PacketRef, pool: &mut PacketPool, now: Time) -> EnqueueOutcome {
+        let p = pool.get(pkt);
+        if p.kind == PacketKind::Credit {
+            let sz = p.size;
             if self.credits.len() >= self.credit_cap_pkts {
                 self.credits_dropped += 1;
-                return EnqueueOutcome::Dropped {
-                    reason: DropReason::CreditOverflow,
-                    pkt: Box::new(pkt),
-                };
+                return EnqueueOutcome::Dropped { reason: DropReason::CreditOverflow, pkt };
             }
-            self.credits.push(pkt);
+            self.credits.push(pkt, sz);
             return EnqueueOutcome::Queued;
         }
-        self.data.enqueue(pkt, now)
+        self.data.enqueue(pkt, pool, now)
     }
 
-    fn poll(&mut self, now: Time) -> Poll {
+    fn poll(&mut self, pool: &mut PacketPool, now: Time) -> Poll {
         if !self.credits.is_empty() && now >= self.next_credit_at {
             let pkt = self.credits.pop().expect("non-empty credit queue");
             self.next_credit_at = now + self.credit_interval;
             return Poll::Ready(pkt);
         }
-        match self.data.poll(now) {
+        match self.data.poll(pool, now) {
             Poll::Ready(pkt) => Poll::Ready(pkt),
             Poll::NotBefore(t) => {
                 if self.credits.is_empty() {
@@ -115,15 +115,15 @@ impl QueueDisc for XPassQueue {
 
 #[cfg(test)]
 mod tests {
-    use super::super::testutil::data_pkt;
+    use super::super::testutil::data_ref;
     use super::super::{DropTailQueue, RedEcnQueue};
     use super::*;
-    use crate::packet::{FlowId, NodeId, TrafficClass, CREDIT_BYTES};
+    use crate::packet::{FlowId, NodeId, Packet, TrafficClass, CREDIT_BYTES};
 
-    fn credit(seq: u64) -> Packet {
+    fn credit(pool: &mut PacketPool, seq: u64) -> PacketRef {
         let mut p = Packet::control(FlowId(1), NodeId(0), NodeId(1), seq, PacketKind::Credit);
         p.size = CREDIT_BYTES;
-        p
+        pool.insert(p)
     }
 
     fn queue() -> XPassQueue {
@@ -145,43 +145,57 @@ mod tests {
 
     #[test]
     fn credits_paced_one_per_interval() {
+        let mut pool = PacketPool::new();
         let mut q = queue();
-        q.enqueue(credit(0), 0);
-        q.enqueue(credit(1), 0);
-        match q.poll(0) {
-            Poll::Ready(p) => assert_eq!(p.seq, 0),
+        let c0 = credit(&mut pool, 0);
+        q.enqueue(c0, &mut pool, 0);
+        let c1 = credit(&mut pool, 1);
+        q.enqueue(c1, &mut pool, 0);
+        match q.poll(&mut pool, 0) {
+            Poll::Ready(p) => assert_eq!(pool.get(p).seq, 0),
             other => panic!("unexpected {other:?}"),
         }
         // Second credit gated until the interval elapses.
-        let gate = match q.poll(0) {
+        let gate = match q.poll(&mut pool, 0) {
             Poll::NotBefore(t) => t,
             other => panic!("unexpected {other:?}"),
         };
         assert_eq!(gate, q.credit_interval());
-        assert!(matches!(q.poll(gate), Poll::Ready(_)));
+        assert!(matches!(q.poll(&mut pool, gate), Poll::Ready(_)));
     }
 
     #[test]
     fn data_fills_gaps_between_credits() {
+        let mut pool = PacketPool::new();
         let mut q = queue();
-        q.enqueue(credit(0), 0);
-        q.enqueue(credit(1), 0);
-        q.enqueue(data_pkt(TrafficClass::Scheduled, 0), 0);
-        assert!(matches!(q.poll(0), Poll::Ready(p) if p.kind == PacketKind::Credit));
+        let c0 = credit(&mut pool, 0);
+        q.enqueue(c0, &mut pool, 0);
+        let c1 = credit(&mut pool, 1);
+        q.enqueue(c1, &mut pool, 0);
+        let d = data_ref(&mut pool, TrafficClass::Scheduled, 0);
+        q.enqueue(d, &mut pool, 0);
+        assert!(
+            matches!(q.poll(&mut pool, 0), Poll::Ready(p) if pool.get(p).kind == PacketKind::Credit)
+        );
         // Credit gated, so data goes out.
-        assert!(matches!(q.poll(0), Poll::Ready(p) if p.kind == PacketKind::Data));
-        assert!(matches!(q.poll(0), Poll::NotBefore(_)));
+        assert!(
+            matches!(q.poll(&mut pool, 0), Poll::Ready(p) if pool.get(p).kind == PacketKind::Data)
+        );
+        assert!(matches!(q.poll(&mut pool, 0), Poll::NotBefore(_)));
     }
 
     #[test]
     fn credit_overflow_drops_and_counts() {
+        let mut pool = PacketPool::new();
         let mut q = queue();
         for i in 0..8 {
-            assert!(matches!(q.enqueue(credit(i), 0), EnqueueOutcome::Queued));
+            let c = credit(&mut pool, i);
+            assert!(matches!(q.enqueue(c, &mut pool, 0), EnqueueOutcome::Queued));
         }
-        match q.enqueue(credit(8), 0) {
+        let c = credit(&mut pool, 8);
+        match q.enqueue(c, &mut pool, 0) {
             EnqueueOutcome::Dropped { reason: DropReason::CreditOverflow, pkt } => {
-                assert_eq!(pkt.seq, 8)
+                assert_eq!(pool.get(pkt).seq, 8)
             }
             other => panic!("expected credit drop, got {other:?}"),
         }
@@ -192,6 +206,7 @@ mod tests {
     fn inner_discipline_decides_data_fate() {
         // RED/ECN inner queue: unscheduled dropped above 6 KB — the
         // ExpressPass+Aeolus port in one object.
+        let mut pool = PacketPool::new();
         let mut q = XPassQueue::new(
             Box::new(RedEcnQueue::new(6_000, 200_000)),
             Rate::gbps(100),
@@ -200,24 +215,22 @@ mod tests {
             8,
         );
         for i in 0..4 {
-            assert!(matches!(
-                q.enqueue(data_pkt(TrafficClass::Unscheduled, i), 0),
-                EnqueueOutcome::Queued
-            ));
+            let r = data_ref(&mut pool, TrafficClass::Unscheduled, i);
+            assert!(matches!(q.enqueue(r, &mut pool, 0), EnqueueOutcome::Queued));
         }
+        let r = data_ref(&mut pool, TrafficClass::Unscheduled, 4);
         assert!(matches!(
-            q.enqueue(data_pkt(TrafficClass::Unscheduled, 4), 0),
+            q.enqueue(r, &mut pool, 0),
             EnqueueOutcome::Dropped { reason: DropReason::SelectiveDrop, .. }
         ));
-        assert!(matches!(
-            q.enqueue(data_pkt(TrafficClass::Scheduled, 5), 0),
-            EnqueueOutcome::QueuedMarked
-        ));
+        let s = data_ref(&mut pool, TrafficClass::Scheduled, 5);
+        assert!(matches!(q.enqueue(s, &mut pool, 0), EnqueueOutcome::QueuedMarked));
     }
 
     #[test]
     fn empty_queue_reports_empty() {
+        let mut pool = PacketPool::new();
         let mut q = queue();
-        assert!(matches!(q.poll(0), Poll::Empty));
+        assert!(matches!(q.poll(&mut pool, 0), Poll::Empty));
     }
 }

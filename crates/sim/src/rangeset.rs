@@ -22,6 +22,10 @@ impl RangeSet {
 
     /// Insert `[start, end)`, returning the number of bytes newly covered
     /// (0 when the range was already fully present — i.e. a duplicate).
+    ///
+    /// The common cases — duplicate data and in-order extension of an
+    /// existing range — never touch the allocator: the predecessor's end is
+    /// updated in place and successors are only removed (not re-inserted).
     pub fn insert(&mut self, start: u64, end: u64) -> u64 {
         if start >= end {
             return 0;
@@ -29,29 +33,36 @@ impl RangeSet {
         let mut new_start = start;
         let mut new_end = end;
         let mut absorbed: u64 = 0;
-        let mut to_remove = Vec::new();
-        // Candidate overlapping/adjacent ranges begin at or before `end`;
-        // the one starting before `start` can still overlap, so walk back one.
-        let mut iter_start = start;
+        // The only range that can begin before `start` and still overlap or
+        // touch `[start, end)` is the predecessor; merge into it in place.
+        let mut in_place = false;
         if let Some((&s, &e)) = self.ranges.range(..=start).next_back() {
             if e >= start {
-                iter_start = s;
+                if e >= end {
+                    return 0; // duplicate: already fully covered
+                }
+                new_start = s;
+                new_end = new_end.max(e);
+                absorbed += e - s;
+                in_place = true;
             }
         }
-        for (&s, &e) in self.ranges.range(iter_start..=end) {
+        // Absorb every following range that overlaps or is adjacent. They
+        // all start strictly after `new_start` (else the predecessor lookup
+        // would have found them).
+        while let Some((&s, &e)) = self.ranges.range((new_start + 1)..).next() {
             if s > new_end {
                 break;
             }
-            // Overlapping or adjacent: merge.
-            to_remove.push(s);
             absorbed += e - s;
-            new_start = new_start.min(s);
             new_end = new_end.max(e);
-        }
-        for s in to_remove {
             self.ranges.remove(&s);
         }
-        self.ranges.insert(new_start, new_end);
+        if in_place {
+            *self.ranges.get_mut(&new_start).expect("predecessor present") = new_end;
+        } else {
+            self.ranges.insert(new_start, new_end);
+        }
         let added = (new_end - new_start) - absorbed;
         self.total += added;
         added

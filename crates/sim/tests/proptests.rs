@@ -7,8 +7,8 @@
 
 use aeolus_sim::event::{Event, EventQueue, SchedulerKind};
 use aeolus_sim::{
-    DropReason, EnqueueOutcome, FlowId, NodeId, Packet, Poll, PriorityBank, QueueDisc, RangeSet,
-    RedEcnQueue, SimRng, TrafficClass,
+    DropReason, EnqueueOutcome, FlowId, NodeId, Packet, PacketPool, Poll, PriorityBank, QueueDisc,
+    RangeSet, RedEcnQueue, SimRng, TrafficClass,
 };
 
 /// Random cases per property (each case is a full scenario).
@@ -97,10 +97,11 @@ fn selective_queue_bounded_by_threshold() {
     for case in 0..CASES {
         let threshold = rng.range_u64(1_500, 50_000);
         let n = 1 + rng.below(199);
+        let mut pool = PacketPool::new();
         let mut q = RedEcnQueue::new(threshold, 1 << 30);
         let mut dropped = 0u64;
         for i in 0..n {
-            let pkt = Packet::data(
+            let r = pool.insert(Packet::data(
                 FlowId(1),
                 NodeId(0),
                 NodeId(1),
@@ -108,9 +109,10 @@ fn selective_queue_bounded_by_threshold() {
                 1460,
                 TrafficClass::Unscheduled,
                 1 << 20,
-            );
-            if let EnqueueOutcome::Dropped { reason, .. } = q.enqueue(pkt, 0) {
+            ));
+            if let EnqueueOutcome::Dropped { reason, pkt } = q.enqueue(r, &mut pool, 0) {
                 assert_eq!(reason, DropReason::SelectiveDrop, "case {case}");
+                pool.free(pkt);
                 dropped += 1;
             }
             assert!(
@@ -133,6 +135,7 @@ fn priority_bank_respects_strict_priority() {
     for case in 0..CASES {
         let n = 1 + rng.index(99);
         let prios: Vec<u8> = (0..n).map(|_| rng.below(8) as u8).collect();
+        let mut pool = PacketPool::new();
         let mut q = PriorityBank::new(8, 1 << 30);
         for (i, &p) in prios.iter().enumerate() {
             let mut pkt = Packet::data(
@@ -145,12 +148,15 @@ fn priority_bank_respects_strict_priority() {
                 1 << 20,
             );
             pkt.priority = p;
-            let _ = q.enqueue(pkt, 0);
+            let r = pool.insert(pkt);
+            let _ = q.enqueue(r, &mut pool, 0);
         }
         // Drain fully: output must be sorted by (priority, arrival order).
         let mut out = Vec::new();
-        while let Poll::Ready(pkt) = q.poll(0) {
+        while let Poll::Ready(r) = q.poll(&mut pool, 0) {
+            let pkt = pool.get(r);
             out.push((pkt.priority, pkt.seq));
+            pool.free(r);
         }
         assert_eq!(out.len(), prios.len(), "case {case}");
         let mut expected: Vec<(u8, u64)> =
@@ -173,12 +179,25 @@ fn wred_equals_red_ecn_for_any_mix() {
         let ops: Vec<(u8, bool)> =
             (0..n_ops).map(|_| (rng.below(3) as u8, rng.chance(0.5))).collect();
         let cap = 200_000u64;
+        let mut pool = PacketPool::new();
         let mut wred = WredQueue::new(WredProfile::aeolus(threshold, cap), cap);
         let mut red = RedEcnQueue::new(threshold, cap);
         for (i, &(kind, dequeue)) in ops.iter().enumerate() {
             if dequeue {
-                let a = matches!(wred.poll(0), Poll::Ready(_));
-                let b = matches!(red.poll(0), Poll::Ready(_));
+                let a = match wred.poll(&mut pool, 0) {
+                    Poll::Ready(r) => {
+                        pool.free(r);
+                        true
+                    }
+                    _ => false,
+                };
+                let b = match red.poll(&mut pool, 0) {
+                    Poll::Ready(r) => {
+                        pool.free(r);
+                        true
+                    }
+                    _ => false,
+                };
                 assert_eq!(a, b, "case {case} op {i}");
             } else {
                 let class = match kind {
@@ -192,8 +211,22 @@ fn wred_equals_red_ecn_for_any_mix() {
                     pkt.class = TrafficClass::Control;
                     pkt.ecn = aeolus_sim::Ecn::Ect0;
                 }
-                let a = matches!(wred.enqueue(pkt.clone(), 0), EnqueueOutcome::Dropped { .. });
-                let b = matches!(red.enqueue(pkt, 0), EnqueueOutcome::Dropped { .. });
+                let rw = pool.insert(pkt.clone());
+                let rr = pool.insert(pkt);
+                let a = match wred.enqueue(rw, &mut pool, 0) {
+                    EnqueueOutcome::Dropped { pkt, .. } => {
+                        pool.free(pkt);
+                        true
+                    }
+                    _ => false,
+                };
+                let b = match red.enqueue(rr, &mut pool, 0) {
+                    EnqueueOutcome::Dropped { pkt, .. } => {
+                        pool.free(pkt);
+                        true
+                    }
+                    _ => false,
+                };
                 assert_eq!(a, b, "case {case}: divergence at op {i}");
             }
             assert_eq!(wred.bytes(), red.bytes(), "case {case} op {i}");

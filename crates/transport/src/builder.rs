@@ -135,12 +135,13 @@ impl<T: Tracer> SchemeBuilder<T> {
     /// Build the harness: topology wired with the scheme's queue
     /// discipline, one endpoint per host, tracer installed on the network.
     ///
-    /// Panics if the Aeolus configuration fails
-    /// [`aeolus_core::AeolusConfig::validate`] — better a descriptive error
-    /// at build time than a confusing one deep inside the simulator.
+    /// Panics if the parameters fail [`SchemeParams::validate`] (which
+    /// includes [`aeolus_core::AeolusConfig::validate`] on the effective
+    /// config) — better a descriptive error at build time than a confusing
+    /// one deep inside the simulator.
     pub fn build(self) -> Harness<T> {
-        if let Err(e) = self.params.aeolus.validate() {
-            panic!("invalid Aeolus config for scheme '{}': {e}", self.scheme.name());
+        if let Err(e) = self.params.validate() {
+            panic!("invalid config for scheme '{}': {e}", self.scheme.name());
         }
         Harness::with_tracer(self.scheme, self.params, self.spec, self.tracer)
     }
@@ -149,11 +150,11 @@ impl<T: Tracer> SchemeBuilder<T> {
     /// until they complete (or `horizon`). Returns the harness (metrics and
     /// tracer inside), the generated flows, and the completion status.
     ///
-    /// Panics if no [`SchemeBuilder::workload`] was set, or if the Aeolus
-    /// configuration fails [`aeolus_core::AeolusConfig::validate`].
+    /// Panics if no [`SchemeBuilder::workload`] was set, or if the
+    /// parameters fail [`SchemeParams::validate`].
     pub fn build_run(self, horizon: Time) -> (Harness<T>, Vec<FlowDesc>, bool) {
-        if let Err(e) = self.params.aeolus.validate() {
-            panic!("invalid Aeolus config for scheme '{}': {e}", self.scheme.name());
+        if let Err(e) = self.params.validate() {
+            panic!("invalid config for scheme '{}': {e}", self.scheme.name());
         }
         let w = self.workload.expect("SchemeBuilder::build_run needs a workload");
         let mut h = Harness::with_tracer(self.scheme, self.params, self.spec, self.tracer);
@@ -197,6 +198,16 @@ mod tests {
         let mut p = SchemeParams::new(0);
         p.aeolus.drop_threshold = 1 << 40; // far above any port buffer
         p.aeolus.port_buffer = 1_000;
+        let _ = SchemeBuilder::new(Scheme::ExpressPassAeolus).params(p).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_threshold")]
+    fn build_rejects_physical_buffer_below_threshold() {
+        // The physical port buffer overrides aeolus.port_buffer at queue
+        // construction; a threshold above it used to be clamped silently.
+        let mut p = SchemeParams::new(0);
+        p.port_buffer = 4_000; // below the 6 KB default drop threshold
         let _ = SchemeBuilder::new(Scheme::ExpressPassAeolus).params(p).build();
     }
 

@@ -8,7 +8,7 @@ use aeolus_sim::topology::{
     fat_tree_with, leaf_spine_with, single_switch_with, LinkParams, Topology,
 };
 use aeolus_sim::units::{fmt_time, Time};
-use aeolus_sim::{FlowDesc, FlowId, Metrics, NodeId, NullTracer, Tracer};
+use aeolus_sim::{FlowDesc, FlowId, Metrics, Network, NodeId, NullTracer, Tracer};
 
 use crate::registry::{Scheme, SchemeParams};
 
@@ -220,6 +220,17 @@ impl<T: Tracer> Harness<T> {
     /// Run metrics.
     pub fn metrics(&self) -> &Metrics {
         &self.topo.net.metrics
+    }
+
+    /// The underlying network (packet-pool stats, trace access).
+    pub fn network(&self) -> &Network<T> {
+        &self.topo.net
+    }
+
+    /// Mutable network access, e.g. to step the simulation in slices with
+    /// [`Network::run_until`] instead of running to completion.
+    pub fn network_mut(&mut self) -> &mut Network<T> {
+        &mut self.topo.net
     }
 
     /// Ideal (store-and-forward, unloaded) FCT for a flow of `size` bytes

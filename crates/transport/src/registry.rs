@@ -154,6 +154,21 @@ impl SchemeParams {
     fn mtu_wire(&self) -> u32 {
         self.mtu_payload + aeolus_sim::HEADER_BYTES
     }
+
+    /// Validate the parameter set, including the **effective** Aeolus
+    /// config: queue construction substitutes the physical [`port_buffer`]
+    /// for `aeolus.port_buffer`, so the threshold/buffer relation must hold
+    /// against the value actually used — a threshold above the physical
+    /// buffer would mean selective dropping never engages. (This used to be
+    /// papered over with a silent `buffer.max(threshold)` clamp.)
+    ///
+    /// [`port_buffer`]: SchemeParams::port_buffer
+    pub fn validate(&self) -> Result<(), String> {
+        self.aeolus.validate()?;
+        let mut effective = self.aeolus;
+        effective.port_buffer = self.port_buffer;
+        effective.validate()
+    }
 }
 
 /// Effectively infinite buffer for oracle runs and host NICs.
@@ -259,7 +274,7 @@ impl Scheme {
 
     fn base_config(&self, p: &SchemeParams) -> BaseConfig {
         let mut aeolus = p.aeolus;
-        aeolus.port_buffer = p.port_buffer.max(aeolus.drop_threshold);
+        aeolus.port_buffer = p.port_buffer;
         // SACK gap inference needs in-order delivery; any scheme whose
         // fabric sprays packets must rely on the probe alone.
         let sprays = self.route_policy() == RoutePolicy::Spray;
@@ -316,11 +331,11 @@ impl Scheme {
                         Scheme::ExpressPassAeolus => {
                             if p.use_wred {
                                 Box::new(WredQueue::new(
-                                    WredProfile::aeolus(threshold, buffer.max(threshold)),
-                                    buffer.max(threshold),
+                                    WredProfile::aeolus(threshold, buffer),
+                                    buffer,
                                 ))
                             } else {
-                                Box::new(RedEcnQueue::new(threshold, buffer.max(threshold)))
+                                Box::new(RedEcnQueue::new(threshold, buffer))
                             }
                         }
                         Scheme::ExpressPassOracle => Box::new(
@@ -363,11 +378,11 @@ impl Scheme {
                 if is_switch {
                     if p.use_wred {
                         Box::new(WredQueue::new(
-                            WredProfile::aeolus(threshold, buffer.max(threshold)),
-                            buffer.max(threshold),
+                            WredProfile::aeolus(threshold, buffer),
+                            buffer,
                         ))
                     } else {
-                        Box::new(RedEcnQueue::new(threshold, buffer.max(threshold)))
+                        Box::new(RedEcnQueue::new(threshold, buffer))
                     }
                 } else {
                     Box::new(DropTailQueue::new(HUGE))
@@ -403,7 +418,7 @@ impl Scheme {
             }
             Scheme::FastpassAeolus => {
                 if is_switch {
-                    Box::new(RedEcnQueue::new(threshold, buffer.max(threshold)))
+                    Box::new(RedEcnQueue::new(threshold, buffer))
                 } else {
                     Box::new(DropTailQueue::new(HUGE))
                 }
@@ -523,6 +538,19 @@ mod tests {
 
     fn params() -> SchemeParams {
         SchemeParams::new(us(5))
+    }
+
+    #[test]
+    fn params_validate_checks_the_effective_buffer() {
+        assert_eq!(params().validate(), Ok(()));
+        let mut p = params();
+        p.port_buffer = 4_000; // below the 6 KB default drop threshold
+        let err = p.validate().unwrap_err();
+        assert!(err.contains("drop_threshold"), "unhelpful error: {err}");
+        // The aeolus config's own pair is still checked too.
+        let mut p = params();
+        p.aeolus.port_buffer = 1_000;
+        assert!(p.validate().is_err());
     }
 
     #[test]

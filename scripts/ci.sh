@@ -6,11 +6,21 @@ cd "$(dirname "$0")/.."
 cargo build --workspace --release
 cargo test -q --workspace
 
+# Zero-alloc proof in release mode: steady-state forwarding must not touch
+# the global allocator after warm-up (counting-allocator integration test).
+cargo test --release -q --test zero_alloc
+
 # Bench targets compile and run in quick mode (2 iterations, no report).
 AEOLUS_BENCH_ITERS=2 AEOLUS_BENCH_WARMUP=1 cargo bench -p aeolus-bench --bench engine
+AEOLUS_BENCH_ITERS=2 AEOLUS_BENCH_WARMUP=1 cargo bench -p aeolus-bench --bench alloc
 
 # One end-to-end experiment at smoke scale, exercising the parallel fan-out.
 cargo run --release -q -p aeolus-experiments --bin repro -- fig1 --scale smoke --jobs 2
+
+# Calibration gate: `repro validate` checks RTT/throughput/fairness against
+# explicit tolerances and exits non-zero on any violation, so a drifting
+# substrate fails CI here instead of producing silently-wrong figures.
+cargo run --release -q -p aeolus-experiments --bin repro -- validate --scale smoke
 
 # Trace smoke: capture one traced incast, check the JSONL parses and is
 # non-empty (every line a JSON object, with at least one queue event).
@@ -40,18 +50,24 @@ AEOLUS_BENCH_ITERS="${AEOLUS_BENCH_ITERS:-5}" AEOLUS_BENCH_WARMUP="${AEOLUS_BENC
     --engine-only --out "$bench_out"
 python3 - "$bench_out" results/bench.json <<'EOF'
 import json, os, sys
-def median(path, name):
+def bench(path, name):
     for suite in json.load(open(path))["suites"]:
         for b in suite["benches"]:
             if b["name"] == name:
-                return b["median_ns"]
+                return b
     raise SystemExit(f"{name} missing from {path}")
-fresh = median(sys.argv[1], "incast_sim_wheel")
-base = median(sys.argv[2], "incast_sim_wheel")
+fresh = bench(sys.argv[1], "incast_sim_wheel")
+base = bench(sys.argv[2], "incast_sim_wheel")
 tol = float(os.environ.get("AEOLUS_OVERHEAD_TOL", "0.15"))
-ratio = fresh / base
-print(f"NullTracer overhead: incast_sim_wheel {fresh} ns vs baseline {base} ns ({ratio:.3f}x)")
+ratio = fresh["median_ns"] / base["median_ns"]
+print(f"NullTracer overhead: incast_sim_wheel {fresh['median_ns']} ns vs baseline {base['median_ns']} ns ({ratio:.3f}x)")
 assert ratio <= 1.0 + tol, f"NullTracer kernel regressed {ratio:.3f}x > {1+tol:.2f}x baseline"
+# Events/s regression gate: the fresh engine kernel must sustain at least
+# (1 - tol) of the committed baseline's event rate, so throughput can't
+# silently regress between refreshes of results/bench.json.
+rate, floor = fresh["units_per_sec"], (1.0 - tol) * base["units_per_sec"]
+print(f"events/s gate: incast_sim_wheel {rate:.0f} events/s vs baseline {base['units_per_sec']:.0f} (floor {floor:.0f})")
+assert rate >= floor, f"engine throughput regressed: {rate:.0f} events/s < {floor:.0f} floor"
 EOF
 
 # Chaos smoke: the fault sweep (loss rate x fabric flap, all six schemes)
