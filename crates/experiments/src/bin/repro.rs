@@ -1,8 +1,10 @@
 //! `repro` — regenerate any table or figure of the Aeolus paper.
 //!
 //! ```text
-//! repro <experiment>... [--scale smoke|quick|full] [--csv DIR] [--jobs N] [--faults SPEC]
+//! repro <experiment>... [--scale smoke|quick|full] [--csv DIR] [--jobs N] [--faults SPEC] [--check]
 //! repro all [--scale ...]
+//! repro fuzz [--cases N] [--seed S]
+//! repro fuzz --spec 'scheme=... hosts=... flows=... faults=...'
 //! repro --trace <scheme>[@rounds] [--trace-out PATH] [--faults SPEC]
 //! repro --list
 //! ```
@@ -11,6 +13,16 @@
 //! a comma-separated spec like `loss=0.01,down=2ms..2.3ms,seed=7` (see
 //! `FaultPlan::from_str` for the full grammar). Experiments that carry their
 //! own explicit plan (the chaos sweep) ignore the session default.
+//!
+//! `--check` installs the conformance oracle on every workload-driven run:
+//! queue ledgers, drop legality, transmit causality, byte/credit
+//! conservation and per-scheme protocol invariants are verified online, and
+//! the first violating event aborts the run with full context. Numbers are
+//! unchanged — the oracle only observes.
+//!
+//! `repro fuzz` runs seeded random scenarios (scheme × topology × workload ×
+//! faults) under the full oracle and, on failure, greedily shrinks the case
+//! to a minimal one-line repro spec. `--spec` re-checks one such line.
 //!
 //! `--trace` runs the canonical 7:1 incast under a recording tracer and
 //! writes the capture as deterministic JSONL (default
@@ -23,9 +35,56 @@
 use std::time::Instant;
 
 use aeolus_experiments::{
-    registry, run_trace, set_default_faults, set_jobs, take_events_processed, FaultPlan, Scale,
-    TraceSpec,
+    fuzz, registry, run_trace, set_checked, set_default_faults, set_jobs,
+    take_events_processed, FaultPlan, Scale, Scenario, TraceSpec,
 };
+
+/// Run `f` with the panic hook silenced: the fuzzer catches oracle panics
+/// and reports them as one-line repros, so the default hook's backtrace
+/// spam for *expected* panics only buries the signal.
+fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    out
+}
+
+/// `repro fuzz`: run `cases` seeded scenarios under the conformance oracle,
+/// shrink the first failure to a minimal spec. Exit 1 on failure.
+fn run_fuzz(cases: usize, seed: u64) {
+    println!("fuzzing {cases} scenario(s) under the conformance oracle (seed {seed})...");
+    let t0 = Instant::now();
+    let report = with_quiet_panics(|| fuzz(cases, seed));
+    let secs = t0.elapsed().as_secs_f64();
+    match report {
+        None => println!("fuzz: all {cases} cases conform ({secs:.1}s)"),
+        Some(r) => {
+            eprintln!("fuzz: FAILURE at case {} (case seed {})", r.case, r.case_seed);
+            eprintln!("  original failure: {}", r.failure);
+            eprintln!("  minimized spec:   {}", r.minimized);
+            eprintln!("  minimized failure: {}", r.minimized_failure);
+            eprintln!("  rerun with: repro fuzz --spec '{}'", r.minimized);
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repro fuzz --spec LINE`: re-run one scenario spec under the oracle.
+fn run_spec(spec: &str) {
+    let scenario: Scenario = spec.parse().unwrap_or_else(|e| {
+        eprintln!("bad --spec '{spec}': {e}");
+        std::process::exit(2);
+    });
+    println!("checking: {scenario}");
+    match with_quiet_panics(|| scenario.check()) {
+        None => println!("spec conforms"),
+        Some(failure) => {
+            eprintln!("spec FAILS: {failure}");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,9 +93,41 @@ fn main() {
     let mut trace: Option<TraceSpec> = None;
     let mut trace_out: Option<std::path::PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
+    let mut fuzz_cases = 25usize;
+    let mut fuzz_seed = 1u64;
+    let mut fuzz_spec: Option<String> = None;
     let mut iter = args.iter().peekable();
     while let Some(a) = iter.next() {
         match a.as_str() {
+            "--check" => set_checked(true),
+            "--cases" => {
+                let v = iter.next().map(String::as_str).unwrap_or("");
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => fuzz_cases = n,
+                    _ => {
+                        eprintln!("--cases wants a positive integer, got '{v}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--seed" => {
+                let v = iter.next().map(String::as_str).unwrap_or("");
+                match v.parse::<u64>() {
+                    Ok(n) => fuzz_seed = n,
+                    _ => {
+                        eprintln!("--seed wants an integer, got '{v}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--spec" => {
+                let v = iter.next().map(String::as_str).unwrap_or("");
+                if v.is_empty() {
+                    eprintln!("--spec wants a scenario line");
+                    std::process::exit(2);
+                }
+                fuzz_spec = Some(v.to_string());
+            }
             "--trace" => {
                 let v = iter.next().map(String::as_str).unwrap_or("");
                 trace = Some(v.parse().unwrap_or_else(|e| {
@@ -110,9 +201,20 @@ fn main() {
         }
         return;
     }
+    if wanted.iter().any(|w| w == "fuzz") {
+        if wanted.len() > 1 {
+            eprintln!("'fuzz' does not combine with other experiments");
+            std::process::exit(2);
+        }
+        match fuzz_spec {
+            Some(spec) => run_spec(&spec),
+            None => run_fuzz(fuzz_cases, fuzz_seed),
+        }
+        return;
+    }
     if wanted.is_empty() {
         eprintln!(
-            "usage: repro <experiment>... [--scale smoke|quick|full] [--csv DIR] [--jobs N] [--faults SPEC] | repro all | repro --trace <scheme>[@rounds] [--trace-out PATH] [--faults SPEC] | repro --list"
+            "usage: repro <experiment>... [--scale smoke|quick|full] [--csv DIR] [--jobs N] [--faults SPEC] [--check] | repro all | repro fuzz [--cases N] [--seed S] [--spec LINE] | repro --trace <scheme>[@rounds] [--trace-out PATH] [--faults SPEC] | repro --list"
         );
         std::process::exit(2);
     }

@@ -45,9 +45,10 @@ pub mod tab05;
 
 pub use report::Report;
 pub use runner::{
-    collect, default_faults, jobs, parallel_map, run_flows, run_many, run_workload,
-    set_default_faults, set_jobs, take_events_processed, RunConfig, RunOutput,
+    checked, collect, default_faults, jobs, parallel_map, run_flows, run_many, run_workload,
+    set_checked, set_default_faults, set_jobs, take_events_processed, RunConfig, RunOutput,
 };
+pub use aeolus_transport::fuzz::{fuzz, shrink, FuzzReport, Scenario};
 pub use aeolus_sim::{FaultPlan, SchedulerKind};
 pub use scale::Scale;
 pub use trace::{run_trace, TraceOutput, TraceSpec};

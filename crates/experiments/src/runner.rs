@@ -5,11 +5,11 @@
 //! via [`run_many`] / [`parallel_map`]. Results always come back in input
 //! order, so serial and parallel execution produce identical output vectors.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use aeolus_sim::units::{ms, Time, PS_PER_SEC};
-use aeolus_sim::{FaultPlan, FlowDesc};
+use aeolus_sim::{FaultPlan, FlowDesc, Tracer};
 use aeolus_stats::{FctAggregator, FctSample};
 use aeolus_transport::{Harness, Scheme, SchemeBuilder, SchemeParams, TopoSpec};
 use aeolus_workloads::{poisson_flows, PoissonConfig, Workload};
@@ -64,6 +64,24 @@ pub fn default_faults() -> FaultPlan {
 /// harness directly instead of going through [`collect`].
 pub fn note_events(n: u64) {
     EVENTS_PROCESSED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Session-wide conformance-checking switch (`repro --check`). When set,
+/// every [`run_workload`] harness is built via
+/// [`SchemeBuilder::build_checked`], so the full conformance oracle rides
+/// the experiment and panics at the first invariant-violating event.
+static CHECKED: AtomicBool = AtomicBool::new(false);
+
+/// Turn session-wide conformance checking on or off (the `--check` CLI
+/// flag). Checked runs are slower; numbers are unchanged because the oracle
+/// only observes.
+pub fn set_checked(on: bool) {
+    CHECKED.store(on, Ordering::Relaxed);
+}
+
+/// Is session-wide conformance checking on?
+pub fn checked() -> bool {
+    CHECKED.load(Ordering::Relaxed)
 }
 
 /// One simulation run's configuration.
@@ -154,9 +172,26 @@ pub fn run_workload(cfg: &RunConfig) -> RunOutput {
     if params.faults.is_empty() {
         params.faults = default_faults();
     }
-    let mut h = SchemeBuilder::new(cfg.scheme).params(params).topology(cfg.spec).build();
+    let builder = SchemeBuilder::new(cfg.scheme).params(params).topology(cfg.spec);
+    if checked() {
+        // `--check`: same run, but the conformance oracle observes every
+        // event and the wire-level delivery ledger is audited at the end.
+        let mut h = builder.build_checked();
+        let flows = poisson_for(cfg, &mut h);
+        let out = run_flows(&mut h, &flows, cfg.drain);
+        h.topo.net.tracer().assert_flows_complete(h.metrics());
+        out
+    } else {
+        let mut h = builder.build();
+        let flows = poisson_for(cfg, &mut h);
+        run_flows(&mut h, &flows, cfg.drain)
+    }
+}
+
+/// Generate the Poisson flow list for `cfg` against a built harness.
+fn poisson_for<T: Tracer>(cfg: &RunConfig, h: &mut Harness<T>) -> Vec<FlowDesc> {
     let hosts = h.hosts().to_vec();
-    let flows = poisson_flows(
+    poisson_flows(
         &PoissonConfig {
             load: cfg.load,
             host_rate: h.topo.host_rate,
@@ -167,12 +202,12 @@ pub fn run_workload(cfg: &RunConfig) -> RunOutput {
         },
         &hosts,
         &cfg.workload.dist(),
-    );
-    run_flows(&mut h, &flows, cfg.drain)
+    )
 }
 
-/// Run an arbitrary flow list on a prepared harness.
-pub fn run_flows(h: &mut Harness, flows: &[FlowDesc], drain: Time) -> RunOutput {
+/// Run an arbitrary flow list on a prepared harness (any tracer — the
+/// conformance oracle from `--check` rides through here unchanged).
+pub fn run_flows<T: Tracer>(h: &mut Harness<T>, flows: &[FlowDesc], drain: Time) -> RunOutput {
     h.schedule(flows);
     let last_arrival = flows.iter().map(|f| f.start).max().unwrap_or(0);
     let horizon = last_arrival + drain;
@@ -181,7 +216,7 @@ pub fn run_flows(h: &mut Harness, flows: &[FlowDesc], drain: Time) -> RunOutput 
 }
 
 /// Collect statistics from a finished harness.
-pub fn collect(h: &Harness) -> RunOutput {
+pub fn collect<T: Tracer>(h: &Harness<T>) -> RunOutput {
     let m = h.metrics();
     let mut agg = FctAggregator::new();
     for rec in m.flows() {
@@ -279,6 +314,22 @@ mod tests {
             assert!(s.slowdown() >= 0.99, "slowdown {} for size {}", s.slowdown(), s.size);
         }
         assert!(out.events > 0, "a completed run must have processed events");
+    }
+
+    #[test]
+    fn checked_mode_runs_the_oracle_over_a_workload() {
+        // Same workload as above, but with the conformance oracle riding
+        // every event (`repro --check`). Numbers must be unaffected.
+        let mut cfg = RunConfig::new(Scheme::NdpAeolus, testbed(), Workload::WebServer);
+        cfg.n_flows = 25;
+        cfg.load = 0.3;
+        let plain = run_workload(&cfg);
+        set_checked(true);
+        let checked_out = run_workload(&cfg);
+        set_checked(false);
+        assert_eq!(plain.completed, checked_out.completed);
+        assert_eq!(plain.events, checked_out.events, "the oracle only observes");
+        assert_eq!(plain.span, checked_out.span);
     }
 
     #[test]

@@ -750,6 +750,90 @@ mod tests {
         assert_eq!(wheel, heap, "schedulers must agree event-for-event");
     }
 
+    /// Differential check at extreme horizons: timestamps spanning many full
+    /// wheel rotations (forcing repeated overflow-heap refills), clustered
+    /// just inside/outside rotation boundaries, and re-entrant schedules
+    /// landing exactly on `now`. The wheel must stay pop-for-pop identical
+    /// to the reference heap.
+    #[test]
+    fn wheel_matches_heap_beyond_rotation_horizons() {
+        let horizon = (WHEEL_SIZE as u64) << TICK_SHIFT;
+        for seed in 0..6u64 {
+            let run = |kind: SchedulerKind| {
+                let mut rng = SimRng::seed_from_u64(0xA01u64 ^ seed);
+                let mut q = EventQueue::with_scheduler(kind);
+                for i in 0..400 {
+                    let at = match i % 5 {
+                        // Far future: up to ~1000 wheel rotations out.
+                        0 => rng.below(1000) * horizon + rng.below(horizon),
+                        // Hugging a rotation boundary from both sides.
+                        1 => (rng.range_u64(1, 8)) * horizon - rng.below(3),
+                        2 => (rng.below(8)) * horizon + rng.below(3),
+                        // Same tick, different sub-tick offsets.
+                        3 => (5 << TICK_SHIFT) + rng.below(1 << TICK_SHIFT),
+                        // Near events.
+                        _ => rng.below(1 << TICK_SHIFT),
+                    };
+                    q.schedule_at(at, timer(i));
+                }
+                let mut popped = Vec::new();
+                let mut extra = 10_000u64;
+                while let Some((t, e)) = q.pop() {
+                    let token = match e {
+                        Event::Timer { token, .. } => token,
+                        _ => unreachable!(),
+                    };
+                    popped.push((t, token));
+                    if popped.len() % 11 == 0 && extra < 10_100 {
+                        // Re-entrant: zero-delay, next-rotation, far-future.
+                        let at = match extra % 3 {
+                            0 => t,
+                            1 => t + horizon + rng.below(1 << TICK_SHIFT),
+                            _ => t + 50 * horizon,
+                        };
+                        q.schedule_at(at, timer(extra));
+                        extra += 1;
+                    }
+                }
+                popped
+            };
+            let wheel = run(SchedulerKind::TimingWheel);
+            let heap = run(SchedulerKind::BinaryHeap);
+            assert_eq!(wheel, heap, "seed {seed}: schedulers disagree at extreme horizons");
+        }
+    }
+
+    /// Events sharing one timestamp (and one wheel tick) pop in insertion
+    /// order on both schedulers — the FIFO stability the engine's
+    /// same-instant causality depends on.
+    #[test]
+    fn same_tick_ordering_is_insertion_stable() {
+        let horizon = (WHEEL_SIZE as u64) << TICK_SHIFT;
+        // Same instant, same tick (different instants), and a far-future
+        // tick that only materializes after an overflow refill.
+        for base in [0u64, 3 << TICK_SHIFT, 7 * horizon + (9 << TICK_SHIFT)] {
+            for kind in BOTH {
+                let mut q = EventQueue::with_scheduler(kind);
+                for i in 0..64 {
+                    // Two interleaved cohorts at two sub-tick instants.
+                    q.schedule_at(base + (i % 2), timer(i));
+                }
+                let popped: Vec<(Time, u64)> = std::iter::from_fn(|| q.pop())
+                    .map(|(t, e)| match e {
+                        Event::Timer { token, .. } => (t, token),
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                let expect: Vec<(Time, u64)> = (0..64)
+                    .filter(|i| i % 2 == 0)
+                    .map(|i| (base, i))
+                    .chain((0..64).filter(|i| i % 2 == 1).map(|i| (base + 1, i)))
+                    .collect();
+                assert_eq!(popped, expect, "kind {kind:?} base {base}");
+            }
+        }
+    }
+
     #[test]
     fn len_tracks_pending_events() {
         let mut q = EventQueue::new();

@@ -30,6 +30,7 @@
 //! zero random numbers and schedules zero events** — the engine's fast path
 //! is byte-for-byte identical to a build without faults.
 
+use std::fmt;
 use std::str::FromStr;
 
 use crate::packet::{NodeId, Packet, PacketKind, PortId, TrafficClass};
@@ -347,6 +348,9 @@ impl FromStr for FaultPlan {
                             }
                             let n: u32 =
                                 n.parse().map_err(|_| format!("bad slowdown '{n}' in '{tok}'"))?;
+                            if n < 1 {
+                                return Err(format!("slowdown must be >= 1 in '{tok}'"));
+                            }
                             (r, Some(n))
                         }
                         None => {
@@ -374,6 +378,70 @@ impl FromStr for FaultPlan {
             }
         }
         Ok(plan)
+    }
+}
+
+/// Render a time in the largest unit that divides it exactly (the forms
+/// [`parse_time`] accepts), falling back to bare picoseconds.
+fn fmt_time(t: Time) -> String {
+    if t == 0 {
+        return "0".into();
+    }
+    for (scale, unit) in
+        [(PS_PER_SEC, "s"), (PS_PER_MS, "ms"), (PS_PER_US, "us"), (PS_PER_NS, "ns")]
+    {
+        if t % scale == 0 {
+            return format!("{}{unit}", t / scale);
+        }
+    }
+    format!("{t}")
+}
+
+impl fmt::Display for FaultPlan {
+    /// The canonical `--faults` spec for this plan: `Display` then
+    /// [`FromStr`] round-trips to an equal plan for every plan the grammar
+    /// can express. Link targeting beyond [`LinkFilter::All`] (builder-only)
+    /// is not expressible and renders as the all-links directive.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        let mut sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            if first {
+                first = false;
+                Ok(())
+            } else {
+                write!(f, ", ")
+            }
+        };
+        for rule in &self.corruption {
+            let key = match rule.filter {
+                PacketFilter::Any => "loss",
+                PacketFilter::Data => "data-loss",
+                PacketFilter::Control => "ctrl-loss",
+                PacketFilter::Credit => "credit-loss",
+                PacketFilter::Ack => "ack-loss",
+                PacketFilter::Probe => "probe-loss",
+                PacketFilter::Scheduled => "sched-loss",
+                PacketFilter::Unscheduled => "unsched-loss",
+            };
+            sep(f)?;
+            write!(f, "{key}={}", rule.prob)?;
+        }
+        for w in &self.windows {
+            sep(f)?;
+            match w.kind {
+                WindowKind::Down => {
+                    write!(f, "down={}..{}", fmt_time(w.from), fmt_time(w.until))?;
+                }
+                WindowKind::Degraded { slowdown } => {
+                    write!(f, "degrade={}..{}@{slowdown}", fmt_time(w.from), fmt_time(w.until))?;
+                }
+            }
+        }
+        if self.seed != 0 {
+            sep(f)?;
+            write!(f, "seed={}", self.seed)?;
+        }
+        Ok(())
     }
 }
 
@@ -514,6 +582,53 @@ mod tests {
         assert!("degrade=1ms..2ms".parse::<FaultPlan>().is_err());
         assert!("loss".parse::<FaultPlan>().is_err());
         assert!("down=oops".parse::<FaultPlan>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips_through_the_grammar() {
+        let specs = [
+            "loss=0.005",
+            "loss=0.005, credit-loss=0.02, down=1ms..1500us, degrade=2ms..3ms@4, seed=9",
+            "data-loss=0.1, ctrl-loss=0.25, ack-loss=1, probe-loss=0.5",
+            "sched-loss=0.001, unsched-loss=0.002, down=0..300ns",
+            "degrade=1us..1000001@2",
+            "",
+        ];
+        for spec in specs {
+            let plan: FaultPlan = spec.parse().unwrap();
+            let rendered = plan.to_string();
+            let reparsed: FaultPlan =
+                rendered.parse().unwrap_or_else(|e| panic!("'{rendered}' did not reparse: {e}"));
+            assert_eq!(plan, reparsed, "spec '{spec}' rendered as '{rendered}'");
+            // A second round is a fixpoint: the rendering is canonical.
+            assert_eq!(reparsed.to_string(), rendered);
+        }
+    }
+
+    #[test]
+    fn display_projects_builder_only_link_filters_to_all() {
+        let plan = FaultPlan::new(0).with_down(ms(1), ms(2), LinkFilter::Node(NodeId(3)));
+        let reparsed: FaultPlan = plan.to_string().parse().unwrap();
+        assert_eq!(reparsed.windows[0].links, LinkFilter::All);
+        assert_eq!(reparsed.windows[0].from, ms(1));
+        assert_eq!(reparsed.windows[0].until, ms(2));
+    }
+
+    #[test]
+    fn malformed_specs_report_the_offending_directive() {
+        let err = |s: &str| s.parse::<FaultPlan>().unwrap_err();
+        assert!(err("loss=2").contains("outside [0, 1]"), "{}", err("loss=2"));
+        assert!(err("loss=150%").contains("outside [0, 1]"));
+        assert!(err("down=2ms..1ms").contains("empty window"));
+        assert!(err("down=1ms..1ms").contains("empty window"));
+        assert!(err("down=1xs..2xs").contains("unknown time unit"));
+        assert!(err("down=1ms..4parsecs").contains("unknown time unit"));
+        assert!(err("degrade=1ms..2ms@0").contains("slowdown must be >= 1"));
+        assert!(err("degrade=1ms..2ms@fast").contains("bad slowdown"));
+        assert!(err("seed=banana").contains("bad seed"));
+        assert!(err("loss=banana").contains("bad probability"));
+        assert!(err("flubber=1").contains("unknown fault directive"));
+        assert!(err("loss").contains("not KEY=VALUE"));
     }
 
     #[test]

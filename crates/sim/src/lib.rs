@@ -76,6 +76,7 @@ pub mod faults;
 pub mod metrics;
 pub mod network;
 pub mod node;
+pub mod oracle;
 pub mod packet;
 pub mod pool;
 pub mod port;
@@ -92,6 +93,7 @@ pub use event::{Event, EventQueue, SchedulerKind};
 pub use faults::{CorruptionRule, FaultPlan, LinkFilter, LinkWindow, PacketFilter, WindowKind};
 pub use metrics::{FlowRecord, Metrics};
 pub use network::{Network, TraceEvent, TraceKind};
+pub use oracle::{CheckedTracer, OracleProfile};
 pub use packet::{
     Ecn, FlowDesc, FlowId, NodeId, Packet, PacketKind, PortId, TrafficClass, CREDIT_BYTES,
     HEADER_BYTES, MIN_PACKET_BYTES,
@@ -106,8 +108,8 @@ pub use rangeset::RangeSet;
 pub use rng::SimRng;
 pub use routing::{RoutePolicy, RouteTable};
 pub use telemetry::{
-    FaultEvent, LossCause, NullTracer, QueueEvent, QueueRecord, RecordingConfig, RecordingTracer,
-    TraceSink, Tracer, TransportEvent,
+    FaultEvent, HostEvent, LossCause, NullTracer, QueueEvent, QueueRecord, RecordingConfig,
+    RecordingTracer, TraceSink, Tracer, TransportEvent,
 };
 pub use topology::{
     fat_tree, fat_tree_with, leaf_spine, leaf_spine_with, single_switch, single_switch_with,

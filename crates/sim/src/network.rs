@@ -11,7 +11,7 @@ use crate::port::{Link, Port};
 use crate::queues::{DropReason, EnqueueOutcome, Poll, QueueDisc};
 use crate::rng::SimRng;
 use crate::routing::{RoutePolicy, RouteTable};
-use crate::telemetry::{FaultEvent, NullTracer, QueueEvent, QueueRecord, Tracer};
+use crate::telemetry::{FaultEvent, HostEvent, NullTracer, QueueEvent, QueueRecord, Tracer};
 use crate::units::{Rate, Time};
 
 /// One recorded event of a traced flow's packet life.
@@ -397,8 +397,15 @@ impl<T: Tracer> Network<T> {
                 if T::ENABLED {
                     let pkt = pool.get(r);
                     if pkt.is_data() && pkt.payload > 0 {
-                        let (class, payload) = (pkt.class, pkt.payload as u64);
-                        self.tracer.packet_delivered(now, class, payload);
+                        let ev = HostEvent {
+                            at: now,
+                            flow: pkt.flow,
+                            seq: pkt.seq,
+                            class: pkt.class,
+                            payload: pkt.payload as u64,
+                            retransmit: pkt.retransmit,
+                        };
+                        self.tracer.packet_delivered(&ev);
                     }
                 }
                 // The endpoint consumes the packet by value; its slot is
@@ -671,7 +678,15 @@ impl<T: Tracer> Network<T> {
                     self.metrics.note_retransmit(pkt.flow, pkt.payload as u64);
                 }
                 if T::ENABLED {
-                    self.tracer.packet_launched(now, pkt.class, pkt.payload as u64);
+                    let ev = HostEvent {
+                        at: now,
+                        flow: pkt.flow,
+                        seq: pkt.seq,
+                        class: pkt.class,
+                        payload: pkt.payload as u64,
+                        retransmit: pkt.retransmit,
+                    };
+                    self.tracer.packet_launched(&ev);
                 }
             }
             let r = self.pool.insert(pkt);

@@ -1,0 +1,770 @@
+//! Online conformance oracle: a [`Tracer`] that cross-checks every engine
+//! event against independent models and panics at the first violation.
+//!
+//! The scattered end-of-run assertions (`tests/invariants.rs`, transport
+//! tests) can only observe a violation after it has laundered itself into
+//! final metrics. The [`CheckedTracer`] instead rides the statically
+//! dispatched tracer seam — the default [`crate::NullTracer`] build still
+//! compiles every hook away — and maintains *online* models:
+//!
+//! - **Clock monotonicity**: no hook may observe time running backwards.
+//! - **Queue occupancy ledgers**: an independent byte/packet ledger per
+//!   egress queue, replayed from enqueue/trim/dequeue/drop events and
+//!   compared to the occupancy each discipline reports. Catches disciplines
+//!   that leak, double-count, or silently discard packets.
+//! - **Drop legality** (Aeolus §3.1): selective dropping may only ever
+//!   remove *unscheduled* packets — a `SelectiveDrop` of a scheduled or
+//!   control packet is the paper's cardinal sin. `CreditOverflow` may only
+//!   hit credit packets (ExpressPass §4).
+//! - **Transmitter causality**: a port may not start serializing a packet
+//!   before the previous one has left at the registered link rate (FIFO
+//!   ordering of the wire itself).
+//! - **Per-flow byte conservation**: the network may lose payload but never
+//!   mint it — delivered bytes can never exceed launched bytes.
+//! - **Credit conservation** (ExpressPass): a sender can never have consumed
+//!   more credit than receivers issued for the flow.
+//! - **One-burst budget** (Aeolus §3.1): at most one pre-credit unscheduled
+//!   burst per flow, its sent bytes within the declared budget, and every
+//!   first-transmission unscheduled byte accounted against that budget.
+//! - **Retransmission pairing** (Aeolus §3.3): a sender retransmits at most
+//!   the bytes it has declared lost — a double retransmission trips the
+//!   oracle at the second `Retransmit` event.
+//!
+//! The protocol-level checks are gated by an [`OracleProfile`] because not
+//! every scheme emits every event family (e.g. DCTCP issues no credits);
+//! the engine-level checks are unconditional.
+//!
+//! Violations panic with a `conformance violation [check] …` message that
+//! carries the event, flow and port context, so a failing run points at the
+//! first bad event instead of a corrupted figure three layers later.
+
+use std::collections::BTreeMap;
+
+use crate::metrics::Metrics;
+use crate::packet::{FlowId, NodeId, PacketKind, PortId, TrafficClass, MIN_PACKET_BYTES};
+use crate::queues::DropReason;
+use crate::rangeset::RangeSet;
+use crate::telemetry::{
+    class_str, kind_str, FaultEvent, HostEvent, QueueEvent, QueueRecord, TraceSink, Tracer,
+    TransportEvent,
+};
+use crate::units::{Rate, Time};
+
+/// Which protocol-level invariant families the oracle enforces.
+///
+/// Engine-level checks (monotonicity, queue ledgers, drop legality,
+/// transmitter causality, byte conservation) are always on; these flags gate
+/// the checks that depend on a scheme actually emitting the corresponding
+/// [`TransportEvent`] families with the expected discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleProfile {
+    /// Credit receipts may never exceed credit issues per flow.
+    pub credit_conservation: bool,
+    /// At most one unscheduled burst per flow, bounded by its declared
+    /// budget (the one-BDP rule).
+    pub burst_budget: bool,
+    /// Cumulative retransmitted bytes may never exceed cumulative
+    /// loss-detected bytes per flow.
+    pub retransmit_pairing: bool,
+}
+
+impl Default for OracleProfile {
+    fn default() -> OracleProfile {
+        OracleProfile { credit_conservation: true, burst_budget: true, retransmit_pairing: true }
+    }
+}
+
+impl OracleProfile {
+    /// Only the unconditional engine-level checks; every protocol-level
+    /// family off. The safe choice for hand-built endpoints that emit no
+    /// transport events.
+    pub fn universal() -> OracleProfile {
+        OracleProfile { credit_conservation: false, burst_budget: false, retransmit_pairing: false }
+    }
+}
+
+/// Independent occupancy model of one egress queue.
+#[derive(Debug, Default)]
+struct PortModel {
+    rate_bps: u64,
+    rate: Option<Rate>,
+    bytes: u64,
+    pkts: usize,
+    /// Earliest time the next serialization may start (base link rate, so a
+    /// lower bound under degraded-link fault windows).
+    busy_until: Time,
+}
+
+/// Per-flow protocol ledgers.
+#[derive(Debug, Default)]
+struct FlowModel {
+    launched: u64,
+    delivered_raw: u64,
+    delivered: RangeSet,
+    issued: u64,
+    receipts: u64,
+    detected: u64,
+    retransmitted: u64,
+    bursts: u32,
+    burst_open: bool,
+    burst_budget: u64,
+    burst_total: u64,
+    unsched_launched: u64,
+}
+
+/// The conformance oracle. Install in place of a recording tracer (e.g. via
+/// `SchemeBuilder::build_checked` in `aeolus-transport`, or
+/// [`crate::Network::with_tracer`] directly); every violating event panics
+/// immediately with full context.
+#[derive(Debug)]
+pub struct CheckedTracer {
+    profile: OracleProfile,
+    now: Time,
+    events: u64,
+    ports: BTreeMap<(NodeId, PortId), PortModel>,
+    flows: BTreeMap<FlowId, FlowModel>,
+}
+
+impl Default for CheckedTracer {
+    fn default() -> CheckedTracer {
+        CheckedTracer::new()
+    }
+}
+
+impl CheckedTracer {
+    /// An oracle with every check enabled (the default profile).
+    pub fn new() -> CheckedTracer {
+        CheckedTracer::with_profile(OracleProfile::default())
+    }
+
+    /// An oracle with an explicit protocol-check profile.
+    pub fn with_profile(profile: OracleProfile) -> CheckedTracer {
+        CheckedTracer {
+            profile,
+            now: 0,
+            events: 0,
+            ports: BTreeMap::new(),
+            flows: BTreeMap::new(),
+        }
+    }
+
+    /// Replace the protocol-check profile (e.g. after a scheme is chosen).
+    pub fn set_profile(&mut self, profile: OracleProfile) {
+        self.profile = profile;
+    }
+
+    /// The active profile.
+    pub fn profile(&self) -> OracleProfile {
+        self.profile
+    }
+
+    /// Number of events the oracle has checked so far.
+    pub fn events_checked(&self) -> u64 {
+        self.events
+    }
+
+    /// End-of-run check: every flow the metrics claim complete must have had
+    /// its full byte range actually delivered through the network (as seen
+    /// by the delivery hook), i.e. app-level completion cannot outrun
+    /// wire-level delivery.
+    ///
+    /// # Panics
+    /// Panics with a `conformance violation` message on the first flow whose
+    /// delivered coverage falls short of its size.
+    pub fn assert_flows_complete(&self, metrics: &Metrics) {
+        for r in metrics.flows() {
+            if r.completed_at.is_none() {
+                continue;
+            }
+            let covered = self
+                .flows
+                .get(&r.desc.id)
+                .map(|f| f.delivered.covered_in(0, r.desc.size))
+                .unwrap_or(0);
+            if covered != r.desc.size {
+                self.fail(
+                    "delivery-coverage",
+                    format!(
+                        "flow={} marked complete but the network delivered only {covered} of {} \
+                         bytes",
+                        r.desc.id.0, r.desc.size
+                    ),
+                );
+            }
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn fail(&self, check: &str, msg: String) -> ! {
+        panic!(
+            "conformance violation [{check}] at {} ps (event #{}): {msg}",
+            self.now, self.events
+        );
+    }
+
+    /// Advance the oracle clock; time must never run backwards.
+    fn see(&mut self, at: Time) {
+        self.events += 1;
+        if at < self.now {
+            let now = self.now;
+            self.fail("clock", format!("event at {at} ps after the clock reached {now} ps"));
+        }
+        self.now = at;
+    }
+
+    fn flow_mut(&mut self, flow: FlowId) -> &mut FlowModel {
+        self.flows.entry(flow).or_default()
+    }
+}
+
+impl TraceSink for CheckedTracer {
+    fn port_registered(&mut self, node: NodeId, port: PortId, rate: Rate, to: NodeId) {
+        let _ = to;
+        let pm = self.ports.entry((node, port)).or_default();
+        pm.rate_bps = rate.bps();
+        pm.rate = Some(rate);
+    }
+
+    fn queue_event(&mut self, rec: &QueueRecord) {
+        self.see(rec.at);
+        // Drop legality first: these depend only on the record itself.
+        if let QueueEvent::Drop(reason) = rec.ev {
+            match reason {
+                DropReason::SelectiveDrop if rec.class != TrafficClass::Unscheduled => {
+                    self.fail(
+                        "drop-class",
+                        format!(
+                            "selective drop of protected {} packet flow={} seq={} at node={} \
+                             port={}",
+                            class_str(rec.class),
+                            rec.flow.0,
+                            rec.seq,
+                            rec.node.0,
+                            rec.port.0
+                        ),
+                    );
+                }
+                DropReason::CreditOverflow if rec.kind != PacketKind::Credit => {
+                    self.fail(
+                        "drop-class",
+                        format!(
+                            "credit-overflow drop of non-credit {} packet flow={} seq={} at \
+                             node={} port={}",
+                            kind_str(rec.kind),
+                            rec.flow.0,
+                            rec.seq,
+                            rec.node.0,
+                            rec.port.0
+                        ),
+                    );
+                }
+                _ => {}
+            }
+        }
+        let pm = self.ports.entry((rec.node, rec.port)).or_default();
+        match rec.ev {
+            QueueEvent::Enqueue | QueueEvent::EnqueueMarked => {
+                pm.bytes += rec.size as u64;
+                pm.pkts += 1;
+            }
+            QueueEvent::EnqueueTrimmed => {
+                // `rec.size` is the pre-trim wire size; the queue holds the
+                // trimmed header.
+                pm.bytes += MIN_PACKET_BYTES as u64;
+                pm.pkts += 1;
+            }
+            QueueEvent::Dequeue => {
+                if pm.pkts == 0 || pm.bytes < rec.size as u64 {
+                    let (b, p) = (pm.bytes, pm.pkts);
+                    self.fail(
+                        "queue-ledger",
+                        format!(
+                            "dequeue of {} bytes (flow={} seq={}) from node={} port={} which the \
+                             ledger holds at {b} bytes / {p} pkts",
+                            rec.size, rec.flow.0, rec.seq, rec.node.0, rec.port.0
+                        ),
+                    );
+                }
+                pm.bytes -= rec.size as u64;
+                pm.pkts -= 1;
+            }
+            QueueEvent::Drop(_) => {}
+        }
+        let pm = &self.ports[&(rec.node, rec.port)];
+        if pm.bytes != rec.qlen_bytes || pm.pkts != rec.qlen_pkts {
+            let (b, p) = (pm.bytes, pm.pkts);
+            self.fail(
+                "queue-ledger",
+                format!(
+                    "node={} port={} reports {} bytes / {} pkts after {:?} of flow={} seq={}, \
+                     ledger says {b} bytes / {p} pkts",
+                    rec.node.0, rec.port.0, rec.qlen_bytes, rec.qlen_pkts, rec.ev, rec.flow.0,
+                    rec.seq
+                ),
+            );
+        }
+    }
+
+    fn queue_bands(&mut self, at: Time, _node: NodeId, _port: PortId, _bands: &[(&'static str, u64)]) {
+        self.see(at);
+    }
+
+    fn link_tx(&mut self, at: Time, node: NodeId, port: PortId, wire_bytes: u64) {
+        self.see(at);
+        let pm = self.ports.entry((node, port)).or_default();
+        if let Some(rate) = pm.rate {
+            if at < pm.busy_until {
+                let busy = pm.busy_until;
+                self.fail(
+                    "tx-causality",
+                    format!(
+                        "node={} port={} starts serializing {wire_bytes} bytes at {at} ps while \
+                         the previous packet occupies the wire until {busy} ps",
+                        node.0, port.0
+                    ),
+                );
+            }
+            pm.busy_until = at + rate.serialize(wire_bytes);
+        }
+    }
+
+    fn packet_launched(&mut self, ev: &HostEvent) {
+        self.see(ev.at);
+        let burst_check = self.profile.burst_budget;
+        let fm = self.flow_mut(ev.flow);
+        fm.launched += ev.payload;
+        if ev.class == TrafficClass::Unscheduled && !ev.retransmit {
+            fm.unsched_launched += ev.payload;
+            if burst_check && fm.unsched_launched > fm.burst_total {
+                let (sent, budget) = (fm.unsched_launched, fm.burst_total);
+                self.fail(
+                    "burst-budget",
+                    format!(
+                        "flow={} launched {sent} unscheduled first-transmission bytes against a \
+                         declared burst budget of {budget} (seq={})",
+                        ev.flow.0, ev.seq
+                    ),
+                );
+            }
+        }
+    }
+
+    fn packet_delivered(&mut self, ev: &HostEvent) {
+        self.see(ev.at);
+        let fm = self.flow_mut(ev.flow);
+        fm.delivered_raw += ev.payload;
+        fm.delivered.insert(ev.seq, ev.seq + ev.payload);
+        if fm.delivered_raw > fm.launched {
+            let (d, l) = (fm.delivered_raw, fm.launched);
+            self.fail(
+                "byte-conservation",
+                format!(
+                    "flow={} delivered {d} payload bytes but only {l} were launched (seq={}): the \
+                     network cannot create payload",
+                    ev.flow.0, ev.seq
+                ),
+            );
+        }
+    }
+
+    fn transport_event(&mut self, at: Time, host: NodeId, ev: &TransportEvent) {
+        self.see(at);
+        let profile = self.profile;
+        match *ev {
+            TransportEvent::CreditIssue { flow, bytes } => {
+                self.flow_mut(flow).issued += bytes;
+            }
+            TransportEvent::CreditReceipt { flow, bytes } => {
+                let fm = self.flow_mut(flow);
+                fm.receipts += bytes;
+                if profile.credit_conservation && fm.receipts > fm.issued {
+                    let (r, i) = (fm.receipts, fm.issued);
+                    self.fail(
+                        "credit-conservation",
+                        format!(
+                            "flow={} consumed {r} credit bytes at host={} but only {i} were \
+                             issued",
+                            flow.0, host.0
+                        ),
+                    );
+                }
+            }
+            TransportEvent::BurstStart { flow, bytes } => {
+                let fm = self.flow_mut(flow);
+                fm.bursts += 1;
+                let bursts = fm.bursts;
+                if profile.burst_budget && (fm.burst_open || bursts > 1) {
+                    self.fail(
+                        "burst-budget",
+                        format!(
+                            "flow={} opened unscheduled burst #{bursts} at host={}: at most one \
+                             pre-credit burst is allowed",
+                            flow.0, host.0
+                        ),
+                    );
+                }
+                let fm = self.flow_mut(flow);
+                fm.burst_open = true;
+                fm.burst_budget = bytes;
+                fm.burst_total += bytes;
+            }
+            TransportEvent::BurstStop { flow, sent } => {
+                let fm = self.flow_mut(flow);
+                if profile.burst_budget {
+                    if !fm.burst_open {
+                        self.fail(
+                            "burst-budget",
+                            format!("flow={} stopped a burst that never started (host={})", flow.0, host.0),
+                        );
+                    }
+                    let budget = fm.burst_budget;
+                    if sent > budget {
+                        self.fail(
+                            "burst-budget",
+                            format!(
+                                "flow={} burst sent {sent} bytes over its {budget}-byte budget \
+                                 (host={})",
+                                flow.0, host.0
+                            ),
+                        );
+                    }
+                }
+                self.flow_mut(flow).burst_open = false;
+            }
+            TransportEvent::LossDetected { flow, bytes, .. } => {
+                self.flow_mut(flow).detected += bytes;
+            }
+            TransportEvent::Retransmit { flow, bytes, cause } => {
+                // Last-resort retransmission (Aeolus §3.3) is definitionally
+                // speculative: it resends unACKed first-RTT bytes with no
+                // preceding detection event, so it stays off this ledger.
+                if cause == crate::telemetry::LossCause::LastResort {
+                    return;
+                }
+                let fm = self.flow_mut(flow);
+                fm.retransmitted += bytes;
+                if profile.retransmit_pairing && fm.retransmitted > fm.detected {
+                    let (r, d) = (fm.retransmitted, fm.detected);
+                    self.fail(
+                        "retransmit-pairing",
+                        format!(
+                            "flow={} retransmitted {r} bytes ({cause:?}) at host={} but only {d} \
+                             were declared lost",
+                            flow.0, host.0
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    fn fault_event(&mut self, at: Time, _ev: &FaultEvent) {
+        // Wire kills happen post-dequeue, so the queue ledgers are already
+        // balanced; only the clock needs checking.
+        self.see(at);
+    }
+}
+
+impl Tracer for CheckedTracer {
+    const ENABLED: bool = true;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::{Ctx, Endpoint};
+    use crate::network::Network;
+    use crate::packet::{FlowDesc, Packet, PacketKind};
+    use crate::pool::{PacketPool, PacketRef};
+    use crate::queues::{DropTailQueue, EnqueueOutcome, Poll, QueueDisc};
+    use crate::routing::RoutePolicy;
+    use crate::telemetry::LossCause;
+    use crate::units::us;
+
+    fn rec(ev: QueueEvent, size: u32, qlen_bytes: u64, qlen_pkts: usize) -> QueueRecord {
+        QueueRecord {
+            at: 100,
+            node: NodeId(0),
+            port: PortId(0),
+            ev,
+            flow: FlowId(1),
+            seq: 0,
+            kind: PacketKind::Data,
+            class: TrafficClass::Unscheduled,
+            size,
+            payload: size - 40,
+            qlen_bytes,
+            qlen_pkts,
+        }
+    }
+
+    #[test]
+    fn clean_queue_sequence_passes() {
+        let mut t = CheckedTracer::new();
+        t.queue_event(&rec(QueueEvent::Enqueue, 1500, 1500, 1));
+        t.queue_event(&rec(QueueEvent::Enqueue, 1500, 3000, 2));
+        t.queue_event(&rec(QueueEvent::Dequeue, 1500, 1500, 1));
+        t.queue_event(&rec(QueueEvent::Drop(DropReason::BufferFull), 1500, 1500, 1));
+        t.queue_event(&rec(QueueEvent::Dequeue, 1500, 0, 0));
+        assert_eq!(t.events_checked(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "conformance violation [queue-ledger]")]
+    fn occupancy_mismatch_is_caught() {
+        let mut t = CheckedTracer::new();
+        t.queue_event(&rec(QueueEvent::Enqueue, 1500, 1500, 1));
+        // The queue claims 1500 bytes after a second enqueue: it lost one.
+        t.queue_event(&rec(QueueEvent::Enqueue, 1500, 1500, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "conformance violation [queue-ledger]")]
+    fn phantom_dequeue_is_caught() {
+        let mut t = CheckedTracer::new();
+        t.queue_event(&rec(QueueEvent::Dequeue, 1500, 0, 0));
+    }
+
+    #[test]
+    fn trimmed_enqueue_adds_header_bytes_only() {
+        let mut t = CheckedTracer::new();
+        t.queue_event(&rec(QueueEvent::EnqueueTrimmed, 1500, MIN_PACKET_BYTES as u64, 1));
+        t.queue_event(&rec(QueueEvent::Dequeue, MIN_PACKET_BYTES, 0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "conformance violation [drop-class]")]
+    fn selective_drop_of_scheduled_is_caught() {
+        let mut t = CheckedTracer::new();
+        let mut r = rec(QueueEvent::Drop(DropReason::SelectiveDrop), 1500, 0, 0);
+        r.class = TrafficClass::Scheduled;
+        t.queue_event(&r);
+    }
+
+    #[test]
+    #[should_panic(expected = "conformance violation [drop-class]")]
+    fn credit_overflow_of_data_is_caught() {
+        let mut t = CheckedTracer::new();
+        let r = rec(QueueEvent::Drop(DropReason::CreditOverflow), 1500, 0, 0);
+        t.queue_event(&r);
+    }
+
+    #[test]
+    fn selective_drop_of_unscheduled_is_legal() {
+        let mut t = CheckedTracer::new();
+        t.queue_event(&rec(QueueEvent::Drop(DropReason::SelectiveDrop), 1500, 0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "conformance violation [clock]")]
+    fn backwards_clock_is_caught() {
+        let mut t = CheckedTracer::new();
+        t.link_tx(100, NodeId(0), PortId(0), 1500);
+        t.link_tx(99, NodeId(0), PortId(0), 1500);
+    }
+
+    #[test]
+    #[should_panic(expected = "conformance violation [tx-causality]")]
+    fn overlapping_serializations_are_caught() {
+        let mut t = CheckedTracer::new();
+        t.port_registered(NodeId(0), PortId(0), Rate::gbps(10), NodeId(1));
+        t.link_tx(0, NodeId(0), PortId(0), 1500);
+        // 1500 B at 10 Gbps occupies 1200 ns; a transmit at 100 ns overlaps.
+        t.link_tx(100_000, NodeId(0), PortId(0), 1500);
+    }
+
+    fn host_ev(at: Time, class: TrafficClass, seq: u64, payload: u64, retx: bool) -> HostEvent {
+        HostEvent { at, flow: FlowId(1), seq, class, payload, retransmit: retx }
+    }
+
+    #[test]
+    #[should_panic(expected = "conformance violation [byte-conservation]")]
+    fn delivery_exceeding_launches_is_caught() {
+        let mut t = CheckedTracer::new();
+        t.packet_launched(&host_ev(0, TrafficClass::Scheduled, 0, 1460, false));
+        t.packet_delivered(&host_ev(1, TrafficClass::Scheduled, 0, 1460, false));
+        t.packet_delivered(&host_ev(2, TrafficClass::Scheduled, 0, 1460, false));
+    }
+
+    #[test]
+    #[should_panic(expected = "conformance violation [credit-conservation]")]
+    fn credit_over_consumption_is_caught() {
+        let mut t = CheckedTracer::new();
+        let f = FlowId(3);
+        t.transport_event(0, NodeId(1), &TransportEvent::CreditIssue { flow: f, bytes: 1460 });
+        t.transport_event(1, NodeId(0), &TransportEvent::CreditReceipt { flow: f, bytes: 1460 });
+        t.transport_event(2, NodeId(0), &TransportEvent::CreditReceipt { flow: f, bytes: 1460 });
+    }
+
+    #[test]
+    #[should_panic(expected = "conformance violation [retransmit-pairing]")]
+    fn double_retransmission_is_caught() {
+        let mut t = CheckedTracer::new();
+        let f = FlowId(2);
+        let cause = LossCause::Timeout;
+        t.transport_event(0, NodeId(0), &TransportEvent::LossDetected { flow: f, bytes: 1460, cause });
+        t.transport_event(1, NodeId(0), &TransportEvent::Retransmit { flow: f, bytes: 1460, cause });
+        // The loss was already repaired: retransmitting it again violates
+        // the exactly-once recovery rule.
+        t.transport_event(2, NodeId(0), &TransportEvent::Retransmit { flow: f, bytes: 1460, cause });
+    }
+
+    #[test]
+    #[should_panic(expected = "conformance violation [burst-budget]")]
+    fn burst_overshoot_is_caught() {
+        let mut t = CheckedTracer::new();
+        let f = FlowId(1);
+        t.transport_event(0, NodeId(0), &TransportEvent::BurstStart { flow: f, bytes: 15_000 });
+        t.transport_event(1, NodeId(0), &TransportEvent::BurstStop { flow: f, sent: 15_001 });
+    }
+
+    #[test]
+    #[should_panic(expected = "conformance violation [burst-budget]")]
+    fn second_burst_is_caught() {
+        let mut t = CheckedTracer::new();
+        let f = FlowId(1);
+        t.transport_event(0, NodeId(0), &TransportEvent::BurstStart { flow: f, bytes: 15_000 });
+        t.transport_event(1, NodeId(0), &TransportEvent::BurstStop { flow: f, sent: 15_000 });
+        t.transport_event(2, NodeId(0), &TransportEvent::BurstStart { flow: f, bytes: 15_000 });
+    }
+
+    #[test]
+    #[should_panic(expected = "conformance violation [burst-budget]")]
+    fn unscheduled_launch_without_budget_is_caught() {
+        let mut t = CheckedTracer::new();
+        t.packet_launched(&host_ev(0, TrafficClass::Unscheduled, 0, 1460, false));
+    }
+
+    #[test]
+    fn profile_gating_disables_protocol_checks() {
+        let mut t = CheckedTracer::with_profile(OracleProfile::universal());
+        // All three protocol families violated; none enforced.
+        t.packet_launched(&host_ev(0, TrafficClass::Unscheduled, 0, 1460, false));
+        let f = FlowId(1);
+        let cause = LossCause::Timeout;
+        t.transport_event(1, NodeId(0), &TransportEvent::CreditReceipt { flow: f, bytes: 99 });
+        t.transport_event(2, NodeId(0), &TransportEvent::Retransmit { flow: f, bytes: 99, cause });
+        t.transport_event(3, NodeId(0), &TransportEvent::BurstStop { flow: f, sent: 99 });
+    }
+
+    #[test]
+    #[should_panic(expected = "conformance violation [delivery-coverage]")]
+    fn completion_without_delivery_is_caught() {
+        let t = CheckedTracer::new();
+        let mut m = Metrics::new();
+        let desc =
+            FlowDesc { id: FlowId(1), src: NodeId(0), dst: NodeId(1), size: 1000, start: 0 };
+        m.flow_scheduled(desc);
+        // The metrics claim completion, but the oracle saw no delivery.
+        m.deliver(FlowId(1), 1000, 50);
+        t.assert_flows_complete(&m);
+    }
+
+    /// A selective-dropping queue with the planted Aeolus bug: the SPF
+    /// threshold is applied to *every* packet, scheduled ones included.
+    struct BuggySpfQueue {
+        inner: DropTailQueue,
+        threshold: u64,
+    }
+
+    impl QueueDisc for BuggySpfQueue {
+        fn enqueue(&mut self, pkt: PacketRef, pool: &mut PacketPool, now: Time) -> EnqueueOutcome {
+            if self.inner.bytes() >= self.threshold {
+                // BUG: no `droppable()` check before the selective drop.
+                return EnqueueOutcome::Dropped { reason: DropReason::SelectiveDrop, pkt };
+            }
+            self.inner.enqueue(pkt, pool, now)
+        }
+        fn poll(&mut self, pool: &mut PacketPool, now: Time) -> Poll {
+            self.inner.poll(pool, now)
+        }
+        fn bytes(&self) -> u64 {
+            self.inner.bytes()
+        }
+        fn pkts(&self) -> usize {
+            self.inner.pkts()
+        }
+    }
+
+    /// Sends the whole flow as scheduled data at line rate.
+    struct Blaster;
+
+    impl Endpoint for Blaster {
+        fn on_flow_arrival(&mut self, flow: FlowDesc, ctx: &mut Ctx<'_>) {
+            let mut off = 0u64;
+            while off < flow.size {
+                let chunk = 1460.min(flow.size - off) as u32;
+                ctx.send(Packet::data(
+                    flow.id,
+                    flow.src,
+                    flow.dst,
+                    off,
+                    chunk,
+                    TrafficClass::Scheduled,
+                    flow.size,
+                ));
+                off += chunk as u64;
+            }
+        }
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+            if pkt.is_data() {
+                ctx.metrics.deliver(pkt.flow, pkt.payload as u64, ctx.now);
+            }
+        }
+        fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+    }
+
+    /// The planted-bug mutation check from the issue: a switch applying the
+    /// SPF threshold to scheduled packets runs silently under plain metrics,
+    /// but the oracle panics at the first violating drop with flow and port
+    /// context.
+    #[test]
+    #[should_panic(expected = "conformance violation [drop-class]")]
+    fn planted_spf_bug_trips_the_oracle_in_a_full_run() {
+        let mut net = Network::with_tracer(CheckedTracer::with_profile(OracleProfile::universal()));
+        let sw = net.add_switch(RoutePolicy::EcmpHash, 1, 0);
+        let h0 = net.add_host(0);
+        let h1 = net.add_host(0);
+        let rate = Rate::gbps(10);
+        let good = || Box::new(DropTailQueue::new(1 << 30)) as Box<dyn QueueDisc>;
+        let buggy = Box::new(BuggySpfQueue { inner: DropTailQueue::new(1 << 30), threshold: 3000 });
+        // 4:1 oversubscription into the buggy egress so its queue builds
+        // past the SPF threshold.
+        net.connect(h0, sw, Rate::gbps(40), us(1), good());
+        net.connect(h1, sw, rate, us(1), good());
+        let p0 = net.connect(sw, h0, rate, us(1), good());
+        let p1 = net.connect(sw, h1, rate, us(1), buggy);
+        net.add_route(sw, h0, p0);
+        net.add_route(sw, h1, p1);
+        net.set_endpoint(h0, Box::new(Blaster));
+        net.set_endpoint(h1, Box::new(Blaster));
+        net.schedule_flow(FlowDesc { id: FlowId(1), src: h0, dst: h1, size: 50_000, start: 0 });
+        net.run_to_completion(us(10_000));
+    }
+
+    /// Sanity: the same topology without the planted bug runs clean under
+    /// the full oracle and the end-of-run coverage check passes.
+    #[test]
+    fn clean_run_passes_the_full_oracle() {
+        let mut net = Network::with_tracer(CheckedTracer::with_profile(OracleProfile::universal()));
+        let sw = net.add_switch(RoutePolicy::EcmpHash, 1, 0);
+        let h0 = net.add_host(0);
+        let h1 = net.add_host(0);
+        let rate = Rate::gbps(10);
+        let q = || Box::new(DropTailQueue::new(1 << 30)) as Box<dyn QueueDisc>;
+        net.connect(h0, sw, rate, us(1), q());
+        net.connect(h1, sw, rate, us(1), q());
+        let p0 = net.connect(sw, h0, rate, us(1), q());
+        let p1 = net.connect(sw, h1, rate, us(1), q());
+        net.add_route(sw, h0, p0);
+        net.add_route(sw, h1, p1);
+        net.set_endpoint(h0, Box::new(Blaster));
+        net.set_endpoint(h1, Box::new(Blaster));
+        net.schedule_flow(FlowDesc { id: FlowId(1), src: h0, dst: h1, size: 50_000, start: 0 });
+        assert!(net.run_to_completion(us(10_000)));
+        assert!(net.tracer().events_checked() > 100);
+        let (tracer, metrics) = (net.tracer(), &net.metrics);
+        tracer.assert_flows_complete(metrics);
+    }
+}

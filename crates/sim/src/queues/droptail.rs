@@ -125,4 +125,24 @@ mod tests {
         assert!(matches!(q2.enqueue(r2, &mut pool, 0), EnqueueOutcome::Queued));
         assert_eq!(shared.borrow().used(), 1500);
     }
+
+    #[test]
+    fn conforms_to_oracle_ledger_under_seeded_churn() {
+        for seed in 0..8 {
+            crate::queues::testutil::oracle_audit(|| Box::new(DropTailQueue::new(8_000)), seed, 600);
+        }
+    }
+
+    #[test]
+    fn conforms_to_oracle_ledger_with_shared_pool() {
+        for seed in 0..4 {
+            let shared = SharedPool::new(6_000);
+            crate::queues::testutil::oracle_audit(
+                || Box::new(DropTailQueue::new(16_000).with_pool(shared.clone())),
+                seed,
+                600,
+            );
+            assert_eq!(shared.borrow().used(), 0, "drained queue still holds shared buffer");
+        }
+    }
 }

@@ -118,4 +118,15 @@ mod tests {
         };
         assert_eq!(run(), run());
     }
+
+    #[test]
+    fn conforms_to_oracle_ledger_under_seeded_churn() {
+        for seed in 0..8 {
+            crate::queues::testutil::oracle_audit(
+                || Box::new(LossyQueue::new(Box::new(DropTailQueue::new(8_000)), 0.3, 42)),
+                seed,
+                600,
+            );
+        }
+    }
 }

@@ -224,6 +224,141 @@ pub(crate) mod testutil {
     pub fn ctrl_ref(pool: &mut PacketPool, kind: PacketKind, seq: u64) -> PacketRef {
         pool.insert(ctrl_pkt(kind, seq))
     }
+
+    /// Conformance audit: drive `disc` with `ops` seeded random
+    /// enqueue/drain operations and replay every outcome through a
+    /// [`crate::CheckedTracer`] ledger exactly as the engine would. Any
+    /// occupancy lie (leaked, double-counted, or silently discarded packet),
+    /// illegal drop classification, or pool-slot leak panics with the
+    /// violating event. Shared by the per-discipline conformance tests.
+    pub fn oracle_audit<F>(make: F, seed: u64, ops: usize)
+    where
+        F: Fn() -> Box<dyn super::QueueDisc>,
+    {
+        use super::{EnqueueOutcome, Poll, QueueDisc};
+        use crate::oracle::{CheckedTracer, OracleProfile};
+        use crate::packet::{Packet, PortId};
+        use crate::rng::SimRng;
+        use crate::telemetry::{QueueEvent, QueueRecord, TraceSink};
+        use crate::units::Time;
+
+        let mut disc = make();
+        let mut pool = PacketPool::new();
+        let mut oracle = CheckedTracer::with_profile(OracleProfile::universal());
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut now: Time = 0;
+        let mut seq = 0u64;
+        let node = NodeId(7);
+        let port = PortId(3);
+
+        let record = |disc: &dyn QueueDisc,
+                      at: Time,
+                      ev: QueueEvent,
+                      pkt: &Packet|
+         -> QueueRecord {
+            QueueRecord {
+                at,
+                node,
+                port,
+                ev,
+                flow: pkt.flow,
+                seq: pkt.seq,
+                kind: pkt.kind,
+                class: pkt.class,
+                size: pkt.size,
+                payload: pkt.payload,
+                qlen_bytes: disc.bytes(),
+                qlen_pkts: disc.pkts(),
+            }
+        };
+
+        for _ in 0..ops {
+            now += rng.below(2000);
+            if rng.below(3) < 2 {
+                // Enqueue a random packet: mixed classes, kinds, priorities
+                // and payload sizes, like a shared egress sees.
+                let mut pkt = match rng.below(6) {
+                    0 => data_pkt(TrafficClass::Unscheduled, seq),
+                    1 | 2 => data_pkt(TrafficClass::Scheduled, seq),
+                    3 => ctrl_pkt(PacketKind::Ack { of_probe: false, end: seq }, seq),
+                    4 => ctrl_pkt(PacketKind::Credit, seq),
+                    _ => ctrl_pkt(PacketKind::Nack, seq),
+                };
+                if pkt.kind == PacketKind::Data {
+                    let payload = rng.range_u64(1, 1461) as u32;
+                    pkt.payload = payload;
+                    pkt.size = payload + crate::packet::HEADER_BYTES;
+                }
+                pkt.priority = rng.below(8) as u8;
+                seq += 1461;
+                // `size` in the record is the pre-trim wire size; capture
+                // the packet before the discipline may trim it.
+                let shadow = pkt.clone();
+                let r = pool.insert(pkt);
+                match disc.enqueue(r, &mut pool, now) {
+                    EnqueueOutcome::Queued => {
+                        oracle.queue_event(&record(&*disc, now, QueueEvent::Enqueue, &shadow));
+                    }
+                    EnqueueOutcome::QueuedMarked => {
+                        oracle
+                            .queue_event(&record(&*disc, now, QueueEvent::EnqueueMarked, &shadow));
+                    }
+                    EnqueueOutcome::QueuedTrimmed => {
+                        oracle
+                            .queue_event(&record(&*disc, now, QueueEvent::EnqueueTrimmed, &shadow));
+                    }
+                    EnqueueOutcome::Dropped { reason, pkt } => {
+                        oracle.queue_event(&record(
+                            &*disc,
+                            now,
+                            QueueEvent::Drop(reason),
+                            &shadow,
+                        ));
+                        pool.free(pkt);
+                    }
+                }
+            } else {
+                // Drain whatever is ready right now.
+                loop {
+                    match disc.poll(&mut pool, now) {
+                        Poll::Ready(r) => {
+                            let pkt = pool.get(r).clone();
+                            oracle.queue_event(&record(&*disc, now, QueueEvent::Dequeue, &pkt));
+                            pool.free(r);
+                        }
+                        Poll::NotBefore(t) => {
+                            assert!(t > now, "NotBefore({t}) must lie in the future of {now}");
+                            break;
+                        }
+                        Poll::Empty => break,
+                    }
+                }
+            }
+        }
+        // Drain to empty (advancing past any pacing gate) so the final
+        // ledger and the pool agree: no pool slot may outlive the queue.
+        let mut guard = 0;
+        loop {
+            match disc.poll(&mut pool, now) {
+                Poll::Ready(r) => {
+                    let pkt = pool.get(r).clone();
+                    oracle.queue_event(&record(&*disc, now, QueueEvent::Dequeue, &pkt));
+                    pool.free(r);
+                }
+                Poll::NotBefore(t) => {
+                    assert!(t > now, "NotBefore({t}) must lie in the future of {now}");
+                    now = t;
+                    guard += 1;
+                    assert!(guard < 100_000, "pacing gate never opens");
+                }
+                Poll::Empty => break,
+            }
+        }
+        assert_eq!(disc.bytes(), 0, "drained queue still reports bytes");
+        assert_eq!(disc.pkts(), 0, "drained queue still reports packets");
+        assert_eq!(pool.live(), 0, "discipline leaked {} pool slots", pool.live());
+        assert!(oracle.events_checked() > 0);
+    }
 }
 
 #[cfg(test)]

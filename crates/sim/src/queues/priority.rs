@@ -235,4 +235,15 @@ mod tests {
         assert_eq!(q.pkts(), 0);
         assert_eq!(q.bytes(), 0);
     }
+
+    #[test]
+    fn conforms_to_oracle_ledger_under_seeded_churn() {
+        for seed in 0..8 {
+            crate::queues::testutil::oracle_audit(
+                || Box::new(PriorityBank::new(8, 12_000).with_selective_threshold(4_000)),
+                seed,
+                600,
+            );
+        }
+    }
 }

@@ -248,4 +248,11 @@ mod tests {
             EnqueueOutcome::Dropped { reason: DropReason::SelectiveDrop, .. }
         ));
     }
+
+    #[test]
+    fn conforms_to_oracle_ledger_under_seeded_churn() {
+        for seed in 0..8 {
+            crate::queues::testutil::oracle_audit(|| Box::new(RedEcnQueue::new(3_000, 9_000)), seed, 600);
+        }
+    }
 }

@@ -176,4 +176,11 @@ mod tests {
             EnqueueOutcome::Dropped { reason: DropReason::BufferFull, .. }
         ));
     }
+
+    #[test]
+    fn conforms_to_oracle_ledger_under_seeded_churn() {
+        for seed in 0..8 {
+            crate::queues::testutil::oracle_audit(|| Box::new(TrimmingQueue::new(4, 2_000)), seed, 600);
+        }
+    }
 }

@@ -233,4 +233,23 @@ mod tests {
         let mut q = queue();
         assert!(matches!(q.poll(&mut pool, 0), Poll::Empty));
     }
+
+    #[test]
+    fn conforms_to_oracle_ledger_under_seeded_churn() {
+        for seed in 0..8 {
+            crate::queues::testutil::oracle_audit(
+                || {
+                    Box::new(XPassQueue::new(
+                        Box::new(DropTailQueue::new(8_000)),
+                        Rate::gbps(10),
+                        1_500,
+                        84,
+                        4,
+                    ))
+                },
+                seed,
+                600,
+            );
+        }
+    }
 }

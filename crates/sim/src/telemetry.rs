@@ -70,6 +70,28 @@ pub struct QueueRecord {
     pub qlen_pkts: usize,
 }
 
+/// Identity of a data packet crossing a host boundary: launched into the
+/// network at its source NIC, or delivered to its destination host. Carried
+/// by [`TraceSink::packet_launched`] / [`TraceSink::packet_delivered`] so
+/// sinks (in particular the conformance oracle in [`crate::oracle`]) can
+/// account per-flow byte conservation, not just per-class totals.
+#[derive(Debug, Clone, Copy)]
+pub struct HostEvent {
+    /// When it happened.
+    pub at: Time,
+    /// Flow the packet belongs to.
+    pub flow: FlowId,
+    /// Byte offset of the packet's payload.
+    pub seq: u64,
+    /// Scheduled / unscheduled class (control packets never reach these
+    /// hooks — they carry no payload).
+    pub class: TrafficClass,
+    /// Application payload bytes carried.
+    pub payload: u64,
+    /// Whether the packet is a retransmission of earlier bytes.
+    pub retransmit: bool,
+}
+
 /// Why a transport declared bytes lost (and, by extension, why it
 /// retransmits them).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -195,9 +217,9 @@ pub trait TraceSink {
     /// A packet of `wire_bytes` started serializing out of a port.
     fn link_tx(&mut self, _at: Time, _node: NodeId, _port: PortId, _wire_bytes: u64) {}
     /// A data packet entered the network at its source NIC.
-    fn packet_launched(&mut self, _at: Time, _class: TrafficClass, _payload: u64) {}
+    fn packet_launched(&mut self, _ev: &HostEvent) {}
     /// A data packet was delivered to its destination host.
-    fn packet_delivered(&mut self, _at: Time, _class: TrafficClass, _payload: u64) {}
+    fn packet_delivered(&mut self, _ev: &HostEvent) {}
     /// A transport endpoint emitted a protocol-level event.
     fn transport_event(&mut self, _at: Time, _host: NodeId, _ev: &TransportEvent) {}
     /// The fault plan acted: a window transitioned or a packet was killed.
@@ -758,16 +780,16 @@ impl TraceSink for RecordingTracer {
         }
     }
 
-    fn packet_launched(&mut self, at: Time, class: TrafficClass, payload: u64) {
-        let idx = class_idx(class);
-        self.inflight[idx] += payload;
-        self.inflight_observe(at, idx);
+    fn packet_launched(&mut self, ev: &HostEvent) {
+        let idx = class_idx(ev.class);
+        self.inflight[idx] += ev.payload;
+        self.inflight_observe(ev.at, idx);
     }
 
-    fn packet_delivered(&mut self, at: Time, class: TrafficClass, payload: u64) {
-        let idx = class_idx(class);
-        self.inflight[idx] = self.inflight[idx].saturating_sub(payload);
-        self.inflight_observe(at, idx);
+    fn packet_delivered(&mut self, ev: &HostEvent) {
+        let idx = class_idx(ev.class);
+        self.inflight[idx] = self.inflight[idx].saturating_sub(ev.payload);
+        self.inflight_observe(ev.at, idx);
     }
 
     fn transport_event(&mut self, at: Time, host: NodeId, ev: &TransportEvent) {
@@ -875,15 +897,19 @@ mod tests {
         assert_eq!(r.samples(), &[(10, 150), (20, 0), (30, 30)]);
     }
 
+    fn host_ev(at: Time, class: TrafficClass, seq: u64) -> HostEvent {
+        HostEvent { at, flow: FlowId(1), seq, class, payload: 1460, retransmit: false }
+    }
+
     #[test]
     fn recording_tracer_tracks_inflight_per_class() {
         let mut t = RecordingTracer::new();
-        t.packet_launched(0, TrafficClass::Unscheduled, 1460);
-        t.packet_launched(1, TrafficClass::Unscheduled, 1460);
-        t.packet_launched(2, TrafficClass::Scheduled, 1460);
+        t.packet_launched(&host_ev(0, TrafficClass::Unscheduled, 0));
+        t.packet_launched(&host_ev(1, TrafficClass::Unscheduled, 1460));
+        t.packet_launched(&host_ev(2, TrafficClass::Scheduled, 2920));
         assert_eq!(t.inflight_bytes(TrafficClass::Unscheduled), 2920);
         assert_eq!(t.inflight_bytes(TrafficClass::Scheduled), 1460);
-        t.packet_delivered(5, TrafficClass::Unscheduled, 1460);
+        t.packet_delivered(&host_ev(5, TrafficClass::Unscheduled, 0));
         assert_eq!(t.inflight_bytes(TrafficClass::Unscheduled), 1460);
         // A drop also removes in-flight payload.
         let rec = QueueRecord {

@@ -146,6 +146,17 @@ impl<T: Tracer> SchemeBuilder<T> {
         Harness::with_tracer(self.scheme, self.params, self.spec, self.tracer)
     }
 
+    /// Build the harness with the conformance oracle installed: a
+    /// [`aeolus_sim::CheckedTracer`] whose protocol-check profile comes from
+    /// [`Scheme::oracle_profile`]. The run then panics at the first
+    /// invariant-violating event (with event, flow and port context) instead
+    /// of laundering the violation into final metrics. Any tracer configured
+    /// earlier on this builder is discarded.
+    pub fn build_checked(self) -> Harness<aeolus_sim::CheckedTracer> {
+        let oracle = aeolus_sim::CheckedTracer::with_profile(self.scheme.oracle_profile());
+        self.tracer(oracle).build()
+    }
+
     /// Build the harness, schedule the configured workload's flows and run
     /// until they complete (or `horizon`). Returns the harness (metrics and
     /// tracer inside), the generated flows, and the completion status.

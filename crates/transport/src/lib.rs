@@ -17,6 +17,7 @@ pub mod dctcp;
 pub mod harness;
 pub mod expresspass;
 pub mod fastpass;
+pub mod fuzz;
 pub mod homa;
 pub mod ndp;
 pub mod phost;
@@ -29,6 +30,7 @@ pub use dctcp::{DctcpConfig, DctcpEndpoint};
 pub use harness::{Harness, TopoSpec};
 pub use expresspass::{XPassConfig, XPassEndpoint};
 pub use fastpass::{ArbiterEndpoint, FastpassConfig, FastpassEndpoint};
+pub use fuzz::{fuzz, shrink, FlowSpec, FuzzReport, Scenario};
 pub use homa::{HomaConfig, HomaEndpoint};
 pub use ndp::{NdpConfig, NdpEndpoint};
 pub use phost::{PHostConfig, PHostEndpoint};

@@ -233,6 +233,43 @@ impl Scheme {
         }
     }
 
+    /// Which [`OracleProfile`] checks the conformance oracle can enforce for
+    /// this scheme.
+    ///
+    /// The engine-level checks (queue ledgers, drop legality, transmitter
+    /// causality, byte conservation) always apply; these flags gate the
+    /// protocol-level families to what each scheme's event stream actually
+    /// promises:
+    ///
+    /// - *credit conservation* holds for every receiver/arbiter-driven
+    ///   scheme; DCTCP issues no credits, so the flag is vacuous there and
+    ///   stays on.
+    /// - *burst budget* holds wherever the first RTT is budgeted (Aeolus,
+    ///   blind and low-prio modes) or absent (hold modes). Homa's
+    ///   RESEND/timeout path resends first-RTT bytes as fresh unscheduled
+    ///   packets beyond the declared burst, so the original Homa variants
+    ///   opt out.
+    /// - *retransmit pairing* (retransmitted ≤ declared-lost) is off for
+    ///   schemes whose backstops retransmit speculatively without a
+    ///   detection event (eager/naive RTOs, pHost token re-issue, Homa
+    ///   RESEND).
+    ///
+    /// [`OracleProfile`]: aeolus_sim::OracleProfile
+    pub fn oracle_profile(&self) -> aeolus_sim::OracleProfile {
+        let mut profile = aeolus_sim::OracleProfile::default();
+        match self {
+            Scheme::Homa { .. } | Scheme::HomaEager { .. } => {
+                profile.burst_budget = false;
+                profile.retransmit_pairing = false;
+            }
+            Scheme::ExpressPassPrioQueue { .. } | Scheme::PHost { .. } | Scheme::Dctcp { .. } => {
+                profile.retransmit_pairing = false;
+            }
+            _ => {}
+        }
+        profile
+    }
+
     /// Switch path-selection policy this scheme assumes.
     ///
     /// NDP sprays by design; Homa and pHost assume a congestion-free core

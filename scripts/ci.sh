@@ -70,6 +70,20 @@ print(f"events/s gate: incast_sim_wheel {rate:.0f} events/s vs baseline {base['u
 assert rate >= floor, f"engine throughput regressed: {rate:.0f} events/s < {floor:.0f} floor"
 EOF
 
+# Conformance fuzz: a bounded batch of seeded random scenarios (scheme x
+# topology x workload x faults) runs end-to-end under the online oracle
+# (queue ledgers, drop legality, causality, conservation, burst budgets,
+# retransmit pairing). On failure the fuzzer prints a shrunken one-line
+# repro spec — rerun it locally with `repro fuzz --spec '<line>'`. The
+# NullTracer bench gate above doubles as the oracle-off overhead proof:
+# default builds dispatch the oracle's hooks to statically-inlined no-ops.
+cargo run --release -q -p aeolus-experiments --bin repro -- fuzz --cases 25 --seed 1
+
+# Oracle smoke under a real experiment: fig1 at smoke scale with --check
+# installs the CheckedTracer on every workload run; any invariant
+# violation panics the run instead of reaching the report.
+cargo run --release -q -p aeolus-experiments --bin repro -- fig1 --scale smoke --jobs 2 --check
+
 # Chaos smoke: the fault sweep (loss rate x fabric flap, all six schemes)
 # at smoke scale. Every cell runs under the completion watchdog — a single
 # hung flow anywhere panics the run with per-flow diagnostics, so a zero
