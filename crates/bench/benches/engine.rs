@@ -6,7 +6,10 @@
 use std::hint::black_box;
 
 use aeolus_bench::harness::Suite;
-use aeolus_bench::{incast_sim_events, incast_sim_events_recorded, timer_stream_events};
+use aeolus_bench::{
+    batched_dequeue, btreemap_churn, flowmap_churn, incast_sim_events, incast_sim_events_recorded,
+    route_lookup, timer_stream_events,
+};
 use aeolus_sim::event::SchedulerKind;
 use aeolus_sim::{
     DropTailQueue, FlowId, NodeId, Packet, PacketPool, PacketRef, Poll, PriorityBank, QueueDisc,
@@ -117,9 +120,18 @@ fn bench_queues(suite: &mut Suite) {
     });
 }
 
+fn bench_hotpath(suite: &mut Suite) {
+    suite.bench("flowmap_churn_1m", || flowmap_churn(1_000_000, 64));
+    suite.bench("btreemap_churn_1m", || btreemap_churn(1_000_000, 64));
+    suite.bench("route_lookup_1m", || route_lookup(1_000_000));
+    suite.bench("batched_dequeue_1m", || batched_dequeue(1_000_000));
+}
+
 fn main() {
     let mut engine = Suite::new("engine");
     bench_event_queue(&mut engine);
+    let mut hotpath = Suite::new("hotpath");
+    bench_hotpath(&mut hotpath);
     let mut queues = Suite::new("queues");
     bench_queues(&mut queues);
 
@@ -129,4 +141,7 @@ fn main() {
     let wheel = engine.sample("incast_sim_wheel").unwrap().units_per_sec();
     let heap = engine.sample("incast_sim_heap").unwrap().units_per_sec();
     println!("incast sim speedup (wheel vs heap):   {:.2}x", wheel / heap);
+    let slab = hotpath.sample("flowmap_churn_1m").unwrap().units_per_sec();
+    let btree = hotpath.sample("btreemap_churn_1m").unwrap().units_per_sec();
+    println!("flow state speedup (slab vs btree):   {:.2}x", slab / btree);
 }

@@ -155,7 +155,11 @@ pub fn fmt_ns(ns: u64) -> String {
 /// (serial vs parallel macro benches) are meaningless without it.
 pub fn to_json(suites: &[&Suite]) -> String {
     let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let mut out = format!("{{\n  \"host_cpus\": {cpus},\n  \"suites\": [\n");
+    let mut out = format!(
+        "{{\n  \"host_cpus\": {cpus},\n  \"os\": \"{}\",\n  \"arch\": \"{}\",\n  \"suites\": [\n",
+        escape(std::env::consts::OS),
+        escape(std::env::consts::ARCH)
+    );
     for (i, suite) in suites.iter().enumerate() {
         let _ = write!(
             out,

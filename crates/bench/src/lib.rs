@@ -11,7 +11,8 @@ use aeolus_sim::event::{Event, EventQueue, SchedulerKind};
 use aeolus_sim::topology::LinkParams;
 use aeolus_sim::units::{ms, us, Rate};
 use aeolus_sim::{
-    FlowDesc, FlowId, NodeId, Packet, PacketPool, PacketRef, RecordingTracer, SimRng, TrafficClass,
+    DropTailQueue, EnqueueOutcome, FlowDesc, FlowId, FlowMap, NodeId, Packet, PacketPool,
+    PacketRef, Poll, QueueDisc, RecordingTracer, RoutePolicy, RouteTable, SimRng, TrafficClass,
 };
 use aeolus_transport::{Scheme, SchemeBuilder, SchemeParams, TopoSpec};
 use aeolus_workloads::{incast_rounds, poisson_flows, PoissonConfig, Workload};
@@ -189,6 +190,106 @@ pub fn steady_incast_alloc_window() -> u64 {
     alloc_counter::allocations() - before
 }
 
+/// `n` operations against a [`FlowMap`] with a resident set of `live`
+/// flows: a blend of hits, misses, inserts and removes in the proportions
+/// of a transport's per-event state touch (mostly `get_mut` on a live flow,
+/// occasional flow birth/death). Returns the op count.
+pub fn flowmap_churn(n: u64, live: u64) -> u64 {
+    let mut m: FlowMap<FlowId, u64> = FlowMap::new();
+    for i in 0..live {
+        m.insert(FlowId(i), i);
+    }
+    let mut next = live;
+    let mut rng = SimRng::seed_from_u64(0xF10F);
+    for _ in 0..n {
+        if rng.chance(0.9) {
+            // Hot lookup on a (probably) live flow.
+            let key = FlowId(next.saturating_sub(1 + rng.below(live.max(1))));
+            if let Some(v) = m.get_mut(key) {
+                *v = v.wrapping_add(1);
+            }
+        } else {
+            // Flow turnover: retire the oldest, admit a new one.
+            m.remove(FlowId(next - live));
+            m.insert(FlowId(next), next);
+            next += 1;
+        }
+    }
+    std::hint::black_box(m.len());
+    n
+}
+
+/// The pre-slab baseline for [`flowmap_churn`]: the identical op stream
+/// against a `BTreeMap` (what every transport used to pay per event). Kept
+/// for an honest speedup denominator.
+pub fn btreemap_churn(n: u64, live: u64) -> u64 {
+    let mut m: std::collections::BTreeMap<FlowId, u64> = std::collections::BTreeMap::new();
+    for i in 0..live {
+        m.insert(FlowId(i), i);
+    }
+    let mut next = live;
+    let mut rng = SimRng::seed_from_u64(0xF10F);
+    for _ in 0..n {
+        if rng.chance(0.9) {
+            let key = FlowId(next.saturating_sub(1 + rng.below(live.max(1))));
+            if let Some(v) = m.get_mut(&key) {
+                *v = v.wrapping_add(1);
+            }
+        } else {
+            m.remove(&FlowId(next - live));
+            m.insert(FlowId(next), next);
+            next += 1;
+        }
+    }
+    std::hint::black_box(m.len());
+    n
+}
+
+/// `n` ECMP selections through a [`RouteTable`]: 64 destinations, 4-way
+/// groups, route hashes pre-stamped exactly as the engine stamps them at
+/// injection — so this measures the per-hop flat CSR lookup, not the hash.
+pub fn route_lookup(n: u64) -> u64 {
+    let mut table = RouteTable::new(64, RoutePolicy::EcmpHash, 1);
+    for dst in 0..64u32 {
+        for p in 0..4u32 {
+            table.add_route(NodeId(dst), aeolus_sim::PortId((dst * 4 + p) as u16));
+        }
+    }
+    let mut pkt = churn_pkt(0);
+    let mut acc = 0u64;
+    for i in 0..n {
+        pkt.dst = NodeId((i % 64) as u32);
+        pkt.flow = FlowId(i % 512);
+        pkt.route_hash = aeolus_sim::routing::fnv1a(pkt.flow.0, pkt.path_tag);
+        acc = acc.wrapping_add(table.select(&pkt).0 as u64);
+    }
+    std::hint::black_box(acc);
+    n
+}
+
+/// `n` packets through a `DropTailQueue` in bursts of 16 enqueues followed
+/// by a full drain — the port hand-off pattern. Dequeue byte accounting
+/// rides the fifo's cached wire sizes, so the pool is only touched to
+/// recycle the handle. Returns the packet count.
+pub fn batched_dequeue(n: u64) -> u64 {
+    let mut pool = PacketPool::new();
+    let mut q = DropTailQueue::new(1 << 30);
+    let mut done = 0u64;
+    while done < n {
+        for i in 0..16 {
+            let r = pool.insert(churn_pkt(done + i));
+            if let EnqueueOutcome::Dropped { pkt, .. } = q.enqueue(r, &mut pool, 0) {
+                pool.free(pkt);
+            }
+        }
+        while let Poll::Ready(r) = q.poll(&mut pool, 0) {
+            pool.free(r);
+            done += 1;
+        }
+    }
+    done
+}
+
 /// Pop `n` events through an [`EventQueue`] under `kind`, re-scheduling a
 /// new timer after every pop (the self-sustaining pattern of a real DES hot
 /// loop). Deltas mix sub-tick, in-wheel and overflow horizons so both the
@@ -264,6 +365,18 @@ mod tests {
         let heap = incast_sim_events(SchedulerKind::BinaryHeap, 30_000, 2);
         assert_eq!(wheel, heap, "schedulers must process identical event streams");
         assert!(wheel > 3_000, "incast should be event-heavy, got {wheel}");
+    }
+
+    /// Golden event count, recorded under the pre-slab build (per-flow state
+    /// in `BTreeMap`s, FNV route hash per hop) — the value in the committed
+    /// `results/bench.json` bench history. The slab/CSR hot path must drive
+    /// a bit-identical simulation, so the count must never move. If this
+    /// fails, a "pure performance" change altered behavior.
+    #[test]
+    fn incast_event_count_matches_pre_slab_golden() {
+        const GOLDEN: u64 = 5758;
+        assert_eq!(incast_sim_events(SchedulerKind::TimingWheel, 30_000, 3), GOLDEN);
+        assert_eq!(incast_sim_events(SchedulerKind::BinaryHeap, 30_000, 3), GOLDEN);
     }
 
     #[test]

@@ -16,8 +16,9 @@
 use aeolus_bench::alloc_counter::CountingAlloc;
 use aeolus_bench::harness::{write_json, BenchConfig, Suite};
 use aeolus_bench::{
-    boxed_churn, incast_sim_events, incast_sim_events_recorded, pool_churn,
-    steady_incast_alloc_window, timer_stream_events,
+    batched_dequeue, boxed_churn, btreemap_churn, flowmap_churn, incast_sim_events,
+    incast_sim_events_recorded, pool_churn, route_lookup, steady_incast_alloc_window,
+    timer_stream_events,
 };
 use aeolus_experiments::{fig09, set_jobs, take_events_processed, Scale};
 use aeolus_sim::event::SchedulerKind;
@@ -39,6 +40,7 @@ fn macro_config() -> BenchConfig {
 
 fn main() {
     let mut out = String::from("results/bench.json");
+    let mut snapshot: Option<String> = None;
     let mut engine_only = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
@@ -50,10 +52,17 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--snapshot" => {
+                snapshot = Some(iter.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--snapshot wants a path (e.g. results/BENCH_6.json)");
+                    std::process::exit(2);
+                }))
+            }
             "--engine-only" => engine_only = true,
             other => {
                 eprintln!(
-                    "usage: aeolus-bench [--out PATH] [--engine-only]   (unknown arg '{other}')"
+                    "usage: aeolus-bench [--out PATH] [--snapshot PATH] [--engine-only]   \
+                     (unknown arg '{other}')"
                 );
                 std::process::exit(2);
             }
@@ -77,6 +86,16 @@ fn main() {
     engine.bench("incast_sim_wheel_recorded", || {
         incast_sim_events_recorded(SchedulerKind::TimingWheel, 30_000, 3)
     });
+
+    // Hot-path structure kernels: the per-event data structures the engine
+    // and transports lean on (slab flow state, CSR route lookup, cached-size
+    // port dequeue), each with its honest pre-refactor baseline where one
+    // exists.
+    let mut hotpath = Suite::new("hotpath");
+    hotpath.bench("flowmap_churn_1m", || flowmap_churn(1_000_000, 64));
+    hotpath.bench("btreemap_churn_1m", || btreemap_churn(1_000_000, 64));
+    hotpath.bench("route_lookup_1m", || route_lookup(1_000_000));
+    hotpath.bench("batched_dequeue_1m", || batched_dequeue(1_000_000));
 
     let mut alloc = Suite::new("alloc");
     alloc.bench("pool_churn_64x1m", || pool_churn(1_000_000, 64));
@@ -128,6 +147,10 @@ fn main() {
         speedup(&engine, "incast_sim_wheel", "incast_sim_wheel_recorded")
     );
     println!(
+        "flow state:   slab FlowMap is {:.2}x BTreeMap churn (ops/s)",
+        speedup(&hotpath, "flowmap_churn_1m", "btreemap_churn_1m")
+    );
+    println!(
         "packet churn: pool is {:.2}x boxed alloc/free (ops/s)",
         speedup(&alloc, "pool_churn_64x1m", "boxed_churn_64x1m")
     );
@@ -149,11 +172,24 @@ fn main() {
         }
     }
 
-    match write_json(&[&engine, &alloc, &figures], &out) {
+    let suites = [&engine, &hotpath, &alloc, &figures];
+    match write_json(&suites, &out) {
         Ok(()) => println!("wrote {out}"),
         Err(e) => {
             eprintln!("failed to write {out}: {e}");
             std::process::exit(1);
+        }
+    }
+    // BENCH trajectory: an immutable per-PR snapshot next to the rolling
+    // results/bench.json, so the repo accumulates a performance history
+    // (BENCH_5.json, BENCH_6.json, ...) that later PRs can be diffed against.
+    if let Some(snap) = snapshot {
+        match write_json(&suites, &snap) {
+            Ok(()) => println!("wrote snapshot {snap}"),
+            Err(e) => {
+                eprintln!("failed to write snapshot {snap}: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -6,8 +6,8 @@
 
 use aeolus_experiments::topos::testbed;
 use aeolus_experiments::{run_many, run_workload, set_jobs, RunConfig, RunOutput};
-use aeolus_sim::units::ms;
-use aeolus_sim::SchedulerKind;
+use aeolus_sim::units::{ms, us};
+use aeolus_sim::{FaultPlan, LinkFilter, PacketFilter, SchedulerKind};
 use aeolus_transport::{Scheme, SchemeBuilder};
 use aeolus_workloads::{incast_rounds, Workload};
 
@@ -62,6 +62,44 @@ fn serial_rerun_and_parallel_runs_are_bit_identical() {
         assert!(first[i].completed > 0, "{name}: nothing completed");
         assert_identical(&first[i], &second[i], &format!("{name} serial rerun"));
         assert_identical(&first[i], &fanned[i], &format!("{name} run_many"));
+    }
+}
+
+/// The chaos shape — randomized corruption loss plus a fabric-wide flap —
+/// must be just as deterministic as a clean run: reruns and both schedulers
+/// bit-identical, per scheme family. This pins the slab-backed per-flow
+/// state (`FlowMap`/`TimerTable`) and the fault RNG to one behavior: flow
+/// churn under loss exercises slot recycling, timer-token reuse and the
+/// sorted stall/backstop scans far harder than a clean incast does.
+#[test]
+fn faulted_runs_are_bit_identical_across_reruns_and_schedulers() {
+    for scheme in families() {
+        let run = |kind: SchedulerKind| {
+            let plan = FaultPlan::new(0xdead_0007)
+                .with_loss(0.005, PacketFilter::Any, LinkFilter::All)
+                .with_down(200 * us(1), 500 * us(1), LinkFilter::All);
+            let mut h = SchemeBuilder::new(scheme).topology(testbed()).build();
+            // Scheduler first (it must see an empty queue), then the fault
+            // plan (it schedules its window events immediately).
+            h.topo.net.set_scheduler(kind);
+            h.topo.net.set_fault_plan(plan);
+            let hosts = h.hosts().to_vec();
+            let flows = incast_rounds(&hosts[1..], hosts[0], 30_000, 3, ms(2), 0, 1);
+            h.schedule(&flows);
+            assert!(h.run(ms(2000)), "{}: faulted incast did not complete", scheme.name());
+            let fcts: Vec<(u64, u64)> = h
+                .metrics()
+                .flows()
+                .map(|r| (r.desc.id.0, r.fct().expect("completed flow has an FCT")))
+                .collect();
+            (h.topo.net.events_processed(), h.metrics().total_drops(), fcts)
+        };
+        let first = run(SchedulerKind::TimingWheel);
+        let rerun = run(SchedulerKind::TimingWheel);
+        let heap = run(SchedulerKind::BinaryHeap);
+        assert_eq!(first, rerun, "{}: faulted rerun diverged", scheme.name());
+        assert_eq!(first, heap, "{}: faulted wheel vs heap diverged", scheme.name());
+        assert!(first.1 > 0, "{}: fault plan injected no drops", scheme.name());
     }
 }
 

@@ -60,6 +60,15 @@ impl<'a> Ctx<'a> {
         token
     }
 
+    /// Arm a timer to fire `delay` from now under a caller-chosen token
+    /// (typically a [`crate::flowmap::TimerTable`] token, so the endpoint
+    /// can match the callback to its payload without a map lookup). Tokens
+    /// never affect event ordering — events order by `(time, seq)` — so
+    /// per-endpoint token spaces may overlap freely.
+    pub fn set_timer_in_with(&mut self, delay: Time, token: u64) {
+        self.actions.timers.push((self.now + delay, token));
+    }
+
     /// Whether a recording tracer is attached. Handlers can skip building
     /// expensive event payloads when this is false (emitting through
     /// [`Ctx::emit`] is already a no-op then).

@@ -73,6 +73,7 @@
 pub mod endpoint;
 pub mod event;
 pub mod faults;
+pub mod flowmap;
 pub mod metrics;
 pub mod network;
 pub mod node;
@@ -91,6 +92,7 @@ pub mod units;
 pub use endpoint::{Ctx, Endpoint};
 pub use event::{Event, EventQueue, SchedulerKind};
 pub use faults::{CorruptionRule, FaultPlan, LinkFilter, LinkWindow, PacketFilter, WindowKind};
+pub use flowmap::{FlowKey, FlowMap, TimerTable};
 pub use metrics::{FlowRecord, Metrics};
 pub use network::{Network, TraceEvent, TraceKind};
 pub use oracle::{CheckedTracer, OracleProfile};

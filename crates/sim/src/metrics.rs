@@ -1,10 +1,52 @@
 //! Run-wide metrics: flow completion, drops, efficiency, timeouts.
+//!
+//! Per-flow records live in a [`FlowMap`] (flat slab + hash index) because
+//! `deliver` runs once per data packet — the hottest metrics call. Reports
+//! need deterministic order, so [`Metrics::flows`] sorts by flow id at
+//! read time; the hot path never pays for ordering it doesn't use.
 
-use std::collections::BTreeMap;
-
+use crate::flowmap::FlowMap;
 use crate::packet::{FlowDesc, FlowId, TrafficClass};
 use crate::queues::DropReason;
 use crate::units::Time;
+
+/// Dense index of a [`DropReason`] (declaration = `Ord` order).
+#[inline]
+const fn reason_idx(r: DropReason) -> usize {
+    match r {
+        DropReason::BufferFull => 0,
+        DropReason::SharedBufferFull => 1,
+        DropReason::SelectiveDrop => 2,
+        DropReason::CreditOverflow => 3,
+        DropReason::Corruption => 4,
+        DropReason::LinkDown => 5,
+    }
+}
+const N_REASONS: usize = 6;
+const REASONS: [DropReason; N_REASONS] = [
+    DropReason::BufferFull,
+    DropReason::SharedBufferFull,
+    DropReason::SelectiveDrop,
+    DropReason::CreditOverflow,
+    DropReason::Corruption,
+    DropReason::LinkDown,
+];
+
+/// Dense index of a [`TrafficClass`] (declaration = `Ord` order).
+#[inline]
+const fn class_idx(c: TrafficClass) -> usize {
+    match c {
+        TrafficClass::Scheduled => 0,
+        TrafficClass::Unscheduled => 1,
+        TrafficClass::Control => 2,
+    }
+}
+const N_CLASSES: usize = 3;
+const CLASSES: [TrafficClass; N_CLASSES] = [
+    TrafficClass::Scheduled,
+    TrafficClass::Unscheduled,
+    TrafficClass::Control,
+];
 
 /// Lifecycle record of one flow.
 #[derive(Debug, Clone)]
@@ -31,13 +73,13 @@ impl FlowRecord {
 /// Global counters and per-flow records for one simulation run.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    // Ordered so every iteration (and thus every report built from one) is
-    // deterministic run-to-run.
-    flows: BTreeMap<FlowId, FlowRecord>,
-    // Packet drops keyed by (reason, class); ordered for the same reason as
-    // `flows`. Read through the typed accessors (`drops_of`,
+    // Flat slab keyed by flow id; reports sort at read time so every
+    // report built from this is still deterministic run-to-run.
+    flows: FlowMap<FlowId, FlowRecord>,
+    // Packet drops as a dense (reason x class) counter matrix — one add
+    // per drop, no tree walk. Read through the typed accessors (`drops_of`,
     // `drops_by_reason`, `drops_for_class`, `total_drops`, `drops`).
-    drops: BTreeMap<(DropReason, TrafficClass), u64>,
+    drops: [[u64; N_CLASSES]; N_REASONS],
     /// Data payload bytes handed to NIC queues (first transmissions and
     /// retransmissions alike) — denominator of transfer efficiency.
     pub payload_sent: u64,
@@ -71,7 +113,7 @@ impl Metrics {
     /// if this call completed the flow.
     pub fn deliver(&mut self, flow: FlowId, new_bytes: u64, now: Time) -> bool {
         self.payload_delivered += new_bytes;
-        let rec = self.flows.get_mut(&flow).expect("deliver for unknown flow");
+        let rec = self.flows.get_mut(flow).expect("deliver for unknown flow");
         rec.delivered += new_bytes;
         debug_assert!(rec.delivered <= rec.desc.size, "over-delivery on {flow:?}");
         if rec.completed_at.is_none() && rec.delivered >= rec.desc.size {
@@ -84,56 +126,66 @@ impl Metrics {
 
     /// Record a retransmission timeout on `flow`.
     pub fn note_timeout(&mut self, flow: FlowId) {
-        if let Some(rec) = self.flows.get_mut(&flow) {
+        if let Some(rec) = self.flows.get_mut(flow) {
             rec.timeouts += 1;
         }
     }
 
     /// Record retransmitted payload bytes for `flow`.
     pub fn note_retransmit(&mut self, flow: FlowId, bytes: u64) {
-        if let Some(rec) = self.flows.get_mut(&flow) {
+        if let Some(rec) = self.flows.get_mut(flow) {
             rec.retransmitted += bytes;
         }
     }
 
     /// Record a drop.
+    #[inline]
     pub fn note_drop(&mut self, reason: DropReason, class: TrafficClass) {
-        *self.drops.entry((reason, class)).or_insert(0) += 1;
+        self.drops[reason_idx(reason)][class_idx(class)] += 1;
     }
 
     /// Drops of one (reason, class) cell.
     pub fn drops_of(&self, reason: DropReason, class: TrafficClass) -> u64 {
-        self.drops.get(&(reason, class)).copied().unwrap_or(0)
+        self.drops[reason_idx(reason)][class_idx(class)]
     }
 
     /// Total drops for a reason across classes.
     pub fn drops_by_reason(&self, reason: DropReason) -> u64 {
-        self.drops.iter().filter(|((r, _), _)| *r == reason).map(|(_, v)| *v).sum()
+        self.drops[reason_idx(reason)].iter().sum()
     }
 
     /// Total drops for a traffic class across reasons.
     pub fn drops_for_class(&self, class: TrafficClass) -> u64 {
-        self.drops.iter().filter(|((_, c), _)| *c == class).map(|(_, v)| *v).sum()
+        self.drops.iter().map(|row| row[class_idx(class)]).sum()
     }
 
     /// Total drops across all reasons and classes.
     pub fn total_drops(&self) -> u64 {
-        self.drops.values().sum()
+        self.drops.iter().flatten().sum()
     }
 
-    /// Iterate all drop cells in deterministic (reason, class) order.
+    /// Iterate the touched drop cells in deterministic (reason, class)
+    /// order (declaration order of both enums, matching their `Ord`).
     pub fn drops(&self) -> impl Iterator<Item = ((DropReason, TrafficClass), u64)> + '_ {
-        self.drops.iter().map(|(&k, &v)| (k, v))
+        REASONS.iter().flat_map(move |&r| {
+            CLASSES
+                .iter()
+                .map(move |&c| ((r, c), self.drops[reason_idx(r)][class_idx(c)]))
+                .filter(|&(_, v)| v != 0)
+        })
     }
 
     /// Look up a flow record.
     pub fn flow(&self, id: FlowId) -> Option<&FlowRecord> {
-        self.flows.get(&id)
+        self.flows.get(id)
     }
 
-    /// Iterate all flow records.
+    /// Iterate all flow records in flow-id order (sorts at call time —
+    /// reports pay for ordering, the per-packet path does not).
     pub fn flows(&self) -> impl Iterator<Item = &FlowRecord> {
-        self.flows.values()
+        let mut v: Vec<&FlowRecord> = self.flows.values().collect();
+        v.sort_unstable_by_key(|r| r.desc.id);
+        v.into_iter()
     }
 
     /// Number of flows registered.

@@ -519,7 +519,7 @@ impl<T: Tracer> Network<T> {
                         p.stats.bytes_tx += pkt.size as u64;
                         p.stats.pkts_tx += 1;
                         p.stats.payload_tx += pkt.payload as u64;
-                        let mut ser = p.link.rate.serialize(pkt.size as u64);
+                        let mut ser = p.serialize(pkt.size as u64);
                         if faults_active {
                             ser *= faults.slowdown_at(node, port, now) as Time;
                         }
@@ -672,6 +672,8 @@ impl<T: Tracer> Network<T> {
             self.uid += 1;
             pkt.sent_at = now;
             pkt.src = host;
+            // Stamp the ECMP hash once; every switch on the path reuses it.
+            pkt.route_hash = crate::routing::fnv1a(pkt.flow.0, pkt.path_tag);
             if pkt.is_data() && pkt.payload > 0 {
                 self.metrics.payload_sent += pkt.payload as u64;
                 if pkt.retransmit {

@@ -143,6 +143,11 @@ pub struct Packet {
     /// Path tag chosen by the sender; per-flow ECMP hashes it, and NDP-style
     /// spraying rewrites it per packet.
     pub path_tag: u64,
+    /// ECMP hash of `(flow, path_tag)`, stamped once at network injection so
+    /// switches reuse it instead of re-hashing per hop. 0 = not stamped
+    /// (recomputed on demand); the tag never changes in flight, so the cache
+    /// stays valid for the packet's whole lifetime.
+    pub route_hash: u64,
     /// ExpressPass: the credit sequence number this data packet consumes
     /// (echoed back so the receiver can measure credit loss). 0 = none.
     pub credit_echo: u64,
@@ -182,6 +187,7 @@ impl Packet {
             retransmit: false,
             sent_at: 0,
             path_tag: 0,
+            route_hash: 0,
             credit_echo: 0,
             hops: 0,
         }
@@ -206,6 +212,7 @@ impl Packet {
             retransmit: false,
             sent_at: 0,
             path_tag: 0,
+            route_hash: 0,
             credit_echo: 0,
             hops: 0,
         }

@@ -75,6 +75,9 @@ impl PortStats {
 pub struct Port {
     /// The attached link.
     pub link: Link,
+    /// Exact serialization cost in ps/byte when the line rate divides the
+    /// picosecond grid (all paper rates do); 0 = fall back to the division.
+    pub ser_ps_per_byte: u64,
     /// The queue discipline.
     pub queue: Box<dyn QueueDisc>,
     /// Whether the transmitter is currently serializing a packet.
@@ -88,7 +91,25 @@ pub struct Port {
 impl Port {
     /// A port transmitting through `link` with the given discipline.
     pub fn new(link: Link, queue: Box<dyn QueueDisc>) -> Port {
-        Port { link, queue, busy: false, kick_at: None, stats: PortStats::default() }
+        Port {
+            link,
+            ser_ps_per_byte: link.rate.ps_per_byte().unwrap_or(0),
+            queue,
+            busy: false,
+            kick_at: None,
+            stats: PortStats::default(),
+        }
+    }
+
+    /// Serialization time of `bytes` on this port's link: one multiply on the
+    /// exact-rate fast path, identical to [`Rate::serialize`] by construction.
+    #[inline]
+    pub fn serialize(&self, bytes: u64) -> Time {
+        if self.ser_ps_per_byte != 0 {
+            self.ser_ps_per_byte * bytes
+        } else {
+            self.link.rate.serialize(bytes)
+        }
     }
 }
 

@@ -41,11 +41,13 @@ impl QueueDisc for DropTailQueue {
         EnqueueOutcome::Queued
     }
 
-    fn poll(&mut self, pool: &mut PacketPool, _now: Time) -> Poll {
+    fn poll(&mut self, _pool: &mut PacketPool, _now: Time) -> Poll {
         match self.fifo.pop() {
-            Some(pkt) => {
+            // The fifo caches the wire size, so even the shared-buffer
+            // accounting on dequeue stays out of the packet pool.
+            Some((pkt, sz)) => {
                 if let Some(shared) = &self.pool {
-                    shared.borrow_mut().free(pool.get(pkt).size as u64);
+                    shared.borrow_mut().free(sz as u64);
                 }
                 Poll::Ready(pkt)
             }

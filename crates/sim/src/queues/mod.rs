@@ -181,10 +181,10 @@ impl ByteFifo {
         self.q.push_back((pkt, size));
     }
 
-    pub fn pop(&mut self) -> Option<PacketRef> {
+    pub fn pop(&mut self) -> Option<(PacketRef, u32)> {
         let (pkt, size) = self.q.pop_front()?;
         self.bytes -= size as u64;
-        Some(pkt)
+        Some((pkt, size))
     }
 
     pub fn bytes(&self) -> u64 {
@@ -388,8 +388,9 @@ mod tests {
         f.push(b, pool.get(b).size);
         assert_eq!(f.bytes(), 3000);
         assert_eq!(f.len(), 2);
-        let p = f.pop().unwrap();
+        let (p, sz) = f.pop().unwrap();
         assert_eq!(pool.get(p).seq, 0);
+        assert_eq!(sz, 1500);
         assert_eq!(f.bytes(), 1500);
         f.pop().unwrap();
         assert!(f.is_empty());

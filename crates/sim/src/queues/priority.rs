@@ -84,10 +84,10 @@ impl QueueDisc for PriorityBank {
         EnqueueOutcome::Queued
     }
 
-    fn poll(&mut self, pool: &mut PacketPool, _now: Time) -> Poll {
+    fn poll(&mut self, _pool: &mut PacketPool, _now: Time) -> Poll {
         for q in self.queues.iter_mut() {
-            if let Some(pkt) = q.pop() {
-                let sz = pool.get(pkt).size as u64;
+            if let Some((pkt, sz)) = q.pop() {
+                let sz = sz as u64;
                 self.bytes -= sz;
                 if let Some(shared) = &self.pool {
                     shared.borrow_mut().free(sz);

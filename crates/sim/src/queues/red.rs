@@ -65,7 +65,7 @@ impl QueueDisc for RedEcnQueue {
 
     fn poll(&mut self, _pool: &mut PacketPool, _now: Time) -> Poll {
         match self.fifo.pop() {
-            Some(pkt) => Poll::Ready(pkt),
+            Some((pkt, _)) => Poll::Ready(pkt),
             None => Poll::Empty,
         }
     }

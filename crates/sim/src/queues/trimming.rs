@@ -67,11 +67,11 @@ impl QueueDisc for TrimmingQueue {
     }
 
     fn poll(&mut self, _pool: &mut PacketPool, _now: Time) -> Poll {
-        if let Some(pkt) = self.control.pop() {
+        if let Some((pkt, _)) = self.control.pop() {
             return Poll::Ready(pkt);
         }
         match self.data.pop() {
-            Some(pkt) => Poll::Ready(pkt),
+            Some((pkt, _)) => Poll::Ready(pkt),
             None => Poll::Empty,
         }
     }

@@ -76,7 +76,7 @@ impl QueueDisc for XPassQueue {
 
     fn poll(&mut self, pool: &mut PacketPool, now: Time) -> Poll {
         if !self.credits.is_empty() && now >= self.next_credit_at {
-            let pkt = self.credits.pop().expect("non-empty credit queue");
+            let (pkt, _) = self.credits.pop().expect("non-empty credit queue");
             self.next_credit_at = now + self.credit_interval;
             return Poll::Ready(pkt);
         }

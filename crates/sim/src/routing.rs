@@ -6,6 +6,13 @@
 //! * **per-flow ECMP hashing** (ExpressPass, Homa) — a hash of the flow id
 //!   and the packet's `path_tag` pins all packets of a flow to one path;
 //! * **per-packet spraying** (NDP) — every packet picks uniformly at random.
+//!
+//! The hot path is flat: ECMP groups are compacted into one contiguous port
+//! array (CSR layout) with per-destination `(start, len, mask)` metadata, so
+//! `select` is a bounds-checked slice index plus either a mask (power-of-two
+//! groups) or one modulo — no nested `Vec` pointer chase. The FNV flow hash
+//! is computed **once per packet** at network injection and carried in
+//! [`Packet::route_hash`]; each hop reuses it instead of re-hashing.
 
 use crate::packet::{NodeId, Packet, PortId};
 use crate::rng::SimRng;
@@ -36,13 +43,43 @@ pub fn fnv1a(mut x: u64, mut y: u64) -> u64 {
     h
 }
 
+/// The packet's ECMP hash: the injection-time cached value when present,
+/// recomputed from scratch otherwise (a zero cache means "not stamped" —
+/// packets built outside the engine, e.g. in unit tests).
+#[inline]
+fn route_hash(pkt: &Packet) -> u64 {
+    if pkt.route_hash != 0 {
+        pkt.route_hash
+    } else {
+        fnv1a(pkt.flow.0, pkt.path_tag)
+    }
+}
+
+/// Per-destination view into the flat port array.
+#[derive(Debug, Clone, Copy, Default)]
+struct GroupMeta {
+    start: u32,
+    len: u32,
+    /// `len - 1` when `len` is a power of two (mask selection), else 0.
+    mask: u32,
+}
+
 /// A switch routing table: for each destination node id, the ECMP group of
 /// candidate egress ports.
 pub struct RouteTable {
-    /// Indexed by `NodeId.0`; empty group = unreachable (a wiring bug).
+    /// Build-time source of truth, indexed by `NodeId.0`; empty group =
+    /// unreachable (a wiring bug).
     groups: Vec<Vec<PortId>>,
+    /// Compacted per-destination metadata (rebuilt lazily after edits).
+    meta: Vec<GroupMeta>,
+    /// All groups' ports, contiguous (CSR payload).
+    flat: Vec<PortId>,
+    /// Set by `add_route`; the next `select` recompacts.
+    dirty: bool,
     policy: RoutePolicy,
     rng: SimRng,
+    /// Reusable up-port scratch for `select_avoiding` (no per-call alloc).
+    avoid_scratch: Vec<PortId>,
 }
 
 impl RouteTable {
@@ -50,8 +87,12 @@ impl RouteTable {
     pub fn new(n_nodes: usize, policy: RoutePolicy, seed: u64) -> RouteTable {
         RouteTable {
             groups: vec![Vec::new(); n_nodes],
+            meta: Vec::new(),
+            flat: Vec::new(),
+            dirty: true,
             policy,
             rng: SimRng::seed_from_u64(seed),
+            avoid_scratch: Vec::new(),
         }
     }
 
@@ -65,6 +106,7 @@ impl RouteTable {
         let g = &mut self.groups[idx];
         if !g.contains(&port) {
             g.push(port);
+            self.dirty = true;
         }
     }
 
@@ -73,23 +115,49 @@ impl RouteTable {
         self.groups.get(dst.0 as usize).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// Recompact `groups` into the flat CSR arrays.
+    #[cold]
+    fn rebuild(&mut self) {
+        self.flat.clear();
+        self.meta.clear();
+        self.meta.reserve(self.groups.len());
+        for g in &self.groups {
+            let start = self.flat.len() as u32;
+            let len = g.len() as u32;
+            let mask = if len.is_power_of_two() { len - 1 } else { 0 };
+            self.flat.extend_from_slice(g);
+            self.meta.push(GroupMeta { start, len, mask });
+        }
+        self.dirty = false;
+    }
+
+    #[cold]
+    fn no_route(dst: NodeId) -> ! {
+        panic!("no route from switch to {dst:?}")
+    }
+
     /// Pick the egress port for `pkt`.
     ///
     /// # Panics
     /// Panics if no route exists — topologies must be fully wired.
+    #[inline]
     pub fn select(&mut self, pkt: &Packet) -> PortId {
-        let g = self
-            .groups
-            .get(pkt.dst.0 as usize)
-            .filter(|g| !g.is_empty())
-            .unwrap_or_else(|| panic!("no route from switch to {:?}", pkt.dst));
-        if g.len() == 1 {
+        if self.dirty {
+            self.rebuild();
+        }
+        let m = match self.meta.get(pkt.dst.0 as usize) {
+            Some(m) if m.len > 0 => *m,
+            _ => Self::no_route(pkt.dst),
+        };
+        let g = &self.flat[m.start as usize..(m.start + m.len) as usize];
+        if m.len == 1 {
             return g[0];
         }
         match self.policy {
             RoutePolicy::EcmpHash => {
-                let h = fnv1a(pkt.flow.0, pkt.path_tag);
-                g[(h % g.len() as u64) as usize]
+                let h = route_hash(pkt);
+                let i = if m.mask != 0 { h & m.mask as u64 } else { h % m.len as u64 };
+                g[i as usize]
             }
             RoutePolicy::Spray => {
                 let i = self.rng.index(g.len());
@@ -111,27 +179,41 @@ impl RouteTable {
         pkt: &Packet,
         is_down: impl Fn(PortId) -> bool,
     ) -> PortId {
-        let g = self
-            .groups
-            .get(pkt.dst.0 as usize)
-            .filter(|g| !g.is_empty())
-            .unwrap_or_else(|| panic!("no route from switch to {:?}", pkt.dst));
-        let up: Vec<PortId> = g.iter().copied().filter(|&p| !is_down(p)).collect();
-        if up.is_empty() {
-            return self.select(pkt);
+        if self.dirty {
+            self.rebuild();
         }
-        if up.len() == 1 {
-            return up[0];
-        }
-        match self.policy {
-            RoutePolicy::EcmpHash => {
-                let h = fnv1a(pkt.flow.0, pkt.path_tag);
-                up[(h % up.len() as u64) as usize]
-            }
-            RoutePolicy::Spray => {
-                let i = self.rng.index(up.len());
-                up[i]
-            }
+        let m = match self.meta.get(pkt.dst.0 as usize) {
+            Some(m) if m.len > 0 => *m,
+            _ => Self::no_route(pkt.dst),
+        };
+        let mut up = std::mem::take(&mut self.avoid_scratch);
+        up.clear();
+        up.extend(
+            self.flat[m.start as usize..(m.start + m.len) as usize]
+                .iter()
+                .copied()
+                .filter(|&p| !is_down(p)),
+        );
+        let choice = if up.is_empty() {
+            None
+        } else if up.len() == 1 {
+            Some(up[0])
+        } else {
+            Some(match self.policy {
+                RoutePolicy::EcmpHash => {
+                    let h = route_hash(pkt);
+                    up[(h % up.len() as u64) as usize]
+                }
+                RoutePolicy::Spray => {
+                    let i = self.rng.index(up.len());
+                    up[i]
+                }
+            })
+        };
+        self.avoid_scratch = up;
+        match choice {
+            Some(p) => p,
+            None => self.select(pkt),
         }
     }
 }
@@ -210,5 +292,61 @@ mod tests {
         let mut p = pkt(1, 0);
         p.dst = NodeId(2);
         t.select(&p);
+    }
+
+    /// The cached injection-time hash and the from-scratch hash must pick
+    /// the same port — a stale cache would silently re-route flows.
+    #[test]
+    fn cached_route_hash_matches_fresh_hash() {
+        let mut t = table(RoutePolicy::EcmpHash);
+        for f in 0..64 {
+            for tag in 0..4 {
+                let fresh = pkt(f, tag);
+                let mut cached = pkt(f, tag);
+                cached.route_hash = fnv1a(cached.flow.0, cached.path_tag);
+                assert_eq!(t.select(&fresh), t.select(&cached), "flow {f} tag {tag}");
+            }
+        }
+    }
+
+    /// Non-power-of-two groups must keep exact `h % len` selection (the
+    /// mask fast path only applies to power-of-two groups).
+    #[test]
+    fn non_pow2_group_uses_exact_modulo() {
+        let mut t = RouteTable::new(8, RoutePolicy::EcmpHash, 42);
+        for p in 0..3 {
+            t.add_route(NodeId(5), PortId(p));
+        }
+        for f in 0..32 {
+            let p = pkt(f, 0);
+            let h = fnv1a(p.flow.0, p.path_tag);
+            assert_eq!(t.select(&p), PortId((h % 3) as u16));
+        }
+    }
+
+    /// Routes added after a select (lazy growth) are picked up.
+    #[test]
+    fn incremental_route_addition_rebuilds() {
+        let mut t = RouteTable::new(2, RoutePolicy::EcmpHash, 1);
+        t.add_route(NodeId(1), PortId(0));
+        let mut p = pkt(1, 0);
+        p.dst = NodeId(1);
+        assert_eq!(t.select(&p), PortId(0));
+        t.add_route(NodeId(9), PortId(3));
+        p.dst = NodeId(9);
+        assert_eq!(t.select(&p), PortId(3));
+    }
+
+    #[test]
+    fn select_avoiding_skips_down_ports_without_alloc() {
+        let mut t = table(RoutePolicy::EcmpHash);
+        // All but port 2 down: every flow must land on 2.
+        for f in 0..16 {
+            let got = t.select_avoiding(&pkt(f, 0), |p| p != PortId(2));
+            assert_eq!(got, PortId(2));
+        }
+        // Everything down: falls back to normal selection.
+        let normal = t.select(&pkt(3, 0));
+        assert_eq!(t.select_avoiding(&pkt(3, 0), |_| true), normal);
     }
 }

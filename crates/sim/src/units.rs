@@ -76,8 +76,27 @@ impl Rate {
     #[inline]
     pub fn serialize(self, bytes: u64) -> Time {
         debug_assert!(self.0 > 0, "serialize on a zero rate");
-        let bits = (bytes as u128) * 8 * (PS_PER_SEC as u128);
-        bits.div_ceil(self.0 as u128) as Time
+        // Packet-sized byte counts fit a u64 numerator; the u128 division is
+        // a libcall and only needed for multi-megabyte arguments.
+        const FITS_U64: u64 = u64::MAX / (8 * PS_PER_SEC);
+        if bytes <= FITS_U64 {
+            (bytes * 8 * PS_PER_SEC).div_ceil(self.0)
+        } else {
+            let bits = (bytes as u128) * 8 * (PS_PER_SEC as u128);
+            bits.div_ceil(self.0 as u128) as Time
+        }
+    }
+
+    /// Exact picoseconds per byte, when this rate divides the picosecond
+    /// grid evenly (true for every paper rate: 1/10/25/40/100/400 Gbps).
+    /// Lets ports replace the per-packet division with one multiply.
+    #[inline]
+    pub const fn ps_per_byte(self) -> Option<u64> {
+        if self.0 > 0 && (8 * PS_PER_SEC) % self.0 == 0 {
+            Some(8 * PS_PER_SEC / self.0)
+        } else {
+            None
+        }
     }
 
     /// Number of whole bytes this rate can carry in `dt` picoseconds.
@@ -135,6 +154,28 @@ mod tests {
         // 3 bits/s carries 1 byte in ceil(8e12/3) ps.
         let r = Rate(3);
         assert_eq!(r.serialize(1), (8 * PS_PER_SEC).div_ceil(3));
+    }
+
+    #[test]
+    fn serialize_u64_and_u128_paths_agree() {
+        let boundary = u64::MAX / (8 * PS_PER_SEC);
+        for rate in [Rate(3), Rate(7), Rate::gbps(10), Rate::gbps(100), Rate::mbps(123)] {
+            for bytes in [boundary, boundary + 1, boundary + 12345] {
+                let wide =
+                    ((bytes as u128) * 8 * (PS_PER_SEC as u128)).div_ceil(rate.0 as u128) as Time;
+                assert_eq!(rate.serialize(bytes), wide, "rate {rate:?} bytes {bytes}");
+            }
+        }
+    }
+
+    #[test]
+    fn ps_per_byte_exact_for_paper_rates() {
+        for (g, ppb) in [(1, 8000), (10, 800), (25, 320), (40, 200), (100, 80), (400, 20)] {
+            assert_eq!(Rate::gbps(g).ps_per_byte(), Some(ppb));
+            assert_eq!(Rate::gbps(g).serialize(1500), 1500 * ppb);
+        }
+        // 3 bits/s does not divide the picosecond grid.
+        assert_eq!(Rate(3).ps_per_byte(), None);
     }
 
     #[test]

@@ -12,12 +12,10 @@
 //! fraction). Losses (buffer overflow) recover via triple-duplicate-ACK fast
 //! retransmit plus a retransmission timeout.
 
-use std::collections::BTreeMap;
-
 use aeolus_sim::units::Time;
 use aeolus_sim::{
-    Ctx, Ecn, Endpoint, FlowDesc, FlowId, LossCause, Packet, PacketKind, RangeSet, TrafficClass,
-    TransportEvent,
+    Ctx, Ecn, Endpoint, FlowDesc, FlowId, FlowMap, LossCause, Packet, PacketKind, RangeSet,
+    TimerTable, TrafficClass, TransportEvent,
 };
 
 use crate::common::{data_packet, BaseConfig};
@@ -88,9 +86,9 @@ struct RecvFlow {
 /// The per-host DCTCP endpoint.
 pub struct DctcpEndpoint {
     cfg: DctcpConfig,
-    send_flows: BTreeMap<FlowId, SendFlow>,
-    recv_flows: BTreeMap<FlowId, RecvFlow>,
-    timers: BTreeMap<u64, (FlowId, u64)>,
+    send_flows: FlowMap<FlowId, SendFlow>,
+    recv_flows: FlowMap<FlowId, RecvFlow>,
+    timers: TimerTable<(FlowId, u64)>,
 }
 
 impl DctcpEndpoint {
@@ -98,9 +96,9 @@ impl DctcpEndpoint {
     pub fn new(cfg: DctcpConfig) -> DctcpEndpoint {
         DctcpEndpoint {
             cfg,
-            send_flows: BTreeMap::new(),
-            recv_flows: BTreeMap::new(),
-            timers: BTreeMap::new(),
+            send_flows: FlowMap::new(),
+            recv_flows: FlowMap::new(),
+            timers: TimerTable::new(),
         }
     }
 
@@ -111,7 +109,7 @@ impl DctcpEndpoint {
     /// Transmit as much as the window allows.
     fn pump(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
         let mtu = self.mtu();
-        if let Some(sf) = self.send_flows.get_mut(&flow) {
+        if let Some(sf) = self.send_flows.get_mut(flow) {
             // Fast retransmit first.
             if let Some(seq) = sf.rtx_seq.take() {
                 let len = (mtu as u64).min(sf.desc.size - seq) as u32;
@@ -142,18 +140,17 @@ impl DctcpEndpoint {
 
     fn arm_rto(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
         let rto = self.cfg.rto;
-        if let Some(sf) = self.send_flows.get_mut(&flow) {
+        if let Some(sf) = self.send_flows.get_mut(flow) {
             sf.rto_gen += 1;
-            let gen = sf.rto_gen;
-            let t = ctx.set_timer_in(rto);
-            self.timers.insert(t, (flow, gen));
+            let token = self.timers.arm((flow, sf.rto_gen));
+            ctx.set_timer_in_with(rto, token);
         }
     }
 
     fn on_rto(&mut self, flow: FlowId, gen: u64, ctx: &mut Ctx<'_>) {
         let mtu = self.mtu();
         let fire = {
-            let sf = match self.send_flows.get_mut(&flow) {
+            let sf = match self.send_flows.get_mut(flow) {
                 Some(sf) => sf,
                 None => return,
             };
@@ -186,7 +183,7 @@ impl DctcpEndpoint {
         let mtu = self.mtu() as f64;
         let g = self.cfg.g;
         let (progress, done) = {
-            let sf = match self.send_flows.get_mut(&flow) {
+            let sf = match self.send_flows.get_mut(flow) {
                 Some(sf) => sf,
                 None => return,
             };
@@ -242,7 +239,7 @@ impl DctcpEndpoint {
             }
         };
         if done {
-            if let Some(sf) = self.send_flows.get_mut(&flow) {
+            if let Some(sf) = self.send_flows.get_mut(flow) {
                 sf.completed = true;
                 sf.rto_gen += 1; // cancel RTO
             }
@@ -289,7 +286,7 @@ impl Endpoint for DctcpEndpoint {
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
         match pkt.kind {
             PacketKind::Data => {
-                let rf = self.recv_flows.entry(pkt.flow).or_insert_with(|| RecvFlow {
+                let rf = self.recv_flows.get_or_insert_with(pkt.flow, || RecvFlow {
                     book: RecvBook::new(),
                     received: RangeSet::new(),
                     ce_pending: false,
@@ -327,7 +324,7 @@ impl Endpoint for DctcpEndpoint {
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
-        if let Some((flow, gen)) = self.timers.remove(&token) {
+        if let Some((flow, gen)) = self.timers.fire(token) {
             self.on_rto(flow, gen, ctx);
         }
     }

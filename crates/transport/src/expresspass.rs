@@ -17,13 +17,11 @@
 //! feedback control driven by the credit loss ratio (data packets echo the
 //! credit sequence they consumed).
 
-use std::collections::BTreeMap;
-
 use aeolus_core::PreCreditSender;
 use aeolus_sim::units::{Time, PS_PER_SEC};
 use aeolus_sim::{
-    Ctx, Endpoint, FlowDesc, FlowId, LossCause, NodeId, Packet, PacketKind, TrafficClass,
-    TransportEvent, CREDIT_BYTES,
+    Ctx, Endpoint, FlowDesc, FlowId, FlowMap, LossCause, NodeId, Packet, PacketKind, TimerTable,
+    TrafficClass, TransportEvent, CREDIT_BYTES,
 };
 
 use crate::common::{
@@ -131,9 +129,9 @@ struct RecvFlow {
 /// The per-host ExpressPass endpoint (plays both sender and receiver roles).
 pub struct XPassEndpoint {
     cfg: XPassConfig,
-    send_flows: BTreeMap<FlowId, SendFlow>,
-    recv_flows: BTreeMap<FlowId, RecvFlow>,
-    timers: BTreeMap<u64, TimerKind>,
+    send_flows: FlowMap<FlowId, SendFlow>,
+    recv_flows: FlowMap<FlowId, RecvFlow>,
+    timers: TimerTable<TimerKind>,
     stall_scan_armed: bool,
 }
 
@@ -142,9 +140,9 @@ impl XPassEndpoint {
     pub fn new(cfg: XPassConfig) -> XPassEndpoint {
         XPassEndpoint {
             cfg,
-            send_flows: BTreeMap::new(),
-            recv_flows: BTreeMap::new(),
-            timers: BTreeMap::new(),
+            send_flows: FlowMap::new(),
+            recv_flows: FlowMap::new(),
+            timers: TimerTable::new(),
             stall_scan_armed: false,
         }
     }
@@ -163,8 +161,7 @@ impl XPassEndpoint {
         }
         self.stall_scan_armed = true;
         let delay = self.stall_after();
-        let t = ctx.set_timer_in(delay);
-        self.timers.insert(t, TimerKind::StallScan);
+        ctx.set_timer_in_with(delay, self.timers.arm(TimerKind::StallScan));
     }
 
     fn on_stall_scan(&mut self, ctx: &mut Ctx<'_>) {
@@ -172,7 +169,7 @@ impl XPassEndpoint {
         let stall_after = self.stall_after();
         let mut any_incomplete = false;
         let mut resends: Vec<ResendBatch> = Vec::new();
-        for (&id, rf) in self.recv_flows.iter_mut() {
+        for (id, rf) in self.recv_flows.iter_mut() {
             if rf.book.is_complete() {
                 continue;
             }
@@ -195,6 +192,9 @@ impl XPassEndpoint {
                 }
             }
         }
+        // Slot order is not key order: sort so resend emission matches the
+        // seed's BTreeMap scan order exactly.
+        resends.sort_unstable_by_key(|&(id, _, _)| id);
         for (id, sender, missing) in resends {
             for (s, e) in missing {
                 let r = Packet::control(id, ctx.host, sender, s, PacketKind::Resend { end: e });
@@ -203,8 +203,7 @@ impl XPassEndpoint {
         }
         if any_incomplete {
             self.stall_scan_armed = true;
-            let t = ctx.set_timer_in(stall_after);
-            self.timers.insert(t, TimerKind::StallScan);
+            ctx.set_timer_in_with(stall_after, self.timers.arm(TimerKind::StallScan));
         }
     }
 
@@ -232,7 +231,7 @@ impl XPassEndpoint {
         let init = max_rate * self.cfg.init_rate_frac;
         let w = self.cfg.w_init;
         let cfgp = self.cfg.feedback_period;
-        let entry = self.recv_flows.entry(pkt.flow).or_insert_with(|| RecvFlow {
+        let entry = self.recv_flows.get_or_insert_with(pkt.flow, || RecvFlow {
             sender: pkt.src,
             book: RecvBook::new(),
             stall_strikes: 0,
@@ -250,10 +249,8 @@ impl XPassEndpoint {
         entry.book.learn_size(pkt.flow_size);
         if !entry.ticking && !entry.book.is_complete() {
             entry.ticking = true;
-            let t = ctx.set_timer_in(0);
-            self.timers.insert(t, TimerKind::CreditTick(pkt.flow));
-            let f = ctx.set_timer_in(cfgp);
-            self.timers.insert(f, TimerKind::Feedback(pkt.flow));
+            ctx.set_timer_in_with(0, self.timers.arm(TimerKind::CreditTick(pkt.flow)));
+            ctx.set_timer_in_with(cfgp, self.timers.arm(TimerKind::Feedback(pkt.flow)));
         }
         self.arm_stall_scan(ctx);
     }
@@ -261,7 +258,7 @@ impl XPassEndpoint {
     /// Send one credit-induced chunk (called per credit).
     fn pump_scheduled(&mut self, flow: FlowId, credit_seq: u64, ctx: &mut Ctx<'_>) {
         let mtu = self.mtu();
-        if let Some(sf) = self.send_flows.get_mut(&flow) {
+        if let Some(sf) = self.send_flows.get_mut(flow) {
             if let Some(chunk) = sf.core.next_scheduled_chunk(mtu) {
                 let mut pkt =
                     data_packet(&sf.desc, chunk.seq, chunk.len, TrafficClass::Scheduled, chunk.retransmit);
@@ -288,7 +285,7 @@ impl XPassEndpoint {
         let local_cap = self.max_rate_bps(ctx) / active as f64;
         let credit_grant = self.cfg.base.mtu_payload as u64;
         let rate_bps = {
-            let rf = match self.recv_flows.get_mut(&flow) {
+            let rf = match self.recv_flows.get_mut(flow) {
                 Some(rf) => rf,
                 None => return,
             };
@@ -305,8 +302,7 @@ impl XPassEndpoint {
             rf.rate_bps.min(local_cap)
         };
         let interval = self.credit_interval(rate_bps);
-        let t = ctx.set_timer_in(interval);
-        self.timers.insert(t, TimerKind::CreditTick(flow));
+        ctx.set_timer_in_with(interval, self.timers.arm(TimerKind::CreditTick(flow)));
     }
 
     fn on_feedback(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
@@ -314,7 +310,7 @@ impl XPassEndpoint {
         let period = self.cfg.feedback_period;
         let (target, w_max, w_min) = (self.cfg.target_loss, self.cfg.w_max, self.cfg.w_min);
         let reschedule = {
-            let rf = match self.recv_flows.get_mut(&flow) {
+            let rf = match self.recv_flows.get_mut(flow) {
                 Some(rf) => rf,
                 None => return,
             };
@@ -352,8 +348,7 @@ impl XPassEndpoint {
             !rf.book.is_complete()
         };
         if reschedule {
-            let t = ctx.set_timer_in(period);
-            self.timers.insert(t, TimerKind::Feedback(flow));
+            ctx.set_timer_in_with(period, self.timers.arm(TimerKind::Feedback(flow)));
         }
     }
 
@@ -370,7 +365,7 @@ impl XPassEndpoint {
         }
         let base = self.probe_retry_base();
         let rearm_in = {
-            let sf = match self.send_flows.get_mut(&flow) {
+            let sf = match self.send_flows.get_mut(flow) {
                 Some(sf) => sf,
                 None => return,
             };
@@ -403,8 +398,7 @@ impl XPassEndpoint {
             }
         };
         if let Some(d) = rearm_in {
-            let t = ctx.set_timer_in(d);
-            self.timers.insert(t, TimerKind::ProbeRetry(flow));
+            ctx.set_timer_in_with(d, self.timers.arm(TimerKind::ProbeRetry(flow)));
         }
     }
 
@@ -414,7 +408,7 @@ impl XPassEndpoint {
             None => return,
         };
         let rearm = {
-            let sf = match self.send_flows.get_mut(&flow) {
+            let sf = match self.send_flows.get_mut(flow) {
                 Some(sf) => sf,
                 None => return,
             };
@@ -436,8 +430,7 @@ impl XPassEndpoint {
             }
         };
         if rearm {
-            let t = ctx.set_timer_in(rto);
-            self.timers.insert(t, TimerKind::Rto(flow));
+            ctx.set_timer_in_with(rto, self.timers.arm(TimerKind::Rto(flow)));
         }
     }
 }
@@ -490,12 +483,11 @@ impl Endpoint for XPassEndpoint {
             }
         }
         if let Some(rto) = self.cfg.rto {
-            let t = ctx.set_timer_in(rto);
-            self.timers.insert(t, TimerKind::Rto(flow.id));
+            ctx.set_timer_in_with(rto, self.timers.arm(TimerKind::Rto(flow.id)));
         }
         if self.cfg.base.aeolus.probe_retry_rtts > 0 {
-            let t = ctx.set_timer_in(self.probe_retry_base());
-            self.timers.insert(t, TimerKind::ProbeRetry(flow.id));
+            let token = self.timers.arm(TimerKind::ProbeRetry(flow.id));
+            ctx.set_timer_in_with(self.probe_retry_base(), token);
         }
         self.send_flows.insert(
             flow.id,
@@ -517,7 +509,7 @@ impl Endpoint for XPassEndpoint {
                 self.ensure_recv_flow(&pkt, ctx);
             }
             PacketKind::Credit => {
-                if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                if let Some(sf) = self.send_flows.get_mut(pkt.flow) {
                     sf.heard_back = true;
                     sf.last_heard = ctx.now;
                     sf.retry_fires = 0;
@@ -531,7 +523,7 @@ impl Endpoint for XPassEndpoint {
             PacketKind::Data => {
                 self.ensure_recv_flow(&pkt, ctx);
                 let mode = self.cfg.base.mode;
-                let rf = self.recv_flows.get_mut(&pkt.flow).expect("just ensured");
+                let rf = self.recv_flows.get_mut(pkt.flow).expect("just ensured");
                 let unscheduled = pkt.class == TrafficClass::Unscheduled;
                 rf.last_arrival = ctx.now;
                 rf.stall_strikes = 0;
@@ -555,14 +547,14 @@ impl Endpoint for XPassEndpoint {
             }
             PacketKind::Probe => {
                 self.ensure_recv_flow(&pkt, ctx);
-                let rf = self.recv_flows.get_mut(&pkt.flow).expect("just ensured");
+                let rf = self.recv_flows.get_mut(pkt.flow).expect("just ensured");
                 rf.book.core.on_probe(pkt.seq, pkt.flow_size);
                 ctx.send(probe_ack_packet(pkt.flow, ctx.host, pkt.src, pkt.seq));
             }
             PacketKind::Resend { end } => {
                 // Receiver-detected stall: requeue the range; it rides out
                 // on the next credits.
-                if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                if let Some(sf) = self.send_flows.get_mut(pkt.flow) {
                     sf.heard_back = true;
                     sf.last_heard = ctx.now;
                     sf.retry_fires = 0;
@@ -579,7 +571,7 @@ impl Endpoint for XPassEndpoint {
             }
             PacketKind::Ack { of_probe, end } => {
                 let infer = self.cfg.base.sack_inference();
-                if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                if let Some(sf) = self.send_flows.get_mut(pkt.flow) {
                     sf.heard_back = true;
                     sf.last_heard = ctx.now;
                     sf.retry_fires = 0;
@@ -604,7 +596,7 @@ impl Endpoint for XPassEndpoint {
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
-        match self.timers.remove(&token) {
+        match self.timers.fire(token) {
             Some(TimerKind::CreditTick(f)) => self.on_credit_tick(f, ctx),
             Some(TimerKind::Feedback(f)) => self.on_feedback(f, ctx),
             Some(TimerKind::Rto(f)) => self.on_rto(f, ctx),

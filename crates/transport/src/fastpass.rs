@@ -22,13 +22,11 @@
 //!
 //! [`FirstRttMode::Aeolus`]: crate::common::FirstRttMode::Aeolus
 
-use std::collections::BTreeMap;
-
 use aeolus_core::PreCreditSender;
 use aeolus_sim::units::Time;
 use aeolus_sim::{
-    Ctx, Endpoint, FlowDesc, FlowId, LossCause, NodeId, Packet, PacketKind, TrafficClass,
-    TransportEvent,
+    Ctx, Endpoint, FlowDesc, FlowId, FlowMap, LossCause, NodeId, Packet, PacketKind, TimerTable,
+    TrafficClass, TransportEvent,
 };
 
 use crate::common::{ack_packet, data_packet, probe_ack_packet, probe_packet, BaseConfig};
@@ -58,15 +56,15 @@ pub struct ArbiterEndpoint {
     slot: Time,
     mtu_wire: u32,
     /// Earliest free slot per transmitting host.
-    src_free: BTreeMap<NodeId, Time>,
+    src_free: FlowMap<NodeId, Time>,
     /// Earliest free slot per receiving host.
-    dst_free: BTreeMap<NodeId, Time>,
+    dst_free: FlowMap<NodeId, Time>,
 }
 
 impl ArbiterEndpoint {
     /// A fresh arbiter for hosts with `mtu_wire`-byte full packets.
     pub fn new(mtu_wire: u32) -> ArbiterEndpoint {
-        ArbiterEndpoint { slot: 0, mtu_wire, src_free: BTreeMap::new(), dst_free: BTreeMap::new() }
+        ArbiterEndpoint { slot: 0, mtu_wire, src_free: FlowMap::new(), dst_free: FlowMap::new() }
     }
 }
 
@@ -94,8 +92,8 @@ impl Endpoint for ArbiterEndpoint {
         // source uplink and destination downlink are free, no earlier than
         // one half-RTT from now (the reply must reach the sender first).
         let earliest = ctx.now + self.base_delay();
-        let src_free = self.src_free.get(&src).copied().unwrap_or(0);
-        let dst_free = self.dst_free.get(&dst).copied().unwrap_or(0);
+        let src_free = self.src_free.get(src).copied().unwrap_or(0);
+        let dst_free = self.dst_free.get(dst).copied().unwrap_or(0);
         let start = earliest.max(src_free).max(dst_free);
         let end = start + slots as Time * self.slot;
         self.src_free.insert(src, end);
@@ -170,9 +168,9 @@ struct RecvFlow {
 /// The per-host Fastpass endpoint.
 pub struct FastpassEndpoint {
     cfg: FastpassConfig,
-    send_flows: BTreeMap<FlowId, SendFlow>,
-    recv_flows: BTreeMap<FlowId, RecvFlow>,
-    timers: BTreeMap<u64, TimerKind>,
+    send_flows: FlowMap<FlowId, SendFlow>,
+    recv_flows: FlowMap<FlowId, RecvFlow>,
+    timers: TimerTable<TimerKind>,
     stall_scan_armed: bool,
 }
 
@@ -181,9 +179,9 @@ impl FastpassEndpoint {
     pub fn new(cfg: FastpassConfig) -> FastpassEndpoint {
         FastpassEndpoint {
             cfg,
-            send_flows: BTreeMap::new(),
-            recv_flows: BTreeMap::new(),
-            timers: BTreeMap::new(),
+            send_flows: FlowMap::new(),
+            recv_flows: FlowMap::new(),
+            timers: TimerTable::new(),
             stall_scan_armed: false,
         }
     }
@@ -204,7 +202,7 @@ impl FastpassEndpoint {
         let arbiter = self.cfg.arbiter;
         let batch = self.cfg.batch_slots;
         let retry_base = self.retry_base();
-        let retry_in = if let Some(sf) = self.send_flows.get_mut(&flow) {
+        let retry_in = if let Some(sf) = self.send_flows.get_mut(flow) {
             if sf.requesting || sf.completed || !sf.core.has_work() {
                 return;
             }
@@ -220,15 +218,14 @@ impl FastpassEndpoint {
         } else {
             return;
         };
-        let t = ctx.set_timer_in(retry_in);
-        self.timers.insert(t, TimerKind::RequestRetry(flow));
+        ctx.set_timer_in_with(retry_in, self.timers.arm(TimerKind::RequestRetry(flow)));
     }
 
     /// The request-retry backstop: if the request (or its Schedule reply)
     /// vanished, clear the stuck `requesting` latch and re-ask with capped
     /// exponential backoff.
     fn on_request_retry(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
-        let stuck = match self.send_flows.get_mut(&flow) {
+        let stuck = match self.send_flows.get_mut(flow) {
             Some(sf) if sf.requesting && !sf.completed => {
                 sf.requesting = false;
                 sf.retry_fires = (sf.retry_fires + 1).min(6);
@@ -248,8 +245,7 @@ impl FastpassEndpoint {
         }
         self.stall_scan_armed = true;
         let delay = self.stall_after();
-        let t = ctx.set_timer_in(delay);
-        self.timers.insert(t, TimerKind::StallScan);
+        ctx.set_timer_in_with(delay, self.timers.arm(TimerKind::StallScan));
     }
 
     fn on_stall_scan(&mut self, ctx: &mut Ctx<'_>) {
@@ -257,7 +253,7 @@ impl FastpassEndpoint {
         let stall_after = self.stall_after();
         let mut any_incomplete = false;
         let mut resends: Vec<(FlowId, NodeId, Vec<(u64, u64)>)> = Vec::new();
-        for (&id, rf) in self.recv_flows.iter_mut() {
+        for (id, rf) in self.recv_flows.iter_mut() {
             if rf.book.is_complete() {
                 continue;
             }
@@ -278,6 +274,9 @@ impl FastpassEndpoint {
                 }
             }
         }
+        // Slot order is not key order: sort so resend emission matches the
+        // seed's BTreeMap scan order exactly.
+        resends.sort_unstable_by_key(|&(id, _, _)| id);
         for (id, sender, missing) in resends {
             for (s, e) in missing {
                 let r = Packet::control(id, ctx.host, sender, s, PacketKind::Resend { end: e });
@@ -286,8 +285,7 @@ impl FastpassEndpoint {
         }
         if any_incomplete {
             self.stall_scan_armed = true;
-            let t = ctx.set_timer_in(stall_after);
-            self.timers.insert(t, TimerKind::StallScan);
+            ctx.set_timer_in_with(stall_after, self.timers.arm(TimerKind::StallScan));
         }
     }
 
@@ -295,7 +293,7 @@ impl FastpassEndpoint {
     fn on_slot(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
         let mtu = self.cfg.base.mtu_payload;
         let mut need_more = false;
-        if let Some(sf) = self.send_flows.get_mut(&flow) {
+        if let Some(sf) = self.send_flows.get_mut(flow) {
             sf.slots_left = sf.slots_left.saturating_sub(1);
             if let Some(chunk) = sf.core.next_scheduled_chunk(mtu) {
                 let pkt = data_packet(
@@ -321,8 +319,7 @@ impl FastpassEndpoint {
             }
             if sf.slots_left > 0 {
                 let stride = sf.stride;
-                let t = ctx.set_timer_in(stride);
-                self.timers.insert(t, TimerKind::Slot(flow));
+                ctx.set_timer_in_with(stride, self.timers.arm(TimerKind::Slot(flow)));
             } else {
                 need_more = sf.core.has_work();
             }
@@ -382,7 +379,7 @@ impl Endpoint for FastpassEndpoint {
         match pkt.kind {
             PacketKind::Schedule { start, slots, stride } => {
                 let fire_first = {
-                    let sf = match self.send_flows.get_mut(&pkt.flow) {
+                    let sf = match self.send_flows.get_mut(pkt.flow) {
                         Some(sf) => sf,
                         None => return,
                     };
@@ -396,12 +393,11 @@ impl Endpoint for FastpassEndpoint {
                     });
                     start.saturating_sub(ctx.now)
                 };
-                let t = ctx.set_timer_in(fire_first);
-                self.timers.insert(t, TimerKind::Slot(pkt.flow));
+                ctx.set_timer_in_with(fire_first, self.timers.arm(TimerKind::Slot(pkt.flow)));
             }
             PacketKind::Data => {
                 let now = ctx.now;
-                let rf = self.recv_flows.entry(pkt.flow).or_insert_with(|| RecvFlow {
+                let rf = self.recv_flows.get_or_insert_with(pkt.flow, || RecvFlow {
                     sender: pkt.src,
                     book: RecvBook::new(),
                     last_arrival: now,
@@ -425,7 +421,7 @@ impl Endpoint for FastpassEndpoint {
             }
             PacketKind::Probe => {
                 let now = ctx.now;
-                let rf = self.recv_flows.entry(pkt.flow).or_insert_with(|| RecvFlow {
+                let rf = self.recv_flows.get_or_insert_with(pkt.flow, || RecvFlow {
                     sender: pkt.src,
                     book: RecvBook::new(),
                     last_arrival: now,
@@ -441,7 +437,7 @@ impl Endpoint for FastpassEndpoint {
                 // wire. Requeue the range and ask the arbiter for slots to
                 // carry it.
                 let mut need_more = false;
-                if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                if let Some(sf) = self.send_flows.get_mut(pkt.flow) {
                     let lost = sf.core.requeue_lost(pkt.seq, end);
                     if lost > 0 {
                         sf.last_loss = Some(LossCause::Stall);
@@ -459,7 +455,7 @@ impl Endpoint for FastpassEndpoint {
             }
             PacketKind::Ack { of_probe, end } => {
                 let mut need_more = false;
-                if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                if let Some(sf) = self.send_flows.get_mut(pkt.flow) {
                     let (lost, cause) = if of_probe {
                         let lost = sf.core.on_probe_ack();
                         // Losses revealed: they may need timeslots.
@@ -495,7 +491,7 @@ impl Endpoint for FastpassEndpoint {
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
-        match self.timers.remove(&token) {
+        match self.timers.fire(token) {
             Some(TimerKind::Slot(f)) => self.on_slot(f, ctx),
             Some(TimerKind::RequestRetry(f)) => self.on_request_retry(f, ctx),
             Some(TimerKind::StallScan) => self.on_stall_scan(ctx),

@@ -14,13 +14,11 @@
 //! keeping one RTT-bytes window per granted message, and assign scheduled
 //! priorities by SRPT rank below the unscheduled levels.
 
-use std::collections::BTreeMap;
-
 use aeolus_core::PreCreditSender;
 use aeolus_sim::units::Time;
 use aeolus_sim::{
-    Ctx, Endpoint, FlowDesc, FlowId, LossCause, NodeId, Packet, PacketKind, TrafficClass,
-    TransportEvent,
+    Ctx, Endpoint, FlowDesc, FlowId, FlowMap, LossCause, NodeId, Packet, PacketKind, TimerTable,
+    TrafficClass, TransportEvent,
 };
 
 use crate::common::{
@@ -143,10 +141,13 @@ struct RecvFlow {
 /// The per-host Homa endpoint.
 pub struct HomaEndpoint {
     cfg: HomaConfig,
-    send_flows: BTreeMap<FlowId, SendFlow>,
-    recv_flows: BTreeMap<FlowId, RecvFlow>,
-    timers: BTreeMap<u64, TimerKind>,
+    send_flows: FlowMap<FlowId, SendFlow>,
+    recv_flows: FlowMap<FlowId, RecvFlow>,
+    timers: TimerTable<TimerKind>,
     scan_armed: bool,
+    /// Reusable SRPT scratch for `regrant` (runs per data packet — a fresh
+    /// `Vec` each call would churn the allocator on the hot path).
+    srpt_scratch: Vec<(u64, FlowId)>,
 }
 
 impl HomaEndpoint {
@@ -154,10 +155,11 @@ impl HomaEndpoint {
     pub fn new(cfg: HomaConfig) -> HomaEndpoint {
         HomaEndpoint {
             cfg,
-            send_flows: BTreeMap::new(),
-            recv_flows: BTreeMap::new(),
-            timers: BTreeMap::new(),
+            send_flows: FlowMap::new(),
+            recv_flows: FlowMap::new(),
+            timers: TimerTable::new(),
             scan_armed: false,
+            srpt_scratch: Vec::new(),
         }
     }
 
@@ -169,20 +171,21 @@ impl HomaEndpoint {
     /// messages, top `overcommit` granted one RTT-bytes past what arrived.
     fn regrant(&mut self, ctx: &mut Ctx<'_>) {
         let rtt_bytes = self.rtt_bytes(ctx);
-        let mut active: Vec<(u64, FlowId)> = self
-            .recv_flows
-            .iter()
-            .filter_map(|(id, rf)| {
-                if rf.book.is_complete() {
-                    return None;
-                }
-                rf.book.remaining().map(|rem| (rem, *id))
-            })
-            .collect();
+        // Sorting (remaining, id) makes the SRPT ranking independent of map
+        // iteration order; the scratch is reused so this allocates nothing
+        // in steady state.
+        let mut active = std::mem::take(&mut self.srpt_scratch);
+        active.clear();
+        active.extend(self.recv_flows.iter().filter_map(|(id, rf)| {
+            if rf.book.is_complete() {
+                return None;
+            }
+            rf.book.remaining().map(|rem| (rem, id))
+        }));
         active.sort_unstable();
         for (rank, &(_, id)) in active.iter().take(self.cfg.overcommit).enumerate() {
             let prio = self.cfg.sched_prio(rank);
-            let rf = self.recv_flows.get_mut(&id).expect("active flow");
+            let rf = self.recv_flows.get_mut(id).expect("active flow");
             // Grants are a cumulative *scheduled-byte budget*, managed by
             // outstanding-bytes accounting: keep
             //   outstanding = granted − received-back (− written-off)
@@ -219,12 +222,13 @@ impl HomaEndpoint {
                 ctx.send(g);
             }
         }
+        self.srpt_scratch = active;
     }
 
     /// Send scheduled data against the grant budget.
     fn pump_scheduled(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
         let mtu = self.cfg.base.mtu_payload;
-        if let Some(sf) = self.send_flows.get_mut(&flow) {
+        if let Some(sf) = self.send_flows.get_mut(flow) {
             while sf.sent_sched < sf.granted {
                 match sf.core.next_scheduled_chunk(mtu) {
                     Some(chunk) => {
@@ -275,8 +279,7 @@ impl HomaEndpoint {
         }
         self.scan_armed = true;
         let delay = self.stale_after() / 2;
-        let t = ctx.set_timer_in(delay);
-        self.timers.insert(t, TimerKind::ResendScan);
+        ctx.set_timer_in_with(delay, self.timers.arm(TimerKind::ResendScan));
     }
 
     fn on_resend_scan(&mut self, ctx: &mut Ctx<'_>) {
@@ -286,7 +289,7 @@ impl HomaEndpoint {
         let rtt_bytes = self.rtt_bytes(ctx);
         let mut any_incomplete = false;
         let mut resends: Vec<ResendBatch> = Vec::new();
-        for (&id, rf) in self.recv_flows.iter_mut() {
+        for (id, rf) in self.recv_flows.iter_mut() {
             if rf.book.is_complete() {
                 continue;
             }
@@ -356,6 +359,9 @@ impl HomaEndpoint {
         // predates a flow's turn in the SRPT order would strand it.
         let regrant_needed = any_incomplete;
         let _ = probe_mode;
+        // Slot order is not key order: sort so resend emission matches the
+        // seed's BTreeMap scan order exactly.
+        resends.sort_unstable_by_key(|&(id, _, _)| id);
         for (id, sender, missing) in resends {
             for (s, e) in missing {
                 let mut r =
@@ -368,9 +374,7 @@ impl HomaEndpoint {
             self.regrant(ctx);
         }
         if any_incomplete {
-            let delay = stale_after / 2;
-            let t = ctx.set_timer_in(delay);
-            self.timers.insert(t, TimerKind::ResendScan);
+            ctx.set_timer_in_with(stale_after / 2, self.timers.arm(TimerKind::ResendScan));
             self.scan_armed = true;
         }
     }
@@ -378,17 +382,17 @@ impl HomaEndpoint {
     fn on_sender_rto(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
         let mtu = self.cfg.base.mtu_payload;
         let rto = self.cfg.rto;
-        let rearm = {
-            let sf = match self.send_flows.get_mut(&flow) {
+        let fires = {
+            let sf = match self.send_flows.get_mut(flow) {
                 Some(sf) => sf,
                 None => return,
             };
             if sf.completed {
-                false
+                None
             } else if !self.cfg.naive_rto && ctx.now.saturating_sub(sf.last_progress) < rto {
                 // The receiver is alive (grants flowing): not a timeout,
                 // just re-arm from the last progress point.
-                true
+                Some(sf.rto_fires)
             } else if self.cfg.naive_rto {
                 // Eager Homa: premature full-burst retransmission on a
                 // naive deadline — the Table 1 efficiency collapse.
@@ -416,7 +420,7 @@ impl HomaEndpoint {
                     ctx.send(pkt);
                     seq += len as u64;
                 }
-                true
+                Some(sf.rto_fires)
             } else {
                 // No completion and no receiver feedback for a full RTO:
                 // re-poll with the first burst packet (it carries the
@@ -439,29 +443,27 @@ impl HomaEndpoint {
                     cause: LossCause::Timeout,
                 });
                 ctx.send(pkt);
-                true
+                Some(sf.rto_fires)
             }
         };
-        if rearm {
+        if let Some(fires) = fires {
             // Naive mode keeps firing at a fixed cadence for a while (the
             // measured waste); both modes back off exponentially eventually
             // so a stuck flow cannot melt the run.
-            let fires = self.send_flows[&flow].rto_fires;
             let shift = if self.cfg.naive_rto { (fires / 16).min(6) } else { (fires / 2).min(8) };
-            let t = ctx.set_timer_in(rto << shift);
-            self.timers.insert(t, TimerKind::SenderRto(flow));
+            ctx.set_timer_in_with(rto << shift, self.timers.arm(TimerKind::SenderRto(flow)));
         }
     }
 
     fn on_probe_retry(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
         let retry_rtts = self.cfg.base.aeolus.probe_retry_rtts;
-        let rearm = {
-            let sf = match self.send_flows.get_mut(&flow) {
+        let fires = {
+            let sf = match self.send_flows.get_mut(flow) {
                 Some(sf) => sf,
                 None => return,
             };
             if sf.heard_from_receiver || sf.completed {
-                false
+                None
             } else {
                 ctx.metrics.note_timeout(flow);
                 let burst_end = sf.desc.size.min(
@@ -473,21 +475,24 @@ impl HomaEndpoint {
                 // Reuse `rto_fires` as the retry counter: Blind mode (the
                 // only other user) never arms ProbeRetry.
                 sf.rto_fires += 1;
-                true
+                Some(sf.rto_fires)
             }
         };
-        if rearm && retry_rtts > 0 {
-            // Capped exponential backoff: each fruitless retry doubles the
-            // interval, up to 64×, so a long outage never seeds a storm.
-            let fires = self.send_flows[&flow].rto_fires;
-            let base = (retry_rtts as Time * self.cfg.base.base_rtt.max(1)).max(aeolus_sim::units::ms(2));
-            let t = ctx.set_timer_in(base << fires.min(6));
-            self.timers.insert(t, TimerKind::ProbeRetry(flow));
+        if let Some(fires) = fires {
+            if retry_rtts > 0 {
+                // Capped exponential backoff: each fruitless retry doubles
+                // the interval, up to 64×, so a long outage never seeds a
+                // storm.
+                let base = (retry_rtts as Time * self.cfg.base.base_rtt.max(1))
+                    .max(aeolus_sim::units::ms(2));
+                let token = self.timers.arm(TimerKind::ProbeRetry(flow));
+                ctx.set_timer_in_with(base << fires.min(6), token);
+            }
         }
     }
 
     fn ensure_recv_flow(&mut self, pkt: &Packet, now: Time) -> &mut RecvFlow {
-        let rf = self.recv_flows.entry(pkt.flow).or_insert_with(|| RecvFlow {
+        let rf = self.recv_flows.get_or_insert_with(pkt.flow, || RecvFlow {
             sender: pkt.src,
             book: RecvBook::new(),
             granted: 0,
@@ -533,14 +538,12 @@ impl Endpoint for HomaEndpoint {
             }
         }
         if mode == FirstRttMode::Blind {
-            let t = ctx.set_timer_in(self.cfg.rto);
-            self.timers.insert(t, TimerKind::SenderRto(flow.id));
+            ctx.set_timer_in_with(self.cfg.rto, self.timers.arm(TimerKind::SenderRto(flow.id)));
         } else if mode.probe_recovery() && self.cfg.base.aeolus.probe_retry_rtts > 0 {
             let delay =
                 (self.cfg.base.aeolus.probe_retry_rtts as Time * self.cfg.base.base_rtt.max(1))
                     .max(aeolus_sim::units::ms(2));
-            let t = ctx.set_timer_in(delay);
-            self.timers.insert(t, TimerKind::ProbeRetry(flow.id));
+            ctx.set_timer_in_with(delay, self.timers.arm(TimerKind::ProbeRetry(flow.id)));
         }
         self.send_flows.insert(
             flow.id,
@@ -601,7 +604,7 @@ impl Endpoint for HomaEndpoint {
                 self.arm_scan(ctx);
             }
             PacketKind::Grant { grant_prio } => {
-                if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                if let Some(sf) = self.send_flows.get_mut(pkt.flow) {
                     sf.heard_from_receiver = true;
                     sf.last_progress = ctx.now;
                     sf.grant_prio = grant_prio;
@@ -620,7 +623,7 @@ impl Endpoint for HomaEndpoint {
                 let mtu = self.cfg.base.mtu_payload;
                 let levels = self.cfg.levels;
                 let mode = self.cfg.base.mode;
-                if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                if let Some(sf) = self.send_flows.get_mut(pkt.flow) {
                     sf.heard_from_receiver = true;
                     sf.last_progress = ctx.now;
                     if mode.probe_recovery() {
@@ -666,7 +669,7 @@ impl Endpoint for HomaEndpoint {
             }
             PacketKind::Ack { of_probe, end } => {
                 let infer = self.cfg.base.sack_inference();
-                if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                if let Some(sf) = self.send_flows.get_mut(pkt.flow) {
                     sf.heard_from_receiver = true;
                     sf.last_progress = ctx.now;
                     let (lost, cause) = if of_probe {
@@ -696,7 +699,7 @@ impl Endpoint for HomaEndpoint {
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
-        match self.timers.remove(&token) {
+        match self.timers.fire(token) {
             Some(TimerKind::SenderRto(f)) => self.on_sender_rto(f, ctx),
             Some(TimerKind::ProbeRetry(f)) => self.on_probe_retry(f, ctx),
             Some(TimerKind::ResendScan) => self.on_resend_scan(ctx),

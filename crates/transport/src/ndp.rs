@@ -14,13 +14,13 @@
 //! pull per arrival while demand remains, with a timer-paced pull queue per
 //! host, plus a slow backstop for pathological control-plane loss.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use aeolus_core::PreCreditSender;
 use aeolus_sim::units::Time;
 use aeolus_sim::{
-    Ctx, Endpoint, FlowDesc, FlowId, LossCause, NodeId, Packet, PacketKind, TrafficClass,
-    TransportEvent,
+    Ctx, Endpoint, FlowDesc, FlowId, FlowMap, LossCause, NodeId, Packet, PacketKind, TimerTable,
+    TrafficClass, TransportEvent,
 };
 
 use crate::common::{ack_packet, data_packet, probe_ack_packet, probe_packet, BaseConfig};
@@ -88,9 +88,9 @@ struct RecvFlow {
 /// The per-host NDP endpoint.
 pub struct NdpEndpoint {
     cfg: NdpConfig,
-    send_flows: BTreeMap<FlowId, SendFlow>,
-    recv_flows: BTreeMap<FlowId, RecvFlow>,
-    timers: BTreeMap<u64, TimerKind>,
+    send_flows: FlowMap<FlowId, SendFlow>,
+    recv_flows: FlowMap<FlowId, RecvFlow>,
+    timers: TimerTable<TimerKind>,
     /// Round-robin pull queue across flows (one entry = one pull to send).
     pull_queue: VecDeque<FlowId>,
     pull_pacer_armed: bool,
@@ -105,9 +105,9 @@ impl NdpEndpoint {
     pub fn new(cfg: NdpConfig) -> NdpEndpoint {
         NdpEndpoint {
             cfg,
-            send_flows: BTreeMap::new(),
-            recv_flows: BTreeMap::new(),
-            timers: BTreeMap::new(),
+            send_flows: FlowMap::new(),
+            recv_flows: FlowMap::new(),
+            timers: TimerTable::new(),
             pull_queue: VecDeque::new(),
             pull_pacer_armed: false,
             next_pull_at: 0,
@@ -151,7 +151,7 @@ impl NdpEndpoint {
     /// Queue up to one pull for `flow` (the arrival-clocked path).
     fn maybe_enqueue_pull(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
         let mtu = self.cfg.base.mtu_payload as u64;
-        if let Some(rf) = self.recv_flows.get_mut(&flow) {
+        if let Some(rf) = self.recv_flows.get_mut(flow) {
             if Self::pull_deficit(rf, mtu) > 0 {
                 rf.pulls_sent += 1;
                 self.pull_queue.push_back(flow);
@@ -164,7 +164,7 @@ impl NdpEndpoint {
     /// batch of losses at once; the pacer still spaces them at line rate).
     fn drain_pull_deficit(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
         let mtu = self.cfg.base.mtu_payload as u64;
-        if let Some(rf) = self.recv_flows.get_mut(&flow) {
+        if let Some(rf) = self.recv_flows.get_mut(flow) {
             while Self::pull_deficit(rf, mtu) > 0 {
                 rf.pulls_sent += 1;
                 self.pull_queue.push_back(flow);
@@ -179,8 +179,7 @@ impl NdpEndpoint {
         }
         self.pull_pacer_armed = true;
         let delay = self.next_pull_at.saturating_sub(ctx.now);
-        let t = ctx.set_timer_in(delay);
-        self.timers.insert(t, TimerKind::PullTick);
+        ctx.set_timer_in_with(delay, self.timers.arm(TimerKind::PullTick));
     }
 
     fn on_pull_tick(&mut self, ctx: &mut Ctx<'_>) {
@@ -190,7 +189,7 @@ impl NdpEndpoint {
             None => return,
         };
         let spacing = self.pull_spacing(ctx);
-        if let Some(rf) = self.recv_flows.get(&flow) {
+        if let Some(rf) = self.recv_flows.get(flow) {
             if !rf.book.is_complete() {
                 let mut pull =
                     Packet::control(flow, ctx.host, rf.sender, rf.pulls_sent, PacketKind::Pull);
@@ -207,8 +206,7 @@ impl NdpEndpoint {
         if !self.pull_queue.is_empty() {
             self.pull_pacer_armed = true;
             let delay = self.next_pull_at.saturating_sub(ctx.now);
-            let t = ctx.set_timer_in(delay);
-            self.timers.insert(t, TimerKind::PullTick);
+            ctx.set_timer_in_with(delay, self.timers.arm(TimerKind::PullTick));
         }
     }
 
@@ -217,8 +215,7 @@ impl NdpEndpoint {
             return;
         }
         self.backstop_armed = true;
-        let t = ctx.set_timer_in(self.cfg.backstop);
-        self.timers.insert(t, TimerKind::Backstop);
+        ctx.set_timer_in_with(self.cfg.backstop, self.timers.arm(TimerKind::Backstop));
     }
 
     fn on_backstop(&mut self, ctx: &mut Ctx<'_>) {
@@ -226,7 +223,7 @@ impl NdpEndpoint {
         let backstop = self.cfg.backstop;
         let mut stalled = Vec::new();
         let mut any_incomplete = false;
-        for (&id, rf) in self.recv_flows.iter() {
+        for (id, rf) in self.recv_flows.iter() {
             if rf.book.is_complete() || rf.book.core.size().is_none() {
                 continue;
             }
@@ -241,6 +238,9 @@ impl NdpEndpoint {
                 stalled.push(id);
             }
         }
+        // Slot order is not key order: sort so the NACK/pull emission order
+        // stays exactly the seed's BTreeMap scan order.
+        stalled.sort_unstable();
         for id in stalled {
             ctx.metrics.note_timeout(id);
             // Tell the sender what is missing (a stall means the loss signal
@@ -248,7 +248,7 @@ impl NdpEndpoint {
             // neither trims nor ACKs), then replenish the pull stream.
             let mtu = self.cfg.base.mtu_payload as u64;
             let mut nacks = Vec::new();
-            if let Some(rf) = self.recv_flows.get_mut(&id) {
+            if let Some(rf) = self.recv_flows.get_mut(id) {
                 // The stuck credits are gone: write them off so fresh pulls
                 // flow, and tell the sender exactly what to requeue.
                 rf.forgiven += Self::outstanding(rf);
@@ -272,15 +272,14 @@ impl NdpEndpoint {
         self.arm_pull_pacer(ctx);
         if any_incomplete {
             self.backstop_armed = true;
-            let t = ctx.set_timer_in(backstop);
-            self.timers.insert(t, TimerKind::Backstop);
+            ctx.set_timer_in_with(backstop, self.timers.arm(TimerKind::Backstop));
         }
     }
 
     /// Send the next packet in response to a pull.
     fn pump_one(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
         let mtu = self.cfg.base.mtu_payload;
-        if let Some(sf) = self.send_flows.get_mut(&flow) {
+        if let Some(sf) = self.send_flows.get_mut(flow) {
             if let Some(chunk) = sf.core.next_scheduled_chunk(mtu) {
                 let mut pkt = data_packet(
                     &sf.desc,
@@ -310,13 +309,13 @@ impl NdpEndpoint {
 
     fn on_probe_retry(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
         let retry_rtts = self.cfg.base.aeolus.probe_retry_rtts;
-        let rearm = {
-            let sf = match self.send_flows.get_mut(&flow) {
+        let fires = {
+            let sf = match self.send_flows.get_mut(flow) {
                 Some(sf) => sf,
                 None => return,
             };
             if sf.heard_back {
-                false
+                None
             } else {
                 ctx.metrics.note_timeout(flow);
                 if let Some(ps) = sf.probe_seq {
@@ -325,15 +324,17 @@ impl NdpEndpoint {
                     ctx.send(probe);
                 }
                 sf.retry_fires = (sf.retry_fires + 1).min(6);
-                true
+                Some(sf.retry_fires)
             }
         };
-        if rearm && retry_rtts > 0 {
-            // Capped exponential backoff on fruitless retries.
-            let fires = self.send_flows[&flow].retry_fires;
-            let base = (retry_rtts as Time * self.cfg.base.base_rtt.max(1)).max(aeolus_sim::units::ms(2));
-            let t = ctx.set_timer_in(base << fires.min(6));
-            self.timers.insert(t, TimerKind::ProbeRetry(flow));
+        if let Some(fires) = fires {
+            if retry_rtts > 0 {
+                // Capped exponential backoff on fruitless retries.
+                let base = (retry_rtts as Time * self.cfg.base.base_rtt.max(1))
+                    .max(aeolus_sim::units::ms(2));
+                let token = self.timers.arm(TimerKind::ProbeRetry(flow));
+                ctx.set_timer_in_with(base << fires.min(6), token);
+            }
         }
     }
 
@@ -341,7 +342,7 @@ impl NdpEndpoint {
         let now = ctx.now;
         let iw = self.iw_bytes(ctx);
         let mtu = self.cfg.base.mtu_payload as u64;
-        let rf = self.recv_flows.entry(pkt.flow).or_insert_with(|| RecvFlow {
+        let rf = self.recv_flows.get_or_insert_with(pkt.flow, || RecvFlow {
             sender: pkt.src,
             book: RecvBook::new(),
             pulls_sent: 0,
@@ -398,8 +399,7 @@ impl Endpoint for NdpEndpoint {
             let delay =
                 (self.cfg.base.aeolus.probe_retry_rtts as Time * self.cfg.base.base_rtt.max(1))
                     .max(aeolus_sim::units::ms(2));
-            let t = ctx.set_timer_in(delay);
-            self.timers.insert(t, TimerKind::ProbeRetry(flow.id));
+            ctx.set_timer_in_with(delay, self.timers.arm(TimerKind::ProbeRetry(flow.id)));
         }
         self.send_flows.insert(
             flow.id,
@@ -415,7 +415,7 @@ impl Endpoint for NdpEndpoint {
                 // NACK so the sender requeues the bytes, then keep pulling.
                 self.ensure_recv_flow(&pkt, ctx);
                 let sender = {
-                    let rf = self.recv_flows.get_mut(&pkt.flow).expect("just ensured");
+                    let rf = self.recv_flows.get_mut(pkt.flow).expect("just ensured");
                     rf.arrivals += 1;
                     rf.sender
                 };
@@ -427,7 +427,7 @@ impl Endpoint for NdpEndpoint {
             }
             PacketKind::Data => {
                 self.ensure_recv_flow(&pkt, ctx);
-                let rf = self.recv_flows.get_mut(&pkt.flow).expect("just ensured");
+                let rf = self.recv_flows.get_mut(pkt.flow).expect("just ensured");
                 rf.arrivals += 1;
                 let v = rf.book.on_data(&pkt, ctx);
                 let sender = rf.sender;
@@ -441,7 +441,7 @@ impl Endpoint for NdpEndpoint {
             }
             PacketKind::Probe => {
                 self.ensure_recv_flow(&pkt, ctx);
-                let rf = self.recv_flows.get_mut(&pkt.flow).expect("just ensured");
+                let rf = self.recv_flows.get_mut(pkt.flow).expect("just ensured");
                 rf.book.core.on_probe(pkt.seq, pkt.flow_size);
                 let sender = rf.sender;
                 let mut pa = probe_ack_packet(pkt.flow, ctx.host, sender, pkt.seq);
@@ -452,7 +452,7 @@ impl Endpoint for NdpEndpoint {
                 // write the lost packets' credits off and top up the pulls.
                 let mtu = self.cfg.base.mtu_payload as u64;
                 {
-                    let rf = self.recv_flows.get_mut(&pkt.flow).expect("just ensured");
+                    let rf = self.recv_flows.get_mut(pkt.flow).expect("just ensured");
                     let burst_lost = pkt.seq.saturating_sub(rf.book.core.received_below(pkt.seq));
                     let lost_pkts = burst_lost.div_ceil(mtu);
                     let outstanding = Self::outstanding(rf);
@@ -466,7 +466,7 @@ impl Endpoint for NdpEndpoint {
                 // NACK, including re-trimmed retransmissions, so requeue
                 // unconditionally.
                 let mtu = self.cfg.base.mtu_payload as u64;
-                if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                if let Some(sf) = self.send_flows.get_mut(pkt.flow) {
                     sf.heard_back = true;
                     let end = (pkt.seq + mtu).min(sf.desc.size);
                     let lost = sf.core.requeue_lost(pkt.seq, end);
@@ -481,7 +481,7 @@ impl Endpoint for NdpEndpoint {
                 }
             }
             PacketKind::Pull => {
-                if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                if let Some(sf) = self.send_flows.get_mut(pkt.flow) {
                     sf.heard_back = true;
                     ctx.emit(TransportEvent::CreditReceipt {
                         flow: pkt.flow,
@@ -491,7 +491,7 @@ impl Endpoint for NdpEndpoint {
                 self.pump_one(pkt.flow, ctx);
             }
             PacketKind::Ack { of_probe, end } => {
-                if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                if let Some(sf) = self.send_flows.get_mut(pkt.flow) {
                     sf.heard_back = true;
                     if of_probe {
                         let lost = sf.core.on_probe_ack();
@@ -517,7 +517,7 @@ impl Endpoint for NdpEndpoint {
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
-        match self.timers.remove(&token) {
+        match self.timers.fire(token) {
             Some(TimerKind::PullTick) => self.on_pull_tick(ctx),
             Some(TimerKind::Backstop) => self.on_backstop(ctx),
             Some(TimerKind::ProbeRetry(f)) => self.on_probe_retry(f, ctx),

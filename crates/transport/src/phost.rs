@@ -20,13 +20,11 @@
 //!
 //! [`FirstRttMode::Blind`]: crate::common::FirstRttMode::Blind
 
-use std::collections::BTreeMap;
-
 use aeolus_core::PreCreditSender;
 use aeolus_sim::units::Time;
 use aeolus_sim::{
-    Ctx, Endpoint, FlowDesc, FlowId, LossCause, NodeId, Packet, PacketKind, TrafficClass,
-    TransportEvent,
+    Ctx, Endpoint, FlowDesc, FlowId, FlowMap, LossCause, NodeId, Packet, PacketKind, TimerTable,
+    TrafficClass, TransportEvent,
 };
 
 use crate::common::{
@@ -95,9 +93,9 @@ struct RecvFlow {
 /// The per-host pHost endpoint.
 pub struct PHostEndpoint {
     cfg: PHostConfig,
-    send_flows: BTreeMap<FlowId, SendFlow>,
-    recv_flows: BTreeMap<FlowId, RecvFlow>,
-    timers: BTreeMap<u64, TimerKind>,
+    send_flows: FlowMap<FlowId, SendFlow>,
+    recv_flows: FlowMap<FlowId, RecvFlow>,
+    timers: TimerTable<TimerKind>,
     pacer_armed: bool,
     next_token_at: Time,
     scan_armed: bool,
@@ -108,9 +106,9 @@ impl PHostEndpoint {
     pub fn new(cfg: PHostConfig) -> PHostEndpoint {
         PHostEndpoint {
             cfg,
-            send_flows: BTreeMap::new(),
-            recv_flows: BTreeMap::new(),
-            timers: BTreeMap::new(),
+            send_flows: FlowMap::new(),
+            recv_flows: FlowMap::new(),
+            timers: TimerTable::new(),
             pacer_armed: false,
             next_token_at: 0,
             scan_armed: false,
@@ -149,8 +147,7 @@ impl PHostEndpoint {
         }
         self.pacer_armed = true;
         let delay = self.next_token_at.saturating_sub(ctx.now);
-        let t = ctx.set_timer_in(delay);
-        self.timers.insert(t, TimerKind::TokenTick);
+        ctx.set_timer_in_with(delay, self.timers.arm(TimerKind::TokenTick));
     }
 
     /// One pacer tick: give a token to the SRPT-best flow with a deficit.
@@ -158,15 +155,18 @@ impl PHostEndpoint {
         self.pacer_armed = false;
         let rtt_bytes = self.rtt_bytes(ctx);
         let mtu = self.cfg.base.mtu_payload as u64;
-        // SRPT: smallest remaining first.
+        // SRPT: smallest remaining first. The seed's BTreeMap scan broke
+        // remaining-bytes ties by smallest flow id implicitly (min_by_key
+        // keeps the first minimum in key order); slot order is different,
+        // so the id is now an explicit tie-break key.
         let best = self
             .recv_flows
             .iter()
             .filter(|(_, rf)| Self::token_deficit(rf, rtt_bytes, mtu) > 0)
-            .min_by_key(|(_, rf)| rf.book.remaining().unwrap_or(u64::MAX))
-            .map(|(&id, rf)| (id, rf.sender));
+            .min_by_key(|(id, rf)| (rf.book.remaining().unwrap_or(u64::MAX), *id))
+            .map(|(id, rf)| (id, rf.sender));
         if let Some((id, sender)) = best {
-            let rf = self.recv_flows.get_mut(&id).expect("chosen flow");
+            let rf = self.recv_flows.get_mut(id).expect("chosen flow");
             rf.tokens_sent += 1;
             let mut tok = Packet::control(id, ctx.host, sender, rf.tokens_sent, PacketKind::Pull);
             tok.priority = 0;
@@ -182,8 +182,7 @@ impl PHostEndpoint {
                 .any(|rf| Self::token_deficit(rf, rtt_bytes, mtu) > 0);
             if more {
                 self.pacer_armed = true;
-                let t = ctx.set_timer_in(spacing);
-                self.timers.insert(t, TimerKind::TokenTick);
+                ctx.set_timer_in_with(spacing, self.timers.arm(TimerKind::TokenTick));
             }
         }
     }
@@ -194,8 +193,7 @@ impl PHostEndpoint {
         }
         self.scan_armed = true;
         let delay = self.stale_after() / 2;
-        let t = ctx.set_timer_in(delay);
-        self.timers.insert(t, TimerKind::StallScan);
+        ctx.set_timer_in_with(delay, self.timers.arm(TimerKind::StallScan));
     }
 
     fn stale_after(&self) -> Time {
@@ -213,7 +211,7 @@ impl PHostEndpoint {
         let stale = self.stale_after();
         let mut any_incomplete = false;
         let mut resends: Vec<ResendBatch> = Vec::new();
-        for (&id, rf) in self.recv_flows.iter_mut() {
+        for (id, rf) in self.recv_flows.iter_mut() {
             if rf.book.is_complete() {
                 continue;
             }
@@ -249,6 +247,9 @@ impl PHostEndpoint {
                 resends.push((id, rf.sender, missing));
             }
         }
+        // Slot order is not key order: sort so resend emission matches the
+        // seed's BTreeMap scan order exactly.
+        resends.sort_unstable_by_key(|&(id, _, _)| id);
         for (id, sender, missing) in resends {
             for (s, e) in missing {
                 let r = Packet::control(id, ctx.host, sender, s, PacketKind::Resend { end: e });
@@ -258,16 +259,14 @@ impl PHostEndpoint {
         self.arm_pacer(ctx);
         if any_incomplete {
             self.scan_armed = true;
-            let delay = stale / 2;
-            let t = ctx.set_timer_in(delay);
-            self.timers.insert(t, TimerKind::StallScan);
+            ctx.set_timer_in_with(stale / 2, self.timers.arm(TimerKind::StallScan));
         }
     }
 
     /// Send one token-induced packet.
     fn pump_one(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
         let mtu = self.cfg.base.mtu_payload;
-        if let Some(sf) = self.send_flows.get_mut(&flow) {
+        if let Some(sf) = self.send_flows.get_mut(flow) {
             sf.core.end_burst();
             if let Some(chunk) = sf.core.next_scheduled_chunk(mtu) {
                 let mut pkt = data_packet(
@@ -309,13 +308,13 @@ impl PHostEndpoint {
         }
         let base = self.retry_base();
         let probe_recovery = self.cfg.base.mode.probe_recovery();
-        let rearm = {
-            let sf = match self.send_flows.get_mut(&flow) {
+        let fires = {
+            let sf = match self.send_flows.get_mut(flow) {
                 Some(sf) => sf,
                 None => return,
             };
             if sf.heard_back || sf.completed {
-                false
+                None
             } else {
                 // Total silence: re-introduce the flow to the receiver.
                 ctx.metrics.note_timeout(flow);
@@ -328,18 +327,17 @@ impl PHostEndpoint {
                     }
                 }
                 sf.retry_fires = (sf.retry_fires + 1).min(6);
-                true
+                Some(sf.retry_fires)
             }
         };
-        if rearm {
-            let fires = self.send_flows[&flow].retry_fires;
-            let t = ctx.set_timer_in(base << fires.min(6));
-            self.timers.insert(t, TimerKind::RtsRetry(flow));
+        if let Some(fires) = fires {
+            let token = self.timers.arm(TimerKind::RtsRetry(flow));
+            ctx.set_timer_in_with(base << fires.min(6), token);
         }
     }
 
     fn ensure_recv_flow(&mut self, pkt: &Packet, now: Time) {
-        let rf = self.recv_flows.entry(pkt.flow).or_insert_with(|| RecvFlow {
+        let rf = self.recv_flows.get_or_insert_with(pkt.flow, || RecvFlow {
             sender: pkt.src,
             book: RecvBook::new(),
             tokens_sent: 0,
@@ -389,8 +387,8 @@ impl Endpoint for PHostEndpoint {
             }
         }
         if self.cfg.base.aeolus.probe_retry_rtts > 0 {
-            let t = ctx.set_timer_in(self.retry_base());
-            self.timers.insert(t, TimerKind::RtsRetry(flow.id));
+            let token = self.timers.arm(TimerKind::RtsRetry(flow.id));
+            ctx.set_timer_in_with(self.retry_base(), token);
         }
         self.send_flows.insert(
             flow.id,
@@ -416,7 +414,7 @@ impl Endpoint for PHostEndpoint {
             PacketKind::Data => {
                 self.ensure_recv_flow(&pkt, ctx.now);
                 let mode = self.cfg.base.mode;
-                let rf = self.recv_flows.get_mut(&pkt.flow).expect("just ensured");
+                let rf = self.recv_flows.get_mut(pkt.flow).expect("just ensured");
                 let unscheduled = pkt.class == TrafficClass::Unscheduled;
                 if !unscheduled {
                     rf.sched_pkts_received += 1;
@@ -440,7 +438,7 @@ impl Endpoint for PHostEndpoint {
             }
             PacketKind::Probe => {
                 self.ensure_recv_flow(&pkt, ctx.now);
-                let rf = self.recv_flows.get_mut(&pkt.flow).expect("just ensured");
+                let rf = self.recv_flows.get_mut(pkt.flow).expect("just ensured");
                 rf.book.core.on_probe(pkt.seq, pkt.flow_size);
                 let sender = rf.sender;
                 let mut pa = probe_ack_packet(pkt.flow, ctx.host, sender, pkt.seq);
@@ -451,7 +449,7 @@ impl Endpoint for PHostEndpoint {
             }
             PacketKind::Pull => {
                 // A token.
-                if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                if let Some(sf) = self.send_flows.get_mut(pkt.flow) {
                     sf.heard_back = true;
                     ctx.emit(TransportEvent::CreditReceipt {
                         flow: pkt.flow,
@@ -463,7 +461,7 @@ impl Endpoint for PHostEndpoint {
             PacketKind::Resend { end } => {
                 // pHost recovery is token re-issue in every mode: requeue
                 // the range; the extended token budget clocks it out.
-                if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                if let Some(sf) = self.send_flows.get_mut(pkt.flow) {
                     sf.heard_back = true;
                     let lost = sf.core.requeue_lost(pkt.seq, end.min(sf.desc.size));
                     if lost > 0 {
@@ -477,7 +475,7 @@ impl Endpoint for PHostEndpoint {
                 }
             }
             PacketKind::Ack { of_probe, end } => {
-                if let Some(sf) = self.send_flows.get_mut(&pkt.flow) {
+                if let Some(sf) = self.send_flows.get_mut(pkt.flow) {
                     sf.heard_back = true;
                     let (lost, cause) = if of_probe {
                         (sf.core.on_probe_ack(), LossCause::Probe)
@@ -508,7 +506,7 @@ impl Endpoint for PHostEndpoint {
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
-        match self.timers.remove(&token) {
+        match self.timers.fire(token) {
             Some(TimerKind::TokenTick) => self.on_token_tick(ctx),
             Some(TimerKind::StallScan) => self.on_stall_scan(ctx),
             Some(TimerKind::RtsRetry(f)) => self.on_rts_retry(f, ctx),

@@ -68,6 +68,44 @@ assert ratio <= 1.0 + tol, f"NullTracer kernel regressed {ratio:.3f}x > {1+tol:.
 rate, floor = fresh["units_per_sec"], (1.0 - tol) * base["units_per_sec"]
 print(f"events/s gate: incast_sim_wheel {rate:.0f} events/s vs baseline {base['units_per_sec']:.0f} (floor {floor:.0f})")
 assert rate >= floor, f"engine throughput regressed: {rate:.0f} events/s < {floor:.0f} floor"
+# Same floor for the fully-traced kernel (the NullTracer-overhead bench's
+# denominator): recording-path throughput is a supported configuration and
+# must not silently rot either.
+fresh_rec = bench(sys.argv[1], "incast_sim_wheel_recorded")
+base_rec = bench(sys.argv[2], "incast_sim_wheel_recorded")
+rate, floor = fresh_rec["units_per_sec"], (1.0 - tol) * base_rec["units_per_sec"]
+print(f"events/s gate: incast_sim_wheel_recorded {rate:.0f} events/s vs baseline {base_rec['units_per_sec']:.0f} (floor {floor:.0f})")
+assert rate >= floor, f"traced throughput regressed: {rate:.0f} events/s < {floor:.0f} floor"
+EOF
+
+# Macro throughput gate: one measured iteration of the quick-scale Figure 9
+# sweep (the heaviest single kernel in the BENCH trajectory) must hold the
+# committed baseline's events/s floor. One iteration is noisy, so the
+# tolerance is wider than the engine gate's; override with AEOLUS_MACRO_TOL.
+macro_out="$(mktemp -d)/bench_macro.json"
+AEOLUS_BENCH_ITERS=1 AEOLUS_BENCH_WARMUP=1 \
+    cargo run --release -q -p aeolus-bench --bin aeolus-bench -- --out "$macro_out"
+python3 - "$macro_out" results/bench.json <<'EOF'
+import json, os, sys
+def bench(path, name):
+    for suite in json.load(open(path))["suites"]:
+        for b in suite["benches"]:
+            if b["name"] == name:
+                return b
+    raise SystemExit(f"{name} missing from {path}")
+fresh = bench(sys.argv[1], "fig09_quick_serial")
+base = bench(sys.argv[2], "fig09_quick_serial")
+tol = float(os.environ.get("AEOLUS_MACRO_TOL", "0.30"))
+rate, floor = fresh["units_per_sec"], (1.0 - tol) * base["units_per_sec"]
+print(f"macro gate: fig09_quick_serial {rate:.0f} events/s vs baseline {base['units_per_sec']:.0f} (floor {floor:.0f})")
+assert rate >= floor, f"macro throughput regressed: {rate:.0f} events/s < {floor:.0f} floor"
+# Bit-exactness gate: the kernel's total event count is deterministic, so a
+# fresh run must process exactly as many events as the committed baseline.
+# Any drift means a "performance" change altered simulation behavior.
+assert fresh["units"] == base["units"], (
+    f"fig09 event count drifted: {fresh['units']} vs baseline {base['units']} — "
+    "the hot path changed simulation behavior, not just its speed")
+print(f"macro gate: fig09_quick_serial event count bit-exact ({fresh['units']} events)")
 EOF
 
 # Conformance fuzz: a bounded batch of seeded random scenarios (scheme x
@@ -78,6 +116,11 @@ EOF
 # NullTracer bench gate above doubles as the oracle-off overhead proof:
 # default builds dispatch the oracle's hooks to statically-inlined no-ops.
 cargo run --release -q -p aeolus-experiments --bin repro -- fuzz --cases 25 --seed 1
+
+# A second batch on a fresh seed: the slab-backed per-flow state (FlowMap /
+# TimerTable) replaced every transport's BTreeMaps, so widen the randomized
+# conformance coverage over flow churn, timer recycling and fault overlap.
+cargo run --release -q -p aeolus-experiments --bin repro -- fuzz --cases 25 --seed 6
 
 # Oracle smoke under a real experiment: fig1 at smoke scale with --check
 # installs the CheckedTracer on every workload run; any invariant
