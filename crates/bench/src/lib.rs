@@ -6,6 +6,7 @@
 //! exercise the same code paths as the full runner in `aeolus-experiments`.
 
 pub mod harness;
+pub mod trajectory;
 
 use aeolus_sim::event::{Event, EventQueue, SchedulerKind};
 use aeolus_sim::topology::LinkParams;

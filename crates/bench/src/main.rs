@@ -15,6 +15,7 @@
 
 use aeolus_bench::alloc_counter::CountingAlloc;
 use aeolus_bench::harness::{write_json, BenchConfig, Suite};
+use aeolus_bench::trajectory::{find_all_snapshots, trajectory_delta};
 use aeolus_bench::{
     batched_dequeue, boxed_churn, btreemap_churn, flowmap_churn, incast_sim_events,
     incast_sim_events_recorded, pool_churn, route_lookup, steady_incast_alloc_window,
@@ -54,7 +55,7 @@ fn main() {
             }
             "--snapshot" => {
                 snapshot = Some(iter.next().cloned().unwrap_or_else(|| {
-                    eprintln!("--snapshot wants a path (e.g. results/BENCH_6.json)");
+                    eprintln!("--snapshot wants a path (e.g. BENCH_7.json at the repo root)");
                     std::process::exit(2);
                 }))
             }
@@ -180,9 +181,12 @@ fn main() {
             std::process::exit(1);
         }
     }
-    // BENCH trajectory: an immutable per-PR snapshot next to the rolling
-    // results/bench.json, so the repo accumulates a performance history
-    // (BENCH_5.json, BENCH_6.json, ...) that later PRs can be diffed against.
+    // BENCH trajectory: immutable per-PR snapshots (BENCH_5.json,
+    // BENCH_6.json, ...) accumulate at the *repo root*, next to README.md,
+    // so the performance history is discoverable without knowing about
+    // results/. A --snapshot path given with a directory component (the old
+    // results/BENCH_<n>.json convention) still works, but a root-level copy
+    // is emitted alongside it so the trajectory never fragments again.
     if let Some(snap) = snapshot {
         match write_json(&suites, &snap) {
             Ok(()) => println!("wrote snapshot {snap}"),
@@ -191,5 +195,21 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        let base = std::path::Path::new(&snap)
+            .file_name()
+            .map(|f| f.to_string_lossy().into_owned())
+            .unwrap_or_else(|| snap.clone());
+        if base != snap {
+            match write_json(&suites, &base) {
+                Ok(()) => println!("wrote repo-root snapshot copy {base}"),
+                Err(e) => eprintln!("failed to write repo-root snapshot {base}: {e}"),
+            }
+        }
     }
+
+    // Print the full trajectory — every repo-root snapshot chained into
+    // this run, per bench — so a cross-PR regression is visible right here
+    // instead of requiring a manual diff of snapshot files.
+    println!();
+    print!("{}", trajectory_delta(&find_all_snapshots(), &suites));
 }

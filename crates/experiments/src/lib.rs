@@ -10,6 +10,7 @@
 
 pub mod ablation;
 pub mod chaos;
+pub mod chaos_nodes;
 pub mod compare;
 pub mod ext_fastpass;
 pub mod ext_phost;
@@ -82,6 +83,7 @@ pub fn registry() -> Vec<ExperimentEntry> {
         ("table5", tab05::run),
         ("ablation", ablation::run),
         ("chaos", chaos::run),
+        ("chaos_nodes", chaos_nodes::run),
         ("phost", ext_phost::run),
         ("fastpass", ext_fastpass::run),
         ("reactive", ext_reactive::run),

@@ -8,7 +8,7 @@
 
 use crate::metrics::Metrics;
 use crate::packet::{FlowDesc, NodeId, Packet};
-use crate::telemetry::{TraceSink, TransportEvent};
+use crate::telemetry::{FaultEvent, TraceSink, TransportEvent};
 use crate::units::{Rate, Time};
 
 /// A transport endpoint installed on a host.
@@ -19,6 +19,19 @@ pub trait Endpoint {
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>);
     /// A timer set through [`Ctx::set_timer_in`] fired.
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>);
+    /// The host crashed (fault injection): wipe all per-flow transport
+    /// state — flowmap slots, timers, credit/grant ledgers. Timers already
+    /// in the event queue will still fire; they must go stale, not
+    /// misfire (use [`crate::flowmap::TimerTable::clear`]).
+    fn on_crash(&mut self, _ctx: &mut Ctx<'_>) {}
+    /// A flow this endpoint participates in (as sender or receiver) was
+    /// aborted by the engine. Drop its state and tombstone the flow id so
+    /// stale in-flight packets cannot resurrect it before a restart.
+    fn on_flow_abort(&mut self, _flow: FlowDesc, _ctx: &mut Ctx<'_>) {}
+    /// A previously-aborted flow is about to be relaunched (the engine
+    /// re-delivers `on_flow_arrival` at the source right after this).
+    /// Clear the tombstone and any leftover incarnation state.
+    fn on_flow_restart(&mut self, _flow: FlowDesc, _ctx: &mut Ctx<'_>) {}
 }
 
 /// Buffered actions produced by an endpoint handler.
@@ -82,6 +95,14 @@ impl<'a> Ctx<'a> {
     pub fn emit(&mut self, ev: TransportEvent) {
         if self.trace_enabled {
             self.tracer.transport_event(self.now, self.host, &ev);
+        }
+    }
+
+    /// Report a fault-recovery event (e.g. a transport-initiated flow abort
+    /// after a peer-silence threshold). No-op unless tracing.
+    pub fn emit_fault(&mut self, ev: FaultEvent) {
+        if self.trace_enabled {
+            self.tracer.fault_event(self.now, &ev);
         }
     }
 }

@@ -73,6 +73,16 @@ pub enum Event {
         /// True at the window start, false at its end.
         start: bool,
     },
+    /// A fault-plan node window transitions (crash or restart). At the
+    /// start the network purges the dead node's queues, wipes its endpoint
+    /// and aborts its flows; at the end it re-kicks adjacent ports and
+    /// relaunches aborted flows. Only scheduled for non-empty plans.
+    NodeFault {
+        /// Index into the plan's node-window list.
+        window: usize,
+        /// True at the crash instant, false at the restart.
+        start: bool,
+    },
 }
 
 struct Scheduled {

@@ -89,16 +89,23 @@ pub enum LinkFilter {
     Node(NodeId),
     /// One specific egress port.
     Link(NodeId, PortId),
+    /// Every link touching one node, in either direction: the node's own
+    /// egress ports plus every port whose far end is the node. Cutting all
+    /// adjacent links disconnects the node — the building block for
+    /// pod-level partitions.
+    Adjacent(NodeId),
 }
 
 impl LinkFilter {
-    /// Does the egress port `(node, port)` fall under this filter?
+    /// Does the egress link `(node, port)`, whose far end is `to`, fall
+    /// under this filter?
     #[inline]
-    pub fn matches(&self, node: NodeId, port: PortId) -> bool {
+    pub fn matches(&self, node: NodeId, port: PortId, to: NodeId) -> bool {
         match *self {
             LinkFilter::All => true,
             LinkFilter::Node(n) => n == node,
             LinkFilter::Link(n, p) => n == node && p == port,
+            LinkFilter::Adjacent(n) => n == node || n == to,
         }
     }
 }
@@ -156,6 +163,67 @@ impl LinkWindow {
     }
 }
 
+/// Which node a node-fault directive targets.
+///
+/// The `--faults` grammar names workload hosts by index; the harness
+/// resolves indices against its host list (which excludes any arbiter)
+/// before installing the plan, so a spec is portable across topologies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeSelector {
+    /// The i-th workload host, resolved at install time (modulo host count).
+    Host(usize),
+    /// A concrete node id (already resolved, or builder-targeted).
+    Node(NodeId),
+}
+
+/// What kind of node fault a [`NodeWindow`] models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeFaultKind {
+    /// Host crash/restart: per-flow transport state is wiped, queued packets
+    /// die, flows touching the host abort and relaunch on restart.
+    Crash,
+    /// Arbiter/controller outage: same mechanics as a crash, but drops are
+    /// accounted as [`crate::queues::DropReason::ArbiterDown`] and workload
+    /// flows are not aborted (only control state dies).
+    ArbiterOutage,
+}
+
+/// A scheduled `[from, until)` window during which one node is dead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeWindow {
+    /// Window start (inclusive): the crash instant.
+    pub from: Time,
+    /// Window end (exclusive): the restart instant.
+    pub until: Time,
+    /// The node that dies.
+    pub node: NodeSelector,
+    /// Crash or arbiter outage.
+    pub kind: NodeFaultKind,
+}
+
+impl NodeWindow {
+    /// Is `t` inside the window?
+    #[inline]
+    pub fn covers(&self, t: Time) -> bool {
+        self.from <= t && t < self.until
+    }
+
+    /// Does the window overlap the half-open interval `[t0, t1)`?
+    #[inline]
+    pub fn overlaps(&self, t0: Time, t1: Time) -> bool {
+        self.from < t1 && t0 < self.until
+    }
+
+    /// The resolved node, if resolution has happened.
+    #[inline]
+    pub fn node_id(&self) -> Option<NodeId> {
+        match self.node {
+            NodeSelector::Node(n) => Some(n),
+            NodeSelector::Host(_) => None,
+        }
+    }
+}
+
 /// A complete, seeded fault schedule for one run.
 ///
 /// Plain data (`Clone + Send + Sync`), so it can ride inside scheme
@@ -169,6 +237,21 @@ pub struct FaultPlan {
     pub corruption: Vec<CorruptionRule>,
     /// Scheduled down/degraded windows.
     pub windows: Vec<LinkWindow>,
+    /// Node crash / arbiter-outage windows (`crash=` directives, plus
+    /// resolved `arbiter=` windows on schemes that have an arbiter host).
+    pub node_windows: Vec<NodeWindow>,
+    /// Raw `arbiter=` windows, awaiting resolution: on schemes with an
+    /// arbiter host they become [`NodeWindow`]s; on credit-based schemes
+    /// without one they become credit blackouts (the credit *source* —
+    /// the receiver NIC pacer in ExpressPass — stalls).
+    pub arbiter_outages: Vec<(Time, Time)>,
+    /// Raw `partition=` windows, awaiting resolution into coordinated
+    /// [`LinkFilter::Adjacent`] down windows over half the host set.
+    pub partitions: Vec<(Time, Time)>,
+    /// Resolved credit blackouts: during `[from, until)` every
+    /// credit-carrying control packet dies at egress with an
+    /// `ArbiterDown` drop. No RNG, no events — a pure per-transmit check.
+    pub blackouts: Vec<(Time, Time)>,
 }
 
 impl FaultPlan {
@@ -206,40 +289,215 @@ impl FaultPlan {
         self
     }
 
+    /// Crash the `host`-th workload host over `[from, until)` (resolved
+    /// against the harness's host list at install time).
+    pub fn with_crash(mut self, from: Time, until: Time, host: usize) -> FaultPlan {
+        assert!(from < until, "empty crash window {from}..{until}");
+        self.node_windows.push(NodeWindow {
+            from,
+            until,
+            node: NodeSelector::Host(host),
+            kind: NodeFaultKind::Crash,
+        });
+        self
+    }
+
+    /// Crash a concrete node over `[from, until)` (builder-only; bypasses
+    /// host-index resolution).
+    pub fn with_node_crash(mut self, from: Time, until: Time, node: NodeId) -> FaultPlan {
+        assert!(from < until, "empty crash window {from}..{until}");
+        self.node_windows.push(NodeWindow {
+            from,
+            until,
+            node: NodeSelector::Node(node),
+            kind: NodeFaultKind::Crash,
+        });
+        self
+    }
+
+    /// Take the arbiter/controller down over `[from, until)`.
+    pub fn with_arbiter_outage(mut self, from: Time, until: Time) -> FaultPlan {
+        assert!(from < until, "empty arbiter window {from}..{until}");
+        self.arbiter_outages.push((from, until));
+        self
+    }
+
+    /// Partition the host set in half over `[from, until)`: every link
+    /// adjacent to the upper half goes dark.
+    pub fn with_partition(mut self, from: Time, until: Time) -> FaultPlan {
+        assert!(from < until, "empty partition window {from}..{until}");
+        self.partitions.push((from, until));
+        self
+    }
+
     /// True when the plan injects nothing. The engine checks this once per
     /// transmission and skips every fault hook, so an empty plan costs one
     /// branch and draws no randomness.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.corruption.is_empty() && self.windows.is_empty()
+        self.corruption.is_empty()
+            && self.windows.is_empty()
+            && self.node_windows.is_empty()
+            && self.arbiter_outages.is_empty()
+            && self.partitions.is_empty()
+            && self.blackouts.is_empty()
     }
 
-    /// Is the egress link `(node, port)` inside a down window at `t`?
+    /// True when the plan carries node- or control-plane faults (crashes,
+    /// arbiter outages, partitions) in raw or resolved form.
+    pub fn has_node_faults(&self) -> bool {
+        !self.node_windows.is_empty()
+            || !self.arbiter_outages.is_empty()
+            || !self.partitions.is_empty()
+            || !self.blackouts.is_empty()
+    }
+
+    /// True when every node-fault directive has been resolved to concrete
+    /// nodes / link windows (see [`FaultPlan::resolve`]).
+    pub fn is_resolved(&self) -> bool {
+        self.arbiter_outages.is_empty()
+            && self.partitions.is_empty()
+            && self.node_windows.iter().all(|w| w.node_id().is_some())
+    }
+
+    /// Resolve host-index selectors and control-plane directives against a
+    /// concrete topology: `hosts` is the workload host list (arbiter
+    /// excluded), `arbiter` the arbiter node for centralized schemes.
+    ///
+    /// - `crash=i@..` windows bind to `hosts[i % len]`.
+    /// - `arbiter=..` windows become a crash-like [`NodeWindow`] on the
+    ///   arbiter when one exists, else a credit blackout (ExpressPass-style
+    ///   credit-source stall).
+    /// - `partition=..` windows expand to coordinated
+    ///   [`LinkFilter::Adjacent`] down windows over the upper half of the
+    ///   host set.
+    ///
+    /// Idempotent; a plan without node faults is untouched.
+    pub fn resolve(&mut self, hosts: &[NodeId], arbiter: Option<NodeId>) {
+        for w in &mut self.node_windows {
+            if let NodeSelector::Host(i) = w.node {
+                assert!(!hosts.is_empty(), "crash directive with no hosts to resolve against");
+                w.node = NodeSelector::Node(hosts[i % hosts.len()]);
+            }
+        }
+        for (from, until) in self.arbiter_outages.drain(..) {
+            match arbiter {
+                Some(a) => self.node_windows.push(NodeWindow {
+                    from,
+                    until,
+                    node: NodeSelector::Node(a),
+                    kind: NodeFaultKind::ArbiterOutage,
+                }),
+                None => self.blackouts.push((from, until)),
+            }
+        }
+        for (from, until) in self.partitions.drain(..) {
+            // Upper half goes dark; with fewer than two hosts there is
+            // nothing to partition.
+            for &h in hosts.get(hosts.len().div_ceil(2)..).unwrap_or(&[]) {
+                self.windows.push(LinkWindow {
+                    from,
+                    until,
+                    links: LinkFilter::Adjacent(h),
+                    kind: WindowKind::Down,
+                });
+            }
+        }
+    }
+
+    /// Is `n` inside a crash/outage window at `t`? Requires a resolved plan.
     #[inline]
-    pub fn link_down_at(&self, node: NodeId, port: PortId, t: Time) -> bool {
+    pub fn node_down_at(&self, n: NodeId, t: Time) -> bool {
+        self.node_windows
+            .iter()
+            .any(|w| w.covers(t) && w.node == NodeSelector::Node(n))
+    }
+
+    /// The drop reason for traffic dying at dead node `n` at `t`:
+    /// `ArbiterDown` if an arbiter-outage window covers it, else `NodeDown`.
+    #[inline]
+    pub fn node_drop_reason(&self, n: NodeId, t: Time) -> crate::queues::DropReason {
+        let arbiter = self.node_windows.iter().any(|w| {
+            w.kind == NodeFaultKind::ArbiterOutage
+                && w.covers(t)
+                && w.node == NodeSelector::Node(n)
+        });
+        if arbiter {
+            crate::queues::DropReason::ArbiterDown
+        } else {
+            crate::queues::DropReason::NodeDown
+        }
+    }
+
+    /// Is the egress link `(node, port) -> to` down at `t`? True for link
+    /// down windows and whenever either endpoint node is crashed.
+    #[inline]
+    pub fn link_down_at(&self, node: NodeId, port: PortId, to: NodeId, t: Time) -> bool {
         self.windows.iter().any(|w| {
-            w.kind == WindowKind::Down && w.covers(t) && w.links.matches(node, port)
-        })
+            w.kind == WindowKind::Down && w.covers(t) && w.links.matches(node, port, to)
+        }) || self
+            .node_windows
+            .iter()
+            .any(|w| w.covers(t) && (w.node == NodeSelector::Node(node) || w.node == NodeSelector::Node(to)))
     }
 
-    /// Does any down window on `(node, port)` overlap `[t0, t1)`? Used to
-    /// cut packets whose serialization straddles a window start.
+    /// Does any down window (link or node) on `(node, port) -> to` overlap
+    /// `[t0, t1)`? Used to cut packets whose serialization straddles a
+    /// window start.
     #[inline]
-    pub fn down_during(&self, node: NodeId, port: PortId, t0: Time, t1: Time) -> bool {
-        self.windows.iter().any(|w| {
-            w.kind == WindowKind::Down && w.overlaps(t0, t1) && w.links.matches(node, port)
-        })
+    pub fn down_during(&self, node: NodeId, port: PortId, to: NodeId, t0: Time, t1: Time) -> bool {
+        self.cut_reason(node, port, to, t0, t1).is_some()
     }
 
-    /// Serialization-time multiplier for `(node, port)` at `t` (1 = full
-    /// rate). Overlapping degraded windows compound via the maximum.
+    /// If a down window (link or node) on `(node, port) -> to` overlaps
+    /// `[t0, t1)`, the drop reason for the cut: node faults take precedence
+    /// over link windows so the taxonomy names the root cause.
     #[inline]
-    pub fn slowdown_at(&self, node: NodeId, port: PortId, t: Time) -> u32 {
+    pub fn cut_reason(
+        &self,
+        node: NodeId,
+        port: PortId,
+        to: NodeId,
+        t0: Time,
+        t1: Time,
+    ) -> Option<crate::queues::DropReason> {
+        for w in &self.node_windows {
+            if w.overlaps(t0, t1)
+                && (w.node == NodeSelector::Node(node) || w.node == NodeSelector::Node(to))
+            {
+                return Some(match w.kind {
+                    NodeFaultKind::ArbiterOutage => crate::queues::DropReason::ArbiterDown,
+                    NodeFaultKind::Crash => crate::queues::DropReason::NodeDown,
+                });
+            }
+        }
+        for w in &self.windows {
+            if w.kind == WindowKind::Down && w.overlaps(t0, t1) && w.links.matches(node, port, to)
+            {
+                return Some(crate::queues::DropReason::LinkDown);
+            }
+        }
+        None
+    }
+
+    /// Does a credit blackout kill this transmission? True only for
+    /// credit-carrying control packets inside a blackout window.
+    #[inline]
+    pub fn blackout_kills(&self, pkt: &Packet, t: Time) -> bool {
+        !self.blackouts.is_empty()
+            && PacketFilter::Credit.matches(pkt)
+            && self.blackouts.iter().any(|&(from, until)| from <= t && t < until)
+    }
+
+    /// Serialization-time multiplier for `(node, port) -> to` at `t` (1 =
+    /// full rate). Overlapping degraded windows compound via the maximum.
+    #[inline]
+    pub fn slowdown_at(&self, node: NodeId, port: PortId, to: NodeId, t: Time) -> u32 {
         self.windows
             .iter()
             .filter_map(|w| match w.kind {
                 WindowKind::Degraded { slowdown }
-                    if w.covers(t) && w.links.matches(node, port) =>
+                    if w.covers(t) && w.links.matches(node, port, to) =>
                 {
                     Some(slowdown)
                 }
@@ -250,13 +508,20 @@ impl FaultPlan {
     }
 
     /// Draw the corruption verdict for one transmission of `pkt` on
-    /// `(node, port)`. The first matching rule draws exactly one Bernoulli
-    /// sample; non-matching packets draw nothing, keeping the RNG stream a
-    /// pure function of the matched-transmission order.
+    /// `(node, port) -> to`. The first matching rule draws exactly one
+    /// Bernoulli sample; non-matching packets draw nothing, keeping the RNG
+    /// stream a pure function of the matched-transmission order.
     #[inline]
-    pub fn corrupts(&self, node: NodeId, port: PortId, pkt: &Packet, rng: &mut SimRng) -> bool {
+    pub fn corrupts(
+        &self,
+        node: NodeId,
+        port: PortId,
+        to: NodeId,
+        pkt: &Packet,
+        rng: &mut SimRng,
+    ) -> bool {
         for rule in &self.corruption {
-            if rule.links.matches(node, port) && rule.filter.matches(pkt) {
+            if rule.links.matches(node, port, to) && rule.filter.matches(pkt) {
                 return rng.chance(rule.prob);
             }
         }
@@ -286,6 +551,17 @@ fn parse_time(s: &str) -> Result<Time, String> {
     Ok((v * scale as f64).round() as Time)
 }
 
+/// Parse a non-empty half-open window `FROM..UNTIL`.
+fn parse_window(s: &str) -> Result<(Time, Time), String> {
+    let (from, until) =
+        s.split_once("..").ok_or_else(|| format!("window '{s}' is not FROM..UNTIL"))?;
+    let (from, until) = (parse_time(from)?, parse_time(until)?);
+    if from >= until {
+        return Err(format!("empty window '{s}'"));
+    }
+    Ok((from, until))
+}
+
 /// Parse a probability like `0.01` or `1%`.
 fn parse_prob(s: &str) -> Result<f64, String> {
     let (num, pct) = match s.strip_suffix('%') {
@@ -311,10 +587,13 @@ impl FromStr for FaultPlan {
     /// - `sched-loss=P` / `unsched-loss=P` — by traffic class
     /// - `down=FROM..UNTIL` — link-down window (times like `2ms..2.3ms`)
     /// - `degrade=FROM..UNTIL@N` — N× slower serialization in the window
+    /// - `crash=I@FROM..UNTIL` — host `I` crashes at FROM, restarts at UNTIL
+    /// - `arbiter=FROM..UNTIL` — arbiter/controller outage window
+    /// - `partition=FROM..UNTIL` — pod partition (upper host half goes dark)
     /// - `seed=N` — corruption RNG seed (default 0)
     ///
-    /// All directives apply to every link; class/direction targeting beyond
-    /// this grammar is available through the builder API.
+    /// All link directives apply to every link; class/direction targeting
+    /// beyond this grammar is available through the builder API.
     fn from_str(s: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::default();
         for tok in s.split(',').map(str::trim).filter(|t| !t.is_empty()) {
@@ -373,6 +652,29 @@ impl FromStr for FaultPlan {
                         Some(n) => plan.with_degraded(from, until, n, LinkFilter::All),
                         None => plan.with_down(from, until, LinkFilter::All),
                     };
+                }
+                "crash" => {
+                    let (host, range) = val.split_once('@').ok_or_else(|| {
+                        format!("'crash' needs a host index, e.g. crash=0@1ms..2ms: '{tok}'")
+                    })?;
+                    let host: usize =
+                        host.parse().map_err(|_| format!("bad host index '{host}' in '{tok}'"))?;
+                    let (from, until) = parse_window(range)?;
+                    plan = plan.with_crash(from, until, host);
+                }
+                "arbiter" => {
+                    if val.contains('@') {
+                        return Err(format!("'arbiter' takes no @host: '{tok}'"));
+                    }
+                    let (from, until) = parse_window(val)?;
+                    plan = plan.with_arbiter_outage(from, until);
+                }
+                "partition" => {
+                    if val.contains('@') {
+                        return Err(format!("'partition' takes no @host: '{tok}'"));
+                    }
+                    let (from, until) = parse_window(val)?;
+                    plan = plan.with_partition(from, until);
                 }
                 _ => return Err(format!("unknown fault directive '{key}'")),
             }
@@ -437,6 +739,32 @@ impl fmt::Display for FaultPlan {
                 }
             }
         }
+        for w in &self.node_windows {
+            sep(f)?;
+            // Resolved selectors project the raw node id into the host-index
+            // position (like builder-only link filters, they are outside
+            // the grammar and render on a best-effort basis).
+            let idx = match w.node {
+                NodeSelector::Host(i) => i,
+                NodeSelector::Node(n) => n.0 as usize,
+            };
+            match w.kind {
+                NodeFaultKind::Crash => {
+                    write!(f, "crash={idx}@{}..{}", fmt_time(w.from), fmt_time(w.until))?;
+                }
+                NodeFaultKind::ArbiterOutage => {
+                    write!(f, "arbiter={}..{}", fmt_time(w.from), fmt_time(w.until))?;
+                }
+            }
+        }
+        for &(from, until) in &self.arbiter_outages {
+            sep(f)?;
+            write!(f, "arbiter={}..{}", fmt_time(from), fmt_time(until))?;
+        }
+        for &(from, until) in &self.partitions {
+            sep(f)?;
+            write!(f, "partition={}..{}", fmt_time(from), fmt_time(until))?;
+        }
         if self.seed != 0 {
             sep(f)?;
             write!(f, "seed={}", self.seed)?;
@@ -474,13 +802,17 @@ mod tests {
         assert!(!plan.corrupts(
             NodeId(0),
             PortId(0),
+            NodeId(1),
             &pkt(PacketKind::Data, TrafficClass::Scheduled),
             &mut rng
         ));
         // No rule matched, so the stream is untouched.
         assert_eq!(rng.next_u64(), before);
-        assert!(!plan.link_down_at(NodeId(0), PortId(0), 0));
-        assert_eq!(plan.slowdown_at(NodeId(0), PortId(0), 0), 1);
+        assert!(!plan.link_down_at(NodeId(0), PortId(0), NodeId(1), 0));
+        assert_eq!(plan.slowdown_at(NodeId(0), PortId(0), NodeId(1), 0), 1);
+        assert!(!plan.node_down_at(NodeId(0), 0));
+        assert!(!plan.has_node_faults());
+        assert!(plan.is_resolved());
     }
 
     #[test]
@@ -522,12 +854,93 @@ mod tests {
         let plan = FaultPlan::new(7)
             .with_down(ms(1), ms(2), LinkFilter::Node(NodeId(3)))
             .with_degraded(ms(1), ms(3), 4, LinkFilter::Link(NodeId(5), PortId(2)));
-        assert!(plan.link_down_at(NodeId(3), PortId(0), ms(1)));
-        assert!(!plan.link_down_at(NodeId(4), PortId(0), ms(1)));
-        assert!(plan.down_during(NodeId(3), PortId(9), ms(2) - 1, ms(2)));
-        assert!(!plan.down_during(NodeId(3), PortId(9), ms(2), ms(3)));
-        assert_eq!(plan.slowdown_at(NodeId(5), PortId(2), ms(2)), 4);
-        assert_eq!(plan.slowdown_at(NodeId(5), PortId(1), ms(2)), 1);
+        let far = NodeId(99);
+        assert!(plan.link_down_at(NodeId(3), PortId(0), far, ms(1)));
+        assert!(!plan.link_down_at(NodeId(4), PortId(0), far, ms(1)));
+        assert!(plan.down_during(NodeId(3), PortId(9), far, ms(2) - 1, ms(2)));
+        assert!(!plan.down_during(NodeId(3), PortId(9), far, ms(2), ms(3)));
+        assert_eq!(plan.slowdown_at(NodeId(5), PortId(2), far, ms(2)), 4);
+        assert_eq!(plan.slowdown_at(NodeId(5), PortId(1), far, ms(2)), 1);
+    }
+
+    #[test]
+    fn adjacent_filter_matches_both_directions() {
+        let f = LinkFilter::Adjacent(NodeId(3));
+        assert!(f.matches(NodeId(3), PortId(0), NodeId(9)), "egress of the node");
+        assert!(f.matches(NodeId(9), PortId(4), NodeId(3)), "ingress toward the node");
+        assert!(!f.matches(NodeId(9), PortId(4), NodeId(8)));
+    }
+
+    #[test]
+    fn node_windows_cut_links_on_both_endpoints() {
+        let mut plan = FaultPlan::new(0).with_crash(ms(1), ms(2), 0);
+        assert!(plan.has_node_faults());
+        assert!(!plan.is_resolved());
+        plan.resolve(&[NodeId(7), NodeId(8)], None);
+        assert!(plan.is_resolved());
+        assert!(plan.node_down_at(NodeId(7), ms(1)));
+        assert!(!plan.node_down_at(NodeId(7), ms(2)), "restart instant is alive");
+        assert!(!plan.node_down_at(NodeId(8), ms(1)));
+        // The crashed node's egress and every link toward it are down.
+        assert!(plan.link_down_at(NodeId(7), PortId(0), NodeId(2), ms(1)));
+        assert!(plan.link_down_at(NodeId(2), PortId(5), NodeId(7), ms(1)));
+        assert!(!plan.link_down_at(NodeId(2), PortId(5), NodeId(8), ms(1)));
+        use crate::queues::DropReason;
+        assert_eq!(
+            plan.cut_reason(NodeId(2), PortId(5), NodeId(7), ms(2) - 1, ms(2)),
+            Some(DropReason::NodeDown)
+        );
+        assert_eq!(plan.cut_reason(NodeId(2), PortId(5), NodeId(7), ms(2), ms(3)), None);
+        assert_eq!(plan.node_drop_reason(NodeId(7), ms(1)), DropReason::NodeDown);
+    }
+
+    #[test]
+    fn arbiter_outage_resolves_to_node_window_or_blackout() {
+        use crate::queues::DropReason;
+        // With an arbiter host: a crash-like window with arbiter taxonomy.
+        let mut with_arb = FaultPlan::new(0).with_arbiter_outage(ms(1), ms(2));
+        with_arb.resolve(&[NodeId(1)], Some(NodeId(9)));
+        assert!(with_arb.is_resolved());
+        assert!(with_arb.node_down_at(NodeId(9), ms(1)));
+        assert_eq!(with_arb.node_drop_reason(NodeId(9), ms(1)), DropReason::ArbiterDown);
+        assert_eq!(
+            with_arb.cut_reason(NodeId(9), PortId(0), NodeId(1), ms(1), ms(1) + 1),
+            Some(DropReason::ArbiterDown)
+        );
+        // Without one: a credit blackout killing credit-carrying packets.
+        let mut no_arb = FaultPlan::new(0).with_arbiter_outage(ms(1), ms(2));
+        no_arb.resolve(&[NodeId(1)], None);
+        assert!(no_arb.is_resolved());
+        assert_eq!(no_arb.blackouts, vec![(ms(1), ms(2))]);
+        let credit = pkt(PacketKind::Credit, TrafficClass::Control);
+        let data = pkt(PacketKind::Data, TrafficClass::Scheduled);
+        assert!(no_arb.blackout_kills(&credit, ms(1)));
+        assert!(!no_arb.blackout_kills(&credit, ms(2)), "half-open window");
+        assert!(!no_arb.blackout_kills(&data, ms(1)), "data rides through a credit stall");
+    }
+
+    #[test]
+    fn partition_expands_to_adjacent_down_windows_over_upper_half() {
+        let hosts = [NodeId(4), NodeId(5), NodeId(6), NodeId(7)];
+        let mut plan = FaultPlan::new(0).with_partition(ms(1), ms(2));
+        plan.resolve(&hosts, None);
+        assert!(plan.is_resolved());
+        assert_eq!(plan.windows.len(), 2, "upper half = two hosts");
+        for (w, h) in plan.windows.iter().zip([NodeId(6), NodeId(7)]) {
+            assert_eq!(w.kind, WindowKind::Down);
+            assert_eq!(w.links, LinkFilter::Adjacent(h));
+        }
+        // Cross-partition links are dark, intra-lower-half links are not.
+        assert!(plan.link_down_at(NodeId(0), PortId(2), NodeId(6), ms(1)));
+        assert!(plan.link_down_at(NodeId(7), PortId(0), NodeId(0), ms(1)));
+        assert!(!plan.link_down_at(NodeId(4), PortId(0), NodeId(5), ms(1)));
+    }
+
+    #[test]
+    fn host_selector_resolution_wraps_modulo_host_count() {
+        let mut plan = FaultPlan::new(0).with_crash(ms(1), ms(2), 5);
+        plan.resolve(&[NodeId(10), NodeId(11)], None);
+        assert_eq!(plan.node_windows[0].node, NodeSelector::Node(NodeId(11)));
     }
 
     #[test]
@@ -537,8 +950,8 @@ mod tests {
         let p = pkt(PacketKind::Data, TrafficClass::Scheduled);
         let mut rng = SimRng::seed_from_u64(2);
         for _ in 0..64 {
-            assert!(always.corrupts(NodeId(0), PortId(0), &p, &mut rng));
-            assert!(!never.corrupts(NodeId(0), PortId(0), &p, &mut rng));
+            assert!(always.corrupts(NodeId(0), PortId(0), NodeId(99), &p, &mut rng));
+            assert!(!never.corrupts(NodeId(0), PortId(0), NodeId(99), &p, &mut rng));
         }
     }
 
@@ -548,7 +961,7 @@ mod tests {
         let p = pkt(PacketKind::Data, TrafficClass::Scheduled);
         let mut rng = SimRng::seed_from_u64(plan.seed);
         let hits = (0..20_000)
-            .filter(|_| plan.corrupts(NodeId(0), PortId(0), &p, &mut rng))
+            .filter(|_| plan.corrupts(NodeId(0), PortId(0), NodeId(99), &p, &mut rng))
             .count();
         let rate = hits as f64 / 20_000.0;
         assert!((rate - 0.1).abs() < 0.01, "observed corruption rate {rate}");
@@ -592,6 +1005,10 @@ mod tests {
             "data-loss=0.1, ctrl-loss=0.25, ack-loss=1, probe-loss=0.5",
             "sched-loss=0.001, unsched-loss=0.002, down=0..300ns",
             "degrade=1us..1000001@2",
+            "crash=0@1ms..2ms",
+            "crash=3@200us..500us, crash=0@1ms..1100us, seed=5",
+            "arbiter=1ms..2ms, partition=3ms..4ms",
+            "loss=0.01, crash=1@100us..300us, arbiter=1ms..1500us, partition=2ms..2500us",
             "",
         ];
         for spec in specs {
@@ -629,6 +1046,18 @@ mod tests {
         assert!(err("loss=banana").contains("bad probability"));
         assert!(err("flubber=1").contains("unknown fault directive"));
         assert!(err("loss").contains("not KEY=VALUE"));
+        // Node-fault grammar error paths (mirrors the degrade@0 class of
+        // bugs: every malformed directive names itself in the error).
+        assert!(err("crash=1ms..2ms").contains("needs a host index"), "{}", err("crash=1ms..2ms"));
+        assert!(err("crash=x@1ms..2ms").contains("bad host index"));
+        assert!(err("crash=0@2ms..1ms").contains("empty window"));
+        assert!(err("crash=0@2ms..2ms").contains("empty window"));
+        assert!(err("crash=0@oops").contains("not FROM..UNTIL"));
+        assert!(err("arbiter=2ms..1ms").contains("empty window"));
+        assert!(err("arbiter=0@1ms..2ms").contains("takes no @host"));
+        assert!(err("partition=2ms..1ms").contains("empty window"));
+        assert!(err("partition=0@1ms..2ms").contains("takes no @host"));
+        assert!(err("partition=1xs..2xs").contains("unknown time unit"));
     }
 
     #[test]

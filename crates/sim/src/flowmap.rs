@@ -99,6 +99,22 @@ impl<K: FlowKey, V> FlowMap<K, V> {
         self.len
     }
 
+    /// Drop every entry, keeping the allocated capacity (slab, free list and
+    /// index are reused by subsequent inserts). Used by crash-recovery
+    /// hardening to wipe per-flow transport state wholesale.
+    pub fn clear(&mut self) {
+        self.free.clear();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            *slot = None;
+            self.free.push(i as u32);
+        }
+        for b in self.index.iter_mut() {
+            *b = EMPTY;
+        }
+        self.len = 0;
+        self.tombs = 0;
+    }
+
     /// True when no entries are live.
     #[inline]
     pub fn is_empty(&self) -> bool {
@@ -370,6 +386,21 @@ impl<T> TimerTable<T> {
         self.live -= 1;
         payload
     }
+
+    /// Disarm every timer at once (host crash wipe). Each live slot's
+    /// generation is bumped so tokens already scheduled into the event queue
+    /// go stale — without the bump, a fresh `arm` could recycle the slot at
+    /// the old generation and a pre-crash token would fire the new timer.
+    pub fn clear(&mut self) {
+        self.free.clear();
+        for (slot, (gen, p)) in self.slots.iter_mut().enumerate() {
+            if p.take().is_some() {
+                *gen = gen.wrapping_add(1);
+            }
+            self.free.push(slot as u32);
+        }
+        self.live = 0;
+    }
 }
 
 #[cfg(test)]
@@ -509,6 +540,44 @@ mod tests {
         assert_ne!(new, old, "generation differs");
         assert_eq!(t.fire(old), None, "stale token must not steal the new payload");
         assert_eq!(t.fire(new), Some(2));
+    }
+
+    #[test]
+    fn clear_goes_stale_and_slots_recycle_safely() {
+        let mut t: TimerTable<&str> = TimerTable::new();
+        let a = t.arm("rto");
+        let b = t.arm("probe");
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.fire(a), None, "pre-clear token is stale");
+        assert_eq!(t.fire(b), None);
+        // Recycled slots after the wipe must not answer to old tokens.
+        let c = t.arm("fresh");
+        assert_ne!(c, a);
+        assert_ne!(c, b);
+        assert_eq!(t.fire(a), None, "old token must not steal the recycled slot");
+        assert_eq!(t.fire(c), Some("fresh"));
+        assert_eq!(t.slots.len(), 2, "clear recycles slots instead of leaking them");
+    }
+
+    #[test]
+    fn flowmap_clear_wipes_and_reuses_capacity() {
+        let mut m: FlowMap<FlowId, u32> = FlowMap::new();
+        for i in 0..16 {
+            m.insert(FlowId(i), i as u32);
+        }
+        let cap = m.slots.len();
+        m.clear();
+        assert!(m.is_empty());
+        for i in 0..16 {
+            assert_eq!(m.get(FlowId(i)), None);
+        }
+        for i in 16..32 {
+            m.insert(FlowId(i), i as u32);
+        }
+        assert_eq!(m.len(), 16);
+        assert_eq!(m.slots.len(), cap, "clear keeps the slab capacity");
+        assert_eq!(m.get(FlowId(20)), Some(&20));
     }
 
     #[test]

@@ -91,9 +91,12 @@ pub mod units;
 
 pub use endpoint::{Ctx, Endpoint};
 pub use event::{Event, EventQueue, SchedulerKind};
-pub use faults::{CorruptionRule, FaultPlan, LinkFilter, LinkWindow, PacketFilter, WindowKind};
+pub use faults::{
+    CorruptionRule, FaultPlan, LinkFilter, LinkWindow, NodeFaultKind, NodeSelector, NodeWindow,
+    PacketFilter, WindowKind,
+};
 pub use flowmap::{FlowKey, FlowMap, TimerTable};
-pub use metrics::{FlowRecord, Metrics};
+pub use metrics::{AbortCause, FlowRecord, Metrics};
 pub use network::{Network, TraceEvent, TraceKind};
 pub use oracle::{CheckedTracer, OracleProfile};
 pub use packet::{

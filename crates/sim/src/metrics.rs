@@ -20,9 +20,11 @@ const fn reason_idx(r: DropReason) -> usize {
         DropReason::CreditOverflow => 3,
         DropReason::Corruption => 4,
         DropReason::LinkDown => 5,
+        DropReason::NodeDown => 6,
+        DropReason::ArbiterDown => 7,
     }
 }
-const N_REASONS: usize = 6;
+const N_REASONS: usize = 8;
 const REASONS: [DropReason; N_REASONS] = [
     DropReason::BufferFull,
     DropReason::SharedBufferFull,
@@ -30,6 +32,8 @@ const REASONS: [DropReason; N_REASONS] = [
     DropReason::CreditOverflow,
     DropReason::Corruption,
     DropReason::LinkDown,
+    DropReason::NodeDown,
+    DropReason::ArbiterDown,
 ];
 
 /// Dense index of a [`TrafficClass`] (declaration = `Ord` order).
@@ -48,6 +52,28 @@ const CLASSES: [TrafficClass; N_CLASSES] = [
     TrafficClass::Control,
 ];
 
+/// Why a flow was aborted instead of completing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AbortCause {
+    /// The flow's source or destination host crashed mid-flow.
+    NodeCrash,
+    /// A centralized arbiter/controller outage made progress impossible.
+    ArbiterOutage,
+    /// The transport declared the peer dead after a silence threshold.
+    PeerSilent,
+}
+
+impl AbortCause {
+    /// Stable lowercase label (telemetry / reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AbortCause::NodeCrash => "node-crash",
+            AbortCause::ArbiterOutage => "arbiter-outage",
+            AbortCause::PeerSilent => "peer-silent",
+        }
+    }
+}
+
 /// Lifecycle record of one flow.
 #[derive(Debug, Clone)]
 pub struct FlowRecord {
@@ -55,12 +81,16 @@ pub struct FlowRecord {
     pub desc: FlowDesc,
     /// When the last byte was delivered to the receiver, if completed.
     pub completed_at: Option<Time>,
-    /// Unique payload bytes delivered so far.
+    /// Unique payload bytes delivered so far (current incarnation).
     pub delivered: u64,
     /// Retransmission timeouts suffered by this flow.
     pub timeouts: u32,
     /// Payload bytes retransmitted for this flow.
     pub retransmitted: u64,
+    /// How many times the flow was restarted after a crash/abort.
+    pub restarts: u32,
+    /// Set while the flow is aborted; cleared again by a restart.
+    pub aborted: Option<AbortCause>,
 }
 
 impl FlowRecord {
@@ -91,6 +121,8 @@ pub struct Metrics {
     pub trimmed: u64,
     /// Completed flow count (cached).
     completed: usize,
+    /// Currently-aborted flow count (cached; restarts decrement it).
+    aborted: usize,
 }
 
 impl Metrics {
@@ -103,7 +135,15 @@ impl Metrics {
     pub fn flow_scheduled(&mut self, desc: FlowDesc) {
         let prev = self.flows.insert(
             desc.id,
-            FlowRecord { desc, completed_at: None, delivered: 0, timeouts: 0, retransmitted: 0 },
+            FlowRecord {
+                desc,
+                completed_at: None,
+                delivered: 0,
+                timeouts: 0,
+                retransmitted: 0,
+                restarts: 0,
+                aborted: None,
+            },
         );
         assert!(prev.is_none(), "duplicate flow id {:?}", desc.id);
     }
@@ -112,16 +152,55 @@ impl Metrics {
     /// marks the flow complete when its full size has arrived. Returns true
     /// if this call completed the flow.
     pub fn deliver(&mut self, flow: FlowId, new_bytes: u64, now: Time) -> bool {
-        self.payload_delivered += new_bytes;
         let rec = self.flows.get_mut(flow).expect("deliver for unknown flow");
+        if rec.aborted.is_some() {
+            // Stale delivery racing an abort: the incarnation is dead, the
+            // bytes don't count toward anything until a restart re-runs it.
+            return false;
+        }
+        if rec.completed_at.is_some() {
+            // Wire residue after completion: a crash can wipe the receiver's
+            // book for an already-finished flow while the final ACK dies in
+            // the purge, so the sender's RTO re-delivers bytes into a fresh
+            // book. The record is terminal — don't double-count them.
+            return false;
+        }
+        self.payload_delivered += new_bytes;
         rec.delivered += new_bytes;
         debug_assert!(rec.delivered <= rec.desc.size, "over-delivery on {flow:?}");
-        if rec.completed_at.is_none() && rec.delivered >= rec.desc.size {
+        if rec.delivered >= rec.desc.size {
             rec.completed_at = Some(now);
             self.completed += 1;
             return true;
         }
         false
+    }
+
+    /// Abort `flow` with `cause`. Idempotent: a second abort (or an abort
+    /// after completion) is a no-op. Returns true if the flow was newly
+    /// aborted by this call.
+    pub fn abort_flow(&mut self, flow: FlowId, cause: AbortCause) -> bool {
+        let Some(rec) = self.flows.get_mut(flow) else { return false };
+        if rec.completed_at.is_some() || rec.aborted.is_some() {
+            return false;
+        }
+        rec.aborted = Some(cause);
+        self.aborted += 1;
+        true
+    }
+
+    /// Restart a previously-aborted `flow`: clear the abort, forget the dead
+    /// incarnation's delivered bytes (the relaunch must re-deliver the full
+    /// payload), and count the restart. No-op if the flow is not aborted.
+    pub fn restart_flow(&mut self, flow: FlowId) {
+        let Some(rec) = self.flows.get_mut(flow) else { return };
+        if rec.aborted.take().is_none() {
+            return;
+        }
+        self.aborted -= 1;
+        self.payload_delivered -= rec.delivered;
+        rec.delivered = 0;
+        rec.restarts += 1;
     }
 
     /// Record a retransmission timeout on `flow`.
@@ -203,6 +282,18 @@ impl Metrics {
         self.completed == self.flows.len()
     }
 
+    /// Number of currently-aborted flows.
+    pub fn aborted_count(&self) -> usize {
+        self.aborted
+    }
+
+    /// Whether every registered flow has settled: completed or aborted with
+    /// a cause. This is the "never hung" liveness predicate — a run may end
+    /// with aborted flows, but not with silently-stuck ones.
+    pub fn all_settled(&self) -> bool {
+        self.completed + self.aborted == self.flows.len()
+    }
+
     /// Transfer efficiency: unique delivered payload over payload sent
     /// (Table 1 / Table 4 metric). 1.0 when nothing was sent.
     pub fn transfer_efficiency(&self) -> f64 {
@@ -273,6 +364,41 @@ mod tests {
         assert_eq!(m.total_drops(), 3);
         let cells: Vec<_> = m.drops().collect();
         assert_eq!(cells.len(), 2, "two distinct (reason, class) cells");
+    }
+
+    #[test]
+    fn abort_and_restart_rewind_delivery_accounting() {
+        let mut m = Metrics::new();
+        m.flow_scheduled(desc(1, 3000));
+        m.deliver(FlowId(1), 1500, 200);
+        assert!(m.abort_flow(FlowId(1), AbortCause::NodeCrash));
+        assert!(!m.abort_flow(FlowId(1), AbortCause::PeerSilent), "double abort is a no-op");
+        assert!(m.all_settled());
+        assert!(!m.all_complete());
+        assert_eq!(m.aborted_count(), 1);
+        // Deliveries racing the abort don't count.
+        assert!(!m.deliver(FlowId(1), 1500, 300));
+        assert_eq!(m.payload_delivered, 1500);
+        m.restart_flow(FlowId(1));
+        assert_eq!(m.payload_delivered, 0, "dead incarnation's bytes forgotten");
+        assert_eq!(m.aborted_count(), 0);
+        assert!(!m.all_settled());
+        // The relaunch re-delivers the full payload and completes normally.
+        assert!(m.deliver(FlowId(1), 3000, 900));
+        let rec = m.flow(FlowId(1)).unwrap();
+        assert_eq!(rec.restarts, 1);
+        assert_eq!(rec.aborted, None);
+        assert_eq!(rec.fct(), Some(800));
+        assert!(m.all_complete() && m.all_settled());
+    }
+
+    #[test]
+    fn abort_after_completion_is_rejected() {
+        let mut m = Metrics::new();
+        m.flow_scheduled(desc(1, 100));
+        m.deliver(FlowId(1), 100, 50);
+        assert!(!m.abort_flow(FlowId(1), AbortCause::NodeCrash));
+        assert_eq!(m.aborted_count(), 0);
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use crate::endpoint::{Actions, Ctx, Endpoint};
 use crate::event::{Event, EventQueue, SchedulerKind};
-use crate::faults::FaultPlan;
-use crate::metrics::Metrics;
+use crate::faults::{FaultPlan, NodeFaultKind};
+use crate::metrics::{AbortCause, Metrics};
 use crate::node::{Node, NodeKind};
 use crate::packet::{FlowDesc, NodeId, PortId};
 use crate::pool::{PacketPool, PacketRef};
@@ -81,6 +81,9 @@ pub struct Network<T: Tracer = NullTracer> {
     /// each callback and put back drained, so steady-state dispatch never
     /// allocates.
     actions_scratch: Actions,
+    /// Flows aborted by a node crash, waiting for both endpoints to come
+    /// back up so they can relaunch. Scanned at every node-window end.
+    pending_restart: Vec<FlowDesc>,
 }
 
 impl Default for Network {
@@ -114,6 +117,7 @@ impl<T: Tracer> Network<T> {
             fault_rng: SimRng::seed_from_u64(0),
             pool: PacketPool::new(),
             actions_scratch: Actions::default(),
+            pending_restart: Vec::new(),
         }
     }
 
@@ -128,12 +132,24 @@ impl<T: Tracer> Network<T> {
     /// Call before the run starts; window times already in the past are
     /// clamped to `now`. Installing an empty plan is free — no events are
     /// scheduled and the per-transmission fault check stays a single branch.
-    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+    pub fn set_fault_plan(&mut self, mut plan: FaultPlan) {
+        if !plan.is_resolved() {
+            // The harness resolves plans against its own host list (which
+            // knows about the arbiter); direct engine users get host-index
+            // resolution against every host node, with no arbiter notion.
+            let hosts: Vec<NodeId> =
+                self.nodes.iter().filter(|n| n.is_host()).map(|n| n.id).collect();
+            plan.resolve(&hosts, None);
+        }
         self.fault_rng = SimRng::seed_from_u64(plan.seed ^ 0xae01_f417);
         let now = self.queue.now();
         for (i, w) in plan.windows.iter().enumerate() {
             self.queue.schedule_at(w.from.max(now), Event::FaultWindow { window: i, start: true });
             self.queue.schedule_at(w.until.max(now), Event::FaultWindow { window: i, start: false });
+        }
+        for (i, w) in plan.node_windows.iter().enumerate() {
+            self.queue.schedule_at(w.from.max(now), Event::NodeFault { window: i, start: true });
+            self.queue.schedule_at(w.until.max(now), Event::NodeFault { window: i, start: false });
         }
         self.faults = plan;
     }
@@ -308,7 +324,13 @@ impl<T: Tracer> Network<T> {
     /// Run until the event queue is exhausted or simulated time exceeds
     /// `horizon`. Returns true if all scheduled flows completed.
     pub fn run_to_completion(&mut self, horizon: Time) -> bool {
-        while !(self.metrics.all_complete() && self.metrics.flow_count() > 0) {
+        // "Settled" counts aborted flows too, but an abort with a restart
+        // pending is not a terminal state — keep draining until the restart
+        // window fires.
+        while !(self.metrics.flow_count() > 0
+            && self.metrics.all_settled()
+            && self.pending_restart.is_empty())
+        {
             let Some((_, ev)) = self.queue.pop_at_or_before(horizon) else { break };
             self.events_processed += 1;
             self.dispatch(ev);
@@ -341,9 +363,20 @@ impl<T: Tracer> Network<T> {
             }
             Event::FlowArrival { flow } => {
                 let flow = *flow;
-                self.with_endpoint(flow.src, |ep, ctx| ep.on_flow_arrival(flow, ctx));
+                let now = self.queue.now();
+                if !self.faults.is_empty()
+                    && (self.faults.node_down_at(flow.src, now)
+                        || self.faults.node_down_at(flow.dst, now))
+                {
+                    // The flow arrives while an endpoint is dead: abort on
+                    // the spot and relaunch when the crash window ends.
+                    self.abort_flow(flow, AbortCause::NodeCrash, true);
+                } else {
+                    self.with_endpoint(flow.src, |ep, ctx| ep.on_flow_arrival(flow, ctx));
+                }
             }
             Event::FaultWindow { window, start } => self.on_fault_window(window, start),
+            Event::NodeFault { window, start } => self.on_node_fault(window, start),
         }
     }
 
@@ -363,9 +396,9 @@ impl<T: Tracer> Network<T> {
         }
         let mut touched = Vec::new();
         for n in &self.nodes {
-            for pi in 0..n.ports.len() {
+            for (pi, p) in n.ports.iter().enumerate() {
                 let pid = PortId(pi as u16);
-                if w.links.matches(n.id, pid) {
+                if w.links.matches(n.id, pid, p.link.to) {
                     touched.push((n.id, pid));
                 }
             }
@@ -375,19 +408,239 @@ impl<T: Tracer> Network<T> {
         }
     }
 
+    /// A node-fault window transitioned.
+    ///
+    /// Start: the node goes dark. Every packet sitting in its egress queues
+    /// dies with the window's taxonomy, the endpoint (if any) wipes its
+    /// per-flow transport state, and every incomplete flow touching the node
+    /// aborts. Crash-kind aborts queue for relaunch at the window end;
+    /// arbiter-outage windows abort nothing (workload flows never terminate
+    /// at the arbiter — they merely lose its control traffic).
+    ///
+    /// End: the node comes back. Its ports and every port feeding it are
+    /// re-kicked, and pending flows whose endpoints are all alive again are
+    /// relaunched through a fresh `FlowArrival`.
+    fn on_node_fault(&mut self, window: usize, start: bool) {
+        let w = self.faults.node_windows[window].clone();
+        let node = w.node_id().expect("node window installed unresolved");
+        let now = self.queue.now();
+        if start {
+            if T::ENABLED {
+                self.tracer.fault_event(now, &FaultEvent::NodeCrash { node });
+            }
+            self.purge_ports(node, now);
+            if self.has_endpoint(node) {
+                self.with_endpoint(node, |ep, ctx| ep.on_crash(ctx));
+            }
+            if matches!(w.kind, NodeFaultKind::Crash) {
+                // Abort in flow-id order: `flows()` iterates the record slab
+                // in insertion order, which is schedule order — deterministic.
+                let touched: Vec<FlowDesc> = self
+                    .metrics
+                    .flows()
+                    .filter(|rec| {
+                        rec.completed_at.is_none()
+                            && rec.aborted.is_none()
+                            && rec.desc.start <= now
+                            && (rec.desc.src == node || rec.desc.dst == node)
+                    })
+                    .map(|rec| rec.desc)
+                    .collect();
+                for desc in touched {
+                    self.abort_flow(desc, AbortCause::NodeCrash, true);
+                }
+            }
+        } else {
+            if T::ENABLED {
+                self.tracer.fault_event(now, &FaultEvent::NodeRestart { node });
+            }
+            // Relaunch aborted flows whose endpoints are both back up.
+            let pending = std::mem::take(&mut self.pending_restart);
+            let mut keep = Vec::new();
+            for desc in pending {
+                if self.faults.node_down_at(desc.src, now)
+                    || self.faults.node_down_at(desc.dst, now)
+                {
+                    keep.push(desc);
+                    continue;
+                }
+                self.metrics.restart_flow(desc.id);
+                if T::ENABLED {
+                    self.tracer.fault_event(now, &FaultEvent::FlowRestarted { flow: desc.id });
+                }
+                if self.has_endpoint(desc.src) {
+                    self.with_endpoint(desc.src, move |ep, ctx| ep.on_flow_restart(desc, ctx));
+                }
+                if desc.dst != desc.src && self.has_endpoint(desc.dst) {
+                    self.with_endpoint(desc.dst, move |ep, ctx| ep.on_flow_restart(desc, ctx));
+                }
+                // Relaunch keeps the original descriptor (and original
+                // `start`), so the recorded FCT honestly spans the outage.
+                self.queue.schedule_at(now, Event::FlowArrival { flow: Box::new(desc) });
+            }
+            self.pending_restart.extend(keep);
+            // Wake every port stalled by the crash: the node's own egress
+            // plus every port whose link feeds it.
+            let mut touched = Vec::new();
+            for n in &self.nodes {
+                for (pi, p) in n.ports.iter().enumerate() {
+                    if n.id == node || p.link.to == node {
+                        touched.push((n.id, PortId(pi as u16)));
+                    }
+                }
+            }
+            for (n, p) in touched {
+                self.try_transmit(n, p);
+            }
+        }
+    }
+
+    /// Abort `desc` (idempotent): record the cause, notify both endpoints so
+    /// they drop and tombstone their state, and optionally queue the flow
+    /// for relaunch at the next node-window end.
+    fn abort_flow(&mut self, desc: FlowDesc, cause: AbortCause, restartable: bool) {
+        if !self.metrics.abort_flow(desc.id, cause) {
+            return;
+        }
+        if T::ENABLED {
+            let now = self.queue.now();
+            self.tracer.fault_event(now, &FaultEvent::FlowAborted { flow: desc.id, cause });
+        }
+        if self.has_endpoint(desc.src) {
+            self.with_endpoint(desc.src, move |ep, ctx| ep.on_flow_abort(desc, ctx));
+        }
+        if desc.dst != desc.src && self.has_endpoint(desc.dst) {
+            self.with_endpoint(desc.dst, move |ep, ctx| ep.on_flow_abort(desc, ctx));
+        }
+        if restartable {
+            self.pending_restart.push(desc);
+        }
+    }
+
+    /// Drop a packet arriving at a crashed host: account the drop under the
+    /// node window's taxonomy and surface a `PacketKilled` fault event so
+    /// in-flight ledgers stay balanced.
+    fn kill_at_dead_node(&mut self, node: NodeId, r: PacketRef, now: Time) {
+        let reason = self.faults.node_drop_reason(node, now);
+        self.record_ref(node, r, TraceKind::Drop(reason));
+        self.metrics.note_drop(reason, self.pool.get(r).class);
+        if T::ENABLED {
+            let p = self.pool.get(r);
+            let ev = FaultEvent::PacketKilled {
+                node,
+                port: PortId(0),
+                flow: p.flow,
+                seq: p.seq,
+                kind: p.kind,
+                class: p.class,
+                payload: p.payload,
+                reason,
+            };
+            self.tracer.fault_event(now, &ev);
+        }
+        self.pool.free(r);
+    }
+
+    fn has_endpoint(&self, node: NodeId) -> bool {
+        matches!(&self.nodes[node.0 as usize].kind, NodeKind::Host { endpoint: Some(_) })
+    }
+
+    /// Kill every packet queued at `node`'s egress ports (node crash). Each
+    /// kill emits a dequeue record — keeping queue-occupancy ledgers
+    /// balanced — and a `PacketKilled` fault event, then recycles the slot.
+    ///
+    /// Packets held back by a pacing discipline (poll says `NotBefore`)
+    /// survive the purge: they stay queued through the outage and emerge as
+    /// stale-but-harmless wire traffic after restart, which the recovery
+    /// layer must tolerate anyway (tombstones / receive-book dedupe).
+    fn purge_ports(&mut self, node: NodeId, now: Time) {
+        let reason = self.faults.node_drop_reason(node, now);
+        for pi in 0..self.nodes[node.0 as usize].ports.len() {
+            let port = PortId(pi as u16);
+            loop {
+                let r = {
+                    let pool = &mut self.pool;
+                    let p = &mut self.nodes[node.0 as usize].ports[pi];
+                    let prev = p.queue.bytes();
+                    match p.queue.poll(pool, now) {
+                        Poll::Ready(r) => {
+                            p.stats.on_qlen_change(prev, now);
+                            p.stats.observe_qlen(p.queue.bytes());
+                            p.stats.fault_kills += 1;
+                            r
+                        }
+                        Poll::NotBefore(_) | Poll::Empty => break,
+                    }
+                };
+                self.record_ref(node, r, TraceKind::Drop(reason));
+                self.metrics.note_drop(reason, self.pool.get(r).class);
+                if T::ENABLED {
+                    let (rec, ev) = {
+                        let p = self.pool.get(r);
+                        let port_ref = &self.nodes[node.0 as usize].ports[pi];
+                        (
+                            QueueRecord {
+                                at: now,
+                                node,
+                                port,
+                                ev: QueueEvent::Dequeue,
+                                flow: p.flow,
+                                seq: p.seq,
+                                kind: p.kind,
+                                class: p.class,
+                                size: p.size,
+                                payload: p.payload,
+                                qlen_bytes: port_ref.queue.bytes(),
+                                qlen_pkts: port_ref.queue.pkts(),
+                            },
+                            FaultEvent::PacketKilled {
+                                node,
+                                port,
+                                flow: p.flow,
+                                seq: p.seq,
+                                kind: p.kind,
+                                class: p.class,
+                                payload: p.payload,
+                                reason,
+                            },
+                        )
+                    };
+                    self.tracer.queue_event(&rec);
+                    self.tracer.fault_event(now, &ev);
+                    self.sample_bands(now, node, port);
+                }
+                self.pool.free(r);
+            }
+        }
+    }
+
     fn handle_arrival(&mut self, node: NodeId, r: PacketRef) {
         self.record_ref(node, r, TraceKind::Arrive);
         let now = self.queue.now();
+        if !self.faults.is_empty()
+            && self.nodes[node.0 as usize].is_host()
+            && self.faults.node_down_at(node, now)
+        {
+            // Delivery to a crashed host: the packet dies at the NIC with
+            // the node window's taxonomy, never reaching the endpoint.
+            self.kill_at_dead_node(node, r, now);
+            return;
+        }
         let faults = &self.faults;
         let pool = &mut self.pool;
-        match &mut self.nodes[node.0 as usize].kind {
+        let Node { kind, ports, .. } = &mut self.nodes[node.0 as usize];
+        match kind {
             NodeKind::Switch { table } => {
                 let port = if faults.is_empty() {
                     table.select(pool.get(r))
                 } else {
-                    // Down links are visible to routing: steer around them
-                    // while an alternative next hop is up.
-                    table.select_avoiding(pool.get(r), |p| faults.link_down_at(node, p, now))
+                    // Down links (including links into crashed nodes) are
+                    // visible to routing: steer around them while an
+                    // alternative next hop is up.
+                    let ports = &*ports;
+                    table.select_avoiding(pool.get(r), |p| {
+                        faults.link_down_at(node, p, ports[p.0 as usize].link.to, now)
+                    })
                 };
                 pool.get_mut(r).hops += 1;
                 self.enqueue_egress(node, port, r);
@@ -504,7 +757,7 @@ impl<T: Tracer> Network<T> {
             let p = &mut self.nodes[node.0 as usize].ports[port.0 as usize];
             if p.busy {
                 Next::Idle
-            } else if faults_active && faults.link_down_at(node, port, now) {
+            } else if faults_active && faults.link_down_at(node, port, p.link.to, now) {
                 // Link is down: leave the queue untouched. The window-end
                 // FaultWindow event re-kicks this port.
                 Next::Idle
@@ -521,7 +774,7 @@ impl<T: Tracer> Network<T> {
                         p.stats.payload_tx += pkt.payload as u64;
                         let mut ser = p.serialize(pkt.size as u64);
                         if faults_active {
-                            ser *= faults.slowdown_at(node, port, now) as Time;
+                            ser *= faults.slowdown_at(node, port, p.link.to, now) as Time;
                         }
                         if T::ENABLED {
                             deq_rec = Some(QueueRecord {
@@ -540,13 +793,26 @@ impl<T: Tracer> Network<T> {
                             });
                         }
                         let free_at = now + ser;
-                        if faults_active && faults.down_during(node, port, now, free_at) {
-                            // The link flaps while the packet is on the
-                            // wire: the transmitter clocks the bits out, but
-                            // the far end never sees them.
+                        if let Some(reason) = (faults_active)
+                            .then(|| faults.cut_reason(node, port, p.link.to, now, free_at))
+                            .flatten()
+                        {
+                            // The link flaps — or one of its endpoints dies —
+                            // while the packet is on the wire: the
+                            // transmitter clocks the bits out, but the far
+                            // end never sees them. `cut_reason` keeps the
+                            // taxonomy distinct (node vs control-plane vs
+                            // link faults).
                             p.stats.fault_kills += 1;
-                            Next::Kill { free_at, pkt: r, reason: DropReason::LinkDown }
-                        } else if faults_active && faults.corrupts(node, port, pool.get(r), fault_rng)
+                            Next::Kill { free_at, pkt: r, reason }
+                        } else if faults_active && faults.blackout_kills(pool.get(r), now) {
+                            // Arbiter outage on a distributed credit source:
+                            // the credit stream dies at the egress. Checked
+                            // before corruption so blackout kills draw no RNG.
+                            p.stats.fault_kills += 1;
+                            Next::Kill { free_at, pkt: r, reason: DropReason::ArbiterDown }
+                        } else if faults_active
+                            && faults.corrupts(node, port, p.link.to, pool.get(r), fault_rng)
                         {
                             p.stats.fault_kills += 1;
                             Next::Kill { free_at, pkt: r, reason: DropReason::Corruption }
@@ -877,6 +1143,94 @@ mod tests {
         net.run_to_completion(us(100));
         assert_eq!(net.metrics.drops_by_reason(crate::queues::DropReason::LinkDown), 1);
         assert_eq!(net.metrics.payload_delivered, 0);
+    }
+
+    #[test]
+    fn crashed_sender_purges_queue_aborts_and_relaunches() {
+        use crate::faults::FaultPlan;
+        let (mut net, h0, h1) = two_hosts_one_switch();
+        // Host 0 (index 1 of the engine host list is h1; Host(0) -> h0)
+        // crashes just after the flow starts blasting: the packet on the
+        // wire is cut and the nine queued behind it are purged, all under
+        // the NodeDown taxonomy. The flow aborts, then relaunches when the
+        // host comes back and completes from scratch.
+        net.set_fault_plan(FaultPlan::new(0).with_crash(100 * crate::units::PS_PER_NS, us(50), 0));
+        net.schedule_flow(FlowDesc { id: FlowId(1), src: h0, dst: h1, size: 14_600, start: 0 });
+        assert!(net.run_to_completion(us(1000)));
+        assert_eq!(net.metrics.drops_by_reason(DropReason::NodeDown), 10);
+        assert_eq!(net.metrics.drops_by_reason(DropReason::LinkDown), 0);
+        let rec = net.metrics.flow(FlowId(1)).unwrap();
+        assert_eq!(rec.restarts, 1);
+        assert!(rec.aborted.is_none());
+        assert!(rec.completed_at.unwrap() > us(50), "completion spans the outage");
+        assert_eq!(net.metrics.payload_delivered, 14_600);
+        assert_eq!(net.metrics.payload_sent, 2 * 14_600, "full resend after restart");
+        assert!(net.metrics.all_settled());
+    }
+
+    #[test]
+    fn flow_arriving_during_crash_window_defers_to_restart() {
+        use crate::faults::FaultPlan;
+        let (mut net, h0, h1) = two_hosts_one_switch();
+        net.set_fault_plan(FaultPlan::new(0).with_crash(0, us(50), 0));
+        net.schedule_flow(FlowDesc { id: FlowId(1), src: h0, dst: h1, size: 1_460, start: us(10) });
+        assert!(net.run_to_completion(us(1000)));
+        let rec = net.metrics.flow(FlowId(1)).unwrap();
+        assert_eq!(rec.restarts, 1, "arrival at a dead host defers, then relaunches");
+        assert_eq!(net.metrics.drops_by_reason(DropReason::NodeDown), 0);
+        assert!(rec.completed_at.unwrap() > us(50));
+        // FCT is measured from the original start: the outage is not hidden.
+        assert!(rec.fct().unwrap() > us(40));
+    }
+
+    #[test]
+    fn receiver_crash_kills_in_flight_arrivals_with_node_taxonomy() {
+        use crate::faults::FaultPlan;
+        let (mut net, h0, h1) = two_hosts_one_switch();
+        // The single packet is past the switch when the receiver dies at
+        // 3 us; it arrives at a dead NIC and is killed as NodeDown. The
+        // abort queues the flow, which relaunches at 10 us and completes.
+        net.set_fault_plan(FaultPlan::new(0).with_node_crash(us(3), us(10), h1));
+        net.schedule_flow(FlowDesc { id: FlowId(1), src: h0, dst: h1, size: 1_460, start: 0 });
+        assert!(net.run_to_completion(us(1000)));
+        assert_eq!(net.metrics.drops_by_reason(DropReason::NodeDown), 1);
+        let rec = net.metrics.flow(FlowId(1)).unwrap();
+        assert_eq!(rec.restarts, 1);
+        assert_eq!(net.metrics.payload_delivered, 1_460, "restart rewinds delivery accounting");
+    }
+
+    #[test]
+    fn partition_stalls_cross_traffic_then_recovers() {
+        use crate::faults::FaultPlan;
+        let (mut net, h0, h1) = two_hosts_one_switch();
+        // A partition resolves to Down windows on every link adjacent to the
+        // upper half of the host list ({h1} here): traffic stalls in queues
+        // rather than dying, and drains once the partition heals.
+        net.set_fault_plan(FaultPlan::new(0).with_partition(0, us(50)));
+        net.schedule_flow(FlowDesc { id: FlowId(1), src: h0, dst: h1, size: 14_600, start: 0 });
+        assert!(net.run_to_completion(us(1000)));
+        let rec = net.metrics.flow(FlowId(1)).unwrap();
+        assert!(rec.completed_at.unwrap() > us(50), "no delivery across a partition");
+        assert_eq!(rec.restarts, 0, "a partition stalls, it does not abort");
+        assert_eq!(net.metrics.total_drops(), 0);
+    }
+
+    #[test]
+    fn beyond_horizon_node_plan_is_behavior_identical() {
+        use crate::faults::FaultPlan;
+        // A node-fault plan whose windows all open after the run finishes
+        // exercises the non-empty fault path end to end but must not perturb
+        // a single event.
+        let run = |with_plan: bool| {
+            let (mut net, h0, h1) = two_hosts_one_switch();
+            if with_plan {
+                net.set_fault_plan(FaultPlan::new(7).with_crash(us(400_000), us(500_000), 0));
+            }
+            net.schedule_flow(FlowDesc { id: FlowId(1), src: h0, dst: h1, size: 146_000, start: 0 });
+            assert!(net.run_to_completion(us(10_000)));
+            (net.metrics.flow(FlowId(1)).unwrap().fct().unwrap(), net.events_processed())
+        };
+        assert_eq!(run(false), run(true), "a dormant node-fault plan must not perturb the run");
     }
 
     #[test]

@@ -110,6 +110,9 @@ struct FlowModel {
     burst_budget: u64,
     burst_total: u64,
     unsched_launched: u64,
+    /// Set by `FlowAborted`, cleared by `FlowRestarted`: a flow the oracle
+    /// saw aborted may never be marked complete without a restart first.
+    aborted: bool,
 }
 
 /// The conformance oracle. Install in place of a recording tracer (e.g. via
@@ -175,6 +178,24 @@ impl CheckedTracer {
         for r in metrics.flows() {
             if r.completed_at.is_none() {
                 continue;
+            }
+            if r.aborted.is_some() {
+                self.fail(
+                    "abort-completion",
+                    format!(
+                        "flow={} carries both a completion time and an abort cause ({:?})",
+                        r.desc.id.0, r.aborted
+                    ),
+                );
+            }
+            if self.flows.get(&r.desc.id).is_some_and(|f| f.aborted) {
+                self.fail(
+                    "abort-completion",
+                    format!(
+                        "flow={} marked complete after the oracle saw it aborted with no restart",
+                        r.desc.id.0
+                    ),
+                );
             }
             let covered = self
                 .flows
@@ -459,10 +480,33 @@ impl TraceSink for CheckedTracer {
         }
     }
 
-    fn fault_event(&mut self, at: Time, _ev: &FaultEvent) {
-        // Wire kills happen post-dequeue, so the queue ledgers are already
-        // balanced; only the clock needs checking.
+    fn fault_event(&mut self, at: Time, ev: &FaultEvent) {
+        // Wire kills happen post-dequeue (and crash purges emit their own
+        // dequeue records), so the queue ledgers are already balanced; the
+        // clock always advances, and flow lifecycle events drive the
+        // recovery invariants.
         self.see(at);
+        match *ev {
+            FaultEvent::FlowAborted { flow, .. } => {
+                self.flow_mut(flow).aborted = true;
+            }
+            FaultEvent::FlowRestarted { flow } => {
+                let fm = self.flow_mut(flow);
+                fm.aborted = false;
+                // The restarted incarnation must re-deliver its full byte
+                // range (exactly-once after restart) and gets a fresh
+                // one-burst allowance. Launch, credit and retransmission
+                // ledgers stay cumulative across incarnations — a restart
+                // still cannot mint payload or credit.
+                fm.delivered = RangeSet::default();
+                fm.bursts = 0;
+                fm.burst_open = false;
+                fm.burst_budget = 0;
+                fm.burst_total = 0;
+                fm.unsched_launched = 0;
+            }
+            _ => {}
+        }
     }
 }
 
@@ -659,6 +703,77 @@ mod tests {
         // The metrics claim completion, but the oracle saw no delivery.
         m.deliver(FlowId(1), 1000, 50);
         t.assert_flows_complete(&m);
+    }
+
+    #[test]
+    fn restart_resets_burst_and_coverage_ledgers() {
+        use crate::metrics::AbortCause;
+        let mut t = CheckedTracer::new();
+        let f = FlowId(1);
+        t.transport_event(0, NodeId(0), &TransportEvent::BurstStart { flow: f, bytes: 15_000 });
+        t.packet_launched(&host_ev(1, TrafficClass::Unscheduled, 0, 1460, false));
+        t.transport_event(2, NodeId(0), &TransportEvent::BurstStop { flow: f, sent: 1460 });
+        t.fault_event(3, &FaultEvent::FlowAborted { flow: f, cause: AbortCause::NodeCrash });
+        t.fault_event(4, &FaultEvent::FlowRestarted { flow: f });
+        // The relaunched incarnation opens its own pre-credit burst and
+        // re-sends its unscheduled bytes — both would trip the budget
+        // checks if the restart did not reset the per-incarnation ledgers.
+        t.transport_event(5, NodeId(0), &TransportEvent::BurstStart { flow: f, bytes: 15_000 });
+        t.packet_launched(&host_ev(6, TrafficClass::Unscheduled, 0, 1460, false));
+        t.transport_event(7, NodeId(0), &TransportEvent::BurstStop { flow: f, sent: 1460 });
+    }
+
+    #[test]
+    #[should_panic(expected = "conformance violation [burst-budget]")]
+    fn abort_without_restart_keeps_burst_budget_armed() {
+        use crate::metrics::AbortCause;
+        let mut t = CheckedTracer::new();
+        let f = FlowId(1);
+        t.transport_event(0, NodeId(0), &TransportEvent::BurstStart { flow: f, bytes: 15_000 });
+        t.transport_event(1, NodeId(0), &TransportEvent::BurstStop { flow: f, sent: 1460 });
+        t.fault_event(2, &FaultEvent::FlowAborted { flow: f, cause: AbortCause::PeerSilent });
+        // No restart: a second burst is still the cardinal sin.
+        t.transport_event(3, NodeId(0), &TransportEvent::BurstStart { flow: f, bytes: 15_000 });
+    }
+
+    #[test]
+    #[should_panic(expected = "conformance violation [abort-completion]")]
+    fn completion_of_aborted_flow_is_caught() {
+        use crate::metrics::AbortCause;
+        let mut t = CheckedTracer::new();
+        let mut m = Metrics::new();
+        let desc =
+            FlowDesc { id: FlowId(1), src: NodeId(0), dst: NodeId(1), size: 1000, start: 0 };
+        m.flow_scheduled(desc);
+        t.packet_launched(&host_ev(0, TrafficClass::Scheduled, 0, 1000, false));
+        t.packet_delivered(&host_ev(1, TrafficClass::Scheduled, 0, 1000, false));
+        m.deliver(FlowId(1), 1000, 50);
+        // The oracle saw the flow abort after the metrics completed it and
+        // no restart followed: completion and abort cannot coexist.
+        t.fault_event(60, &FaultEvent::FlowAborted { flow: FlowId(1), cause: AbortCause::NodeCrash });
+        t.assert_flows_complete(&m);
+    }
+
+    #[test]
+    fn restart_requires_fresh_full_coverage() {
+        use crate::metrics::AbortCause;
+        let t_covered = {
+            let mut t = CheckedTracer::new();
+            t.packet_launched(&host_ev(0, TrafficClass::Scheduled, 0, 1000, false));
+            t.packet_delivered(&host_ev(1, TrafficClass::Scheduled, 0, 1000, false));
+            t.fault_event(2, &FaultEvent::FlowAborted { flow: FlowId(1), cause: AbortCause::NodeCrash });
+            t.fault_event(3, &FaultEvent::FlowRestarted { flow: FlowId(1) });
+            // Pre-abort coverage was wiped: only fresh delivery counts.
+            t.packet_launched(&host_ev(4, TrafficClass::Scheduled, 0, 1000, false));
+            t.packet_delivered(&host_ev(5, TrafficClass::Scheduled, 0, 1000, false));
+            t
+        };
+        let mut m = Metrics::new();
+        let desc =
+            FlowDesc { id: FlowId(1), src: NodeId(0), dst: NodeId(1), size: 1000, start: 0 };
+        m.flow_scheduled(desc);
+        m.deliver(FlowId(1), 1000, 50);
+        t_covered.assert_flows_complete(&m);
     }
 
     /// A selective-dropping queue with the planted Aeolus bug: the SPF

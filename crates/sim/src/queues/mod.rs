@@ -59,6 +59,14 @@ pub enum DropReason {
     /// Fault injection: the packet was in flight (or about to serialize)
     /// when its link went down.
     LinkDown,
+    /// Fault injection: the packet was queued at, in flight to, or about to
+    /// leave a crashed node. Distinct from [`DropReason::LinkDown`] so node
+    /// faults have their own taxonomy in the drop matrix.
+    NodeDown,
+    /// Fault injection: the packet died to an arbiter/controller outage —
+    /// either at the dead arbiter itself or as a credit-source blackout kill
+    /// for schemes without a centralized arbiter.
+    ArbiterDown,
 }
 
 /// Result of offering a packet to a queue.

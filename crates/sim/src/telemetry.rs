@@ -21,6 +21,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
 
 use crate::faults::WindowKind;
+use crate::metrics::AbortCause;
 use crate::packet::{FlowId, NodeId, PacketKind, PortId, TrafficClass};
 use crate::queues::DropReason;
 use crate::units::{us, Rate, Time};
@@ -198,8 +199,32 @@ pub enum FaultEvent {
         class: TrafficClass,
         /// Application payload bytes it carried.
         payload: u32,
-        /// [`DropReason::Corruption`] or [`DropReason::LinkDown`].
+        /// [`DropReason::Corruption`], [`DropReason::LinkDown`],
+        /// [`DropReason::NodeDown`] or [`DropReason::ArbiterDown`].
         reason: DropReason,
+    },
+    /// A node crashed (crash window or arbiter outage started).
+    NodeCrash {
+        /// The node that died.
+        node: NodeId,
+    },
+    /// A crashed node came back (its window ended).
+    NodeRestart {
+        /// The node that restarted.
+        node: NodeId,
+    },
+    /// A flow was aborted: its current incarnation is dead and its
+    /// delivered bytes no longer count. A later `FlowRestarted` revives it.
+    FlowAborted {
+        /// The aborted flow.
+        flow: FlowId,
+        /// Why it died.
+        cause: AbortCause,
+    },
+    /// A previously-aborted flow relaunched from scratch after a restart.
+    FlowRestarted {
+        /// The relaunched flow.
+        flow: FlowId,
     },
 }
 
@@ -486,6 +511,17 @@ pub fn reason_str(reason: DropReason) -> &'static str {
         DropReason::CreditOverflow => "credit_overflow",
         DropReason::Corruption => "corruption",
         DropReason::LinkDown => "link_down",
+        DropReason::NodeDown => "node_down",
+        DropReason::ArbiterDown => "arbiter_down",
+    }
+}
+
+/// Stable wire name for an abort cause.
+pub fn abort_cause_str(cause: AbortCause) -> &'static str {
+    match cause {
+        AbortCause::NodeCrash => "node_crash",
+        AbortCause::ArbiterOutage => "arbiter_outage",
+        AbortCause::PeerSilent => "peer_silent",
     }
 }
 
@@ -702,6 +738,21 @@ impl RecordingTracer {
                         class_str(class),
                         reason_str(reason)
                     )
+                }
+                FaultEvent::NodeCrash { node } => {
+                    writeln!(out, "\"ev\":\"node_crash\",\"node\":{}}}", node.0)
+                }
+                FaultEvent::NodeRestart { node } => {
+                    writeln!(out, "\"ev\":\"node_restart\",\"node\":{}}}", node.0)
+                }
+                FaultEvent::FlowAborted { flow, cause } => writeln!(
+                    out,
+                    "\"ev\":\"flow_aborted\",\"flow\":{},\"cause\":\"{}\"}}",
+                    flow.0,
+                    abort_cause_str(cause)
+                ),
+                FaultEvent::FlowRestarted { flow } => {
+                    writeln!(out, "\"ev\":\"flow_restarted\",\"flow\":{}}}", flow.0)
                 }
             };
         }

@@ -18,7 +18,7 @@ use aeolus_sim::{
     TimerTable, TrafficClass, TransportEvent,
 };
 
-use crate::common::{data_packet, BaseConfig};
+use crate::common::{abort_peer_silent, data_packet, BaseConfig, Tombstones};
 use crate::receiver_table::RecvBook;
 
 /// DCTCP tunables.
@@ -73,6 +73,8 @@ struct SendFlow {
     completed: bool,
     /// Most recent loss signal, for retransmission attribution.
     last_loss: Option<LossCause>,
+    /// Last time any ACK arrived (peer-death watchdog).
+    last_heard: Time,
 }
 
 struct RecvFlow {
@@ -89,6 +91,7 @@ pub struct DctcpEndpoint {
     send_flows: FlowMap<FlowId, SendFlow>,
     recv_flows: FlowMap<FlowId, RecvFlow>,
     timers: TimerTable<(FlowId, u64)>,
+    dead: Tombstones,
 }
 
 impl DctcpEndpoint {
@@ -99,7 +102,17 @@ impl DctcpEndpoint {
             send_flows: FlowMap::new(),
             recv_flows: FlowMap::new(),
             timers: TimerTable::new(),
+            dead: Tombstones::new(),
         }
+    }
+
+    /// Peer-silence abort: drop local state, bury the id and record the
+    /// abort.
+    fn give_up_on(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
+        self.send_flows.remove(flow);
+        self.recv_flows.remove(flow);
+        self.dead.bury(flow);
+        abort_peer_silent(flow, ctx);
     }
 
     fn mtu(&self) -> u32 {
@@ -149,12 +162,20 @@ impl DctcpEndpoint {
 
     fn on_rto(&mut self, flow: FlowId, gen: u64, ctx: &mut Ctx<'_>) {
         let mtu = self.mtu();
+        let pcfg = self.cfg.base;
+        let mut give_up = false;
         let fire = {
             let sf = match self.send_flows.get_mut(flow) {
                 Some(sf) => sf,
                 None => return,
             };
             if sf.completed || gen != sf.rto_gen {
+                false
+            } else if pcfg.peer_silent(sf.last_heard, ctx.now) {
+                // No ACK past the death threshold despite go-back-N
+                // retransmissions: the receiver is dead — abort rather than
+                // retransmit forever.
+                give_up = true;
                 false
             } else {
                 ctx.metrics.note_timeout(flow);
@@ -172,6 +193,10 @@ impl DctcpEndpoint {
                 true
             }
         };
+        if give_up {
+            self.give_up_on(flow, ctx);
+            return;
+        }
         if fire {
             self.pump(flow, ctx);
             self.arm_rto(flow, ctx);
@@ -188,6 +213,7 @@ impl DctcpEndpoint {
                 None => return,
             };
             sf.acks_total += 1;
+            sf.last_heard = ctx.now;
             if ce_echo {
                 sf.acks_marked += 1;
             }
@@ -277,6 +303,7 @@ impl Endpoint for DctcpEndpoint {
                 rto_gen: 0,
                 completed: false,
                 last_loss: None,
+                last_heard: ctx.now,
             },
         );
         self.pump(flow.id, ctx);
@@ -284,6 +311,10 @@ impl Endpoint for DctcpEndpoint {
     }
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        if self.dead.holds(pkt.flow) {
+            // Stale wire traffic for an aborted flow must not resurrect it.
+            return;
+        }
         match pkt.kind {
             PacketKind::Data => {
                 let rf = self.recv_flows.get_or_insert_with(pkt.flow, || RecvFlow {
@@ -328,6 +359,27 @@ impl Endpoint for DctcpEndpoint {
             self.on_rto(flow, gen, ctx);
         }
     }
+
+    fn on_crash(&mut self, _ctx: &mut Ctx<'_>) {
+        // A host crash wipes every byte of transport state; the timer
+        // generation bump makes all queued tokens stale.
+        self.send_flows.clear();
+        self.recv_flows.clear();
+        self.timers.clear();
+        self.dead.clear();
+    }
+
+    fn on_flow_abort(&mut self, flow: FlowDesc, _ctx: &mut Ctx<'_>) {
+        self.send_flows.remove(flow.id);
+        self.recv_flows.remove(flow.id);
+        self.dead.bury(flow.id);
+    }
+
+    fn on_flow_restart(&mut self, flow: FlowDesc, _ctx: &mut Ctx<'_>) {
+        self.dead.raise(flow.id);
+        self.send_flows.remove(flow.id);
+        self.recv_flows.remove(flow.id);
+    }
 }
 
 #[cfg(test)]
@@ -345,6 +397,7 @@ mod tests {
             aeolus: AeolusConfig::default(),
             mode: FirstRttMode::Blind,
             disable_sack: false,
+            peer_silence: 0,
         };
         let c = DctcpConfig::new(base, ms(10));
         assert_eq!(c.init_cwnd_pkts, 10);

@@ -25,7 +25,8 @@ use aeolus_sim::{
 };
 
 use crate::common::{
-    ack_packet, data_packet, probe_ack_packet, probe_packet, BaseConfig, FirstRttMode,
+    abort_peer_silent, ack_packet, data_packet, probe_ack_packet, probe_packet, BaseConfig,
+    FirstRttMode, Tombstones,
 };
 use crate::receiver_table::RecvBook;
 
@@ -123,6 +124,9 @@ struct RecvFlow {
     credits_sent_period: u64,
     /// Last time any data packet of this flow arrived.
     last_arrival: Time,
+    /// Last *real* arrival — unlike `last_arrival` this is never rewound by
+    /// the stall scan's back-off, so it measures true peer silence.
+    last_progress: Time,
     ticking: bool,
 }
 
@@ -133,6 +137,7 @@ pub struct XPassEndpoint {
     recv_flows: FlowMap<FlowId, RecvFlow>,
     timers: TimerTable<TimerKind>,
     stall_scan_armed: bool,
+    dead: Tombstones,
 }
 
 impl XPassEndpoint {
@@ -144,7 +149,19 @@ impl XPassEndpoint {
             recv_flows: FlowMap::new(),
             timers: TimerTable::new(),
             stall_scan_armed: false,
+            dead: Tombstones::new(),
         }
+    }
+
+    /// Peer-silence abort (sender or receiver role): drop the flow's local
+    /// state, bury its id, and record the abort. Returns true if state was
+    /// dropped (the caller must not re-arm the flow's timers).
+    fn give_up_on(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) -> bool {
+        self.send_flows.remove(flow);
+        self.recv_flows.remove(flow);
+        self.dead.bury(flow);
+        abort_peer_silent(flow, ctx);
+        true
     }
 
     /// Interval after which an incomplete flow with no arrivals is deemed
@@ -169,8 +186,16 @@ impl XPassEndpoint {
         let stall_after = self.stall_after();
         let mut any_incomplete = false;
         let mut resends: Vec<ResendBatch> = Vec::new();
+        let mut give_ups: Vec<FlowId> = Vec::new();
         for (id, rf) in self.recv_flows.iter_mut() {
             if rf.book.is_complete() {
+                continue;
+            }
+            if self.cfg.base.peer_silent(rf.last_progress, ctx.now) {
+                // The sender has made no progress past the death threshold
+                // despite backed-off resends: abort instead of probing it
+                // forever.
+                give_ups.push(id);
                 continue;
             }
             any_incomplete = true;
@@ -191,6 +216,10 @@ impl XPassEndpoint {
                     resends.push((id, rf.sender, missing));
                 }
             }
+        }
+        give_ups.sort_unstable();
+        for id in give_ups {
+            self.give_up_on(id, ctx);
         }
         // Slot order is not key order: sort so resend emission matches the
         // seed's BTreeMap scan order exactly.
@@ -244,6 +273,7 @@ impl XPassEndpoint {
             lost_period: 0,
             credits_sent_period: 0,
             last_arrival: ctx.now,
+            last_progress: ctx.now,
             ticking: false,
         });
         entry.book.learn_size(pkt.flow_size);
@@ -364,6 +394,8 @@ impl XPassEndpoint {
             return;
         }
         let base = self.probe_retry_base();
+        let pcfg = self.cfg.base;
+        let mut give_up = false;
         let rearm_in = {
             let sf = match self.send_flows.get_mut(flow) {
                 Some(sf) => sf,
@@ -372,6 +404,12 @@ impl XPassEndpoint {
             if sf.core.fully_acked() || (sf.heard_back && !sf.core.has_work()) {
                 // Every byte is out (or acknowledged); any residual tail loss
                 // is the receiver stall scan's business.
+                None
+            } else if pcfg.peer_silent(sf.last_heard, ctx.now) {
+                // The peer has been silent past the death threshold despite
+                // capped-backoff retries: declare it dead and abort rather
+                // than retry forever.
+                give_up = true;
                 None
             } else {
                 let interval = base << sf.retry_fires.min(6);
@@ -397,6 +435,10 @@ impl XPassEndpoint {
                 Some(base << sf.retry_fires.min(6))
             }
         };
+        if give_up {
+            self.give_up_on(flow, ctx);
+            return;
+        }
         if let Some(d) = rearm_in {
             ctx.set_timer_in_with(d, self.timers.arm(TimerKind::ProbeRetry(flow)));
         }
@@ -407,12 +449,17 @@ impl XPassEndpoint {
             Some(r) => r,
             None => return,
         };
+        let pcfg = self.cfg.base;
+        let mut give_up = false;
         let rearm = {
             let sf = match self.send_flows.get_mut(flow) {
                 Some(sf) => sf,
                 None => return,
             };
             if sf.core.fully_acked() {
+                false
+            } else if pcfg.peer_silent(sf.last_heard, ctx.now) {
+                give_up = true;
                 false
             } else {
                 ctx.metrics.note_timeout(flow);
@@ -429,6 +476,10 @@ impl XPassEndpoint {
                 true
             }
         };
+        if give_up {
+            self.give_up_on(flow, ctx);
+            return;
+        }
         if rearm {
             ctx.set_timer_in_with(rto, self.timers.arm(TimerKind::Rto(flow)));
         }
@@ -504,6 +555,10 @@ impl Endpoint for XPassEndpoint {
     }
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        if self.dead.holds(pkt.flow) {
+            // Stale wire traffic for an aborted flow must not resurrect it.
+            return;
+        }
         match pkt.kind {
             PacketKind::Request => {
                 self.ensure_recv_flow(&pkt, ctx);
@@ -526,6 +581,7 @@ impl Endpoint for XPassEndpoint {
                 let rf = self.recv_flows.get_mut(pkt.flow).expect("just ensured");
                 let unscheduled = pkt.class == TrafficClass::Unscheduled;
                 rf.last_arrival = ctx.now;
+                rf.last_progress = ctx.now;
                 rf.stall_strikes = 0;
                 let v = rf.book.on_data(&pkt, ctx);
                 if pkt.credit_echo > 0 {
@@ -604,5 +660,30 @@ impl Endpoint for XPassEndpoint {
             Some(TimerKind::StallScan) => self.on_stall_scan(ctx),
             None => {}
         }
+    }
+
+    fn on_crash(&mut self, _ctx: &mut Ctx<'_>) {
+        // A host crash wipes every byte of transport state: flow tables,
+        // armed timers (generation bump makes queued tokens stale) and
+        // tombstones (the engine re-buries aborted flows right after).
+        self.send_flows.clear();
+        self.recv_flows.clear();
+        self.timers.clear();
+        self.stall_scan_armed = false;
+        self.dead.clear();
+    }
+
+    fn on_flow_abort(&mut self, flow: FlowDesc, _ctx: &mut Ctx<'_>) {
+        self.send_flows.remove(flow.id);
+        self.recv_flows.remove(flow.id);
+        self.dead.bury(flow.id);
+    }
+
+    fn on_flow_restart(&mut self, flow: FlowDesc, _ctx: &mut Ctx<'_>) {
+        // Raise the tombstone and drop any leftover state so the relaunch
+        // (a fresh FlowArrival) starts from a clean slate.
+        self.dead.raise(flow.id);
+        self.send_flows.remove(flow.id);
+        self.recv_flows.remove(flow.id);
     }
 }

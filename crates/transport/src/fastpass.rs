@@ -29,7 +29,10 @@ use aeolus_sim::{
     TrafficClass, TransportEvent,
 };
 
-use crate::common::{ack_packet, data_packet, probe_ack_packet, probe_packet, BaseConfig};
+use crate::common::{
+    abort_peer_silent, ack_packet, data_packet, probe_ack_packet, probe_packet, BaseConfig,
+    Tombstones,
+};
 use crate::receiver_table::RecvBook;
 
 /// Fastpass tunables.
@@ -116,6 +119,17 @@ impl Endpoint for ArbiterEndpoint {
     }
 
     fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+
+    fn on_crash(&mut self, _ctx: &mut Ctx<'_>) {
+        // An arbiter crash loses the allocation ledgers. After restart the
+        // arbiter re-learns load from fresh requests; forgetting the old
+        // reservations is safe (worst case transient slot conflicts, i.e.
+        // queueing — never stalls), and senders' request-retry backstops
+        // re-ask for anything scheduled into the outage.
+        self.slot = 0;
+        self.src_free.clear();
+        self.dst_free.clear();
+    }
 }
 
 impl ArbiterEndpoint {
@@ -154,6 +168,10 @@ struct SendFlow {
     /// Consecutive request retries without a Schedule reply, capped — each
     /// doubles the next retry interval (reset when a Schedule arrives).
     retry_fires: u32,
+    /// Last time the *receiver* showed signs of life (ACK or Resend — not
+    /// the arbiter's Schedules, which keep flowing while the receiver is
+    /// partitioned away). Peer-death watchdog clock.
+    last_heard: Time,
 }
 
 struct RecvFlow {
@@ -163,6 +181,9 @@ struct RecvFlow {
     last_arrival: Time,
     /// Consecutive stall resends without progress, capped (backoff).
     stall_strikes: u32,
+    /// Last *real* arrival — never rewound by the stall scan's back-off, so
+    /// it measures true peer silence for the death watchdog.
+    last_progress: Time,
 }
 
 /// The per-host Fastpass endpoint.
@@ -172,6 +193,7 @@ pub struct FastpassEndpoint {
     recv_flows: FlowMap<FlowId, RecvFlow>,
     timers: TimerTable<TimerKind>,
     stall_scan_armed: bool,
+    dead: Tombstones,
 }
 
 impl FastpassEndpoint {
@@ -183,7 +205,17 @@ impl FastpassEndpoint {
             recv_flows: FlowMap::new(),
             timers: TimerTable::new(),
             stall_scan_armed: false,
+            dead: Tombstones::new(),
         }
+    }
+
+    /// Peer-silence abort (either role): drop local state, bury the id and
+    /// record the abort.
+    fn give_up_on(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
+        self.send_flows.remove(flow);
+        self.recv_flows.remove(flow);
+        self.dead.bury(flow);
+        abort_peer_silent(flow, ctx);
     }
 
     /// Base interval after which an unanswered arbiter request is retried;
@@ -225,15 +257,29 @@ impl FastpassEndpoint {
     /// vanished, clear the stuck `requesting` latch and re-ask with capped
     /// exponential backoff.
     fn on_request_retry(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
+        let pcfg = self.cfg.base;
+        let mut give_up = false;
         let stuck = match self.send_flows.get_mut(flow) {
             Some(sf) if sf.requesting && !sf.completed => {
-                sf.requesting = false;
-                sf.retry_fires = (sf.retry_fires + 1).min(6);
-                ctx.metrics.note_timeout(flow);
-                true
+                if pcfg.peer_silent(sf.last_heard, ctx.now) {
+                    // The receiver has shown no sign of life past the death
+                    // threshold despite backed-off re-requests: abort
+                    // instead of asking forever.
+                    give_up = true;
+                    false
+                } else {
+                    sf.requesting = false;
+                    sf.retry_fires = (sf.retry_fires + 1).min(6);
+                    ctx.metrics.note_timeout(flow);
+                    true
+                }
             }
             _ => false,
         };
+        if give_up {
+            self.give_up_on(flow, ctx);
+            return;
+        }
         if stuck {
             self.request_slots(flow, ctx);
         }
@@ -253,6 +299,11 @@ impl FastpassEndpoint {
         let stall_after = self.stall_after();
         let mut any_incomplete = false;
         let mut resends: Vec<(FlowId, NodeId, Vec<(u64, u64)>)> = Vec::new();
+        // No receiver-side silence abort here: in Fastpass a silent sender
+        // may merely be starved by arbiter (Schedule) losses, not dead, so
+        // "no data" is ambiguous on this side. The sender's watchdog — whose
+        // clock only the *receiver's* signals refresh — owns the abort; the
+        // backed-off resends below keep a live sender's clock fresh.
         for (id, rf) in self.recv_flows.iter_mut() {
             if rf.book.is_complete() {
                 continue;
@@ -370,12 +421,17 @@ impl Endpoint for FastpassEndpoint {
                 completed: false,
                 last_loss: None,
                 retry_fires: 0,
+                last_heard: ctx.now,
             },
         );
         self.request_slots(flow.id, ctx);
     }
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        if self.dead.holds(pkt.flow) {
+            // Stale wire traffic for an aborted flow must not resurrect it.
+            return;
+        }
         match pkt.kind {
             PacketKind::Schedule { start, slots, stride } => {
                 let fire_first = {
@@ -402,9 +458,11 @@ impl Endpoint for FastpassEndpoint {
                     book: RecvBook::new(),
                     last_arrival: now,
                     stall_strikes: 0,
+                    last_progress: now,
                 });
                 rf.book.learn_size(pkt.flow_size);
                 rf.last_arrival = now;
+                rf.last_progress = now;
                 rf.stall_strikes = 0;
                 let unscheduled = pkt.class == TrafficClass::Unscheduled;
                 let v = rf.book.on_data(&pkt, ctx);
@@ -426,6 +484,7 @@ impl Endpoint for FastpassEndpoint {
                     book: RecvBook::new(),
                     last_arrival: now,
                     stall_strikes: 0,
+                    last_progress: now,
                 });
                 rf.book.core.on_probe(pkt.seq, pkt.flow_size);
                 let sender = rf.sender;
@@ -438,6 +497,7 @@ impl Endpoint for FastpassEndpoint {
                 // carry it.
                 let mut need_more = false;
                 if let Some(sf) = self.send_flows.get_mut(pkt.flow) {
+                    sf.last_heard = ctx.now;
                     let lost = sf.core.requeue_lost(pkt.seq, end);
                     if lost > 0 {
                         sf.last_loss = Some(LossCause::Stall);
@@ -456,6 +516,7 @@ impl Endpoint for FastpassEndpoint {
             PacketKind::Ack { of_probe, end } => {
                 let mut need_more = false;
                 if let Some(sf) = self.send_flows.get_mut(pkt.flow) {
+                    sf.last_heard = ctx.now;
                     let (lost, cause) = if of_probe {
                         let lost = sf.core.on_probe_ack();
                         // Losses revealed: they may need timeslots.
@@ -498,6 +559,28 @@ impl Endpoint for FastpassEndpoint {
             None => {}
         }
     }
+
+    fn on_crash(&mut self, _ctx: &mut Ctx<'_>) {
+        // A host crash wipes every byte of transport state; the timer
+        // generation bump makes all queued tokens stale.
+        self.send_flows.clear();
+        self.recv_flows.clear();
+        self.timers.clear();
+        self.stall_scan_armed = false;
+        self.dead.clear();
+    }
+
+    fn on_flow_abort(&mut self, flow: FlowDesc, _ctx: &mut Ctx<'_>) {
+        self.send_flows.remove(flow.id);
+        self.recv_flows.remove(flow.id);
+        self.dead.bury(flow.id);
+    }
+
+    fn on_flow_restart(&mut self, flow: FlowDesc, _ctx: &mut Ctx<'_>) {
+        self.dead.raise(flow.id);
+        self.send_flows.remove(flow.id);
+        self.recv_flows.remove(flow.id);
+    }
 }
 
 #[cfg(test)]
@@ -515,6 +598,7 @@ mod tests {
             aeolus: AeolusConfig::default(),
             mode: FirstRttMode::Aeolus,
             disable_sack: false,
+            peer_silence: 0,
         };
         let cfg = FastpassConfig::new(base, NodeId(9));
         assert_eq!(cfg.batch_slots, 64);

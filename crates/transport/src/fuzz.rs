@@ -20,7 +20,11 @@
 //! - on a *clean* network (empty [`FaultPlan`]) additionally: flows not
 //!   completing within the horizon, or app-level delivery differing from
 //!   the flow size. Under injected faults liveness is best-effort (a link
-//!   that is down is allowed to cost time), so only conformance counts.
+//!   that is down is allowed to cost time), so only conformance counts;
+//! - under *node faults* (crash / arbiter-outage / partition directives)
+//!   additionally: any flow neither completed nor aborted-with-cause at
+//!   the horizon — the graceful-degradation guarantee says faults may cost
+//!   time or abort flows, but never hang them.
 
 use std::any::Any;
 use std::fmt;
@@ -189,7 +193,9 @@ impl Scenario {
     /// Shape: 4–8 hosts behind one 10 Gbps switch, 1–6 flows up to 200 KB
     /// starting inside the first 50 µs, and — half the time — a small
     /// fault plan (≤ 2% corruption loss and/or one sub-millisecond
-    /// down/degraded window).
+    /// down/degraded window, sometimes plus one node fault: a host
+    /// crash/restart, an arbiter outage or a pod partition, all short and
+    /// early so the post-restart tail fits well inside the horizon).
     pub fn random(seed: u64) -> Scenario {
         let mut rng = SimRng::seed_from_u64(seed);
         let pool = scheme_pool();
@@ -227,6 +233,18 @@ impl Scenario {
                     let slowdown = 2 + rng.below(6) as u32;
                     plan = plan.with_degraded(from, until, slowdown, LinkFilter::All);
                 }
+            }
+            if rng.chance(0.35) {
+                // One node / control-plane fault: early and sub-millisecond,
+                // so restarts and the retransmission tail finish long before
+                // the horizon and a non-settled flow is a genuine hang.
+                let from = us(rng.below(300));
+                let until = from + us(50 + rng.below(700));
+                plan = match rng.index(3) {
+                    0 => plan.with_crash(from, until, rng.index(hosts)),
+                    1 => plan.with_arbiter_outage(from, until),
+                    _ => plan.with_partition(from, until),
+                };
             }
             plan
         };
@@ -306,6 +324,16 @@ impl Scenario {
                 }
             }
         }
+        if self.faults.has_node_faults() && !m.all_settled() {
+            // Graceful degradation: node faults may slow flows down or abort
+            // them with a cause, but a flow that is neither completed nor
+            // aborted at a 2 s horizon is a hung recovery loop.
+            let hung = m.flow_count() - m.completed_count() - m.aborted_count();
+            return Some(format!(
+                "{hung} of {} flows hung (neither completed nor aborted) under node faults",
+                m.flow_count()
+            ));
+        }
         // Wire-level exactness for whatever did complete (faulty or not):
         // panics through the oracle on any mismatch.
         h.topo.net.tracer().assert_flows_complete(m);
@@ -326,9 +354,10 @@ fn panic_message(payload: &Box<dyn Any + Send>) -> String {
 
 /// Greedily shrink a failing scenario while `fails` keeps returning
 /// `Some(_)`. Passes, iterated to a fixpoint: drop flows, drop corruption
-/// rules, drop fault windows, halve window durations, halve flow sizes,
-/// zero start times, shrink the topology. Returns the minimal scenario and
-/// its failure message.
+/// rules, drop fault windows, drop node-fault directives (crashes, arbiter
+/// outages, partitions), halve window and outage durations, halve flow
+/// sizes, zero start times, shrink the topology. Returns the minimal
+/// scenario and its failure message.
 ///
 /// Generic over the failure predicate so shrinking itself is testable
 /// without running a simulation; the fuzzer passes `|s| s.check()`.
@@ -388,6 +417,39 @@ pub fn shrink(
             }
         }
 
+        // Drop node-fault directives: crash windows, arbiter outages,
+        // partitions.
+        let mut i = 0;
+        while i < scenario.faults.node_windows.len() {
+            let mut cand = scenario.clone();
+            cand.faults.node_windows.remove(i);
+            if attempt(&mut scenario, &mut msg, cand) {
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < scenario.faults.arbiter_outages.len() {
+            let mut cand = scenario.clone();
+            cand.faults.arbiter_outages.remove(i);
+            if attempt(&mut scenario, &mut msg, cand) {
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < scenario.faults.partitions.len() {
+            let mut cand = scenario.clone();
+            cand.faults.partitions.remove(i);
+            if attempt(&mut scenario, &mut msg, cand) {
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+
         // Halve remaining window durations (keeping them non-empty).
         for i in 0..scenario.faults.windows.len() {
             let w = &scenario.faults.windows[i];
@@ -395,6 +457,37 @@ pub fn shrink(
             if dur >= 2 {
                 let mut cand = scenario.clone();
                 cand.faults.windows[i].until = w.from + dur / 2;
+                if attempt(&mut scenario, &mut msg, cand) {
+                    progressed = true;
+                }
+            }
+        }
+        for i in 0..scenario.faults.node_windows.len() {
+            let w = &scenario.faults.node_windows[i];
+            let dur = w.until - w.from;
+            if dur >= 2 {
+                let mut cand = scenario.clone();
+                cand.faults.node_windows[i].until = w.from + dur / 2;
+                if attempt(&mut scenario, &mut msg, cand) {
+                    progressed = true;
+                }
+            }
+        }
+        for i in 0..scenario.faults.arbiter_outages.len() {
+            let (from, until) = scenario.faults.arbiter_outages[i];
+            if until - from >= 2 {
+                let mut cand = scenario.clone();
+                cand.faults.arbiter_outages[i].1 = from + (until - from) / 2;
+                if attempt(&mut scenario, &mut msg, cand) {
+                    progressed = true;
+                }
+            }
+        }
+        for i in 0..scenario.faults.partitions.len() {
+            let (from, until) = scenario.faults.partitions[i];
+            if until - from >= 2 {
+                let mut cand = scenario.clone();
+                cand.faults.partitions[i].1 = from + (until - from) / 2;
                 if attempt(&mut scenario, &mut msg, cand) {
                     progressed = true;
                 }
@@ -475,8 +568,12 @@ mod tests {
 
     #[test]
     fn random_scenarios_round_trip_through_the_spec() {
+        let mut node_faulted = 0;
         for seed in 0..64 {
             let s = Scenario::random(seed);
+            if s.faults.has_node_faults() {
+                node_faulted += 1;
+            }
             let line = s.to_string();
             let back: Scenario = line.parse().unwrap_or_else(|e| {
                 panic!("seed {seed}: '{line}' failed to parse back: {e}")
@@ -484,6 +581,45 @@ mod tests {
             assert_eq!(back, s, "seed {seed}: '{line}'");
             assert_eq!(back.to_string(), line, "seed {seed}: display not a fixpoint");
         }
+        // The generator must actually exercise the node-fault grammar, or
+        // the round-trip above proves nothing about it.
+        assert!(node_faulted > 0, "no seed in 0..64 generated a node fault");
+    }
+
+    #[test]
+    fn shrink_strips_irrelevant_node_faults_but_keeps_load_bearing_ones() {
+        // Failure requires a crash window; the arbiter outage and partition
+        // riding along must be stripped, and the crash window's duration
+        // must halve down to the 1 ps floor.
+        let fails = |s: &Scenario| {
+            (!s.faults.node_windows.is_empty()).then(|| "needs a crash".to_string())
+        };
+        let mut start = Scenario::random(5);
+        start.faults = FaultPlan::new(3)
+            .with_crash(us(10), us(900), 1)
+            .with_arbiter_outage(us(20), us(400))
+            .with_partition(us(30), us(500));
+        let (min, msg) = shrink(start, &fails);
+        assert_eq!(msg, "needs a crash");
+        assert_eq!(min.faults.node_windows.len(), 1, "{min}");
+        assert!(min.faults.arbiter_outages.is_empty(), "outage was irrelevant: {min}");
+        assert!(min.faults.partitions.is_empty(), "partition was irrelevant: {min}");
+        let w = &min.faults.node_windows[0];
+        assert_eq!(w.until - w.from, 1, "crash window halved to the floor: {min}");
+        assert!(min.flows.is_empty(), "flows were irrelevant: {min}");
+    }
+
+    #[test]
+    fn checked_run_settles_a_crash_scenario() {
+        // A mid-transfer receiver crash must yield settled flows (completed
+        // after restart, or aborted with a cause) — never a hang; `check`
+        // returning None certifies both conformance and settledness.
+        let s: Scenario =
+            "scheme=homa-aeolus hosts=4 flows=1-0:60000@0,2-0:60000@5 faults=crash=0@20us..600us"
+                .parse()
+                .unwrap();
+        assert!(s.faults.has_node_faults());
+        assert_eq!(s.check(), None);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use aeolus_sim::topology::{
     fat_tree_with, leaf_spine_with, single_switch_with, LinkParams, Topology,
 };
 use aeolus_sim::units::{fmt_time, Time};
-use aeolus_sim::{FlowDesc, FlowId, Metrics, Network, NodeId, NullTracer, Tracer};
+use aeolus_sim::{AbortCause, FlowDesc, FlowId, Metrics, Network, NodeId, NullTracer, Tracer};
 
 use crate::registry::{Scheme, SchemeParams};
 
@@ -121,6 +121,117 @@ impl fmt::Display for WatchdogReport {
 
 impl std::error::Error for WatchdogReport {}
 
+/// Terminal state of one flow after a (possibly fault-injected) run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowOutcome {
+    /// Delivered every byte without ever being aborted or restarted.
+    Completed,
+    /// Delivered every byte, but only after this many crash-triggered
+    /// restarts (the FCT spans the outage).
+    Restarted(u32),
+    /// Terminated without delivering: the engine or transport gave up with
+    /// an explicit cause. Graceful — the flow is settled, not stuck.
+    Aborted(AbortCause),
+    /// Neither completed nor aborted at the horizon: a hung recovery loop.
+    /// The one outcome the hardening forbids.
+    Hung,
+}
+
+impl FlowOutcome {
+    /// Whether this outcome is settled (anything but [`FlowOutcome::Hung`]).
+    pub fn settled(self) -> bool {
+        !matches!(self, FlowOutcome::Hung)
+    }
+}
+
+/// Per-flow degradation ledger from [`Harness::run_degradation`]: how each
+/// flow ended under faults. "Graceful degradation" means every flow is
+/// settled — completed (perhaps after restarts) or aborted with a cause —
+/// and none are [`FlowOutcome::Hung`].
+#[derive(Debug, Clone)]
+pub struct DegradationReport {
+    /// The horizon the run was given.
+    pub horizon: Time,
+    /// Every flow's outcome, in flow-id order.
+    pub flows: Vec<(FlowId, FlowOutcome)>,
+    /// Stuck-state diagnostics for each hung flow (empty when graceful).
+    pub stuck: Vec<StuckFlow>,
+}
+
+impl DegradationReport {
+    /// Flows that completed cleanly (no restart).
+    pub fn completed(&self) -> usize {
+        self.flows.iter().filter(|(_, o)| *o == FlowOutcome::Completed).count()
+    }
+
+    /// Flows that completed after one or more restarts.
+    pub fn restarted(&self) -> usize {
+        self.flows.iter().filter(|(_, o)| matches!(o, FlowOutcome::Restarted(_))).count()
+    }
+
+    /// Flows that ended aborted with the given cause.
+    pub fn aborted_with(&self, cause: AbortCause) -> usize {
+        self.flows.iter().filter(|(_, o)| *o == FlowOutcome::Aborted(cause)).count()
+    }
+
+    /// Flows that ended aborted, any cause.
+    pub fn aborted(&self) -> usize {
+        self.flows.iter().filter(|(_, o)| matches!(o, FlowOutcome::Aborted(_))).count()
+    }
+
+    /// Flows that hung: neither completed nor aborted.
+    pub fn hung(&self) -> usize {
+        self.flows.iter().filter(|(_, o)| *o == FlowOutcome::Hung).count()
+    }
+
+    /// The graceful-degradation predicate: every flow settled.
+    pub fn is_graceful(&self) -> bool {
+        self.hung() == 0
+    }
+}
+
+impl fmt::Display for DegradationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "degradation: {} flows — {} completed, {} restarted-then-completed, {} aborted",
+            self.flows.len(),
+            self.completed(),
+            self.restarted(),
+            self.aborted(),
+        )?;
+        if self.aborted() > 0 {
+            let mut first = true;
+            for cause in [AbortCause::NodeCrash, AbortCause::ArbiterOutage, AbortCause::PeerSilent] {
+                let n = self.aborted_with(cause);
+                if n > 0 {
+                    write!(f, "{}{} {}", if first { " (" } else { ", " }, n, cause.as_str())?;
+                    first = false;
+                }
+            }
+            write!(f, ")")?;
+        }
+        writeln!(f, ", {} hung", self.hung())?;
+        for s in &self.stuck {
+            writeln!(
+                f,
+                "  HUNG flow {} {}->{}: {}/{} B delivered, {} timeouts, {} B retransmitted{}",
+                s.id.0,
+                s.src.0,
+                s.dst.0,
+                s.delivered,
+                s.size,
+                s.timeouts,
+                s.retransmitted,
+                if s.delivered == 0 { " (never got a byte through)" } else { "" },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for DegradationReport {}
+
 impl<T: Tracer> Harness<T> {
     /// [`SchemeBuilder::build`]'s engine: build the scheme's topology with
     /// `tracer` installed on the network, wire every port with the scheme's
@@ -166,7 +277,15 @@ impl<T: Tracer> Harness<T> {
             topo.net.set_endpoint(arbiter, scheme.make_arbiter(&params));
         }
         if !params.faults.is_empty() {
-            topo.net.set_fault_plan(params.faults.clone());
+            // Bind symbolic node faults (`crash=i`, `arbiter=`, `partition=`)
+            // here, where both the workload host list (arbiter already
+            // excluded) and the arbiter's identity are known — the engine's
+            // fallback resolution has neither.
+            let mut plan = params.faults.clone();
+            if !plan.is_resolved() {
+                plan.resolve(&topo.hosts, params.arbiter);
+            }
+            topo.net.set_fault_plan(plan);
         }
         let hosts = topo.hosts.clone();
         for h in hosts {
@@ -200,10 +319,12 @@ impl<T: Tracer> Harness<T> {
         if self.run(horizon) {
             return Ok(());
         }
+        // Aborted-with-cause flows are settled, not stuck: the watchdog is
+        // a hang detector, and an explicit abort is graceful degradation.
         let stuck = self
             .metrics()
             .flows()
-            .filter(|r| r.completed_at.is_none())
+            .filter(|r| r.completed_at.is_none() && r.aborted.is_none())
             .map(|r| StuckFlow {
                 id: r.desc.id,
                 src: r.desc.src,
@@ -215,6 +336,37 @@ impl<T: Tracer> Harness<T> {
             })
             .collect();
         Err(WatchdogReport { horizon, stuck })
+    }
+
+    /// Run to the horizon and classify every flow's terminal state. `Err`
+    /// iff any flow is [`FlowOutcome::Hung`] — completed, restarted and
+    /// cleanly-aborted flows are all graceful degradation; a hang never is.
+    pub fn run_degradation(&mut self, horizon: Time) -> Result<DegradationReport, DegradationReport> {
+        self.run(horizon);
+        let mut flows = Vec::new();
+        let mut stuck = Vec::new();
+        for r in self.metrics().flows() {
+            let outcome = if r.completed_at.is_some() {
+                if r.restarts > 0 { FlowOutcome::Restarted(r.restarts) } else { FlowOutcome::Completed }
+            } else if let Some(cause) = r.aborted {
+                FlowOutcome::Aborted(cause)
+            } else {
+                stuck.push(StuckFlow {
+                    id: r.desc.id,
+                    src: r.desc.src,
+                    dst: r.desc.dst,
+                    size: r.desc.size,
+                    delivered: r.delivered,
+                    timeouts: r.timeouts,
+                    retransmitted: r.retransmitted,
+                });
+                FlowOutcome::Hung
+            };
+            flows.push((r.desc.id, outcome));
+        }
+        flows.sort_unstable_by_key(|(id, _)| id.0);
+        let report = DegradationReport { horizon, flows, stuck };
+        if report.is_graceful() { Ok(report) } else { Err(report) }
     }
 
     /// Run metrics.

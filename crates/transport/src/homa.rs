@@ -22,7 +22,8 @@ use aeolus_sim::{
 };
 
 use crate::common::{
-    ack_packet, data_packet, probe_ack_packet, probe_packet, BaseConfig, FirstRttMode,
+    abort_peer_silent, ack_packet, data_packet, probe_ack_packet, probe_packet, BaseConfig,
+    FirstRttMode, Tombstones,
 };
 use crate::receiver_table::RecvBook;
 
@@ -134,6 +135,9 @@ struct RecvFlow {
     /// Budget written off by the stall scan (its packets are presumed lost).
     budget_forgiven: u64,
     last_arrival: Time,
+    /// Last *real* arrival — never rewound by the stall scan's back-off, so
+    /// it measures true peer silence for the death watchdog.
+    last_progress: Time,
     /// When the last grant was issued (a freshly granted flow is not stale).
     last_granted: Time,
 }
@@ -148,6 +152,7 @@ pub struct HomaEndpoint {
     /// Reusable SRPT scratch for `regrant` (runs per data packet — a fresh
     /// `Vec` each call would churn the allocator on the hot path).
     srpt_scratch: Vec<(u64, FlowId)>,
+    dead: Tombstones,
 }
 
 impl HomaEndpoint {
@@ -160,7 +165,17 @@ impl HomaEndpoint {
             timers: TimerTable::new(),
             scan_armed: false,
             srpt_scratch: Vec::new(),
+            dead: Tombstones::new(),
         }
+    }
+
+    /// Peer-silence abort (either role): drop local state, bury the id and
+    /// record the abort.
+    fn give_up_on(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
+        self.send_flows.remove(flow);
+        self.recv_flows.remove(flow);
+        self.dead.bury(flow);
+        abort_peer_silent(flow, ctx);
     }
 
     fn rtt_bytes(&self, ctx: &Ctx<'_>) -> u64 {
@@ -289,8 +304,15 @@ impl HomaEndpoint {
         let rtt_bytes = self.rtt_bytes(ctx);
         let mut any_incomplete = false;
         let mut resends: Vec<ResendBatch> = Vec::new();
+        let mut give_ups: Vec<FlowId> = Vec::new();
         for (id, rf) in self.recv_flows.iter_mut() {
             if rf.book.is_complete() {
+                continue;
+            }
+            if self.cfg.base.peer_silent(rf.last_progress, ctx.now) {
+                // The sender has been dead past the death threshold despite
+                // backed-off RESENDs: abort instead of re-requesting forever.
+                give_ups.push(id);
                 continue;
             }
             any_incomplete = true;
@@ -359,6 +381,10 @@ impl HomaEndpoint {
         // predates a flow's turn in the SRPT order would strand it.
         let regrant_needed = any_incomplete;
         let _ = probe_mode;
+        give_ups.sort_unstable();
+        for id in give_ups {
+            self.give_up_on(id, ctx);
+        }
         // Slot order is not key order: sort so resend emission matches the
         // seed's BTreeMap scan order exactly.
         resends.sort_unstable_by_key(|&(id, _, _)| id);
@@ -382,12 +408,17 @@ impl HomaEndpoint {
     fn on_sender_rto(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
         let mtu = self.cfg.base.mtu_payload;
         let rto = self.cfg.rto;
+        let pcfg = self.cfg.base;
+        let mut give_up = false;
         let fires = {
             let sf = match self.send_flows.get_mut(flow) {
                 Some(sf) => sf,
                 None => return,
             };
             if sf.completed {
+                None
+            } else if pcfg.peer_silent(sf.last_progress, ctx.now) {
+                give_up = true;
                 None
             } else if !self.cfg.naive_rto && ctx.now.saturating_sub(sf.last_progress) < rto {
                 // The receiver is alive (grants flowing): not a timeout,
@@ -446,6 +477,10 @@ impl HomaEndpoint {
                 Some(sf.rto_fires)
             }
         };
+        if give_up {
+            self.give_up_on(flow, ctx);
+            return;
+        }
         if let Some(fires) = fires {
             // Naive mode keeps firing at a fixed cadence for a while (the
             // measured waste); both modes back off exponentially eventually
@@ -457,12 +492,17 @@ impl HomaEndpoint {
 
     fn on_probe_retry(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
         let retry_rtts = self.cfg.base.aeolus.probe_retry_rtts;
+        let pcfg = self.cfg.base;
+        let mut give_up = false;
         let fires = {
             let sf = match self.send_flows.get_mut(flow) {
                 Some(sf) => sf,
                 None => return,
             };
             if sf.heard_from_receiver || sf.completed {
+                None
+            } else if pcfg.peer_silent(sf.last_progress, ctx.now) {
+                give_up = true;
                 None
             } else {
                 ctx.metrics.note_timeout(flow);
@@ -478,6 +518,10 @@ impl HomaEndpoint {
                 Some(sf.rto_fires)
             }
         };
+        if give_up {
+            self.give_up_on(flow, ctx);
+            return;
+        }
         if let Some(fires) = fires {
             if retry_rtts > 0 {
                 // Capped exponential backoff: each fruitless retry doubles
@@ -499,10 +543,12 @@ impl HomaEndpoint {
             sched_bytes_received: 0,
             budget_forgiven: 0,
             last_arrival: now,
+            last_progress: now,
             last_granted: 0,
         });
         rf.book.learn_size(pkt.flow_size);
         rf.last_arrival = now;
+        rf.last_progress = now;
         rf
     }
 }
@@ -564,6 +610,10 @@ impl Endpoint for HomaEndpoint {
     }
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        if self.dead.holds(pkt.flow) {
+            // Stale wire traffic for an aborted flow must not resurrect it.
+            return;
+        }
         match pkt.kind {
             PacketKind::Data => {
                 let mode = self.cfg.base.mode;
@@ -706,6 +756,28 @@ impl Endpoint for HomaEndpoint {
             None => {}
         }
     }
+
+    fn on_crash(&mut self, _ctx: &mut Ctx<'_>) {
+        // A host crash wipes every byte of transport state; the timer
+        // generation bump makes all queued tokens stale.
+        self.send_flows.clear();
+        self.recv_flows.clear();
+        self.timers.clear();
+        self.scan_armed = false;
+        self.dead.clear();
+    }
+
+    fn on_flow_abort(&mut self, flow: FlowDesc, _ctx: &mut Ctx<'_>) {
+        self.send_flows.remove(flow.id);
+        self.recv_flows.remove(flow.id);
+        self.dead.bury(flow.id);
+    }
+
+    fn on_flow_restart(&mut self, flow: FlowDesc, _ctx: &mut Ctx<'_>) {
+        self.dead.raise(flow.id);
+        self.send_flows.remove(flow.id);
+        self.recv_flows.remove(flow.id);
+    }
 }
 
 #[cfg(test)]
@@ -722,6 +794,7 @@ mod tests {
                 aeolus: AeolusConfig::default(),
                 mode: FirstRttMode::Blind,
                 disable_sack: false,
+                peer_silence: 0,
             },
             us(10_000),
         )

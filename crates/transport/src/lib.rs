@@ -25,9 +25,9 @@ pub mod receiver_table;
 pub mod registry;
 
 pub use builder::SchemeBuilder;
-pub use common::{BaseConfig, FirstRttMode};
+pub use common::{BaseConfig, FirstRttMode, Tombstones};
 pub use dctcp::{DctcpConfig, DctcpEndpoint};
-pub use harness::{Harness, TopoSpec};
+pub use harness::{DegradationReport, FlowOutcome, Harness, StuckFlow, TopoSpec, WatchdogReport};
 pub use expresspass::{XPassConfig, XPassEndpoint};
 pub use fastpass::{ArbiterEndpoint, FastpassConfig, FastpassEndpoint};
 pub use fuzz::{fuzz, shrink, FlowSpec, FuzzReport, Scenario};

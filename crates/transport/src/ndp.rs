@@ -23,7 +23,10 @@ use aeolus_sim::{
     TrafficClass, TransportEvent,
 };
 
-use crate::common::{ack_packet, data_packet, probe_ack_packet, probe_packet, BaseConfig};
+use crate::common::{
+    abort_peer_silent, ack_packet, data_packet, probe_ack_packet, probe_packet, BaseConfig,
+    Tombstones,
+};
 use crate::receiver_table::RecvBook;
 
 /// NDP tunables.
@@ -61,6 +64,8 @@ struct SendFlow {
     tag: u64,
     /// Set once anything (ACK, probe ACK, NACK, pull) came back.
     heard_back: bool,
+    /// Last time the receiver showed signs of life (peer-death watchdog).
+    last_heard: Time,
     probe_seq: Option<u64>,
     /// Most recent loss signal, for retransmission attribution.
     last_loss: Option<LossCause>,
@@ -83,6 +88,9 @@ struct RecvFlow {
     /// credits).
     iw_pkts: u64,
     last_arrival: Time,
+    /// Last *real* arrival — never rewound by the backstop's back-off, so it
+    /// measures true peer silence for the death watchdog.
+    last_progress: Time,
 }
 
 /// The per-host NDP endpoint.
@@ -98,6 +106,7 @@ pub struct NdpEndpoint {
     /// idle gaps, so bursts of arrivals cannot compress the pull spacing.
     next_pull_at: Time,
     backstop_armed: bool,
+    dead: Tombstones,
 }
 
 impl NdpEndpoint {
@@ -112,7 +121,18 @@ impl NdpEndpoint {
             pull_pacer_armed: false,
             next_pull_at: 0,
             backstop_armed: false,
+            dead: Tombstones::new(),
         }
+    }
+
+    /// Peer-silence abort (either role): drop local state, bury the id and
+    /// record the abort. Pending pull-queue entries for the flow become
+    /// harmless no-ops (`maybe_enqueue_pull` checks state at send time).
+    fn give_up_on(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
+        self.send_flows.remove(flow);
+        self.recv_flows.remove(flow);
+        self.dead.bury(flow);
+        abort_peer_silent(flow, ctx);
     }
 
     fn iw_bytes(&self, ctx: &Ctx<'_>) -> u64 {
@@ -222,9 +242,16 @@ impl NdpEndpoint {
         self.backstop_armed = false;
         let backstop = self.cfg.backstop;
         let mut stalled = Vec::new();
+        let mut give_ups: Vec<FlowId> = Vec::new();
         let mut any_incomplete = false;
         for (id, rf) in self.recv_flows.iter() {
             if rf.book.is_complete() || rf.book.core.size().is_none() {
+                continue;
+            }
+            if self.cfg.base.peer_silent(rf.last_progress, ctx.now) {
+                // The sender has been dead past the death threshold despite
+                // backed-off NACK rounds: abort instead of NACKing forever.
+                give_ups.push(id);
                 continue;
             }
             any_incomplete = true;
@@ -237,6 +264,10 @@ impl NdpEndpoint {
             {
                 stalled.push(id);
             }
+        }
+        give_ups.sort_unstable();
+        for id in give_ups {
+            self.give_up_on(id, ctx);
         }
         // Slot order is not key order: sort so the NACK/pull emission order
         // stays exactly the seed's BTreeMap scan order.
@@ -309,12 +340,17 @@ impl NdpEndpoint {
 
     fn on_probe_retry(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
         let retry_rtts = self.cfg.base.aeolus.probe_retry_rtts;
+        let pcfg = self.cfg.base;
+        let mut give_up = false;
         let fires = {
             let sf = match self.send_flows.get_mut(flow) {
                 Some(sf) => sf,
                 None => return,
             };
             if sf.heard_back {
+                None
+            } else if pcfg.peer_silent(sf.last_heard, ctx.now) {
+                give_up = true;
                 None
             } else {
                 ctx.metrics.note_timeout(flow);
@@ -327,6 +363,10 @@ impl NdpEndpoint {
                 Some(sf.retry_fires)
             }
         };
+        if give_up {
+            self.give_up_on(flow, ctx);
+            return;
+        }
         if let Some(fires) = fires {
             if retry_rtts > 0 {
                 // Capped exponential backoff on fruitless retries.
@@ -350,6 +390,7 @@ impl NdpEndpoint {
             forgiven: 0,
             iw_pkts: 0,
             last_arrival: now,
+            last_progress: now,
         });
         rf.book.learn_size(pkt.flow_size);
         if rf.iw_pkts == 0 {
@@ -358,6 +399,7 @@ impl NdpEndpoint {
             }
         }
         rf.last_arrival = now;
+        rf.last_progress = now;
     }
 }
 
@@ -403,11 +445,24 @@ impl Endpoint for NdpEndpoint {
         }
         self.send_flows.insert(
             flow.id,
-            SendFlow { desc: flow, core, tag, heard_back: false, probe_seq, last_loss: None, retry_fires: 0 },
+            SendFlow {
+                desc: flow,
+                core,
+                tag,
+                heard_back: false,
+                last_heard: ctx.now,
+                probe_seq,
+                last_loss: None,
+                retry_fires: 0,
+            },
         );
     }
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        if self.dead.holds(pkt.flow) {
+            // Stale wire traffic for an aborted flow must not resurrect it.
+            return;
+        }
         match pkt.kind {
             PacketKind::Data if pkt.trimmed => {
                 // A cut-payload header: it returns its transmission credit
@@ -468,6 +523,7 @@ impl Endpoint for NdpEndpoint {
                 let mtu = self.cfg.base.mtu_payload as u64;
                 if let Some(sf) = self.send_flows.get_mut(pkt.flow) {
                     sf.heard_back = true;
+                    sf.last_heard = ctx.now;
                     let end = (pkt.seq + mtu).min(sf.desc.size);
                     let lost = sf.core.requeue_lost(pkt.seq, end);
                     if lost > 0 {
@@ -483,6 +539,7 @@ impl Endpoint for NdpEndpoint {
             PacketKind::Pull => {
                 if let Some(sf) = self.send_flows.get_mut(pkt.flow) {
                     sf.heard_back = true;
+                    sf.last_heard = ctx.now;
                     ctx.emit(TransportEvent::CreditReceipt {
                         flow: pkt.flow,
                         bytes: self.cfg.base.mtu_payload as u64,
@@ -493,6 +550,7 @@ impl Endpoint for NdpEndpoint {
             PacketKind::Ack { of_probe, end } => {
                 if let Some(sf) = self.send_flows.get_mut(pkt.flow) {
                     sf.heard_back = true;
+                    sf.last_heard = ctx.now;
                     if of_probe {
                         let lost = sf.core.on_probe_ack();
                         if lost > 0 {
@@ -523,5 +581,30 @@ impl Endpoint for NdpEndpoint {
             Some(TimerKind::ProbeRetry(f)) => self.on_probe_retry(f, ctx),
             None => {}
         }
+    }
+
+    fn on_crash(&mut self, _ctx: &mut Ctx<'_>) {
+        // A host crash wipes every byte of transport state; the timer
+        // generation bump makes all queued tokens stale.
+        self.send_flows.clear();
+        self.recv_flows.clear();
+        self.timers.clear();
+        self.pull_queue.clear();
+        self.pull_pacer_armed = false;
+        self.next_pull_at = 0;
+        self.backstop_armed = false;
+        self.dead.clear();
+    }
+
+    fn on_flow_abort(&mut self, flow: FlowDesc, _ctx: &mut Ctx<'_>) {
+        self.send_flows.remove(flow.id);
+        self.recv_flows.remove(flow.id);
+        self.dead.bury(flow.id);
+    }
+
+    fn on_flow_restart(&mut self, flow: FlowDesc, _ctx: &mut Ctx<'_>) {
+        self.dead.raise(flow.id);
+        self.send_flows.remove(flow.id);
+        self.recv_flows.remove(flow.id);
     }
 }

@@ -28,7 +28,8 @@ use aeolus_sim::{
 };
 
 use crate::common::{
-    ack_packet, data_packet, probe_ack_packet, probe_packet, BaseConfig, FirstRttMode,
+    abort_peer_silent, ack_packet, data_packet, probe_ack_packet, probe_packet, BaseConfig,
+    FirstRttMode, Tombstones,
 };
 use crate::receiver_table::RecvBook;
 
@@ -71,6 +72,8 @@ struct SendFlow {
     last_loss: Option<LossCause>,
     /// Set once anything came back (token, ACK, probe ACK, resend).
     heard_back: bool,
+    /// Last time the receiver showed signs of life (peer-death watchdog).
+    last_heard: Time,
     /// Probe sequence, kept for retries.
     probe_seq: Option<u64>,
     /// Consecutive fruitless retries, capped — each doubles the interval.
@@ -88,6 +91,9 @@ struct RecvFlow {
     /// lost, so they no longer count as outstanding).
     tokens_forgiven: u64,
     last_arrival: Time,
+    /// Last *real* arrival — never rewound by the stall scan's back-off, so
+    /// it measures true peer silence for the death watchdog.
+    last_progress: Time,
 }
 
 /// The per-host pHost endpoint.
@@ -99,6 +105,7 @@ pub struct PHostEndpoint {
     pacer_armed: bool,
     next_token_at: Time,
     scan_armed: bool,
+    dead: Tombstones,
 }
 
 impl PHostEndpoint {
@@ -112,7 +119,17 @@ impl PHostEndpoint {
             pacer_armed: false,
             next_token_at: 0,
             scan_armed: false,
+            dead: Tombstones::new(),
         }
+    }
+
+    /// Peer-silence abort (either role): drop local state, bury the id and
+    /// record the abort.
+    fn give_up_on(&mut self, flow: FlowId, ctx: &mut Ctx<'_>) {
+        self.send_flows.remove(flow);
+        self.recv_flows.remove(flow);
+        self.dead.bury(flow);
+        abort_peer_silent(flow, ctx);
     }
 
     fn rtt_bytes(&self, ctx: &Ctx<'_>) -> u64 {
@@ -211,8 +228,16 @@ impl PHostEndpoint {
         let stale = self.stale_after();
         let mut any_incomplete = false;
         let mut resends: Vec<ResendBatch> = Vec::new();
+        let mut give_ups: Vec<FlowId> = Vec::new();
         for (id, rf) in self.recv_flows.iter_mut() {
             if rf.book.is_complete() {
+                continue;
+            }
+            if self.cfg.base.peer_silent(rf.last_progress, ctx.now) {
+                // The sender has been dead past the death threshold despite
+                // backed-off token re-issues: abort instead of retrying
+                // forever.
+                give_ups.push(id);
                 continue;
             }
             any_incomplete = true;
@@ -246,6 +271,10 @@ impl PHostEndpoint {
                 rf.tokens_forgiven += outstanding;
                 resends.push((id, rf.sender, missing));
             }
+        }
+        give_ups.sort_unstable();
+        for id in give_ups {
+            self.give_up_on(id, ctx);
         }
         // Slot order is not key order: sort so resend emission matches the
         // seed's BTreeMap scan order exactly.
@@ -308,12 +337,17 @@ impl PHostEndpoint {
         }
         let base = self.retry_base();
         let probe_recovery = self.cfg.base.mode.probe_recovery();
+        let pcfg = self.cfg.base;
+        let mut give_up = false;
         let fires = {
             let sf = match self.send_flows.get_mut(flow) {
                 Some(sf) => sf,
                 None => return,
             };
             if sf.heard_back || sf.completed {
+                None
+            } else if pcfg.peer_silent(sf.last_heard, ctx.now) {
+                give_up = true;
                 None
             } else {
                 // Total silence: re-introduce the flow to the receiver.
@@ -330,6 +364,10 @@ impl PHostEndpoint {
                 Some(sf.retry_fires)
             }
         };
+        if give_up {
+            self.give_up_on(flow, ctx);
+            return;
+        }
         if let Some(fires) = fires {
             let token = self.timers.arm(TimerKind::RtsRetry(flow));
             ctx.set_timer_in_with(base << fires.min(6), token);
@@ -344,9 +382,11 @@ impl PHostEndpoint {
             sched_pkts_received: 0,
             tokens_forgiven: 0,
             last_arrival: now,
+            last_progress: now,
         });
         rf.book.learn_size(pkt.flow_size);
         rf.last_arrival = now;
+        rf.last_progress = now;
     }
 }
 
@@ -398,6 +438,7 @@ impl Endpoint for PHostEndpoint {
                 completed: false,
                 last_loss: None,
                 heard_back: false,
+                last_heard: ctx.now,
                 probe_seq,
                 retry_fires: 0,
             },
@@ -405,6 +446,10 @@ impl Endpoint for PHostEndpoint {
     }
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        if self.dead.holds(pkt.flow) {
+            // Stale wire traffic for an aborted flow must not resurrect it.
+            return;
+        }
         match pkt.kind {
             PacketKind::Request => {
                 self.ensure_recv_flow(&pkt, ctx.now);
@@ -451,6 +496,7 @@ impl Endpoint for PHostEndpoint {
                 // A token.
                 if let Some(sf) = self.send_flows.get_mut(pkt.flow) {
                     sf.heard_back = true;
+                    sf.last_heard = ctx.now;
                     ctx.emit(TransportEvent::CreditReceipt {
                         flow: pkt.flow,
                         bytes: self.cfg.base.mtu_payload as u64,
@@ -463,6 +509,7 @@ impl Endpoint for PHostEndpoint {
                 // the range; the extended token budget clocks it out.
                 if let Some(sf) = self.send_flows.get_mut(pkt.flow) {
                     sf.heard_back = true;
+                    sf.last_heard = ctx.now;
                     let lost = sf.core.requeue_lost(pkt.seq, end.min(sf.desc.size));
                     if lost > 0 {
                         sf.last_loss = Some(LossCause::Stall);
@@ -477,6 +524,7 @@ impl Endpoint for PHostEndpoint {
             PacketKind::Ack { of_probe, end } => {
                 if let Some(sf) = self.send_flows.get_mut(pkt.flow) {
                     sf.heard_back = true;
+                    sf.last_heard = ctx.now;
                     let (lost, cause) = if of_probe {
                         (sf.core.on_probe_ack(), LossCause::Probe)
                     } else if pkt.seq == 0 && end >= sf.desc.size {
@@ -512,5 +560,29 @@ impl Endpoint for PHostEndpoint {
             Some(TimerKind::RtsRetry(f)) => self.on_rts_retry(f, ctx),
             None => {}
         }
+    }
+
+    fn on_crash(&mut self, _ctx: &mut Ctx<'_>) {
+        // A host crash wipes every byte of transport state; the timer
+        // generation bump makes all queued tokens stale.
+        self.send_flows.clear();
+        self.recv_flows.clear();
+        self.timers.clear();
+        self.pacer_armed = false;
+        self.next_token_at = 0;
+        self.scan_armed = false;
+        self.dead.clear();
+    }
+
+    fn on_flow_abort(&mut self, flow: FlowDesc, _ctx: &mut Ctx<'_>) {
+        self.send_flows.remove(flow.id);
+        self.recv_flows.remove(flow.id);
+        self.dead.bury(flow.id);
+    }
+
+    fn on_flow_restart(&mut self, flow: FlowDesc, _ctx: &mut Ctx<'_>) {
+        self.dead.raise(flow.id);
+        self.send_flows.remove(flow.id);
+        self.recv_flows.remove(flow.id);
     }
 }

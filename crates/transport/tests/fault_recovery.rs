@@ -171,6 +171,138 @@ fn corruption_is_never_conflated_with_selective_drops() {
 }
 
 #[test]
+fn every_scheme_survives_a_source_host_crash() {
+    // One sender crashes at 100 µs and restarts at 600 µs, mid-incast. Its
+    // flow is aborted on the spot (wiping in-flight transport state) and
+    // relaunched at restart; everyone else keeps going. The degradation
+    // ledger must show every flow settled — the crashed sender's flow as
+    // restarted-then-completed, the rest as plain completions.
+    for scheme in schemes_under_fire() {
+        let mut params = SchemeParams::new(0);
+        params.faults = FaultPlan::new(17).with_crash(us(100), us(600), 1);
+        let mut h = SchemeBuilder::new(scheme).params(params).topology(testbed()).build();
+        let flows = incast_flows(&h, &[120_000; 7]);
+        h.schedule(&flows);
+        let report = match h.run_degradation(ms(4000)) {
+            Ok(r) => r,
+            Err(r) => panic!("{}: {r}", scheme.name()),
+        };
+        assert_eq!(
+            report.completed() + report.restarted(),
+            7,
+            "{}: {report}",
+            scheme.name()
+        );
+        assert!(
+            report.restarted() >= 1,
+            "{}: the crashed sender's flow must restart, not silently survive — {report}",
+            scheme.name()
+        );
+    }
+}
+
+#[test]
+fn destination_crash_restarts_the_whole_incast() {
+    // The incast *sink* dies. Every flow's receiver state is wiped, every
+    // flow aborts with NodeCrash, and every one is relaunched when the host
+    // comes back — nothing may hang, nothing may stay aborted.
+    let mut params = SchemeParams::new(0);
+    params.faults = FaultPlan::new(19).with_crash(us(100), us(600), 0);
+    let mut h =
+        SchemeBuilder::new(Scheme::ExpressPassAeolus).params(params).topology(testbed()).build();
+    let flows = incast_flows(&h, &[200_000; 7]);
+    h.schedule(&flows);
+    let report = h.run_degradation(ms(4000)).expect("sink crash must not hang the incast");
+    assert_eq!(report.restarted(), 7, "{report}");
+    assert_eq!(report.hung() + report.aborted(), 0, "{report}");
+    assert!(
+        h.metrics().drops_by_reason(DropReason::NodeDown) > 0,
+        "packets heading into the dead sink must die with the node-down taxonomy"
+    );
+}
+
+#[test]
+fn every_scheme_survives_an_arbiter_outage() {
+    // A 400 µs control-plane outage: on Fastpass the arbiter host itself
+    // goes down (its allocation state is wiped, queued requests stall or
+    // die); on the credit-loop schemes the window is a credit blackout. No
+    // workload flow is ever aborted for a control-plane fault — the retry
+    // and stall-recovery paths must re-establish contact and finish
+    // everything.
+    for scheme in schemes_under_fire() {
+        let mut params = SchemeParams::new(0);
+        params.faults = FaultPlan::new(29).with_arbiter_outage(us(100), us(500));
+        let mut h = SchemeBuilder::new(scheme).params(params).topology(testbed()).build();
+        let flows = incast_flows(&h, &[60_000; 5]);
+        h.schedule(&flows);
+        let report = match h.run_degradation(ms(4000)) {
+            Ok(r) => r,
+            Err(r) => panic!("{}: {r}", scheme.name()),
+        };
+        assert_eq!(report.completed(), 5, "{}: {report}", scheme.name());
+        assert_eq!(
+            report.restarted() + report.aborted(),
+            0,
+            "{}: a control-plane outage must never abort or restart workload flows — {report}",
+            scheme.name()
+        );
+    }
+}
+
+#[test]
+fn crash_and_partition_together_still_settle() {
+    // The harshest chaos cell as a direct test: a host crash overlapping a
+    // pod partition. Everything must still settle — completed, restarted or
+    // aborted-with-cause, never hung.
+    for scheme in [Scheme::ExpressPassAeolus, Scheme::HomaAeolus, Scheme::Dctcp { rto: ms(10) }] {
+        let mut params = SchemeParams::new(0);
+        params.faults = FaultPlan::new(37)
+            .with_crash(us(100), us(600), 1)
+            .with_partition(us(150), us(550));
+        let mut h = SchemeBuilder::new(scheme).params(params).topology(testbed()).build();
+        let flows = incast_flows(&h, &[80_000; 7]);
+        h.schedule(&flows);
+        if let Err(report) = h.run_degradation(ms(4000)) {
+            panic!("{}: {report}", scheme.name());
+        }
+    }
+}
+
+#[test]
+fn node_fault_grammar_round_trips() {
+    // The `--faults` grammar is the public interface to all of the above;
+    // Display must emit exactly what FromStr accepts, stably.
+    for spec in [
+        "crash=1@100us..600us",
+        "arbiter=120us..520us, partition=150us..550us, seed=9",
+        "loss=0.05, crash=0@1ms..2ms, crash=3@250us..750us",
+        "crash=2@100us..600us, arbiter=1ms..1500us, partition=2ms..2500us, seed=3",
+    ] {
+        let plan: FaultPlan = spec.parse().unwrap_or_else(|e| panic!("'{spec}': {e}"));
+        let rendered = plan.to_string();
+        let again: FaultPlan =
+            rendered.parse().unwrap_or_else(|e| panic!("re-parse of '{rendered}': {e}"));
+        assert_eq!(rendered, again.to_string(), "unstable round-trip for '{spec}'");
+    }
+}
+
+#[test]
+fn node_fault_grammar_rejects_malformed_specs() {
+    for bad in [
+        "crash=100us..600us",     // missing host index
+        "crash=x@100us..600us",   // non-numeric index
+        "crash=0@600us..100us",   // inverted window
+        "crash=0@600us..600us",   // empty window
+        "arbiter=0@1ms..2ms",     // arbiter takes no @host
+        "partition=1@1ms..2ms",   // partition takes no @host
+        "partition=2ms..1ms",     // inverted window
+        "arbiter=1xs..2xs",       // bogus time unit
+    ] {
+        assert!(bad.parse::<FaultPlan>().is_err(), "'{bad}' must not parse");
+    }
+}
+
+#[test]
 fn watchdog_reports_stuck_flows_with_diagnostics() {
     // Kill 100% of everything: no flow can complete, and the watchdog must
     // say which ones are stuck and that they never got a byte through.

@@ -133,6 +133,12 @@ cargo run --release -q -p aeolus-experiments --bin repro -- fig1 --scale smoke -
 # exit code here *is* the zero-hung-flows assertion.
 cargo run --release -q -p aeolus-experiments --bin repro -- chaos --scale smoke --jobs 2
 
+# Node-chaos smoke: host crashes, pod partitions and an arbiter outage
+# over all six schemes, every cell classified per-flow by run_degradation.
+# A flow that neither completes nor aborts-with-cause is a VIOLATION line
+# and repro exits non-zero — so this run *is* the zero-hangs gate.
+cargo run --release -q -p aeolus-experiments --bin repro -- chaos_nodes --scale smoke --jobs 2
+
 # Fault-schedule determinism gate: an identical --faults spec must produce
 # a bit-identical trace capture across reruns and worker counts.
 fault_dir="$(mktemp -d)"
@@ -151,5 +157,22 @@ grep -q '"corruption"' "$fault_dir/a.jsonl" || {
     echo "faulted trace contains no corruption kills" >&2; exit 1;
 }
 echo "fault determinism: $(wc -l < "$fault_dir/a.jsonl") JSONL lines bit-identical across reruns and --jobs 1/4"
+
+# Dormant node-fault gate: a plan whose crash / arbiter / partition windows
+# all open *after* the run ends must be bit-identical to running with no
+# plan at all — installing the node-fault machinery may not perturb event
+# order, RNG draws or timing when nothing actually fires.
+cargo run --release -q -p aeolus-experiments --bin repro -- \
+    --trace expresspass-aeolus --trace-out "$fault_dir/clean.jsonl"
+cargo run --release -q -p aeolus-experiments --bin repro -- \
+    --trace expresspass-aeolus --trace-out "$fault_dir/dormant.jsonl" \
+    --faults 'crash=0@4s..5s,arbiter=6s..7s,partition=8s..9s'
+cmp "$fault_dir/clean.jsonl" "$fault_dir/dormant.jsonl"
+echo "dormant node-fault plan: trace bit-identical to no-faults run"
+
+# Fuzz over the extended grammar: seed 41's batch draws node faults (host
+# crashes, arbiter outages, partitions) in ~a third of its scenarios, and
+# the oracle's settlement check fails any case with a hung flow.
+cargo run --release -q -p aeolus-experiments --bin repro -- fuzz --cases 25 --seed 41
 
 echo "ci: OK"
