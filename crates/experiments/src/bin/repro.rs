@@ -2,8 +2,10 @@
 //!
 //! ```text
 //! repro <experiment>... [--scale smoke|quick|full] [--csv DIR] [--jobs N] [--faults SPEC] [--check]
-//! repro all [--scale ...]
+//! repro all [--scale ...] [--no-cache] [--cache-verify]
 //! repro fuzz [--cases N] [--seed S]
+//! repro fuzz --corpus [DIR] [--cases N] [--seed S]
+//! repro fuzz --stats [--cases N] [--seed S]
 //! repro fuzz --spec 'scheme=... hosts=... flows=... faults=...'
 //! repro --trace <scheme>[@rounds] [--trace-out PATH] [--faults SPEC]
 //! repro --list
@@ -24,6 +26,24 @@
 //! faults) under the full oracle and, on failure, greedily shrinks the case
 //! to a minimal one-line repro spec. `--spec` re-checks one such line.
 //!
+//! `repro fuzz --corpus [DIR]` upgrades the fuzzer to a coverage-guided
+//! campaign: every run folds its tracer/oracle signals into a novelty
+//! signature, scenarios with never-seen signatures persist as one-line
+//! specs under DIR (default `results/corpus`), and subsequent campaigns
+//! replay the corpus first, then split the budget between corpus mutations
+//! and fresh random cases. Each distinct failing signature is shrunk and
+//! reported once. `--stats` runs a guided campaign and a blind one on equal
+//! budgets and compares distinct-signature counts (exit 1 unless guided
+//! strictly wins).
+//!
+//! Experiment runs are served from a content-addressed cache under
+//! `results/cache`: each cell is keyed on a hash of everything that
+//! determines its output (scheme, spec, params, workload, load, seed,
+//! session faults, schema version), so a re-run with identical code and
+//! config skips the simulation. `--no-cache` forces recompute;
+//! `--cache-verify` re-simulates a sample of hits and panics on any byte
+//! divergence. `--check` bypasses the cache entirely.
+//!
 //! `--trace` runs the canonical 7:1 incast under a recording tracer and
 //! writes the capture as deterministic JSONL (default
 //! `results/trace_<scheme>.jsonl`), printing queue-occupancy sparklines.
@@ -35,8 +55,9 @@
 use std::time::Instant;
 
 use aeolus_experiments::{
-    fuzz, registry, run_trace, set_checked, set_default_faults, set_jobs,
-    take_events_processed, FaultPlan, Scale, Scenario, TraceSpec,
+    cache_stats, checked, fuzz, jobs, registry, run_campaign, run_trace, set_cache_dir,
+    set_cache_verify, set_checked, set_default_faults, set_jobs, take_events_processed,
+    CampaignConfig, Corpus, FaultPlan, Scale, Scenario, TraceSpec,
 };
 
 /// Run `f` with the panic hook silenced: the fuzzer catches oracle panics
@@ -86,6 +107,120 @@ fn run_spec(spec: &str) {
     }
 }
 
+/// `repro fuzz --corpus DIR`: run a coverage-guided campaign against a
+/// persistent corpus. Exit 1 if any distinct failure was found.
+fn run_guided(dir: &std::path::Path, cases: usize, seed: u64) {
+    let mut corpus = Corpus::open(dir).unwrap_or_else(|e| {
+        eprintln!("cannot open corpus {}: {e}", dir.display());
+        std::process::exit(2);
+    });
+    println!(
+        "guided fuzz: {cases} case(s) under the conformance oracle (seed {seed}, corpus {} with {} entr{})...",
+        dir.display(),
+        corpus.len(),
+        if corpus.len() == 1 { "y" } else { "ies" }
+    );
+    let cfg = CampaignConfig {
+        cases,
+        seed,
+        mutate_fraction: 0.5,
+        jobs: jobs(),
+        shrink_failures: true,
+    };
+    let t0 = Instant::now();
+    let outcome = with_quiet_panics(|| run_campaign(&cfg, &mut corpus)).unwrap_or_else(|e| {
+        eprintln!("campaign I/O error: {e}");
+        std::process::exit(2);
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    println!(
+        "campaign: {} case(s) in {secs:.1}s — {} replayed, {} mutated, {} random",
+        outcome.cases_run, outcome.replayed, outcome.mutated, outcome.random
+    );
+    println!(
+        "signatures: {} distinct this campaign, {} new (corpus now {} entr{})",
+        outcome.distinct_signatures,
+        outcome.new_signatures,
+        corpus.len(),
+        if corpus.len() == 1 { "y" } else { "ies" }
+    );
+    if outcome.failures.is_empty() {
+        println!("guided fuzz: all {} case(s) conform", outcome.cases_run);
+        return;
+    }
+    for (i, f) in outcome.failures.iter().enumerate() {
+        eprintln!("failure {}/{}:", i + 1, outcome.failures.len());
+        eprintln!("  original spec:    {}", f.scenario);
+        eprintln!("  original failure: {}", f.failure);
+        eprintln!("  minimized spec:   {}", f.minimized);
+        eprintln!("  minimized failure: {}", f.minimized_failure);
+        eprintln!("  rerun with: repro fuzz --spec '{}'", f.minimized);
+    }
+    eprintln!("guided fuzz: {} distinct failure(s)", outcome.failures.len());
+    std::process::exit(1);
+}
+
+/// `repro fuzz --stats`: run guided and blind campaigns on equal budgets
+/// and compare distinct-signature counts. The guided side first distils a
+/// 2x-budget random scan into an in-memory corpus (simulating an existing
+/// corpus, so the comparison does not depend on on-disk state), then both
+/// sides get exactly `cases` fresh cases from the same seed. Exit 1 unless
+/// guided strictly beats blind.
+fn run_stats(cases: usize, seed: u64) {
+    println!("guided-vs-blind on equal {cases}-case budgets (seed {seed})...");
+    let t0 = Instant::now();
+    let (guided, blind) = with_quiet_panics(|| {
+        let scan = CampaignConfig {
+            cases: cases * 2,
+            seed,
+            mutate_fraction: 0.0,
+            jobs: jobs(),
+            shrink_failures: false,
+        };
+        let mut seeded = Corpus::in_memory();
+        run_campaign(&scan, &mut seeded).expect("in-memory campaign cannot fail on I/O");
+        let guided_cfg = CampaignConfig {
+            cases,
+            seed: seed.wrapping_add(1000),
+            mutate_fraction: 0.6,
+            jobs: jobs(),
+            shrink_failures: false,
+        };
+        let guided = run_campaign(&guided_cfg, &mut seeded).unwrap();
+        let blind_cfg = CampaignConfig {
+            cases,
+            seed: seed.wrapping_add(1000),
+            mutate_fraction: 0.0,
+            jobs: jobs(),
+            shrink_failures: false,
+        };
+        let mut blind_corpus = Corpus::in_memory();
+        let blind = run_campaign(&blind_cfg, &mut blind_corpus).unwrap();
+        (guided, blind)
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    println!(
+        "guided: {} distinct signature(s) ({} replayed, {} mutated, {} random)",
+        guided.distinct_signatures, guided.replayed, guided.mutated, guided.random
+    );
+    println!(
+        "blind:  {} distinct signature(s) ({} random)",
+        blind.distinct_signatures, blind.random
+    );
+    if guided.distinct_signatures > blind.distinct_signatures {
+        println!(
+            "guided beats blind by {} signature(s) on equal budgets ({secs:.1}s)",
+            guided.distinct_signatures - blind.distinct_signatures
+        );
+    } else {
+        eprintln!(
+            "FAILED: guided ({}) does not beat blind ({}) on a {cases}-case budget",
+            guided.distinct_signatures, blind.distinct_signatures
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Quick;
@@ -96,6 +231,10 @@ fn main() {
     let mut fuzz_cases = 25usize;
     let mut fuzz_seed = 1u64;
     let mut fuzz_spec: Option<String> = None;
+    let mut fuzz_corpus: Option<std::path::PathBuf> = None;
+    let mut fuzz_stats = false;
+    let mut no_cache = false;
+    let mut cache_verify = false;
     let mut iter = args.iter().peekable();
     while let Some(a) = iter.next() {
         match a.as_str() {
@@ -120,6 +259,20 @@ fn main() {
                     }
                 }
             }
+            "--corpus" => {
+                // DIR is optional: `--corpus --stats` and a bare trailing
+                // `--corpus` both fall back to the default directory.
+                let dir = match iter.peek() {
+                    Some(v) if !v.starts_with('-') && v.as_str() != "fuzz" => {
+                        iter.next().unwrap().clone()
+                    }
+                    _ => "results/corpus".to_string(),
+                };
+                fuzz_corpus = Some(std::path::PathBuf::from(dir));
+            }
+            "--stats" => fuzz_stats = true,
+            "--no-cache" => no_cache = true,
+            "--cache-verify" => cache_verify = true,
             "--spec" => {
                 let v = iter.next().map(String::as_str).unwrap_or("");
                 if v.is_empty() {
@@ -183,6 +336,10 @@ fn main() {
             other => wanted.push(other.to_string()),
         }
     }
+    if no_cache && cache_verify {
+        eprintln!("--cache-verify is meaningless with --no-cache");
+        std::process::exit(2);
+    }
     if let Some(spec) = trace {
         let out = run_trace(&spec, aeolus_experiments::SchedulerKind::default());
         print!("{}", out.summary);
@@ -206,15 +363,21 @@ fn main() {
             eprintln!("'fuzz' does not combine with other experiments");
             std::process::exit(2);
         }
-        match fuzz_spec {
-            Some(spec) => run_spec(&spec),
-            None => run_fuzz(fuzz_cases, fuzz_seed),
+        if fuzz_stats {
+            run_stats(fuzz_cases, fuzz_seed);
+        } else if let Some(dir) = fuzz_corpus {
+            run_guided(&dir, fuzz_cases, fuzz_seed);
+        } else {
+            match fuzz_spec {
+                Some(spec) => run_spec(&spec),
+                None => run_fuzz(fuzz_cases, fuzz_seed),
+            }
         }
         return;
     }
     if wanted.is_empty() {
         eprintln!(
-            "usage: repro <experiment>... [--scale smoke|quick|full] [--csv DIR] [--jobs N] [--faults SPEC] [--check] | repro all | repro fuzz [--cases N] [--seed S] [--spec LINE] | repro --trace <scheme>[@rounds] [--trace-out PATH] [--faults SPEC] | repro --list"
+            "usage: repro <experiment>... [--scale smoke|quick|full] [--csv DIR] [--jobs N] [--faults SPEC] [--check] [--no-cache] [--cache-verify] | repro all | repro fuzz [--cases N] [--seed S] [--spec LINE] [--corpus [DIR]] [--stats] | repro --trace <scheme>[@rounds] [--trace-out PATH] [--faults SPEC] | repro --list"
         );
         std::process::exit(2);
     }
@@ -235,6 +398,12 @@ fn main() {
         }
         sel
     };
+    // The content-addressed cache is on for experiment runs unless the
+    // user opts out; `--check` runs bypass it inside the runner anyway.
+    if !no_cache {
+        set_cache_dir(Some(std::path::PathBuf::from("results/cache")));
+        set_cache_verify(cache_verify);
+    }
     let wall0 = Instant::now();
     let mut total_events = 0u64;
     let mut violations = 0usize;
@@ -268,6 +437,13 @@ fn main() {
         println!(
             "[total: {wall:.1}s wall, {total_events} events, {:.2}M events/s aggregate]",
             total_events as f64 / wall / 1e6
+        );
+    }
+    if !no_cache && !checked() {
+        let cs = cache_stats();
+        println!(
+            "[cache: {} hit(s), {} miss(es), {} store(s), {} verified]",
+            cs.hits, cs.misses, cs.stores, cs.verified
         );
     }
     if violations > 0 {

@@ -9,6 +9,7 @@
 //! illustration is reproduced as a measured cascade micro-experiment.
 
 pub mod ablation;
+pub mod cache;
 pub mod chaos;
 pub mod chaos_nodes;
 pub mod compare;
@@ -44,10 +45,14 @@ pub mod tab03;
 pub mod tab04;
 pub mod tab05;
 
+pub use cache::{cache_enabled, cache_stats, set_cache_dir, set_cache_verify, CacheStats};
 pub use report::Report;
 pub use runner::{
     checked, collect, default_faults, jobs, parallel_map, run_flows, run_many, run_workload,
     set_checked, set_default_faults, set_jobs, take_events_processed, RunConfig, RunOutput,
+};
+pub use aeolus_transport::corpus::{
+    run_campaign, CampaignConfig, CampaignFailure, CampaignOutcome, Corpus, Signature,
 };
 pub use aeolus_transport::fuzz::{fuzz, shrink, FuzzReport, Scenario};
 pub use aeolus_sim::{FaultPlan, SchedulerKind};

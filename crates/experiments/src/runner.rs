@@ -162,6 +162,12 @@ pub fn homa_cutoffs_for(workload: Workload) -> Vec<u64> {
 }
 
 /// Run a Poisson-workload experiment.
+///
+/// When the content-addressed cache is enabled (`repro` without
+/// `--no-cache`; see [`crate::cache`]), the run's *effective* configuration
+/// — params normalized, session faults folded in — is keyed and served from
+/// the store on a hit. Checked runs (`--check`) always simulate: a skipped
+/// run exercises no oracle.
 pub fn run_workload(cfg: &RunConfig) -> RunOutput {
     let mut params = cfg.params.clone();
     // Workload-derived Homa cutoffs unless the caller overrode them.
@@ -172,7 +178,19 @@ pub fn run_workload(cfg: &RunConfig) -> RunOutput {
     if params.faults.is_empty() {
         params.faults = default_faults();
     }
-    let builder = SchemeBuilder::new(cfg.scheme).params(params).topology(cfg.spec);
+    let eff = RunConfig { params, ..cfg.clone() };
+    if checked() || !crate::cache::cache_enabled() {
+        return run_workload_uncached(&eff);
+    }
+    crate::cache::run_cached(&eff, run_workload_uncached)
+}
+
+/// The simulate-always body of [`run_workload`], on the fully-normalized
+/// config (the cache's verify mode re-invokes this to compare against a
+/// stored entry).
+pub(crate) fn run_workload_uncached(cfg: &RunConfig) -> RunOutput {
+    let builder =
+        SchemeBuilder::new(cfg.scheme).params(cfg.params.clone()).topology(cfg.spec);
     if checked() {
         // `--check`: same run, but the conformance oracle observes every
         // event and the wire-level delivery ledger is audited at the end.

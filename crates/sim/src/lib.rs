@@ -98,7 +98,7 @@ pub use faults::{
 pub use flowmap::{FlowKey, FlowMap, TimerTable};
 pub use metrics::{AbortCause, FlowRecord, Metrics};
 pub use network::{Network, TraceEvent, TraceKind};
-pub use oracle::{CheckedTracer, OracleProfile};
+pub use oracle::{CheckedTracer, OracleProfile, OracleSignals, LOSS_CAUSE_LABELS};
 pub use packet::{
     Ecn, FlowDesc, FlowId, NodeId, Packet, PacketKind, PortId, TrafficClass, CREDIT_BYTES,
     HEADER_BYTES, MIN_PACKET_BYTES,

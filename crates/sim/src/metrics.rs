@@ -22,9 +22,10 @@ const fn reason_idx(r: DropReason) -> usize {
         DropReason::LinkDown => 5,
         DropReason::NodeDown => 6,
         DropReason::ArbiterDown => 7,
+        DropReason::StaleIncarnation => 8,
     }
 }
-const N_REASONS: usize = 8;
+const N_REASONS: usize = 9;
 const REASONS: [DropReason; N_REASONS] = [
     DropReason::BufferFull,
     DropReason::SharedBufferFull,
@@ -34,6 +35,7 @@ const REASONS: [DropReason; N_REASONS] = [
     DropReason::LinkDown,
     DropReason::NodeDown,
     DropReason::ArbiterDown,
+    DropReason::StaleIncarnation,
 ];
 
 /// Dense index of a [`TrafficClass`] (declaration = `Ord` order).

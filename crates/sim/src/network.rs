@@ -541,6 +541,30 @@ impl<T: Tracer> Network<T> {
         self.pool.free(r);
     }
 
+    /// Drop a straggler from a pre-relaunch flow incarnation at the host
+    /// NIC: same mechanics as [`Network::kill_at_dead_node`], but with the
+    /// recovery taxonomy rather than the node window's.
+    fn kill_stale_incarnation(&mut self, node: NodeId, r: PacketRef, now: Time) {
+        let reason = DropReason::StaleIncarnation;
+        self.record_ref(node, r, TraceKind::Drop(reason));
+        self.metrics.note_drop(reason, self.pool.get(r).class);
+        if T::ENABLED {
+            let p = self.pool.get(r);
+            let ev = FaultEvent::PacketKilled {
+                node,
+                port: PortId(0),
+                flow: p.flow,
+                seq: p.seq,
+                kind: p.kind,
+                class: p.class,
+                payload: p.payload,
+                reason,
+            };
+            self.tracer.fault_event(now, &ev);
+        }
+        self.pool.free(r);
+    }
+
     fn has_endpoint(&self, node: NodeId) -> bool {
         matches!(&self.nodes[node.0 as usize].kind, NodeKind::Host { endpoint: Some(_) })
     }
@@ -625,6 +649,20 @@ impl<T: Tracer> Network<T> {
             // the node window's taxonomy, never reaching the endpoint.
             self.kill_at_dead_node(node, r, now);
             return;
+        }
+        if !self.faults.is_empty()
+            && self.faults.has_node_faults()
+            && self.nodes[node.0 as usize].is_host()
+        {
+            // Reject stragglers from a dead flow incarnation: a cumulative
+            // grant/credit packet sent pre-crash must not inflate the
+            // relaunched incarnation's budget.
+            let pkt = self.pool.get(r);
+            let current = self.metrics.flow(pkt.flow).map_or(0, |rec| rec.restarts);
+            if pkt.incarnation < current {
+                self.kill_stale_incarnation(node, r, now);
+                return;
+            }
         }
         let faults = &self.faults;
         let pool = &mut self.pool;
@@ -940,6 +978,13 @@ impl<T: Tracer> Network<T> {
             pkt.src = host;
             // Stamp the ECMP hash once; every switch on the path reuses it.
             pkt.route_hash = crate::routing::fnv1a(pkt.flow.0, pkt.path_tag);
+            // Stamp the flow incarnation so stragglers outlived by a crash
+            // relaunch can be rejected at delivery. Only node faults can
+            // restart flows, so the fault-free hot path skips the lookup.
+            if self.faults.has_node_faults() {
+                pkt.incarnation =
+                    self.metrics.flow(pkt.flow).map_or(0, |rec| rec.restarts);
+            }
             if pkt.is_data() && pkt.payload > 0 {
                 self.metrics.payload_sent += pkt.payload as u64;
                 if pkt.retransmit {
@@ -1197,6 +1242,31 @@ mod tests {
         let rec = net.metrics.flow(FlowId(1)).unwrap();
         assert_eq!(rec.restarts, 1);
         assert_eq!(net.metrics.payload_delivered, 1_460, "restart rewinds delivery accounting");
+    }
+
+    #[test]
+    fn straggler_from_dead_incarnation_is_rejected_at_delivery() {
+        use crate::faults::FaultPlan;
+        let (mut net, h0, h1) = two_hosts_one_switch();
+        // A 1 ns receiver blink: the flow aborts and relaunches almost
+        // instantly, while the first incarnation's packets are still queued
+        // at the switch. They arrive at the *restarted* incarnation and must
+        // die as StaleIncarnation — delivering pre-crash state (receive-book
+        // bytes, cumulative grants in the transport schemes) would corrupt
+        // the relaunch. Found by the guided fuzzer as a Homa
+        // credit-conservation violation (a pre-crash cumulative grant
+        // doubled the restarted sender's budget).
+        net.set_fault_plan(FaultPlan::new(0).with_node_crash(us(3), us(3) + 1_000, h1));
+        net.schedule_flow(FlowDesc { id: FlowId(1), src: h0, dst: h1, size: 14_600, start: 0 });
+        assert!(net.run_to_completion(us(1000)));
+        let rec = net.metrics.flow(FlowId(1)).unwrap();
+        assert_eq!(rec.restarts, 1);
+        assert!(
+            net.metrics.drops_by_reason(DropReason::StaleIncarnation) > 0,
+            "in-flight pre-crash packets must be rejected at the restarted endpoint"
+        );
+        assert_eq!(net.metrics.payload_delivered, 14_600, "relaunch re-delivers in full");
+        assert!(net.metrics.all_settled());
     }
 
     #[test]

@@ -90,9 +90,56 @@ struct PortModel {
     rate: Option<Rate>,
     bytes: u64,
     pkts: usize,
+    /// High-water marks of the ledger — behavioral signals for the guided
+    /// fuzzer's novelty signature (see [`OracleSignals`]).
+    max_bytes: u64,
+    max_pkts: usize,
     /// Earliest time the next serialization may start (base link rate, so a
     /// lower bound under degraded-link fault windows).
     busy_until: Time,
+}
+
+/// Dense index of a [`crate::telemetry::LossCause`] for the signal counters.
+#[inline]
+const fn cause_idx(c: crate::telemetry::LossCause) -> usize {
+    match c {
+        crate::telemetry::LossCause::Probe => 0,
+        crate::telemetry::LossCause::SackGap => 1,
+        crate::telemetry::LossCause::Timeout => 2,
+        crate::telemetry::LossCause::Nack => 3,
+        crate::telemetry::LossCause::Stall => 4,
+        crate::telemetry::LossCause::LastResort => 5,
+    }
+}
+
+/// Stable labels matching [`cause_idx`] order.
+pub const LOSS_CAUSE_LABELS: [&str; 6] =
+    ["probe", "sack-gap", "timeout", "nack", "stall", "last-resort"];
+
+/// Behavioral signals the oracle accumulates as a side effect of checking —
+/// the raw material for the guided fuzzer's novelty signature. Everything
+/// here is a deterministic function of the (deterministic) event stream, so
+/// identical runs produce identical signals regardless of worker count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OracleSignals {
+    /// Events the oracle checked.
+    pub events_checked: u64,
+    /// Deepest queue-ledger occupancy seen on any port, in bytes.
+    pub max_queue_bytes: u64,
+    /// Deepest queue-ledger occupancy seen on any port, in packets.
+    pub max_queue_pkts: usize,
+    /// Retransmit events per [`crate::telemetry::LossCause`]
+    /// (order of [`LOSS_CAUSE_LABELS`]).
+    pub retransmits_by_cause: [u64; 6],
+    /// Check proximity: how close any burst came to its budget, in percent
+    /// (100 = a burst exactly filled its declared budget).
+    pub burst_fill_pct: u32,
+    /// Check proximity: max per-flow credit consumption over issuance, in
+    /// percent (100 = every issued credit byte was consumed).
+    pub credit_fill_pct: u32,
+    /// Check proximity: max per-flow retransmitted-over-detected bytes, in
+    /// percent (100 = the retransmit-pairing boundary).
+    pub retransmit_fill_pct: u32,
 }
 
 /// Per-flow protocol ledgers.
@@ -126,6 +173,8 @@ pub struct CheckedTracer {
     events: u64,
     ports: BTreeMap<(NodeId, PortId), PortModel>,
     flows: BTreeMap<FlowId, FlowModel>,
+    /// Run-wide behavioral signals (port maxima folded in by `signals()`).
+    sig: OracleSignals,
 }
 
 impl Default for CheckedTracer {
@@ -148,6 +197,7 @@ impl CheckedTracer {
             events: 0,
             ports: BTreeMap::new(),
             flows: BTreeMap::new(),
+            sig: OracleSignals::default(),
         }
     }
 
@@ -164,6 +214,20 @@ impl CheckedTracer {
     /// Number of events the oracle has checked so far.
     pub fn events_checked(&self) -> u64 {
         self.events
+    }
+
+    /// The behavioral signals accumulated while checking: queue-depth
+    /// extremes, retransmit-cause mix and how close the run came to each
+    /// protocol-check boundary. Deterministic per run; the guided fuzzer
+    /// folds these into its novelty signature.
+    pub fn signals(&self) -> OracleSignals {
+        let mut s = self.sig;
+        s.events_checked = self.events;
+        for pm in self.ports.values() {
+            s.max_queue_bytes = s.max_queue_bytes.max(pm.max_bytes);
+            s.max_queue_pkts = s.max_queue_pkts.max(pm.max_pkts);
+        }
+        s
     }
 
     /// End-of-run check: every flow the metrics claim complete must have had
@@ -288,12 +352,16 @@ impl TraceSink for CheckedTracer {
             QueueEvent::Enqueue | QueueEvent::EnqueueMarked => {
                 pm.bytes += rec.size as u64;
                 pm.pkts += 1;
+                pm.max_bytes = pm.max_bytes.max(pm.bytes);
+                pm.max_pkts = pm.max_pkts.max(pm.pkts);
             }
             QueueEvent::EnqueueTrimmed => {
                 // `rec.size` is the pre-trim wire size; the queue holds the
                 // trimmed header.
                 pm.bytes += MIN_PACKET_BYTES as u64;
                 pm.pkts += 1;
+                pm.max_bytes = pm.max_bytes.max(pm.bytes);
+                pm.max_pkts = pm.max_pkts.max(pm.pkts);
             }
             QueueEvent::Dequeue => {
                 if pm.pkts == 0 || pm.bytes < rec.size as u64 {
@@ -399,8 +467,12 @@ impl TraceSink for CheckedTracer {
             TransportEvent::CreditReceipt { flow, bytes } => {
                 let fm = self.flow_mut(flow);
                 fm.receipts += bytes;
-                if profile.credit_conservation && fm.receipts > fm.issued {
-                    let (r, i) = (fm.receipts, fm.issued);
+                let (r, i) = (fm.receipts, fm.issued);
+                if i > 0 {
+                    let fill = (r.saturating_mul(100) / i).min(400) as u32;
+                    self.sig.credit_fill_pct = self.sig.credit_fill_pct.max(fill);
+                }
+                if profile.credit_conservation && r > i {
                     self.fail(
                         "credit-conservation",
                         format!(
@@ -431,6 +503,11 @@ impl TraceSink for CheckedTracer {
                 fm.burst_total += bytes;
             }
             TransportEvent::BurstStop { flow, sent } => {
+                let budget = self.flow_mut(flow).burst_budget;
+                if budget > 0 {
+                    let fill = (sent.saturating_mul(100) / budget).min(400) as u32;
+                    self.sig.burst_fill_pct = self.sig.burst_fill_pct.max(fill);
+                }
                 let fm = self.flow_mut(flow);
                 if profile.burst_budget {
                     if !fm.burst_open {
@@ -457,6 +534,7 @@ impl TraceSink for CheckedTracer {
                 self.flow_mut(flow).detected += bytes;
             }
             TransportEvent::Retransmit { flow, bytes, cause } => {
+                self.sig.retransmits_by_cause[cause_idx(cause)] += 1;
                 // Last-resort retransmission (Aeolus §3.3) is definitionally
                 // speculative: it resends unACKed first-RTT bytes with no
                 // preceding detection event, so it stays off this ledger.
@@ -465,8 +543,12 @@ impl TraceSink for CheckedTracer {
                 }
                 let fm = self.flow_mut(flow);
                 fm.retransmitted += bytes;
-                if profile.retransmit_pairing && fm.retransmitted > fm.detected {
-                    let (r, d) = (fm.retransmitted, fm.detected);
+                let (r, d) = (fm.retransmitted, fm.detected);
+                if d > 0 {
+                    let fill = (r.saturating_mul(100) / d).min(400) as u32;
+                    self.sig.retransmit_fill_pct = self.sig.retransmit_fill_pct.max(fill);
+                }
+                if profile.retransmit_pairing && r > d {
                     self.fail(
                         "retransmit-pairing",
                         format!(
@@ -881,5 +963,63 @@ mod tests {
         assert!(net.tracer().events_checked() > 100);
         let (tracer, metrics) = (net.tracer(), &net.metrics);
         tracer.assert_flows_complete(metrics);
+        // Checking leaves behavioral signals behind: the queue maxima track
+        // the ledger and events_checked matches the counter.
+        let sig = net.tracer().signals();
+        assert_eq!(sig.events_checked, net.tracer().events_checked());
+        assert!(sig.max_queue_bytes > 0 && sig.max_queue_pkts > 0);
+    }
+
+    #[test]
+    fn signals_track_extremes_causes_and_proximity() {
+        let mut t = CheckedTracer::new();
+        // Queue-depth extremes come from the per-port ledger high-water mark.
+        t.queue_event(&rec(QueueEvent::Enqueue, 1500, 1500, 1));
+        t.queue_event(&rec(QueueEvent::Enqueue, 1500, 3000, 2));
+        t.queue_event(&rec(QueueEvent::Dequeue, 1500, 1500, 1));
+        let f = FlowId(9);
+        // Credit proximity: consume half of what was issued → 50%.
+        t.transport_event(100, NodeId(1), &TransportEvent::CreditIssue { flow: f, bytes: 2000 });
+        t.transport_event(101, NodeId(0), &TransportEvent::CreditReceipt { flow: f, bytes: 1000 });
+        // Burst proximity: send 90% of the declared budget.
+        t.transport_event(102, NodeId(0), &TransportEvent::BurstStart { flow: f, bytes: 10_000 });
+        t.transport_event(103, NodeId(0), &TransportEvent::BurstStop { flow: f, sent: 9_000 });
+        // Retransmit mix: one timeout repair (half the detected bytes) and
+        // one last-resort resend (counted by cause, exempt from the ledger).
+        let cause = LossCause::Timeout;
+        t.transport_event(104, NodeId(0), &TransportEvent::LossDetected { flow: f, bytes: 2000, cause });
+        t.transport_event(105, NodeId(0), &TransportEvent::Retransmit { flow: f, bytes: 1000, cause });
+        t.transport_event(
+            106,
+            NodeId(0),
+            &TransportEvent::Retransmit { flow: f, bytes: 500, cause: LossCause::LastResort },
+        );
+        let sig = t.signals();
+        assert_eq!(sig.events_checked, t.events_checked());
+        assert_eq!(sig.max_queue_bytes, 3000);
+        assert_eq!(sig.max_queue_pkts, 2);
+        assert_eq!(sig.credit_fill_pct, 50);
+        assert_eq!(sig.burst_fill_pct, 90);
+        assert_eq!(sig.retransmit_fill_pct, 50);
+        assert_eq!(sig.retransmits_by_cause[cause_idx(LossCause::Timeout)], 1);
+        assert_eq!(sig.retransmits_by_cause[cause_idx(LossCause::LastResort)], 1);
+        assert_eq!(sig.retransmits_by_cause[cause_idx(LossCause::Probe)], 0);
+        // A second identical tracer reproduces the signals bit-for-bit.
+        let mut u = CheckedTracer::new();
+        u.queue_event(&rec(QueueEvent::Enqueue, 1500, 1500, 1));
+        u.queue_event(&rec(QueueEvent::Enqueue, 1500, 3000, 2));
+        u.queue_event(&rec(QueueEvent::Dequeue, 1500, 1500, 1));
+        u.transport_event(100, NodeId(1), &TransportEvent::CreditIssue { flow: f, bytes: 2000 });
+        u.transport_event(101, NodeId(0), &TransportEvent::CreditReceipt { flow: f, bytes: 1000 });
+        u.transport_event(102, NodeId(0), &TransportEvent::BurstStart { flow: f, bytes: 10_000 });
+        u.transport_event(103, NodeId(0), &TransportEvent::BurstStop { flow: f, sent: 9_000 });
+        u.transport_event(104, NodeId(0), &TransportEvent::LossDetected { flow: f, bytes: 2000, cause });
+        u.transport_event(105, NodeId(0), &TransportEvent::Retransmit { flow: f, bytes: 1000, cause });
+        u.transport_event(
+            106,
+            NodeId(0),
+            &TransportEvent::Retransmit { flow: f, bytes: 500, cause: LossCause::LastResort },
+        );
+        assert_eq!(u.signals(), sig);
     }
 }

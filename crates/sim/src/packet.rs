@@ -153,6 +153,12 @@ pub struct Packet {
     pub credit_echo: u64,
     /// Hop count, incremented at each switch traversal.
     pub hops: u8,
+    /// Flow incarnation this packet belongs to, stamped by the network at
+    /// injection (= the flow's restart count). A packet still in flight
+    /// when its flow aborts and relaunches carries the old incarnation and
+    /// is rejected at delivery — the sim analogue of a real transport
+    /// discarding segments from a dead connection epoch.
+    pub incarnation: u32,
 }
 
 impl Packet {
@@ -190,6 +196,7 @@ impl Packet {
             route_hash: 0,
             credit_echo: 0,
             hops: 0,
+            incarnation: 0,
         }
     }
 
@@ -215,6 +222,7 @@ impl Packet {
             route_hash: 0,
             credit_echo: 0,
             hops: 0,
+            incarnation: 0,
         }
     }
 

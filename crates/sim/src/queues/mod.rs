@@ -67,6 +67,12 @@ pub enum DropReason {
     /// either at the dead arbiter itself or as a credit-source blackout kill
     /// for schemes without a centralized arbiter.
     ArbiterDown,
+    /// Fault recovery: the packet belonged to an earlier incarnation of a
+    /// flow that aborted and relaunched while it was in flight. Delivered
+    /// stale credit/grant state would corrupt the restarted incarnation
+    /// (e.g. a pre-crash cumulative Homa grant doubling the sender's
+    /// budget), so the receiving host rejects it at the NIC.
+    StaleIncarnation,
 }
 
 /// Result of offering a packet to a queue.

@@ -200,7 +200,8 @@ pub enum FaultEvent {
         /// Application payload bytes it carried.
         payload: u32,
         /// [`DropReason::Corruption`], [`DropReason::LinkDown`],
-        /// [`DropReason::NodeDown`] or [`DropReason::ArbiterDown`].
+        /// [`DropReason::NodeDown`], [`DropReason::ArbiterDown`] or
+        /// [`DropReason::StaleIncarnation`].
         reason: DropReason,
     },
     /// A node crashed (crash window or arbiter outage started).
@@ -513,6 +514,7 @@ pub fn reason_str(reason: DropReason) -> &'static str {
         DropReason::LinkDown => "link_down",
         DropReason::NodeDown => "node_down",
         DropReason::ArbiterDown => "arbiter_down",
+        DropReason::StaleIncarnation => "stale_incarnation",
     }
 }
 

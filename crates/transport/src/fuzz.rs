@@ -31,9 +31,12 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::str::FromStr;
 
+use aeolus_sim::telemetry::{class_str, reason_str};
 use aeolus_sim::topology::LinkParams;
 use aeolus_sim::units::{ms, us, Time};
-use aeolus_sim::{FaultPlan, FlowDesc, FlowId, LinkFilter, PacketFilter, Rate, SimRng};
+use aeolus_sim::{
+    FaultPlan, FlowDesc, FlowId, LinkFilter, OracleSignals, PacketFilter, Rate, SimRng,
+};
 
 use crate::builder::SchemeBuilder;
 use crate::harness::TopoSpec;
@@ -168,7 +171,7 @@ fn parse_flow(part: &str) -> Result<FlowSpec, String> {
 
 /// The scheme pool the generator draws from — every registry scheme,
 /// RTO-carrying variants at their paper defaults.
-fn scheme_pool() -> Vec<Scheme> {
+pub(crate) fn scheme_pool() -> Vec<Scheme> {
     vec![
         Scheme::ExpressPass,
         Scheme::ExpressPassAeolus,
@@ -258,18 +261,29 @@ impl Scenario {
     /// event, with flow/port context), or — on a clean network only — an
     /// incomplete run or an app-level delivery mismatch.
     pub fn check(&self) -> Option<String> {
+        self.check_signed().failure
+    }
+
+    /// [`Scenario::check`], plus the behavioral signals the run left behind
+    /// — the raw material for the guided fuzzer's novelty signature
+    /// ([`crate::corpus::Signature`]).
+    ///
+    /// `signals` is `None` exactly when the run panicked: the harness is
+    /// consumed by the unwind, so the panic message itself (carried in
+    /// `failure`) is the only signal a panicking run produces.
+    pub fn check_signed(&self) -> CheckedRun {
         let scenario = self.clone();
-        let outcome = catch_unwind(AssertUnwindSafe(move || scenario.run_checked()));
+        let outcome = catch_unwind(AssertUnwindSafe(move || scenario.run_signed()));
         match outcome {
-            Ok(verdict) => verdict,
-            Err(payload) => Some(panic_message(&payload)),
+            Ok((failure, signals)) => CheckedRun { failure, signals: Some(signals) },
+            Err(payload) => CheckedRun { failure: Some(panic_message(&payload)), signals: None },
         }
     }
 
-    /// The body [`Scenario::check`] guards with `catch_unwind`: any panic
-    /// in here (the oracle's, or a defensive assert anywhere in the stack)
-    /// is a reportable failure.
-    fn run_checked(&self) -> Option<String> {
+    /// The body [`Scenario::check_signed`] guards with `catch_unwind`: any
+    /// panic in here (the oracle's, or a defensive assert anywhere in the
+    /// stack) is a reportable failure.
+    fn run_signed(&self) -> (Option<String>, RunSignals) {
         let spec = TopoSpec::SingleSwitch {
             hosts: self.hosts,
             link: LinkParams::uniform(Rate::gbps(10), us(3)),
@@ -282,7 +296,7 @@ impl Scenario {
         if hosts.len() < 2 {
             // Degenerate topology (e.g. all hosts reserved): nothing to
             // check, and the shrinker must not mistake this for a failure.
-            return None;
+            return (None, RunSignals::default());
         }
         let n = hosts.len();
         let flows: Vec<FlowDesc> = self
@@ -307,20 +321,23 @@ impl Scenario {
         let done = h.run(HORIZON);
         let clean = self.faults.is_empty();
         let m = h.metrics();
+        let signals = RunSignals::gather(h.topo.net.tracer().signals(), m);
         if clean && !done {
-            return Some(format!(
+            let failure = format!(
                 "incomplete on a clean network: {}/{} flows finished by {HORIZON} ps",
                 m.completed_count(),
                 m.flow_count()
-            ));
+            );
+            return (Some(failure), signals);
         }
         if clean {
             for r in m.flows() {
                 if r.delivered != r.desc.size {
-                    return Some(format!(
+                    let failure = format!(
                         "flow {} delivered {} of {} bytes on a clean network",
                         r.desc.id.0, r.delivered, r.desc.size
-                    ));
+                    );
+                    return (Some(failure), signals);
                 }
             }
         }
@@ -329,15 +346,81 @@ impl Scenario {
             // them with a cause, but a flow that is neither completed nor
             // aborted at a 2 s horizon is a hung recovery loop.
             let hung = m.flow_count() - m.completed_count() - m.aborted_count();
-            return Some(format!(
+            let failure = format!(
                 "{hung} of {} flows hung (neither completed nor aborted) under node faults",
                 m.flow_count()
-            ));
+            );
+            return (Some(failure), signals);
         }
         // Wire-level exactness for whatever did complete (faulty or not):
         // panics through the oracle on any mismatch.
         h.topo.net.tracer().assert_flows_complete(m);
-        None
+        (None, signals)
+    }
+}
+
+/// Verdict plus signals from one [`Scenario::check_signed`] run.
+#[derive(Debug, Clone)]
+pub struct CheckedRun {
+    /// `None` if the run conformed; otherwise the first failure message.
+    pub failure: Option<String>,
+    /// Behavioral signals, `None` exactly when the run panicked.
+    pub signals: Option<RunSignals>,
+}
+
+/// Everything a run leaves behind that the novelty signature is built from:
+/// the oracle's check-side signals plus the metrics' drop taxonomy and flow
+/// outcomes. Deterministic per scenario — the simulation is single-threaded
+/// and fully seeded — so identical scenarios produce identical signals on
+/// any worker count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunSignals {
+    /// Queue-depth extremes, retransmit-cause mix and check proximity from
+    /// the conformance oracle.
+    pub oracle: OracleSignals,
+    /// Non-zero drop-matrix cells as (reason, class, count), in the
+    /// metrics' fixed reason-major order.
+    pub drops: Vec<(&'static str, &'static str, u64)>,
+    /// Flows scheduled.
+    pub flow_count: usize,
+    /// Flows that completed within the horizon.
+    pub completed: usize,
+    /// Flows left aborted at the horizon.
+    pub aborted: usize,
+    /// Total crash/abort restarts across all flows.
+    pub restarts: u64,
+    /// Total retransmission timeouts across all flows.
+    pub timeouts: u64,
+    /// Flows that retransmitted at least one payload byte.
+    pub retransmitting_flows: usize,
+}
+
+impl RunSignals {
+    /// Condense a finished run's oracle signals and metrics.
+    fn gather(oracle: OracleSignals, m: &aeolus_sim::Metrics) -> RunSignals {
+        let mut s = RunSignals {
+            oracle,
+            drops: Vec::new(),
+            flow_count: m.flow_count(),
+            completed: m.completed_count(),
+            aborted: m.aborted_count(),
+            restarts: 0,
+            timeouts: 0,
+            retransmitting_flows: 0,
+        };
+        for ((reason, class), n) in m.drops() {
+            if n > 0 {
+                s.drops.push((reason_str(reason), class_str(class), n));
+            }
+        }
+        for r in m.flows() {
+            s.restarts += r.restarts as u64;
+            s.timeouts += r.timeouts as u64;
+            if r.retransmitted > 0 {
+                s.retransmitting_flows += 1;
+            }
+        }
+        s
     }
 }
 

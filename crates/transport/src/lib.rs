@@ -13,6 +13,7 @@
 
 pub mod builder;
 pub mod common;
+pub mod corpus;
 pub mod dctcp;
 pub mod harness;
 pub mod expresspass;
@@ -26,11 +27,14 @@ pub mod registry;
 
 pub use builder::SchemeBuilder;
 pub use common::{BaseConfig, FirstRttMode, Tombstones};
+pub use corpus::{
+    mutate, run_campaign, CampaignConfig, CampaignFailure, CampaignOutcome, Corpus, Signature,
+};
 pub use dctcp::{DctcpConfig, DctcpEndpoint};
 pub use harness::{DegradationReport, FlowOutcome, Harness, StuckFlow, TopoSpec, WatchdogReport};
 pub use expresspass::{XPassConfig, XPassEndpoint};
 pub use fastpass::{ArbiterEndpoint, FastpassConfig, FastpassEndpoint};
-pub use fuzz::{fuzz, shrink, FlowSpec, FuzzReport, Scenario};
+pub use fuzz::{fuzz, shrink, CheckedRun, FlowSpec, FuzzReport, RunSignals, Scenario};
 pub use homa::{HomaConfig, HomaEndpoint};
 pub use ndp::{NdpConfig, NdpEndpoint};
 pub use phost::{PHostConfig, PHostEndpoint};

@@ -1,0 +1,41 @@
+//! Shrunk specs from guided-fuzz campaigns (`repro fuzz --corpus`), pinned
+//! as named regression tests. Each constant is the minimal one-line
+//! [`Scenario`] the shrinker produced for a distinct failing novelty
+//! signature; the test replays it under the full conformance oracle and
+//! must conform forever after the fix.
+
+use aeolus_transport::Scenario;
+
+/// Replay one corpus spec line under the oracle; panic with the failure and
+/// the spec on any violation, so the repro command is in the test output.
+fn conforms(spec: &str) {
+    let scenario: Scenario =
+        spec.parse().unwrap_or_else(|e| panic!("unparseable spec '{spec}': {e}"));
+    if let Some(failure) = scenario.check() {
+        panic!("regression: {failure}\n  rerun with: repro fuzz --spec '{spec}'");
+    }
+}
+
+/// Seed-1 guided campaign, case seed 127: a 77 us crash of the Homa
+/// receiver left a cumulative Grant packet in flight; the relaunched
+/// sender incarnation treated its grant offset as fresh budget and the
+/// oracle flagged credit-conservation (consumed ≈ 2x issued). Fixed by
+/// stamping packets with their flow incarnation at network injection and
+/// rejecting stragglers from dead incarnations at host delivery
+/// (`DropReason::StaleIncarnation`).
+#[test]
+fn homa_stale_grant_across_crash_relaunch_conserves_credit() {
+    conforms("scheme=homa:10000 hosts=3 flows=2-3:168068@0 faults=crash=3@107us..107000001, seed=127");
+}
+
+/// The unshrunk original of the same campaign failure: three flows, a link
+/// down window overlapping the crash, seven hosts. Kept alongside the
+/// minimized spec because the shrinker discards the fault interleaving
+/// (down + crash) that produced the original violation event ordering.
+#[test]
+fn homa_stale_grant_original_multi_flow_interleaving_conforms() {
+    conforms(
+        "scheme=homa:10000 hosts=7 flows=2-3:168068@35,0-2:10565@11,3-1:92364@27 \
+         faults=down=108us..406us, crash=3@107us..184us, seed=127",
+    );
+}

@@ -142,17 +142,26 @@ impl EmpiricalDist {
 
     /// CDF value at `bytes` (fraction of flows of size ≤ `bytes`).
     pub fn fraction_below(&self, bytes: f64) -> f64 {
-        if bytes <= self.points[0].0 {
+        if bytes < self.points[0].0 {
             return 0.0;
         }
+        // Absorb every segment ending at or below `bytes` whole — this is
+        // what counts a vertical CDF step's mass (a zero-width segment from
+        // duplicate size points, allowed by `new`) when `bytes` sits exactly
+        // on it, instead of 0/0-interpolating across it.
+        let mut below = 0.0;
         for w in self.points.windows(2) {
             let (s0, p0) = w[0];
             let (s1, p1) = w[1];
-            if bytes <= s1 {
-                return p0 + (p1 - p0) * (bytes - s0) / (s1 - s0);
+            if bytes >= s1 {
+                below = p1;
+                continue;
             }
+            // s0 <= bytes < s1 here, so the segment has width and the
+            // division is safe.
+            return p0 + (p1 - p0) * (bytes - s0) / (s1 - s0);
         }
-        1.0
+        below
     }
 
     /// Inverse-transform sample using uniform `u` in [0, 1).
@@ -255,5 +264,45 @@ mod tests {
     #[should_panic(expected = "CDF must start at 0")]
     fn bad_cdf_rejected() {
         EmpiricalDist::new(vec![(10.0, 0.5), (20.0, 1.0)]);
+    }
+
+    #[test]
+    fn duplicate_size_points_form_a_vertical_step() {
+        // `new` allows non-decreasing sizes, so a duplicate size point is a
+        // legal vertical CDF step (30% of flows are exactly 200 B here).
+        // `fraction_below` used to interpolate across the zero-width segment
+        // and return NaN/inf from the 0/0 division.
+        let d = EmpiricalDist::new(vec![
+            (100.0, 0.0),
+            (200.0, 0.4),
+            (200.0, 0.7),
+            (300.0, 1.0),
+        ]);
+        // Below, at, and above the step — all finite, all exact.
+        assert_eq!(d.fraction_below(150.0), 0.2);
+        assert_eq!(d.fraction_below(200.0), 0.7, "the step's mass counts at its size");
+        assert!((d.fraction_below(250.0) - 0.85).abs() < 1e-12);
+        assert_eq!(d.fraction_below(50.0), 0.0);
+        assert_eq!(d.fraction_below(400.0), 1.0);
+        for b in [0.0, 100.0, 199.999, 200.0, 200.001, 300.0] {
+            assert!(d.fraction_below(b).is_finite(), "fraction_below({b}) not finite");
+        }
+        // The step contributes mass × size to the mean: 0.4·150 + 0.3·200 + 0.3·250.
+        assert!((d.mean() - 195.0).abs() < 1e-9, "mean {}", d.mean());
+        // Quantiles inside the step collapse to the step's size; monotone
+        // throughout and never NaN.
+        assert_eq!(d.quantile(0.45), 200);
+        assert_eq!(d.quantile(0.7), 200);
+        let mut prev = 0;
+        for i in 0..=100 {
+            let q = d.quantile(i as f64 / 100.0);
+            assert!(q >= prev, "quantile not monotone at {i}");
+            prev = q;
+        }
+        // A step at the very first size keeps its mass too.
+        let d = EmpiricalDist::new(vec![(64.0, 0.0), (64.0, 0.25), (128.0, 1.0)]);
+        assert_eq!(d.fraction_below(64.0), 0.25);
+        assert_eq!(d.fraction_below(63.0), 0.0);
+        assert!(d.mean().is_finite());
     }
 }

@@ -75,7 +75,12 @@ pub fn realized_load(flows: &[FlowDesc], hosts: usize, host_rate: Rate) -> f64 {
         return 0.0;
     }
     let bytes: u64 = flows.iter().map(|f| f.size).sum();
-    let span = flows.last().unwrap().start - flows.first().unwrap().start;
+    // Min/max over starts, not first/last: callers (the fuzzer's generator,
+    // hand-written specs) don't guarantee the list is sorted by start, and
+    // `last - first` underflows unsigned `Time` on any unsorted input.
+    let first = flows.iter().map(|f| f.start).min().unwrap();
+    let last = flows.iter().map(|f| f.start).max().unwrap();
+    let span = last - first;
     if span == 0 {
         return f64::INFINITY;
     }
@@ -128,6 +133,31 @@ mod tests {
         assert_eq!(flows[999].id, FlowId(1099));
         assert!(flows[0].start >= 50);
         assert!(flows.iter().all(|f| f.src != f.dst));
+    }
+
+    #[test]
+    fn realized_load_accepts_unsorted_flow_lists() {
+        // A flow list not sorted by start (`last.start < first.start`) used
+        // to underflow the unsigned `Time` subtraction and panic. The load
+        // must only depend on the set of flows, not their order.
+        let flow = |id: u64, start: Time, size: u64| FlowDesc {
+            id: FlowId(id),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size,
+            start,
+        };
+        let sorted = vec![flow(1, 0, 30_000), flow(2, 500_000, 10_000), flow(3, 1_000_000, 20_000)];
+        let mut reversed = sorted.clone();
+        reversed.reverse();
+        let rho_sorted = realized_load(&sorted, 4, Rate::gbps(10));
+        let rho_reversed = realized_load(&reversed, 4, Rate::gbps(10));
+        assert!(rho_sorted.is_finite() && rho_sorted > 0.0, "load {rho_sorted}");
+        assert_eq!(rho_sorted, rho_reversed, "order must not matter");
+        // Degenerate spans keep their documented behavior.
+        assert_eq!(realized_load(&sorted[..1], 4, Rate::gbps(10)), 0.0);
+        let same_start = vec![flow(1, 7, 100), flow(2, 7, 100)];
+        assert_eq!(realized_load(&same_start, 4, Rate::gbps(10)), f64::INFINITY);
     }
 
     #[test]

@@ -175,4 +175,41 @@ echo "dormant node-fault plan: trace bit-identical to no-faults run"
 # the oracle's settlement check fails any case with a hung flow.
 cargo run --release -q -p aeolus-experiments --bin repro -- fuzz --cases 25 --seed 41
 
+# Guided-fuzz batch from the committed corpus: replay every distilled
+# distinct-behavior spec under the oracle (a broad behavioral regression
+# suite — each entry once hit a novelty signature, including the shrunk
+# failure specs), then spend the rest of the budget on corpus mutations and
+# fresh scenarios. The corpus copy keeps the committed tree read-only under
+# CI; any failure prints shrunk one-line repro specs and exits non-zero.
+corpus_dir="$(mktemp -d)/corpus"
+cp -r results/corpus "$corpus_dir"
+n_corpus="$(ls "$corpus_dir" | wc -l)"
+cargo run --release -q -p aeolus-experiments --bin repro -- \
+    fuzz --corpus "$corpus_dir" --cases "$((n_corpus + 50))" --seed 99
+# Guided search must strictly beat blind sampling on equal budgets
+# (distinct novelty signatures) — the acceptance bar for corpus guidance.
+cargo run --release -q -p aeolus-experiments --bin repro -- fuzz --stats --cases 25 --seed 1
+
+# Cache-consistency gate: a warm rerun of the quick-scale fig9 sweep must
+# (a) serve every cell from the content-addressed cache (zero misses),
+# (b) re-verify a sample of hits bit-exactly (--cache-verify recomputes and
+# byte-compares; any divergence panics), and (c) produce a byte-identical
+# report. A cold third run with --no-cache proves the bypass still works.
+cache_dir="$(mktemp -d)"
+(cd "$cache_dir" && "$OLDPWD/target/release/repro" fig9 --scale quick --jobs 2 \
+    | grep -v "took\|total\|events/s" > cold.txt)
+(cd "$cache_dir" && "$OLDPWD/target/release/repro" fig9 --scale quick --jobs 2 --cache-verify \
+    | grep -v "took\|total\|events/s" > warm.txt)
+grep -q "\[cache: 0 hit(s)" "$cache_dir/cold.txt" || {
+    echo "cold run should miss every cell" >&2; exit 1; }
+grep -q " 0 miss(es)" "$cache_dir/warm.txt" || {
+    echo "warm run should hit every cell" >&2; exit 1; }
+grep "\[cache:" "$cache_dir/warm.txt" | grep -qv " 0 verified" || {
+    echo "warm --cache-verify run verified no cells" >&2; exit 1; }
+cmp <(grep -v "cache:" "$cache_dir/cold.txt") <(grep -v "cache:" "$cache_dir/warm.txt")
+(cd "$cache_dir" && "$OLDPWD/target/release/repro" fig9 --scale quick --jobs 2 --no-cache \
+    | grep -v "took\|total\|events/s\|cache:" > nocache.txt)
+cmp <(grep -v "cache:" "$cache_dir/cold.txt") "$cache_dir/nocache.txt"
+echo "cache gate: warm rerun all-hit, verify sample bit-exact, report byte-identical"
+
 echo "ci: OK"
